@@ -1,0 +1,114 @@
+//! Micro-benchmarks of the energy kernel — the inner loop of the 80
+//! CPU-centuries — including the cell-list ablation called out in
+//! DESIGN.md (cell-list evaluation vs brute-force all-pairs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxdo::energy::{energy_and_gradient, interaction_energy, CellList};
+use maxdo::{EnergyParams, EulerZyz, LibraryConfig, Pose, Protein, ProteinLibrary, Vec3};
+use std::hint::black_box;
+
+fn protein_of_size(residues: f64, seed: u64) -> Protein {
+    let lib = ProteinLibrary::generate(
+        LibraryConfig {
+            count: 1,
+            median_residues: residues,
+            sigma_log_residues: 0.0,
+            min_residues: 10,
+            max_residues: 5000,
+            include_giant: false,
+            separation_spacing: 6.0,
+        },
+        seed,
+    );
+    lib.proteins()[0].clone()
+}
+
+fn contact_pose(receptor: &Protein, ligand: &Protein) -> Pose {
+    Pose::from_euler(
+        EulerZyz::default(),
+        Vec3::new(receptor.bounding_radius() + ligand.bounding_radius() * 0.3, 0.0, 0.0),
+    )
+}
+
+/// Brute-force all-pairs energy (the ablation baseline).
+fn brute_force(receptor: &Protein, ligand: &Protein, pose: &Pose, params: &EnergyParams) -> f64 {
+    let cutoff_sq = params.cutoff * params.cutoff;
+    let delta_sq = params.softening * params.softening;
+    let rc_sq = cutoff_sq + delta_sq;
+    let mut total = 0.0;
+    for lb in ligand.beads() {
+        let lp = pose.apply(lb.position);
+        for rb in receptor.beads() {
+            let r_sq = (lp - rb.position).norm_sq();
+            if r_sq >= cutoff_sq {
+                continue;
+            }
+            let eps = (lb.kind.epsilon() * rb.kind.epsilon()).sqrt();
+            let rmin = lb.kind.radius() + rb.kind.radius();
+            let rr_sq = r_sq + delta_sq;
+            let s6 = (rmin * rmin / rr_sq).powi(3);
+            let c6 = (rmin * rmin / rc_sq).powi(3);
+            total += eps * ((s6 * s6 - 2.0 * s6) - (c6 * c6 - 2.0 * c6));
+            total += maxdo::energy::COULOMB_KCAL * lb.kind.charge() * rb.kind.charge()
+                / params.dielectric
+                * (1.0 / rr_sq - 1.0 / rc_sq);
+        }
+    }
+    total
+}
+
+fn bench_energy(c: &mut Criterion) {
+    let params = EnergyParams::default();
+    let mut group = c.benchmark_group("energy_evaluation");
+    for residues in [50.0, 150.0, 400.0] {
+        let receptor = protein_of_size(residues, 1);
+        let ligand = protein_of_size(residues * 0.6, 2);
+        let pose = contact_pose(&receptor, &ligand);
+        let cells = CellList::build(&receptor, params.cutoff);
+        group.bench_with_input(
+            BenchmarkId::new("cell_list", residues as u64),
+            &residues,
+            |b, _| {
+                b.iter(|| {
+                    black_box(interaction_energy(
+                        &receptor,
+                        &cells,
+                        &ligand,
+                        black_box(&pose),
+                        &params,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("brute_force", residues as u64),
+            &residues,
+            |b, _| b.iter(|| black_box(brute_force(&receptor, &ligand, black_box(&pose), &params))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("with_gradient", residues as u64),
+            &residues,
+            |b, _| {
+                b.iter(|| {
+                    black_box(energy_and_gradient(
+                        &receptor,
+                        &cells,
+                        &ligand,
+                        black_box(&pose),
+                        &params,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Cell-list construction cost (amortised over a whole docking map).
+    let receptor = protein_of_size(400.0, 1);
+    c.bench_function("cell_list_build_400res", |b| {
+        b.iter(|| black_box(CellList::build(black_box(&receptor), params.cutoff)))
+    });
+}
+
+criterion_group!(benches, bench_energy);
+criterion_main!(benches);

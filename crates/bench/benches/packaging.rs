@@ -1,0 +1,56 @@
+//! Benchmarks of the §4.1/§4.2 planning layer on the *full-scale* phase-I
+//! inputs: building the 168² compute-time matrix, deriving the workload,
+//! and packaging 1.4–3.6 million workunits.
+
+use bench_support::catalog_and_matrix;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxdo::CostModel;
+use std::hint::black_box;
+use timemodel::{CostMatrix, Workload};
+use workunit::{CampaignPackage, LaunchSchedule};
+
+fn bench_planning(c: &mut Criterion) {
+    let (library, matrix) = catalog_and_matrix();
+
+    let mut group = c.benchmark_group("planning");
+    group.sample_size(10);
+
+    group.bench_function("cost_matrix_168x168", |b| {
+        let model = CostModel::reference(library);
+        b.iter(|| black_box(CostMatrix::from_cost_model(black_box(library), &model)))
+    });
+
+    group.bench_function("workload_derive", |b| {
+        b.iter(|| black_box(Workload::derive(black_box(library), matrix)))
+    });
+
+    group.bench_function("table1", |b| {
+        b.iter(|| black_box(timemodel::table1(black_box(library), matrix)))
+    });
+
+    for h_hours in [10.0, 4.0] {
+        group.bench_with_input(
+            BenchmarkId::new("package_count", h_hours as u64),
+            &h_hours,
+            |b, &h| {
+                let pkg = CampaignPackage::new(library, matrix, h * 3600.0);
+                b.iter(|| black_box(pkg.count()))
+            },
+        );
+    }
+
+    group.bench_function("launch_schedule", |b| {
+        let pkg = CampaignPackage::new(library, matrix, 4.0 * 3600.0);
+        b.iter(|| black_box(LaunchSchedule::cheapest_first(black_box(&pkg))))
+    });
+
+    group.bench_function("distribution_report_h4", |b| {
+        let pkg = CampaignPackage::new(library, matrix, 4.0 * 3600.0);
+        b.iter(|| black_box(workunit::distribution_report(black_box(&pkg))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

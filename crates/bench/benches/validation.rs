@@ -1,0 +1,68 @@
+//! Benchmarks of the §5.2 result-processing pipeline: serialising,
+//! parsing, checking and merging result files at the throughput the real
+//! pipeline needed (3.9 million files over the campaign).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use maxdo::{DockingRow, EulerZyz, ProteinId, Vec3};
+use std::hint::black_box;
+use validation::checks::{check_file, ValueRanges};
+use validation::format::{parse_result_file, write_result_file, ResultFile};
+use validation::merge_couple_files;
+
+/// A synthetic result file with `positions × 21` rows.
+fn synthetic_file(isep_start: u32, positions: u32) -> ResultFile {
+    let isep_end = isep_start + positions - 1;
+    ResultFile {
+        receptor: ProteinId(0),
+        ligand: ProteinId(1),
+        isep_start,
+        isep_end,
+        nrot: 21,
+        rows: (isep_start..=isep_end)
+            .flat_map(|isep| {
+                (1..=21u32).map(move |irot| DockingRow {
+                    isep,
+                    irot,
+                    position: Vec3::new(12.5, -3.25, 8.0),
+                    orientation: EulerZyz {
+                        alpha: 1.0,
+                        beta: 0.5,
+                        gamma: 2.0,
+                    },
+                    elj: -12.345_678,
+                    eelec: 3.25,
+                })
+            })
+            .collect(),
+    }
+}
+
+fn bench_validation(c: &mut Criterion) {
+    // A production-sized workunit: ~36 positions (h=4h / 400 s).
+    let file = synthetic_file(1, 36);
+    let text = write_result_file(&file);
+    let ranges = ValueRanges::default();
+
+    c.bench_function("result_file_write_36pos", |b| {
+        b.iter(|| black_box(write_result_file(black_box(&file))))
+    });
+
+    c.bench_function("result_file_parse_36pos", |b| {
+        b.iter(|| black_box(parse_result_file(black_box(&text)).unwrap()))
+    });
+
+    c.bench_function("checks_36pos", |b| {
+        b.iter(|| black_box(check_file(black_box(&file), &ranges)))
+    });
+
+    c.bench_function("merge_couple_50_chunks", |b| {
+        b.iter(|| {
+            let chunks: Vec<ResultFile> =
+                (0..50).map(|k| synthetic_file(k * 36 + 1, 36)).collect();
+            black_box(merge_couple_files(chunks, 50 * 36).unwrap())
+        })
+    });
+}
+
+criterion_group!(benches, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! ABL3 — the workunit-size ablation: run the campaign at several target
+//! durations `h` and measure what the §4.2 packaging choice actually
+//! buys.
+//!
+//! Smaller workunits mean more server transactions (the §3.2 constraint:
+//! the 10-hour guideline "determines the rate of transactions with World
+//! Community Grid servers") but less work lost per timeout/abandon; larger
+//! workunits strain the deadline and the volunteer's patience (§3.2's
+//! "human factor"). This sweep exposes the trade-off the operators
+//! navigated when they shipped h = 4 h instead of the ideal 10 h.
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin ablation_h_sweep [scale] [seed]`
+
+use bench_support::{header, thousands};
+use gridsim::{VolunteerGridConfig, VolunteerGridSim};
+use maxdo::ProteinLibrary;
+use timemodel::CostMatrix;
+use workunit::CampaignPackage;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    header("ABL3", "workunit duration h vs campaign behaviour (§4.2)");
+    let full = ProteinLibrary::phase1_catalog();
+    let matrix = CostMatrix::phase1(&full);
+    let lib = full.with_scaled_nsep(scale);
+
+    println!(
+        "{:>6} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "h (h)", "workunits", "results", "redundancy", "consumed(y)", "finish day"
+    );
+    for h_hours in [1.0, 2.0, 4.0, 10.0, 24.0] {
+        let pkg = CampaignPackage::new(&lib, &matrix, h_hours * 3600.0);
+        let config = VolunteerGridConfig::hcmd_phase1(scale, seed);
+        let trace = VolunteerGridSim::new(&pkg, config).run();
+        println!(
+            "{:>6} {:>14} {:>12} {:>12.2} {:>12.0} {:>12}",
+            h_hours,
+            thousands(pkg.count() * scale as u64),
+            thousands(trace.results_received * scale as u64),
+            trace.redundancy_factor(),
+            trace.consumed_cpu_seconds() * scale as f64 / (365.0 * 86_400.0),
+            trace
+                .completion_day
+                .map_or("n/a".into(), |d| d.to_string())
+        );
+    }
+    println!(
+        "\nsmall h: millions of extra server transactions for the same work; \
+         large h: longer turnarounds push replicas into the 10-day deadline \
+         (reissues → redundancy) and raise the work lost per abandoned unit. \
+         The paper's production point (4 h) sits in the flat middle."
+    );
+}

@@ -1,0 +1,60 @@
+//! FIG1 — Figure 1: virtual full-time processors of World Community Grid
+//! since its launch (November 16, 2004).
+//!
+//! Regenerates the grid-wide VFTP curve from the membership model: global
+//! growth, weekend dips, and the Christmas 2005/2006 and summer 2006
+//! troughs the paper points out.
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin fig1_wcg_vftp`
+
+use bench_support::{ascii_series, header};
+use gridsim::membership::{HCMD_CAMPAIGN_DAYS, HCMD_LAUNCH_DAY};
+use gridsim::MembershipModel;
+
+fn main() {
+    header(
+        "FIG1",
+        "virtual full-time processors of World Community Grid",
+    );
+    let model = MembershipModel::wcg();
+    let days = 1100;
+    let series = model.vftp_series(days);
+
+    // Weekly means for the plotted curve (the paper's curve is also an
+    // aggregate of the daily statistics page).
+    let weekly: Vec<f64> = series.chunks(7).map(|w| w.iter().sum::<f64>() / w.len() as f64).collect();
+    let labels: Vec<String> = (0..weekly.len())
+        .step_by(8)
+        .map(|w| format!("week {w}"))
+        .collect();
+    let sampled: Vec<f64> = weekly.iter().step_by(8).copied().collect();
+    println!("{}", ascii_series(&labels, &sampled, 56));
+
+    // The paper's qualitative observations, quantified.
+    println!("anchors:");
+    println!(
+        "  VFTP in the week the paper was written (~day 1090): {:>8.0}  (paper ~74,825)",
+        model.mean_vftp(1083, 1090)
+    );
+    println!(
+        "  mean VFTP over the HCMD campaign window           : {:>8.0}  (paper  54,947)",
+        model.mean_vftp(HCMD_LAUNCH_DAY, HCMD_LAUNCH_DAY + HCMD_CAMPAIGN_DAYS)
+    );
+    // Dips measured as observed VFTP against the deseasonalised baseline
+    // over the same days (growth would otherwise mask them).
+    let dip = |from: usize, to: usize| {
+        let observed: f64 = (from..to).map(|d| model.vftp(d)).sum();
+        let baseline: f64 = (from..to).map(|d| model.base_vftp(d)).sum();
+        100.0 * (observed / baseline - 1.0)
+    };
+    println!("  Christmas 2005 dip: {:+.0}% vs baseline", dip(402, 413));
+    println!("  summer 2006 dip   : {:+.0}% vs baseline", dip(592, 654));
+    let weekend = model.vftp(900); // a Saturday well clear of holidays
+    let weekday = model.vftp(902); // the following Monday
+    println!(
+        "  weekend dip       : {:.0} (Sat) vs {:.0} (Mon) ({:+.0}%)",
+        weekend,
+        weekday,
+        100.0 * (weekend / weekday - 1.0)
+    );
+}

@@ -1,0 +1,35 @@
+//! FIG2 — Figure 2: distribution of the number of starting positions
+//! (`Nsep`) over the 168 proteins.
+//!
+//! The paper: "most of the proteins have less than 3000 starting positions
+//! to compute. One of them has more than 8000."
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin fig2_nsep_distribution`
+
+use bench_support::{catalog_and_matrix, header};
+use metrics::Histogram;
+
+fn main() {
+    header("FIG2", "Nsep distribution over the phase-I proteins");
+    let (library, _) = catalog_and_matrix();
+    let mut hist = Histogram::new(0.0, 12_000.0, 24);
+    for &n in library.nsep_table() {
+        hist.record(n as f64);
+    }
+    println!("{}", hist.render(48));
+
+    let nsep = library.nsep_table();
+    let below_3000 = nsep.iter().filter(|&&n| n < 3000).count();
+    let above_8000 = nsep.iter().filter(|&&n| n > 8000).count();
+    let mut sorted: Vec<u32> = nsep.to_vec();
+    sorted.sort_unstable();
+    println!("proteins with Nsep < 3000 : {below_3000} / 168  (paper: \"most\")");
+    println!("proteins with Nsep > 8000 : {above_8000}        (paper: \"one of them\")");
+    println!(
+        "min {} | median {} | mean {:.0} | max {}",
+        sorted[0],
+        sorted[sorted.len() / 2],
+        sorted.iter().map(|&n| n as f64).sum::<f64>() / sorted.len() as f64,
+        sorted[sorted.len() - 1]
+    );
+}

@@ -1,0 +1,33 @@
+//! FIG4 — Figure 4: workunit execution-time distributions for the two
+//! packagings the paper plots: h = 10 h (1,364,476 workunits) and
+//! h = 4 h (3,599,937 workunits).
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin fig4_workunit_distribution`
+
+use bench_support::{catalog_and_matrix, header, thousands};
+use workunit::{distribution_report, CampaignPackage};
+
+fn main() {
+    header("FIG4", "workunit execution-time distribution");
+    let (library, matrix) = catalog_and_matrix();
+    for (h_hours, paper_count) in [(10.0, 1_364_476u64), (4.0, 3_599_937u64)] {
+        let pkg = CampaignPackage::new(library, matrix, h_hours * 3600.0);
+        let rep = distribution_report(&pkg);
+        println!("--- {} ---", rep.caption());
+        println!(
+            "paper: WantedWuExecTime = {h_hours} h, Nb wu = {}",
+            thousands(paper_count)
+        );
+        println!(
+            "mean estimated duration: {}   over-target units: {} ({:.2}%)",
+            rep.mean_hms(),
+            thousands(rep.over_target),
+            100.0 * rep.over_target as f64 / rep.count as f64
+        );
+        println!("{}", rep.histogram.render(48));
+    }
+    println!(
+        "paper: \"the number of workunits increases when the workunit execution \
+         time wanted decreases\""
+    );
+}

@@ -1,0 +1,116 @@
+//! FIG6 — Figure 6: the HCMD campaign on World Community Grid.
+//!
+//! (a) the number of virtual full-time processors (grid and project) per
+//!     week, with the three §5.1 phases; (b) results received per week,
+//!     split useful vs redundant — plus the §6 headline aggregates
+//!     (consumed CPU time, redundancy factor 1.37, speed-down 5.43/3.96).
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin fig6_campaign [scale] [seed] [--json]`
+//! (default scale 1/10 — the highest-fidelity quick setting; scale 1 is
+//! the full 3.6M-workunit campaign; `--json` dumps the plotted series as
+//! JSON for external plotting instead of the ASCII rendering).
+
+use bench_support::{ascii_series, header, thousands};
+use gridsim::ProjectPhases;
+use hcmd::campaign::Phase1Campaign;
+use hcmd::phases::{phase_summaries, render_phase_table};
+
+#[derive(serde::Serialize)]
+struct Fig6Json {
+    scale_divisor: u32,
+    seed: u64,
+    project_vftp_daily: Vec<f64>,
+    grid_vftp_daily: Vec<f64>,
+    results_weekly: Vec<f64>,
+    useful_results_weekly: Vec<f64>,
+    completion_day: Option<usize>,
+    redundancy_factor: f64,
+    raw_speed_down: f64,
+    net_speed_down: f64,
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let json = argv.iter().any(|a| a == "--json");
+    let mut args = argv.iter().filter(|a| *a != "--json");
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    if json {
+        let report = Phase1Campaign::new(scale, seed).run();
+        let sd = report.trace.speed_down();
+        let out = Fig6Json {
+            scale_divisor: scale,
+            seed,
+            project_vftp_daily: report.trace.project_vftp_daily(),
+            grid_vftp_daily: report.trace.grid_vftp_daily(),
+            results_weekly: report.trace.results_weekly(),
+            useful_results_weekly: report.trace.useful_results_weekly(),
+            completion_day: report.trace.completion_day,
+            redundancy_factor: report.trace.redundancy_factor(),
+            raw_speed_down: sd.raw_factor(),
+            net_speed_down: sd.net_factor(),
+        };
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        return;
+    }
+    header("FIG6", "the HCMD project on World Community Grid");
+    println!("simulating at scale 1/{scale} (seed {seed})...\n");
+    let report = Phase1Campaign::new(scale, seed).run();
+    let trace = &report.trace;
+
+    println!("--- Figure 6(a): virtual full-time processors per week ---");
+    let project = trace.project_vftp_daily();
+    let weekly: Vec<f64> = project
+        .chunks(7)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect();
+    let labels: Vec<String> = (0..weekly.len()).map(|w| format!("week {w}")).collect();
+    println!("{}", ascii_series(&labels, &weekly, 48));
+    println!(
+        "{}",
+        render_phase_table(&phase_summaries(trace, &ProjectPhases::hcmd_phase1()))
+    );
+    println!("paper: grid average 54,947 | project whole period 16,450 | full power 26,248\n");
+
+    println!("--- Figure 6(b): results received per week (full-scale equivalents) ---");
+    let results = trace.results_weekly();
+    let useful = trace.useful_results_weekly();
+    println!("{:>6} {:>12} {:>12} {:>12}", "week", "received", "useful", "redundant");
+    for (w, (r, u)) in results.iter().zip(&useful).enumerate() {
+        println!("{:>6} {:>12.0} {:>12.0} {:>12.0}", w, r, u, r - u);
+    }
+    println!();
+
+    println!("--- §6 headline aggregates ---");
+    let sd = trace.speed_down();
+    println!(
+        "results received  : {:>12}  (paper 5,418,010)",
+        thousands(trace.results_received * scale as u64)
+    );
+    println!(
+        "useful results    : {:>12}  (paper 3,936,010)",
+        thousands(trace.results_useful * scale as u64)
+    );
+    println!(
+        "useful fraction   : {:>11.0}%  (paper 73%)",
+        trace.useful_fraction() * 100.0
+    );
+    println!("redundancy factor : {:>12.2}  (paper 1.37)", trace.redundancy_factor());
+    println!(
+        "consumed cpu time : {}  (paper 8,082:275:17:15:44)",
+        report.consumed_full_scale()
+    );
+    println!("raw speed-down    : {:>12.2}  (paper 5.43)", sd.raw_factor());
+    println!("net speed-down    : {:>12.2}  (paper 3.96)", sd.net_factor());
+    println!(
+        "campaign length   : {:>9} days (paper 182 = 26 weeks)",
+        trace.completion_day.map_or("n/a".into(), |d| d.to_string())
+    );
+    let st = &trace.server_stats;
+    println!(
+        "\nissue breakdown (scaled): {} initial + {} quorum siblings + {} timeout \
+         reissues + {} error reissues; {} late results",
+        st.initial_issues, st.quorum_issues, st.timeout_reissues, st.error_reissues,
+        st.late_results
+    );
+}

@@ -1,0 +1,11 @@
+//! Generates the consolidated markdown campaign report (every §4–§7
+//! artifact from one simulated campaign).
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin full_report [scale] [seed] > REPORT.md`
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    print!("{}", hcmd::generate_report(scale, seed));
+}

@@ -1,0 +1,43 @@
+//! TAB1 — Table 1: statistics of the 168×168 computation-time matrix,
+//! plus the §4.1 numbers that hang off it (the 1,488-year total, the
+//! top-10 concentration, the minimal-workunit count, and the Grid'5000
+//! calibration campaign itself).
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin tab1_matrix_stats`
+
+use bench_support::{catalog_and_matrix, header, thousands};
+use maxdo::CostModel;
+use timemodel::CalibrationCampaign;
+
+fn main() {
+    header("TAB1", "statistics of the computation-time matrix (seconds)");
+    let (library, matrix) = catalog_and_matrix();
+    let t1 = timemodel::table1(library, matrix);
+    println!("{}\n", t1.render());
+
+    println!("paper Table 1      :        671              968.04        6    46347      384");
+    println!("paper total        : 1,488:237:19:45:54");
+    println!("paper top-10 share : ~30%");
+    println!(
+        "paper minimal wus  : {}  (ours {})\n",
+        thousands(49_481_544),
+        thousands(t1.minimal_workunits)
+    );
+
+    // The calibration campaign that measured the matrix (§4.1): 640
+    // processors on Grid'5000, one day.
+    let model = CostModel::reference(library);
+    let report = CalibrationCampaign { processors: 640 }.run(library, &model);
+    println!("calibration campaign (640 dedicated processors, LPT):");
+    println!("  jobs            : {} (168²)", report.jobs);
+    println!(
+        "  total cpu time  : {} ({:.0} days; paper: \"more than 73 days\")",
+        report.total_cpu,
+        report.total_cpu.total_days()
+    );
+    println!(
+        "  makespan        : {:.1} h (fits one day: {})",
+        report.makespan_seconds / 3600.0,
+        report.fits_in_one_day()
+    );
+}

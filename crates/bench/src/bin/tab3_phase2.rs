@@ -1,0 +1,56 @@
+//! TAB3 — Table 3: evaluation of HCMD phase II (§7).
+//!
+//! Derives the phase-II projection twice: once from the paper's own
+//! assumptions (reproducing Table 3's columns exactly) and once from a
+//! simulated phase-I campaign's measured consumption.
+//!
+//! Run: `cargo run -p hcmd-bench --release --bin tab3_phase2 [scale] [seed]`
+
+use bench_support::header;
+use hcmd::campaign::Phase1Campaign;
+use hcmd::config::paper;
+use hcmd::phase2::Phase2Assumptions;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    header("TAB3", "evaluation of the HCMD phase II");
+
+    println!("--- from the paper's assumptions ---");
+    let a = Phase2Assumptions::paper();
+    let p = a.project();
+    println!("{}", p.render_table3(&a));
+    println!(
+        "paper Table 3: cpu 254,897,774,144 / 1,444,998,719,637 s; weeks 16 / 40; \
+         vftp 26,341 / 59,730; members 132,490 / 300,430\n"
+    );
+    println!(
+        "work ratio 4000²/(168²·100)      : {:.2}  (paper 5.66)",
+        p.work_ratio
+    );
+    println!(
+        "weeks at the phase-I rate        : {:.0}  (paper 90, \"1 year and 9 months\")",
+        p.weeks_at_phase1_rate
+    );
+    println!(
+        "WCG members needed (25% share)   : {:.2} M  (paper 1,300,000)",
+        p.wcg_members_needed / 1e6
+    );
+    println!(
+        "new volunteers needed            : {:.2} M  (paper \"nearly 1,000,000\")\n",
+        p.new_members_needed / 1e6
+    );
+
+    println!("--- from the simulated campaign (scale 1/{scale}, seed {seed}) ---");
+    let report = Phase1Campaign::new(scale, seed).run();
+    let measured_cpu = report.trace.consumed_cpu_seconds() * scale as f64;
+    let a2 = Phase2Assumptions::paper().with_measured_phase1(measured_cpu, paper::PHASE1_WEEKS);
+    let p2 = a2.project();
+    println!("{}", p2.render_table3(&a2));
+    println!(
+        "measured-campaign projection: {:.0} VFTP for 40 weeks ({:+.1}% vs the paper's 59,730)",
+        p2.phase2_vftp,
+        100.0 * (p2.phase2_vftp / paper::PHASE2_VFTP - 1.0)
+    );
+}

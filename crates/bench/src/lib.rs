@@ -1,0 +1,83 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md's experiment index) and prints it as text:
+//! the same rows and series the paper reports, next to the paper's own
+//! values where it publishes them. EXPERIMENTS.md records a run of each.
+
+use maxdo::{CostModel, ProteinLibrary};
+use std::sync::OnceLock;
+use timemodel::CostMatrix;
+
+/// The phase-I catalog and its calibrated compute-time matrix, built once
+/// per process (the matrix takes ~100 ms; several binaries need both).
+pub fn catalog_and_matrix() -> (&'static ProteinLibrary, &'static CostMatrix) {
+    static DATA: OnceLock<(ProteinLibrary, CostMatrix)> = OnceLock::new();
+    let (lib, m) = DATA.get_or_init(|| {
+        let lib = ProteinLibrary::phase1_catalog();
+        let model = CostModel::reference(&lib);
+        let m = CostMatrix::from_cost_model(&lib, &model);
+        (lib, m)
+    });
+    (lib, m)
+}
+
+/// Renders a numeric series as an ASCII chart: one row per point with a
+/// proportional bar — the terminal stand-in for the paper's line plots.
+pub fn ascii_series(labels: &[String], values: &[f64], width: usize) -> String {
+    assert_eq!(labels.len(), values.len());
+    let peak = values.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+    let mut out = String::new();
+    for (label, &v) in labels.iter().zip(values) {
+        let bar = "█".repeat(((v / peak) * width as f64).round().max(0.0) as usize);
+        out.push_str(&format!("{label:>12} {v:>12.0} {bar}\n"));
+    }
+    out
+}
+
+/// Groups a u64 with thousands separators (`1364476` → `1,364,476`).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let bytes = digits.as_bytes();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, b) in bytes.iter().enumerate() {
+        if i > 0 && (bytes.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(*b as char);
+    }
+    out
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, caption: &str) {
+    println!("=== {id}: {caption} ===\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_grouping() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_364_476), "1,364,476");
+    }
+
+    #[test]
+    fn ascii_series_scales_bars() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let s = ascii_series(&labels, &[1.0, 2.0], 10);
+        let rows: Vec<&str> = s.lines().collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows[1].matches('█').count() > rows[0].matches('█').count());
+    }
+
+    #[test]
+    fn shared_catalog_is_cached() {
+        let (a, _) = catalog_and_matrix();
+        let (b, _) = catalog_and_matrix();
+        assert!(std::ptr::eq(a, b));
+    }
+}

@@ -1,0 +1,176 @@
+//! Points-based credit — the §8 proposal.
+//!
+//! > "Another way to approach the number of virtual full-time processors
+//! > is to base the estimate on the number of points awarded instead of
+//! > run-time. Points represent the amount of work done by computer to
+//! > compute a result and are based on the run time for that result
+//! > multiplied by a weight factor determined by running a benchmark on
+//! > the agent. This approach should reduce the differences between each
+//! > platform therefore be more middleware independent."
+//!
+//! The mechanism that makes this work: the agent's benchmark runs under
+//! the *same conditions* the research application does, so its measured
+//! weight is the host's effective rate in the same units the agent
+//! accounts run time in. `points = weight × accounted run time` then
+//! cancels the platform term and recovers (reference CPU seconds of real
+//! work) + (replayed work) — on UD wall-clock agents and BOINC CPU-time
+//! agents alike. One *point* here is one reference-processor CPU second
+//! (a rescaling of BOINC's cobblestones).
+
+use crate::host::{AccountingMode, Host};
+use metrics::DailySeries;
+use serde::{Deserialize, Serialize};
+
+/// Relative measurement error of the agent benchmark (one-sided bound;
+/// the actual per-host error is deterministic in the host id).
+pub const BENCHMARK_NOISE: f64 = 0.05;
+
+/// The weight factor the agent's benchmark measures for a host.
+///
+/// * A BOINC agent benchmarks in CPU time: it measures the host's raw
+///   speed relative to the reference processor.
+/// * A UD agent benchmarks in wall-clock under the throttle and the
+///   owner's load: it measures the *effective rate*.
+///
+/// Both carry a small deterministic measurement error.
+pub fn benchmark_weight(host: &Host) -> f64 {
+    let ideal = match host.accounting {
+        AccountingMode::CpuTime => host.speed,
+        AccountingMode::WallClock => host.effective_rate(),
+    };
+    // Deterministic per-host benchmark error in ±BENCHMARK_NOISE.
+    let h = host.id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let unit = ((h >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0;
+    ideal * (1.0 + BENCHMARK_NOISE * unit)
+}
+
+/// Points claimed for a result: benchmark weight × accounted run time.
+pub fn points_for(host: &Host, accounted_seconds: f64) -> f64 {
+    benchmark_weight(host) * accounted_seconds
+}
+
+/// Accumulates awarded points over a campaign.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CreditLedger {
+    /// Points granted per campaign day.
+    pub points_daily: DailySeries,
+    /// Total points granted.
+    pub total_points: f64,
+}
+
+impl CreditLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants the points of one result, attributing them over the
+    /// replica's lifetime like the run-time accounting does.
+    pub fn grant_interval(&mut self, start_seconds: f64, end_seconds: f64, points: f64) {
+        self.points_daily
+            .add_interval(start_seconds, end_seconds.max(start_seconds + 1e-6), points);
+        self.total_points += points;
+    }
+
+    /// Points-based VFTP for a day window: a reference processor earns
+    /// one point per second, so `points/day ÷ 86,400` is the equivalent
+    /// full-time reference-processor count.
+    pub fn vftp(&self, from_day: usize, to_day: usize) -> f64 {
+        if to_day <= from_day {
+            return 0.0;
+        }
+        self.points_daily.range_total(from_day, to_day)
+            / ((to_day - from_day) as f64 * 86_400.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostId, HostParams};
+
+    fn ud_host(id: u64) -> Host {
+        Host::sample(HostId(id), &HostParams::wcg_2007(), 42)
+    }
+
+    fn boinc_host(id: u64) -> Host {
+        Host::sample(HostId(id), &HostParams::wcg_boinc(), 42)
+    }
+
+    #[test]
+    fn points_recover_reference_work_on_ud_agents() {
+        // weight × accounted ≈ ref + replay, within benchmark noise.
+        for id in 0..30 {
+            let mut h = ud_host(id);
+            let exec = h.plan_execution(14_400.0, 400.0);
+            let pts = points_for(&h, exec.accounted_seconds);
+            let true_work = exec.cpu_seconds * h.speed; // ref + replay
+            assert!(
+                (pts - true_work).abs() / true_work < BENCHMARK_NOISE + 1e-9,
+                "host {id}: points {pts} vs work {true_work}"
+            );
+        }
+    }
+
+    #[test]
+    fn points_recover_reference_work_on_boinc_agents() {
+        for id in 0..30 {
+            let mut h = boinc_host(id);
+            let exec = h.plan_execution(14_400.0, 400.0);
+            let pts = points_for(&h, exec.accounted_seconds);
+            let true_work = exec.cpu_seconds * h.speed;
+            assert!(
+                (pts - true_work).abs() / true_work < BENCHMARK_NOISE + 1e-9,
+                "host {id}: points {pts} vs work {true_work}"
+            );
+        }
+    }
+
+    #[test]
+    fn points_are_middleware_independent_where_runtime_is_not() {
+        // The same physical hosts under the two agents: run-time accounting
+        // differs by the whole throttle/contention factor; points agree to
+        // within twice the benchmark noise. This is the §8 claim.
+        let (mut rt_ud, mut rt_boinc, mut pt_ud, mut pt_boinc) = (0.0, 0.0, 0.0, 0.0);
+        for id in 0..60 {
+            let mut u = ud_host(id);
+            let mut b = boinc_host(id);
+            // Identical hardware: same profile stream; only agent differs.
+            assert_eq!(u.speed, b.speed);
+            let eu = u.plan_execution(14_400.0, 400.0);
+            let eb = b.plan_execution(14_400.0, 400.0);
+            rt_ud += eu.accounted_seconds;
+            rt_boinc += eb.accounted_seconds;
+            pt_ud += points_for(&u, eu.accounted_seconds);
+            pt_boinc += points_for(&b, eb.accounted_seconds);
+        }
+        let runtime_gap = rt_ud / rt_boinc;
+        let points_gap = pt_ud / pt_boinc;
+        assert!(
+            runtime_gap > 1.5,
+            "UD wall accounting should inflate run time: {runtime_gap}"
+        );
+        assert!(
+            (points_gap - 1.0).abs() < 2.0 * BENCHMARK_NOISE,
+            "points should be middleware independent: {points_gap}"
+        );
+    }
+
+    #[test]
+    fn benchmark_weight_is_deterministic_and_bounded() {
+        let h = ud_host(7);
+        assert_eq!(benchmark_weight(&h), benchmark_weight(&h));
+        let ideal = h.effective_rate();
+        assert!((benchmark_weight(&h) / ideal - 1.0).abs() <= BENCHMARK_NOISE);
+    }
+
+    #[test]
+    fn ledger_vftp() {
+        let mut ledger = CreditLedger::new();
+        // One reference processor running full time for two days.
+        ledger.grant_interval(0.0, 2.0 * 86_400.0, 2.0 * 86_400.0);
+        assert!((ledger.vftp(0, 2) - 1.0).abs() < 1e-9);
+        assert_eq!(ledger.vftp(2, 2), 0.0);
+        assert!((ledger.total_points - 2.0 * 86_400.0).abs() < 1e-9);
+    }
+}

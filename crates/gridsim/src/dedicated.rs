@@ -1,0 +1,255 @@
+//! The dedicated-grid baseline (Grid'5000 style).
+//!
+//! §6 and Table 2 compare World Community Grid against "a dedicated grid
+//! such as Grid'5000": homogeneous, always-on reference processors
+//! (Opteron 2 GHz), optimally used. A dedicated grid has no throttle, no
+//! contention, no churn and no redundancy, so a workload of `W` reference
+//! CPU seconds on `P` processors completes in roughly `W / P` — bounded
+//! below by the longest single workunit (footnote 2 of the paper: "this
+//! comparison has to be taken carefully, since it supposed that the
+//! dedicated grid is optimally used").
+
+use metrics::Ydhms;
+use serde::{Deserialize, Serialize};
+use timemodel::calibration::lpt_makespan;
+use workunit::CampaignPackage;
+
+/// A dedicated grid of identical reference processors.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DedicatedGrid {
+    /// Number of processors.
+    pub processors: usize,
+}
+
+/// Outcome of running a campaign on the dedicated grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DedicatedRun {
+    /// Processors used.
+    pub processors: usize,
+    /// Total CPU time (equals the reference workload exactly: no waste).
+    pub total_cpu: Ydhms,
+    /// Makespan under LPT scheduling, seconds.
+    pub makespan_seconds: f64,
+    /// Utilisation: total CPU / (processors × makespan).
+    pub utilization: f64,
+}
+
+impl DedicatedGrid {
+    /// Creates a grid of `processors` reference processors.
+    pub fn new(processors: usize) -> Self {
+        assert!(processors > 0, "need at least one processor");
+        Self { processors }
+    }
+
+    /// Schedules a packaged campaign on the grid and reports makespan and
+    /// utilisation.
+    pub fn run_campaign(&self, pkg: &CampaignPackage<'_>) -> DedicatedRun {
+        let mut jobs = Vec::new();
+        pkg.for_each_workunit(|wu| jobs.push(wu.estimated_seconds(pkg.matrix())));
+        let makespan_seconds = lpt_makespan(&jobs, self.processors);
+        let total: f64 = jobs.iter().sum();
+        DedicatedRun {
+            processors: self.processors,
+            total_cpu: Ydhms::from_seconds_f64(total),
+            makespan_seconds,
+            utilization: total / (self.processors as f64 * makespan_seconds),
+        }
+    }
+
+    /// Number of dedicated processors needed to finish `total_ref_seconds`
+    /// of work within `window_seconds` of wall clock (perfect parallelism
+    /// — the paper's equivalence arithmetic of Table 2).
+    pub fn processors_for_deadline(total_ref_seconds: f64, window_seconds: f64) -> f64 {
+        assert!(window_seconds > 0.0, "window must be positive");
+        total_ref_seconds / window_seconds
+    }
+}
+
+/// A *heterogeneous* dedicated grid — the Décrypthon university grid the
+/// paper acknowledges ("evaluations were performed on the Grid'5000 and
+/// the Décrypthon university grid"): a federation of department clusters
+/// with different processor generations, all dedicated and always on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeterogeneousGrid {
+    /// Speed of each processor relative to the reference Opteron 2 GHz.
+    pub speeds: Vec<f64>,
+}
+
+impl HeterogeneousGrid {
+    /// Creates a grid from per-processor speeds.
+    pub fn new(speeds: Vec<f64>) -> Self {
+        assert!(!speeds.is_empty(), "need at least one processor");
+        assert!(
+            speeds.iter().all(|&s| s > 0.0 && s.is_finite()),
+            "speeds must be positive"
+        );
+        Self { speeds }
+    }
+
+    /// A Décrypthon-like federation: six university sites of mixed
+    /// generations (total ≈ 475 processors, mean speed below the
+    /// Grid'5000 reference because some clusters are older).
+    pub fn decrypthon() -> Self {
+        let mut speeds = Vec::new();
+        for &(count, speed) in &[
+            (120, 1.0_f64), // a recent Opteron cluster
+            (96, 0.85),
+            (80, 0.7),
+            (75, 1.1),
+            (64, 0.6),
+            (40, 0.5), // the oldest site
+        ] {
+            speeds.extend(std::iter::repeat_n(speed, count));
+        }
+        Self::new(speeds)
+    }
+
+    /// Aggregate compute rate in reference-processor equivalents.
+    pub fn reference_equivalents(&self) -> f64 {
+        self.speeds.iter().sum()
+    }
+
+    /// Makespan of a job list under speed-aware LPT: longest job first to
+    /// the machine that would finish it earliest.
+    pub fn lpt_makespan(&self, jobs_ref_seconds: &[f64]) -> f64 {
+        let mut sorted: Vec<f64> = jobs_ref_seconds.to_vec();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+        let mut finish = vec![0.0f64; self.speeds.len()];
+        for job in sorted {
+            // Pick the processor with the earliest completion for this job.
+            let (idx, _) = finish
+                .iter()
+                .zip(&self.speeds)
+                .map(|(&f, &s)| f + job / s)
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite"))
+                .expect("non-empty");
+            finish[idx] += job / self.speeds[idx];
+        }
+        finish.into_iter().fold(0.0, f64::max)
+    }
+
+    /// Schedules a packaged campaign; the total CPU is reported in
+    /// reference seconds (machine-seconds differ per site).
+    pub fn run_campaign(&self, pkg: &CampaignPackage<'_>) -> DedicatedRun {
+        let mut jobs = Vec::new();
+        pkg.for_each_workunit(|wu| jobs.push(wu.estimated_seconds(pkg.matrix())));
+        let makespan_seconds = self.lpt_makespan(&jobs);
+        let total: f64 = jobs.iter().sum();
+        DedicatedRun {
+            processors: self.speeds.len(),
+            total_cpu: Ydhms::from_seconds_f64(total),
+            makespan_seconds,
+            utilization: total / (self.reference_equivalents() * makespan_seconds),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{CostModel, LibraryConfig, ProteinLibrary};
+    use timemodel::CostMatrix;
+
+    fn pkg_fixture() -> (ProteinLibrary, CostMatrix) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 3);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.1));
+        (lib, m)
+    }
+
+    #[test]
+    fn utilization_is_high_for_many_small_jobs() {
+        let (lib, m) = pkg_fixture();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let run = DedicatedGrid::new(8).run_campaign(&pkg);
+        assert!(run.utilization > 0.8, "utilization {}", run.utilization);
+        assert!(run.utilization <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn more_processors_shorter_makespan() {
+        let (lib, m) = pkg_fixture();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let small = DedicatedGrid::new(2).run_campaign(&pkg);
+        let big = DedicatedGrid::new(16).run_campaign(&pkg);
+        assert!(big.makespan_seconds < small.makespan_seconds);
+        // Total CPU is identical: a dedicated grid wastes nothing.
+        assert_eq!(big.total_cpu, small.total_cpu);
+    }
+
+    #[test]
+    fn deadline_arithmetic_matches_the_paper() {
+        // Table 3: phase II = 1,444,998,719,637 s in 40 weeks needs
+        // 59,730 processors.
+        let p = DedicatedGrid::processors_for_deadline(
+            1_444_998_719_637.0,
+            40.0 * 7.0 * 86_400.0,
+        );
+        assert!((p - 59_730.0).abs() < 100.0, "p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        DedicatedGrid::new(0);
+    }
+
+    #[test]
+    fn heterogeneous_lpt_prefers_fast_processors() {
+        // One fast and one slow machine, one job: it must go to the fast
+        // one.
+        let grid = HeterogeneousGrid::new(vec![2.0, 0.5]);
+        assert_eq!(grid.lpt_makespan(&[100.0]), 50.0);
+        // Two equal jobs: the greedy rule stacks BOTH on the 4x-faster
+        // machine (finish 100) rather than sending one to the slow one
+        // (finish 200).
+        assert_eq!(grid.lpt_makespan(&[100.0, 100.0]), 100.0);
+        // Three jobs: two on the fast machine, one on the slow.
+        assert_eq!(grid.lpt_makespan(&[100.0, 100.0, 100.0]), 150.0);
+    }
+
+    #[test]
+    fn heterogeneous_matches_homogeneous_when_speeds_are_one() {
+        let jobs: Vec<f64> = (1..40).map(|i| (i * 13 % 17) as f64 + 1.0).collect();
+        let hetero = HeterogeneousGrid::new(vec![1.0; 8]).lpt_makespan(&jobs);
+        let homo = timemodel::calibration::lpt_makespan(&jobs, 8);
+        // Both are LPT variants; the greedy tie-breaking may differ
+        // slightly, but the makespans must agree within the LPT bound.
+        let lower = jobs.iter().sum::<f64>() / 8.0;
+        assert!(hetero >= lower - 1e-9 && homo >= lower - 1e-9);
+        assert!((hetero - homo).abs() / homo < 0.34);
+    }
+
+    #[test]
+    fn decrypthon_pilot_capacity() {
+        // §2: the 6-protein pilot ran on the Décrypthon grid. A pilot-
+        // sized workload (6², one starting position each at the Table-1
+        // mean) fits in well under a day.
+        let grid = HeterogeneousGrid::decrypthon();
+        assert!(grid.reference_equivalents() > 300.0);
+        let jobs = vec![671.0; 36];
+        assert!(grid.lpt_makespan(&jobs) < 3600.0);
+    }
+
+    #[test]
+    fn heterogeneous_utilization_accounts_for_speed() {
+        // A small mixed grid against a workload with many more jobs than
+        // processors: utilization must be high and ≤ 1.
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 3);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.1));
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let grid = HeterogeneousGrid::new(vec![1.0, 1.0, 0.7, 0.7, 0.5, 1.2, 0.9, 0.6]);
+        let run = grid.run_campaign(&pkg);
+        assert!(
+            run.utilization > 0.5 && run.utilization <= 1.0 + 1e-9,
+            "utilization {}",
+            run.utilization
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "speeds must be positive")]
+    fn nonpositive_speed_rejected() {
+        HeterogeneousGrid::new(vec![1.0, 0.0]);
+    }
+}

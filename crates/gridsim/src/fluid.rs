@@ -1,0 +1,282 @@
+//! A mean-field ("fluid") model of the campaign.
+//!
+//! The discrete-event simulator tracks every replica; this module solves
+//! the same campaign as a deterministic flow: each day the project's host
+//! population delivers its *expected* reference-work throughput, which
+//! drains the launch-ordered per-receptor workload. It costs microseconds
+//! instead of seconds, has no variance, and serves two purposes:
+//!
+//! * a cross-check — the DES and the fluid model must agree on completion
+//!   time and consumed CPU to within the stochastic noise (tested in
+//!   `tests/campaign_e2e.rs` and here);
+//! * full-scale what-if sweeps (phase II sizing, share planning) where
+//!   running the DES for every point would be wasteful.
+
+use crate::host::{AccountingMode, HostParams};
+use crate::membership::MembershipModel;
+use crate::project::ProjectPhases;
+use metrics::DailySeries;
+use serde::Serialize;
+
+/// Expected host-level rates implied by a [`HostParams`] population.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PopulationRates {
+    /// `E[speed]` relative to the reference processor.
+    pub mean_speed: f64,
+    /// `E[effective rate]` = `E[speed]` × throttle × (1 − `E[contention]`).
+    pub mean_effective_rate: f64,
+    /// `E[availability]`.
+    pub mean_availability: f64,
+    /// Accounted seconds per reference second of useful work.
+    pub accounted_per_ref: f64,
+}
+
+impl PopulationRates {
+    /// Derives the expected rates from population parameters.
+    pub fn from_params(params: &HostParams, replay_overhead: f64) -> Self {
+        assert!(replay_overhead >= 1.0, "replay overhead is a multiplier ≥ 1");
+        // Log-normal mean = median · e^{σ²/2}.
+        let mean_speed =
+            params.speed_median * (params.speed_sigma * params.speed_sigma / 2.0).exp();
+        let mean_contention = (params.contention.0 + params.contention.1) / 2.0;
+        let mean_availability = (params.availability.0 + params.availability.1) / 2.0;
+        let mean_effective_rate = mean_speed * params.throttle * (1.0 - mean_contention);
+        // E[1/rate] ≥ 1/E[rate] (Jensen); for the log-normal speed the
+        // correction is e^{σ²}.
+        let inv_rate = (params.speed_sigma * params.speed_sigma).exp()
+            / mean_effective_rate;
+        let accounted_per_ref = match params.accounting {
+            AccountingMode::WallClock => replay_overhead * inv_rate,
+            AccountingMode::CpuTime => {
+                replay_overhead * (params.speed_sigma * params.speed_sigma).exp()
+                    / mean_speed
+            }
+        };
+        Self {
+            mean_speed,
+            mean_effective_rate,
+            mean_availability,
+            accounted_per_ref,
+        }
+    }
+}
+
+/// The fluid campaign model.
+#[derive(Debug, Clone)]
+pub struct FluidModel {
+    /// Host population.
+    pub host_params: HostParams,
+    /// Grid membership curve.
+    pub membership: MembershipModel,
+    /// Project share phases.
+    pub phases: ProjectPhases,
+    /// Campaign start in the membership timeline.
+    pub membership_start_day: usize,
+    /// Redundancy factor (results computed per useful result).
+    pub redundancy_factor: f64,
+    /// Checkpoint-replay overhead multiplier (≥ 1).
+    pub replay_overhead: f64,
+    /// Delivery efficiency in (0, 1]: the fraction of nominal host-time
+    /// that reaches the workload. Covers what the mean-field view cannot
+    /// see — work-fetch idleness, churn, abandoned replicas, and the
+    /// straggler tail the DES resolves replica by replica.
+    pub efficiency: f64,
+    /// Hard stop, days.
+    pub max_days: usize,
+}
+
+/// Output of a fluid run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct FluidTrace {
+    /// Useful reference work completed per day, seconds.
+    pub done_ref_daily: DailySeries,
+    /// Accounted CPU seconds per day (what run-time statistics see).
+    pub accounted_daily: DailySeries,
+    /// Day the workload drained, if within the horizon.
+    pub completion_day: Option<usize>,
+    /// Reference total of the workload, seconds.
+    pub reference_total_seconds: f64,
+}
+
+impl FluidModel {
+    /// The HCMD phase-I configuration (full scale).
+    pub fn hcmd_phase1() -> Self {
+        Self {
+            host_params: HostParams::wcg_2007(),
+            membership: MembershipModel::wcg(),
+            phases: ProjectPhases::hcmd_phase1(),
+            membership_start_day: crate::membership::HCMD_LAUNCH_DAY,
+            redundancy_factor: 1.37,
+            replay_overhead: 1.05,
+            efficiency: 0.83,
+            max_days: 3 * 365,
+        }
+    }
+
+    /// Reference-work throughput of the project on a campaign day,
+    /// seconds of useful reference work per day.
+    pub fn daily_throughput(&self, day: usize) -> f64 {
+        let rates = PopulationRates::from_params(&self.host_params, self.replay_overhead);
+        let devices = self
+            .membership
+            .device_count(self.membership_start_day + day) as f64;
+        let hosts = devices * self.phases.share(day);
+        // Each host computes `availability` of the day at its effective
+        // rate; redundancy and replay divide the useful output.
+        hosts * rates.mean_availability * rates.mean_effective_rate * 86_400.0
+            * self.efficiency
+            / (self.redundancy_factor * self.replay_overhead)
+    }
+
+    /// Drains `reference_total_seconds` of workload through the daily
+    /// throughput curve.
+    pub fn run(&self, reference_total_seconds: f64) -> FluidTrace {
+        assert!(reference_total_seconds > 0.0, "workload must be positive");
+        let rates = PopulationRates::from_params(&self.host_params, self.replay_overhead);
+        let mut done_ref_daily = DailySeries::new();
+        let mut accounted_daily = DailySeries::new();
+        let mut remaining = reference_total_seconds;
+        let mut completion_day = None;
+        for day in 0..self.max_days {
+            let throughput = self.daily_throughput(day);
+            let done = throughput.min(remaining);
+            remaining -= done;
+            done_ref_daily.add(day, done);
+            // Accounted run time covers the redundant copies too.
+            accounted_daily.add(
+                day,
+                done * self.redundancy_factor * rates.accounted_per_ref,
+            );
+            if remaining <= 0.0 {
+                completion_day = Some(day);
+                break;
+            }
+        }
+        FluidTrace {
+            done_ref_daily,
+            accounted_daily,
+            completion_day,
+            reference_total_seconds,
+        }
+    }
+}
+
+impl FluidTrace {
+    /// Total accounted CPU seconds.
+    pub fn consumed_cpu_seconds(&self) -> f64 {
+        self.accounted_daily.total()
+    }
+
+    /// Mean project VFTP over the campaign.
+    pub fn mean_project_vftp(&self) -> f64 {
+        let days = self
+            .completion_day
+            .map(|d| d + 1)
+            .unwrap_or_else(|| self.accounted_daily.len());
+        if days == 0 {
+            return 0.0;
+        }
+        self.accounted_daily.total() / (days as f64 * 86_400.0)
+    }
+
+    /// The emergent raw speed-down (consumed / reference).
+    pub fn raw_speed_down(&self) -> f64 {
+        self.consumed_cpu_seconds() / self.reference_total_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The phase-I reference workload in seconds (paper formula (1) value,
+    /// close to our catalog's 1,508 years).
+    const PHASE1_REF: f64 = 1508.0 * 365.0 * 86_400.0;
+
+    #[test]
+    fn fluid_phase1_reproduces_the_campaign_scale() {
+        let model = FluidModel::hcmd_phase1();
+        let trace = model.run(PHASE1_REF);
+        let day = trace.completion_day.expect("drains");
+        assert!(
+            (150..=230).contains(&day),
+            "fluid completion day {day} (paper 182)"
+        );
+        // Raw speed-down near the paper's 5.43.
+        let sd = trace.raw_speed_down();
+        assert!((sd - 5.43).abs() < 1.0, "fluid raw speed-down {sd}");
+        // Mean project VFTP near 16,450.
+        let vftp = trace.mean_project_vftp();
+        assert!(
+            (vftp - 16_450.0).abs() / 16_450.0 < 0.25,
+            "fluid mean VFTP {vftp}"
+        );
+    }
+
+    #[test]
+    fn fluid_agrees_with_the_discrete_event_simulator() {
+        // Cross-check at 1/50 scale: the two independent models of the
+        // same campaign must agree on completion and consumption.
+        let scale = 50u32;
+        let full = maxdo::ProteinLibrary::phase1_catalog();
+        let matrix = timemodel::CostMatrix::phase1(&full);
+        let lib = full.with_scaled_nsep(scale);
+        let pkg =
+            workunit::CampaignPackage::new(&lib, &matrix, workunit::PRODUCTION_WU_SECONDS);
+        let des = crate::VolunteerGridSim::new(
+            &pkg,
+            crate::VolunteerGridConfig::hcmd_phase1(scale, 2007),
+        )
+        .run();
+
+        let mut model = FluidModel::hcmd_phase1();
+        model.redundancy_factor = des.redundancy_factor();
+        // The fluid model has no scale: feed it the scaled workload and
+        // divide its throughput by the scale via the membership share...
+        // simpler: compare at full-scale units.
+        let fluid = model.run(des.reference_total_seconds * scale as f64);
+
+        let des_day = des.completion_day.expect("DES completes") as f64;
+        let fluid_day = fluid.completion_day.expect("fluid completes") as f64;
+        assert!(
+            (des_day - fluid_day).abs() / des_day < 0.20,
+            "completion disagreement: DES {des_day} vs fluid {fluid_day}"
+        );
+        let des_consumed = des.consumed_cpu_seconds() * scale as f64;
+        let fluid_consumed = fluid.consumed_cpu_seconds();
+        assert!(
+            (des_consumed - fluid_consumed).abs() / des_consumed < 0.20,
+            "consumption disagreement: DES {des_consumed} vs fluid {fluid_consumed}"
+        );
+    }
+
+    #[test]
+    fn throughput_follows_the_share_curve() {
+        let model = FluidModel::hcmd_phase1();
+        // Control period ≪ full power.
+        assert!(model.daily_throughput(30) < model.daily_throughput(120) / 3.0);
+    }
+
+    #[test]
+    fn rates_compose_sanely() {
+        let r = PopulationRates::from_params(&HostParams::wcg_2007(), 1.05);
+        assert!(r.mean_speed > 0.6 && r.mean_speed < 0.7);
+        assert!(r.mean_effective_rate < r.mean_speed);
+        assert!((0.6..0.65).contains(&r.mean_availability));
+        // Accounted per reference second ≈ the net speed-down ~3.9.
+        assert!((r.accounted_per_ref - 3.9).abs() < 0.8, "{}", r.accounted_per_ref);
+    }
+
+    #[test]
+    fn boinc_accounting_bills_less() {
+        let ud = PopulationRates::from_params(&HostParams::wcg_2007(), 1.05);
+        let boinc = PopulationRates::from_params(&HostParams::wcg_boinc(), 1.05);
+        assert!(boinc.accounted_per_ref < ud.accounted_per_ref / 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "workload must be positive")]
+    fn zero_workload_rejected() {
+        FluidModel::hcmd_phase1().run(0.0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Volunteer host model.
+//!
+//! §6 attributes the observed 3.96× speed-down to five causes, all of which
+//! live here:
+//!
+//! 1. **Wall-clock accounting under the 60 % throttle** — "World Community
+//!    Grid has set the work for the UD agent to run at most at 60% of cpu
+//!    time ... a workunit for 8 hours of wall clock time will at most only
+//!    actually process work for 4.8 hours";
+//! 2. **Lowest-priority contention** — "any other use of the computer's
+//!    processor will further reduce the actual amount of time that the
+//!    research runs" (the screensaver's own rendering cost is folded into
+//!    this term);
+//! 3. **Host slowness** — "the devices on World Community Grid are slower
+//!    (on average) than an Opteron 2 GHz";
+//! 4. **Checkpoint replay** — interrupted workunits restart from the last
+//!    between-positions checkpoint (§4.3);
+//! 5. **Non-dedication / availability** — volunteers turn machines off,
+//!    which stretches wall-clock turnaround (and triggers server deadlines).
+//!
+//! A host *plans* the execution of a workunit analytically: given the
+//! workunit's reference CPU seconds it derives the host CPU need, the
+//! attached (agent-running) wall time — which is what the UD agent
+//! *accounts* — and the total turnaround including off time. This keeps the
+//! event count at one completion event per result while modelling every
+//! cause explicitly.
+
+use crate::rng::{exponential, lognormal, stream, uniform, Domain};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a host in the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct HostId(pub u64);
+
+/// How the agent accounts run time — the §8 middleware difference.
+///
+/// Phase I ran only on the Univa UD agent, which "measures wall clock
+/// time rather than actual process execution time"; phase II will run on
+/// the BOINC agent, which "measures run time more accurately". The
+/// accounting mode changes what the statistics (and therefore the VFTP
+/// paradigm) see, not what the host computes — exactly the distinction
+/// the paper flags as future work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccountingMode {
+    /// Univa UD: bill the attached wall-clock time (throttle, contention
+    /// and replay all inflate the bill).
+    WallClock,
+    /// BOINC: bill actual process CPU time on the host (replay still
+    /// bills — the cycles were really spent — but idle throttle slices
+    /// and the owner's stolen cycles do not).
+    CpuTime,
+}
+
+/// Distribution parameters from which hosts are sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostParams {
+    /// Median speed relative to the reference Opteron 2 GHz.
+    pub speed_median: f64,
+    /// σ of `ln`(speed).
+    pub speed_sigma: f64,
+    /// Agent CPU throttle (UD default 0.6; BOINC agents run unthrottled).
+    pub throttle: f64,
+    /// Range of the owner-contention fraction (cycles lost to the owner's
+    /// own work plus screensaver overhead while attached).
+    pub contention: (f64, f64),
+    /// Range of the availability fraction (machine on and agent allowed).
+    pub availability: (f64, f64),
+    /// Mean attached time between interruptions, seconds.
+    pub mean_session_seconds: f64,
+    /// Probability a completed result is erroneous (fails validation).
+    pub error_rate: f64,
+    /// Probability an issued workunit is silently abandoned (never
+    /// reported — host left, agent uninstalled, ...).
+    pub abandon_rate: f64,
+    /// Mean host lifetime on the grid, days (churn).
+    pub lifetime_mean_days: f64,
+    /// How the agent accounts run time (§8: UD wall-clock vs BOINC CPU).
+    pub accounting: AccountingMode,
+    /// Relative speed growth of newly joining hosts per year (§5.1: "there
+    /// are always new members that join the grid with brand new machines";
+    /// §8 wants to "observe the trend toward more powerful processors").
+    /// 0.0 keeps the population stationary (the phase-I calibration).
+    pub speed_growth_per_year: f64,
+}
+
+impl HostParams {
+    /// The World Community Grid volunteer population of 2006/2007, tuned so
+    /// the emergent speed-down factor lands at the paper's 3.96 (§6).
+    pub fn wcg_2007() -> Self {
+        Self {
+            speed_median: 0.62,
+            speed_sigma: 0.25,
+            throttle: 0.6,
+            contention: (0.05, 0.35),
+            availability: (0.35, 0.90),
+            mean_session_seconds: 8.0 * 3600.0,
+            error_rate: 0.02,
+            abandon_rate: 0.04,
+            lifetime_mean_days: 150.0,
+            accounting: AccountingMode::WallClock,
+            speed_growth_per_year: 0.0,
+        }
+    }
+
+    /// The phase-II population sketched in §8: same volunteers, but the
+    /// BOINC agent — unthrottled and accounting actual CPU time.
+    pub fn wcg_boinc() -> Self {
+        Self {
+            throttle: 1.0,
+            accounting: AccountingMode::CpuTime,
+            ..Self::wcg_2007()
+        }
+    }
+
+    /// A dedicated reference processor (Grid'5000 node): full speed, no
+    /// throttle, no contention, always on, no churn, no errors.
+    pub fn dedicated_reference() -> Self {
+        Self {
+            speed_median: 1.0,
+            speed_sigma: 0.0,
+            throttle: 1.0,
+            contention: (0.0, 0.0),
+            availability: (1.0, 1.0),
+            mean_session_seconds: f64::INFINITY,
+            error_rate: 0.0,
+            abandon_rate: 0.0,
+            lifetime_mean_days: f64::INFINITY,
+            accounting: AccountingMode::CpuTime,
+            speed_growth_per_year: 0.0,
+        }
+    }
+}
+
+/// One volunteer device.
+#[derive(Debug, Clone)]
+pub struct Host {
+    /// Identifier.
+    pub id: HostId,
+    /// Speed relative to the reference processor.
+    pub speed: f64,
+    /// Agent throttle.
+    pub throttle: f64,
+    /// Owner-contention fraction.
+    pub contention: f64,
+    /// Availability fraction.
+    pub availability: f64,
+    /// Mean attached seconds between interruptions.
+    pub mean_session_seconds: f64,
+    /// Result error probability.
+    pub error_rate: f64,
+    /// Workunit abandon probability.
+    pub abandon_rate: f64,
+    /// Lifetime on the grid, seconds.
+    pub lifetime_seconds: f64,
+    /// Run-time accounting mode of the agent.
+    pub accounting: AccountingMode,
+    exec_rng: ChaCha8Rng,
+}
+
+/// The planned execution of one workunit replica on one host.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkunitExecution {
+    /// Wall-clock turnaround from issue to report, seconds (includes host
+    /// off time).
+    pub turnaround_seconds: f64,
+    /// Attached wall time — what the UD agent *accounts* as run time.
+    pub accounted_seconds: f64,
+    /// Real CPU seconds spent on the host (including replayed positions).
+    pub cpu_seconds: f64,
+    /// Whether the returned result is erroneous.
+    pub error: bool,
+    /// Whether the replica is silently abandoned (never reported).
+    pub abandoned: bool,
+}
+
+impl Host {
+    /// Samples a host joining on a given campaign day: like
+    /// [`Host::sample`] but with the speed trend applied (newer machines
+    /// are faster when `speed_growth_per_year > 0`).
+    pub fn sample_at_day(id: HostId, params: &HostParams, seed: u64, join_day: usize) -> Host {
+        let mut host = Self::sample(id, params, seed);
+        if params.speed_growth_per_year != 0.0 {
+            let years = join_day as f64 / 365.0;
+            host.speed *= (1.0 + params.speed_growth_per_year).powf(years);
+        }
+        host
+    }
+
+    /// Samples a host from the population parameters. Deterministic in
+    /// `(seed, id)`.
+    pub fn sample(id: HostId, params: &HostParams, seed: u64) -> Host {
+        let mut prof = stream(seed, Domain::HostProfile, id.0);
+        let speed = if params.speed_sigma > 0.0 {
+            lognormal(&mut prof, params.speed_median, params.speed_sigma)
+        } else {
+            params.speed_median
+        }
+        .max(0.05);
+        let contention = uniform(&mut prof, params.contention.0, params.contention.1);
+        let availability =
+            uniform(&mut prof, params.availability.0, params.availability.1).clamp(0.01, 1.0);
+        let lifetime_seconds = if params.lifetime_mean_days.is_finite() {
+            exponential(&mut prof, params.lifetime_mean_days * 86_400.0)
+                .max(7.0 * 86_400.0)
+        } else {
+            f64::INFINITY
+        };
+        Host {
+            id,
+            speed,
+            throttle: params.throttle,
+            contention,
+            availability,
+            mean_session_seconds: params.mean_session_seconds,
+            error_rate: params.error_rate,
+            abandon_rate: params.abandon_rate,
+            lifetime_seconds,
+            accounting: params.accounting,
+            exec_rng: stream(seed, Domain::HostExecution, id.0),
+        }
+    }
+
+    /// Effective compute rate (reference-CPU seconds of progress per
+    /// attached wall second): `speed × throttle × (1 − contention)`.
+    pub fn effective_rate(&self) -> f64 {
+        self.speed * self.throttle * (1.0 - self.contention)
+    }
+
+    /// Plans the execution of a workunit of `ref_cpu_seconds` reference
+    /// CPU seconds whose checkpoint granularity is one starting position
+    /// of `position_ref_seconds`.
+    pub fn plan_execution(
+        &mut self,
+        ref_cpu_seconds: f64,
+        position_ref_seconds: f64,
+    ) -> WorkunitExecution {
+        assert!(ref_cpu_seconds > 0.0, "workunit must contain work");
+        assert!(
+            position_ref_seconds > 0.0 && position_ref_seconds <= ref_cpu_seconds + 1e-9,
+            "position cost must be positive and at most the workunit cost"
+        );
+        // Reference seconds per attached wall second.
+        let rate = self.effective_rate();
+        let base_attached = ref_cpu_seconds / rate;
+        // Interruptions arrive once per mean session of attached time. Each
+        // one loses the progress made since the last checkpoint — at most
+        // one starting position (§4.3), and never more than the work done
+        // in the interrupted session itself.
+        let mut replay_ref = 0.0;
+        if self.mean_session_seconds.is_finite() {
+            let expected = base_attached / self.mean_session_seconds;
+            let n = sample_poisson(&mut self.exec_rng, expected);
+            let max_loss = position_ref_seconds.min(self.mean_session_seconds * rate);
+            for _ in 0..n {
+                replay_ref += self.exec_rng.gen::<f64>() * max_loss;
+            }
+            // The checkpoint scheme bounds total replay by the workunit.
+            replay_ref = replay_ref.min(ref_cpu_seconds);
+        }
+        let attached = (ref_cpu_seconds + replay_ref) / rate;
+        let turnaround = attached / self.availability;
+        let cpu_seconds = (ref_cpu_seconds + replay_ref) / self.speed;
+        let error = self.exec_rng.gen::<f64>() < self.error_rate;
+        let abandoned = self.exec_rng.gen::<f64>() < self.abandon_rate;
+        WorkunitExecution {
+            turnaround_seconds: turnaround,
+            accounted_seconds: match self.accounting {
+                AccountingMode::WallClock => attached,
+                AccountingMode::CpuTime => cpu_seconds,
+            },
+            cpu_seconds,
+            error,
+            abandoned,
+        }
+    }
+
+    /// Delay before an idle host asks the server for new work, seconds.
+    pub fn work_fetch_delay(&mut self) -> f64 {
+        // Agents poll within minutes of going idle.
+        uniform(&mut self.exec_rng, 30.0, 600.0)
+    }
+}
+
+/// Small-λ Poisson sampler (Knuth); λ is a handful at most here.
+fn sample_poisson(rng: &mut ChaCha8Rng, lambda: f64) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l || k > 10_000 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wcg_host(id: u64) -> Host {
+        Host::sample(HostId(id), &HostParams::wcg_2007(), 99)
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let a = wcg_host(5);
+        let b = wcg_host(5);
+        assert_eq!(a.speed, b.speed);
+        assert_eq!(a.availability, b.availability);
+    }
+
+    #[test]
+    fn hosts_differ() {
+        assert_ne!(wcg_host(1).speed, wcg_host(2).speed);
+    }
+
+    #[test]
+    fn dedicated_host_accounts_exactly_the_reference_time() {
+        let mut h = Host::sample(HostId(0), &HostParams::dedicated_reference(), 1);
+        let exec = h.plan_execution(10_000.0, 500.0);
+        assert!((exec.accounted_seconds - 10_000.0).abs() < 1e-9);
+        assert!((exec.turnaround_seconds - 10_000.0).abs() < 1e-9);
+        assert!((exec.cpu_seconds - 10_000.0).abs() < 1e-9);
+        assert!(!exec.error);
+        assert!(!exec.abandoned);
+    }
+
+    #[test]
+    fn volunteer_accounts_more_than_the_reference_time() {
+        // Any WCG host accounts strictly more than the reference seconds:
+        // it is slower, throttled and contended.
+        for id in 0..20 {
+            let mut h = wcg_host(id);
+            let exec = h.plan_execution(14_400.0, 400.0);
+            assert!(
+                exec.accounted_seconds > 14_400.0,
+                "host {id} accounted {} < ref",
+                exec.accounted_seconds
+            );
+            assert!(exec.turnaround_seconds >= exec.accounted_seconds);
+            assert!(exec.cpu_seconds >= 14_400.0 / h.speed - 1e-9);
+        }
+    }
+
+    #[test]
+    fn population_speed_down_is_near_3_96() {
+        // The emergent mean accounted/reference ratio over the host
+        // population is the paper's net speed-down factor (§6).
+        let params = HostParams::wcg_2007();
+        let mut total_accounted = 0.0;
+        let n = 600;
+        for id in 0..n {
+            let mut h = Host::sample(HostId(id), &params, 7);
+            let exec = h.plan_execution(14_400.0, 400.0);
+            total_accounted += exec.accounted_seconds;
+        }
+        let factor = total_accounted / (n as f64 * 14_400.0);
+        assert!(
+            (factor - 3.96).abs() < 0.5,
+            "population speed-down {factor} too far from 3.96"
+        );
+    }
+
+    #[test]
+    fn replay_increases_with_interruption_frequency() {
+        // A host with very short sessions replays more work.
+        let mut long_sessions = wcg_host(3);
+        long_sessions.mean_session_seconds = f64::INFINITY;
+        let base = long_sessions.plan_execution(36_000.0, 2_000.0);
+        let mut short_sessions = wcg_host(3);
+        short_sessions.mean_session_seconds = 600.0;
+        let mut acc = 0.0;
+        for _ in 0..20 {
+            acc += short_sessions.plan_execution(36_000.0, 2_000.0).cpu_seconds;
+        }
+        assert!(
+            acc / 20.0 > base.cpu_seconds,
+            "frequent interruptions should replay work"
+        );
+    }
+
+    #[test]
+    fn effective_rate_composition() {
+        let mut h = wcg_host(4);
+        h.speed = 0.5;
+        h.throttle = 0.6;
+        h.contention = 0.2;
+        assert!((h.effective_rate() - 0.5 * 0.6 * 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poisson_zero_lambda() {
+        let mut rng = stream(1, Domain::Server, 0);
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = stream(1, Domain::Server, 1);
+        let n = 3000;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, 2.5) as u64).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.5).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn work_fetch_delay_is_bounded() {
+        let mut h = wcg_host(9);
+        for _ in 0..50 {
+            let d = h.work_fetch_delay();
+            assert!((30.0..600.0).contains(&d));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must contain work")]
+    fn zero_work_rejected() {
+        wcg_host(0).plan_execution(0.0, 1.0);
+    }
+}

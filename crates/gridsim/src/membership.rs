@@ -1,0 +1,291 @@
+//! World Community Grid membership: growth and seasonality.
+//!
+//! Figure 1 of the paper plots the number of *virtual full-time processors*
+//! of the whole grid since its launch (November 16, 2004), and observes:
+//! "the number of virtual full-time processors globally increases. The
+//! curve is not regular, during the week-end there are less processors
+//! than during the week. There are some periods where the number of
+//! processors went down; Christmas holiday of 2005 and 2006 and summer
+//! time of 2006."
+//!
+//! [`MembershipModel`] is that curve: a smooth growth baseline (volunteers
+//! keep joining; new devices are faster) modulated by a weekly pattern and
+//! by holiday dips. It drives both the Figure 1 reproduction and the host
+//! population of the campaign simulator.
+
+use serde::{Deserialize, Serialize};
+
+/// Day index (from grid launch) of the HCMD phase-I launch,
+/// December 19, 2006.
+pub const HCMD_LAUNCH_DAY: usize = 763;
+
+/// Duration of the HCMD phase-I campaign: 26 weeks (§1, §8).
+pub const HCMD_CAMPAIGN_DAYS: usize = 26 * 7;
+
+/// A calendar dip: `[start_day, end_day)` with a multiplicative factor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HolidayDip {
+    /// First day of the dip (days since grid launch).
+    pub start_day: usize,
+    /// One past the last day of the dip.
+    pub end_day: usize,
+    /// Multiplicative participation factor during the dip (< 1).
+    pub factor: f64,
+}
+
+/// Weekly and holiday modulation of grid participation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeasonalityModel {
+    /// Participation factor on Saturdays and Sundays.
+    pub weekend_factor: f64,
+    /// Day-of-week of day 0. November 16, 2004 was a Tuesday (= 1 with
+    /// Monday = 0).
+    pub day_zero_weekday: usize,
+    /// Holiday dips.
+    pub holidays: Vec<HolidayDip>,
+}
+
+impl SeasonalityModel {
+    /// The WCG calendar as described under Figure 1: weekend dips plus
+    /// Christmas 2004/2005/2006 and summer 2006.
+    pub fn wcg() -> Self {
+        // Day 0 = 2004-11-16. Christmas windows ≈ Dec 23 – Jan 2.
+        Self {
+            weekend_factor: 0.90,
+            day_zero_weekday: 1, // Tuesday
+            holidays: vec![
+                HolidayDip { start_day: 37, end_day: 48, factor: 0.85 },   // Christmas 2004
+                HolidayDip { start_day: 402, end_day: 413, factor: 0.80 }, // Christmas 2005
+                HolidayDip { start_day: 592, end_day: 654, factor: 0.90 }, // summer 2006
+                HolidayDip { start_day: 767, end_day: 778, factor: 0.80 }, // Christmas 2006
+            ],
+        }
+    }
+
+    /// No modulation at all (for dedicated grids and unit tests).
+    pub fn flat() -> Self {
+        Self {
+            weekend_factor: 1.0,
+            day_zero_weekday: 0,
+            holidays: Vec::new(),
+        }
+    }
+
+    /// The participation factor for a day index.
+    pub fn factor(&self, day: usize) -> f64 {
+        let weekday = (day + self.day_zero_weekday) % 7;
+        let mut f = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        for h in &self.holidays {
+            if (h.start_day..h.end_day).contains(&day) {
+                f *= h.factor;
+            }
+        }
+        f
+    }
+}
+
+/// Devices per registered member — §3.1 reports 344,000 members and
+/// 836,000 declared devices ("You can subscribe several devices with the
+/// same member profile"), i.e. ≈ 2.43 devices per member.
+pub const DEVICES_PER_MEMBER: f64 = 836_000.0 / 344_000.0;
+
+/// Fraction of declared devices actually active (registered ≠ computing:
+/// the 836,000 declared devices correspond to far fewer active ones; this
+/// factor converts between the §3.1 registration statistics and the
+/// active population the VFTP curve implies).
+pub const ACTIVE_DEVICE_FRACTION: f64 = 0.17;
+
+/// The grid-wide participation model: baseline growth × seasonality.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MembershipModel {
+    /// VFTP of the baseline at `reference_day`.
+    pub reference_vftp: f64,
+    /// Day at which the baseline reaches `reference_vftp`.
+    pub reference_day: usize,
+    /// Growth exponent: baseline ∝ `(day / reference_day)^exponent`.
+    pub growth_exponent: f64,
+    /// Seasonal modulation.
+    pub seasonality: SeasonalityModel,
+    /// Mean accounted fraction of a host's day, used to convert VFTP to a
+    /// device count: a host with availability `a` accounts ≈ `a` days of
+    /// run time per day, discounted a further ~10 % for work-fetch
+    /// idleness, churn and abandoned workunits.
+    pub mean_accounted_fraction: f64,
+}
+
+impl MembershipModel {
+    /// The WCG curve calibrated to the paper's anchors: ≈ 54,947 VFTP on
+    /// average over the HCMD campaign window and ≈ 74,825 VFTP in the week
+    /// the paper was written (≈ day 1090).
+    pub fn wcg() -> Self {
+        Self {
+            reference_vftp: 74_825.0,
+            reference_day: 1090,
+            growth_exponent: 1.24,
+            seasonality: SeasonalityModel::wcg(),
+            mean_accounted_fraction: 0.50,
+        }
+    }
+
+    /// Baseline (deseasonalised) VFTP at a day index.
+    pub fn base_vftp(&self, day: usize) -> f64 {
+        if day == 0 {
+            return 0.0;
+        }
+        self.reference_vftp * (day as f64 / self.reference_day as f64).powf(self.growth_exponent)
+    }
+
+    /// Seasonalised VFTP at a day index — one point of Figure 1.
+    pub fn vftp(&self, day: usize) -> f64 {
+        self.base_vftp(day) * self.seasonality.factor(day)
+    }
+
+    /// The Figure 1 series: VFTP for each day in `[0, days)`.
+    pub fn vftp_series(&self, days: usize) -> Vec<f64> {
+        (0..days).map(|d| self.vftp(d)).collect()
+    }
+
+    /// CPU time generated by the whole grid on one day, in CPU *years per
+    /// day* (the unit the WCG statistics page publishes).
+    pub fn cpu_years_per_day(&self, day: usize) -> f64 {
+        self.vftp(day) * 86_400.0 / metrics::SECONDS_PER_YEAR
+    }
+
+    /// Number of active devices implied by the VFTP level.
+    pub fn device_count(&self, day: usize) -> usize {
+        (self.vftp(day) / self.mean_accounted_fraction).round() as usize
+    }
+
+    /// Registered members implied by the active device count — inverts
+    /// the §3.1 registration statistics (declared devices per member and
+    /// the active fraction of declared devices).
+    pub fn member_count(&self, day: usize) -> usize {
+        (self.device_count(day) as f64 / ACTIVE_DEVICE_FRACTION / DEVICES_PER_MEMBER).round()
+            as usize
+    }
+
+    /// Mean VFTP over a day window.
+    pub fn mean_vftp(&self, from_day: usize, to_day: usize) -> f64 {
+        assert!(to_day > from_day, "empty window");
+        (from_day..to_day).map(|d| self.vftp(d)).sum::<f64>() / (to_day - from_day) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_is_monotone_on_the_baseline() {
+        let m = MembershipModel::wcg();
+        let mut prev = -1.0;
+        for day in (0..1100).step_by(50) {
+            let v = m.base_vftp(day);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn reference_anchor_holds() {
+        let m = MembershipModel::wcg();
+        assert!((m.base_vftp(1090) - 74_825.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn campaign_window_average_matches_the_paper() {
+        // §5.1: "The average number of processors available is 54,947."
+        let m = MembershipModel::wcg();
+        let avg = m.mean_vftp(HCMD_LAUNCH_DAY, HCMD_LAUNCH_DAY + HCMD_CAMPAIGN_DAYS);
+        assert!(
+            (avg - 54_947.0).abs() / 54_947.0 < 0.06,
+            "campaign-window mean VFTP {avg}"
+        );
+    }
+
+    #[test]
+    fn weekends_dip() {
+        let s = SeasonalityModel::wcg();
+        // Day 0 is Tuesday; days 4 and 5 are Saturday and Sunday.
+        assert_eq!(s.factor(3), 1.0); // Friday
+        assert!(s.factor(4) < 1.0); // Saturday
+        assert!(s.factor(5) < 1.0); // Sunday
+        assert_eq!(s.factor(6), 1.0); // Monday
+    }
+
+    #[test]
+    fn christmas_2005_dips_below_neighbouring_weeks() {
+        let m = MembershipModel::wcg();
+        let christmas = m.mean_vftp(402, 413);
+        let before = m.mean_vftp(380, 391);
+        let after = m.mean_vftp(420, 431);
+        assert!(christmas < before, "{christmas} !< {before}");
+        assert!(christmas < after, "{christmas} !< {after}");
+    }
+
+    #[test]
+    fn summer_2006_dips() {
+        let s = SeasonalityModel::wcg();
+        assert!(s.factor(600) < 1.0);
+    }
+
+    #[test]
+    fn flat_seasonality_is_identity() {
+        let s = SeasonalityModel::flat();
+        for d in 0..30 {
+            assert_eq!(s.factor(d), 1.0);
+        }
+    }
+
+    #[test]
+    fn device_count_exceeds_vftp() {
+        // Devices are not full-time, so there are more devices than VFTP.
+        let m = MembershipModel::wcg();
+        assert!(m.device_count(800) as f64 > m.vftp(800));
+    }
+
+    #[test]
+    fn cpu_years_per_day_inverts_vftp() {
+        let m = MembershipModel::wcg();
+        let day = 900;
+        let years = m.cpu_years_per_day(day);
+        let v = metrics::vftp::vftp_from_cpu_years_per_day(years);
+        assert!((v - m.vftp(day)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn series_has_requested_length() {
+        let m = MembershipModel::wcg();
+        assert_eq!(m.vftp_series(100).len(), 100);
+        assert_eq!(m.vftp_series(0).len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty window")]
+    fn empty_mean_window_rejected() {
+        MembershipModel::wcg().mean_vftp(5, 5);
+    }
+
+    #[test]
+    fn member_count_matches_the_papers_registration_statistics() {
+        // §3.1 (late 2007, ~day 1090): "more than 344,000 subscribed
+        // members and more than 836,000 declared devices"; §7 equates
+        // ~325,000 members with ~60,000 VFTP. Our inversion must land on
+        // that scale.
+        let m = MembershipModel::wcg();
+        let members = m.member_count(1090);
+        assert!(
+            (250_000..450_000).contains(&members),
+            "members at day 1090: {members}"
+        );
+        // Devices-per-member constant matches §3.1's ratio.
+        assert!((DEVICES_PER_MEMBER - 2.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn members_grow_with_the_grid() {
+        let m = MembershipModel::wcg();
+        assert!(m.member_count(400) < m.member_count(800));
+        assert!(m.member_count(800) < m.member_count(1090));
+    }
+}

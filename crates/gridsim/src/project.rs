@@ -1,0 +1,212 @@
+//! Multi-project scheduling phases.
+//!
+//! World Community Grid hosts several projects at once; the share of the
+//! grid a project receives is an operator decision. §5.1 distinguishes
+//! three periods for HCMD:
+//!
+//! 1. **control period** — the first two months, "just a few processors",
+//!    very low priority, used to detect failures on quick results;
+//! 2. **project prioritization** — during February the share ramped up; at
+//!    the end of February "45 % of World Community Grid's devices
+//!    participated to the HCMD project";
+//! 3. **full power working phase** — four months at a constant ~45 % share
+//!    (the processor count still grows because the grid itself grows).
+
+use serde::Serialize;
+
+/// One piecewise-linear segment of the project-share curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SharePhase {
+    /// First campaign day of the phase (0-based).
+    pub start_day: usize,
+    /// Share at the start of the phase, in `[0, 1]`.
+    pub share_start: f64,
+    /// Share at the end of the phase (linear interpolation in between).
+    pub share_end: f64,
+    /// Length in days.
+    pub days: usize,
+    /// Human-readable name.
+    pub name: &'static str,
+}
+
+/// The share-of-grid curve of one project over a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ProjectPhases {
+    phases: Vec<SharePhase>,
+}
+
+impl ProjectPhases {
+    /// Builds a curve from contiguous phases.
+    ///
+    /// # Panics
+    /// Panics if phases are not contiguous from day 0 or shares leave
+    /// `[0, 1]`.
+    pub fn new(phases: Vec<SharePhase>) -> Self {
+        assert!(!phases.is_empty(), "need at least one phase");
+        let mut expected_start = 0;
+        for p in &phases {
+            assert_eq!(p.start_day, expected_start, "phases must be contiguous");
+            assert!(p.days > 0, "phase must last at least a day");
+            assert!(
+                (0.0..=1.0).contains(&p.share_start) && (0.0..=1.0).contains(&p.share_end),
+                "share out of [0,1]"
+            );
+            expected_start += p.days;
+        }
+        Self { phases }
+    }
+
+    /// The §5.1 HCMD phase-I curve: 9 weeks of control at a low share, a
+    /// 2-week prioritization ramp to 45 %, then full power at 45 % for the
+    /// rest of the campaign.
+    pub fn hcmd_phase1() -> Self {
+        Self::new(vec![
+            SharePhase {
+                start_day: 0,
+                share_start: 0.08,
+                share_end: 0.08,
+                days: 62,
+                name: "control period",
+            },
+            SharePhase {
+                start_day: 62,
+                share_start: 0.08,
+                share_end: 0.45,
+                days: 14,
+                name: "project prioritization",
+            },
+            SharePhase {
+                start_day: 76,
+                share_start: 0.45,
+                share_end: 0.45,
+                days: 182 - 76,
+                name: "full power working phase",
+            },
+        ])
+    }
+
+    /// The project's share of the grid on a campaign day. Days past the
+    /// last phase keep its final share.
+    pub fn share(&self, campaign_day: usize) -> f64 {
+        let last = self.phases.last().expect("non-empty");
+        if campaign_day >= last.start_day + last.days {
+            return last.share_end;
+        }
+        for p in &self.phases {
+            if campaign_day < p.start_day + p.days {
+                let frac = (campaign_day - p.start_day) as f64 / p.days as f64;
+                return p.share_start + (p.share_end - p.share_start) * frac;
+            }
+        }
+        unreachable!("contiguous phases cover every day")
+    }
+
+    /// Name of the phase active on a campaign day.
+    pub fn phase_name(&self, campaign_day: usize) -> &'static str {
+        let last = self.phases.last().expect("non-empty");
+        if campaign_day >= last.start_day + last.days {
+            return last.name;
+        }
+        for p in &self.phases {
+            if campaign_day < p.start_day + p.days {
+                return p.name;
+            }
+        }
+        unreachable!()
+    }
+
+    /// The day range of the phase with the given name, `[start, end)`.
+    pub fn phase_range(&self, name: &str) -> Option<(usize, usize)> {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map(|p| (p.start_day, p.start_day + p.days))
+    }
+
+    /// Total days covered by the declared phases.
+    pub fn declared_days(&self) -> usize {
+        self.phases.iter().map(|p| p.days).sum()
+    }
+
+    /// The phases.
+    pub fn phases(&self) -> &[SharePhase] {
+        &self.phases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcmd_curve_matches_the_papers_narrative() {
+        let p = ProjectPhases::hcmd_phase1();
+        // Control: low share for two months.
+        assert!(p.share(0) < 0.10);
+        assert!(p.share(40) < 0.10);
+        assert_eq!(p.phase_name(40), "control period");
+        // Ramp through February.
+        assert_eq!(p.phase_name(70), "project prioritization");
+        assert!(p.share(70) > p.share(60));
+        // Full power at 45 %.
+        assert!((p.share(100) - 0.45).abs() < 1e-9);
+        assert_eq!(p.phase_name(150), "full power working phase");
+        assert_eq!(p.declared_days(), 182);
+    }
+
+    #[test]
+    fn share_is_monotone_through_the_ramp() {
+        let p = ProjectPhases::hcmd_phase1();
+        for d in 62..76 {
+            assert!(p.share(d + 1) >= p.share(d));
+        }
+    }
+
+    #[test]
+    fn days_past_the_end_keep_the_final_share() {
+        let p = ProjectPhases::hcmd_phase1();
+        assert!((p.share(5000) - 0.45).abs() < 1e-9);
+        assert_eq!(p.phase_name(5000), "full power working phase");
+    }
+
+    #[test]
+    fn phase_range_lookup() {
+        let p = ProjectPhases::hcmd_phase1();
+        assert_eq!(p.phase_range("control period"), Some((0, 62)));
+        assert_eq!(p.phase_range("full power working phase"), Some((76, 182)));
+        assert_eq!(p.phase_range("nonexistent"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn gap_between_phases_rejected() {
+        ProjectPhases::new(vec![
+            SharePhase {
+                start_day: 0,
+                share_start: 0.1,
+                share_end: 0.1,
+                days: 10,
+                name: "a",
+            },
+            SharePhase {
+                start_day: 11,
+                share_start: 0.1,
+                share_end: 0.1,
+                days: 10,
+                name: "b",
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share out of")]
+    fn share_above_one_rejected() {
+        ProjectPhases::new(vec![SharePhase {
+            start_day: 0,
+            share_start: 1.5,
+            share_end: 0.5,
+            days: 10,
+            name: "bad",
+        }]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Deterministic splittable random streams.
+//!
+//! Every stochastic entity of the simulation (each host, the membership
+//! process, the server's error draws, ...) owns an independent ChaCha8
+//! stream derived from `(master seed, domain, entity id)`. Adding or
+//! removing one entity never perturbs the draws of any other, so scaled
+//! and full simulations stay comparable and every figure is reproducible
+//! from one seed — design choice #1 in DESIGN.md.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Well-known stream domains, so call sites don't invent colliding magic
+/// numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Host hardware/behaviour parameters.
+    HostProfile,
+    /// Per-host execution noise (availability sessions, interruptions).
+    HostExecution,
+    /// Membership arrival process.
+    Membership,
+    /// Server-side draws (result errors, redundancy checks).
+    Server,
+    /// Dedicated-grid noise.
+    Dedicated,
+}
+
+impl Domain {
+    fn tag(self) -> u64 {
+        match self {
+            Domain::HostProfile => 0x01,
+            Domain::HostExecution => 0x02,
+            Domain::Membership => 0x03,
+            Domain::Server => 0x04,
+            Domain::Dedicated => 0x05,
+        }
+    }
+}
+
+/// Derives the deterministic stream for `(seed, domain, id)`.
+pub fn stream(seed: u64, domain: Domain, id: u64) -> ChaCha8Rng {
+    let mut state = seed ^ domain.tag().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut key = [0u8; 32];
+    let words = [next() ^ id, next().wrapping_add(id.rotate_left(17)), next(), next()];
+    for (chunk, w) in key.chunks_exact_mut(8).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+/// A standard normal draw (Box–Muller).
+pub fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A log-normal draw with given *median* and σ of the log.
+pub fn lognormal(rng: &mut ChaCha8Rng, median: f64, sigma: f64) -> f64 {
+    median * (sigma * standard_normal(rng)).exp()
+}
+
+/// An exponential draw with the given mean.
+pub fn exponential(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    -mean * rng.gen::<f64>().max(1e-12).ln()
+}
+
+/// A uniform draw in `[lo, hi)`.
+pub fn uniform(rng: &mut ChaCha8Rng, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.gen::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = stream(7, Domain::HostProfile, 3);
+        let mut b = stream(7, Domain::HostProfile, 3);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn streams_differ_across_ids_domains_and_seeds() {
+        let base = stream(7, Domain::HostProfile, 3).next_u64();
+        assert_ne!(base, stream(7, Domain::HostProfile, 4).next_u64());
+        assert_ne!(base, stream(7, Domain::HostExecution, 3).next_u64());
+        assert_ne!(base, stream(8, Domain::HostProfile, 3).next_u64());
+    }
+
+    #[test]
+    fn lognormal_median_is_roughly_right() {
+        let mut rng = stream(1, Domain::Server, 0);
+        let mut v: Vec<f64> = (0..4001).map(|_| lognormal(&mut rng, 10.0, 0.5)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!((median - 10.0).abs() < 1.0, "median {median}");
+        assert!(v.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn exponential_mean_is_roughly_right() {
+        let mut rng = stream(2, Domain::Server, 0);
+        let mean = (0..4000).map(|_| exponential(&mut rng, 5.0)).sum::<f64>() / 4000.0;
+        assert!((mean - 5.0).abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let mut rng = stream(3, Domain::Server, 0);
+        for _ in 0..1000 {
+            let x = uniform(&mut rng, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn normal_is_centered() {
+        let mut rng = stream(4, Domain::Server, 0);
+        let mean = (0..4000).map(|_| standard_normal(&mut rng)).sum::<f64>() / 4000.0;
+        assert!(mean.abs() < 0.08, "mean {mean}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Session-level host execution — the detailed model behind the analytic
+//! one.
+//!
+//! [`crate::host::Host::plan_execution`] computes a workunit's turnaround
+//! *analytically* (one event per result keeps the campaign tractable).
+//! This module simulates the same execution explicitly — alternating
+//! on/off availability sessions, progress at the effective rate while on,
+//! checkpoint replay of the in-flight starting position at every
+//! interruption — and exists to *validate* the analytic shortcut: over a
+//! population, the two must agree on accounted time, CPU time and
+//! turnaround. The cross-validation test at the bottom is the contract.
+
+use crate::host::Host;
+use crate::rng::exponential;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+
+/// Outcome of a session-level execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct SessionExecution {
+    /// Wall-clock turnaround, seconds (on + off time until completion).
+    pub turnaround_seconds: f64,
+    /// Attached (agent-running) wall time, seconds.
+    pub attached_seconds: f64,
+    /// Real CPU seconds spent (including replays).
+    pub cpu_seconds: f64,
+    /// Number of availability sessions used.
+    pub sessions: u32,
+    /// Reference seconds of work replayed after interruptions.
+    pub replayed_ref_seconds: f64,
+}
+
+/// Simulates one workunit of `ref_cpu_seconds` (checkpoint grain
+/// `position_ref_seconds`) on `host`, session by session.
+///
+/// Sessions alternate: an *on* period of exponential mean
+/// `host.mean_session_seconds`, then an *off* period sized so the long-run
+/// on-fraction equals `host.availability`. While on, the workunit
+/// progresses at the host's effective rate; an interruption loses the
+/// progress inside the current starting position (§4.3).
+pub fn execute_with_sessions(
+    host: &Host,
+    ref_cpu_seconds: f64,
+    position_ref_seconds: f64,
+    rng: &mut ChaCha8Rng,
+) -> SessionExecution {
+    assert!(ref_cpu_seconds > 0.0 && position_ref_seconds > 0.0);
+    let rate = host.effective_rate();
+    let mean_on = if host.mean_session_seconds.is_finite() {
+        host.mean_session_seconds
+    } else {
+        // Effectively uninterrupted: one session covers everything.
+        f64::INFINITY
+    };
+    // Off period mean from the availability duty cycle:
+    // a = on / (on + off)  ⇒  off = on (1 − a) / a.
+    let mean_off = if mean_on.is_finite() {
+        mean_on * (1.0 - host.availability) / host.availability.max(1e-6)
+    } else {
+        0.0
+    };
+
+    let mut done_ref = 0.0; // checkpointed work
+    let mut in_position = 0.0; // progress inside the current position
+    let mut wall = 0.0;
+    let mut attached = 0.0;
+    let mut cpu_ref = 0.0; // total reference-work actually computed
+    let mut sessions = 0u32;
+    let mut replayed = 0.0;
+
+    while done_ref + in_position < ref_cpu_seconds - 1e-9 {
+        sessions += 1;
+        let on = if mean_on.is_finite() {
+            exponential(rng, mean_on)
+        } else {
+            f64::INFINITY
+        };
+        // Work available this session, in reference seconds.
+        let session_capacity = if on.is_finite() { on * rate } else { f64::INFINITY };
+        let remaining = ref_cpu_seconds - done_ref - in_position;
+        if session_capacity >= remaining {
+            // Finishes inside this session.
+            let used_on = remaining / rate;
+            wall += used_on;
+            attached += used_on;
+            cpu_ref += remaining;
+            break;
+        }
+        // Session ends first: compute, then get interrupted.
+        wall += on;
+        attached += on;
+        cpu_ref += session_capacity;
+        // Advance whole positions; the partial one is lost (§4.3: "the
+        // MAXDo program has to be relaunched from this position").
+        let mut progressed = in_position + session_capacity;
+        let whole = (progressed / position_ref_seconds).floor() * position_ref_seconds;
+        let completed = whole.min(ref_cpu_seconds - done_ref);
+        done_ref += completed;
+        progressed -= completed;
+        replayed += progressed; // the in-flight fraction recomputes later
+        in_position = 0.0;
+        // Off period.
+        wall += exponential(rng, mean_off);
+        if sessions > 1_000_000 {
+            // Pathological configuration guard (e.g. position ≫ session).
+            break;
+        }
+    }
+
+    SessionExecution {
+        turnaround_seconds: wall,
+        attached_seconds: attached,
+        cpu_seconds: cpu_ref / host.speed,
+        sessions,
+        replayed_ref_seconds: replayed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostId, HostParams};
+    use crate::rng::{stream, Domain};
+
+    fn host(id: u64) -> Host {
+        Host::sample(HostId(id), &HostParams::wcg_2007(), 11)
+    }
+
+    #[test]
+    fn dedicated_host_needs_exactly_one_session() {
+        let h = Host::sample(HostId(0), &HostParams::dedicated_reference(), 1);
+        let mut rng = stream(1, Domain::HostExecution, 99);
+        let e = execute_with_sessions(&h, 10_000.0, 500.0, &mut rng);
+        assert_eq!(e.sessions, 1);
+        assert!((e.attached_seconds - 10_000.0).abs() < 1e-6);
+        assert!((e.cpu_seconds - 10_000.0).abs() < 1e-6);
+        assert_eq!(e.replayed_ref_seconds, 0.0);
+    }
+
+    #[test]
+    fn work_is_conserved() {
+        // cpu × speed = useful work + replayed work, exactly.
+        for id in 0..20 {
+            let h = host(id);
+            let mut rng = stream(2, Domain::HostExecution, id);
+            let e = execute_with_sessions(&h, 20_000.0, 700.0, &mut rng);
+            let computed_ref = e.cpu_seconds * h.speed;
+            assert!(
+                (computed_ref - (20_000.0 + e.replayed_ref_seconds)).abs() < 1e-6,
+                "host {id}: computed {computed_ref} vs 20000 + replay {}",
+                e.replayed_ref_seconds
+            );
+            assert!(e.turnaround_seconds >= e.attached_seconds);
+        }
+    }
+
+    /// The contract: the analytic plan and the session-level simulation
+    /// agree on population means.
+    #[test]
+    fn analytic_plan_matches_session_simulation_on_average() {
+        let n = 300u64;
+        let (mut a_acc, mut s_acc) = (0.0, 0.0); // accounted / attached
+        let (mut a_turn, mut s_turn) = (0.0, 0.0);
+        for id in 0..n {
+            let mut h = host(id);
+            let exec = h.plan_execution(14_400.0, 400.0);
+            a_acc += exec.accounted_seconds;
+            a_turn += exec.turnaround_seconds;
+            let h2 = host(id);
+            let mut rng = stream(3, Domain::HostExecution, id);
+            let sess = execute_with_sessions(&h2, 14_400.0, 400.0, &mut rng);
+            s_acc += sess.attached_seconds;
+            s_turn += sess.turnaround_seconds;
+        }
+        let acc_ratio = a_acc / s_acc;
+        let turn_ratio = a_turn / s_turn;
+        assert!(
+            (0.9..1.1).contains(&acc_ratio),
+            "attached-time disagreement: analytic/session = {acc_ratio}"
+        );
+        assert!(
+            (0.8..1.25).contains(&turn_ratio),
+            "turnaround disagreement: analytic/session = {turn_ratio}"
+        );
+    }
+
+    #[test]
+    fn coarser_checkpoints_replay_more() {
+        let mut fine_total = 0.0;
+        let mut coarse_total = 0.0;
+        for id in 0..40 {
+            let h = host(id);
+            let mut r1 = stream(4, Domain::HostExecution, id);
+            let mut r2 = stream(4, Domain::HostExecution, id);
+            fine_total += execute_with_sessions(&h, 30_000.0, 100.0, &mut r1)
+                .replayed_ref_seconds;
+            coarse_total += execute_with_sessions(&h, 30_000.0, 10_000.0, &mut r2)
+                .replayed_ref_seconds;
+        }
+        assert!(
+            coarse_total > fine_total,
+            "coarse {coarse_total} vs fine {fine_total}"
+        );
+    }
+
+    #[test]
+    fn execution_is_deterministic_given_the_stream() {
+        let h = host(5);
+        let mut r1 = stream(9, Domain::HostExecution, 5);
+        let mut r2 = stream(9, Domain::HostExecution, 5);
+        let a = execute_with_sessions(&h, 9_000.0, 300.0, &mut r1);
+        let b = execute_with_sessions(&h, 9_000.0, 300.0, &mut r2);
+        assert_eq!(a, b);
+    }
+}

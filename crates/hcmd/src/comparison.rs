@@ -1,0 +1,115 @@
+//! Table 2 — equivalence between the volunteer grid and a dedicated grid.
+//!
+//! §6: "Table 2 represents the equivalence between the average number of
+//! virtual full-time processors which were consumed during the HCMD project
+//! and the number of processors which would be necessary on a dedicated
+//! grid such as Grid'5000." The conversion divides the volunteer VFTP by
+//! the measured speed-down factor (16,450 / 5.43 ≈ 3,029;
+//! 26,248 / 5.43 ≈ 4,833), with the paper's caveat that it assumes the
+//! dedicated grid is optimally used.
+
+use serde::Serialize;
+
+/// One row of Table 2.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table2Row {
+    /// Period label.
+    pub period: &'static str,
+    /// Volunteer-grid VFTP over the period.
+    pub wcg_vftp: f64,
+    /// Equivalent dedicated reference processors.
+    pub dedicated: f64,
+}
+
+/// Table 2: whole-period and full-power equivalences.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table2 {
+    /// The speed-down factor used for the conversion.
+    pub speed_down: f64,
+    /// The two periods of the paper's table.
+    pub rows: Vec<Table2Row>,
+}
+
+/// Builds Table 2 from measured VFTP averages and the speed-down factor.
+pub fn table2(whole_period_vftp: f64, full_power_vftp: f64, speed_down: f64) -> Table2 {
+    assert!(speed_down > 0.0, "speed-down must be positive");
+    Table2 {
+        speed_down,
+        rows: vec![
+            Table2Row {
+                period: "whole period",
+                wcg_vftp: whole_period_vftp,
+                dedicated: metrics::vftp::dedicated_equivalent(whole_period_vftp, speed_down),
+            },
+            Table2Row {
+                period: "full power working phase",
+                wcg_vftp: full_power_vftp,
+                dedicated: metrics::vftp::dedicated_equivalent(full_power_vftp, speed_down),
+            },
+        ],
+    }
+}
+
+impl Table2 {
+    /// Renders in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:<26} {:>14} {:>16}\n",
+            "Grid", "whole period", "full power phase"
+        );
+        s.push_str(&format!(
+            "{:<26} {:>14.0} {:>16.0}\n",
+            "World Community Grid", self.rows[0].wcg_vftp, self.rows[1].wcg_vftp
+        ));
+        s.push_str(&format!(
+            "{:<26} {:>14.0} {:>16.0}\n",
+            "Dedicated Grid", self.rows[0].dedicated, self.rows[1].dedicated
+        ));
+        s
+    }
+
+    /// The §6 closing estimate: the whole grid's current dedicated-grid
+    /// equivalent (74,825 VFTP / 3.96 ≈ 18,895 Opterons).
+    pub fn wcg_power_estimate(grid_vftp: f64, net_speed_down: f64) -> f64 {
+        metrics::vftp::dedicated_equivalent(grid_vftp, net_speed_down)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::paper;
+
+    #[test]
+    fn papers_table2_is_reproduced_from_its_inputs() {
+        let t = table2(
+            paper::PROJECT_MEAN_VFTP,
+            paper::PROJECT_FULL_POWER_VFTP,
+            paper::RAW_SPEED_DOWN,
+        );
+        assert!((t.rows[0].dedicated - paper::DEDICATED_WHOLE_PERIOD).abs() < 2.0);
+        assert!((t.rows[1].dedicated - paper::DEDICATED_FULL_POWER).abs() < 2.0);
+    }
+
+    #[test]
+    fn render_has_the_papers_shape() {
+        let t = table2(16_450.0, 26_248.0, 5.43);
+        let text = t.render();
+        assert!(text.contains("World Community Grid"));
+        assert!(text.contains("Dedicated Grid"));
+        assert!(text.contains("16450"));
+        assert!(text.contains("3029") || text.contains("3030"));
+    }
+
+    #[test]
+    fn closing_power_estimate() {
+        let est = Table2::wcg_power_estimate(74_825.0, paper::NET_SPEED_DOWN);
+        assert!((est - 18_895.0).abs() < 10.0, "estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_speed_down_rejected() {
+        table2(1.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Every number the paper publishes, in one place.
+//!
+//! The reproduction targets live here so benches, tests and EXPERIMENTS.md
+//! all compare against the same constants, each tagged with where in the
+//! paper it appears.
+
+/// Published values from the paper, used as reproduction targets.
+pub mod paper {
+    use metrics::Ydhms;
+
+    /// §2.1: proteins in the phase-I target set.
+    pub const PROTEIN_COUNT: usize = 168;
+
+    /// §2.1: orientation couples per starting position (`Nrot`).
+    pub const NROT: u32 = 21;
+
+    /// Footnote 1: actual starting orientations (21 couples × 10 γ).
+    pub const TOTAL_ORIENTATIONS: u32 = 210;
+
+    /// Table 1: mean of the compute-time matrix, seconds.
+    pub const MCT_MEAN: f64 = 671.0;
+    /// Table 1: standard deviation, seconds.
+    pub const MCT_STD_DEV: f64 = 968.04;
+    /// Table 1: minimum, seconds.
+    pub const MCT_MIN: f64 = 6.0;
+    /// Table 1: maximum, seconds.
+    pub const MCT_MAX: f64 = 46_347.0;
+    /// Table 1: median, seconds.
+    pub const MCT_MEDIAN: f64 = 384.0;
+
+    /// §4.1: the Grid'5000 calibration used 640 processors for one day.
+    pub const CALIBRATION_PROCESSORS: usize = 640;
+
+    /// §4.1: the phase-I reference workload, `1,488:237:19:45:54`.
+    pub fn phase1_total() -> Ydhms {
+        Ydhms::new(1488, 237, 19, 45, 54)
+    }
+
+    /// §4.1: potential (minimal) workunits.
+    pub const MINIMAL_WORKUNITS: u64 = 49_481_544;
+
+    /// Figure 4(a): workunits at h = 10 h.
+    pub const WORKUNITS_H10: u64 = 1_364_476;
+    /// Figure 4(b): workunits at h = 4 h.
+    pub const WORKUNITS_H4: u64 = 3_599_937;
+
+    /// §5.1: average VFTP available on the grid during the campaign.
+    pub const GRID_MEAN_VFTP: f64 = 54_947.0;
+    /// §5.1 / Table 2: average VFTP of the project over the whole period.
+    pub const PROJECT_MEAN_VFTP: f64 = 16_450.0;
+    /// §5.1 / Table 2: average VFTP during the full-power phase.
+    pub const PROJECT_FULL_POWER_VFTP: f64 = 26_248.0;
+
+    /// §5.1: results disclosed by World Community Grid.
+    pub const RESULTS_RECEIVED: u64 = 5_418_010;
+    /// §5.1: effective (useful) results.
+    pub const RESULTS_USEFUL: u64 = 3_936_010;
+    /// §5.1: the redundancy factor.
+    pub const REDUNDANCY_FACTOR: f64 = 1.37;
+
+    /// §6: total CPU time consumed, `8,082:275:17:15:44`.
+    pub fn consumed_total() -> Ydhms {
+        Ydhms::new(8082, 275, 17, 15, 44)
+    }
+
+    /// §6: consumed / estimated.
+    pub const RAW_SPEED_DOWN: f64 = 5.43;
+    /// §6: after dividing out redundancy.
+    pub const NET_SPEED_DOWN: f64 = 3.96;
+
+    /// Figure 8: mean packaged workunit duration, `3 h 18 m 47 s`.
+    pub const PACKAGED_MEAN_SECONDS: f64 = 3.0 * 3600.0 + 18.0 * 60.0 + 47.0;
+    /// Figure 8: mean realized duration on volunteers, ≈ 13 h.
+    pub const REALIZED_MEAN_SECONDS: f64 = 13.0 * 3600.0;
+
+    /// §1/§8: campaign length, 26 weeks (2006-12-19 → 2007-06-11).
+    pub const CAMPAIGN_WEEKS: usize = 26;
+
+    /// Table 2: dedicated-grid equivalent of the whole-period VFTP.
+    pub const DEDICATED_WHOLE_PERIOD: f64 = 3_029.0;
+    /// Table 2: dedicated-grid equivalent during full power.
+    pub const DEDICATED_FULL_POWER: f64 = 4_833.0;
+
+    /// §5.2: the phase-I dataset, uncompressed gigabytes.
+    pub const DATASET_GB: f64 = 123.0;
+
+    /// Table 3: phase-I CPU seconds.
+    pub const PHASE1_CPU_SECONDS: f64 = 254_897_774_144.0;
+    /// Table 3: phase-I effective weeks.
+    pub const PHASE1_WEEKS: f64 = 16.0;
+    /// Table 3: phase-I VFTP.
+    pub const PHASE1_VFTP: f64 = 26_341.0;
+    /// Table 3: phase-I members.
+    pub const PHASE1_MEMBERS: f64 = 132_490.0;
+    /// Table 3: phase-II CPU seconds.
+    pub const PHASE2_CPU_SECONDS: f64 = 1_444_998_719_637.0;
+    /// Table 3: phase-II weeks target.
+    pub const PHASE2_WEEKS: f64 = 40.0;
+    /// Table 3: phase-II VFTP needed.
+    pub const PHASE2_VFTP: f64 = 59_730.0;
+    /// Table 3: phase-II members needed.
+    pub const PHASE2_MEMBERS: f64 = 300_430.0;
+
+    /// §7: proteins targeted by phase II.
+    pub const PHASE2_PROTEINS: usize = 4_000;
+    /// §7: docking-point reduction factor expected from evolutionary data.
+    pub const PHASE2_REDUCTION: f64 = 100.0;
+    /// §7: phase-II work relative to phase I (`4000² / (168² · 100)`).
+    pub const PHASE2_WORK_RATIO: f64 = 5.66;
+    /// §7: WCG membership when the paper was written.
+    pub const WCG_MEMBERS: f64 = 325_000.0;
+    /// §7: the VFTP those members correspond to.
+    pub const WCG_MEMBER_VFTP: f64 = 60_000.0;
+    /// §7: share of the grid HCMD would get in phase II (3 other projects).
+    pub const PHASE2_SHARE: f64 = 0.25;
+
+    /// §3.1: registered members at the time of writing.
+    pub const MEMBERS_REGISTERED: u64 = 344_000;
+    /// §3.1: registered devices.
+    pub const DEVICES_REGISTERED: u64 = 836_000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::paper;
+
+    #[test]
+    fn published_totals_are_internally_consistent() {
+        // consumed / estimated = 5.43 (§6).
+        let ratio = paper::consumed_total().total_seconds() as f64
+            / paper::phase1_total().total_seconds() as f64;
+        assert!((ratio - paper::RAW_SPEED_DOWN).abs() < 0.01);
+        // 5.43 / 1.37 = 3.96.
+        assert!(
+            (paper::RAW_SPEED_DOWN / paper::REDUNDANCY_FACTOR - paper::NET_SPEED_DOWN).abs()
+                < 0.01
+        );
+        // Redundancy factor from result counts.
+        let r = paper::RESULTS_RECEIVED as f64 / paper::RESULTS_USEFUL as f64;
+        assert!((r - paper::REDUNDANCY_FACTOR).abs() < 0.01);
+    }
+
+    #[test]
+    fn table3_columns_are_consistent() {
+        // VFTP = cpu_seconds / (weeks × week_seconds).
+        let week = 7.0 * 86_400.0;
+        let v1 = paper::PHASE1_CPU_SECONDS / (paper::PHASE1_WEEKS * week);
+        assert!((v1 - paper::PHASE1_VFTP).abs() < 2.0, "v1 = {v1}");
+        let v2 = paper::PHASE2_CPU_SECONDS / (paper::PHASE2_WEEKS * week);
+        assert!((v2 - paper::PHASE2_VFTP).abs() < 2.0, "v2 = {v2}");
+        // Members scale with VFTP at a fixed per-member contribution.
+        let ratio1 = paper::PHASE1_VFTP / paper::PHASE1_MEMBERS;
+        let ratio2 = paper::PHASE2_VFTP / paper::PHASE2_MEMBERS;
+        assert!((ratio1 - ratio2).abs() < 1e-3);
+    }
+
+    #[test]
+    fn phase2_work_ratio_matches_its_formula() {
+        let ratio = (paper::PHASE2_PROTEINS as f64).powi(2)
+            / ((paper::PROTEIN_COUNT as f64).powi(2) * paper::PHASE2_REDUCTION);
+        assert!((ratio - paper::PHASE2_WORK_RATIO).abs() < 0.01);
+        // And the published CPU totals respect it.
+        let from_cpu = paper::PHASE2_CPU_SECONDS / paper::PHASE1_CPU_SECONDS;
+        assert!((from_cpu - paper::PHASE2_WORK_RATIO).abs() < 0.01);
+    }
+
+    #[test]
+    fn packaged_vs_realized_confirms_speed_down() {
+        // §6: 13 h / 3.96 ≈ 3 h 17 m ≈ the packaged mean.
+        let implied = paper::REALIZED_MEAN_SECONDS / paper::NET_SPEED_DOWN;
+        assert!((implied - paper::PACKAGED_MEAN_SECONDS).abs() / paper::PACKAGED_MEAN_SECONDS < 0.02);
+    }
+}

@@ -1,0 +1,42 @@
+//! Help Cure Muscular Dystrophy, phase I — the end-to-end campaign.
+//!
+//! This crate is the paper's top-level narrative as a library: it wires
+//! the MAXDo substrate, the §4.1 behaviour model, the §4.2 packaging, the
+//! volunteer-grid simulator and the §5.2 validation pipeline into one
+//! reproducible campaign, and implements the two analyses that close the
+//! paper: the volunteer-vs-dedicated grid comparison of Table 2 (§6) and
+//! the phase-II projection of Table 3 (§7).
+//!
+//! * [`config`] — every constant the paper publishes, in one place;
+//! * [`campaign`] — the end-to-end phase-I campaign runner;
+//! * [`phases`] — per-period analysis of a campaign trace (Figure 6a);
+//! * [`comparison`] — Table 2;
+//! * [`phase2`] — §7 and Table 3.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use hcmd::campaign::Phase1Campaign;
+//!
+//! // A 1/100-scale phase-I campaign (fast; ratios preserved).
+//! let campaign = Phase1Campaign::new(100, 2007);
+//! let report = campaign.run();
+//! println!("{}", report.render_summary());
+//! assert!(report.trace.redundancy_factor() > 1.0);
+//! ```
+
+pub mod campaign;
+pub mod comparison;
+pub mod config;
+pub mod phase2;
+pub mod phases;
+pub mod report;
+pub mod requirements;
+
+pub use campaign::{Phase1Campaign, Phase1Report};
+pub use comparison::{table2, Table2};
+pub use config::paper;
+pub use phase2::{Phase2Assumptions, Phase2Projection};
+pub use phases::{phase_summaries, PhaseSummary};
+pub use report::generate_report;
+pub use requirements::RequirementsReport;

@@ -1,0 +1,216 @@
+//! §7 — the phase-II projection (Table 3).
+//!
+//! The scientists plan to dock ~4,000 proteins in phase II, using
+//! evolutionary information to cut the number of docking points by a
+//! factor of 100. Because the total work grows with the square of the
+//! protein count (formula (1)), phase II is `4000² / (168² · 100) ≈ 5.66`
+//! times phase I. The paper then answers three questions:
+//!
+//! 1. how long would it take if the grid behaves like phase I? → 90 weeks;
+//! 2. how many VFTP finish it in 40 weeks? → 59,730 (Table 3);
+//! 3. how many members is that, given HCMD would get 25 % of a grid that
+//!    will host three other projects? → ~1.3 million members, i.e. nearly
+//!    a million new volunteers.
+
+use metrics::SECONDS_PER_WEEK;
+use serde::Serialize;
+
+/// The assumptions of the §7 projection.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Phase2Assumptions {
+    /// Proteins in phase I.
+    pub phase1_proteins: usize,
+    /// Proteins targeted in phase II.
+    pub phase2_proteins: usize,
+    /// Docking-point reduction factor from evolutionary information.
+    pub reduction_factor: f64,
+    /// Phase-I consumed CPU seconds (run-time accounted by the grid).
+    pub phase1_cpu_seconds: f64,
+    /// Effective full-rate weeks of phase I (Table 3 uses 16: the campaign
+    /// normalised to its steady rate).
+    pub phase1_weeks: f64,
+    /// Phase-I member count behind that rate.
+    pub phase1_members: f64,
+    /// Target duration for phase II, weeks.
+    pub phase2_weeks: f64,
+    /// Current WCG membership (§7: ~325,000).
+    pub wcg_members: f64,
+    /// VFTP the current membership generates (§7: ~60,000).
+    pub wcg_member_vftp: f64,
+    /// Share of the grid HCMD will get during phase II (§7: 25 %).
+    pub phase2_share: f64,
+}
+
+impl Phase2Assumptions {
+    /// The paper's published assumptions.
+    pub fn paper() -> Self {
+        use crate::config::paper;
+        Self {
+            phase1_proteins: paper::PROTEIN_COUNT,
+            phase2_proteins: paper::PHASE2_PROTEINS,
+            reduction_factor: paper::PHASE2_REDUCTION,
+            phase1_cpu_seconds: paper::PHASE1_CPU_SECONDS,
+            phase1_weeks: paper::PHASE1_WEEKS,
+            phase1_members: paper::PHASE1_MEMBERS,
+            phase2_weeks: paper::PHASE2_WEEKS,
+            wcg_members: paper::WCG_MEMBERS,
+            wcg_member_vftp: paper::WCG_MEMBER_VFTP,
+            phase2_share: paper::PHASE2_SHARE,
+        }
+    }
+
+    /// The same assumptions but with the phase-I cost taken from a
+    /// *measured* campaign (consumed CPU seconds at full scale), so the
+    /// projection can be regenerated from the simulator instead of the
+    /// paper's constants.
+    pub fn with_measured_phase1(mut self, consumed_cpu_seconds: f64, weeks: f64) -> Self {
+        self.phase1_cpu_seconds = consumed_cpu_seconds;
+        self.phase1_weeks = weeks;
+        self
+    }
+}
+
+/// The derived projection (Table 3 plus the §7 narrative numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Phase2Projection {
+    /// Work ratio phase II / phase I.
+    pub work_ratio: f64,
+    /// Phase-II CPU seconds.
+    pub phase2_cpu_seconds: f64,
+    /// Phase-I VFTP (from its CPU total and weeks).
+    pub phase1_vftp: f64,
+    /// Weeks phase II takes at the phase-I rate.
+    pub weeks_at_phase1_rate: f64,
+    /// VFTP needed to finish phase II in the target weeks.
+    pub phase2_vftp: f64,
+    /// Members generating that VFTP (at the phase-I members-per-VFTP).
+    pub phase2_members: f64,
+    /// Total WCG members needed when HCMD only gets its §7 share.
+    pub wcg_members_needed: f64,
+    /// New volunteers to recruit.
+    pub new_members_needed: f64,
+}
+
+impl Phase2Assumptions {
+    /// Derives the projection.
+    pub fn project(&self) -> Phase2Projection {
+        assert!(self.reduction_factor > 0.0 && self.phase2_weeks > 0.0);
+        let work_ratio = (self.phase2_proteins as f64).powi(2)
+            / ((self.phase1_proteins as f64).powi(2) * self.reduction_factor);
+        let phase2_cpu_seconds = self.phase1_cpu_seconds * work_ratio;
+        let phase1_vftp = self.phase1_cpu_seconds / (self.phase1_weeks * SECONDS_PER_WEEK);
+        let weeks_at_phase1_rate = self.phase1_weeks * work_ratio;
+        let phase2_vftp = phase2_cpu_seconds / (self.phase2_weeks * SECONDS_PER_WEEK);
+        // Members per VFTP from the phase-I anchor.
+        let members_per_vftp = self.phase1_members / phase1_vftp;
+        let phase2_members = phase2_vftp * members_per_vftp;
+        // Members the *whole grid* needs so that HCMD's share suffices,
+        // using the §7 whole-grid anchor (325,000 members ↔ 60,000 VFTP).
+        let grid_members_per_vftp = self.wcg_members / self.wcg_member_vftp;
+        let wcg_members_needed = phase2_vftp / self.phase2_share * grid_members_per_vftp;
+        Phase2Projection {
+            work_ratio,
+            phase2_cpu_seconds,
+            phase1_vftp,
+            weeks_at_phase1_rate,
+            phase2_vftp,
+            phase2_members,
+            wcg_members_needed,
+            new_members_needed: (wcg_members_needed - self.wcg_members).max(0.0),
+        }
+    }
+}
+
+impl Phase2Projection {
+    /// Renders Table 3 in the paper's layout.
+    pub fn render_table3(&self, assumptions: &Phase2Assumptions) -> String {
+        format!(
+            "{:<34} {:>18} {:>18}\n\
+             {:<34} {:>18.0} {:>18.0}\n\
+             {:<34} {:>18.0} {:>18.0}\n\
+             {:<34} {:>18.0} {:>18.0}\n\
+             {:<34} {:>18.0} {:>18.0}\n",
+            "", "HCMD phase I", "HCMD phase II",
+            "cpu time in s",
+            assumptions.phase1_cpu_seconds,
+            self.phase2_cpu_seconds,
+            "Nb weeks",
+            assumptions.phase1_weeks,
+            assumptions.phase2_weeks,
+            "Nb virtual full-time processors",
+            self.phase1_vftp,
+            self.phase2_vftp,
+            "Nb members",
+            assumptions.phase1_members,
+            self.phase2_members,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::paper;
+
+    #[test]
+    fn table3_is_reproduced_from_the_papers_assumptions() {
+        let a = Phase2Assumptions::paper();
+        let p = a.project();
+        assert!((p.work_ratio - paper::PHASE2_WORK_RATIO).abs() < 0.01);
+        assert!(
+            (p.phase2_cpu_seconds - paper::PHASE2_CPU_SECONDS).abs()
+                / paper::PHASE2_CPU_SECONDS
+                < 0.002
+        );
+        assert!((p.phase1_vftp - paper::PHASE1_VFTP).abs() < 5.0, "{}", p.phase1_vftp);
+        assert!((p.phase2_vftp - paper::PHASE2_VFTP).abs() < 15.0, "{}", p.phase2_vftp);
+        assert!(
+            (p.phase2_members - paper::PHASE2_MEMBERS).abs() < 200.0,
+            "{}",
+            p.phase2_members
+        );
+    }
+
+    #[test]
+    fn ninety_weeks_at_phase1_rate() {
+        let p = Phase2Assumptions::paper().project();
+        assert!(
+            (p.weeks_at_phase1_rate - 90.0).abs() < 1.5,
+            "weeks {}",
+            p.weeks_at_phase1_rate
+        );
+    }
+
+    #[test]
+    fn membership_targets_match_the_narrative() {
+        // §7: "the HCMD project needs 1,300,000 World Community Grid
+        // members ... nearly 1,000,000 new volunteers".
+        let p = Phase2Assumptions::paper().project();
+        assert!(
+            (1.2e6..1.4e6).contains(&p.wcg_members_needed),
+            "members needed {}",
+            p.wcg_members_needed
+        );
+        assert!(
+            (0.85e6..1.1e6).contains(&p.new_members_needed),
+            "new members {}",
+            p.new_members_needed
+        );
+    }
+
+    #[test]
+    fn measured_phase1_override() {
+        let a = Phase2Assumptions::paper().with_measured_phase1(2.0 * paper::PHASE1_CPU_SECONDS, 16.0);
+        let p = a.project();
+        assert!((p.phase2_vftp / Phase2Assumptions::paper().project().phase2_vftp - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let a = Phase2Assumptions::paper();
+        let text = a.project().render_table3(&a);
+        for needle in ["cpu time in s", "Nb weeks", "Nb virtual full-time processors", "Nb members"] {
+            assert!(text.contains(needle));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Per-period analysis of a campaign trace — the numbers under
+//! Figure 6(a).
+//!
+//! §5.1 reads three periods off the VFTP curve (control, prioritization,
+//! full power) and reports the project's average processor counts over the
+//! whole period (16,450) and over the full-power phase (26,248). This
+//! module computes those summaries from a simulated trace and the phase
+//! definitions.
+
+use gridsim::{CampaignTrace, ProjectPhases};
+use serde::Serialize;
+
+/// Mean VFTP of one named campaign phase.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PhaseSummary {
+    /// Phase name (from [`ProjectPhases`]).
+    pub name: &'static str,
+    /// Day range `[start, end)` of the phase, clipped to the campaign.
+    pub days: (usize, usize),
+    /// Mean project VFTP over the phase, full scale.
+    pub mean_project_vftp: f64,
+    /// Mean grid VFTP over the phase, full scale.
+    pub mean_grid_vftp: f64,
+    /// The project's share of the grid's computing (from the VFTP means).
+    pub observed_share: f64,
+}
+
+/// Summarises every declared phase of the campaign plus the whole period.
+pub fn phase_summaries(trace: &CampaignTrace, phases: &ProjectPhases) -> Vec<PhaseSummary> {
+    let campaign_end = trace
+        .completion_day
+        .map(|d| d + 1)
+        .unwrap_or_else(|| trace.project_cpu_daily.len())
+        .max(1);
+    let mut out = Vec::new();
+    for p in phases.phases() {
+        let start = p.start_day.min(campaign_end);
+        let end = (p.start_day + p.days).min(campaign_end);
+        if end <= start {
+            continue;
+        }
+        out.push(summary_for(trace, p.name, start, end));
+    }
+    out.push(summary_for(trace, "whole period", 0, campaign_end));
+    out
+}
+
+fn summary_for(
+    trace: &CampaignTrace,
+    name: &'static str,
+    start: usize,
+    end: usize,
+) -> PhaseSummary {
+    let mean_project_vftp = trace.mean_project_vftp(start, end);
+    let grid: Vec<f64> = trace.grid_vftp_daily();
+    let mean_grid_vftp = grid
+        .iter()
+        .skip(start)
+        .take(end - start)
+        .sum::<f64>()
+        / (end - start).max(1) as f64;
+    PhaseSummary {
+        name,
+        days: (start, end),
+        mean_project_vftp,
+        mean_grid_vftp,
+        observed_share: if mean_grid_vftp > 0.0 {
+            mean_project_vftp / mean_grid_vftp
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Renders the summaries as an aligned table.
+pub fn render_phase_table(summaries: &[PhaseSummary]) -> String {
+    let mut s = format!(
+        "{:<28} {:>12} {:>14} {:>12} {:>8}\n",
+        "phase", "days", "project vftp", "grid vftp", "share"
+    );
+    for p in summaries {
+        s.push_str(&format!(
+            "{:<28} {:>5}..{:<5} {:>14.0} {:>12.0} {:>7.0}%\n",
+            p.name,
+            p.days.0,
+            p.days.1,
+            p.mean_project_vftp,
+            p.mean_grid_vftp,
+            p.observed_share * 100.0
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gridsim::SharePhase;
+    use metrics::DailySeries;
+
+    fn trace_with_ramp() -> CampaignTrace {
+        let mut project = DailySeries::new();
+        let mut grid = DailySeries::new();
+        for day in 0..20 {
+            let share = if day < 10 { 0.1 } else { 0.5 };
+            grid.add(day, 1000.0 * 86_400.0);
+            project.add(day, share * 1000.0 * 86_400.0);
+        }
+        CampaignTrace {
+            scale_divisor: 1,
+            project_cpu_daily: project,
+            grid_cpu_daily: grid,
+            results_daily: DailySeries::new(),
+            useful_results_daily: DailySeries::new(),
+            realized_runtimes: Vec::new(),
+            credit: gridsim::CreditLedger::new(),
+            receptor_total: vec![1.0],
+            receptor_wu_total: vec![1],
+            snapshots: Vec::new(),
+            completion_day: Some(19),
+            results_received: 0,
+            results_useful: 0,
+            server_stats: gridsim::ServerStats::default(),
+            reference_total_seconds: 1.0,
+        }
+    }
+
+    fn two_phases() -> ProjectPhases {
+        ProjectPhases::new(vec![
+            SharePhase {
+                start_day: 0,
+                share_start: 0.1,
+                share_end: 0.1,
+                days: 10,
+                name: "low",
+            },
+            SharePhase {
+                start_day: 10,
+                share_start: 0.5,
+                share_end: 0.5,
+                days: 10,
+                name: "high",
+            },
+        ])
+    }
+
+    #[test]
+    fn per_phase_means_are_separated() {
+        let summaries = phase_summaries(&trace_with_ramp(), &two_phases());
+        assert_eq!(summaries.len(), 3);
+        let low = &summaries[0];
+        let high = &summaries[1];
+        let whole = &summaries[2];
+        assert_eq!(low.name, "low");
+        assert!((low.mean_project_vftp - 100.0).abs() < 1e-9);
+        assert!((high.mean_project_vftp - 500.0).abs() < 1e-9);
+        assert_eq!(whole.name, "whole period");
+        assert!((whole.mean_project_vftp - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn observed_share_matches_construction() {
+        let summaries = phase_summaries(&trace_with_ramp(), &two_phases());
+        assert!((summaries[0].observed_share - 0.1).abs() < 1e-9);
+        assert!((summaries[1].observed_share - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_clip_to_campaign_end() {
+        let mut t = trace_with_ramp();
+        t.completion_day = Some(14); // campaign ends mid-phase
+        let summaries = phase_summaries(&t, &two_phases());
+        assert_eq!(summaries[1].days, (10, 15));
+        assert_eq!(summaries.last().unwrap().days, (0, 15));
+    }
+
+    #[test]
+    fn render_contains_phase_names() {
+        let text = render_phase_table(&phase_summaries(&trace_with_ramp(), &two_phases()));
+        assert!(text.contains("low"));
+        assert!(text.contains("high"));
+        assert!(text.contains("whole period"));
+    }
+}

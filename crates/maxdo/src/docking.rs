@@ -1,0 +1,348 @@
+//! The cross-docking driver: `Etot(isep, irot, p1, p2)`.
+//!
+//! One *docking cell* is the computation the paper calls
+//! `Etot(isep, irot, p1, p2)`: starting the ligand `p2` at position `isep`
+//! on the regular array around receptor `p1`, with orientation couple
+//! `irot`, minimise the interaction energy for each of the 10 `γ` twists
+//! and keep the best (most negative) result. A full *docking map* for a
+//! couple is all `Nsep(p1) × 21` cells; the map of phase I is all
+//! `168²` couples.
+
+use crate::energy::{CellList, EnergyParams};
+use crate::geom::{EulerZyz, Pose, Vec3};
+use crate::library::ProteinLibrary;
+use crate::minimize::{minimize, MinimizeParams};
+use crate::model::{Protein, ProteinId};
+use crate::sampling::{starting_position, OrientationGrid, NGAMMA};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One line of the MAXDo output: the optimum found from one
+/// `(isep, irot)` docking cell.
+///
+/// §5.2: "The output of the MAXDo program is a simple text file that
+/// contains on each line the coordinate of the ligand and its orientation,
+/// and then the interaction energies values."
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DockingRow {
+    /// Starting-position index, 1-based.
+    pub isep: u32,
+    /// Orientation-couple index, 1-based.
+    pub irot: u32,
+    /// Optimised ligand mass-centre coordinates (Å).
+    pub position: Vec3,
+    /// Euler angles of the best starting orientation (radians).
+    pub orientation: EulerZyz,
+    /// Lennard-Jones energy at the optimum (kcal·mol⁻¹).
+    pub elj: f64,
+    /// Electrostatic energy at the optimum (kcal·mol⁻¹).
+    pub eelec: f64,
+}
+
+impl DockingRow {
+    /// `Etot = Elj + Eelec`.
+    pub fn etot(&self) -> f64 {
+        self.elj + self.eelec
+    }
+}
+
+/// Result of docking a range of cells, with the work accounting the cost
+/// model is calibrated against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DockingOutput {
+    /// One row per `(isep, irot)` cell, in canonical order (`isep` major).
+    pub rows: Vec<DockingRow>,
+    /// Total energy/gradient evaluations performed.
+    pub evaluations: u64,
+}
+
+/// A configured docking engine for one `(receptor, ligand)` couple.
+pub struct DockingEngine<'a> {
+    receptor: &'a Protein,
+    ligand: &'a Protein,
+    cells: CellList,
+    grid: OrientationGrid,
+    nsep: u32,
+    energy_params: EnergyParams,
+    minimize_params: MinimizeParams,
+}
+
+impl<'a> DockingEngine<'a> {
+    /// Builds an engine for a couple with `nsep` starting positions.
+    pub fn new(
+        receptor: &'a Protein,
+        ligand: &'a Protein,
+        nsep: u32,
+        energy_params: EnergyParams,
+        minimize_params: MinimizeParams,
+    ) -> Self {
+        assert!(nsep > 0, "nsep must be at least 1");
+        let cells = CellList::build(receptor, energy_params.cutoff);
+        Self {
+            receptor,
+            ligand,
+            cells,
+            grid: OrientationGrid::new(),
+            nsep,
+            energy_params,
+            minimize_params,
+        }
+    }
+
+    /// Engine for a couple taken from a library, using the library's
+    /// `Nsep` table.
+    pub fn for_couple(
+        library: &'a ProteinLibrary,
+        receptor: ProteinId,
+        ligand: ProteinId,
+        energy_params: EnergyParams,
+        minimize_params: MinimizeParams,
+    ) -> Self {
+        Self::new(
+            library.protein(receptor),
+            library.protein(ligand),
+            library.nsep(receptor),
+            energy_params,
+            minimize_params,
+        )
+    }
+
+    /// Number of starting positions of this engine's receptor.
+    pub fn nsep(&self) -> u32 {
+        self.nsep
+    }
+
+    /// Number of orientation couples (the paper's `Nrot`, 21).
+    pub fn nrot(&self) -> u32 {
+        self.grid.couple_count() as u32
+    }
+
+    /// The receptor protein.
+    pub fn receptor(&self) -> &Protein {
+        self.receptor
+    }
+
+    /// The ligand protein.
+    pub fn ligand(&self) -> &Protein {
+        self.ligand
+    }
+
+    /// Docks one `(isep, irot)` cell: 10 γ-twist minimisations, best kept.
+    pub fn dock_cell(&self, isep: u32, irot: u32) -> (DockingRow, u64) {
+        let start_pos = starting_position(
+            self.receptor,
+            self.ligand.bounding_radius(),
+            self.nsep,
+            isep,
+        );
+        let mut best: Option<(f64, DockingRow)> = None;
+        let mut evals = 0u64;
+        for igamma in 0..NGAMMA as u32 {
+            let angles = self.grid.orientation(irot, igamma);
+            let start = Pose::from_euler(angles, start_pos);
+            let res = minimize(
+                self.receptor,
+                &self.cells,
+                self.ligand,
+                start,
+                &self.energy_params,
+                &self.minimize_params,
+            );
+            evals += res.evaluations as u64;
+            let etot = res.energy.total();
+            if best.as_ref().is_none_or(|(b, _)| etot < *b) {
+                best = Some((
+                    etot,
+                    DockingRow {
+                        isep,
+                        irot,
+                        position: res.pose.translation,
+                        orientation: angles,
+                        elj: res.energy.elj,
+                        eelec: res.energy.eelec,
+                    },
+                ));
+            }
+        }
+        (best.expect("NGAMMA > 0").1, evals)
+    }
+
+    /// Docks every orientation couple of one starting position: the unit of
+    /// checkpointing (§4.3: "the checkpoint occurs only between starting
+    /// positions").
+    pub fn dock_position(&self, isep: u32) -> DockingOutput {
+        let mut rows = Vec::with_capacity(self.nrot() as usize);
+        let mut evaluations = 0;
+        for irot in 1..=self.nrot() {
+            let (row, e) = self.dock_cell(isep, irot);
+            rows.push(row);
+            evaluations += e;
+        }
+        DockingOutput { rows, evaluations }
+    }
+
+    /// Docks a contiguous inclusive range of starting positions — exactly
+    /// the work of one workunit (§4.2).
+    pub fn dock_range(&self, isep_start: u32, isep_end: u32) -> DockingOutput {
+        assert!(
+            isep_start >= 1 && isep_start <= isep_end && isep_end <= self.nsep,
+            "bad isep range {isep_start}..={isep_end} (nsep {})",
+            self.nsep
+        );
+        let mut out = DockingOutput {
+            rows: Vec::with_capacity(
+                ((isep_end - isep_start + 1) * self.nrot()) as usize,
+            ),
+            evaluations: 0,
+        };
+        for isep in isep_start..=isep_end {
+            let pos = self.dock_position(isep);
+            out.rows.extend(pos.rows);
+            out.evaluations += pos.evaluations;
+        }
+        out
+    }
+
+    /// Docks the full map for the couple in parallel over starting
+    /// positions (rayon) — the "dedicated grid" style execution used for
+    /// calibration runs.
+    pub fn dock_map_parallel(&self) -> DockingOutput {
+        let outputs: Vec<DockingOutput> = (1..=self.nsep)
+            .into_par_iter()
+            .map(|isep| self.dock_position(isep))
+            .collect();
+        let mut rows = Vec::with_capacity(outputs.iter().map(|o| o.rows.len()).sum());
+        let mut evaluations = 0;
+        for o in outputs {
+            rows.extend(o.rows);
+            evaluations += o.evaluations;
+        }
+        DockingOutput { rows, evaluations }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::LibraryConfig;
+
+    fn tiny_engine(lib: &ProteinLibrary) -> DockingEngine<'_> {
+        DockingEngine::for_couple(
+            lib,
+            ProteinId(0),
+            ProteinId(1),
+            EnergyParams::default(),
+            MinimizeParams {
+                max_iterations: 12,
+                ..Default::default()
+            },
+        )
+    }
+
+    fn tiny_lib() -> ProteinLibrary {
+        ProteinLibrary::generate(LibraryConfig::tiny(2), 23)
+    }
+
+    #[test]
+    fn dock_cell_returns_canonical_indices() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let (row, evals) = e.dock_cell(1, 1);
+        assert_eq!(row.isep, 1);
+        assert_eq!(row.irot, 1);
+        assert!(evals >= NGAMMA as u64, "at least one eval per γ");
+        assert!(row.etot().is_finite());
+        assert!(row.position.is_finite());
+    }
+
+    #[test]
+    fn dock_position_covers_all_21_couples() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let out = e.dock_position(2);
+        assert_eq!(out.rows.len(), 21);
+        for (i, row) in out.rows.iter().enumerate() {
+            assert_eq!(row.irot, i as u32 + 1);
+            assert_eq!(row.isep, 2);
+        }
+    }
+
+    #[test]
+    fn dock_range_row_count_and_order() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let out = e.dock_range(1, 3);
+        assert_eq!(out.rows.len(), 3 * 21);
+        // isep-major canonical order.
+        for w in out.rows.windows(2) {
+            let key = |r: &DockingRow| (r.isep, r.irot);
+            assert!(key(&w[0]) < key(&w[1]));
+        }
+    }
+
+    #[test]
+    fn docking_is_deterministic() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let a = e.dock_range(1, 2);
+        let b = e.dock_range(1, 2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cell_best_is_at_most_each_gamma_energy() {
+        // The best-of-γ reduction means re-docking a single cell twice with
+        // the same engine yields the same minimum; and the chosen energy is
+        // the cell's row energy.
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let (row, _) = e.dock_cell(1, 5);
+        let (again, _) = e.dock_cell(1, 5);
+        assert_eq!(row, again);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad isep range")]
+    fn dock_range_validates_bounds() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let bad = e.nsep() + 1;
+        let _ = e.dock_range(1, bad);
+    }
+
+    #[test]
+    fn parallel_map_matches_sequential() {
+        let lib = ProteinLibrary::generate(
+            LibraryConfig {
+                separation_spacing: 30.0, // keep nsep tiny for the test
+                ..LibraryConfig::tiny(2)
+            },
+            31,
+        );
+        let e = tiny_engine(&lib);
+        let seq = e.dock_range(1, e.nsep());
+        let par = e.dock_map_parallel();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn asymmetry_of_the_docking_map() {
+        // §2.1: Etot(isep, irot, p1, p2) ≠ Etot(isep, irot, p2, p1) in
+        // general — swapping receptor and ligand changes the computation.
+        let lib = tiny_lib();
+        let (p0, p1) = (&lib.proteins()[0], &lib.proteins()[1]);
+        let ep = EnergyParams::default();
+        // Place each ligand at contact distance along +x of its receptor:
+        // the two computations see different bead clouds and energies.
+        let eval = |receptor: &Protein, ligand: &Protein| {
+            let cells = crate::energy::CellList::build(receptor, ep.cutoff);
+            let d = receptor.bounding_radius() + ligand.bounding_radius() * 0.5;
+            let pose = crate::geom::Pose::from_euler(
+                crate::geom::EulerZyz::default(),
+                crate::geom::Vec3::new(d, 0.0, 0.0),
+            );
+            crate::energy::interaction_energy(receptor, &cells, ligand, &pose, &ep).total()
+        };
+        assert_ne!(eval(p0, p1), eval(p1, p0));
+    }
+}

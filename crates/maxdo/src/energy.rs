@@ -1,0 +1,566 @@
+//! The MAXDo interaction energy.
+//!
+//! §2.1: "The quality of the protein-protein interaction can be evaluated
+//! through an interaction energy (expressed in kcal·mol⁻¹), which is the
+//! sum of two contributions; a Lennard-Jones term (Elj), and an
+//! electrostatic term (Eelec) ... The more negative the sum of these two
+//! contributions is, the stronger the protein-protein interaction."
+//!
+//! This module evaluates `Etot = Elj + Eelec` between a rigid receptor and
+//! a rigid ligand in a given [`Pose`], together with its analytic gradient
+//! with respect to the ligand's six rigid-body degrees of freedom (force on
+//! the mass centre + torque about it), which drives the minimiser.
+//!
+//! Implementation notes (hpc-parallel idioms):
+//! * receptor beads are indexed once into a [`CellList`] with cell edge
+//!   equal to the interaction cutoff, so each ligand bead probes at most 27
+//!   cells — evaluation is `O(B_ligand · local density)` instead of
+//!   `O(B_receptor · B_ligand)`;
+//! * energies are *cutoff-shifted* so `E(r_cut) = 0` exactly and the
+//!   landscape stays continuous for the minimiser;
+//! * inter-bead distances are softened (`r_eff² = r² + δ²`) so overlapping
+//!   starting poses produce large-but-finite energies and gradients.
+
+use crate::geom::{Pose, Vec3};
+use crate::model::Protein;
+use serde::{Deserialize, Serialize};
+
+/// Coulomb constant in kcal·Å·mol⁻¹·e⁻².
+pub const COULOMB_KCAL: f64 = 332.0636;
+
+/// Force-field parameters of the reduced-model energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Interaction cutoff distance in Å (pairs beyond it contribute 0).
+    pub cutoff: f64,
+    /// Distance softening δ in Å (`r_eff² = r² + δ²`).
+    pub softening: f64,
+    /// Dielectric prefactor ε₀ of the distance-dependent dielectric
+    /// `ε(r) = ε₀·r`, which makes `Eelec ∝ 1/r²` — the usual implicit-
+    /// solvent screening of reduced protein models.
+    pub dielectric: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            cutoff: 12.0,
+            softening: 1.0,
+            dielectric: 15.0,
+        }
+    }
+}
+
+/// An interaction energy split into its two published contributions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Lennard-Jones contribution, kcal·mol⁻¹.
+    pub elj: f64,
+    /// Electrostatic contribution, kcal·mol⁻¹.
+    pub eelec: f64,
+}
+
+impl EnergyBreakdown {
+    /// `Etot = Elj + Eelec`.
+    pub fn total(&self) -> f64 {
+        self.elj + self.eelec
+    }
+}
+
+/// Energy, force and torque of a ligand pose; the gradient of `Etot` with
+/// respect to the ligand's rigid degrees of freedom.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyGradient {
+    /// Energy breakdown at the pose.
+    pub energy: EnergyBreakdown,
+    /// Net force on the ligand (−∂E/∂t), kcal·mol⁻¹·Å⁻¹.
+    pub force: Vec3,
+    /// Net torque about the ligand mass centre, kcal·mol⁻¹·rad⁻¹.
+    pub torque: Vec3,
+}
+
+/// A uniform-grid spatial index over the receptor's beads.
+///
+/// Built once per receptor and reused across the tens of thousands of
+/// energy evaluations of a docking map.
+#[derive(Debug, Clone)]
+pub struct CellList {
+    origin: Vec3,
+    edge: f64,
+    dims: [usize; 3],
+    /// `cells[c]` holds indices into the receptor bead array.
+    cells: Vec<Vec<u32>>,
+}
+
+impl CellList {
+    /// Indexes `receptor`'s beads with cell edge = `cutoff`.
+    pub fn build(receptor: &Protein, cutoff: f64) -> Self {
+        assert!(cutoff > 0.0, "cutoff must be positive");
+        let beads = receptor.beads();
+        let mut lo = beads[0].position;
+        let mut hi = beads[0].position;
+        for b in beads {
+            lo = lo.min(b.position);
+            hi = hi.max(b.position);
+        }
+        // Pad by one cell so boundary queries never need clamping logic.
+        let edge = cutoff;
+        let dims = [
+            (((hi.x - lo.x) / edge).floor() as usize) + 1,
+            (((hi.y - lo.y) / edge).floor() as usize) + 1,
+            (((hi.z - lo.z) / edge).floor() as usize) + 1,
+        ];
+        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        for (i, b) in beads.iter().enumerate() {
+            let c = Self::cell_of(lo, edge, dims, b.position);
+            cells[c].push(i as u32);
+        }
+        Self {
+            origin: lo,
+            edge,
+            dims,
+            cells,
+        }
+    }
+
+    fn cell_of(origin: Vec3, edge: f64, dims: [usize; 3], p: Vec3) -> usize {
+        let ix = (((p.x - origin.x) / edge).floor() as isize).clamp(0, dims[0] as isize - 1);
+        let iy = (((p.y - origin.y) / edge).floor() as isize).clamp(0, dims[1] as isize - 1);
+        let iz = (((p.z - origin.z) / edge).floor() as isize).clamp(0, dims[2] as isize - 1);
+        (ix as usize * dims[1] + iy as usize) * dims[2] + iz as usize
+    }
+
+    /// Calls `f` with every receptor bead index in the 27-cell neighbourhood
+    /// of `p`. Beads further than one cell edge are included (callers still
+    /// apply the exact distance cutoff).
+    pub fn for_neighbors(&self, p: Vec3, mut f: impl FnMut(u32)) {
+        let cx = ((p.x - self.origin.x) / self.edge).floor() as isize;
+        let cy = ((p.y - self.origin.y) / self.edge).floor() as isize;
+        let cz = ((p.z - self.origin.z) / self.edge).floor() as isize;
+        for dx in -1..=1 {
+            for dy in -1..=1 {
+                for dz in -1..=1 {
+                    let (x, y, z) = (cx + dx, cy + dy, cz + dz);
+                    if x < 0
+                        || y < 0
+                        || z < 0
+                        || x >= self.dims[0] as isize
+                        || y >= self.dims[1] as isize
+                        || z >= self.dims[2] as isize
+                    {
+                        continue;
+                    }
+                    let c = (x as usize * self.dims[1] + y as usize) * self.dims[2] + z as usize;
+                    for &i in &self.cells[c] {
+                        f(i);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of indexed beads (for sanity checks).
+    pub fn bead_count(&self) -> usize {
+        self.cells.iter().map(|c| c.len()).sum()
+    }
+}
+
+/// Precomputed pair parameters for every ordered [`BeadKind`] pair:
+/// combined well depth `ε_ij = √(ε_i ε_j)`, contact distance
+/// `rmin_ij = r_i + r_j`, and the charge product — the per-pair square
+/// roots otherwise dominate the inner loop (see the `energy` criterion
+/// bench for the ablation).
+#[derive(Debug, Clone)]
+pub struct PairTable {
+    eps: [[f64; 5]; 5],
+    rmin_sq: [[f64; 5]; 5],
+    qq: [[f64; 5]; 5],
+}
+
+impl Default for PairTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PairTable {
+    /// Builds the 5×5 tables from the bead-kind constants.
+    pub fn new() -> Self {
+        use crate::model::BeadKind;
+        let mut eps = [[0.0; 5]; 5];
+        let mut rmin_sq = [[0.0; 5]; 5];
+        let mut qq = [[0.0; 5]; 5];
+        for (i, a) in BeadKind::ALL.iter().enumerate() {
+            for (j, b) in BeadKind::ALL.iter().enumerate() {
+                eps[i][j] = (a.epsilon() * b.epsilon()).sqrt();
+                let rmin = a.radius() + b.radius();
+                rmin_sq[i][j] = rmin * rmin;
+                qq[i][j] = a.charge() * b.charge();
+            }
+        }
+        Self { eps, rmin_sq, qq }
+    }
+
+    #[inline]
+    fn index(kind: crate::model::BeadKind) -> usize {
+        use crate::model::BeadKind::*;
+        match kind {
+            Backbone => 0,
+            Apolar => 1,
+            Polar => 2,
+            Positive => 3,
+            Negative => 4,
+        }
+    }
+
+    /// `(ε_ij, rmin_ij², q_i q_j)` for a bead-kind pair.
+    #[inline]
+    pub fn lookup(
+        &self,
+        a: crate::model::BeadKind,
+        b: crate::model::BeadKind,
+    ) -> (f64, f64, f64) {
+        let (i, j) = (Self::index(a), Self::index(b));
+        (self.eps[i][j], self.rmin_sq[i][j], self.qq[i][j])
+    }
+}
+
+/// Evaluates the interaction energy of `ligand` in `pose` against
+/// `receptor` (indexed by `cells`).
+pub fn interaction_energy(
+    receptor: &Protein,
+    cells: &CellList,
+    ligand: &Protein,
+    pose: &Pose,
+    params: &EnergyParams,
+) -> EnergyBreakdown {
+    evaluate(receptor, cells, ligand, pose, params, None).energy
+}
+
+/// Evaluates energy *and* its rigid-body gradient (force + torque).
+pub fn energy_and_gradient(
+    receptor: &Protein,
+    cells: &CellList,
+    ligand: &Protein,
+    pose: &Pose,
+    params: &EnergyParams,
+) -> EnergyGradient {
+    let mut grad = (Vec3::ZERO, Vec3::ZERO);
+    let out = evaluate(receptor, cells, ligand, pose, params, Some(&mut grad));
+    EnergyGradient {
+        energy: out.energy,
+        force: grad.0,
+        torque: grad.1,
+    }
+}
+
+struct EvalOut {
+    energy: EnergyBreakdown,
+}
+
+fn evaluate(
+    receptor: &Protein,
+    cells: &CellList,
+    ligand: &Protein,
+    pose: &Pose,
+    params: &EnergyParams,
+    mut grad: Option<&mut (Vec3, Vec3)>,
+) -> EvalOut {
+    let cutoff_sq = params.cutoff * params.cutoff;
+    let delta_sq = params.softening * params.softening;
+    let pair_table = PairTable::new();
+    let r_beads = receptor.beads();
+    let mut elj = 0.0;
+    let mut eelec = 0.0;
+    for lbead in ligand.beads() {
+        let lp = pose.apply(lbead.position);
+        cells.for_neighbors(lp, |ri| {
+            let rbead = &r_beads[ri as usize];
+            let d = lp - rbead.position;
+            let r_sq = d.norm_sq();
+            if r_sq >= cutoff_sq {
+                return;
+            }
+            let (eps, rmin_sq, q1q2) = pair_table.lookup(lbead.kind, rbead.kind);
+            // Softened distance.
+            let rr_sq = r_sq + delta_sq;
+            let rr = rr_sq.sqrt();
+            // Cutoff-shift reference at the softened cutoff distance.
+            let rc_sq = cutoff_sq + delta_sq;
+
+            // Lennard-Jones 12-6 in rmin form:
+            //   E = ε [ (rmin/r)^12 − 2 (rmin/r)^6 ]
+            let s6 = (rmin_sq / rr_sq).powi(3);
+            let s12 = s6 * s6;
+            let c6 = (rmin_sq / rc_sq).powi(3);
+            let c12 = c6 * c6;
+            elj += eps * ((s12 - 2.0 * s6) - (c12 - 2.0 * c6));
+
+            // Screened Coulomb with distance-dependent dielectric
+            // ε(r) = ε₀ r ⇒ E = k q₁q₂ / (ε₀ r²), cutoff-shifted.
+            let ke = COULOMB_KCAL * q1q2 / params.dielectric;
+            eelec += ke * (1.0 / rr_sq - 1.0 / rc_sq);
+
+            if let Some(g) = grad.as_deref_mut() {
+                // dE/d(rr): LJ term.
+                let dlj = eps * (-12.0 * s12 / rr + 12.0 * s6 / rr);
+                // Electrostatic term: d/d(rr) [k/rr²] = −2k/rr³.
+                let dele = -2.0 * ke / (rr_sq * rr);
+                // d(rr)/d(d_vec) = d_vec / rr (softening is additive in r²).
+                let de_dvec = d * ((dlj + dele) / rr);
+                // Force on the ligand bead is −∂E/∂(bead position).
+                let f = -de_dvec;
+                g.0 += f;
+                g.1 += (lp - pose.translation).cross(f);
+            }
+        });
+    }
+    EvalOut {
+        energy: EnergyBreakdown { elj, eelec },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::EulerZyz;
+    use crate::model::{Bead, BeadKind, ProteinId};
+
+    fn one_bead(kind: BeadKind) -> Protein {
+        Protein::new(
+            ProteinId(0),
+            "b",
+            vec![Bead {
+                position: Vec3::ZERO,
+                kind,
+            }],
+        )
+    }
+
+    fn pose_at(x: f64) -> Pose {
+        Pose::from_euler(EulerZyz::default(), Vec3::new(x, 0.0, 0.0))
+    }
+
+    fn pair_energy(a: BeadKind, b: BeadKind, dist: f64, params: &EnergyParams) -> EnergyBreakdown {
+        let receptor = one_bead(a);
+        let ligand = one_bead(b);
+        let cells = CellList::build(&receptor, params.cutoff);
+        interaction_energy(&receptor, &cells, &ligand, &pose_at(dist), params)
+    }
+
+    #[test]
+    fn cell_list_indexes_every_bead() {
+        let lib = crate::library::ProteinLibrary::generate(
+            crate::library::LibraryConfig::tiny(1),
+            11,
+        );
+        let p = &lib.proteins()[0];
+        let cells = CellList::build(p, 12.0);
+        assert_eq!(cells.bead_count(), p.bead_count());
+    }
+
+    #[test]
+    fn cell_list_neighbor_query_finds_nearby_beads() {
+        let lib = crate::library::ProteinLibrary::generate(
+            crate::library::LibraryConfig::tiny(1),
+            13,
+        );
+        let p = &lib.proteins()[0];
+        let cutoff = 8.0;
+        let cells = CellList::build(p, cutoff);
+        // For several probe points, the cell list must return a superset of
+        // the beads within the cutoff.
+        for probe in [Vec3::ZERO, Vec3::new(5.0, -3.0, 2.0), Vec3::new(-10.0, 0.0, 4.0)] {
+            let mut seen = std::collections::HashSet::new();
+            cells.for_neighbors(probe, |i| {
+                seen.insert(i);
+            });
+            for (i, b) in p.beads().iter().enumerate() {
+                if b.position.distance(probe) < cutoff {
+                    assert!(
+                        seen.contains(&(i as u32)),
+                        "bead {i} within cutoff missed by cell list"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn energy_zero_beyond_cutoff() {
+        let params = EnergyParams::default();
+        let e = pair_energy(
+            BeadKind::Positive,
+            BeadKind::Negative,
+            params.cutoff + 1.0,
+            &params,
+        );
+        assert_eq!(e.total(), 0.0);
+    }
+
+    #[test]
+    fn lj_has_a_minimum_near_contact_distance() {
+        let params = EnergyParams {
+            softening: 0.0,
+            ..EnergyParams::default()
+        };
+        let rmin = BeadKind::Apolar.radius() * 2.0;
+        let at_min = pair_energy(BeadKind::Apolar, BeadKind::Apolar, rmin, &params);
+        let closer = pair_energy(BeadKind::Apolar, BeadKind::Apolar, rmin * 0.8, &params);
+        let farther = pair_energy(BeadKind::Apolar, BeadKind::Apolar, rmin * 1.3, &params);
+        assert!(at_min.elj < 0.0, "attractive at contact: {}", at_min.elj);
+        assert!(closer.elj > at_min.elj, "repulsive wall");
+        assert!(farther.elj > at_min.elj, "well shape");
+        // Well depth ≈ ε (cutoff shift makes it slightly shallower).
+        assert!((at_min.elj + BeadKind::Apolar.epsilon()).abs() < 0.05);
+    }
+
+    #[test]
+    fn opposite_charges_attract_like_charges_repel() {
+        let params = EnergyParams::default();
+        let attract = pair_energy(BeadKind::Positive, BeadKind::Negative, 6.0, &params);
+        let repel = pair_energy(BeadKind::Positive, BeadKind::Positive, 6.0, &params);
+        assert!(attract.eelec < 0.0);
+        assert!(repel.eelec > 0.0);
+        assert!((attract.eelec + repel.eelec).abs() < 1e-9, "symmetric magnitudes");
+    }
+
+    #[test]
+    fn energy_is_continuous_at_the_cutoff() {
+        let params = EnergyParams::default();
+        let just_in = pair_energy(
+            BeadKind::Positive,
+            BeadKind::Negative,
+            params.cutoff - 1e-6,
+            &params,
+        );
+        assert!(
+            just_in.total().abs() < 1e-3,
+            "shifted energy near cutoff should approach 0, got {}",
+            just_in.total()
+        );
+    }
+
+    #[test]
+    fn overlapping_beads_have_finite_energy() {
+        let params = EnergyParams::default();
+        let e = pair_energy(BeadKind::Apolar, BeadKind::Apolar, 0.0, &params);
+        assert!(e.total().is_finite());
+        assert!(e.elj > 10.0, "softened overlap is strongly repulsive");
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let lib = crate::library::ProteinLibrary::generate(
+            crate::library::LibraryConfig::tiny(2),
+            5,
+        );
+        let (receptor, ligand) = (&lib.proteins()[0], &lib.proteins()[1]);
+        let params = EnergyParams::default();
+        let cells = CellList::build(receptor, params.cutoff);
+        let sep = receptor.bounding_radius() + ligand.bounding_radius() + 2.0;
+        let pose = Pose::from_euler(
+            EulerZyz {
+                alpha: 0.3,
+                beta: 0.9,
+                gamma: 1.2,
+            },
+            Vec3::new(sep, 1.0, -0.5),
+        );
+        let g = energy_and_gradient(receptor, &cells, ligand, &pose, &params);
+        let h = 1e-5;
+        // Translational gradient: E(t+h·e) ≈ E(t) + h ∂E/∂t.
+        for (axis, fcomp) in [
+            (Vec3::new(1.0, 0.0, 0.0), g.force.x),
+            (Vec3::new(0.0, 1.0, 0.0), g.force.y),
+            (Vec3::new(0.0, 0.0, 1.0), g.force.z),
+        ] {
+            let plus = interaction_energy(
+                receptor,
+                &cells,
+                ligand,
+                &pose.perturbed(axis * h, Vec3::ZERO),
+                &params,
+            )
+            .total();
+            let minus = interaction_energy(
+                receptor,
+                &cells,
+                ligand,
+                &pose.perturbed(axis * -h, Vec3::ZERO),
+                &params,
+            )
+            .total();
+            let num = -(plus - minus) / (2.0 * h); // force = −∂E/∂t
+            assert!(
+                (num - fcomp).abs() < 1e-4 * (1.0 + fcomp.abs()),
+                "force mismatch: numeric {num} vs analytic {fcomp}"
+            );
+        }
+        // Rotational gradient about each axis.
+        for (axis, tcomp) in [
+            (Vec3::new(1.0, 0.0, 0.0), g.torque.x),
+            (Vec3::new(0.0, 1.0, 0.0), g.torque.y),
+            (Vec3::new(0.0, 0.0, 1.0), g.torque.z),
+        ] {
+            let plus = interaction_energy(
+                receptor,
+                &cells,
+                ligand,
+                &pose.perturbed(Vec3::ZERO, axis * h),
+                &params,
+            )
+            .total();
+            let minus = interaction_energy(
+                receptor,
+                &cells,
+                ligand,
+                &pose.perturbed(Vec3::ZERO, axis * -h),
+                &params,
+            )
+            .total();
+            let num = -(plus - minus) / (2.0 * h);
+            assert!(
+                (num - tcomp).abs() < 1e-4 * (1.0 + tcomp.abs()),
+                "torque mismatch: numeric {num} vs analytic {tcomp}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_list_energy_matches_brute_force() {
+        let lib = crate::library::ProteinLibrary::generate(
+            crate::library::LibraryConfig::tiny(2),
+            21,
+        );
+        let (receptor, ligand) = (&lib.proteins()[0], &lib.proteins()[1]);
+        let params = EnergyParams::default();
+        let cells = CellList::build(receptor, params.cutoff);
+        let pose = pose_at(receptor.bounding_radius() + 3.0);
+        let fast = interaction_energy(receptor, &cells, ligand, &pose, &params);
+        // Brute force over all pairs.
+        let cutoff_sq = params.cutoff * params.cutoff;
+        let delta_sq = params.softening * params.softening;
+        let (mut elj, mut eelec) = (0.0, 0.0);
+        for lb in ligand.beads() {
+            let lp = pose.apply(lb.position);
+            for rb in receptor.beads() {
+                let r_sq = (lp - rb.position).norm_sq();
+                if r_sq >= cutoff_sq {
+                    continue;
+                }
+                let eps = (lb.kind.epsilon() * rb.kind.epsilon()).sqrt();
+                let rmin = lb.kind.radius() + rb.kind.radius();
+                let rr_sq = r_sq + delta_sq;
+                let rc_sq = cutoff_sq + delta_sq;
+                let s6 = (rmin * rmin / rr_sq).powi(3);
+                let c6 = (rmin * rmin / rc_sq).powi(3);
+                elj += eps * ((s6 * s6 - 2.0 * s6) - (c6 * c6 - 2.0 * c6));
+                let ke = COULOMB_KCAL * lb.kind.charge() * rb.kind.charge() / params.dielectric;
+                eelec += ke * (1.0 / rr_sq - 1.0 / rc_sq);
+            }
+        }
+        assert!((fast.elj - elj).abs() < 1e-9 * (1.0 + elj.abs()));
+        assert!((fast.eelec - eelec).abs() < 1e-9 * (1.0 + eelec.abs()));
+    }
+}

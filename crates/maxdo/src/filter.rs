@@ -1,0 +1,253 @@
+//! Docking-point reduction — the phase-II strategy.
+//!
+//! §7: "with this data, the scientist want to add some evolutionary
+//! information in the docking process in order to cut the number of
+//! docking points to compute. They plan to reduce this number of docking
+//! points by a factor of 100." And §2: "Later on, knowledge of binding
+//! sites will greatly reduce the costs of the search."
+//!
+//! This module implements that reduction: given a receptor's predicted
+//! binding site (from [`crate::interface`], or from evolutionary
+//! conservation in the real project), keep only the starting positions
+//! whose surface direction points at the site, and only the orientation
+//! couples that face the ligand's own site toward the receptor.
+
+use crate::geom::Vec3;
+use crate::interface::ContactPropensity;
+use crate::model::Protein;
+use crate::sampling::{starting_positions, OrientationGrid, NROT_COUPLES};
+use serde::{Deserialize, Serialize};
+
+/// A filtered search space for one couple.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilteredSearch {
+    /// Kept starting-position indices (1-based `isep` values).
+    pub kept_positions: Vec<u32>,
+    /// Kept orientation-couple indices (1-based `irot` values).
+    pub kept_orientations: Vec<u32>,
+    /// Original number of docking cells (`Nsep × 21`).
+    pub original_cells: u64,
+}
+
+impl FilteredSearch {
+    /// Number of docking cells after filtering.
+    pub fn filtered_cells(&self) -> u64 {
+        self.kept_positions.len() as u64 * self.kept_orientations.len() as u64
+    }
+
+    /// The §7 reduction factor (original / filtered).
+    pub fn reduction_factor(&self) -> f64 {
+        if self.filtered_cells() == 0 {
+            f64::INFINITY
+        } else {
+            self.original_cells as f64 / self.filtered_cells() as f64
+        }
+    }
+}
+
+/// The centroid direction of a predicted binding site (unit vector from
+/// the protein centre through the site), or `None` when no bead passes
+/// the threshold.
+pub fn site_direction(protein: &Protein, propensity: &ContactPropensity, threshold: f64) -> Option<Vec3> {
+    let site = propensity.binding_site(threshold);
+    if site.is_empty() {
+        return None;
+    }
+    let centroid = site
+        .iter()
+        .fold(Vec3::ZERO, |acc, &i| acc + protein.beads()[i].position)
+        / site.len() as f64;
+    centroid.normalized()
+}
+
+/// Filters the search space of a couple around known site directions.
+///
+/// * Starting positions are kept when they lie within `position_cone_deg`
+///   of the receptor's site direction.
+/// * Orientation couples are kept when they rotate the ligand's site
+///   direction to face the receptor (within `orientation_cone_deg` of
+///   `-position direction`; here approximated by the couple's `(α, β)`
+///   axis against the ligand site).
+pub fn filter_search(
+    receptor: &Protein,
+    ligand: &Protein,
+    nsep: u32,
+    receptor_site: Vec3,
+    ligand_site: Vec3,
+    position_cone_deg: f64,
+    orientation_cone_deg: f64,
+) -> FilteredSearch {
+    assert!(nsep >= 1, "need starting positions");
+    assert!(
+        (0.0..=180.0).contains(&position_cone_deg)
+            && (0.0..=180.0).contains(&orientation_cone_deg),
+        "cone angles in degrees within [0, 180]"
+    );
+    let rdir = receptor_site.normalized().expect("receptor site direction");
+    let ldir = ligand_site.normalized().expect("ligand site direction");
+    let pos_cos = position_cone_deg.to_radians().cos();
+    let ori_cos = orientation_cone_deg.to_radians().cos();
+
+    let positions = starting_positions(receptor, ligand.bounding_radius(), nsep);
+    let kept_positions: Vec<u32> = positions
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| {
+            p.normalized()
+                .map(|u| u.dot(rdir) >= pos_cos)
+                .unwrap_or(false)
+        })
+        .map(|(i, _)| i as u32 + 1)
+        .collect();
+
+    // An orientation couple is useful when it turns the ligand's site
+    // toward the receptor centre (the ligand approaches from outside, so
+    // its site must face inward: rotated site ≈ −approach direction; we
+    // test against the receptor-site axis).
+    let grid = OrientationGrid::new();
+    let kept_orientations: Vec<u32> = (1..=NROT_COUPLES as u32)
+        .filter(|&irot| {
+            // γ spins about the site axis; the couple's usefulness is
+            // γ-independent to first order, so test γ = 0.
+            let rot = grid.orientation(irot, 0).to_matrix();
+            let faced = rot.apply(ldir);
+            faced.dot(-rdir) >= ori_cos
+        })
+        .collect();
+
+    FilteredSearch {
+        kept_positions,
+        kept_orientations,
+        original_cells: nsep as u64 * NROT_COUPLES as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{LibraryConfig, ProteinLibrary};
+
+    fn couple() -> (Protein, Protein) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 55);
+        (lib.proteins()[0].clone(), lib.proteins()[1].clone())
+    }
+
+    #[test]
+    fn filtering_reduces_the_search_space() {
+        let (receptor, ligand) = couple();
+        let f = filter_search(
+            &receptor,
+            &ligand,
+            2000,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            25.0,
+            60.0,
+        );
+        assert!(f.filtered_cells() > 0, "filter must keep something");
+        assert!(f.filtered_cells() < f.original_cells);
+        assert!(f.reduction_factor() > 1.0);
+    }
+
+    #[test]
+    fn phase2_scale_reduction_is_achievable() {
+        // §7 plans a ×100 reduction; a ~20° position cone with a ~45°
+        // orientation cone achieves that order of magnitude.
+        let (receptor, ligand) = couple();
+        let f = filter_search(
+            &receptor,
+            &ligand,
+            2000,
+            Vec3::new(0.3, -0.8, 0.5),
+            Vec3::new(0.0, 1.0, 0.0),
+            20.0,
+            45.0,
+        );
+        let r = f.reduction_factor();
+        assert!(
+            (20.0..2000.0).contains(&r),
+            "reduction factor {r} not on the §7 scale"
+        );
+    }
+
+    #[test]
+    fn wider_cones_keep_more() {
+        let (receptor, ligand) = couple();
+        let narrow = filter_search(
+            &receptor,
+            &ligand,
+            500,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            15.0,
+            30.0,
+        );
+        let wide = filter_search(
+            &receptor,
+            &ligand,
+            500,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+            60.0,
+            90.0,
+        );
+        assert!(wide.filtered_cells() >= narrow.filtered_cells());
+    }
+
+    #[test]
+    fn full_cones_keep_everything() {
+        let (receptor, ligand) = couple();
+        let f = filter_search(
+            &receptor,
+            &ligand,
+            300,
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(1.0, 0.0, 0.0),
+            180.0,
+            180.0,
+        );
+        assert_eq!(f.filtered_cells(), f.original_cells);
+        assert!((f.reduction_factor() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kept_positions_point_at_the_site() {
+        let (receptor, ligand) = couple();
+        let site = Vec3::new(0.0, 0.0, 1.0);
+        let f = filter_search(&receptor, &ligand, 800, site, site, 30.0, 180.0, );
+        let positions =
+            starting_positions(&receptor, ligand.bounding_radius(), 800);
+        let cos30 = 30.0f64.to_radians().cos();
+        for &isep in &f.kept_positions {
+            let u = positions[isep as usize - 1].normalized().unwrap();
+            assert!(u.dot(site) >= cos30 - 1e-12);
+        }
+    }
+
+    #[test]
+    fn site_direction_from_propensity() {
+        let (receptor, _) = couple();
+        // Synthetic propensity: one hot bead.
+        let mut contacts = vec![0u32; receptor.bead_count()];
+        contacts[3] = 10;
+        let cp = ContactPropensity {
+            receptor: receptor.id,
+            contacts,
+            poses: 10,
+        };
+        let dir = site_direction(&receptor, &cp, 0.5).expect("one hot bead");
+        let expected = receptor.beads()[3].position.normalized().unwrap();
+        assert!((dir.dot(expected) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_site_yields_no_direction() {
+        let (receptor, _) = couple();
+        let cp = ContactPropensity {
+            receptor: receptor.id,
+            contacts: vec![0; receptor.bead_count()],
+            poses: 0,
+        };
+        assert!(site_direction(&receptor, &cp, 0.5).is_none());
+    }
+}

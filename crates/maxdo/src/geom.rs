@@ -1,0 +1,484 @@
+//! Minimal 3-D geometry kernel for rigid-body docking.
+//!
+//! MAXDo minimises the interaction energy over six degrees of freedom: the
+//! ligand mass-centre position `(x, y, z)` and its orientation
+//! `(α, β, γ)`. This module supplies the vector algebra and the Euler-angle
+//! rotation convention used everywhere else: `R = Rz(α) · Ry(β) · Rz(γ)`
+//! (z-y-z intrinsic convention, the natural parameterisation for an
+//! orientation grid of `(α, β)` axis couples times a twist `γ` — the paper
+//! samples "21 couples (α, β) for 10 values of γ").
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 3-vector of `f64`, used for positions, forces and torques.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Vec3 {
+    pub x: f64,
+    pub y: f64,
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+
+    /// Builds a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Unit vector in the same direction; `None` for (near-)zero vectors.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-300 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Component-wise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Component-wise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+
+    /// True when all components are finite.
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, o: Vec3) {
+        *self = *self - o;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A 3×3 rotation matrix (row-major).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    pub rows: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Rotation about the z axis by `t` radians.
+    pub fn rot_z(t: f64) -> Mat3 {
+        let (s, c) = t.sin_cos();
+        Mat3 {
+            rows: [[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Rotation about the y axis by `t` radians.
+    pub fn rot_y(t: f64) -> Mat3 {
+        let (s, c) = t.sin_cos();
+        Mat3 {
+            rows: [[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]],
+        }
+    }
+
+    /// Rotation about the x axis by `t` radians.
+    pub fn rot_x(t: f64) -> Mat3 {
+        let (s, c) = t.sin_cos();
+        Mat3 {
+            rows: [[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]],
+        }
+    }
+
+    /// Rotation about an arbitrary unit axis by `t` radians (Rodrigues).
+    pub fn from_axis_angle(axis: Vec3, t: f64) -> Mat3 {
+        let u = axis.normalized().unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+        let (s, c) = t.sin_cos();
+        let omc = 1.0 - c;
+        Mat3 {
+            rows: [
+                [
+                    c + u.x * u.x * omc,
+                    u.x * u.y * omc - u.z * s,
+                    u.x * u.z * omc + u.y * s,
+                ],
+                [
+                    u.y * u.x * omc + u.z * s,
+                    c + u.y * u.y * omc,
+                    u.y * u.z * omc - u.x * s,
+                ],
+                [
+                    u.z * u.x * omc - u.y * s,
+                    u.z * u.y * omc + u.x * s,
+                    c + u.z * u.z * omc,
+                ],
+            ],
+        }
+    }
+
+    /// Applies the rotation to a vector.
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.rows[0][0] * v.x + self.rows[0][1] * v.y + self.rows[0][2] * v.z,
+            self.rows[1][0] * v.x + self.rows[1][1] * v.y + self.rows[1][2] * v.z,
+            self.rows[2][0] * v.x + self.rows[2][1] * v.y + self.rows[2][2] * v.z,
+        )
+    }
+
+    /// Matrix product `self · other`.
+    pub fn mul_mat(&self, o: &Mat3) -> Mat3 {
+        let mut r = [[0.0; 3]; 3];
+        for (i, row) in r.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = (0..3).map(|k| self.rows[i][k] * o.rows[k][j]).sum();
+            }
+        }
+        Mat3 { rows: r }
+    }
+
+    /// Transpose — for a rotation matrix, its inverse.
+    pub fn transpose(&self) -> Mat3 {
+        let mut r = [[0.0; 3]; 3];
+        for (i, row) in self.rows.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                r[j][i] = v;
+            }
+        }
+        Mat3 { rows: r }
+    }
+
+    /// Determinant (should be +1 for a proper rotation).
+    pub fn det(&self) -> f64 {
+        let m = &self.rows;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+}
+
+/// Euler angles in the paper's `(α, β, γ)` parameterisation of the ligand
+/// orientation, using the intrinsic z-y-z convention:
+/// `R(α, β, γ) = Rz(α) · Ry(β) · Rz(γ)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EulerZyz {
+    /// First rotation about z, radians, in `[0, 2π)`.
+    pub alpha: f64,
+    /// Rotation about the intermediate y axis, radians, in `[0, π]`.
+    pub beta: f64,
+    /// Final twist about z, radians, in `[0, 2π)`.
+    pub gamma: f64,
+}
+
+impl EulerZyz {
+    /// Builds the rotation matrix for these angles.
+    pub fn to_matrix(self) -> Mat3 {
+        Mat3::rot_z(self.alpha)
+            .mul_mat(&Mat3::rot_y(self.beta))
+            .mul_mat(&Mat3::rot_z(self.gamma))
+    }
+}
+
+/// A rigid-body pose of the ligand: a rotation followed by a translation of
+/// the (centred) body: `x ↦ R·x + t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pose {
+    /// Orientation of the ligand.
+    pub rotation: Mat3,
+    /// Position of the ligand mass centre.
+    pub translation: Vec3,
+}
+
+impl Pose {
+    /// Identity pose.
+    pub fn identity() -> Pose {
+        Pose {
+            rotation: Mat3::IDENTITY,
+            translation: Vec3::ZERO,
+        }
+    }
+
+    /// Pose from Euler angles and a mass-centre position.
+    pub fn from_euler(angles: EulerZyz, translation: Vec3) -> Pose {
+        Pose {
+            rotation: angles.to_matrix(),
+            translation,
+        }
+    }
+
+    /// Transforms a body-frame point into the world frame.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.apply(p) + self.translation
+    }
+
+    /// Perturbs the pose by a small rigid displacement: a translation `dt`
+    /// and a rotation of `|dw|` radians about axis `dw` applied *before*
+    /// the current rotation in the world frame.
+    pub fn perturbed(&self, dt: Vec3, dw: Vec3) -> Pose {
+        let angle = dw.norm();
+        let rot = if angle > 0.0 {
+            Mat3::from_axis_angle(dw, angle).mul_mat(&self.rotation)
+        } else {
+            self.rotation
+        };
+        Pose {
+            rotation: rot,
+            translation: self.translation + dt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_vec_close(a: Vec3, b: Vec3, tol: f64) {
+        assert!(
+            (a - b).norm() < tol,
+            "vectors differ: {a:?} vs {b:?} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn vector_algebra_basics() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a.dot(b), -1.0 + 1.0 + 6.0);
+        assert_vec_close(a + b - b, a, 1e-12);
+        assert_vec_close(a * 2.0, Vec3::new(2.0, 4.0, 6.0), 1e-12);
+        assert_vec_close(2.0 * a, a * 2.0, 1e-15);
+        assert_vec_close(-a, Vec3::ZERO - a, 1e-15);
+        assert_vec_close(a / 2.0, Vec3::new(0.5, 1.0, 1.5), 1e-15);
+    }
+
+    #[test]
+    fn cross_product_is_orthogonal_and_right_handed() {
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert_vec_close(x.cross(y), Vec3::new(0.0, 0.0, 1.0), 1e-15);
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -1.0, 0.5);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-15);
+        assert_vec_close(n, Vec3::new(0.6, 0.8, 0.0), 1e-15);
+        assert!(Vec3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn rotation_matrices_are_orthonormal() {
+        for m in [
+            Mat3::rot_x(0.7),
+            Mat3::rot_y(-1.3),
+            Mat3::rot_z(2.9),
+            Mat3::from_axis_angle(Vec3::new(1.0, 1.0, 1.0), 0.5),
+            EulerZyz {
+                alpha: 0.3,
+                beta: 1.1,
+                gamma: -2.0,
+            }
+            .to_matrix(),
+        ] {
+            let should_be_identity = m.mul_mat(&m.transpose());
+            for i in 0..3 {
+                for j in 0..3 {
+                    let expect = if i == j { 1.0 } else { 0.0 };
+                    assert!(
+                        (should_be_identity.rows[i][j] - expect).abs() < 1e-12,
+                        "not orthonormal: {m:?}"
+                    );
+                }
+            }
+            assert!((m.det() - 1.0).abs() < 1e-12, "det != 1: {m:?}");
+        }
+    }
+
+    #[test]
+    fn rot_z_quarter_turn() {
+        let m = Mat3::rot_z(FRAC_PI_2);
+        assert_vec_close(
+            m.apply(Vec3::new(1.0, 0.0, 0.0)),
+            Vec3::new(0.0, 1.0, 0.0),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn axis_angle_matches_basis_rotations() {
+        let t = 0.83;
+        let a = Mat3::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), t);
+        let b = Mat3::rot_z(t);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((a.rows[i][j] - b.rows[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn euler_zyz_identity_and_composition() {
+        let id = EulerZyz::default().to_matrix();
+        assert_vec_close(
+            id.apply(Vec3::new(1.0, 2.0, 3.0)),
+            Vec3::new(1.0, 2.0, 3.0),
+            1e-15,
+        );
+        // alpha and gamma compose when beta = 0.
+        let e = EulerZyz {
+            alpha: 0.4,
+            beta: 0.0,
+            gamma: 0.6,
+        };
+        let m = e.to_matrix();
+        let expected = Mat3::rot_z(1.0);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((m.rows[i][j] - expected.rows[i][j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn euler_beta_pi_flips_z() {
+        let e = EulerZyz {
+            alpha: 0.0,
+            beta: PI,
+            gamma: 0.0,
+        };
+        assert_vec_close(
+            e.to_matrix().apply(Vec3::new(0.0, 0.0, 1.0)),
+            Vec3::new(0.0, 0.0, -1.0),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn pose_apply_and_perturb() {
+        let pose = Pose::from_euler(
+            EulerZyz {
+                alpha: 0.0,
+                beta: 0.0,
+                gamma: 0.0,
+            },
+            Vec3::new(1.0, 0.0, 0.0),
+        );
+        assert_vec_close(
+            pose.apply(Vec3::new(0.0, 1.0, 0.0)),
+            Vec3::new(1.0, 1.0, 0.0),
+            1e-15,
+        );
+        // A zero perturbation leaves the pose unchanged.
+        let same = pose.perturbed(Vec3::ZERO, Vec3::ZERO);
+        assert_eq!(same, pose);
+        // A pure translation perturbation shifts the translation only.
+        let shifted = pose.perturbed(Vec3::new(0.0, 0.0, 2.0), Vec3::ZERO);
+        assert_vec_close(shifted.translation, Vec3::new(1.0, 0.0, 2.0), 1e-15);
+        assert_eq!(shifted.rotation, pose.rotation);
+        // A rotation perturbation keeps the matrix orthonormal.
+        let rotated = pose.perturbed(Vec3::ZERO, Vec3::new(0.01, -0.02, 0.005));
+        assert!((rotated.rotation.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_and_minmax() {
+        let a = Vec3::new(0.0, 3.0, 4.0);
+        assert!((a.distance(Vec3::ZERO) - 5.0).abs() < 1e-15);
+        let b = Vec3::new(1.0, -1.0, 7.0);
+        assert_eq!(a.min(b), Vec3::new(0.0, -1.0, 4.0));
+        assert_eq!(a.max(b), Vec3::new(1.0, 3.0, 7.0));
+    }
+}

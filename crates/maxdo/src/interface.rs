@@ -1,0 +1,277 @@
+//! Interaction-site analysis — the science the docking map is *for*.
+//!
+//! §2: the project's goal is "screening a database containing thousands of
+//! proteins for functional sites involved in binding to other proteins
+//! targets", following Sacquin-Mora et al., *Identification of protein
+//! interaction partners and protein-protein interaction sites via
+//! cross-docking simulations*. Phase I produced the raw docking maps; the
+//! downstream analysis extracts, per receptor:
+//!
+//! * the **binding site**: receptor beads that are repeatedly contacted by
+//!   low-energy docked poses across many ligands (the *contact
+//!   propensity*);
+//! * the **partner ranking**: ligands ordered by their best interaction
+//!   energy with the receptor ("see whether these two proteins are likely
+//!   to interact, should they ever meet in a biological system" — §2.1).
+//!
+//! This module implements both over [`crate::docking::DockingRow`] maps.
+
+use crate::energy::EnergyParams;
+use crate::geom::Pose;
+use crate::model::{Protein, ProteinId};
+use serde::{Deserialize, Serialize};
+
+/// Per-bead contact statistics of a receptor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContactPropensity {
+    /// The receptor the analysis belongs to.
+    pub receptor: ProteinId,
+    /// For each receptor bead, the number of low-energy poses that
+    /// contacted it.
+    pub contacts: Vec<u32>,
+    /// Number of poses analysed.
+    pub poses: u32,
+}
+
+impl ContactPropensity {
+    /// Normalised propensity per bead, in `[0, 1]`.
+    pub fn normalized(&self) -> Vec<f64> {
+        let peak = self.contacts.iter().copied().max().unwrap_or(0).max(1) as f64;
+        self.contacts.iter().map(|&c| c as f64 / peak).collect()
+    }
+
+    /// Bead indices of the predicted binding site: propensity above
+    /// `threshold` of the peak.
+    pub fn binding_site(&self, threshold: f64) -> Vec<usize> {
+        assert!((0.0..=1.0).contains(&threshold), "threshold in [0,1]");
+        self.normalized()
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p >= threshold)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Accumulates contact statistics over docked poses.
+///
+/// `energy_quantile` selects which poses count as "low energy": a pose
+/// participates when its `Etot` is within the best `energy_quantile`
+/// fraction of the map (the cross-docking papers use the lowest-energy
+/// tail of the minima distribution).
+pub fn contact_propensity(
+    receptor: &Protein,
+    ligand: &Protein,
+    rows: &[crate::docking::DockingRow],
+    energy_quantile: f64,
+    params: &EnergyParams,
+) -> ContactPropensity {
+    assert!(
+        (0.0..=1.0).contains(&energy_quantile) && energy_quantile > 0.0,
+        "quantile in (0,1]"
+    );
+    assert!(!rows.is_empty(), "empty docking map");
+    // Energy cutoff at the requested quantile.
+    let mut energies: Vec<f64> = rows.iter().map(|r| r.etot()).collect();
+    energies.sort_by(|a, b| a.partial_cmp(b).expect("finite energies"));
+    let idx = ((energies.len() as f64 * energy_quantile).ceil() as usize)
+        .clamp(1, energies.len());
+    let cutoff = energies[idx - 1];
+
+    let contact_dist = params.cutoff * 0.6; // contacts are closer than the
+                                            // interaction cutoff
+    let mut contacts = vec![0u32; receptor.bead_count()];
+    let mut poses = 0u32;
+    for row in rows.iter().filter(|r| r.etot() <= cutoff) {
+        poses += 1;
+        let pose = Pose::from_euler(row.orientation, row.position);
+        for lbead in ligand.beads() {
+            let lp = pose.apply(lbead.position);
+            for (i, rbead) in receptor.beads().iter().enumerate() {
+                if lp.distance(rbead.position) < contact_dist {
+                    contacts[i] += 1;
+                }
+            }
+        }
+    }
+    ContactPropensity {
+        receptor: receptor.id,
+        contacts,
+        poses,
+    }
+}
+
+/// One entry of a receptor's partner ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartnerScore {
+    /// The candidate partner (ligand).
+    pub ligand: ProteinId,
+    /// Best (most negative) interaction energy found in the map.
+    pub best_etot: f64,
+    /// Mean of the 10 best energies (more robust than the single best).
+    pub top10_mean: f64,
+}
+
+/// Ranks candidate partners of a receptor from their docking maps.
+///
+/// `maps` pairs each ligand with its docking rows against the receptor;
+/// the returned ranking is strongest interaction first.
+pub fn rank_partners(
+    maps: &[(ProteinId, &[crate::docking::DockingRow])],
+) -> Vec<PartnerScore> {
+    let mut scores: Vec<PartnerScore> = maps
+        .iter()
+        .filter(|(_, rows)| !rows.is_empty())
+        .map(|&(ligand, rows)| {
+            let mut energies: Vec<f64> = rows.iter().map(|r| r.etot()).collect();
+            energies.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let k = energies.len().min(10);
+            PartnerScore {
+                ligand,
+                best_etot: energies[0],
+                top10_mean: energies[..k].iter().sum::<f64>() / k as f64,
+            }
+        })
+        .collect();
+    scores.sort_by(|a, b| a.top10_mean.partial_cmp(&b.top10_mean).expect("finite"));
+    scores
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::docking::{DockingEngine, DockingRow};
+    use crate::energy::EnergyParams;
+    use crate::library::{LibraryConfig, ProteinLibrary};
+    use crate::minimize::MinimizeParams;
+
+    fn docked_map(seed: u64) -> (ProteinLibrary, Vec<DockingRow>) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), seed);
+        let engine = DockingEngine::new(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            6,
+            EnergyParams::default(),
+            MinimizeParams {
+                max_iterations: 20,
+                ..Default::default()
+            },
+        );
+        let rows = engine.dock_range(1, 6).rows;
+        (lib, rows)
+    }
+
+    #[test]
+    fn propensity_counts_are_bounded_by_poses_and_beads() {
+        let (lib, rows) = docked_map(3);
+        let cp = contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &rows,
+            0.25,
+            &EnergyParams::default(),
+        );
+        assert_eq!(cp.contacts.len(), lib.proteins()[0].bead_count());
+        assert!(cp.poses >= 1);
+        assert!(cp.poses as usize <= rows.len());
+        // A bead can be contacted by several ligand beads per pose, but
+        // never more than ligand beads × poses times.
+        let max_possible = cp.poses as usize * lib.proteins()[1].bead_count();
+        assert!(cp.contacts.iter().all(|&c| (c as usize) <= max_possible));
+    }
+
+    #[test]
+    fn binding_site_is_localized() {
+        // Low-energy poses cluster somewhere on the surface, so the
+        // binding site should be a strict subset of the beads.
+        let (lib, rows) = docked_map(3);
+        let cp = contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &rows,
+            0.2,
+            &EnergyParams::default(),
+        );
+        let site = cp.binding_site(0.5);
+        assert!(!site.is_empty(), "no predicted site");
+        assert!(
+            site.len() < lib.proteins()[0].bead_count(),
+            "site covers the whole protein"
+        );
+        // Site indices are valid and sorted.
+        assert!(site.windows(2).all(|w| w[0] < w[1]));
+        assert!(*site.last().unwrap() < lib.proteins()[0].bead_count());
+    }
+
+    #[test]
+    fn tighter_quantile_uses_fewer_poses() {
+        let (lib, rows) = docked_map(3);
+        let loose = contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &rows,
+            1.0,
+            &EnergyParams::default(),
+        );
+        let tight = contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &rows,
+            0.1,
+            &EnergyParams::default(),
+        );
+        assert!(tight.poses < loose.poses);
+        assert_eq!(loose.poses as usize, rows.len());
+    }
+
+    #[test]
+    fn partner_ranking_orders_by_energy() {
+        let (_, rows_a) = docked_map(3);
+        let (_, rows_b) = docked_map(4);
+        let ranking = rank_partners(&[
+            (ProteinId(1), rows_a.as_slice()),
+            (ProteinId(2), rows_b.as_slice()),
+        ]);
+        assert_eq!(ranking.len(), 2);
+        assert!(ranking[0].top10_mean <= ranking[1].top10_mean);
+        for s in &ranking {
+            assert!(s.best_etot <= s.top10_mean);
+        }
+    }
+
+    #[test]
+    fn empty_maps_are_skipped() {
+        let (_, rows) = docked_map(3);
+        let ranking = rank_partners(&[
+            (ProteinId(1), rows.as_slice()),
+            (ProteinId(2), &[]),
+        ]);
+        assert_eq!(ranking.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile in (0,1]")]
+    fn zero_quantile_rejected() {
+        let (lib, rows) = docked_map(3);
+        contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &rows,
+            0.0,
+            &EnergyParams::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty docking map")]
+    fn empty_map_rejected() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 3);
+        contact_propensity(
+            &lib.proteins()[0],
+            &lib.proteins()[1],
+            &[],
+            0.5,
+            &EnergyParams::default(),
+        );
+    }
+}

@@ -1,0 +1,478 @@
+//! Synthetic protein library.
+//!
+//! The HCMD phase-I target set is 168 real proteins selected from the
+//! protein–protein docking benchmark of Mintseris et al.; those structures
+//! are not redistributable here, so this module generates a *synthetic
+//! catalog* of 168 reduced-model proteins whose statistical properties are
+//! calibrated to everything the paper publishes about the real set:
+//!
+//! * the distribution of sizes is log-normal and strongly skewed, so that
+//!   the number of starting positions `Nsep(p)` reproduces Figure 2 (most
+//!   proteins below 3 000 starting positions, exactly one above 8 000);
+//! * the pairwise compute-time matrix derived from the catalog reproduces
+//!   Table 1 (mean 671 s, σ ≈ 968 s, median 384 s, min ≈ 6 s,
+//!   max ≈ 46 347 s on the reference processor);
+//! * roughly 10 proteins carry ~30 % of the total processing time (§4.1).
+//!
+//! Proteins are built as compact self-avoiding-ish random walks of backbone
+//! beads with stochastic side-chain beads, giving realistic globular shapes
+//! (radius ∝ n^⅓) for the docking kernel to chew on.
+
+use crate::geom::Vec3;
+use crate::model::{Bead, BeadKind, Protein, ProteinId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of proteins in the HCMD phase-I target set.
+pub const PHASE1_PROTEIN_COUNT: usize = 168;
+
+/// Median residue count of the synthetic catalog (calibration input).
+pub const MEDIAN_RESIDUES: f64 = 170.0;
+
+/// Log-normal σ of the residue-count distribution (calibration input; see
+/// DESIGN.md — chosen so the compute-time matrix matches Table 1's
+/// coefficient of variation).
+pub const SIGMA_LOG_RESIDUES: f64 = 0.70;
+
+/// Residue count of the single deliberately oversized protein — the paper's
+/// Figure 2 shows exactly one protein with more than 8 000 starting
+/// positions, and Table 1's max entry (46 347 s) implies one protein about
+/// an order of magnitude heavier than the median.
+pub const GIANT_RESIDUES: usize = 1370;
+
+/// Axis stretch applied to the giant: elongated (multi-domain) shape, which
+/// is what gives it its outsized interaction surface (> 8 000 starting
+/// positions) without blowing up the compute-time matrix maximum.
+pub const GIANT_ELONGATION: f64 = 1.8;
+
+/// Spacing (Å) between ligand starting positions on the interaction
+/// surface, used to derive `Nsep(p)` from the protein's surface radius.
+/// Calibrated so the catalog's Nsep distribution matches Figure 2 and the
+/// formula-(1) total matches §4.1's 1,488 CPU-years.
+pub const PHASE1_SEPARATION_SPACING: f64 = 1.89;
+
+/// Probability that a residue carries a side-chain bead.
+const SIDECHAIN_PROBABILITY: f64 = 0.7;
+
+/// Bond length between consecutive backbone beads (Å), the Cα–Cα distance.
+const BACKBONE_STEP: f64 = 3.8;
+
+/// Configuration for generating a synthetic protein library.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LibraryConfig {
+    /// Number of proteins.
+    pub count: usize,
+    /// Median residue count of the log-normal size distribution.
+    pub median_residues: f64,
+    /// σ of `ln`(residue count).
+    pub sigma_log_residues: f64,
+    /// Residue count bounds (clamping the log-normal draws).
+    pub min_residues: usize,
+    /// Upper clamp of ordinary draws (the giant is exempt).
+    pub max_residues: usize,
+    /// If true, the largest protein is replaced by a giant of
+    /// [`GIANT_RESIDUES`] residues (phase-I realism: one outlier).
+    pub include_giant: bool,
+    /// Starting-position spacing for the `Nsep` table (Å).
+    pub separation_spacing: f64,
+}
+
+impl LibraryConfig {
+    /// The phase-I catalog configuration (168 proteins, calibrated).
+    pub fn phase1() -> Self {
+        Self {
+            count: PHASE1_PROTEIN_COUNT,
+            median_residues: MEDIAN_RESIDUES,
+            sigma_log_residues: SIGMA_LOG_RESIDUES,
+            min_residues: 40,
+            max_residues: 1100,
+            include_giant: true,
+            separation_spacing: PHASE1_SEPARATION_SPACING,
+        }
+    }
+
+    /// A tiny configuration for unit tests and examples (fast to dock for
+    /// real with the energy kernel).
+    pub fn tiny(count: usize) -> Self {
+        Self {
+            count,
+            median_residues: 24.0,
+            sigma_log_residues: 0.4,
+            min_residues: 10,
+            max_residues: 60,
+            include_giant: false,
+            separation_spacing: 6.0,
+        }
+    }
+}
+
+/// A set of proteins plus the per-protein `Nsep` table ("the starting
+/// positions are evaluated by an other program for each protein" — §2.1;
+/// [`crate::sampling`] is that program here).
+#[derive(Debug, Clone)]
+pub struct ProteinLibrary {
+    proteins: Vec<Protein>,
+    nsep: Vec<u32>,
+    config: LibraryConfig,
+}
+
+impl ProteinLibrary {
+    /// Generates a library deterministically from a seed.
+    pub fn generate(config: LibraryConfig, seed: u64) -> Self {
+        assert!(config.count > 0, "library must contain proteins");
+        let mut sizes: Vec<usize> = (0..config.count)
+            .map(|i| {
+                let mut rng = stream_rng(seed, 0xA11CE, i as u64);
+                let z: f64 = sample_standard_normal(&mut rng);
+                let n = (config.median_residues * (config.sigma_log_residues * z).exp()).round()
+                    as usize;
+                n.clamp(config.min_residues, config.max_residues)
+            })
+            .collect();
+        if config.include_giant {
+            // Replace the largest ordinary draw with the single outlier the
+            // paper shows in Figure 2.
+            let imax = sizes
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &n)| n)
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            sizes[imax] = GIANT_RESIDUES;
+        }
+        let giant_index = if config.include_giant {
+            sizes.iter().position(|&n| n == GIANT_RESIDUES)
+        } else {
+            None
+        };
+        let proteins: Vec<Protein> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| {
+                let mut rng = stream_rng(seed, 0xB0D1E5, i as u64);
+                let elongation = if Some(i) == giant_index {
+                    GIANT_ELONGATION
+                } else {
+                    1.0
+                };
+                generate_protein(ProteinId(i as u32), format!("P{i:03}"), n, elongation, &mut rng)
+            })
+            .collect();
+        let nsep = proteins
+            .iter()
+            .map(|p| nsep_for(p, config.separation_spacing))
+            .collect();
+        Self {
+            proteins,
+            nsep,
+            config,
+        }
+    }
+
+    /// The calibrated HCMD phase-I catalog: 168 synthetic proteins from a
+    /// fixed seed. Deterministic across runs and platforms.
+    pub fn phase1_catalog() -> Self {
+        Self::generate(LibraryConfig::phase1(), 0x4C4D_4843) // "HCMD"
+    }
+
+    /// The proteins, in catalog order.
+    pub fn proteins(&self) -> &[Protein] {
+        &self.proteins
+    }
+
+    /// Number of proteins.
+    pub fn len(&self) -> usize {
+        self.proteins.len()
+    }
+
+    /// True when the library is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.proteins.is_empty()
+    }
+
+    /// A protein by id.
+    pub fn protein(&self, id: ProteinId) -> &Protein {
+        &self.proteins[id.0 as usize]
+    }
+
+    /// `Nsep(p)` — the number of ligand starting positions around receptor
+    /// `p` (§2.1: "the number of starting positions ... is directly linked
+    /// with the size and shape of the protein").
+    pub fn nsep(&self, id: ProteinId) -> u32 {
+        self.nsep[id.0 as usize]
+    }
+
+    /// The whole `Nsep` table, in catalog order.
+    pub fn nsep_table(&self) -> &[u32] {
+        &self.nsep
+    }
+
+    /// The generation configuration.
+    pub fn config(&self) -> &LibraryConfig {
+        &self.config
+    }
+
+    /// Iterator over all ordered protein couples `(p1, p2)` — MAXDo is not
+    /// symmetric (§2.1), so all `len()²` couples are distinct work.
+    pub fn couples(&self) -> impl Iterator<Item = (ProteinId, ProteinId)> + '_ {
+        let n = self.proteins.len() as u32;
+        (0..n).flat_map(move |i| (0..n).map(move |j| (ProteinId(i), ProteinId(j))))
+    }
+
+    /// A copy of the library with every `Nsep` divided by `divisor`
+    /// (rounding up, minimum 1).
+    ///
+    /// Used to run *scaled* campaign simulations: dividing the number of
+    /// starting positions by S and the host population by S preserves
+    /// campaign duration, per-workunit statistics and all ratios, while
+    /// shrinking the event count S-fold. See DESIGN.md ("scale gate").
+    pub fn with_scaled_nsep(&self, divisor: u32) -> Self {
+        assert!(divisor >= 1, "divisor must be at least 1");
+        let mut scaled = self.clone();
+        for n in &mut scaled.nsep {
+            *n = n.div_ceil(divisor).max(1);
+        }
+        scaled
+    }
+}
+
+/// Derives `Nsep` from the receptor's interaction-surface area and the
+/// position spacing: the number of `spacing × spacing` patches tiling the
+/// surface sphere.
+pub fn nsep_for(protein: &Protein, spacing: f64) -> u32 {
+    assert!(spacing > 0.0, "spacing must be positive");
+    let r = protein.surface_radius();
+    let count = (4.0 * std::f64::consts::PI * r * r / (spacing * spacing)).round();
+    (count as u32).max(1)
+}
+
+/// Generates one compact globular protein with `n_residues` residues;
+/// `elongation > 1` stretches it along z into a prolate (multi-domain)
+/// shape after generation.
+fn generate_protein(
+    id: ProteinId,
+    name: String,
+    n_residues: usize,
+    elongation: f64,
+    rng: &mut ChaCha8Rng,
+) -> Protein {
+    assert!(n_residues > 0);
+    // Target globule radius: density of ~one residue per (4.3 Å)³ sphere
+    // gives R ≈ 3.2 n^⅓, matching real protein scaling.
+    let confine_radius = 3.2 * (n_residues as f64).cbrt();
+    let mut beads = Vec::with_capacity((n_residues as f64 * 1.7) as usize + 4);
+    let mut pos = Vec3::ZERO;
+    for _ in 0..n_residues {
+        beads.push(Bead {
+            position: pos,
+            kind: BeadKind::Backbone,
+        });
+        if rng.gen::<f64>() < SIDECHAIN_PROBABILITY {
+            let dir = random_unit(rng);
+            beads.push(Bead {
+                position: pos + dir * 2.5,
+                kind: sidechain_kind(rng),
+            });
+        }
+        // Random-walk step with a harmonic pull back toward the origin so
+        // the chain stays a compact globule instead of a loose coil.
+        let raw = random_unit(rng);
+        let pull = if pos.norm() > 0.0 {
+            let strength = (pos.norm() / confine_radius).powi(2).min(4.0);
+            -(pos.normalized().expect("non-zero")) * strength
+        } else {
+            Vec3::ZERO
+        };
+        let dir = (raw + pull)
+            .normalized()
+            .unwrap_or(Vec3::new(0.0, 0.0, 1.0));
+        pos += dir * BACKBONE_STEP;
+    }
+    if elongation != 1.0 {
+        for b in &mut beads {
+            b.position.z *= elongation;
+        }
+    }
+    Protein::new(id, name, beads)
+}
+
+/// Side-chain bead kind frequencies (roughly matching amino-acid
+/// composition: half apolar, ~30 % polar, ~20 % charged).
+fn sidechain_kind(rng: &mut ChaCha8Rng) -> BeadKind {
+    let u: f64 = rng.gen();
+    if u < 0.50 {
+        BeadKind::Apolar
+    } else if u < 0.80 {
+        BeadKind::Polar
+    } else if u < 0.90 {
+        BeadKind::Positive
+    } else {
+        BeadKind::Negative
+    }
+}
+
+/// A uniformly random unit vector.
+fn random_unit(rng: &mut ChaCha8Rng) -> Vec3 {
+    // Marsaglia rejection from the cube.
+    loop {
+        let v = Vec3::new(
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+            rng.gen::<f64>() * 2.0 - 1.0,
+        );
+        let n2 = v.norm_sq();
+        if n2 > 1e-6 && n2 <= 1.0 {
+            return v / n2.sqrt();
+        }
+    }
+}
+
+/// A standard normal via Box–Muller.
+fn sample_standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Derives an independent deterministic RNG stream from `(seed, domain,
+/// index)`. Each protein draws from its own stream so inserting or removing
+/// proteins never perturbs the others.
+fn stream_rng(seed: u64, domain: u64, index: u64) -> ChaCha8Rng {
+    // SplitMix64-style mixing of the three inputs into a 256-bit key.
+    let mut state = seed ^ domain.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut next = move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    };
+    let mut key = [0u8; 32];
+    let words = [next() ^ index, next().wrapping_add(index), next(), next()];
+    for (chunk, w) in key.chunks_exact_mut(8).zip(words) {
+        chunk.copy_from_slice(&w.to_le_bytes());
+    }
+    ChaCha8Rng::from_seed(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = ProteinLibrary::generate(LibraryConfig::tiny(5), 42);
+        let b = ProteinLibrary::generate(LibraryConfig::tiny(5), 42);
+        assert_eq!(a.proteins(), b.proteins());
+        assert_eq!(a.nsep_table(), b.nsep_table());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ProteinLibrary::generate(LibraryConfig::tiny(5), 1);
+        let b = ProteinLibrary::generate(LibraryConfig::tiny(5), 2);
+        assert_ne!(a.proteins(), b.proteins());
+    }
+
+    #[test]
+    fn phase1_catalog_has_168_proteins() {
+        let lib = ProteinLibrary::phase1_catalog();
+        assert_eq!(lib.len(), PHASE1_PROTEIN_COUNT);
+        assert!(!lib.is_empty());
+    }
+
+    #[test]
+    fn proteins_are_globular() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(8), 7);
+        for p in lib.proteins() {
+            // Radius of gyration should scale like a globule, not a coil:
+            // well under the fully extended length.
+            let n = p.bead_count() as f64;
+            let extended = n * BACKBONE_STEP;
+            assert!(p.radius_of_gyration() < extended / 4.0);
+            assert!(p.bounding_radius() > 0.0);
+        }
+    }
+
+    #[test]
+    fn nsep_scales_with_surface_area() {
+        let lib = ProteinLibrary::phase1_catalog();
+        let (mut smallest, mut largest) = (usize::MAX, 0usize);
+        let (mut small_id, mut large_id) = (ProteinId(0), ProteinId(0));
+        for p in lib.proteins() {
+            if p.bead_count() < smallest {
+                smallest = p.bead_count();
+                small_id = p.id;
+            }
+            if p.bead_count() > largest {
+                largest = p.bead_count();
+                large_id = p.id;
+            }
+        }
+        assert!(lib.nsep(large_id) > lib.nsep(small_id));
+    }
+
+    #[test]
+    fn figure2_shape_most_below_3000_one_above_8000() {
+        let lib = ProteinLibrary::phase1_catalog();
+        let below_3000 = lib.nsep_table().iter().filter(|&&n| n < 3000).count();
+        let above_8000 = lib.nsep_table().iter().filter(|&&n| n > 8000).count();
+        assert!(
+            below_3000 as f64 >= 0.55 * lib.len() as f64,
+            "only {below_3000}/168 below 3000"
+        );
+        assert_eq!(above_8000, 1, "exactly one outlier expected");
+    }
+
+    #[test]
+    fn couples_enumerates_nsquared_ordered_pairs() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(4), 3);
+        let couples: Vec<_> = lib.couples().collect();
+        assert_eq!(couples.len(), 16);
+        // Both (a,b) and (b,a) are present: MAXDo is not symmetric.
+        assert!(couples.contains(&(ProteinId(1), ProteinId(2))));
+        assert!(couples.contains(&(ProteinId(2), ProteinId(1))));
+        assert!(couples.contains(&(ProteinId(0), ProteinId(0))));
+    }
+
+    #[test]
+    fn nsep_for_small_protein_is_at_least_one() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(1), 9);
+        assert!(nsep_for(&lib.proteins()[0], 1e6) >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spacing must be positive")]
+    fn nsep_rejects_zero_spacing() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(1), 9);
+        nsep_for(&lib.proteins()[0], 0.0);
+    }
+
+    #[test]
+    fn giant_is_the_largest() {
+        let lib = ProteinLibrary::phase1_catalog();
+        let max_beads = lib.proteins().iter().map(|p| p.bead_count()).max().unwrap();
+        // The giant has ~1.7 beads per residue over 2000 residues.
+        assert!(
+            max_beads as f64 > GIANT_RESIDUES as f64 * 1.4,
+            "max beads {max_beads}"
+        );
+    }
+
+    #[test]
+    fn stream_rng_streams_are_independent() {
+        use rand::RngCore;
+        let mut a = stream_rng(1, 2, 3);
+        let mut b = stream_rng(1, 2, 4);
+        let c = stream_rng(1, 2, 3);
+        assert_ne!(a.next_u64(), b.next_u64());
+        let mut a2 = stream_rng(1, 2, 3);
+        let _ = c;
+        assert_eq!(a2.next_u64(), {
+            let mut a3 = stream_rng(1, 2, 3);
+            a3.next_u64()
+        });
+        let _ = a;
+    }
+}

@@ -1,0 +1,290 @@
+//! The reduced (coarse-grained) protein model.
+//!
+//! MAXDo uses the reduced protein model of Zacharias (Protein Sci. 2003):
+//! each amino-acid residue is represented by a small number of pseudo-atoms
+//! ("beads") — one for the backbone and up to two for the side chain — each
+//! carrying a van-der-Waals radius, a Lennard-Jones well depth, and a
+//! partial electric charge. Proteins are *rigid* during docking: only the
+//! six rigid-body degrees of freedom of the ligand move.
+//!
+//! The paper does not publish the force-field tables, so the bead
+//! parameters here are representative values on the right physical scales
+//! (radii of a few Å, well depths of fractions of kcal·mol⁻¹, net charges
+//! of ±1e on charged residues). The downstream evaluation depends only on
+//! the model's structure (bead counts, rigid geometry, LJ + electrostatic
+//! energy), not on the precise constants.
+
+use crate::geom::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a protein inside a [`crate::library::ProteinLibrary`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ProteinId(pub u32);
+
+impl std::fmt::Display for ProteinId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{:03}", self.0)
+    }
+}
+
+/// Chemical class of a pseudo-atom in the reduced model. The class selects
+/// the Lennard-Jones parameters and the sign/magnitude of the charge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BeadKind {
+    /// Backbone pseudo-atom (peptide unit); small dipolar charge.
+    Backbone,
+    /// Apolar side-chain bead (Ala, Val, Leu, Ile, Phe, ...).
+    Apolar,
+    /// Polar uncharged side-chain bead (Ser, Thr, Asn, Gln, ...).
+    Polar,
+    /// Positively charged side-chain bead (Lys, Arg, His⁺).
+    Positive,
+    /// Negatively charged side-chain bead (Asp, Glu).
+    Negative,
+}
+
+impl BeadKind {
+    /// All bead kinds, in a stable order.
+    pub const ALL: [BeadKind; 5] = [
+        BeadKind::Backbone,
+        BeadKind::Apolar,
+        BeadKind::Polar,
+        BeadKind::Positive,
+        BeadKind::Negative,
+    ];
+
+    /// Van-der-Waals radius in Å (reduced-model scale: beads are larger
+    /// than atoms because each subsumes several heavy atoms).
+    pub fn radius(self) -> f64 {
+        match self {
+            BeadKind::Backbone => 2.4,
+            BeadKind::Apolar => 3.0,
+            BeadKind::Polar => 2.8,
+            BeadKind::Positive => 2.9,
+            BeadKind::Negative => 2.7,
+        }
+    }
+
+    /// Lennard-Jones well depth ε in kcal·mol⁻¹.
+    pub fn epsilon(self) -> f64 {
+        match self {
+            BeadKind::Backbone => 0.20,
+            BeadKind::Apolar => 0.35,
+            BeadKind::Polar => 0.25,
+            BeadKind::Positive => 0.22,
+            BeadKind::Negative => 0.22,
+        }
+    }
+
+    /// Partial charge in units of the elementary charge.
+    pub fn charge(self) -> f64 {
+        match self {
+            BeadKind::Backbone => 0.0,
+            BeadKind::Apolar => 0.0,
+            BeadKind::Polar => 0.0,
+            BeadKind::Positive => 1.0,
+            BeadKind::Negative => -1.0,
+        }
+    }
+}
+
+/// One pseudo-atom of the reduced model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bead {
+    /// Position in the protein's body frame (mass centre at the origin), Å.
+    pub position: Vec3,
+    /// Chemical class.
+    pub kind: BeadKind,
+}
+
+/// A rigid protein in the reduced representation.
+///
+/// Invariants (maintained by [`Protein::new`] and checked by
+/// `debug_assert`s):
+/// * at least one bead;
+/// * the centroid of the beads is the origin (so the pose translation *is*
+///   the mass-centre coordinate the paper minimises over);
+/// * `bounding_radius` is the max bead distance from the origin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Protein {
+    /// Stable identifier.
+    pub id: ProteinId,
+    /// Human-readable name (the synthetic catalog uses `P000`-style names).
+    pub name: String,
+    /// Pseudo-atoms, positions centred on the mass centre.
+    beads: Vec<Bead>,
+    /// Radius of the smallest origin-centred sphere containing all beads.
+    bounding_radius: f64,
+}
+
+impl Protein {
+    /// Builds a protein, recentring the beads on their centroid.
+    ///
+    /// # Panics
+    /// Panics if `beads` is empty or any position is non-finite.
+    pub fn new(id: ProteinId, name: impl Into<String>, mut beads: Vec<Bead>) -> Self {
+        assert!(!beads.is_empty(), "a protein needs at least one bead");
+        assert!(
+            beads.iter().all(|b| b.position.is_finite()),
+            "bead positions must be finite"
+        );
+        let centroid = beads
+            .iter()
+            .fold(Vec3::ZERO, |acc, b| acc + b.position)
+            / beads.len() as f64;
+        for b in &mut beads {
+            b.position -= centroid;
+        }
+        let bounding_radius = beads
+            .iter()
+            .map(|b| b.position.norm())
+            .fold(0.0, f64::max);
+        Self {
+            id,
+            name: name.into(),
+            beads,
+            bounding_radius,
+        }
+    }
+
+    /// The pseudo-atoms (body frame, centroid at the origin).
+    pub fn beads(&self) -> &[Bead] {
+        &self.beads
+    }
+
+    /// Number of pseudo-atoms.
+    pub fn bead_count(&self) -> usize {
+        self.beads.len()
+    }
+
+    /// Radius of the bounding sphere (Å).
+    pub fn bounding_radius(&self) -> f64 {
+        self.bounding_radius
+    }
+
+    /// Net charge of the protein (sum of bead charges, in e).
+    pub fn net_charge(&self) -> f64 {
+        self.beads.iter().map(|b| b.kind.charge()).sum()
+    }
+
+    /// Radius of gyration (Å) — used by the synthetic library to tune
+    /// realistic shapes.
+    pub fn radius_of_gyration(&self) -> f64 {
+        let n = self.beads.len() as f64;
+        (self.beads.iter().map(|b| b.position.norm_sq()).sum::<f64>() / n).sqrt()
+    }
+
+    /// An *effective interaction surface radius*: the bounding radius plus
+    /// one bead diameter of padding. Starting positions for the ligand are
+    /// generated on spheres derived from this (see [`crate::sampling`]).
+    pub fn surface_radius(&self) -> f64 {
+        self.bounding_radius + 6.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tetra_beads() -> Vec<Bead> {
+        // A regular-ish tetrahedron, deliberately NOT centred.
+        [
+            Vec3::new(10.0, 10.0, 10.0),
+            Vec3::new(11.0, 10.0, 10.0),
+            Vec3::new(10.0, 11.0, 10.0),
+            Vec3::new(10.0, 10.0, 11.0),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, position)| Bead {
+            position,
+            kind: BeadKind::ALL[i % 5],
+        })
+        .collect()
+    }
+
+    #[test]
+    fn construction_recentres_on_centroid() {
+        let p = Protein::new(ProteinId(0), "t", tetra_beads());
+        let centroid = p
+            .beads()
+            .iter()
+            .fold(Vec3::ZERO, |a, b| a + b.position)
+            / p.bead_count() as f64;
+        assert!(centroid.norm() < 1e-12);
+    }
+
+    #[test]
+    fn bounding_radius_covers_all_beads() {
+        let p = Protein::new(ProteinId(1), "t", tetra_beads());
+        for b in p.beads() {
+            assert!(b.position.norm() <= p.bounding_radius() + 1e-12);
+        }
+        assert!(p.bounding_radius() > 0.0);
+    }
+
+    #[test]
+    fn surface_radius_exceeds_bounding_radius() {
+        let p = Protein::new(ProteinId(2), "t", tetra_beads());
+        assert!(p.surface_radius() > p.bounding_radius());
+    }
+
+    #[test]
+    fn net_charge_sums_bead_charges() {
+        let beads = vec![
+            Bead {
+                position: Vec3::new(0.0, 0.0, 0.0),
+                kind: BeadKind::Positive,
+            },
+            Bead {
+                position: Vec3::new(1.0, 0.0, 0.0),
+                kind: BeadKind::Positive,
+            },
+            Bead {
+                position: Vec3::new(0.0, 1.0, 0.0),
+                kind: BeadKind::Negative,
+            },
+        ];
+        let p = Protein::new(ProteinId(3), "t", beads);
+        assert!((p.net_charge() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn radius_of_gyration_single_bead_is_zero() {
+        let p = Protein::new(
+            ProteinId(4),
+            "t",
+            vec![Bead {
+                position: Vec3::new(5.0, 5.0, 5.0),
+                kind: BeadKind::Backbone,
+            }],
+        );
+        assert_eq!(p.radius_of_gyration(), 0.0);
+        assert_eq!(p.bounding_radius(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bead")]
+    fn empty_protein_rejected() {
+        Protein::new(ProteinId(5), "t", Vec::new());
+    }
+
+    #[test]
+    fn bead_kind_tables_are_physical() {
+        for k in BeadKind::ALL {
+            assert!(k.radius() > 1.0 && k.radius() < 5.0);
+            assert!(k.epsilon() > 0.0 && k.epsilon() < 1.0);
+            assert!(k.charge().abs() <= 1.0);
+        }
+        assert_eq!(BeadKind::Positive.charge(), 1.0);
+        assert_eq!(BeadKind::Negative.charge(), -1.0);
+    }
+
+    #[test]
+    fn protein_id_display() {
+        assert_eq!(ProteinId(7).to_string(), "P007");
+        assert_eq!(ProteinId(123).to_string(), "P123");
+    }
+}

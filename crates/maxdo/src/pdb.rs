@@ -1,0 +1,276 @@
+//! PDB-style structure export and import.
+//!
+//! The HCMD screensaver displayed "the graphic of the two proteins which
+//! are currently being docked" (Figure 5); real users inspect docking
+//! results in molecular viewers. This module writes reduced-model
+//! proteins and docked complexes as standard `ATOM`/`HETATM` records
+//! (coarse-grained beads as pseudo-atoms) and parses them back, so
+//! synthetic catalogs and predicted complexes can be eyeballed in PyMOL
+//! or ChimeraX.
+
+use crate::geom::Pose;
+use crate::model::{Bead, BeadKind, Protein, ProteinId};
+
+/// Element label used for a bead kind (column 77-78 of the PDB format).
+fn element(kind: BeadKind) -> &'static str {
+    match kind {
+        BeadKind::Backbone => " C",
+        BeadKind::Apolar => " C",
+        BeadKind::Polar => " O",
+        BeadKind::Positive => " N",
+        BeadKind::Negative => " O",
+    }
+}
+
+/// Atom name per bead kind (columns 13-16).
+fn atom_name(kind: BeadKind) -> &'static str {
+    match kind {
+        BeadKind::Backbone => " CA ",
+        BeadKind::Apolar => " CB ",
+        BeadKind::Polar => " OG ",
+        BeadKind::Positive => " NZ ",
+        BeadKind::Negative => " OD ",
+    }
+}
+
+fn kind_from_atom_name(name: &str) -> Option<BeadKind> {
+    match name.trim() {
+        "CA" => Some(BeadKind::Backbone),
+        "CB" => Some(BeadKind::Apolar),
+        "OG" => Some(BeadKind::Polar),
+        "NZ" => Some(BeadKind::Positive),
+        "OD" => Some(BeadKind::Negative),
+        _ => None,
+    }
+}
+
+/// Writes one protein as a PDB chain (beads in a given `pose`; use
+/// [`Pose::identity`] for the body frame).
+pub fn write_chain(protein: &Protein, chain: char, pose: &Pose, out: &mut String) {
+    for (i, bead) in protein.beads().iter().enumerate() {
+        let p = pose.apply(bead.position);
+        // Columns follow the fixed PDB layout closely enough for viewers.
+        out.push_str(&format!(
+            "ATOM  {:>5} {} GLY {}{:>4}    {:>8.3}{:>8.3}{:>8.3}  1.00  0.00          {}\n",
+            (i + 1) % 100_000,
+            atom_name(bead.kind),
+            chain,
+            (i + 1) % 10_000,
+            p.x,
+            p.y,
+            p.z,
+            element(bead.kind),
+        ));
+    }
+    out.push_str("TER\n");
+}
+
+/// Writes a docked complex: receptor as chain A (body frame), ligand as
+/// chain B in `ligand_pose`.
+pub fn write_complex(receptor: &Protein, ligand: &Protein, ligand_pose: &Pose) -> String {
+    let mut out = String::with_capacity(
+        (receptor.bead_count() + ligand.bead_count()) * 80 + 64,
+    );
+    out.push_str(&format!(
+        "REMARK   1 MAXDO COMPLEX {} {}\n",
+        receptor.name, ligand.name
+    ));
+    write_chain(receptor, 'A', &Pose::identity(), &mut out);
+    write_chain(ligand, 'B', ligand_pose, &mut out);
+    out.push_str("END\n");
+    out
+}
+
+/// Errors from [`parse_chain`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PdbParseError {
+    /// An ATOM record was shorter than the coordinate columns.
+    ShortRecord {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A coordinate failed to parse.
+    BadCoordinate {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An atom name did not map to a bead kind.
+    UnknownAtom {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// No ATOM records found.
+    Empty,
+}
+
+impl std::fmt::Display for PdbParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbParseError::ShortRecord { line } => write!(f, "line {line}: short record"),
+            PdbParseError::BadCoordinate { line } => write!(f, "line {line}: bad coordinate"),
+            PdbParseError::UnknownAtom { line } => write!(f, "line {line}: unknown atom"),
+            PdbParseError::Empty => write!(f, "no ATOM records"),
+        }
+    }
+}
+
+impl std::error::Error for PdbParseError {}
+
+/// Parses the ATOM records of one chain back into a protein.
+///
+/// Only `ATOM` records are read; `TER`/`END`/`REMARK` lines are skipped.
+pub fn parse_chain(text: &str, id: ProteinId, name: &str) -> Result<Protein, PdbParseError> {
+    let mut beads = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if !line.starts_with("ATOM") {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(PdbParseError::ShortRecord { line: idx + 1 });
+        }
+        let name_field = &line[12..16];
+        let kind = kind_from_atom_name(name_field)
+            .ok_or(PdbParseError::UnknownAtom { line: idx + 1 })?;
+        let coord = |range: std::ops::Range<usize>| {
+            line[range]
+                .trim()
+                .parse::<f64>()
+                .map_err(|_| PdbParseError::BadCoordinate { line: idx + 1 })
+        };
+        beads.push(Bead {
+            position: crate::geom::Vec3::new(coord(30..38)?, coord(38..46)?, coord(46..54)?),
+            kind,
+        });
+    }
+    if beads.is_empty() {
+        return Err(PdbParseError::Empty);
+    }
+    Ok(Protein::new(id, name, beads))
+}
+
+/// Writes every protein of a library as one PDB file per protein into
+/// `dir` (created if needed). Returns the written paths. This is the
+/// export path for inspecting the synthetic catalog in a molecular
+/// viewer.
+pub fn export_library(
+    library: &crate::library::ProteinLibrary,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(dir)?;
+    let mut paths = Vec::with_capacity(library.len());
+    for protein in library.proteins() {
+        let mut text = format!(
+            "REMARK   1 SYNTHETIC REDUCED-MODEL PROTEIN {} ({} beads)\n",
+            protein.name,
+            protein.bead_count()
+        );
+        write_chain(protein, 'A', &Pose::identity(), &mut text);
+        text.push_str("END\n");
+        let path = dir.join(format!("{}.pdb", protein.name));
+        std::fs::write(&path, text)?;
+        paths.push(path);
+    }
+    Ok(paths)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{EulerZyz, Vec3};
+    use crate::library::{LibraryConfig, ProteinLibrary};
+
+    fn protein() -> Protein {
+        ProteinLibrary::generate(LibraryConfig::tiny(1), 8).proteins()[0].clone()
+    }
+
+    #[test]
+    fn chain_round_trips_through_pdb() {
+        let p = protein();
+        let mut text = String::new();
+        write_chain(&p, 'A', &Pose::identity(), &mut text);
+        let re = parse_chain(&text, ProteinId(9), "re").unwrap();
+        assert_eq!(re.bead_count(), p.bead_count());
+        for (a, b) in re.beads().iter().zip(p.beads()) {
+            assert_eq!(a.kind, b.kind);
+            // PDB coordinates carry 3 decimals.
+            assert!(a.position.distance(b.position) < 2e-3);
+        }
+    }
+
+    #[test]
+    fn complex_contains_both_chains_posed() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 8);
+        let (r, l) = (&lib.proteins()[0], &lib.proteins()[1]);
+        let pose = Pose::from_euler(
+            EulerZyz {
+                alpha: 0.5,
+                beta: 0.3,
+                gamma: 0.0,
+            },
+            Vec3::new(25.0, 0.0, 0.0),
+        );
+        let text = write_complex(r, l, &pose);
+        assert!(text.starts_with("REMARK"));
+        assert!(text.ends_with("END\n"));
+        assert_eq!(text.matches("TER").count(), 2);
+        let atoms = text.lines().filter(|l| l.starts_with("ATOM")).count();
+        assert_eq!(atoms, r.bead_count() + l.bead_count());
+        // Chain B atoms are shifted by the pose translation: their mean x
+        // should sit near 25 Å.
+        let bx: Vec<f64> = text
+            .lines()
+            .filter(|l| l.starts_with("ATOM") && l.chars().nth(21) == Some('B'))
+            .map(|l| l[30..38].trim().parse::<f64>().unwrap())
+            .collect();
+        let mean = bx.iter().sum::<f64>() / bx.len() as f64;
+        assert!((mean - 25.0).abs() < 3.0, "chain B mean x {mean}");
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(
+            parse_chain("", ProteinId(0), "x").unwrap_err(),
+            PdbParseError::Empty
+        );
+        assert_eq!(
+            parse_chain("ATOM  tooshort", ProteinId(0), "x").unwrap_err(),
+            PdbParseError::ShortRecord { line: 1 }
+        );
+        let bad_atom =
+            "ATOM      1  XX  GLY A   1      10.000  10.000  10.000  1.00  0.00           C";
+        assert_eq!(
+            parse_chain(bad_atom, ProteinId(0), "x").unwrap_err(),
+            PdbParseError::UnknownAtom { line: 1 }
+        );
+        let bad_coord =
+            "ATOM      1  CA  GLY A   1      xx.xxx  10.000  10.000  1.00  0.00           C";
+        assert_eq!(
+            parse_chain(bad_coord, ProteinId(0), "x").unwrap_err(),
+            PdbParseError::BadCoordinate { line: 1 }
+        );
+    }
+
+    #[test]
+    fn library_export_round_trips() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 12);
+        let dir = std::env::temp_dir().join(format!("hcmd_pdb_test_{}", std::process::id()));
+        let paths = export_library(&lib, &dir).unwrap();
+        assert_eq!(paths.len(), 3);
+        for (path, protein) in paths.iter().zip(lib.proteins()) {
+            let text = std::fs::read_to_string(path).unwrap();
+            let re = parse_chain(&text, protein.id, &protein.name).unwrap();
+            assert_eq!(re.bead_count(), protein.bead_count());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_atom_lines_are_skipped() {
+        let p = protein();
+        let mut text = String::from("REMARK hello\n");
+        write_chain(&p, 'A', &Pose::identity(), &mut text);
+        text.push_str("END\n");
+        let re = parse_chain(&text, ProteinId(1), "x").unwrap();
+        assert_eq!(re.bead_count(), p.bead_count());
+    }
+}

@@ -1,0 +1,216 @@
+//! Starting positions and orientations for the docking search.
+//!
+//! §2.1: "Optimal interaction geometries will be searched for using
+//! multiple energy minimizations with a regular array of starting positions
+//! and orientations." The degrees of freedom are concatenated into two
+//! parameters: `isep` — the starting position of the ligand mass centre
+//! around the receptor — and `irot` — the starting orientation. The number
+//! of rotations is fixed (`Nrot = 21`, and per the paper's footnote the
+//! actual number of starting orientations is 210: *21 couples (α, β) for 10
+//! values of γ*); the number of positions `Nsep(p)` depends on the receptor
+//! (evaluated by "an other program" — here [`starting_positions`]).
+
+use crate::geom::{EulerZyz, Vec3};
+use crate::model::Protein;
+
+/// Number of `(α, β)` orientation couples — the paper's `Nrot = 21`.
+pub const NROT_COUPLES: usize = 21;
+
+/// Number of `γ` twist values per couple.
+pub const NGAMMA: usize = 10;
+
+/// Total starting orientations per starting position (`21 × 10 = 210`).
+pub const TOTAL_ORIENTATIONS: usize = NROT_COUPLES * NGAMMA;
+
+/// Generates the regular array of `nsep` ligand starting positions around
+/// a receptor.
+///
+/// Positions are a Fibonacci-sphere lattice (the standard construction for
+/// a quasi-uniform regular array on a sphere) of radius
+/// `receptor.surface_radius() + ligand_radius`: the ligand mass centre
+/// starts just outside contact so the minimiser approaches the surface from
+/// the outside, as cross-docking does.
+pub fn starting_positions(receptor: &Protein, ligand_radius: f64, nsep: u32) -> Vec<Vec3> {
+    assert!(nsep > 0, "need at least one starting position");
+    let r = receptor.surface_radius() + ligand_radius.max(0.0);
+    fibonacci_sphere(nsep as usize)
+        .into_iter()
+        .map(|u| u * r)
+        .collect()
+}
+
+/// One starting position by index (1-based like the paper's
+/// `isep ∈ [1..Nsep]`), without materialising the whole array.
+pub fn starting_position(receptor: &Protein, ligand_radius: f64, nsep: u32, isep: u32) -> Vec3 {
+    assert!(
+        (1..=nsep).contains(&isep),
+        "isep {isep} out of range 1..={nsep}"
+    );
+    let r = receptor.surface_radius() + ligand_radius.max(0.0);
+    fibonacci_point(isep as usize - 1, nsep as usize) * r
+}
+
+/// The regular grid of starting orientations: `NROT_COUPLES` quasi-uniform
+/// axis couples `(α, β)` × `NGAMMA` evenly spaced twists `γ`.
+#[derive(Debug, Clone)]
+pub struct OrientationGrid {
+    couples: Vec<(f64, f64)>,
+}
+
+impl Default for OrientationGrid {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OrientationGrid {
+    /// Builds the standard 21 × 10 grid.
+    pub fn new() -> Self {
+        let couples = fibonacci_sphere(NROT_COUPLES)
+            .into_iter()
+            .map(|u| {
+                // Direction → (α, β): α is the azimuth, β the polar angle.
+                let beta = u.z.clamp(-1.0, 1.0).acos();
+                let alpha = u.y.atan2(u.x).rem_euclid(std::f64::consts::TAU);
+                (alpha, beta)
+            })
+            .collect();
+        Self { couples }
+    }
+
+    /// Number of `(α, β)` couples (`irot` values).
+    pub fn couple_count(&self) -> usize {
+        self.couples.len()
+    }
+
+    /// The Euler angles for couple `irot` (1-based) and twist index
+    /// `igamma` (0-based, `0..NGAMMA`).
+    pub fn orientation(&self, irot: u32, igamma: u32) -> EulerZyz {
+        assert!(
+            (1..=self.couples.len() as u32).contains(&irot),
+            "irot {irot} out of range"
+        );
+        assert!((igamma as usize) < NGAMMA, "igamma {igamma} out of range");
+        let (alpha, beta) = self.couples[irot as usize - 1];
+        let gamma = igamma as f64 * std::f64::consts::TAU / NGAMMA as f64;
+        EulerZyz { alpha, beta, gamma }
+    }
+
+    /// Iterates all `(irot, igamma)` orientation indices in canonical order
+    /// (the order the MAXDo result file uses).
+    pub fn indices(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let n = self.couples.len() as u32;
+        (1..=n).flat_map(|irot| (0..NGAMMA as u32).map(move |g| (irot, g)))
+    }
+}
+
+/// `n` quasi-uniform unit vectors (Fibonacci / golden-spiral lattice).
+pub fn fibonacci_sphere(n: usize) -> Vec<Vec3> {
+    (0..n).map(|i| fibonacci_point(i, n)).collect()
+}
+
+/// The `i`-th of `n` Fibonacci-lattice points on the unit sphere.
+pub fn fibonacci_point(i: usize, n: usize) -> Vec3 {
+    assert!(n > 0 && i < n);
+    if n == 1 {
+        return Vec3::new(0.0, 0.0, 1.0);
+    }
+    let golden = (1.0 + 5.0_f64.sqrt()) / 2.0;
+    let z = 1.0 - 2.0 * (i as f64 + 0.5) / n as f64;
+    let rho = (1.0 - z * z).max(0.0).sqrt();
+    let phi = std::f64::consts::TAU * (i as f64 / golden).fract();
+    Vec3::new(rho * phi.cos(), rho * phi.sin(), z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::{LibraryConfig, ProteinLibrary};
+
+    #[test]
+    fn orientation_grid_has_210_orientations() {
+        let g = OrientationGrid::new();
+        assert_eq!(g.couple_count(), NROT_COUPLES);
+        assert_eq!(g.indices().count(), TOTAL_ORIENTATIONS);
+        assert_eq!(TOTAL_ORIENTATIONS, 210);
+    }
+
+    #[test]
+    fn orientations_are_distinct() {
+        let g = OrientationGrid::new();
+        let mats: Vec<_> = g
+            .indices()
+            .map(|(ir, ig)| g.orientation(ir, ig).to_matrix())
+            .collect();
+        for (i, a) in mats.iter().enumerate() {
+            for b in mats.iter().skip(i + 1) {
+                let diff: f64 = (0..3)
+                    .flat_map(|r| (0..3).map(move |c| (a.rows[r][c] - b.rows[r][c]).abs()))
+                    .sum();
+                assert!(diff > 1e-6, "two identical orientations in the grid");
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_points_are_unit_and_spread() {
+        let pts = fibonacci_sphere(100);
+        assert_eq!(pts.len(), 100);
+        for p in &pts {
+            assert!((p.norm() - 1.0).abs() < 1e-12);
+        }
+        // Quasi-uniformity: nearest-neighbour distance is bounded below.
+        for (i, a) in pts.iter().enumerate() {
+            let nn = pts
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, b)| a.distance(*b))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nn > 0.08, "points {i} too close: {nn}");
+        }
+    }
+
+    #[test]
+    fn starting_positions_lie_outside_the_receptor() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(1), 3);
+        let p = &lib.proteins()[0];
+        let positions = starting_positions(p, 5.0, 50);
+        assert_eq!(positions.len(), 50);
+        for pos in &positions {
+            assert!(pos.norm() > p.bounding_radius());
+            assert!((pos.norm() - (p.surface_radius() + 5.0)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn indexed_position_matches_array() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(1), 3);
+        let p = &lib.proteins()[0];
+        let all = starting_positions(p, 2.0, 17);
+        for isep in 1..=17u32 {
+            let one = starting_position(p, 2.0, 17, isep);
+            assert!(one.distance(all[isep as usize - 1]) < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn isep_zero_is_rejected() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(1), 3);
+        starting_position(&lib.proteins()[0], 2.0, 10, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn irot_out_of_range_rejected() {
+        OrientationGrid::new().orientation(22, 0);
+    }
+
+    #[test]
+    fn single_point_sphere() {
+        let pts = fibonacci_sphere(1);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].norm() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! The `y:d:h:m:s` duration notation used by the paper.
+//!
+//! The paper reports aggregate CPU times in a *years : days : hours :
+//! minutes : seconds* notation, e.g. the estimated phase-I workload is
+//! `1,488:237:19:45:54` ("more than 14 centuries and 88 years") and the
+//! consumed total is `8,082:275:17:15:44`. A year is 365 days here — the
+//! notation is a mixed-radix rendering of a second count, not a calendar
+//! computation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A non-negative duration in the paper's mixed-radix `y:d:h:m:s` notation.
+///
+/// Internally the value is an exact second count (`u64`), so conversions
+/// round-trip losslessly:
+///
+/// ```
+/// use metrics::Ydhms;
+/// let d = Ydhms::from_seconds(46_946_115_954);
+/// assert_eq!(d.to_string(), "1,488:237:19:45:54");
+/// assert_eq!(d.total_seconds(), 46_946_115_954);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Ydhms {
+    seconds: u64,
+}
+
+impl Ydhms {
+    /// Wraps an exact second count.
+    pub const fn from_seconds(seconds: u64) -> Self {
+        Self { seconds }
+    }
+
+    /// Builds a duration from its mixed-radix components.
+    pub const fn new(years: u64, days: u64, hours: u64, minutes: u64, seconds: u64) -> Self {
+        let total = ((years * 365 + days) * 24 + hours) * 3600 + minutes * 60 + seconds;
+        Self { seconds: total }
+    }
+
+    /// Rounds a fractional second count to the nearest whole second.
+    ///
+    /// Negative inputs clamp to zero; the paper's quantities are all
+    /// non-negative.
+    pub fn from_seconds_f64(seconds: f64) -> Self {
+        Self {
+            seconds: seconds.max(0.0).round() as u64,
+        }
+    }
+
+    /// The exact second count.
+    pub const fn total_seconds(self) -> u64 {
+        self.seconds
+    }
+
+    /// Total duration expressed in fractional years (365-day years).
+    pub fn total_years(self) -> f64 {
+        self.seconds as f64 / crate::SECONDS_PER_YEAR
+    }
+
+    /// Total duration expressed in fractional days.
+    pub fn total_days(self) -> f64 {
+        self.seconds as f64 / crate::SECONDS_PER_DAY
+    }
+
+    /// The `years` component of the mixed-radix rendering.
+    pub const fn years(self) -> u64 {
+        self.seconds / (365 * 86_400)
+    }
+
+    /// The `days` component (0..=364).
+    pub const fn days(self) -> u64 {
+        (self.seconds / 86_400) % 365
+    }
+
+    /// The `hours` component (0..=23).
+    pub const fn hours(self) -> u64 {
+        (self.seconds / 3600) % 24
+    }
+
+    /// The `minutes` component (0..=59).
+    pub const fn minutes(self) -> u64 {
+        (self.seconds / 60) % 60
+    }
+
+    /// The `seconds` component (0..=59).
+    pub const fn seconds(self) -> u64 {
+        self.seconds % 60
+    }
+
+    /// Saturating sum of two durations.
+    pub const fn saturating_add(self, other: Self) -> Self {
+        Self {
+            seconds: self.seconds.saturating_add(other.seconds),
+        }
+    }
+}
+
+impl fmt::Display for Ydhms {
+    /// Renders as the paper prints it: `1,488:237:19:45:54` — the year
+    /// component carries a thousands separator, the rest are plain fields.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let years = self.years();
+        if years >= 1000 {
+            write!(f, "{},{:03}", years / 1000, years % 1000)?;
+        } else {
+            write!(f, "{years}")?;
+        }
+        write!(
+            f,
+            ":{}:{}:{}:{}",
+            self.days(),
+            self.hours(),
+            self.minutes(),
+            self.seconds()
+        )
+    }
+}
+
+impl std::ops::Add for Ydhms {
+    type Output = Ydhms;
+    fn add(self, rhs: Ydhms) -> Ydhms {
+        Ydhms::from_seconds(self.seconds + rhs.seconds)
+    }
+}
+
+impl std::iter::Sum for Ydhms {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Ydhms::from_seconds(0), |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase1_estimate_renders_like_the_paper() {
+        // 1,488 years 237 days 19 h 45 m 54 s — §4.1.
+        let d = Ydhms::new(1488, 237, 19, 45, 54);
+        assert_eq!(d.to_string(), "1,488:237:19:45:54");
+    }
+
+    #[test]
+    fn consumed_total_renders_like_the_paper() {
+        // 8,082 years 275 days 17 h 15 m 44 s — §6.
+        let d = Ydhms::new(8082, 275, 17, 15, 44);
+        assert_eq!(d.to_string(), "8,082:275:17:15:44");
+    }
+
+    #[test]
+    fn components_round_trip() {
+        let d = Ydhms::new(3, 364, 23, 59, 59);
+        assert_eq!(d.years(), 3);
+        assert_eq!(d.days(), 364);
+        assert_eq!(d.hours(), 23);
+        assert_eq!(d.minutes(), 59);
+        assert_eq!(d.seconds(), 59);
+        let re = Ydhms::new(d.years(), d.days(), d.hours(), d.minutes(), d.seconds());
+        assert_eq!(re, d);
+    }
+
+    #[test]
+    fn small_durations() {
+        assert_eq!(Ydhms::from_seconds(0).to_string(), "0:0:0:0:0");
+        assert_eq!(Ydhms::from_seconds(61).to_string(), "0:0:0:1:1");
+        assert_eq!(Ydhms::from_seconds(86_400).to_string(), "0:1:0:0:0");
+    }
+
+    #[test]
+    fn fractional_rounding_and_clamping() {
+        assert_eq!(Ydhms::from_seconds_f64(1.4).total_seconds(), 1);
+        assert_eq!(Ydhms::from_seconds_f64(1.6).total_seconds(), 2);
+        assert_eq!(Ydhms::from_seconds_f64(-5.0).total_seconds(), 0);
+    }
+
+    #[test]
+    fn total_years_matches_components() {
+        let d = Ydhms::new(2, 182, 12, 0, 0); // 2.5 years
+        assert!((d.total_years() - 2.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sum_and_add() {
+        let a = Ydhms::from_seconds(100);
+        let b = Ydhms::from_seconds(23);
+        assert_eq!((a + b).total_seconds(), 123);
+        let s: Ydhms = [a, b, Ydhms::from_seconds(1)].into_iter().sum();
+        assert_eq!(s.total_seconds(), 124);
+    }
+
+    #[test]
+    fn ratio_of_consumed_to_estimated_is_the_papers_factor() {
+        // §6: consumed / estimated = 5.43.
+        let est = Ydhms::new(1488, 237, 19, 45, 54);
+        let got = Ydhms::new(8082, 275, 17, 15, 44);
+        let factor = got.total_seconds() as f64 / est.total_seconds() as f64;
+        assert!((factor - 5.43).abs() < 0.01, "factor = {factor}");
+    }
+}

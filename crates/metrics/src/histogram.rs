@@ -1,0 +1,217 @@
+//! Fixed-width histograms.
+//!
+//! Figures 2 (Nsep distribution), 4 (workunit execution-time distribution)
+//! and 8 (realized workunit distribution) are all histograms; this module
+//! provides the shared binning and ASCII rendering machinery.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over `[lo, hi)` with uniformly wide bins.
+///
+/// Values below `lo` are counted in an underflow bucket, values at or above
+/// `hi` in an overflow bucket, so no observation is ever silently dropped.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram with `nbins` uniform bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `nbins == 0` or `hi <= lo` or either bound is not finite.
+    pub fn new(lo: f64, hi: f64, nbins: usize) -> Self {
+        assert!(nbins > 0, "histogram needs at least one bin");
+        assert!(lo.is_finite() && hi.is_finite() && hi > lo, "bad bounds");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; nbins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: f64) {
+        if value < self.lo {
+            self.underflow += 1;
+        } else if value >= self.hi {
+            self.overflow += 1;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Records many observations.
+    pub fn record_all<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.record(v);
+        }
+    }
+
+    /// Records a weighted observation (e.g. "this bin gained `w` workunits").
+    pub fn record_weighted(&mut self, value: f64, weight: u64) {
+        if value < self.lo {
+            self.underflow += weight;
+        } else if value >= self.hi {
+            self.overflow += weight;
+        } else {
+            let frac = (value - self.lo) / (self.hi - self.lo);
+            let idx = ((frac * self.bins.len() as f64) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += weight;
+        }
+    }
+
+    /// Bin counts (excluding under/overflow).
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// `(low_edge, high_edge)` of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Observations below the histogram range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above the histogram range.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of recorded observations, including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Index of the fullest bin, or `None` if the histogram is empty.
+    pub fn mode_bin(&self) -> Option<usize> {
+        let max = *self.bins.iter().max()?;
+        if max == 0 {
+            return None;
+        }
+        self.bins.iter().position(|&c| c == max)
+    }
+
+    /// Mean of recorded in-range observations, using bin midpoints.
+    pub fn approximate_mean(&self) -> Option<f64> {
+        let n: u64 = self.bins.iter().sum();
+        if n == 0 {
+            return None;
+        }
+        let mut acc = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            acc += (a + b) / 2.0 * c as f64;
+        }
+        Some(acc / n as f64)
+    }
+
+    /// Renders the histogram as ASCII rows: `low..high  count  bar`.
+    ///
+    /// This is the form the benchmark binaries print so figures can be
+    /// eyeballed in a terminal and diffed in EXPERIMENTS.md.
+    pub fn render(&self, max_bar: usize) -> String {
+        let peak = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_edges(i);
+            let bar = "#".repeat((c as usize * max_bar).div_ceil(peak as usize).min(max_bar));
+            out.push_str(&format!("{a:>12.1} ..{b:>12.1} {c:>10} {bar}\n"));
+        }
+        if self.underflow > 0 {
+            out.push_str(&format!("{:>25} {:>10}\n", "< range", self.underflow));
+        }
+        if self.overflow > 0 {
+            out.push_str(&format!("{:>25} {:>10}\n", ">= range", self.overflow));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record(0.0);
+        h.record(0.99);
+        h.record(5.0);
+        h.record(9.999);
+        assert_eq!(h.bins()[0], 2);
+        assert_eq!(h.bins()[5], 1);
+        assert_eq!(h.bins()[9], 1);
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_are_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(-0.5);
+        h.record(1.0); // hi edge is exclusive
+        h.record(7.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn weighted_records() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.record_weighted(1.5, 10);
+        h.record_weighted(-1.0, 3);
+        assert_eq!(h.bins()[1], 10);
+        assert_eq!(h.underflow(), 3);
+    }
+
+    #[test]
+    fn mode_and_mean() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.record_all([1.5, 1.5, 1.5, 8.5]);
+        assert_eq!(h.mode_bin(), Some(1));
+        // midpoints: 3×1.5 + 1×8.5 → mean 3.25
+        assert!((h.approximate_mean().unwrap() - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_mode_or_mean() {
+        let h = Histogram::new(0.0, 1.0, 3);
+        assert_eq!(h.mode_bin(), None);
+        assert_eq!(h.approximate_mean(), None);
+    }
+
+    #[test]
+    fn bin_edges_partition_the_range() {
+        let h = Histogram::new(2.0, 12.0, 5);
+        assert_eq!(h.bin_edges(0), (2.0, 4.0));
+        assert_eq!(h.bin_edges(4), (10.0, 12.0));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 2.0, 2);
+        h.record(0.5);
+        let text = h.render(20);
+        assert!(text.contains('#'));
+        assert!(text.lines().count() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad bounds")]
+    fn rejects_inverted_bounds() {
+        Histogram::new(1.0, 0.0, 4);
+    }
+}

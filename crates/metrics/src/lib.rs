@@ -1,0 +1,52 @@
+//! Measurement toolkit for the HCMD / World Community Grid reproduction.
+//!
+//! This crate implements every measurement device the paper uses to report
+//! its results:
+//!
+//! * [`vftp`] — the *virtual full-time processors* paradigm introduced in
+//!   §3.1 of the paper ("How many processors do we need to generate 10 years
+//!   of cpu time for 1 day?").
+//! * [`duration`] — the `y:d:h:m:s` duration notation used throughout the
+//!   paper (e.g. the phase-I workload `1,488:237:19:45:54`).
+//! * [`summary`] — summary statistics as printed in Table 1 (mean, standard
+//!   deviation, min, max, median).
+//! * [`histogram`] — fixed-width histograms backing Figures 2, 4 and 8.
+//! * [`timeseries`] — daily/weekly accumulation series backing Figures 1
+//!   and 6.
+//! * [`regression`] — ordinary least squares with correlation coefficient,
+//!   used for the linearity study of Figure 3 (the paper reports r ≈ 0.99).
+//! * [`speeddown`] — the §6 speed-down analysis decomposing the observed
+//!   5.43× / 3.96× factors.
+//! * [`progression`] — the per-protein cumulative progression view of
+//!   Figure 7.
+//!
+//! All types are plain data with no interior mutability; everything is
+//! deterministic and `Send + Sync`.
+
+pub mod duration;
+pub mod histogram;
+pub mod progression;
+pub mod quantile;
+pub mod regression;
+pub mod speeddown;
+pub mod summary;
+pub mod timeseries;
+pub mod vftp;
+
+pub use duration::Ydhms;
+pub use histogram::Histogram;
+pub use progression::ProgressionSnapshot;
+pub use quantile::{quantile, Percentiles};
+pub use regression::LinearFit;
+pub use speeddown::SpeedDown;
+pub use summary::Summary;
+pub use timeseries::DailySeries;
+pub use vftp::{vftp_from_cpu_seconds, vftp_series};
+
+/// Number of seconds in a day, the base unit of the VFTP conversion.
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+/// Number of seconds in a (365-day) year, as used by the paper's
+/// `y:d:h:m:s` arithmetic.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * SECONDS_PER_DAY;
+/// Number of seconds in a week.
+pub const SECONDS_PER_WEEK: f64 = 7.0 * SECONDS_PER_DAY;

@@ -1,0 +1,207 @@
+//! Per-protein campaign progression — the Figure 7 view.
+//!
+//! Figure 7 of the paper shows, at four dates, the proteins on the X axis
+//! (sorted by launch order) against the cumulative percentage of total
+//! computation on the Y axis, split into a computed (green) and remaining
+//! (red) part. Its headline observation: on 2007-05-02, 85 % of the
+//! proteins were fully docked but that represented only 47 % of the total
+//! computation — because per-protein cost is extremely skewed.
+
+use serde::{Deserialize, Serialize};
+
+/// Progress of one receptor protein's docking work at a snapshot instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProteinProgress {
+    /// Index of the protein in launch order.
+    pub protein: usize,
+    /// Total CPU seconds this protein's couples require (reference CPU).
+    pub total_work: f64,
+    /// CPU seconds of that work already completed.
+    pub done_work: f64,
+}
+
+impl ProteinProgress {
+    /// Fraction of this protein's work completed, in `[0, 1]`.
+    pub fn fraction_done(&self) -> f64 {
+        if self.total_work <= 0.0 {
+            1.0
+        } else {
+            (self.done_work / self.total_work).clamp(0.0, 1.0)
+        }
+    }
+
+    /// Whether the protein is fully docked.
+    pub fn is_complete(&self) -> bool {
+        self.fraction_done() >= 1.0 - 1e-9
+    }
+}
+
+/// A Figure-7 style snapshot: the progression state of every protein at one
+/// instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProgressionSnapshot {
+    /// Label for the snapshot (the paper uses dates like `05-02-07`).
+    pub label: String,
+    /// One entry per protein, in launch order.
+    pub proteins: Vec<ProteinProgress>,
+}
+
+impl ProgressionSnapshot {
+    /// Creates a snapshot; proteins must already be in launch order.
+    pub fn new(label: impl Into<String>, proteins: Vec<ProteinProgress>) -> Self {
+        Self {
+            label: label.into(),
+            proteins,
+        }
+    }
+
+    /// Fraction of proteins fully docked (the "85 % of the proteins" axis).
+    pub fn fraction_proteins_complete(&self) -> f64 {
+        if self.proteins.is_empty() {
+            return 0.0;
+        }
+        self.proteins.iter().filter(|p| p.is_complete()).count() as f64
+            / self.proteins.len() as f64
+    }
+
+    /// Fraction of total computation completed (the "only 47 % of the
+    /// total computation" axis).
+    pub fn fraction_work_complete(&self) -> f64 {
+        let total: f64 = self.proteins.iter().map(|p| p.total_work).sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.proteins
+            .iter()
+            .map(|p| p.done_work.min(p.total_work))
+            .sum::<f64>()
+            / total
+    }
+
+    /// The cumulative-percentage curve of Figure 7: entry `i` is the share
+    /// of total work represented by proteins `0..=i` that is complete,
+    /// expressed against the cumulative share of total work.
+    ///
+    /// Returns `(cumulative_work_share, fraction_done)` pairs.
+    pub fn cumulative_curve(&self) -> Vec<(f64, f64)> {
+        let total: f64 = self.proteins.iter().map(|p| p.total_work).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        let mut acc = 0.0;
+        self.proteins
+            .iter()
+            .map(|p| {
+                acc += p.total_work;
+                (acc / total, p.fraction_done())
+            })
+            .collect()
+    }
+
+    /// Renders an ASCII strip chart: one character per protein,
+    /// `#` complete, digits for partial deciles, `.` untouched.
+    pub fn render_strip(&self, width: usize) -> String {
+        if self.proteins.is_empty() {
+            return String::new();
+        }
+        let per_char = (self.proteins.len() as f64 / width.max(1) as f64).max(1.0);
+        let mut out = String::with_capacity(width);
+        let mut idx = 0.0;
+        while (idx as usize) < self.proteins.len() {
+            let p = &self.proteins[idx as usize];
+            let f = p.fraction_done();
+            out.push(if f >= 1.0 - 1e-9 {
+                '#'
+            } else if f <= 0.0 {
+                '.'
+            } else {
+                char::from_digit(((f * 10.0) as u32).min(9), 10).expect("digit")
+            });
+            idx += per_char;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(done: &[(f64, f64)]) -> ProgressionSnapshot {
+        ProgressionSnapshot::new(
+            "test",
+            done.iter()
+                .enumerate()
+                .map(|(i, &(total, d))| ProteinProgress {
+                    protein: i,
+                    total_work: total,
+                    done_work: d,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn protein_fraction_clamps() {
+        let p = ProteinProgress {
+            protein: 0,
+            total_work: 10.0,
+            done_work: 15.0,
+        };
+        assert_eq!(p.fraction_done(), 1.0);
+        let z = ProteinProgress {
+            protein: 0,
+            total_work: 0.0,
+            done_work: 0.0,
+        };
+        assert_eq!(z.fraction_done(), 1.0); // no work ⇒ trivially complete
+    }
+
+    #[test]
+    fn skew_separates_the_two_axes() {
+        // Paper: 85 % of proteins complete ↔ only 47 % of work. Reproduce
+        // the mechanism: many cheap proteins done, few huge ones pending.
+        let mut rows: Vec<(f64, f64)> = Vec::new();
+        for _ in 0..85 {
+            rows.push((1.0, 1.0)); // cheap, done
+        }
+        for _ in 0..15 {
+            rows.push((6.5, 0.0)); // expensive, untouched
+        }
+        let s = snap(&rows);
+        assert!((s.fraction_proteins_complete() - 0.85).abs() < 1e-9);
+        let w = s.fraction_work_complete();
+        assert!((w - 0.466).abs() < 0.01, "work fraction {w}");
+    }
+
+    #[test]
+    fn empty_snapshot() {
+        let s = snap(&[]);
+        assert_eq!(s.fraction_proteins_complete(), 0.0);
+        assert_eq!(s.fraction_work_complete(), 0.0);
+        assert!(s.cumulative_curve().is_empty());
+        assert_eq!(s.render_strip(10), "");
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone_in_x() {
+        let s = snap(&[(1.0, 1.0), (2.0, 0.5), (3.0, 0.0)]);
+        let c = s.cumulative_curve();
+        assert_eq!(c.len(), 3);
+        assert!(c.windows(2).all(|w| w[0].0 < w[1].0));
+        assert!((c.last().unwrap().0 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn strip_chart_marks_progress() {
+        let s = snap(&[(1.0, 1.0), (1.0, 0.55), (1.0, 0.0)]);
+        let strip = s.render_strip(3);
+        assert_eq!(strip, "#5.");
+    }
+
+    #[test]
+    fn work_fraction_ignores_overshoot() {
+        let s = snap(&[(10.0, 20.0), (10.0, 0.0)]);
+        assert!((s.fraction_work_complete() - 0.5).abs() < 1e-12);
+    }
+}

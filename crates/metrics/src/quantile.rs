@@ -1,0 +1,107 @@
+//! Quantiles and percentile summaries.
+//!
+//! The paper reports medians and means; operational analyses of the
+//! realized-runtime distribution (Figure 8) and of turnaround tails want
+//! arbitrary quantiles — the deadline pressure of ABL3, for example, is a
+//! P95 phenomenon.
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a sample, by linear interpolation
+/// between closest ranks (the "R-7" definition most tools default to).
+///
+/// Returns `None` for an empty sample or one containing NaN.
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// A percentile digest of a sample: P5 / P25 / P50 / P75 / P95.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Percentiles {
+    pub p5: f64,
+    pub p25: f64,
+    pub p50: f64,
+    pub p75: f64,
+    pub p95: f64,
+}
+
+impl Percentiles {
+    /// Computes the digest; `None` for empty or NaN-bearing samples.
+    pub fn of(values: &[f64]) -> Option<Percentiles> {
+        Some(Percentiles {
+            p5: quantile(values, 0.05)?,
+            p25: quantile(values, 0.25)?,
+            p50: quantile(values, 0.50)?,
+            p75: quantile(values, 0.75)?,
+            p95: quantile(values, 0.95)?,
+        })
+    }
+
+    /// Renders in hours with one decimal (for runtime digests).
+    pub fn render_hours(&self) -> String {
+        format!(
+            "P5 {:.1}h | P25 {:.1}h | P50 {:.1}h | P75 {:.1}h | P95 {:.1}h",
+            self.p5 / 3600.0,
+            self.p25 / 3600.0,
+            self.p50 / 3600.0,
+            self.p75 / 3600.0,
+            self.p95 / 3600.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantile_of_known_sample() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(quantile(&v, 0.0), Some(1.0));
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+        assert_eq!(quantile(&v, 1.0), Some(5.0));
+        // Interpolation: 0.25 of the way from rank 1 (=2.0) to rank 2.
+        assert_eq!(quantile(&v, 0.25), Some(2.0));
+        assert_eq!(quantile(&v, 0.1), Some(1.4));
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let v = [5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(quantile(&v, 0.5), Some(3.0));
+    }
+
+    #[test]
+    fn single_value() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn out_of_range_q() {
+        quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let v: Vec<f64> = (0..100).map(|i| (i * i) as f64).collect();
+        let p = Percentiles::of(&v).unwrap();
+        assert!(p.p5 <= p.p25 && p.p25 <= p.p50 && p.p50 <= p.p75 && p.p75 <= p.p95);
+        let text = p.render_hours();
+        assert!(text.contains("P50"));
+    }
+}

@@ -1,0 +1,184 @@
+//! Ordinary least squares and the correlation coefficient.
+//!
+//! §4.1 of the paper establishes that MAXDo's computing time is linear in
+//! the number of orientations (`irot` fixed `isep`) and in the number of
+//! starting positions (`isep` fixed `irot`), checked over 400 random
+//! protein couples with "correlation coefficient always around 0.99", and
+//! then simplifies to a zero-intercept model (b = 0) so a single
+//! measurement per couple determines the slope. This module provides both
+//! fits.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a least-squares line fit `y ≈ a·x + b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Slope `a`.
+    pub slope: f64,
+    /// Intercept `b` (zero for [`LinearFit::through_origin`]).
+    pub intercept: f64,
+    /// Pearson correlation coefficient of the sample.
+    pub r: f64,
+}
+
+impl LinearFit {
+    /// Ordinary least squares with intercept.
+    ///
+    /// Returns `None` when fewer than two points are given or the x values
+    /// are all identical (the slope would be undefined).
+    pub fn fit(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+        if xs.len() != ys.len() || xs.len() < 2 {
+            return None;
+        }
+        let n = xs.len() as f64;
+        let mx = xs.iter().sum::<f64>() / n;
+        let my = ys.iter().sum::<f64>() / n;
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+        let sxy: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        // A perfectly flat y (syy == 0) is perfectly predicted by the
+        // constant model; report r = 1 rather than 0/0.
+        let r = if syy == 0.0 { 1.0 } else { sxy / (sxx * syy).sqrt() };
+        Some(LinearFit {
+            slope,
+            intercept,
+            r,
+        })
+    }
+
+    /// Least squares through the origin (`b = 0`), the simplification the
+    /// paper adopts: "we decided to assume the computing time is a linear
+    /// function ... (b = 0). This means that we only need one point to
+    /// determine the slope."
+    pub fn through_origin(xs: &[f64], ys: &[f64]) -> Option<LinearFit> {
+        if xs.len() != ys.len() || xs.is_empty() {
+            return None;
+        }
+        let sxx: f64 = xs.iter().map(|x| x * x).sum();
+        if sxx == 0.0 {
+            return None;
+        }
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
+        let slope = sxy / sxx;
+        // Report the plain Pearson r of the sample so callers can still
+        // assess linearity quality (undefined for a single point → 1.0).
+        let r = if xs.len() >= 2 {
+            LinearFit::fit(xs, ys).map(|f| f.r).unwrap_or(1.0)
+        } else {
+            1.0
+        };
+        Some(LinearFit {
+            slope,
+            intercept: 0.0,
+            r,
+        })
+    }
+
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+
+    /// Largest absolute relative residual over a sample, a convenient
+    /// linearity figure of merit for tests.
+    pub fn max_relative_residual(&self, xs: &[f64], ys: &[f64]) -> f64 {
+        xs.iter()
+            .zip(ys)
+            .map(|(&x, &y)| {
+                let p = self.predict(x);
+                if y == 0.0 {
+                    (p - y).abs()
+                } else {
+                    ((p - y) / y).abs()
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_is_recovered() {
+        let xs: Vec<f64> = (1..=10).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 2.0).collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.slope - 3.0).abs() < 1e-12);
+        assert!((f.intercept - 2.0).abs() < 1e-12);
+        assert!((f.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn through_origin_recovers_slope() {
+        let xs = [1.0, 2.0, 4.0];
+        let ys = [2.0, 4.0, 8.0];
+        let f = LinearFit::through_origin(&xs, &ys).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert_eq!(f.intercept, 0.0);
+    }
+
+    #[test]
+    fn single_point_through_origin() {
+        // The paper's one-measurement slope determination.
+        let f = LinearFit::through_origin(&[21.0], &[671.0]).unwrap();
+        assert!((f.slope - 671.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_still_high_r() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 5.0 * x + if i % 2 == 0 { 0.3 } else { -0.3 })
+            .collect();
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!(f.r > 0.99, "r = {}", f.r);
+    }
+
+    #[test]
+    fn anticorrelated_sample_has_negative_r() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0, 0.0];
+        let f = LinearFit::fit(&xs, &ys).unwrap();
+        assert!((f.r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_rejected() {
+        assert!(LinearFit::fit(&[1.0], &[1.0]).is_none());
+        assert!(LinearFit::fit(&[2.0, 2.0], &[1.0, 5.0]).is_none());
+        assert!(LinearFit::fit(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(LinearFit::through_origin(&[], &[]).is_none());
+        assert!(LinearFit::through_origin(&[0.0, 0.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn flat_y_reports_perfect_fit() {
+        let f = LinearFit::fit(&[1.0, 2.0, 3.0], &[4.0, 4.0, 4.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r, 1.0);
+    }
+
+    #[test]
+    fn residual_figure_of_merit() {
+        let f = LinearFit {
+            slope: 2.0,
+            intercept: 0.0,
+            r: 1.0,
+        };
+        let worst = f.max_relative_residual(&[1.0, 2.0], &[2.0, 5.0]);
+        assert!((worst - 0.2).abs() < 1e-12); // |4-5|/5
+    }
+}

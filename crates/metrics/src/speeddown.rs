@@ -1,0 +1,177 @@
+//! The §6 speed-down analysis.
+//!
+//! The paper reports two headline factors:
+//!
+//! * **5.43** — total CPU time consumed on the volunteer grid divided by the
+//!   estimate on the reference processor (Opteron 2 GHz), *including*
+//!   redundant computation;
+//! * **3.96** — the same after dividing out the redundancy factor 1.37.
+//!
+//! §6 then attributes the 3.96: the UD agent accounts wall-clock rather
+//! than CPU time under a 60 % throttle, the application runs at lowest
+//! priority beneath the volunteer's own load, volunteer hosts are slower
+//! than the reference processor, interrupted workunits replay from the last
+//! checkpoint, and the screensaver itself consumes cycles. This module
+//! captures both the bookkeeping and the decomposition.
+
+use serde::{Deserialize, Serialize};
+
+/// Observed aggregate quantities of a campaign, from which the paper's §6
+/// ratios are derived.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedDown {
+    /// CPU seconds the work *should* take on the reference processor
+    /// (formula (1) estimate).
+    pub reference_cpu_seconds: f64,
+    /// CPU seconds actually accounted by the grid, including redundancy.
+    pub consumed_cpu_seconds: f64,
+    /// Results produced / useful results (≥ 1); the paper measured 1.37.
+    pub redundancy_factor: f64,
+}
+
+impl SpeedDown {
+    /// The raw consumed/estimated ratio (the paper's 5.43).
+    pub fn raw_factor(&self) -> f64 {
+        self.consumed_cpu_seconds / self.reference_cpu_seconds
+    }
+
+    /// The ratio after removing redundant computation (the paper's 3.96).
+    pub fn net_factor(&self) -> f64 {
+        self.raw_factor() / self.redundancy_factor
+    }
+
+    /// Builds the record from a result count pair instead of a
+    /// pre-computed factor.
+    ///
+    /// The paper: "The redundancy factor for all projects is 1.37, it is
+    /// obtained by comparing the number of computing results disclosed by
+    /// World Community Grid (5,418,010) and the number of effective results
+    /// received (3,936,010)."
+    pub fn with_result_counts(
+        reference_cpu_seconds: f64,
+        consumed_cpu_seconds: f64,
+        results_computed: u64,
+        results_useful: u64,
+    ) -> Self {
+        assert!(results_useful > 0, "need at least one useful result");
+        Self {
+            reference_cpu_seconds,
+            consumed_cpu_seconds,
+            redundancy_factor: results_computed as f64 / results_useful as f64,
+        }
+    }
+}
+
+/// Multiplicative decomposition of the net speed-down factor into the
+/// causes §6 enumerates. Each term is the ratio `realized / ideal ≥ 1`
+/// contributed by that cause alone; the model predicts their product.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedDownDecomposition {
+    /// Wall-clock accounting under the CPU throttle: a 60 % cap means a
+    /// workunit needing `t` CPU seconds is billed `t / 0.6` seconds.
+    pub throttle: f64,
+    /// The research app runs at lowest priority; the volunteer's own use of
+    /// the machine steals cycles that are still billed as run time.
+    pub contention: f64,
+    /// Mean slowness of volunteer hardware relative to the reference
+    /// Opteron 2 GHz.
+    pub host_slowness: f64,
+    /// CPU time recomputed after interruptions (restart from the last
+    /// checkpoint, §4.3).
+    pub checkpoint_replay: f64,
+    /// Screensaver rendering overhead.
+    pub screensaver: f64,
+}
+
+impl SpeedDownDecomposition {
+    /// Product of all causes — the predicted net speed-down factor.
+    pub fn predicted_factor(&self) -> f64 {
+        self.throttle * self.contention * self.host_slowness * self.checkpoint_replay
+            * self.screensaver
+    }
+
+    /// The paper's qualitative attribution: accounting artifacts (throttle
+    /// plus contention) "can explain about half" of the 3.96 factor.
+    pub fn accounting_share(&self) -> f64 {
+        (self.throttle * self.contention).ln() / self.predicted_factor().ln()
+    }
+
+    /// A decomposition consistent with the paper's narrative: 60 % throttle
+    /// (×1.67), light contention (×1.2) — together ×2 "about half" of 3.96
+    /// in log terms — hosts ~1.6× slower on average than the reference,
+    /// ~15 % checkpoint replay loss, ~7 % screensaver overhead.
+    pub fn paper_narrative() -> Self {
+        Self {
+            throttle: 1.0 / 0.6,
+            contention: 1.2,
+            host_slowness: 1.6,
+            checkpoint_replay: 1.15,
+            screensaver: 1.07,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §6 aggregates, in seconds.
+    fn paper_record() -> SpeedDown {
+        // estimate: 1,488 y 237 d 19:45:54 ; consumed: 8,082 y 275 d 17:15:44
+        let est = crate::Ydhms::new(1488, 237, 19, 45, 54).total_seconds() as f64;
+        let got = crate::Ydhms::new(8082, 275, 17, 15, 44).total_seconds() as f64;
+        SpeedDown {
+            reference_cpu_seconds: est,
+            consumed_cpu_seconds: got,
+            redundancy_factor: 1.37,
+        }
+    }
+
+    #[test]
+    fn raw_factor_is_5_43() {
+        assert!((paper_record().raw_factor() - 5.43).abs() < 0.01);
+    }
+
+    #[test]
+    fn net_factor_is_3_96() {
+        assert!((paper_record().net_factor() - 3.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn redundancy_from_result_counts() {
+        let s = SpeedDown::with_result_counts(1.0, 5.43, 5_418_010, 3_936_010);
+        assert!((s.redundancy_factor - 1.37).abs() < 0.01);
+        // 73 % of results useful ⇔ factor 1.37.
+        assert!((1.0 / s.redundancy_factor - 0.726).abs() < 0.01);
+    }
+
+    #[test]
+    fn narrative_decomposition_lands_near_3_96() {
+        let d = SpeedDownDecomposition::paper_narrative();
+        let p = d.predicted_factor();
+        assert!((p - 3.96).abs() < 0.35, "predicted {p}");
+    }
+
+    #[test]
+    fn accounting_explains_about_half() {
+        let d = SpeedDownDecomposition::paper_narrative();
+        let share = d.accounting_share();
+        assert!((0.35..0.65).contains(&share), "share = {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "useful result")]
+    fn zero_useful_results_rejected() {
+        SpeedDown::with_result_counts(1.0, 1.0, 10, 0);
+    }
+
+    #[test]
+    fn workunit_runtime_consistency_check() {
+        // §6: average packaged workunit 3 h 18 m 47 s, realized ≈ 13 h on
+        // volunteers; 13 h / 3.96 ≈ 3 h 17 m — "confirms the speed down".
+        let packaged: f64 = 3.0 * 3600.0 + 18.0 * 60.0 + 47.0;
+        let realized = 13.0 * 3600.0;
+        let implied = realized / 3.96;
+        assert!((implied - packaged).abs() / packaged < 0.02);
+    }
+}

@@ -1,0 +1,132 @@
+//! Summary statistics in the shape of the paper's Table 1.
+//!
+//! Table 1 reports, for the 168×168 computation-time matrix: average,
+//! standard deviation, min, max and median (671 / 968.04 / 6 / 46 347 /
+//! 384 seconds).
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number summary (mean, population standard deviation, min, max,
+/// median) of a sample, as used in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (the paper's value 968.04 is
+    /// consistent with a population, not sample, estimator).
+    pub std_dev: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Median (midpoint average for even-sized samples).
+    pub median: f64,
+    /// Number of observations.
+    pub count: usize,
+}
+
+impl Summary {
+    /// Computes the summary of a sample.
+    ///
+    /// Returns `None` for an empty sample or one containing NaN.
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() || values.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let median = if sorted.len() % 2 == 1 {
+            sorted[sorted.len() / 2]
+        } else {
+            (sorted[sorted.len() / 2 - 1] + sorted[sorted.len() / 2]) / 2.0
+        };
+        Some(Summary {
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: *sorted.last().expect("non-empty"),
+            median,
+            count: values.len(),
+        })
+    }
+
+    /// Renders one row in the layout of Table 1:
+    /// `average  standard deviation  min  max  median`.
+    pub fn table1_row(&self) -> String {
+        format!(
+            "{:>10.0} {:>20.2} {:>8.0} {:>8.0} {:>8.0}",
+            self.mean, self.std_dev, self.min, self.max, self.median
+        )
+    }
+}
+
+/// Fraction of the total mass carried by the `k` largest contributions.
+///
+/// §4.1 observes that "there are 10 proteins which represent 30% of the
+/// total processing time"; this helper quantifies that concentration.
+pub fn top_k_share(values: &[f64], k: usize) -> f64 {
+    let total: f64 = values.iter().sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    sorted.iter().take(k).sum::<f64>() / total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12); // classic population-σ example
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.count, 8);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(Summary::of(&[3.0, 1.0, 2.0]).unwrap().median, 2.0);
+        assert_eq!(Summary::of(&[4.0, 1.0, 2.0, 3.0]).unwrap().median, 2.5);
+    }
+
+    #[test]
+    fn empty_and_nan_rejected() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = Summary::of(&[42.0]).unwrap();
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 42.0);
+    }
+
+    #[test]
+    fn top_k_share_concentration() {
+        // One heavy value among ten: 91 / 100 of the mass in the top-1.
+        let mut v = vec![1.0; 9];
+        v.push(91.0);
+        assert!((top_k_share(&v, 1) - 0.91).abs() < 1e-12);
+        assert!((top_k_share(&v, 10) - 1.0).abs() < 1e-12);
+        assert_eq!(top_k_share(&[], 3), 0.0);
+    }
+
+    #[test]
+    fn table1_row_formats_all_fields() {
+        let s = Summary::of(&[6.0, 384.0, 46_347.0]).unwrap();
+        let row = s.table1_row();
+        assert!(row.contains("46347"));
+        assert!(row.contains("384"));
+    }
+}

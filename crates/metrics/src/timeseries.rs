@@ -1,0 +1,219 @@
+//! Daily accumulation series.
+//!
+//! The grid simulator accounts CPU time and result arrivals into per-day
+//! buckets; Figures 1, 6(a) and 6(b) are then plain transformations of
+//! these series (VFTP conversion, weekly aggregation).
+
+use serde::{Deserialize, Serialize};
+
+/// A series of per-day accumulators starting at day 0 of the simulation.
+///
+/// Recording into a day beyond the current length grows the series; days
+/// are dense (missing days hold 0.0).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DailySeries {
+    values: Vec<f64>,
+}
+
+impl DailySeries {
+    /// Creates an empty series.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a series with `days` zeroed entries.
+    pub fn with_days(days: usize) -> Self {
+        Self {
+            values: vec![0.0; days],
+        }
+    }
+
+    /// Adds `amount` into the bucket for `day`.
+    pub fn add(&mut self, day: usize, amount: f64) {
+        if day >= self.values.len() {
+            self.values.resize(day + 1, 0.0);
+        }
+        self.values[day] += amount;
+    }
+
+    /// Adds an amount spread uniformly over a `[start_sec, end_sec)`
+    /// interval expressed in seconds since simulation start.
+    ///
+    /// This is how CPU time consumed by a workunit spanning several days is
+    /// accounted: proportionally to the overlap with each day.
+    pub fn add_interval(&mut self, start_sec: f64, end_sec: f64, amount: f64) {
+        if end_sec <= start_sec || amount == 0.0 {
+            return;
+        }
+        let total = end_sec - start_sec;
+        let first_day = (start_sec / crate::SECONDS_PER_DAY).floor() as usize;
+        let last_day = ((end_sec - f64::EPSILON) / crate::SECONDS_PER_DAY).floor() as usize;
+        for day in first_day..=last_day {
+            let day_start = day as f64 * crate::SECONDS_PER_DAY;
+            let day_end = day_start + crate::SECONDS_PER_DAY;
+            let overlap = end_sec.min(day_end) - start_sec.max(day_start);
+            if overlap > 0.0 {
+                self.add(day, amount * overlap / total);
+            }
+        }
+    }
+
+    /// Number of days in the series.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no day has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Per-day values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value for one day (0.0 beyond the recorded range).
+    pub fn get(&self, day: usize) -> f64 {
+        self.values.get(day).copied().unwrap_or(0.0)
+    }
+
+    /// Sum over all days.
+    pub fn total(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Aggregates into weekly buckets (7 days per bucket, the last bucket
+    /// may cover fewer days).
+    pub fn weekly(&self) -> Vec<f64> {
+        self.values.chunks(7).map(|w| w.iter().sum()).collect()
+    }
+
+    /// Sum over the half-open day range `[from, to)`.
+    pub fn range_total(&self, from: usize, to: usize) -> f64 {
+        self.values
+            .iter()
+            .skip(from)
+            .take(to.saturating_sub(from))
+            .sum()
+    }
+
+    /// Centred moving average with an odd `window` (edges use the
+    /// available neighbourhood) — the smoothing used to read trends out of
+    /// the weekday-modulated VFTP curves of Figures 1 and 6(a).
+    pub fn smoothed(&self, window: usize) -> Vec<f64> {
+        assert!(window % 2 == 1, "window must be odd");
+        let half = window / 2;
+        (0..self.values.len())
+            .map(|i| {
+                let lo = i.saturating_sub(half);
+                let hi = (i + half + 1).min(self.values.len());
+                self.values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+            })
+            .collect()
+    }
+
+    /// Cumulative series: entry `d` is the total through day `d`.
+    pub fn cumulative(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        self.values
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SECONDS_PER_DAY;
+
+    #[test]
+    fn add_grows_the_series() {
+        let mut s = DailySeries::new();
+        s.add(3, 5.0);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.get(3), 5.0);
+        assert_eq!(s.get(0), 0.0);
+        assert_eq!(s.get(99), 0.0);
+    }
+
+    #[test]
+    fn interval_split_across_days() {
+        let mut s = DailySeries::new();
+        // Half of day 0 and half of day 1.
+        s.add_interval(0.5 * SECONDS_PER_DAY, 1.5 * SECONDS_PER_DAY, 10.0);
+        assert!((s.get(0) - 5.0).abs() < 1e-9);
+        assert!((s.get(1) - 5.0).abs() < 1e-9);
+        assert!((s.total() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interval_within_one_day() {
+        let mut s = DailySeries::new();
+        s.add_interval(100.0, 200.0, 7.0);
+        assert!((s.get(0) - 7.0).abs() < 1e-12);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn interval_spanning_many_days_conserves_mass() {
+        let mut s = DailySeries::new();
+        s.add_interval(0.25 * SECONDS_PER_DAY, 5.75 * SECONDS_PER_DAY, 11.0);
+        assert!((s.total() - 11.0).abs() < 1e-9);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn degenerate_intervals_are_ignored() {
+        let mut s = DailySeries::new();
+        s.add_interval(5.0, 5.0, 3.0);
+        s.add_interval(9.0, 2.0, 3.0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn weekly_aggregation() {
+        let mut s = DailySeries::with_days(10);
+        for d in 0..10 {
+            s.add(d, 1.0);
+        }
+        assert_eq!(s.weekly(), vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn smoothing_removes_weekly_ripple() {
+        // A flat signal with a ±1 weekly ripple: the 7-day moving average
+        // recovers the flat trend away from the edges.
+        let mut s = DailySeries::new();
+        for d in 0..28 {
+            s.add(d, 10.0 + if d % 7 >= 5 { -1.0 } else { 1.0 });
+        }
+        let sm = s.smoothed(7);
+        for v in &sm[3..25] {
+            assert!((v - (10.0 + 3.0 / 7.0)).abs() < 1e-9, "v = {v}");
+        }
+        // Window 1 is the identity.
+        assert_eq!(s.smoothed(1), s.values().to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be odd")]
+    fn even_window_rejected() {
+        DailySeries::with_days(3).smoothed(2);
+    }
+
+    #[test]
+    fn cumulative_and_range() {
+        let mut s = DailySeries::new();
+        s.add(0, 1.0);
+        s.add(1, 2.0);
+        s.add(2, 3.0);
+        assert_eq!(s.cumulative(), vec![1.0, 3.0, 6.0]);
+        assert_eq!(s.range_total(1, 3), 5.0);
+        assert_eq!(s.range_total(2, 2), 0.0);
+    }
+}

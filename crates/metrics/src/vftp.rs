@@ -1,0 +1,125 @@
+//! *Virtual full-time processors* (VFTP) — the paper's §3.1 paradigm.
+//!
+//! > "How many processors do we need to generate 10 years of cpu time for
+//! > 1 day? If for 1 day, 10 years of cpu time are consumed, it is
+//! > equivalent to at least 3 650 processors that compute full time for
+//! > 1 day."
+//!
+//! VFTP converts an amount of CPU time consumed over a wall-clock window
+//! into the minimum number of processors that, computing full time over the
+//! same window, would produce it. It deliberately says nothing about the
+//! *power* of those processors; the paper uses it to compare a volunteer
+//! grid against a dedicated one (Table 2) after correcting for the
+//! speed-down factor.
+
+use crate::SECONDS_PER_DAY;
+
+/// Virtual full-time processors given CPU seconds consumed over a window of
+/// `window_seconds` wall-clock seconds.
+///
+/// ```
+/// // 10 years of CPU time in one day ⇒ 3650 virtual full-time processors.
+/// let v = metrics::vftp_from_cpu_seconds(10.0 * 365.0 * 86_400.0, 86_400.0);
+/// assert!((v - 3650.0).abs() < 1e-9);
+/// ```
+pub fn vftp_from_cpu_seconds(cpu_seconds: f64, window_seconds: f64) -> f64 {
+    assert!(window_seconds > 0.0, "window must be positive");
+    cpu_seconds / window_seconds
+}
+
+/// VFTP for one day, given CPU time expressed in *years per day* — the
+/// units the World Community Grid statistics page publishes.
+pub fn vftp_from_cpu_years_per_day(cpu_years: f64) -> f64 {
+    vftp_from_cpu_seconds(cpu_years * crate::SECONDS_PER_YEAR, SECONDS_PER_DAY)
+}
+
+/// Converts a series of per-window CPU-second totals into a VFTP series.
+///
+/// This is the transformation behind Figures 1 and 6(a): the WCG team
+/// publishes CPU time per day/week, the paper plots the equivalent number
+/// of full-time processors.
+pub fn vftp_series(cpu_seconds_per_window: &[f64], window_seconds: f64) -> Vec<f64> {
+    cpu_seconds_per_window
+        .iter()
+        .map(|&c| vftp_from_cpu_seconds(c, window_seconds))
+        .collect()
+}
+
+/// Mean VFTP over a span of windows (used for the paper's "average number
+/// of processors dedicated to the HCMD project is 16,450").
+pub fn mean_vftp(cpu_seconds_per_window: &[f64], window_seconds: f64) -> f64 {
+    if cpu_seconds_per_window.is_empty() {
+        return 0.0;
+    }
+    vftp_series(cpu_seconds_per_window, window_seconds)
+        .iter()
+        .sum::<f64>()
+        / cpu_seconds_per_window.len() as f64
+}
+
+/// Number of *dedicated* reference processors equivalent to a VFTP count,
+/// given the measured speed-down factor of the volunteer grid (§6,
+/// Table 2): `dedicated = vftp / speed_down`.
+pub fn dedicated_equivalent(vftp: f64, speed_down: f64) -> f64 {
+    assert!(speed_down > 0.0, "speed-down must be positive");
+    vftp / speed_down
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papers_motivating_example() {
+        // 10 years of cpu time in 1 day ⇒ 3650 processors.
+        let v = vftp_from_cpu_seconds(10.0 * 365.0 * 86_400.0, 86_400.0);
+        assert!((v - 3650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn papers_closing_week() {
+        // §6: "1,435 years of run time ... equates to 74,825 virtual
+        // full-time processors" over one week. 1435 y / 7 d = 74,825 d/d.
+        let v = vftp_from_cpu_seconds(1435.0 * 365.0 * 86_400.0, 7.0 * 86_400.0);
+        assert!((v - 74_825.0).abs() < 1.0, "v = {v}");
+    }
+
+    #[test]
+    fn years_per_day_units() {
+        let v = vftp_from_cpu_years_per_day(10.0);
+        assert!((v - 3650.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table2_equivalence() {
+        // Table 2: 16,450 VFTP ↔ 3,029 dedicated processors at speed-down
+        // 5.43 (whole period, raw factor before redundancy correction).
+        let d = dedicated_equivalent(16_450.0, 5.43);
+        assert!((d - 3_029.0).abs() < 2.0, "d = {d}");
+        // and 26,248 ↔ 4,833 during the full-power phase.
+        let d2 = dedicated_equivalent(26_248.0, 5.43);
+        assert!((d2 - 4_833.0).abs() < 2.0, "d2 = {d2}");
+    }
+
+    #[test]
+    fn wcg_current_power_estimate() {
+        // §6: 74,825 VFTP / 3.96 ≈ 18,895 Opteron-equivalents.
+        let d = dedicated_equivalent(74_825.0, 3.96);
+        assert!((d - 18_895.0).abs() < 5.0, "d = {d}");
+    }
+
+    #[test]
+    fn series_and_mean() {
+        let cpu = [86_400.0, 2.0 * 86_400.0, 3.0 * 86_400.0];
+        let s = vftp_series(&cpu, 86_400.0);
+        assert_eq!(s, vec![1.0, 2.0, 3.0]);
+        assert!((mean_vftp(&cpu, 86_400.0) - 2.0).abs() < 1e-12);
+        assert_eq!(mean_vftp(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_panics() {
+        vftp_from_cpu_seconds(1.0, 0.0);
+    }
+}

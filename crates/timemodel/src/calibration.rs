@@ -1,0 +1,203 @@
+//! The calibration campaign.
+//!
+//! §4.1: "We launched the MAXDo program on four clusters with similar nodes
+//! (i.e. dual Opteron 246 @ 2 Ghz) on the Grid'5000 platform. 640
+//! processors were used for this experiment during one day. This
+//! experimental run gives us the complete matrix Mct of computing time."
+//!
+//! [`CalibrationCampaign`] reproduces that run: one job per ordered protein
+//! couple (168² = 28 224 jobs), each measuring the per-position compute
+//! time, scheduled on `processors` dedicated reference processors with the
+//! classic LPT (longest processing time first) list-scheduling rule. The
+//! report carries the measured matrix, the total CPU time the campaign
+//! consumed, and its makespan — so the paper's "640 processors for one day"
+//! claim can be checked directly.
+
+use crate::matrix::CostMatrix;
+use maxdo::energy::EnergyParams;
+use maxdo::minimize::MinimizeParams;
+use maxdo::{CostModel, DockingEngine, ProteinLibrary};
+use metrics::Ydhms;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Configuration of a calibration campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationCampaign {
+    /// Number of dedicated processors (the paper used 640).
+    pub processors: usize,
+}
+
+impl Default for CalibrationCampaign {
+    fn default() -> Self {
+        Self { processors: 640 }
+    }
+}
+
+/// Outcome of a calibration campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationReport {
+    /// The measured computation-time matrix.
+    pub matrix: CostMatrix,
+    /// Number of calibration jobs (`n²`).
+    pub jobs: usize,
+    /// Processors used.
+    pub processors: usize,
+    /// Total CPU time consumed by the campaign (sum of all jobs).
+    pub total_cpu: Ydhms,
+    /// Campaign wall-clock makespan under LPT scheduling, seconds.
+    pub makespan_seconds: f64,
+}
+
+impl CalibrationReport {
+    /// Whether the campaign fits in one wall-clock day, as the paper's did.
+    pub fn fits_in_one_day(&self) -> bool {
+        self.makespan_seconds <= 86_400.0
+    }
+}
+
+impl CalibrationCampaign {
+    /// Runs the campaign analytically: measures each couple once via the
+    /// cost model (each calibration job computes one starting position, so
+    /// its duration *is* the matrix entry).
+    pub fn run(&self, library: &ProteinLibrary, model: &CostModel) -> CalibrationReport {
+        assert!(self.processors > 0, "need at least one processor");
+        let matrix = CostMatrix::from_cost_model(library, model);
+        let makespan_seconds = lpt_makespan(matrix.values(), self.processors);
+        let total: f64 = matrix.values().iter().sum();
+        CalibrationReport {
+            jobs: matrix.len() * matrix.len(),
+            processors: self.processors,
+            total_cpu: Ydhms::from_seconds_f64(total),
+            makespan_seconds,
+            matrix,
+        }
+    }
+}
+
+/// Longest-processing-time-first list scheduling: returns the makespan of
+/// running `jobs` on `processors` identical machines.
+pub fn lpt_makespan(jobs: &[f64], processors: usize) -> f64 {
+    assert!(processors > 0);
+    let mut sorted: Vec<f64> = jobs.to_vec();
+    sorted.sort_by(|a, b| b.partial_cmp(a).expect("no NaN"));
+    // Min-heap of processor loads, keyed by total-ordered bits.
+    let mut heap: BinaryHeap<Reverse<(u64, u32)>> =
+        (0..processors as u32).map(|i| Reverse((0u64, i))).collect();
+    let mut loads = vec![0.0f64; processors];
+    for job in sorted {
+        let Reverse((_, idx)) = heap.pop().expect("non-empty heap");
+        loads[idx as usize] += job;
+        heap.push(Reverse((loads[idx as usize].to_bits(), idx)));
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+/// Measures a *kernel-derived* compute-work matrix by actually running the
+/// docking kernel for one starting position per couple, in parallel.
+///
+/// The unit is abstract work (energy evaluations × bead-pair count), not
+/// seconds; tests use it to verify that the analytic [`CostModel`] ranks
+/// couples like the real kernel does. Only sensible for small libraries.
+pub fn measure_matrix_with_kernel(
+    library: &ProteinLibrary,
+    minimize_params: &MinimizeParams,
+) -> CostMatrix {
+    let proteins = library.proteins();
+    let n = proteins.len();
+    let data: Vec<f64> = proteins
+        .par_iter()
+        .flat_map_iter(|p1| {
+            proteins.iter().map(move |p2| {
+                let engine = DockingEngine::new(
+                    p1,
+                    p2,
+                    1,
+                    EnergyParams::default(),
+                    *minimize_params,
+                );
+                let out = engine.dock_position(1);
+                (out.evaluations as f64) * (p1.bead_count() * p2.bead_count()) as f64
+            })
+        })
+        .collect();
+    CostMatrix::from_raw(n, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::LibraryConfig;
+
+    #[test]
+    fn lpt_single_processor_sums_jobs() {
+        assert_eq!(lpt_makespan(&[3.0, 1.0, 2.0], 1), 6.0);
+    }
+
+    #[test]
+    fn lpt_perfect_split() {
+        // Two processors, jobs that split evenly.
+        let m = lpt_makespan(&[4.0, 3.0, 2.0, 1.0], 2);
+        assert_eq!(m, 5.0);
+    }
+
+    #[test]
+    fn lpt_lower_bound_is_respected() {
+        let jobs = [7.0, 5.0, 4.0, 3.0, 3.0, 2.0];
+        let total: f64 = jobs.iter().sum();
+        for p in 1..=4 {
+            let m = lpt_makespan(&jobs, p);
+            assert!(m >= total / p as f64 - 1e-12);
+            assert!(m >= 7.0); // at least the longest job
+            // LPT is a 4/3-approximation of the optimum (≥ both bounds).
+            assert!(m <= (total / p as f64).max(7.0) * 4.0 / 3.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn lpt_more_processors_never_slower() {
+        let jobs: Vec<f64> = (1..30).map(|i| (i * 7 % 13) as f64 + 1.0).collect();
+        let mut prev = f64::INFINITY;
+        for p in 1..8 {
+            let m = lpt_makespan(&jobs, p);
+            assert!(m <= prev + 1e-12);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn campaign_report_is_consistent() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(6), 5);
+        let model = CostModel::with_kappa(1e-3);
+        let report = CalibrationCampaign { processors: 4 }.run(&lib, &model);
+        assert_eq!(report.jobs, 36);
+        assert_eq!(report.processors, 4);
+        let total: f64 = report.matrix.values().iter().sum();
+        assert_eq!(report.total_cpu, Ydhms::from_seconds_f64(total));
+        assert!(report.makespan_seconds >= total / 4.0 - 1e-9);
+        assert!(report.makespan_seconds <= total);
+    }
+
+    #[test]
+    fn kernel_measure_produces_positive_matrix() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 19);
+        let m = measure_matrix_with_kernel(
+            &lib,
+            &MinimizeParams {
+                max_iterations: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(m.len(), 2);
+        assert!(m.values().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_rejected() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 19);
+        CalibrationCampaign { processors: 0 }.run(&lib, &CostModel::with_kappa(1.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! The §4.1 behaviour model of the MAXDo program.
+//!
+//! Before the HCMD project could be launched on World Community Grid, the
+//! authors had to *model the behaviour* of MAXDo: establish that its
+//! computing time is reproducible and linear in both `irot` and `isep`,
+//! measure the 168×168 computation-time matrix on a dedicated grid
+//! (Grid'5000, 640 Opteron 2 GHz processors for one day), and derive the
+//! total workload via formula (1). This crate is that whole section:
+//!
+//! * [`matrix`] — the computation-time matrix `Mct`;
+//! * [`calibration`] — the calibration campaign that measures it;
+//! * [`linear`] — the Figure 3 linearity study;
+//! * [`workload`] — formula (1), per-protein workloads, totals;
+//! * [`stats`] — the Table 1 summary.
+
+pub mod calibration;
+pub mod linear;
+pub mod matrix;
+pub mod noise;
+pub mod stats;
+pub mod workload;
+
+pub use calibration::{CalibrationCampaign, CalibrationReport};
+pub use linear::{nsep_linearity, nrot_linearity, LinearityStudy};
+pub use matrix::CostMatrix;
+pub use noise::perturb_matrix;
+pub use stats::{table1, Table1};
+pub use workload::{phase1_reference_total, total_cpu_seconds, Workload};

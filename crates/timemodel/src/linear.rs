@@ -1,0 +1,160 @@
+//! The Figure 3 linearity study.
+//!
+//! §4.1 establishes, over 400 random couples with correlation coefficients
+//! "always around 0.99", that MAXDo's computing time is linear in the
+//! number of orientations at fixed `isep` (Fig. 3a) and linear in the
+//! number of starting positions at fixed `irot` (Fig. 3b). This module
+//! runs that study against the *real* docking kernel: it measures the
+//! cumulative computational work of computing `1..=k` orientation couples
+//! (resp. starting positions) and fits a line.
+
+use maxdo::energy::EnergyParams;
+use maxdo::minimize::MinimizeParams;
+use maxdo::{DockingEngine, Protein};
+use metrics::LinearFit;
+use serde::{Deserialize, Serialize};
+
+/// The measured series and its fit, for one couple and one swept axis.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinearityStudy {
+    /// Swept parameter values (number of orientations or positions).
+    pub xs: Vec<f64>,
+    /// Cumulative work at each value (energy evaluations weighted by
+    /// bead-pair count — proportional to CPU time).
+    pub ys: Vec<f64>,
+    /// Least-squares fit `y = a·x + b`.
+    pub fit: LinearFit,
+}
+
+impl LinearityStudy {
+    /// Pearson correlation coefficient of the series (the paper's figure
+    /// of merit: "always around 0.99").
+    pub fn r(&self) -> f64 {
+        self.fit.r
+    }
+}
+
+/// Work unit: evaluations × bead-pair count of the couple.
+fn work(engine: &DockingEngine<'_>, evaluations: u64) -> f64 {
+    evaluations as f64
+        * (engine.receptor().bead_count() * engine.ligand().bead_count()) as f64
+}
+
+/// Figure 3(a): cumulative work of computing orientation couples
+/// `1..=k` for `k ∈ [1, max_rot]` at a fixed starting position.
+pub fn nrot_linearity(
+    receptor: &Protein,
+    ligand: &Protein,
+    max_rot: u32,
+    minimize_params: &MinimizeParams,
+) -> LinearityStudy {
+    assert!((1..=21).contains(&max_rot), "max_rot must be in 1..=21");
+    let engine = DockingEngine::new(receptor, ligand, 1, EnergyParams::default(), *minimize_params);
+    let mut cumulative = 0.0;
+    let mut xs = Vec::with_capacity(max_rot as usize);
+    let mut ys = Vec::with_capacity(max_rot as usize);
+    for irot in 1..=max_rot {
+        let (_, evals) = engine.dock_cell(1, irot);
+        cumulative += work(&engine, evals);
+        xs.push(irot as f64);
+        ys.push(cumulative);
+    }
+    let fit = LinearFit::fit(&xs, &ys).unwrap_or(LinearFit {
+        slope: ys[0],
+        intercept: 0.0,
+        r: 1.0,
+    });
+    LinearityStudy { xs, ys, fit }
+}
+
+/// Figure 3(b): cumulative work of computing starting positions `1..=k`
+/// for `k ∈ [1, max_sep]` at a fixed orientation couple.
+pub fn nsep_linearity(
+    receptor: &Protein,
+    ligand: &Protein,
+    max_sep: u32,
+    minimize_params: &MinimizeParams,
+) -> LinearityStudy {
+    assert!(max_sep >= 1, "max_sep must be at least 1");
+    let engine =
+        DockingEngine::new(receptor, ligand, max_sep, EnergyParams::default(), *minimize_params);
+    let mut cumulative = 0.0;
+    let mut xs = Vec::with_capacity(max_sep as usize);
+    let mut ys = Vec::with_capacity(max_sep as usize);
+    for isep in 1..=max_sep {
+        let (_, evals) = engine.dock_cell(isep, 1);
+        cumulative += work(&engine, evals);
+        xs.push(isep as f64);
+        ys.push(cumulative);
+    }
+    let fit = LinearFit::fit(&xs, &ys).unwrap_or(LinearFit {
+        slope: ys[0],
+        intercept: 0.0,
+        r: 1.0,
+    });
+    LinearityStudy { xs, ys, fit }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{LibraryConfig, ProteinLibrary};
+
+    fn pair() -> ProteinLibrary {
+        ProteinLibrary::generate(LibraryConfig::tiny(2), 61)
+    }
+
+    fn mp() -> MinimizeParams {
+        MinimizeParams {
+            max_iterations: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn nrot_series_is_linear_like_fig3a() {
+        let lib = pair();
+        let s = nrot_linearity(&lib.proteins()[0], &lib.proteins()[1], 12, &mp());
+        assert_eq!(s.xs.len(), 12);
+        assert!(
+            s.r() > 0.99,
+            "correlation {} below the paper's ~0.99",
+            s.r()
+        );
+        assert!(s.fit.slope > 0.0);
+    }
+
+    #[test]
+    fn nsep_series_is_linear_like_fig3b() {
+        let lib = pair();
+        let s = nsep_linearity(&lib.proteins()[0], &lib.proteins()[1], 10, &mp());
+        assert_eq!(s.xs.len(), 10);
+        assert!(
+            s.r() > 0.99,
+            "correlation {} below the paper's ~0.99",
+            s.r()
+        );
+    }
+
+    #[test]
+    fn cumulative_work_is_monotone() {
+        let lib = pair();
+        let s = nrot_linearity(&lib.proteins()[0], &lib.proteins()[1], 6, &mp());
+        assert!(s.ys.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn single_point_study() {
+        let lib = pair();
+        let s = nrot_linearity(&lib.proteins()[0], &lib.proteins()[1], 1, &mp());
+        assert_eq!(s.xs.len(), 1);
+        assert_eq!(s.fit.intercept, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in 1..=21")]
+    fn nrot_range_validated() {
+        let lib = pair();
+        nrot_linearity(&lib.proteins()[0], &lib.proteins()[1], 22, &mp());
+    }
+}

@@ -1,0 +1,162 @@
+//! The computation-time matrix `Mct`.
+//!
+//! Entry `(i, j)` is the reference-processor CPU time, in seconds, for one
+//! starting position (all 21 orientation couples) of receptor `pᵢ` docked
+//! with ligand `pⱼ` — what the paper measures once per couple on Grid'5000
+//! and then scales linearly (§4.1).
+
+use maxdo::{CostModel, ProteinLibrary};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// A dense square matrix of per-position compute times (seconds).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostMatrix {
+    n: usize,
+    /// Row-major `n × n` seconds.
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds the matrix from raw row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != n²` or any entry is not finite-positive.
+    pub fn from_raw(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "matrix data must be n²");
+        assert!(
+            data.iter().all(|&v| v.is_finite() && v > 0.0),
+            "compute times must be positive and finite"
+        );
+        Self { n, data }
+    }
+
+    /// Evaluates the cost model over every ordered couple of a library —
+    /// the analytic equivalent of the Grid'5000 calibration run
+    /// (parallelised with rayon exactly because it is embarrassingly
+    /// parallel, like the original).
+    pub fn from_cost_model(library: &ProteinLibrary, model: &CostModel) -> Self {
+        let proteins = library.proteins();
+        let n = proteins.len();
+        let data: Vec<f64> = proteins
+            .par_iter()
+            .flat_map_iter(|p1| {
+                proteins
+                    .iter()
+                    .map(move |p2| model.cost_per_position(p1, p2))
+            })
+            .collect();
+        Self { n, data }
+    }
+
+    /// The phase-I reference matrix: phase-1 catalog × reference cost
+    /// model.
+    pub fn phase1(library: &ProteinLibrary) -> Self {
+        Self::from_cost_model(library, &CostModel::reference(library))
+    }
+
+    /// Matrix dimension (number of proteins).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for an empty matrix (never constructed by the builders).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Per-position compute time of couple `(receptor, ligand)`, seconds.
+    pub fn get(&self, receptor: usize, ligand: usize) -> f64 {
+        assert!(receptor < self.n && ligand < self.n, "index out of range");
+        self.data[receptor * self.n + ligand]
+    }
+
+    /// The receptor-major row of one receptor.
+    pub fn row(&self, receptor: usize) -> &[f64] {
+        assert!(receptor < self.n, "index out of range");
+        &self.data[receptor * self.n..(receptor + 1) * self.n]
+    }
+
+    /// All entries, row-major.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Sum of one receptor's row — the per-starting-position cost of
+    /// docking that receptor against the whole set.
+    pub fn row_sum(&self, receptor: usize) -> f64 {
+        self.row(receptor).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::LibraryConfig;
+
+    fn small() -> (ProteinLibrary, CostMatrix) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(5), 77);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(1e-3));
+        (lib, m)
+    }
+
+    #[test]
+    fn matrix_shape_and_access() {
+        let (_, m) = small();
+        assert_eq!(m.len(), 5);
+        assert!(!m.is_empty());
+        assert_eq!(m.row(2).len(), 5);
+        assert_eq!(m.get(2, 3), m.row(2)[3]);
+        assert_eq!(m.values().len(), 25);
+    }
+
+    #[test]
+    fn matrix_matches_cost_model() {
+        let (lib, m) = small();
+        let model = CostModel::with_kappa(1e-3);
+        for (i, p1) in lib.proteins().iter().enumerate() {
+            for (j, p2) in lib.proteins().iter().enumerate() {
+                assert_eq!(m.get(i, j), model.cost_per_position(p1, p2));
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_asymmetric() {
+        let (_, m) = small();
+        assert_ne!(m.get(0, 1), m.get(1, 0));
+    }
+
+    #[test]
+    fn row_sum() {
+        let (_, m) = small();
+        let expect: f64 = (0..5).map(|j| m.get(1, j)).sum();
+        assert!((m.row_sum(1) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_raw_round_trip() {
+        let m = CostMatrix::from_raw(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be n²")]
+    fn from_raw_validates_shape() {
+        CostMatrix::from_raw(2, vec![1.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn from_raw_rejects_nonpositive() {
+        CostMatrix::from_raw(1, vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_bounds_checked() {
+        let (_, m) = small();
+        m.get(5, 0);
+    }
+}

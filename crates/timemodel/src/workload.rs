@@ -1,0 +1,169 @@
+//! Formula (1): the total phase-I workload.
+//!
+//! §4.1:
+//!
+//! > It needs more than 14 centuries and 88 years of cpu time on a single
+//! > Opteron 2Ghz processor to be precise 1,488:237:19:45:54 (y:d:h:m:s).
+//! > This quantity is represented by formula:
+//! >     Σ_{p1,p2 ∈ P} Nsep(p1) · 21 · ctiter(p1, p2)
+//!
+//! With `Mct(p1, p2) = 21 · ctiter(p1, p2)` (a matrix entry covers the full
+//! orientation set of one starting position), the total is
+//! `Σ Nsep(p1) · Mct(p1, p2)`. This module computes the total, per-protein
+//! and per-couple workloads, and the potential workunit count (§4.1: a
+//! minimal workunit is a single starting position of a single couple —
+//! "49,481,544 workunits can be generated").
+
+use crate::matrix::CostMatrix;
+use maxdo::ProteinLibrary;
+use metrics::Ydhms;
+use serde::{Deserialize, Serialize};
+
+/// The paper's phase-I reference total, `1,488:237:19:45:54`.
+pub fn phase1_reference_total() -> Ydhms {
+    Ydhms::new(1488, 237, 19, 45, 54)
+}
+
+/// Total CPU seconds on the reference processor (formula (1)).
+pub fn total_cpu_seconds(library: &ProteinLibrary, matrix: &CostMatrix) -> f64 {
+    assert_eq!(
+        library.len(),
+        matrix.len(),
+        "library and matrix must agree in size"
+    );
+    (0..library.len())
+        .map(|i| library.nsep_table()[i] as f64 * matrix.row_sum(i))
+        .sum()
+}
+
+/// A fully derived phase workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    /// Per-receptor CPU seconds: `W(p1) = Nsep(p1) · Σ_p2 Mct(p1, p2)`.
+    pub per_protein_seconds: Vec<f64>,
+    /// Total CPU seconds (formula (1)).
+    pub total_seconds: f64,
+    /// Number of minimal workunits (one starting position of one couple):
+    /// `Σ_{p1,p2} Nsep(p1) = n · Σ Nsep`.
+    pub minimal_workunits: u64,
+}
+
+impl Workload {
+    /// Derives the workload of a library/matrix pair.
+    pub fn derive(library: &ProteinLibrary, matrix: &CostMatrix) -> Self {
+        assert_eq!(library.len(), matrix.len());
+        let per_protein_seconds: Vec<f64> = (0..library.len())
+            .map(|i| library.nsep_table()[i] as f64 * matrix.row_sum(i))
+            .collect();
+        let total_seconds = per_protein_seconds.iter().sum();
+        let nsep_sum: u64 = library.nsep_table().iter().map(|&x| x as u64).sum();
+        Self {
+            per_protein_seconds,
+            total_seconds,
+            minimal_workunits: nsep_sum * library.len() as u64,
+        }
+    }
+
+    /// The total as the paper prints it.
+    pub fn total(&self) -> Ydhms {
+        Ydhms::from_seconds_f64(self.total_seconds)
+    }
+
+    /// Receptor indices ordered by ascending workload — the launch order
+    /// World Community Grid used (§5.1: "first launch the protein that
+    /// required less computing time").
+    pub fn launch_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.per_protein_seconds.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.per_protein_seconds[a]
+                .partial_cmp(&self.per_protein_seconds[b])
+                .expect("no NaN")
+        });
+        order
+    }
+
+    /// Share of the total carried by the `k` most expensive proteins
+    /// (§4.1: "there are 10 proteins which represent 30% of the total
+    /// processing time").
+    pub fn top_k_share(&self, k: usize) -> f64 {
+        metrics::summary::top_k_share(&self.per_protein_seconds, k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{CostModel, LibraryConfig, ProteinLibrary};
+
+    fn setup() -> (ProteinLibrary, CostMatrix) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(4), 13);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(1e-3));
+        (lib, m)
+    }
+
+    #[test]
+    fn total_matches_manual_formula() {
+        let (lib, m) = setup();
+        let mut manual = 0.0;
+        for i in 0..4 {
+            for j in 0..4 {
+                manual += lib.nsep_table()[i] as f64 * m.get(i, j);
+            }
+        }
+        assert!((total_cpu_seconds(&lib, &m) - manual).abs() < 1e-9);
+    }
+
+    #[test]
+    fn workload_totals_are_consistent() {
+        let (lib, m) = setup();
+        let w = Workload::derive(&lib, &m);
+        assert_eq!(w.per_protein_seconds.len(), 4);
+        assert!(
+            (w.per_protein_seconds.iter().sum::<f64>() - w.total_seconds).abs() < 1e-9
+        );
+        assert_eq!(w.total().total_seconds(), w.total_seconds.round() as u64);
+    }
+
+    #[test]
+    fn minimal_workunit_count() {
+        let (lib, m) = setup();
+        let w = Workload::derive(&lib, &m);
+        let nsep_sum: u64 = lib.nsep_table().iter().map(|&x| x as u64).sum();
+        assert_eq!(w.minimal_workunits, nsep_sum * 4);
+    }
+
+    #[test]
+    fn launch_order_is_cheapest_first() {
+        let (lib, m) = setup();
+        let w = Workload::derive(&lib, &m);
+        let order = w.launch_order();
+        assert_eq!(order.len(), 4);
+        for pair in order.windows(2) {
+            assert!(
+                w.per_protein_seconds[pair[0]] <= w.per_protein_seconds[pair[1]]
+            );
+        }
+    }
+
+    #[test]
+    fn top_k_share_bounds() {
+        let (lib, m) = setup();
+        let w = Workload::derive(&lib, &m);
+        assert!(w.top_k_share(0) == 0.0);
+        assert!((w.top_k_share(4) - 1.0).abs() < 1e-12);
+        assert!(w.top_k_share(1) > 0.25); // 4 proteins, skewed sizes
+    }
+
+    #[test]
+    fn reference_total_renders_like_the_paper() {
+        assert_eq!(phase1_reference_total().to_string(), "1,488:237:19:45:54");
+    }
+
+    #[test]
+    #[should_panic(expected = "must agree in size")]
+    fn size_mismatch_rejected() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 13);
+        let m = CostMatrix::from_raw(2, vec![1.0; 4]);
+        total_cpu_seconds(&lib, &m);
+    }
+}

@@ -1,0 +1,212 @@
+//! Merging workunit result files into one file per protein couple.
+//!
+//! §5.2: "Then when the files were checked, we merged result files in order
+//! to have one result file for one couple of proteins. All these result
+//! files represents 123 Gb of text files (45 Gb compressed) and there are
+//! 168² files."
+//!
+//! The §4.2 packaging constraint exists precisely to make this step
+//! trivial: every workunit covers a contiguous `isep` range of a single
+//! couple, so merging is concatenation in `isep` order — provided the
+//! chunks tile the range exactly. [`merge_couple_files`] enforces that.
+
+use crate::format::ResultFile;
+use serde::{Deserialize, Serialize};
+
+/// Why a merge was refused.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MergeError {
+    /// No files given.
+    Empty,
+    /// Files disagree on receptor, ligand or nrot.
+    MixedCouples,
+    /// The first chunk does not start at `isep = 1`.
+    MissingPrefix {
+        /// First position actually present.
+        first: u32,
+    },
+    /// A gap between consecutive chunks.
+    Gap {
+        /// Last position of the earlier chunk.
+        after: u32,
+        /// First position of the later chunk.
+        next: u32,
+    },
+    /// Two chunks overlap.
+    Overlap {
+        /// Position where the overlap begins.
+        at: u32,
+    },
+    /// The merged file does not reach the receptor's `Nsep`.
+    Truncated {
+        /// Last position present.
+        last: u32,
+        /// Expected last position.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for MergeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no result files to merge"),
+            MergeError::MixedCouples => write!(f, "result files from different couples"),
+            MergeError::MissingPrefix { first } => {
+                write!(f, "coverage starts at isep {first}, expected 1")
+            }
+            MergeError::Gap { after, next } => {
+                write!(f, "gap in coverage between isep {after} and {next}")
+            }
+            MergeError::Overlap { at } => write!(f, "overlapping coverage at isep {at}"),
+            MergeError::Truncated { last, expected } => {
+                write!(f, "coverage ends at isep {last}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges the workunit chunks of one couple into the couple's single
+/// result file covering `isep ∈ [1, nsep_total]`.
+///
+/// Chunks may arrive in any order; they are sorted by `isep_start`. The
+/// merge fails on any gap, overlap, mixed couple or truncation — the §5.2
+/// pipeline rejects the batch and waits for the missing workunits instead
+/// of producing a partial file.
+pub fn merge_couple_files(
+    mut files: Vec<ResultFile>,
+    nsep_total: u32,
+) -> Result<ResultFile, MergeError> {
+    if files.is_empty() {
+        return Err(MergeError::Empty);
+    }
+    let receptor = files[0].receptor;
+    let ligand = files[0].ligand;
+    let nrot = files[0].nrot;
+    if files
+        .iter()
+        .any(|f| f.receptor != receptor || f.ligand != ligand || f.nrot != nrot)
+    {
+        return Err(MergeError::MixedCouples);
+    }
+    files.sort_by_key(|f| f.isep_start);
+    if files[0].isep_start != 1 {
+        return Err(MergeError::MissingPrefix {
+            first: files[0].isep_start,
+        });
+    }
+    let mut rows = Vec::with_capacity(files.iter().map(|f| f.rows.len()).sum());
+    let mut covered_through = 0u32;
+    for f in &files {
+        if f.isep_start <= covered_through {
+            return Err(MergeError::Overlap { at: f.isep_start });
+        }
+        if f.isep_start != covered_through + 1 {
+            return Err(MergeError::Gap {
+                after: covered_through,
+                next: f.isep_start,
+            });
+        }
+        covered_through = f.isep_end;
+        rows.extend(f.rows.iter().copied());
+    }
+    if covered_through != nsep_total {
+        return Err(MergeError::Truncated {
+            last: covered_through,
+            expected: nsep_total,
+        });
+    }
+    Ok(ResultFile {
+        receptor,
+        ligand,
+        isep_start: 1,
+        isep_end: nsep_total,
+        nrot,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{DockingRow, EulerZyz, ProteinId, Vec3};
+
+    fn chunk(isep_start: u32, isep_end: u32) -> ResultFile {
+        ResultFile {
+            receptor: ProteinId(1),
+            ligand: ProteinId(2),
+            isep_start,
+            isep_end,
+            nrot: 3,
+            rows: (isep_start..=isep_end)
+                .flat_map(|isep| {
+                    (1..=3u32).map(move |irot| DockingRow {
+                        isep,
+                        irot,
+                        position: Vec3::new(1.0, 2.0, 3.0),
+                        orientation: EulerZyz::default(),
+                        elj: -1.0,
+                        eelec: 0.5,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn contiguous_chunks_merge_in_any_order() {
+        let merged = merge_couple_files(vec![chunk(4, 6), chunk(1, 3), chunk(7, 10)], 10).unwrap();
+        assert_eq!(merged.isep_start, 1);
+        assert_eq!(merged.isep_end, 10);
+        assert_eq!(merged.rows.len(), 30);
+        // Rows come out in canonical order.
+        for (i, r) in merged.rows.iter().enumerate() {
+            assert_eq!(r.isep as usize, i / 3 + 1);
+            assert_eq!(r.irot as usize, i % 3 + 1);
+        }
+    }
+
+    #[test]
+    fn single_chunk_covering_everything() {
+        let merged = merge_couple_files(vec![chunk(1, 5)], 5).unwrap();
+        assert_eq!(merged.rows.len(), 15);
+    }
+
+    #[test]
+    fn gap_is_detected() {
+        let err = merge_couple_files(vec![chunk(1, 3), chunk(5, 8)], 8).unwrap_err();
+        assert_eq!(err, MergeError::Gap { after: 3, next: 5 });
+    }
+
+    #[test]
+    fn overlap_is_detected() {
+        let err = merge_couple_files(vec![chunk(1, 4), chunk(3, 8)], 8).unwrap_err();
+        assert_eq!(err, MergeError::Overlap { at: 3 });
+    }
+
+    #[test]
+    fn missing_prefix_detected() {
+        let err = merge_couple_files(vec![chunk(2, 8)], 8).unwrap_err();
+        assert_eq!(err, MergeError::MissingPrefix { first: 2 });
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let err = merge_couple_files(vec![chunk(1, 6)], 9).unwrap_err();
+        assert_eq!(err, MergeError::Truncated { last: 6, expected: 9 });
+    }
+
+    #[test]
+    fn mixed_couples_rejected() {
+        let mut other = chunk(4, 6);
+        other.ligand = ProteinId(9);
+        let err = merge_couple_files(vec![chunk(1, 3), other], 6).unwrap_err();
+        assert_eq!(err, MergeError::MixedCouples);
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(merge_couple_files(Vec::new(), 5).unwrap_err(), MergeError::Empty);
+    }
+}

@@ -1,0 +1,126 @@
+//! Parallel batch validation.
+//!
+//! §5.2's pipeline processed millions of result files; the three checks
+//! are embarrassingly parallel across files. This module fans a batch out
+//! over a crossbeam scope — one worker per core, files distributed over a
+//! channel — and merges the failures, preserving the sequential API's
+//! results exactly (order-independence of the checks is asserted by the
+//! equivalence test below).
+
+use crate::checks::{check_file, CheckFailure, ValueRanges};
+use crate::format::ResultFile;
+use crossbeam::channel;
+
+/// Runs [`check_file`] over `files` in parallel using up to `workers`
+/// threads, returning all failures (order: by file index, then by the
+/// sequential check order inside each file — identical to a sequential
+/// pass).
+pub fn check_files_parallel(
+    files: &[ResultFile],
+    ranges: &ValueRanges,
+    workers: usize,
+) -> Vec<CheckFailure> {
+    assert!(workers >= 1, "need at least one worker");
+    if files.is_empty() {
+        return Vec::new();
+    }
+    let workers = workers.min(files.len());
+    let (tx, rx) = channel::unbounded::<usize>();
+    for idx in 0..files.len() {
+        tx.send(idx).expect("receiver alive");
+    }
+    drop(tx);
+
+    let mut per_file: Vec<Vec<CheckFailure>> = vec![Vec::new(); files.len()];
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = rx.clone();
+            handles.push(scope.spawn(move |_| {
+                let mut mine: Vec<(usize, Vec<CheckFailure>)> = Vec::new();
+                while let Ok(idx) = rx.recv() {
+                    mine.push((idx, check_file(&files[idx], ranges)));
+                }
+                mine
+            }));
+        }
+        for handle in handles {
+            for (idx, failures) in handle.join().expect("worker panicked") {
+                per_file[idx] = failures;
+            }
+        }
+    })
+    .expect("scope panicked");
+
+    per_file.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{DockingRow, EulerZyz, ProteinId, Vec3};
+
+    fn file(seed: u32, corrupt: bool) -> ResultFile {
+        let mut rows: Vec<DockingRow> = (1..=3u32)
+            .flat_map(|isep| {
+                (1..=2u32).map(move |irot| DockingRow {
+                    isep,
+                    irot,
+                    position: Vec3::new(seed as f64, 0.0, 0.0),
+                    orientation: EulerZyz::default(),
+                    elj: -1.0,
+                    eelec: 0.5,
+                })
+            })
+            .collect();
+        if corrupt {
+            rows[2].elj = f64::NAN;
+        }
+        ResultFile {
+            receptor: ProteinId(0),
+            ligand: ProteinId(seed),
+            isep_start: 1,
+            isep_end: 3,
+            nrot: 2,
+            rows,
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let files: Vec<ResultFile> = (0..40).map(|i| file(i, i % 7 == 3)).collect();
+        let ranges = ValueRanges::default();
+        let sequential: Vec<CheckFailure> = files
+            .iter()
+            .flat_map(|f| check_file(f, &ranges))
+            .collect();
+        for workers in [1, 2, 4, 8] {
+            let parallel = check_files_parallel(&files, &ranges, workers);
+            assert_eq!(parallel, sequential, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn clean_batch_has_no_failures() {
+        let files: Vec<ResultFile> = (0..10).map(|i| file(i, false)).collect();
+        assert!(check_files_parallel(&files, &ValueRanges::default(), 4).is_empty());
+    }
+
+    #[test]
+    fn empty_batch() {
+        assert!(check_files_parallel(&[], &ValueRanges::default(), 4).is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_files_is_fine() {
+        let files = vec![file(1, true)];
+        let failures = check_files_parallel(&files, &ValueRanges::default(), 16);
+        assert_eq!(failures.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        check_files_parallel(&[], &ValueRanges::default(), 0);
+    }
+}

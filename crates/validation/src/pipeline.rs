@@ -1,0 +1,280 @@
+//! The reception pipeline — §5.2's operational workflow.
+//!
+//! "The World Community Grid team sent us the results when one protein has
+//! been docked with the 168 others. Each time we received the results, we
+//! validated those results with 3 different checks ... Then when the files
+//! were checked, we merged result files in order to have one result file
+//! for one couple of proteins."
+//!
+//! [`ReceptionPipeline`] tracks workunit result files as they arrive,
+//! detects when a receptor is fully docked against the whole set, runs the
+//! three checks on the receptor's batch, merges per couple, and keeps the
+//! running statistics behind the Figure 7 progression graphics ("In
+//! addition to these controls, we provide the graphics ... which
+//! represents the progression of the project").
+
+use crate::checks::{check_batch, CheckFailure, ValueRanges};
+use crate::format::ResultFile;
+use crate::merge::{merge_couple_files, MergeError};
+use maxdo::ProteinId;
+use std::collections::HashMap;
+
+/// Outcome of processing one receptor's completed batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// The receptor whose batch completed.
+    pub receptor: ProteinId,
+    /// Check failures found (empty = batch accepted).
+    pub failures: Vec<CheckFailure>,
+    /// Merge errors per ligand, if any.
+    pub merge_errors: Vec<(ProteinId, MergeError)>,
+    /// Merged files (one per ligand) when everything passed.
+    pub merged: Vec<ResultFile>,
+}
+
+impl BatchOutcome {
+    /// True when the batch passed all checks and merged cleanly.
+    pub fn accepted(&self) -> bool {
+        self.failures.is_empty() && self.merge_errors.is_empty()
+    }
+}
+
+/// Tracks arriving result files and processes per-receptor batches.
+#[derive(Debug)]
+pub struct ReceptionPipeline {
+    /// Number of proteins in the set (168 for phase I).
+    set_size: u32,
+    /// `Nsep` per receptor (indexed by protein id).
+    nsep: Vec<u32>,
+    /// Expected workunit-file count per couple, `(receptor, ligand)`.
+    expected_files: HashMap<(u32, u32), u32>,
+    /// Received (but not yet consumed) files per couple.
+    pending: HashMap<(u32, u32), Vec<ResultFile>>,
+    /// Ranges used for the value check.
+    ranges: ValueRanges,
+    /// Receptors already processed.
+    done: Vec<bool>,
+    /// Total files received.
+    pub files_received: u64,
+}
+
+impl ReceptionPipeline {
+    /// Creates a pipeline for a protein set.
+    ///
+    /// `expected_files(receptor, ligand)` tells the pipeline how many
+    /// workunit files each couple was split into (check 1 needs it);
+    /// `nsep[receptor]` bounds the merged coverage (checks 2/3 + merge).
+    pub fn new(
+        nsep: Vec<u32>,
+        expected_files: HashMap<(u32, u32), u32>,
+        ranges: ValueRanges,
+    ) -> Self {
+        let set_size = nsep.len() as u32;
+        assert!(set_size > 0, "empty protein set");
+        assert_eq!(
+            expected_files.len(),
+            (set_size * set_size) as usize,
+            "need an expected file count for every ordered couple"
+        );
+        Self {
+            set_size,
+            done: vec![false; nsep.len()],
+            nsep,
+            expected_files,
+            pending: HashMap::new(),
+            ranges,
+        files_received: 0,
+        }
+    }
+
+    /// Number of files received so far for a couple.
+    pub fn received_for(&self, receptor: ProteinId, ligand: ProteinId) -> usize {
+        self.pending
+            .get(&(receptor.0, ligand.0))
+            .map_or(0, |v| v.len())
+    }
+
+    /// Whether a receptor's batch (all `set_size` couples complete) is
+    /// ready for processing.
+    pub fn receptor_ready(&self, receptor: ProteinId) -> bool {
+        !self.done[receptor.0 as usize]
+            && (0..self.set_size).all(|l| {
+                let expected = self.expected_files[&(receptor.0, l)];
+                self.received_for(receptor, ProteinId(l)) as u32 >= expected
+            })
+    }
+
+    /// Ingests one workunit result file. When this file completes its
+    /// receptor's batch, the batch is validated and merged and the outcome
+    /// returned.
+    pub fn ingest(&mut self, file: ResultFile) -> Option<BatchOutcome> {
+        assert!(
+            file.receptor.0 < self.set_size && file.ligand.0 < self.set_size,
+            "file references a protein outside the set"
+        );
+        self.files_received += 1;
+        let receptor = file.receptor;
+        self.pending
+            .entry((file.receptor.0, file.ligand.0))
+            .or_default()
+            .push(file);
+        if self.receptor_ready(receptor) {
+            Some(self.process_batch(receptor))
+        } else {
+            None
+        }
+    }
+
+    /// Runs checks + merge on a ready receptor batch.
+    fn process_batch(&mut self, receptor: ProteinId) -> BatchOutcome {
+        let mut failures = Vec::new();
+        let mut merge_errors = Vec::new();
+        let mut merged = Vec::new();
+        for l in 0..self.set_size {
+            let ligand = ProteinId(l);
+            let files = self
+                .pending
+                .remove(&(receptor.0, l))
+                .unwrap_or_default();
+            let expected = self.expected_files[&(receptor.0, l)] as usize;
+            failures.extend(check_batch(
+                receptor,
+                ligand,
+                &files,
+                expected,
+                &self.ranges,
+            ));
+            match merge_couple_files(files, self.nsep[receptor.0 as usize]) {
+                Ok(f) => merged.push(f),
+                Err(e) => merge_errors.push((ligand, e)),
+            }
+        }
+        self.done[receptor.0 as usize] = true;
+        BatchOutcome {
+            receptor,
+            failures,
+            merge_errors,
+            merged,
+        }
+    }
+
+    /// Receptors fully processed so far.
+    pub fn receptors_done(&self) -> usize {
+        self.done.iter().filter(|&&d| d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{DockingRow, EulerZyz, Vec3};
+
+    /// A file for couple `(r, l)` covering `isep_start..=isep_end`, nrot 2.
+    fn file(r: u32, l: u32, isep_start: u32, isep_end: u32) -> ResultFile {
+        ResultFile {
+            receptor: ProteinId(r),
+            ligand: ProteinId(l),
+            isep_start,
+            isep_end,
+            nrot: 2,
+            rows: (isep_start..=isep_end)
+                .flat_map(|isep| {
+                    (1..=2u32).map(move |irot| DockingRow {
+                        isep,
+                        irot,
+                        position: Vec3::new(5.0, 0.0, 0.0),
+                        orientation: EulerZyz::default(),
+                        elj: -1.0,
+                        eelec: 0.25,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// A 2-protein set: each receptor has nsep 4, split as 2 files of 2.
+    fn pipeline() -> ReceptionPipeline {
+        let mut expected = HashMap::new();
+        for r in 0..2 {
+            for l in 0..2 {
+                expected.insert((r, l), 2);
+            }
+        }
+        ReceptionPipeline::new(vec![4, 4], expected, ValueRanges::default())
+    }
+
+    #[test]
+    fn batch_triggers_when_the_last_file_lands() {
+        let mut p = pipeline();
+        assert!(p.ingest(file(0, 0, 1, 2)).is_none());
+        assert!(p.ingest(file(0, 0, 3, 4)).is_none());
+        assert!(p.ingest(file(0, 1, 1, 2)).is_none());
+        let outcome = p.ingest(file(0, 1, 3, 4)).expect("batch complete");
+        assert_eq!(outcome.receptor, ProteinId(0));
+        assert!(outcome.accepted(), "{outcome:?}");
+        assert_eq!(outcome.merged.len(), 2);
+        assert_eq!(p.receptors_done(), 1);
+        assert_eq!(p.files_received, 4);
+    }
+
+    #[test]
+    fn batches_are_per_receptor() {
+        let mut p = pipeline();
+        // Interleave files of both receptors.
+        assert!(p.ingest(file(0, 0, 1, 2)).is_none());
+        assert!(p.ingest(file(1, 0, 1, 2)).is_none());
+        assert!(p.ingest(file(1, 1, 1, 2)).is_none());
+        assert!(p.ingest(file(0, 1, 1, 2)).is_none());
+        assert!(p.ingest(file(0, 0, 3, 4)).is_none());
+        let first = p.ingest(file(0, 1, 3, 4)).expect("receptor 0 done");
+        assert_eq!(first.receptor, ProteinId(0));
+        assert!(p.ingest(file(1, 0, 3, 4)).is_none());
+        let second = p.ingest(file(1, 1, 3, 4)).expect("receptor 1 done");
+        assert_eq!(second.receptor, ProteinId(1));
+        assert_eq!(p.receptors_done(), 2);
+    }
+
+    #[test]
+    fn corrupted_file_fails_the_batch_checks() {
+        let mut p = pipeline();
+        let mut bad = file(0, 0, 1, 2);
+        bad.rows[0].eelec = f64::NAN;
+        p.ingest(bad);
+        p.ingest(file(0, 0, 3, 4));
+        p.ingest(file(0, 1, 1, 2));
+        let outcome = p.ingest(file(0, 1, 3, 4)).unwrap();
+        assert!(!outcome.accepted());
+        assert!(outcome
+            .failures
+            .iter()
+            .any(|f| matches!(f, CheckFailure::ValueRange { .. })));
+        // The clean couple still merged; the batch as a whole is flagged.
+        assert_eq!(outcome.merged.len(), 2);
+    }
+
+    #[test]
+    fn overlapping_files_fail_the_merge() {
+        let mut p = pipeline();
+        p.ingest(file(0, 0, 1, 2));
+        p.ingest(file(0, 0, 2, 4)); // overlaps position 2 — counts as 2 files
+        p.ingest(file(0, 1, 1, 2));
+        let outcome = p.ingest(file(0, 1, 3, 4)).unwrap();
+        assert!(!outcome.accepted());
+        assert!(outcome
+            .merge_errors
+            .iter()
+            .any(|(l, e)| *l == ProteinId(0) && matches!(e, MergeError::Overlap { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the set")]
+    fn foreign_protein_rejected() {
+        pipeline().ingest(file(5, 0, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "every ordered couple")]
+    fn incomplete_expectation_table_rejected() {
+        ReceptionPipeline::new(vec![4, 4], HashMap::new(), ValueRanges::default());
+    }
+}

@@ -1,0 +1,92 @@
+//! Dataset accounting.
+//!
+//! §5.2 / §8: phase I produced "123 Gb of text files (45 Gb compressed) and
+//! there are 168² files". This module estimates the dataset size of a
+//! campaign analytically from the row counts and the result-file format —
+//! useful both to check the reproduction against the paper's number and to
+//! size the scaled runs.
+
+use maxdo::ProteinLibrary;
+use serde::{Deserialize, Serialize};
+
+/// Mean bytes of one data line of the result format (ten ~11-char fields).
+pub const BYTES_PER_ROW: f64 = 96.0;
+
+/// Compression ratio of the text (the paper: 123 GB → 45 GB ≈ 0.366).
+pub const COMPRESSION_RATIO: f64 = 45.0 / 123.0;
+
+/// Estimated size and shape of a campaign's result dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetReport {
+    /// Number of merged files (one per ordered couple = n²).
+    pub file_count: u64,
+    /// Total data rows across all files: `Σ Nsep(p1) × Nrot × n`.
+    pub total_rows: u64,
+    /// Estimated uncompressed bytes.
+    pub uncompressed_bytes: f64,
+    /// Estimated compressed bytes.
+    pub compressed_bytes: f64,
+}
+
+impl DatasetReport {
+    /// Estimates the dataset of a library's full cross-docking campaign.
+    pub fn for_library(library: &ProteinLibrary) -> Self {
+        let n = library.len() as u64;
+        let nsep_sum: u64 = library.nsep_table().iter().map(|&x| x as u64).sum();
+        let total_rows = nsep_sum * maxdo::NROT_COUPLES as u64 * n;
+        let uncompressed_bytes = total_rows as f64 * BYTES_PER_ROW;
+        Self {
+            file_count: n * n,
+            total_rows,
+            uncompressed_bytes,
+            compressed_bytes: uncompressed_bytes * COMPRESSION_RATIO,
+        }
+    }
+
+    /// Uncompressed size in gigabytes (10⁹ bytes).
+    pub fn uncompressed_gb(&self) -> f64 {
+        self.uncompressed_bytes / 1e9
+    }
+
+    /// Compressed size in gigabytes.
+    pub fn compressed_gb(&self) -> f64 {
+        self.compressed_bytes / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::LibraryConfig;
+
+    #[test]
+    fn counts_follow_the_library() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(4), 3);
+        let r = DatasetReport::for_library(&lib);
+        assert_eq!(r.file_count, 16);
+        let nsep_sum: u64 = lib.nsep_table().iter().map(|&x| x as u64).sum();
+        assert_eq!(r.total_rows, nsep_sum * 21 * 4);
+        assert!(r.compressed_bytes < r.uncompressed_bytes);
+    }
+
+    /// The headline §5.2 number: the phase-I dataset is on the order of
+    /// 123 GB of text (one line per docking cell).
+    #[test]
+    fn phase1_dataset_is_on_the_papers_scale() {
+        let lib = ProteinLibrary::phase1_catalog();
+        let r = DatasetReport::for_library(&lib);
+        assert_eq!(r.file_count, 168 * 168);
+        let gb = r.uncompressed_gb();
+        assert!(
+            (60.0..250.0).contains(&gb),
+            "dataset {gb} GB too far from the paper's 123 GB"
+        );
+    }
+
+    #[test]
+    fn compression_matches_the_papers_ratio() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 3);
+        let r = DatasetReport::for_library(&lib);
+        assert!((r.compressed_gb() / r.uncompressed_gb() - 45.0 / 123.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,50 @@
+//! §4.2 — workunit preparation and packaging.
+//!
+//! "As mentioned in the requirements for World Community Grid, the work
+//! should be partitioned into small pieces of work that ideally takes 10
+//! hours to complete." This crate slices the phase-I workload (all ordered
+//! protein couples × starting positions) into workunits of a target
+//! duration `h`, following the paper's rule exactly, and provides the
+//! distribution analyses of Figure 4 plus the §5.1 launch schedule
+//! (cheapest protein first).
+//!
+//! ```
+//! use maxdo::{CostModel, LibraryConfig, ProteinLibrary};
+//! use timemodel::CostMatrix;
+//! use workunit::CampaignPackage;
+//!
+//! let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 1);
+//! let matrix = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.1));
+//! let pkg = CampaignPackage::new(&lib, &matrix, workunit::IDEAL_WU_SECONDS);
+//! // Packaging conserves formula (1)'s total exactly.
+//! let total = timemodel::total_cpu_seconds(&lib, &matrix);
+//! assert!((pkg.total_estimated_seconds() - total).abs() < 1e-9 * total);
+//! ```
+//!
+//! * [`slicing`] — the paper's `nsep` selection rule;
+//! * [`package`] — workunit records and whole-campaign packaging;
+//! * [`distribution`] — estimated-runtime histograms (Figure 4);
+//! * [`schedule`] — the launch order and batch queue (§5.1).
+
+pub mod distribution;
+pub mod manifest;
+pub mod package;
+pub mod schedule;
+pub mod slicing;
+pub mod transactions;
+
+pub use distribution::{distribution_report, DistributionReport};
+pub use manifest::{read_manifest, write_manifest, ManifestError};
+pub use package::{CampaignPackage, WorkunitId, WorkunitSpec};
+pub use schedule::LaunchSchedule;
+pub use slicing::{positions_per_workunit, workunits_for_couple};
+pub use transactions::TransactionLoad;
+
+/// The paper's ideal workunit duration: "a workunit should last around 10
+/// hours" (§3.2), in seconds.
+pub const IDEAL_WU_SECONDS: f64 = 10.0 * 3600.0;
+
+/// The duration actually used in production: Figure 8 shows "most
+/// workunits were tuned to take between 3 and 4 hours", i.e. the h = 4 h
+/// packaging of Figure 4(b), in seconds.
+pub const PRODUCTION_WU_SECONDS: f64 = 4.0 * 3600.0;

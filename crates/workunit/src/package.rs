@@ -1,0 +1,257 @@
+//! Workunit records and whole-campaign packaging.
+//!
+//! A workunit is the unit World Community Grid distributes: for one couple
+//! `(p1, p2)`, compute the docking map of a contiguous range of starting
+//! positions (all 21 orientation couples each). The phase-I campaign at
+//! the production duration (h = 4 h) is ≈ 3.6 million workunits, so the
+//! record is kept compact (16 bytes) and the packaging API is streaming:
+//! [`CampaignPackage::for_each_workunit`] visits workunits without
+//! materialising them, and [`CampaignPackage::collect_all`] builds the full
+//! vector when the caller really wants it.
+
+use crate::slicing::positions_per_workunit;
+use maxdo::{ProteinId, ProteinLibrary};
+use serde::{Deserialize, Serialize};
+use timemodel::CostMatrix;
+
+/// Dense campaign-wide workunit identifier (assignment order).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct WorkunitId(pub u64);
+
+impl std::fmt::Display for WorkunitId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wu{:08}", self.0)
+    }
+}
+
+/// One workunit: a contiguous range of starting positions of one couple.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkunitSpec {
+    /// Receptor protein.
+    pub receptor: ProteinId,
+    /// Ligand protein.
+    pub ligand: ProteinId,
+    /// First starting position (1-based, inclusive).
+    pub isep_start: u32,
+    /// Number of starting positions in this workunit.
+    pub positions: u32,
+}
+
+impl WorkunitSpec {
+    /// Last starting position (inclusive).
+    pub fn isep_end(&self) -> u32 {
+        self.isep_start + self.positions - 1
+    }
+
+    /// Estimated CPU seconds on the reference processor.
+    pub fn estimated_seconds(&self, matrix: &CostMatrix) -> f64 {
+        self.positions as f64 * matrix.get(self.receptor.0 as usize, self.ligand.0 as usize)
+    }
+}
+
+/// A packaged campaign: a library, its cost matrix, and a target workunit
+/// duration. Workunit enumeration is deterministic: receptors in catalog
+/// order, ligands in catalog order, positions ascending.
+#[derive(Debug, Clone)]
+pub struct CampaignPackage<'a> {
+    library: &'a ProteinLibrary,
+    matrix: &'a CostMatrix,
+    /// Target workunit duration `h`, seconds.
+    pub h_seconds: f64,
+}
+
+impl<'a> CampaignPackage<'a> {
+    /// Creates a packaging of `library`'s full cross-docking workload.
+    pub fn new(library: &'a ProteinLibrary, matrix: &'a CostMatrix, h_seconds: f64) -> Self {
+        assert_eq!(library.len(), matrix.len(), "library/matrix size mismatch");
+        assert!(h_seconds > 0.0, "target duration must be positive");
+        Self {
+            library,
+            matrix,
+            h_seconds,
+        }
+    }
+
+    /// The library being packaged.
+    pub fn library(&self) -> &ProteinLibrary {
+        self.library
+    }
+
+    /// The cost matrix in use.
+    pub fn matrix(&self) -> &CostMatrix {
+        self.matrix
+    }
+
+    /// Visits the workunits of one couple in position order.
+    pub fn for_each_workunit_of_couple(
+        &self,
+        receptor: ProteinId,
+        ligand: ProteinId,
+        mut f: impl FnMut(WorkunitSpec),
+    ) {
+        let nsep_total = self.library.nsep(receptor);
+        let mct = self
+            .matrix
+            .get(receptor.0 as usize, ligand.0 as usize);
+        let per = positions_per_workunit(self.h_seconds, mct, nsep_total);
+        let mut isep = 1u32;
+        while isep <= nsep_total {
+            let positions = per.min(nsep_total - isep + 1);
+            f(WorkunitSpec {
+                receptor,
+                ligand,
+                isep_start: isep,
+                positions,
+            });
+            isep += positions;
+        }
+    }
+
+    /// Visits every workunit of the campaign in canonical order without
+    /// materialising them.
+    pub fn for_each_workunit(&self, mut f: impl FnMut(WorkunitSpec)) {
+        for (receptor, ligand) in self.library.couples() {
+            self.for_each_workunit_of_couple(receptor, ligand, &mut f);
+        }
+    }
+
+    /// Visits every workunit of one *receptor* (docked against all
+    /// ligands) — the batch granularity of the §5.1 launch schedule.
+    pub fn for_each_workunit_of_receptor(
+        &self,
+        receptor: ProteinId,
+        mut f: impl FnMut(WorkunitSpec),
+    ) {
+        for j in 0..self.library.len() as u32 {
+            self.for_each_workunit_of_couple(receptor, ProteinId(j), &mut f);
+        }
+    }
+
+    /// Total number of workunits in the campaign.
+    pub fn count(&self) -> u64 {
+        let mut n = 0u64;
+        self.for_each_workunit(|_| n += 1);
+        n
+    }
+
+    /// Materialises the whole campaign (large: ~3.6 M records at h = 4 h
+    /// on the phase-I catalog).
+    pub fn collect_all(&self) -> Vec<WorkunitSpec> {
+        let mut v = Vec::new();
+        self.for_each_workunit(|wu| v.push(wu));
+        v
+    }
+
+    /// Sum of estimated CPU seconds over all workunits — must equal the
+    /// formula (1) total (packaging neither adds nor loses work).
+    pub fn total_estimated_seconds(&self) -> f64 {
+        let mut acc = 0.0;
+        self.for_each_workunit(|wu| acc += wu.estimated_seconds(self.matrix));
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{CostModel, LibraryConfig};
+
+    fn setup() -> (ProteinLibrary, CostMatrix) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(4), 29);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.05));
+        (lib, m)
+    }
+
+    #[test]
+    fn couple_workunits_tile_the_position_range() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        for (r, l) in lib.couples() {
+            let mut next = 1u32;
+            pkg.for_each_workunit_of_couple(r, l, |wu| {
+                assert_eq!(wu.isep_start, next, "gap or overlap");
+                assert!(wu.positions >= 1);
+                next = wu.isep_end() + 1;
+            });
+            assert_eq!(next, lib.nsep(r) + 1, "full coverage");
+        }
+    }
+
+    #[test]
+    fn workunits_never_mix_couples() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        pkg.for_each_workunit(|wu| {
+            assert!(wu.receptor.0 < 4 && wu.ligand.0 < 4);
+            // isep range stays inside the receptor's own Nsep.
+            assert!(wu.isep_end() <= lib.nsep(wu.receptor));
+        });
+    }
+
+    #[test]
+    fn packaging_conserves_total_work() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let total = timemodel::total_cpu_seconds(&lib, &m);
+        assert!(
+            (pkg.total_estimated_seconds() - total).abs() < 1e-6 * total,
+            "packaged {} vs formula (1) {}",
+            pkg.total_estimated_seconds(),
+            total
+        );
+    }
+
+    #[test]
+    fn count_matches_collect() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        assert_eq!(pkg.count(), pkg.collect_all().len() as u64);
+    }
+
+    #[test]
+    fn receptor_enumeration_covers_all_ligands() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let mut ligands = std::collections::HashSet::new();
+        pkg.for_each_workunit_of_receptor(ProteinId(2), |wu| {
+            assert_eq!(wu.receptor, ProteinId(2));
+            ligands.insert(wu.ligand);
+        });
+        assert_eq!(ligands.len(), 4);
+    }
+
+    #[test]
+    fn smaller_h_gives_more_workunits() {
+        let (lib, m) = setup();
+        let big = CampaignPackage::new(&lib, &m, 3600.0).count();
+        let small = CampaignPackage::new(&lib, &m, 60.0).count();
+        assert!(small > big, "small-h {} vs big-h {}", small, big);
+    }
+
+    #[test]
+    fn estimated_seconds_scale_with_positions() {
+        let (_lib, m) = setup();
+        let wu = WorkunitSpec {
+            receptor: ProteinId(0),
+            ligand: ProteinId(1),
+            isep_start: 1,
+            positions: 7,
+        };
+        assert!((wu.estimated_seconds(&m) - 7.0 * m.get(0, 1)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workunit_id_display() {
+        assert_eq!(WorkunitId(42).to_string(), "wu00000042");
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn mismatched_sizes_rejected() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 29);
+        let m = CostMatrix::from_raw(2, vec![1.0; 4]);
+        CampaignPackage::new(&lib, &m, 600.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! The §5.1 launch schedule.
+//!
+//! "The World Community Grid team decided to launch the workunit of one
+//! protein after an other. They also decided to first launch the protein
+//! that required less computing time" — failures surface early when cheap
+//! proteins return quickly, and newer (faster) devices joining later take
+//! the heavier workunits.
+//!
+//! [`LaunchSchedule`] orders receptors by ascending total workload and
+//! exposes the campaign as an ordered sequence of per-receptor batches.
+
+use crate::package::{CampaignPackage, WorkunitSpec};
+use maxdo::ProteinId;
+use serde::{Deserialize, Serialize};
+use timemodel::Workload;
+
+/// The ordered launch plan of a campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LaunchSchedule {
+    /// Receptor ids, cheapest total workload first.
+    order: Vec<ProteinId>,
+    /// Per-receptor total CPU seconds, aligned with `order`.
+    batch_seconds: Vec<f64>,
+}
+
+impl LaunchSchedule {
+    /// Builds the cheapest-first schedule from a packaged campaign.
+    pub fn cheapest_first(pkg: &CampaignPackage<'_>) -> Self {
+        let workload = Workload::derive(pkg.library(), pkg.matrix());
+        let order: Vec<ProteinId> = workload
+            .launch_order()
+            .into_iter()
+            .map(|i| ProteinId(i as u32))
+            .collect();
+        let batch_seconds = order
+            .iter()
+            .map(|&p| workload.per_protein_seconds[p.0 as usize])
+            .collect();
+        Self {
+            order,
+            batch_seconds,
+        }
+    }
+
+    /// Receptors in launch order.
+    pub fn order(&self) -> &[ProteinId] {
+        &self.order
+    }
+
+    /// Total CPU seconds of the `k`-th batch.
+    pub fn batch_seconds(&self, k: usize) -> f64 {
+        self.batch_seconds[k]
+    }
+
+    /// Number of batches (= number of receptors).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True when there are no batches.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Visits the workunits of the whole campaign in launch order:
+    /// cheapest receptor's workunits first, then the next, etc.
+    pub fn for_each_workunit_in_order(
+        &self,
+        pkg: &CampaignPackage<'_>,
+        mut f: impl FnMut(WorkunitSpec),
+    ) {
+        for &receptor in &self.order {
+            pkg.for_each_workunit_of_receptor(receptor, &mut f);
+        }
+    }
+
+    /// Cumulative work fraction after each batch — the X axis of the
+    /// Figure 7 progression view.
+    pub fn cumulative_work_fractions(&self) -> Vec<f64> {
+        let total: f64 = self.batch_seconds.iter().sum();
+        let mut acc = 0.0;
+        self.batch_seconds
+            .iter()
+            .map(|&b| {
+                acc += b;
+                if total > 0.0 {
+                    acc / total
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{CostModel, LibraryConfig, ProteinLibrary};
+    use timemodel::CostMatrix;
+
+    fn setup() -> (ProteinLibrary, CostMatrix) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(5), 71);
+        let m = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.05));
+        (lib, m)
+    }
+
+    #[test]
+    fn order_is_cheapest_first() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let sched = LaunchSchedule::cheapest_first(&pkg);
+        assert_eq!(sched.len(), 5);
+        for k in 1..sched.len() {
+            assert!(sched.batch_seconds(k - 1) <= sched.batch_seconds(k));
+        }
+    }
+
+    #[test]
+    fn every_receptor_appears_once() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let sched = LaunchSchedule::cheapest_first(&pkg);
+        let mut seen: Vec<u32> = sched.order().iter().map(|p| p.0).collect();
+        seen.sort();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ordered_enumeration_counts_match() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let sched = LaunchSchedule::cheapest_first(&pkg);
+        let mut n = 0u64;
+        sched.for_each_workunit_in_order(&pkg, |_| n += 1);
+        assert_eq!(n, pkg.count());
+    }
+
+    #[test]
+    fn ordered_enumeration_groups_by_receptor() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let sched = LaunchSchedule::cheapest_first(&pkg);
+        let mut receptors_seen = Vec::new();
+        sched.for_each_workunit_in_order(&pkg, |wu| {
+            if receptors_seen.last() != Some(&wu.receptor) {
+                receptors_seen.push(wu.receptor);
+            }
+        });
+        // Each receptor forms exactly one contiguous run.
+        let mut dedup = receptors_seen.clone();
+        dedup.dedup();
+        assert_eq!(receptors_seen, dedup);
+        assert_eq!(receptors_seen.len(), 5);
+        assert_eq!(receptors_seen, sched.order());
+    }
+
+    #[test]
+    fn cumulative_fractions_end_at_one() {
+        let (lib, m) = setup();
+        let pkg = CampaignPackage::new(&lib, &m, 600.0);
+        let sched = LaunchSchedule::cheapest_first(&pkg);
+        let c = sched.cumulative_work_fractions();
+        assert_eq!(c.len(), 5);
+        assert!((c[4] - 1.0).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

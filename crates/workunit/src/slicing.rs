@@ -1,0 +1,141 @@
+//! The paper's workunit slicing rule.
+//!
+//! §4.2: for each couple `(p1, p2)`, find the number of separation points
+//! `nsep` to compute in one workunit:
+//!
+//! ```text
+//! if ⌊h / Mct(p1,p2)⌋ ≤ 1        → nsep = 1
+//! if ⌊h / Mct(p1,p2)⌋ ≥ Nsep(p1) → nsep = Nsep(p1)
+//! else                            → nsep = ⌊h / Mct(p1, p2)⌋
+//! ```
+//!
+//! The two §4.2 constraints are structural: a workunit covers a single
+//! couple (never mixes proteins) and only the number of starting positions
+//! varies (`Nrot` stays 21).
+
+/// Number of starting positions per workunit for a couple whose
+/// per-position compute time is `mct_seconds`, given target duration
+/// `h_seconds` and the receptor's `nsep_total`.
+pub fn positions_per_workunit(h_seconds: f64, mct_seconds: f64, nsep_total: u32) -> u32 {
+    assert!(h_seconds > 0.0, "target duration must be positive");
+    assert!(mct_seconds > 0.0, "compute time must be positive");
+    assert!(nsep_total >= 1, "receptor must have starting positions");
+    let ratio = (h_seconds / mct_seconds).floor();
+    if ratio <= 1.0 {
+        1
+    } else if ratio >= nsep_total as f64 {
+        nsep_total
+    } else {
+        ratio as u32
+    }
+}
+
+/// Number of workunits a couple generates:
+/// `⌈Nsep(p1) / nsep(p1, p2)⌉`.
+pub fn workunits_for_couple(h_seconds: f64, mct_seconds: f64, nsep_total: u32) -> u32 {
+    let per = positions_per_workunit(h_seconds, mct_seconds, nsep_total);
+    nsep_total.div_ceil(per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn slow_couple_gets_one_position_per_workunit() {
+        // Mct > h ⇒ ratio < 1 ⇒ nsep = 1 (a workunit may exceed h; the
+        // couple cannot be split finer than one starting position).
+        assert_eq!(positions_per_workunit(36_000.0, 46_347.0, 500), 1);
+    }
+
+    #[test]
+    fn ratio_exactly_one_gives_one() {
+        assert_eq!(positions_per_workunit(100.0, 100.0, 10), 1);
+        assert_eq!(positions_per_workunit(199.0, 100.0, 10), 1);
+    }
+
+    #[test]
+    fn fast_couple_is_capped_at_nsep_total() {
+        // Mct tiny ⇒ the whole map fits one workunit.
+        assert_eq!(positions_per_workunit(36_000.0, 6.0, 500), 500);
+        assert_eq!(workunits_for_couple(36_000.0, 6.0, 500), 1);
+    }
+
+    #[test]
+    fn intermediate_couple_uses_floor() {
+        // h = 10 h, Mct = 671 s ⇒ ⌊36000/671⌋ = 53 positions per workunit.
+        assert_eq!(positions_per_workunit(36_000.0, 671.0, 2000), 53);
+        assert_eq!(workunits_for_couple(36_000.0, 671.0, 2000), 2000_u32.div_ceil(53));
+    }
+
+    #[test]
+    fn workunit_count_covers_all_positions() {
+        for (h, mct, total) in [
+            (36_000.0, 671.0, 2387u32),
+            (14_400.0, 384.0, 838),
+            (36_000.0, 46_347.0, 11_503),
+            (14_400.0, 14.0, 1141),
+        ] {
+            let per = positions_per_workunit(h, mct, total);
+            let count = workunits_for_couple(h, mct, total);
+            assert!(count * per >= total, "coverage");
+            assert!((count - 1) * per < total, "no superfluous workunit");
+        }
+    }
+
+    proptest! {
+        /// Every starting position is covered exactly once and each
+        /// workunit is within the paper's bounds.
+        #[test]
+        fn slicing_invariants(
+            h in 600.0_f64..200_000.0,
+            mct in 1.0_f64..100_000.0,
+            total in 1u32..20_000,
+        ) {
+            let per = positions_per_workunit(h, mct, total);
+            prop_assert!(per >= 1 && per <= total);
+            let count = workunits_for_couple(h, mct, total);
+            prop_assert!(count >= 1);
+            // Full coverage, minimal count.
+            prop_assert!(count as u64 * per as u64 >= total as u64);
+            prop_assert!((count as u64 - 1) * per as u64 <= total as u64);
+            // A full workunit's estimated duration never exceeds h unless
+            // it is the irreducible single-position case.
+            if per > 1 {
+                prop_assert!(per as f64 * mct <= h);
+            }
+        }
+
+        /// Decreasing h never decreases the number of workunits (Figure 4:
+        /// "the number of workunits increases when the workunit execution
+        /// time wanted decreases").
+        #[test]
+        fn smaller_h_means_more_workunits(
+            mct in 1.0_f64..100_000.0,
+            total in 1u32..20_000,
+        ) {
+            let wu10 = workunits_for_couple(36_000.0, mct, total);
+            let wu4 = workunits_for_couple(14_400.0, mct, total);
+            prop_assert!(wu4 >= wu10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_h_rejected() {
+        positions_per_workunit(0.0, 1.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_mct_rejected() {
+        positions_per_workunit(1.0, 0.0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "starting positions")]
+    fn zero_nsep_rejected() {
+        positions_per_workunit(1.0, 1.0, 0);
+    }
+}

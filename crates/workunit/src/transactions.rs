@@ -1,0 +1,135 @@
+//! Server transaction-rate analysis — the §3.2 constraint.
+//!
+//! "This value [the ~10-hour workunit] is also constrained by the capacity
+//! of the servers at World Community Grid to distribute the work to
+//! volunteers device. It determines the rate of transactions with World
+//! Community Grid servers. An interesting study on performances issue of a
+//! BOINC task server have been done by the BOINC team \[13\]."
+//!
+//! Each workunit costs the server a fixed number of transactions (issue +
+//! report per replica, plus download/upload bookkeeping). Given a host
+//! population and a mean workunit duration, this module predicts the
+//! steady-state transaction rate and checks it against a server capacity —
+//! the analysis behind the operators' choice of `h`.
+
+use serde::{Deserialize, Serialize};
+
+/// Transactions a single replica costs the server over its lifetime
+/// (work request, download ack, upload, report/validate).
+pub const TRANSACTIONS_PER_REPLICA: f64 = 4.0;
+
+/// Capacity of the 2005-era BOINC task server measured by Anderson,
+/// Korpela & Walton (the paper's reference \[13\]): on the order of
+/// 8.8 million results per day ≈ 100/s, i.e. ~400 transactions/s.
+pub const REFERENCE_SERVER_TPS: f64 = 400.0;
+
+/// Steady-state transaction load of a campaign configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransactionLoad {
+    /// Hosts actively computing for the project.
+    pub hosts: f64,
+    /// Mean realized workunit duration per host, seconds.
+    pub mean_wu_wall_seconds: f64,
+    /// Replication factor (results per workunit).
+    pub redundancy: f64,
+}
+
+impl TransactionLoad {
+    /// Results reported per second, grid-wide.
+    pub fn results_per_second(&self) -> f64 {
+        assert!(self.mean_wu_wall_seconds > 0.0, "duration must be positive");
+        self.hosts / self.mean_wu_wall_seconds
+    }
+
+    /// Server transactions per second.
+    pub fn transactions_per_second(&self) -> f64 {
+        self.results_per_second() * TRANSACTIONS_PER_REPLICA
+    }
+
+    /// Fraction of a server's capacity consumed.
+    pub fn utilization_of(&self, server_tps: f64) -> f64 {
+        assert!(server_tps > 0.0);
+        self.transactions_per_second() / server_tps
+    }
+
+    /// The smallest mean workunit wall duration a server of capacity
+    /// `server_tps` can sustain for this host count.
+    pub fn min_sustainable_duration(hosts: f64, server_tps: f64) -> f64 {
+        assert!(server_tps > 0.0);
+        hosts * TRANSACTIONS_PER_REPLICA / server_tps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hcmd_full_power_load_is_comfortably_sustainable() {
+        // ~44,000 hosts on HCMD at full power, ~22 h wall per workunit
+        // (13 h attached / ~0.6 availability).
+        let load = TransactionLoad {
+            hosts: 44_000.0,
+            mean_wu_wall_seconds: 22.0 * 3600.0,
+            redundancy: 1.37,
+        };
+        let tps = load.transactions_per_second();
+        assert!(tps < 5.0, "tps {tps}");
+        assert!(load.utilization_of(REFERENCE_SERVER_TPS) < 0.02);
+    }
+
+    #[test]
+    fn tiny_workunits_blow_the_transaction_budget() {
+        // The same grid with 10-second workunits would need thousands of
+        // transactions per second — the §3.2 reason workunits are hours,
+        // not seconds.
+        let load = TransactionLoad {
+            hosts: 836_000.0, // the whole registered device pool
+            mean_wu_wall_seconds: 10.0,
+            redundancy: 1.0,
+        };
+        assert!(load.utilization_of(REFERENCE_SERVER_TPS) > 100.0);
+    }
+
+    #[test]
+    fn min_sustainable_duration_inverts_utilization() {
+        let hosts = 50_000.0;
+        let d = TransactionLoad::min_sustainable_duration(hosts, REFERENCE_SERVER_TPS);
+        let load = TransactionLoad {
+            hosts,
+            mean_wu_wall_seconds: d,
+            redundancy: 1.0,
+        };
+        assert!((load.utilization_of(REFERENCE_SERVER_TPS) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_scale_with_hosts_and_inverse_duration() {
+        let base = TransactionLoad {
+            hosts: 1000.0,
+            mean_wu_wall_seconds: 3600.0,
+            redundancy: 1.0,
+        };
+        let double_hosts = TransactionLoad {
+            hosts: 2000.0,
+            ..base
+        };
+        let half_duration = TransactionLoad {
+            mean_wu_wall_seconds: 1800.0,
+            ..base
+        };
+        assert!((double_hosts.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12);
+        assert!((half_duration.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        TransactionLoad {
+            hosts: 1.0,
+            mean_wu_wall_seconds: 0.0,
+            redundancy: 1.0,
+        }
+        .results_per_second();
+    }
+}

@@ -1,0 +1,63 @@
+//! Run the full HCMD phase-I campaign on the simulated World Community
+//! Grid (scaled), and print everything §5–§7 of the paper reports.
+//!
+//! Run with: `cargo run --release --example campaign [scale] [seed]`
+//! (default scale 1/50, seed 2007; scale 1 is the full 3.6-million-workunit
+//! campaign and takes a few minutes).
+
+use gridsim::ProjectPhases;
+use hcmd::campaign::Phase1Campaign;
+use hcmd::phase2::Phase2Assumptions;
+use hcmd::phases::{phase_summaries, render_phase_table};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+
+    println!("running HCMD phase I at scale 1/{scale} (seed {seed})...\n");
+    let report = Phase1Campaign::new(scale, seed).run();
+
+    println!("=== §4.1 / Table 1: the compute-time matrix ===");
+    println!("{}\n", report.table1.render());
+
+    println!("=== §4.2: production packaging ===");
+    println!("{}", report.distribution.caption());
+    println!("mean estimated workunit: {}\n", report.distribution.mean_hms());
+
+    println!("=== §5–§6: the campaign ===");
+    println!("{}\n", report.render_summary());
+
+    println!("=== Figure 6(a): phases ===");
+    let phases = ProjectPhases::hcmd_phase1();
+    println!(
+        "{}",
+        render_phase_table(&phase_summaries(&report.trace, &phases))
+    );
+
+    println!("=== Table 2: volunteer vs dedicated grid ===");
+    let sd = report.trace.speed_down();
+    let end = report.trace.completion_day.unwrap_or(182);
+    let t2 = hcmd::table2(
+        report.trace.mean_project_vftp(0, end),
+        report.trace.mean_project_vftp(76, end),
+        sd.raw_factor(),
+    );
+    println!("{}", t2.render());
+
+    println!("=== Table 3: phase II projection ===");
+    let assumptions = Phase2Assumptions::paper().with_measured_phase1(
+        report.trace.consumed_cpu_seconds() * scale as f64,
+        16.0,
+    );
+    let projection = assumptions.project();
+    println!("{}", projection.render_table3(&assumptions));
+    println!(
+        "at the phase-I rate, phase II would take {:.0} weeks; finishing in 40 weeks \
+         needs {:.0} VFTP ≈ {:.2} M WCG members ({:.2} M new volunteers)",
+        projection.weeks_at_phase1_rate,
+        projection.phase2_vftp,
+        projection.wcg_members_needed / 1e6,
+        projection.new_members_needed / 1e6
+    );
+}

@@ -1,0 +1,132 @@
+//! The downstream science: binding-site identification, partner ranking,
+//! and the phase-II search reduction.
+//!
+//! Phase I computed docking maps to build "a database of such information"
+//! (§2) on protein–protein interactions; §7 plans to use it to cut the
+//! phase-II search by ×100. This example runs that whole loop on a small
+//! couple with the real kernel:
+//!
+//! 1. full cross-docking map;
+//! 2. contact-propensity analysis → predicted binding site;
+//! 3. partner ranking across several ligands;
+//! 4. site-filtered (phase-II style) re-docking: how much cheaper, and
+//!    does it still find the strong minima?
+//!
+//! Run with: `cargo run --release --example interface_analysis`
+
+use maxdo::interface::{contact_propensity, rank_partners};
+use maxdo::{
+    filter_search, DockingEngine, EnergyParams, LibraryConfig, MinimizeParams, ProteinId,
+    ProteinLibrary,
+};
+
+fn main() {
+    let library = ProteinLibrary::generate(LibraryConfig::tiny(4), 42);
+    let receptor = library.protein(ProteinId(0));
+    let params = EnergyParams::default();
+    let mp = MinimizeParams {
+        max_iterations: 60,
+        ..Default::default()
+    };
+
+    // 1. Dock the receptor against three candidate partners.
+    println!("docking {} against 3 candidate partners...", receptor.name);
+    let mut maps = Vec::new();
+    for lid in 1..4u32 {
+        let engine = DockingEngine::for_couple(
+            &library,
+            ProteinId(0),
+            ProteinId(lid),
+            params,
+            mp,
+        );
+        let nsep = engine.nsep().min(12);
+        let out = engine.dock_range(1, nsep);
+        println!(
+            "  vs {}: {} cells, best Etot {:.2} kcal/mol",
+            library.protein(ProteinId(lid)).name,
+            out.rows.len(),
+            out.rows
+                .iter()
+                .map(|r| r.etot())
+                .fold(f64::INFINITY, f64::min)
+        );
+        maps.push((ProteinId(lid), out.rows));
+    }
+
+    // 2. Partner ranking (the "functionally important partners" database).
+    let ranking = rank_partners(
+        &maps
+            .iter()
+            .map(|(id, rows)| (*id, rows.as_slice()))
+            .collect::<Vec<_>>(),
+    );
+    println!("\npartner ranking (strongest interaction first):");
+    for (k, s) in ranking.iter().enumerate() {
+        println!(
+            "  {}. {}  best {:.2}  top-10 mean {:.2} kcal/mol",
+            k + 1,
+            library.protein(s.ligand).name,
+            s.best_etot,
+            s.top10_mean
+        );
+    }
+
+    // 3. Binding site of the best partner.
+    let best_partner = ranking[0].ligand;
+    let rows = &maps.iter().find(|(id, _)| *id == best_partner).unwrap().1;
+    let ligand = library.protein(best_partner);
+    let cp = contact_propensity(receptor, ligand, rows, 0.2, &params);
+    let site = cp.binding_site(0.5);
+    println!(
+        "\npredicted binding site: {} of {} beads (from {} low-energy poses)",
+        site.len(),
+        receptor.bead_count(),
+        cp.poses
+    );
+
+    // 4. Phase-II style filtering around the predicted site.
+    // Site direction from the propensity map, falling back to the best
+    // pose's approach direction if the contact analysis came up empty.
+    let rdir = maxdo::filter::site_direction(receptor, &cp, 0.5)
+        .or_else(|| {
+            rows.iter()
+                .min_by(|a, b| a.etot().partial_cmp(&b.etot()).expect("finite"))
+                .and_then(|r| r.position.normalized())
+        })
+        .expect("a docking map always has a best pose");
+    let filtered = filter_search(
+        receptor,
+        ligand,
+        library.nsep(ProteinId(0)),
+        rdir,
+        rdir, // reuse for the ligand in this demo
+        30.0,
+        90.0,
+    );
+    println!(
+        "phase-II filter: {} -> {} docking cells (reduction x{:.0}; §7 targets x100 \
+         with evolutionary data at scale)",
+        filtered.original_cells,
+        filtered.filtered_cells(),
+        filtered.reduction_factor()
+    );
+
+    // Does the cheap search still find the strong minima? Dock only the
+    // kept cells and compare.
+    let engine = DockingEngine::for_couple(&library, ProteinId(0), best_partner, params, mp);
+    let full_best = rows
+        .iter()
+        .map(|r| r.etot())
+        .fold(f64::INFINITY, f64::min);
+    let mut filtered_best = f64::INFINITY;
+    for &isep in filtered.kept_positions.iter().filter(|&&i| i <= 12) {
+        for &irot in &filtered.kept_orientations {
+            let (row, _) = engine.dock_cell(isep, irot);
+            filtered_best = filtered_best.min(row.etot());
+        }
+    }
+    println!(
+        "best Etot: full map {full_best:.2} vs filtered search {filtered_best:.2} kcal/mol"
+    );
+}

@@ -1,0 +1,30 @@
+//! `hcmd-grid` — reproduction of *"Large Scale Execution of a Bioinformatic
+//! Application on a Volunteer Grid"* (Bertis, Bolze, Desprez, Reed;
+//! LIP RR-2007-49 / IPPS 2008).
+//!
+//! This umbrella crate re-exports the whole workspace so examples and
+//! downstream users can depend on a single crate:
+//!
+//! * [`maxdo`] — the MAXDo cross-docking application substrate (reduced
+//!   protein model, interaction energy, multi-start minimisation).
+//! * [`timemodel`] — the §4.1 behaviour model (compute-time matrix,
+//!   linearity, formula (1)).
+//! * [`workunit`] — §4.2 workunit packaging.
+//! * [`gridsim`] — the volunteer-grid (World Community Grid style) and
+//!   dedicated-grid discrete-event simulators.
+//! * [`validation`] — §5.2 result processing and verification.
+//! * [`metrics`] — virtual full-time processors, speed-down analysis,
+//!   histograms, regression.
+//! * [`hcmd`] — the end-to-end campaign orchestration, Table 2 grid
+//!   comparison and §7 phase-II projection.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use gridsim;
+pub use hcmd;
+pub use maxdo;
+pub use metrics;
+pub use timemodel;
+pub use validation;
+pub use workunit;

@@ -1,0 +1,189 @@
+//! Physics invariants of the docking energy, as property tests.
+//!
+//! The interaction energy must be invariant under global rigid motions
+//! (rotating or translating receptor *and* ligand together changes
+//! nothing), the gradient must vanish where the energy is flat, and the
+//! docking search must respect the symmetries of its inputs. These hold
+//! for the real MAXDo and must hold for the reproduction — they pin the
+//! energy/gradient implementation far more tightly than example-based
+//! tests.
+
+use maxdo::energy::interaction_energy;
+use maxdo::{
+    Bead, CellList, EnergyParams, EulerZyz, LibraryConfig, Mat3, Pose, Protein, ProteinId,
+    ProteinLibrary, Vec3,
+};
+use proptest::prelude::*;
+
+/// Applies a rotation + translation to every bead of a protein.
+fn transform_protein(p: &Protein, rot: &Mat3, shift: Vec3) -> Protein {
+    let beads: Vec<Bead> = p
+        .beads()
+        .iter()
+        .map(|b| Bead {
+            position: rot.apply(b.position) + shift,
+            kind: b.kind,
+        })
+        .collect();
+    Protein::new(p.id, p.name.clone(), beads)
+}
+
+fn pair() -> (Protein, Protein) {
+    let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 2024);
+    (lib.proteins()[0].clone(), lib.proteins()[1].clone())
+}
+
+fn energy_of(receptor: &Protein, ligand: &Protein, pose: &Pose, params: &EnergyParams) -> f64 {
+    let cells = CellList::build(receptor, params.cutoff);
+    interaction_energy(receptor, &cells, ligand, pose, params).total()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Rotating the whole system (receptor beads, ligand pose) leaves the
+    /// energy unchanged: the force field has no preferred frame.
+    #[test]
+    fn energy_is_rotation_invariant(
+        axis_x in -1.0f64..1.0, axis_y in -1.0f64..1.0, axis_z in -1.0f64..1.0,
+        angle in 0.0f64..6.2,
+        d in 0.0f64..6.0,
+    ) {
+        prop_assume!(Vec3::new(axis_x, axis_y, axis_z).norm() > 0.1);
+        let (receptor, ligand) = pair();
+        let params = EnergyParams::default();
+        let pose = Pose::from_euler(
+            EulerZyz { alpha: 0.4, beta: 0.8, gamma: 1.3 },
+            Vec3::new(receptor.bounding_radius() + d, 1.0, -2.0),
+        );
+        let e0 = energy_of(&receptor, &ligand, &pose, &params);
+
+        let rot = Mat3::from_axis_angle(Vec3::new(axis_x, axis_y, axis_z), angle);
+        // Rotate receptor beads and the ligand's pose together. The
+        // receptor must NOT be recentred by the constructor, so rotating
+        // about the origin (its centroid) is safe.
+        let receptor_r = transform_protein(&receptor, &rot, Vec3::ZERO);
+        let pose_r = Pose {
+            rotation: rot.mul_mat(&pose.rotation),
+            translation: rot.apply(pose.translation),
+        };
+        let e1 = energy_of(&receptor_r, &ligand, &pose_r, &params);
+        prop_assert!(
+            (e0 - e1).abs() < 1e-6 * (1.0 + e0.abs()),
+            "rotation changed energy: {e0} vs {e1}"
+        );
+    }
+
+    /// The energy depends only on the *relative* geometry: the docking
+    /// pose's energy equals the same pose evaluated after shifting the
+    /// ligand's body frame arbitrarily (Protein::new recentres, so a
+    /// shifted clone is the same rigid body).
+    #[test]
+    fn ligand_frame_shift_is_immaterial(
+        sx in -50.0f64..50.0, sy in -50.0f64..50.0, sz in -50.0f64..50.0,
+        d in 0.0f64..6.0,
+    ) {
+        let (receptor, ligand) = pair();
+        let params = EnergyParams::default();
+        let pose = Pose::from_euler(
+            EulerZyz { alpha: 0.2, beta: 0.5, gamma: 2.0 },
+            Vec3::new(receptor.bounding_radius() + d, 0.0, 1.0),
+        );
+        let e0 = energy_of(&receptor, &ligand, &pose, &params);
+        let shifted = transform_protein(&ligand, &Mat3::IDENTITY, Vec3::new(sx, sy, sz));
+        let e1 = energy_of(&receptor, &shifted, &pose, &params);
+        prop_assert!(
+            (e0 - e1).abs() < 1e-9 * (1.0 + e0.abs()),
+            "frame shift changed energy: {e0} vs {e1}"
+        );
+    }
+
+    /// Far separation ⇒ exactly zero energy and zero gradient (compact
+    /// support of the cutoff-shifted force field).
+    #[test]
+    fn energy_has_compact_support(extra in 1.0f64..1e4) {
+        let (receptor, ligand) = pair();
+        let params = EnergyParams::default();
+        let far = receptor.bounding_radius() + ligand.bounding_radius() + params.cutoff + extra;
+        let pose = Pose::from_euler(EulerZyz::default(), Vec3::new(far, 0.0, 0.0));
+        let cells = CellList::build(&receptor, params.cutoff);
+        let g = maxdo::energy::energy_and_gradient(&receptor, &cells, &ligand, &pose, &params);
+        prop_assert_eq!(g.energy.total(), 0.0);
+        prop_assert_eq!(g.force.norm(), 0.0);
+        prop_assert_eq!(g.torque.norm(), 0.0);
+    }
+
+    /// Rotation matrices from the orientation grid are orthonormal for
+    /// every (irot, igamma) cell.
+    #[test]
+    fn orientation_grid_is_orthonormal(irot in 1u32..22, igamma in 0u32..10) {
+        let grid = maxdo::OrientationGrid::new();
+        let m = grid.orientation(irot, igamma).to_matrix();
+        let should_be_identity = m.mul_mat(&m.transpose());
+        for i in 0..3 {
+            for j in 0..3 {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((should_be_identity.rows[i][j] - expect).abs() < 1e-12);
+            }
+        }
+        prop_assert!((m.det() - 1.0).abs() < 1e-12);
+    }
+
+    /// Pose perturbation by (dt, dw) then (-dt after un-rotating) is
+    /// near-identity for small rotations — the minimiser's moves stay on
+    /// the rigid manifold.
+    #[test]
+    fn perturbation_keeps_rotations_proper(
+        wx in -0.3f64..0.3, wy in -0.3f64..0.3, wz in -0.3f64..0.3,
+        tx in -5.0f64..5.0, ty in -5.0f64..5.0, tz in -5.0f64..5.0,
+    ) {
+        let pose = Pose::from_euler(
+            EulerZyz { alpha: 1.0, beta: 0.7, gamma: 0.1 },
+            Vec3::new(10.0, -3.0, 2.0),
+        );
+        let p = pose.perturbed(Vec3::new(tx, ty, tz), Vec3::new(wx, wy, wz));
+        prop_assert!((p.rotation.det() - 1.0).abs() < 1e-9);
+        // Orthonormality after perturbation.
+        let i = p.rotation.mul_mat(&p.rotation.transpose());
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                prop_assert!((i.rows[r][c] - expect).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The reduced protein constructor's invariants hold for arbitrary
+    /// bead clouds: centroid at origin, bounding radius tight.
+    #[test]
+    fn protein_constructor_invariants(
+        beads in proptest::collection::vec(
+            (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0),
+            1..40,
+        )
+    ) {
+        let p = Protein::new(
+            ProteinId(0),
+            "prop",
+            beads
+                .iter()
+                .map(|&(x, y, z)| Bead {
+                    position: Vec3::new(x, y, z),
+                    kind: maxdo::BeadKind::Backbone,
+                })
+                .collect(),
+        );
+        let centroid = p
+            .beads()
+            .iter()
+            .fold(Vec3::ZERO, |a, b| a + b.position)
+            / p.bead_count() as f64;
+        prop_assert!(centroid.norm() < 1e-9);
+        let max_r = p
+            .beads()
+            .iter()
+            .map(|b| b.position.norm())
+            .fold(0.0, f64::max);
+        prop_assert!((max_r - p.bounding_radius()).abs() < 1e-12);
+    }
+}
