@@ -26,7 +26,11 @@ fn protein_of_size(residues: f64, seed: u64) -> Protein {
 fn contact_pose(receptor: &Protein, ligand: &Protein) -> Pose {
     Pose::from_euler(
         EulerZyz::default(),
-        Vec3::new(receptor.bounding_radius() + ligand.bounding_radius() * 0.3, 0.0, 0.0),
+        Vec3::new(
+            receptor.bounding_radius() + ligand.bounding_radius() * 0.3,
+            0.0,
+            0.0,
+        ),
     )
 }
 

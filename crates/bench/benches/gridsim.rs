@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gridsim::{
-    EventQueue, Host, HostId, HostParams, ServerConfig, SimTime, TaskServer,
-    VolunteerGridConfig, VolunteerGridSim,
+    EventQueue, Host, HostId, HostParams, ServerConfig, SimTime, TaskServer, VolunteerGridConfig,
+    VolunteerGridSim,
 };
 use std::hint::black_box;
 

@@ -57,8 +57,7 @@ fn bench_validation(c: &mut Criterion) {
 
     c.bench_function("merge_couple_50_chunks", |b| {
         b.iter(|| {
-            let chunks: Vec<ResultFile> =
-                (0..50).map(|k| synthetic_file(k * 36 + 1, 36)).collect();
+            let chunks: Vec<ResultFile> = (0..50).map(|k| synthetic_file(k * 36 + 1, 36)).collect();
             black_box(merge_couple_files(chunks, 50 * 36).unwrap())
         })
     });

@@ -17,6 +17,7 @@ use gridsim::sessions::execute_with_sessions;
 use gridsim::{Host, HostId, HostParams};
 
 fn main() {
+    let session = bench_support::RunSession::start("ablation_checkpoint", 0, 1);
     header("ABL4", "checkpoint granularity vs replayed work (§4.3)");
     let params = HostParams::wcg_2007();
     let workunit_ref = 14_400.0; // the production 4-hour workunit
@@ -56,4 +57,5 @@ fn main() {
          as one unit (no intra-workunit checkpoints) wastes a large share of every\n\
          interrupted attempt — the §4.3 'essential' claim, quantified."
     );
+    session.finish();
 }

@@ -21,6 +21,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("ablation_h_sweep", seed, u64::from(scale));
     header("ABL3", "workunit duration h vs campaign behaviour (§4.2)");
     let full = ProteinLibrary::phase1_catalog();
     let matrix = CostMatrix::phase1(&full);
@@ -41,9 +42,7 @@ fn main() {
             thousands(trace.results_received * scale as u64),
             trace.redundancy_factor(),
             trace.consumed_cpu_seconds() * scale as f64 / (365.0 * 86_400.0),
-            trace
-                .completion_day
-                .map_or("n/a".into(), |d| d.to_string())
+            trace.completion_day.map_or("n/a".into(), |d| d.to_string())
         );
     }
     println!(
@@ -52,4 +51,5 @@ fn main() {
          (reissues → redundancy) and raise the work lost per abandoned unit. \
          The paper's production point (4 h) sits in the flat middle."
     );
+    session.finish();
 }

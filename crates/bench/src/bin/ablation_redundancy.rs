@@ -19,6 +19,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("ablation_redundancy", seed, u64::from(scale));
     header("ABL2", "validation-policy switch day vs redundancy (§5.1)");
     let full = ProteinLibrary::phase1_catalog();
     let matrix = CostMatrix::phase1(&full);
@@ -46,9 +47,7 @@ fn main() {
             trace.redundancy_factor(),
             trace.useful_fraction() * 100.0,
             trace.consumed_cpu_seconds() * scale as f64 / (365.0 * 86_400.0),
-            trace
-                .completion_day
-                .map_or("n/a".into(), |d| d.to_string())
+            trace.completion_day.map_or("n/a".into(), |d| d.to_string())
         );
     }
     println!(
@@ -58,4 +57,5 @@ fn main() {
          errors and timeouts) but no cross-validation in the early failure-detection \
          period the operators wanted (§5.1)."
     );
+    session.finish();
 }

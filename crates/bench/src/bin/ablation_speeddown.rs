@@ -24,6 +24,7 @@ fn population_factor(params: &HostParams, n: u64) -> f64 {
 }
 
 fn main() {
+    let session = bench_support::RunSession::start("ablation_speeddown", 0, 1);
     header("ABL1", "speed-down attribution (§6)");
     let n = 2000;
     let full = HostParams::wcg_2007();
@@ -84,4 +85,5 @@ fn main() {
         narrative.predicted_factor(),
         narrative.accounting_share() * 100.0
     );
+    session.finish();
 }

@@ -39,6 +39,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(20);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2008);
+    let session = bench_support::RunSession::start("ext_agent_accounting", seed, u64::from(scale));
     header(
         "EXT1",
         "UD vs BOINC run-time accounting and points-based VFTP (§8)",
@@ -98,12 +99,7 @@ fn main() {
     for day in [0usize, 90, 180, 365, 730] {
         let mean: f64 = (0..400)
             .map(|id| {
-                let h = gridsim::Host::sample_at_day(
-                    gridsim::HostId(id),
-                    &trending,
-                    seed,
-                    day,
-                );
+                let h = gridsim::Host::sample_at_day(gridsim::HostId(id), &trending, seed, day);
                 gridsim::credit::benchmark_weight(&h)
             })
             .sum::<f64>()
@@ -114,4 +110,5 @@ fn main() {
         "(phase-I calibration keeps the population stationary; this knob is the §5.1 \
          observation that \"new members join the grid with brand new machines\")"
     );
+    session.finish();
 }

@@ -40,6 +40,7 @@ fn phase2_model(members_multiplier: f64, share: f64, boinc: bool) -> FluidModel 
 }
 
 fn main() {
+    let session = bench_support::RunSession::start("ext_phase2_sizing", 0, 1);
     header("EXT2", "phase-II sizing sweeps (fluid model, §7/§8)");
     // Phase-II workload in reference seconds: the §7 ratio over our
     // measured phase-I reference workload.
@@ -86,4 +87,5 @@ fn main() {
         "\nthe BOINC column shows the §8 effect operationally: dropping the UD agent's \
          60% throttle shortens phase II by roughly a third at every membership level."
     );
+    session.finish();
 }

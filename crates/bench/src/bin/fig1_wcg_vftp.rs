@@ -12,6 +12,7 @@ use gridsim::membership::{HCMD_CAMPAIGN_DAYS, HCMD_LAUNCH_DAY};
 use gridsim::MembershipModel;
 
 fn main() {
+    let session = bench_support::RunSession::start("fig1_wcg_vftp", 0, 1);
     header(
         "FIG1",
         "virtual full-time processors of World Community Grid",
@@ -22,7 +23,10 @@ fn main() {
 
     // Weekly means for the plotted curve (the paper's curve is also an
     // aggregate of the daily statistics page).
-    let weekly: Vec<f64> = series.chunks(7).map(|w| w.iter().sum::<f64>() / w.len() as f64).collect();
+    let weekly: Vec<f64> = series
+        .chunks(7)
+        .map(|w| w.iter().sum::<f64>() / w.len() as f64)
+        .collect();
     let labels: Vec<String> = (0..weekly.len())
         .step_by(8)
         .map(|w| format!("week {w}"))
@@ -57,4 +61,5 @@ fn main() {
         weekday,
         100.0 * (weekend / weekday - 1.0)
     );
+    session.finish();
 }

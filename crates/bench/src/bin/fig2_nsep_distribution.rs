@@ -10,6 +10,7 @@ use bench_support::{catalog_and_matrix, header};
 use metrics::Histogram;
 
 fn main() {
+    let session = bench_support::RunSession::start("fig2_nsep_distribution", 0, 1);
     header("FIG2", "Nsep distribution over the phase-I proteins");
     let (library, _) = catalog_and_matrix();
     let mut hist = Histogram::new(0.0, 12_000.0, 24);
@@ -32,4 +33,5 @@ fn main() {
         sorted.iter().map(|&n| n as f64).sum::<f64>() / sorted.len() as f64,
         sorted[sorted.len() - 1]
     );
+    session.finish();
 }

@@ -14,6 +14,7 @@ use maxdo::{LibraryConfig, MinimizeParams, ProteinLibrary};
 use timemodel::{nrot_linearity, nsep_linearity};
 
 fn main() {
+    let session = bench_support::RunSession::start("fig3_linearity", 0, 1);
     bench_support::header("FIG3", "linearity in Nrot (a) and Nsep (b)");
     let couples: usize = std::env::args()
         .nth(1)
@@ -28,7 +29,10 @@ fn main() {
 
     let mut worst_rot: f64 = 1.0;
     let mut worst_sep: f64 = 1.0;
-    println!("{:>8} {:>8} {:>10} {:>10}", "couple", "", "r(Nrot)", "r(Nsep)");
+    println!(
+        "{:>8} {:>8} {:>10} {:>10}",
+        "couple", "", "r(Nrot)", "r(Nsep)"
+    );
     for k in 0..couples {
         let p1 = &library.proteins()[k % 8];
         let p2 = &library.proteins()[(k * 3 + 1) % 8];
@@ -41,7 +45,10 @@ fn main() {
         worst_sep = worst_sep.min(sep.r());
         println!(
             "{:>8} {:>8} {:>10.5} {:>10.5}",
-            p1.name, p2.name, rot.r(), sep.r()
+            p1.name,
+            p2.name,
+            rot.r(),
+            sep.r()
         );
     }
     println!("\nworst correlation coefficients: Nrot {worst_rot:.5}, Nsep {worst_sep:.5}");
@@ -56,4 +63,5 @@ fn main() {
     for (x, y) in rot.xs.iter().zip(&rot.ys) {
         println!("{:>6} {:>14.0} {:>14.0}", x, y, rot.fit.predict(*x));
     }
+    session.finish();
 }

@@ -8,6 +8,7 @@ use bench_support::{catalog_and_matrix, header, thousands};
 use workunit::{distribution_report, CampaignPackage};
 
 fn main() {
+    let session = bench_support::RunSession::start("fig4_workunit_distribution", 0, 1);
     header("FIG4", "workunit execution-time distribution");
     let (library, matrix) = catalog_and_matrix();
     for (h_hours, paper_count) in [(10.0, 1_364_476u64), (4.0, 3_599_937u64)] {
@@ -30,4 +31,5 @@ fn main() {
         "paper: \"the number of workunits increases when the workunit execution \
          time wanted decreases\""
     );
+    session.finish();
 }

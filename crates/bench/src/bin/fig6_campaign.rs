@@ -10,7 +10,7 @@
 //! the full 3.6M-workunit campaign; `--json` dumps the plotted series as
 //! JSON for external plotting instead of the ASCII rendering).
 
-use bench_support::{ascii_series, header, thousands};
+use bench_support::{ascii_series, header, thousands, RunSession};
 use gridsim::ProjectPhases;
 use hcmd::campaign::Phase1Campaign;
 use hcmd::phases::{phase_summaries, render_phase_table};
@@ -35,8 +35,14 @@ fn main() {
     let mut args = argv.iter().filter(|a| *a != "--json");
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let mut session = RunSession::start("fig6_campaign", seed, u64::from(scale));
     if json {
-        let report = Phase1Campaign::new(scale, seed).run();
+        let report = session.phase("simulation", || Phase1Campaign::new(scale, seed).run());
+        session.record_engine(
+            report.trace.events_processed,
+            report.trace.peak_queue_depth,
+            report.trace.results_received,
+        );
         let sd = report.trace.speed_down();
         let out = Fig6Json {
             scale_divisor: scale,
@@ -50,12 +56,21 @@ fn main() {
             raw_speed_down: sd.raw_factor(),
             net_speed_down: sd.net_factor(),
         };
-        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&out).expect("serializable")
+        );
+        session.finish();
         return;
     }
     header("FIG6", "the HCMD project on World Community Grid");
     println!("simulating at scale 1/{scale} (seed {seed})...\n");
-    let report = Phase1Campaign::new(scale, seed).run();
+    let report = session.phase("simulation", || Phase1Campaign::new(scale, seed).run());
+    session.record_engine(
+        report.trace.events_processed,
+        report.trace.peak_queue_depth,
+        report.trace.results_received,
+    );
     let trace = &report.trace;
 
     println!("--- Figure 6(a): virtual full-time processors per week ---");
@@ -75,7 +90,10 @@ fn main() {
     println!("--- Figure 6(b): results received per week (full-scale equivalents) ---");
     let results = trace.results_weekly();
     let useful = trace.useful_results_weekly();
-    println!("{:>6} {:>12} {:>12} {:>12}", "week", "received", "useful", "redundant");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "week", "received", "useful", "redundant"
+    );
     for (w, (r, u)) in results.iter().zip(&useful).enumerate() {
         println!("{:>6} {:>12.0} {:>12.0} {:>12.0}", w, r, u, r - u);
     }
@@ -95,13 +113,22 @@ fn main() {
         "useful fraction   : {:>11.0}%  (paper 73%)",
         trace.useful_fraction() * 100.0
     );
-    println!("redundancy factor : {:>12.2}  (paper 1.37)", trace.redundancy_factor());
+    println!(
+        "redundancy factor : {:>12.2}  (paper 1.37)",
+        trace.redundancy_factor()
+    );
     println!(
         "consumed cpu time : {}  (paper 8,082:275:17:15:44)",
         report.consumed_full_scale()
     );
-    println!("raw speed-down    : {:>12.2}  (paper 5.43)", sd.raw_factor());
-    println!("net speed-down    : {:>12.2}  (paper 3.96)", sd.net_factor());
+    println!(
+        "raw speed-down    : {:>12.2}  (paper 5.43)",
+        sd.raw_factor()
+    );
+    println!(
+        "net speed-down    : {:>12.2}  (paper 3.96)",
+        sd.net_factor()
+    );
     println!(
         "campaign length   : {:>9} days (paper 182 = 26 weeks)",
         trace.completion_day.map_or("n/a".into(), |d| d.to_string())
@@ -110,7 +137,11 @@ fn main() {
     println!(
         "\nissue breakdown (scaled): {} initial + {} quorum siblings + {} timeout \
          reissues + {} error reissues; {} late results",
-        st.initial_issues, st.quorum_issues, st.timeout_reissues, st.error_reissues,
+        st.initial_issues,
+        st.quorum_issues,
+        st.timeout_reissues,
+        st.error_reissues,
         st.late_results
     );
+    session.finish();
 }

@@ -15,6 +15,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("fig7_progression", seed, u64::from(scale));
     header("FIG7", "HCMD project progression");
     println!("simulating at scale 1/{scale} (seed {seed})...\n");
     let report = Phase1Campaign::new(scale, seed).run();
@@ -49,4 +50,5 @@ fn main() {
         "paper reading at 05-02-07: 85% of proteins docked = only 47% of the total\n\
          computation (1,488:237:19:45:54). The skew: 10 proteins hold ~30% of the time."
     );
+    session.finish();
 }

@@ -16,6 +16,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("fig8_realized_runtime", seed, u64::from(scale));
     header("FIG8", "realized workunit run-time distribution");
     println!("simulating at scale 1/{scale} (seed {seed})...\n");
     let report = Phase1Campaign::new(scale, seed).run();
@@ -53,4 +54,5 @@ fn main() {
         (implied / 3600.0).floor(),
         (implied % 3600.0) / 60.0
     );
+    session.finish();
 }

@@ -2,10 +2,19 @@
 //! artifact from one simulated campaign).
 //!
 //! Run: `cargo run -p hcmd-bench --release --bin full_report [scale] [seed] > REPORT.md`
+//!
+//! With `--features telemetry` an observability appendix — the live
+//! metric table from the run — is printed to *stderr*, so redirected
+//! markdown stays clean.
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("full_report", seed, u64::from(scale));
     print!("{}", hcmd::generate_report(scale, seed));
+    if telemetry::ENABLED {
+        eprintln!("\n{}", telemetry::summary());
+    }
+    session.finish();
 }

@@ -10,7 +10,11 @@ use maxdo::CostModel;
 use timemodel::CalibrationCampaign;
 
 fn main() {
-    header("TAB1", "statistics of the computation-time matrix (seconds)");
+    let session = bench_support::RunSession::start("tab1_matrix_stats", 0, 1);
+    header(
+        "TAB1",
+        "statistics of the computation-time matrix (seconds)",
+    );
     let (library, matrix) = catalog_and_matrix();
     let t1 = timemodel::table1(library, matrix);
     println!("{}\n", t1.render());
@@ -40,4 +44,5 @@ fn main() {
         report.makespan_seconds / 3600.0,
         report.fits_in_one_day()
     );
+    session.finish();
 }

@@ -18,6 +18,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("tab2_equivalence", seed, u64::from(scale));
     header("TAB2", "volunteer vs dedicated grid equivalence");
 
     println!("--- from the paper's published inputs ---");
@@ -67,4 +68,5 @@ fn main() {
         "footnote 2 of the paper applies: the comparison assumes the dedicated grid is \
          optimally used."
     );
+    session.finish();
 }

@@ -15,6 +15,7 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
+    let session = bench_support::RunSession::start("tab3_phase2", seed, u64::from(scale));
     header("TAB3", "evaluation of the HCMD phase II");
 
     println!("--- from the paper's assumptions ---");
@@ -53,4 +54,5 @@ fn main() {
         p2.phase2_vftp,
         100.0 * (p2.phase2_vftp / paper::PHASE2_VFTP - 1.0)
     );
+    session.finish();
 }

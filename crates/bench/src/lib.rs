@@ -6,8 +6,92 @@
 //! values where it publishes them. EXPERIMENTS.md records a run of each.
 
 use maxdo::{CostModel, ProteinLibrary};
+use std::path::PathBuf;
 use std::sync::OnceLock;
+use std::time::Instant;
 use timemodel::CostMatrix;
+
+/// One observed run of a bench binary: opens the JSONL event log, brackets
+/// phases, and writes a [`telemetry::RunManifest`] next to the figure
+/// output when it finishes.
+///
+/// With telemetry compiled out every method is a cheap no-op except
+/// [`finish`](RunSession::finish), which still writes the manifest — run
+/// provenance (seed, scale, git revision, wall-clock) is useful even
+/// without counters.
+pub struct RunSession {
+    manifest: telemetry::RunManifest,
+    started: Instant,
+}
+
+impl RunSession {
+    /// Starts a session: installs `target/telemetry/<bin>.jsonl` as the
+    /// event sink (when telemetry is enabled) and emits `RunStart`.
+    pub fn start(bin: &str, seed: u64, scale_divisor: u64) -> Self {
+        if telemetry::ENABLED {
+            let path = PathBuf::from("target/telemetry").join(format!("{bin}.jsonl"));
+            if let Err(e) = telemetry::install_jsonl(&path) {
+                eprintln!("telemetry: cannot open {}: {e}", path.display());
+            } else {
+                eprintln!("telemetry: event log -> {}", path.display());
+            }
+        }
+        let manifest = telemetry::RunManifest::new(bin, seed, scale_divisor);
+        let (b, s, d) = (manifest.bin.clone(), seed, scale_divisor);
+        telemetry::emit(None, move || telemetry::Event::RunStart {
+            bin: b,
+            seed: s,
+            scale_divisor: d,
+        });
+        Self {
+            manifest,
+            started: Instant::now(),
+        }
+    }
+
+    /// Runs `f` inside a named phase span (emits `PhaseStart`/`PhaseEnd`).
+    pub fn phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let n = name.to_string();
+        telemetry::emit(None, move || telemetry::Event::PhaseStart { name: n });
+        let t0 = Instant::now();
+        let out = f();
+        let (n, wall) = (name.to_string(), t0.elapsed().as_secs_f64());
+        telemetry::emit(None, move || telemetry::Event::PhaseEnd {
+            name: n,
+            wall_seconds: wall,
+        });
+        out
+    }
+
+    /// Records the engine-side outcome of a simulated campaign.
+    pub fn record_engine(&mut self, events_processed: u64, peak_queue_depth: u64, results: u64) {
+        self.manifest.events_processed = events_processed;
+        self.manifest.peak_queue_depth = peak_queue_depth;
+        let wall = self.started.elapsed().as_secs_f64();
+        if wall > 0.0 {
+            self.manifest.results_per_second = results as f64 / wall;
+        }
+    }
+
+    /// Emits `RunEnd`, closes the event log, and writes the manifest to
+    /// `target/run-manifests/<bin>.json`.
+    pub fn finish(mut self) {
+        self.manifest.wall_seconds = self.started.elapsed().as_secs_f64();
+        self.manifest.metrics = telemetry::snapshot();
+        let (wall, events) = (self.manifest.wall_seconds, self.manifest.events_processed);
+        telemetry::emit(None, move || telemetry::Event::RunEnd {
+            wall_seconds: wall,
+            events_processed: events,
+        });
+        telemetry::shutdown();
+        let path =
+            PathBuf::from("target/run-manifests").join(format!("{}.json", self.manifest.bin));
+        match self.manifest.write(&path) {
+            Ok(()) => eprintln!("telemetry: run manifest -> {}", path.display()),
+            Err(e) => eprintln!("telemetry: cannot write {}: {e}", path.display()),
+        }
+    }
+}
 
 /// The phase-I catalog and its calibrated compute-time matrix, built once
 /// per process (the matrix takes ~100 ms; several binaries need both).

@@ -67,8 +67,11 @@ impl CreditLedger {
     /// Grants the points of one result, attributing them over the
     /// replica's lifetime like the run-time accounting does.
     pub fn grant_interval(&mut self, start_seconds: f64, end_seconds: f64, points: f64) {
-        self.points_daily
-            .add_interval(start_seconds, end_seconds.max(start_seconds + 1e-6), points);
+        self.points_daily.add_interval(
+            start_seconds,
+            end_seconds.max(start_seconds + 1e-6),
+            points,
+        );
         self.total_points += points;
     }
 
@@ -79,8 +82,7 @@ impl CreditLedger {
         if to_day <= from_day {
             return 0.0;
         }
-        self.points_daily.range_total(from_day, to_day)
-            / ((to_day - from_day) as f64 * 86_400.0)
+        self.points_daily.range_total(from_day, to_day) / ((to_day - from_day) as f64 * 86_400.0)
     }
 }
 

@@ -181,10 +181,7 @@ mod tests {
     fn deadline_arithmetic_matches_the_paper() {
         // Table 3: phase II = 1,444,998,719,637 s in 40 weeks needs
         // 59,730 processors.
-        let p = DedicatedGrid::processors_for_deadline(
-            1_444_998_719_637.0,
-            40.0 * 7.0 * 86_400.0,
-        );
+        let p = DedicatedGrid::processors_for_deadline(1_444_998_719_637.0, 40.0 * 7.0 * 86_400.0);
         assert!((p - 59_730.0).abs() < 100.0, "p = {p}");
     }
 

@@ -24,7 +24,10 @@ impl SimTime {
     /// # Panics
     /// Panics on NaN or negative time.
     pub fn new(seconds: f64) -> Self {
-        assert!(seconds.is_finite() && seconds >= 0.0, "bad sim time: {seconds}");
+        assert!(
+            seconds.is_finite() && seconds >= 0.0,
+            "bad sim time: {seconds}"
+        );
         SimTime(seconds)
     }
 
@@ -67,6 +70,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
     seq: u64,
     now: SimTime,
+    peak_len: usize,
+    pops: u64,
 }
 
 /// Wrapper that exempts the payload from the ordering (only time and
@@ -104,6 +109,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
+            peak_len: 0,
+            pops: 0,
         }
     }
 
@@ -115,6 +122,7 @@ impl<E> EventQueue<E> {
         assert!(at >= self.now, "cannot schedule into the past");
         self.heap.push(Reverse((at, self.seq, EventBox(event))));
         self.seq += 1;
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Schedules `event` `delay` seconds from the current time.
@@ -127,6 +135,7 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
         self.now = t;
+        self.pops += 1;
         Some((t, e))
     }
 
@@ -143,6 +152,16 @@ impl<E> EventQueue<E> {
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// Largest number of simultaneously pending events so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events popped so far (the engine's throughput numerator).
+    pub fn pops(&self) -> u64 {
+        self.pops
     }
 }
 
@@ -234,5 +253,20 @@ mod tests {
         q.schedule(SimTime::new(1.0), ());
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peak_and_pops_track_traffic() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        for i in 0..3 {
+            q.schedule(SimTime::new(i as f64), i);
+        }
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        q.schedule(SimTime::new(10.0), 9);
+        // Peak is a high-water mark; it does not shrink with pops.
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.pops(), 2);
     }
 }

@@ -34,7 +34,10 @@ pub struct PopulationRates {
 impl PopulationRates {
     /// Derives the expected rates from population parameters.
     pub fn from_params(params: &HostParams, replay_overhead: f64) -> Self {
-        assert!(replay_overhead >= 1.0, "replay overhead is a multiplier ≥ 1");
+        assert!(
+            replay_overhead >= 1.0,
+            "replay overhead is a multiplier ≥ 1"
+        );
         // Log-normal mean = median · e^{σ²/2}.
         let mean_speed =
             params.speed_median * (params.speed_sigma * params.speed_sigma / 2.0).exp();
@@ -43,13 +46,11 @@ impl PopulationRates {
         let mean_effective_rate = mean_speed * params.throttle * (1.0 - mean_contention);
         // E[1/rate] ≥ 1/E[rate] (Jensen); for the log-normal speed the
         // correction is e^{σ²}.
-        let inv_rate = (params.speed_sigma * params.speed_sigma).exp()
-            / mean_effective_rate;
+        let inv_rate = (params.speed_sigma * params.speed_sigma).exp() / mean_effective_rate;
         let accounted_per_ref = match params.accounting {
             AccountingMode::WallClock => replay_overhead * inv_rate,
             AccountingMode::CpuTime => {
-                replay_overhead * (params.speed_sigma * params.speed_sigma).exp()
-                    / mean_speed
+                replay_overhead * (params.speed_sigma * params.speed_sigma).exp() / mean_speed
             }
         };
         Self {
@@ -123,8 +124,7 @@ impl FluidModel {
         let hosts = devices * self.phases.share(day);
         // Each host computes `availability` of the day at its effective
         // rate; redundancy and replay divide the useful output.
-        hosts * rates.mean_availability * rates.mean_effective_rate * 86_400.0
-            * self.efficiency
+        hosts * rates.mean_availability * rates.mean_effective_rate * 86_400.0 * self.efficiency
             / (self.redundancy_factor * self.replay_overhead)
     }
 
@@ -143,10 +143,7 @@ impl FluidModel {
             remaining -= done;
             done_ref_daily.add(day, done);
             // Accounted run time covers the redundant copies too.
-            accounted_daily.add(
-                day,
-                done * self.redundancy_factor * rates.accounted_per_ref,
-            );
+            accounted_daily.add(day, done * self.redundancy_factor * rates.accounted_per_ref);
             if remaining <= 0.0 {
                 completion_day = Some(day);
                 break;
@@ -221,8 +218,7 @@ mod tests {
         let full = maxdo::ProteinLibrary::phase1_catalog();
         let matrix = timemodel::CostMatrix::phase1(&full);
         let lib = full.with_scaled_nsep(scale);
-        let pkg =
-            workunit::CampaignPackage::new(&lib, &matrix, workunit::PRODUCTION_WU_SECONDS);
+        let pkg = workunit::CampaignPackage::new(&lib, &matrix, workunit::PRODUCTION_WU_SECONDS);
         let des = crate::VolunteerGridSim::new(
             &pkg,
             crate::VolunteerGridConfig::hcmd_phase1(scale, 2007),
@@ -264,7 +260,11 @@ mod tests {
         assert!(r.mean_effective_rate < r.mean_speed);
         assert!((0.6..0.65).contains(&r.mean_availability));
         // Accounted per reference second ≈ the net speed-down ~3.9.
-        assert!((r.accounted_per_ref - 3.9).abs() < 0.8, "{}", r.accounted_per_ref);
+        assert!(
+            (r.accounted_per_ref - 3.9).abs() < 0.8,
+            "{}",
+            r.accounted_per_ref
+        );
     }
 
     #[test]

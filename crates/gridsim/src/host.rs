@@ -31,9 +31,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 /// Identifier of a host in the simulation.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct HostId(pub u64);
 
 /// How the agent accounts run time — the §8 middleware difference.
@@ -204,8 +202,7 @@ impl Host {
         let availability =
             uniform(&mut prof, params.availability.0, params.availability.1).clamp(0.01, 1.0);
         let lifetime_seconds = if params.lifetime_mean_days.is_finite() {
-            exponential(&mut prof, params.lifetime_mean_days * 86_400.0)
-                .max(7.0 * 86_400.0)
+            exponential(&mut prof, params.lifetime_mean_days * 86_400.0).max(7.0 * 86_400.0)
         } else {
             f64::INFINITY
         };

@@ -54,10 +54,26 @@ impl SeasonalityModel {
             weekend_factor: 0.90,
             day_zero_weekday: 1, // Tuesday
             holidays: vec![
-                HolidayDip { start_day: 37, end_day: 48, factor: 0.85 },   // Christmas 2004
-                HolidayDip { start_day: 402, end_day: 413, factor: 0.80 }, // Christmas 2005
-                HolidayDip { start_day: 592, end_day: 654, factor: 0.90 }, // summer 2006
-                HolidayDip { start_day: 767, end_day: 778, factor: 0.80 }, // Christmas 2006
+                HolidayDip {
+                    start_day: 37,
+                    end_day: 48,
+                    factor: 0.85,
+                }, // Christmas 2004
+                HolidayDip {
+                    start_day: 402,
+                    end_day: 413,
+                    factor: 0.80,
+                }, // Christmas 2005
+                HolidayDip {
+                    start_day: 592,
+                    end_day: 654,
+                    factor: 0.90,
+                }, // summer 2006
+                HolidayDip {
+                    start_day: 767,
+                    end_day: 778,
+                    factor: 0.80,
+                }, // Christmas 2006
             ],
         }
     }
@@ -74,7 +90,11 @@ impl SeasonalityModel {
     /// The participation factor for a day index.
     pub fn factor(&self, day: usize) -> f64 {
         let weekday = (day + self.day_zero_weekday) % 7;
-        let mut f = if weekday >= 5 { self.weekend_factor } else { 1.0 };
+        let mut f = if weekday >= 5 {
+            self.weekend_factor
+        } else {
+            1.0
+        };
         for h in &self.holidays {
             if (h.start_day..h.end_day).contains(&day) {
                 f *= h.factor;
@@ -168,6 +188,37 @@ impl MembershipModel {
     pub fn mean_vftp(&self, from_day: usize, to_day: usize) -> f64 {
         assert!(to_day > from_day, "empty window");
         (from_day..to_day).map(|d| self.vftp(d)).sum::<f64>() / (to_day - from_day) as f64
+    }
+}
+
+/// Cached telemetry handles for host churn — the population dynamics the
+/// membership model prescribes and the simulator enacts (joins, quota or
+/// end-of-life retirements, mid-workunit abandonments). Zero-sized when
+/// telemetry is disabled.
+#[derive(Debug)]
+pub struct ChurnCounters {
+    /// Hosts that joined the grid.
+    pub spawned: &'static telemetry::Counter,
+    /// Hosts retired by population quota or end of life.
+    pub retired: &'static telemetry::Counter,
+    /// Hosts that walked away mid-workunit (deadline will reissue).
+    pub abandoned: &'static telemetry::Counter,
+}
+
+impl ChurnCounters {
+    /// Resolves the churn counters once (cache in the simulator).
+    pub fn new() -> Self {
+        Self {
+            spawned: telemetry::counter("sim.hosts.spawned"),
+            retired: telemetry::counter("sim.hosts.retired"),
+            abandoned: telemetry::counter("sim.hosts.abandoned"),
+        }
+    }
+}
+
+impl Default for ChurnCounters {
+    fn default() -> Self {
+        Self::new()
     }
 }
 

@@ -49,7 +49,12 @@ pub fn stream(seed: u64, domain: Domain, id: u64) -> ChaCha8Rng {
         z ^ (z >> 31)
     };
     let mut key = [0u8; 32];
-    let words = [next() ^ id, next().wrapping_add(id.rotate_left(17)), next(), next()];
+    let words = [
+        next() ^ id,
+        next().wrapping_add(id.rotate_left(17)),
+        next(),
+        next(),
+    ];
     for (chunk, w) in key.chunks_exact_mut(8).zip(words) {
         chunk.copy_from_slice(&w.to_le_bytes());
     }

@@ -21,6 +21,7 @@
 use crate::event::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use telemetry::{Event, IssueCause};
 
 /// How results are validated, which determines the replication level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,9 +83,7 @@ impl Default for ServerConfig {
 }
 
 /// Identifier of one issued replica.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ReplicaId(pub u64);
 
 /// A replica handed to a host, with everything the host model needs.
@@ -189,6 +188,12 @@ pub struct TaskServer {
     /// Pending reissue causes aligned with the `reissue` queue semantics:
     /// cause of the next issue of each queued workunit.
     reissue_causes: VecDeque<ReissueCause>,
+    /// Cached telemetry handles (zero-sized when telemetry is disabled).
+    tele: ServerTelemetry,
+    /// Workunit lifecycle events are logged for every `sample_stride`-th
+    /// workunit; full campaigns have ~10⁵ workunits, far too many to log
+    /// each. Override with `HCMD_TELEMETRY_SAMPLE=<stride>`.
+    sample_stride: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -198,12 +203,59 @@ enum ReissueCause {
     Error,
 }
 
+impl ReissueCause {
+    fn issue_cause(self) -> IssueCause {
+        match self {
+            ReissueCause::Quorum => IssueCause::Quorum,
+            ReissueCause::Timeout => IssueCause::Timeout,
+            ReissueCause::Error => IssueCause::Error,
+        }
+    }
+}
+
+/// The server's cached metric handles, resolved once at construction so
+/// the scheduling hot path never touches the registry lock. Mirrors
+/// [`ServerStats`] into the global registry plus result accounting.
+#[derive(Debug)]
+struct ServerTelemetry {
+    initial_issues: &'static telemetry::Counter,
+    quorum_issues: &'static telemetry::Counter,
+    timeout_reissues: &'static telemetry::Counter,
+    error_reissues: &'static telemetry::Counter,
+    errors_received: &'static telemetry::Counter,
+    late_results: &'static telemetry::Counter,
+    results_received: &'static telemetry::Counter,
+    workunits_validated: &'static telemetry::Counter,
+    feeder_misses: &'static telemetry::Counter,
+}
+
+impl ServerTelemetry {
+    fn new() -> Self {
+        Self {
+            initial_issues: telemetry::counter("server.issues.initial"),
+            quorum_issues: telemetry::counter("server.issues.quorum"),
+            timeout_reissues: telemetry::counter("server.issues.timeout"),
+            error_reissues: telemetry::counter("server.issues.error"),
+            errors_received: telemetry::counter("server.results.errors"),
+            late_results: telemetry::counter("server.results.late"),
+            results_received: telemetry::counter("server.results.received"),
+            workunits_validated: telemetry::counter("server.workunits.validated"),
+            feeder_misses: telemetry::counter("server.feeder.misses"),
+        }
+    }
+}
+
 impl TaskServer {
     /// Creates a server over a launch-ordered workunit catalog.
     pub fn new(catalog: Vec<WorkunitCatalogEntry>, config: ServerConfig) -> Self {
         assert!(!catalog.is_empty(), "campaign has no workunits");
         assert!(config.deadline_seconds > 0.0, "deadline must be positive");
         let n = catalog.len();
+        let sample_stride = std::env::var("HCMD_TELEMETRY_SAMPLE")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or_else(|| (n as u64 / 512).max(1));
         Self {
             catalog,
             config,
@@ -218,6 +270,29 @@ impl TaskServer {
             reissue_causes: VecDeque::new(),
             feeder_cache: VecDeque::new(),
             feeder_misses: 0,
+            tele: ServerTelemetry::new(),
+            sample_stride,
+        }
+    }
+
+    /// Whether a workunit's lifecycle is logged to the event stream (the
+    /// engine uses the same sampling for dispatch/report events).
+    pub fn sampled(&self, wu: u32) -> bool {
+        u64::from(wu) % self.sample_stride == 0
+    }
+
+    fn record_issue(&self, now: SimTime, wu: u32, cause: IssueCause) {
+        match cause {
+            IssueCause::Initial => self.tele.initial_issues.inc(),
+            IssueCause::Quorum => self.tele.quorum_issues.inc(),
+            IssueCause::Timeout => self.tele.timeout_reissues.inc(),
+            IssueCause::Error => self.tele.error_reissues.inc(),
+        }
+        if self.sampled(wu) {
+            telemetry::emit(Some(now.seconds()), || Event::WorkunitIssued {
+                workunit: u64::from(wu),
+                cause,
+            });
         }
     }
 
@@ -285,6 +360,7 @@ impl TaskServer {
             let Some((wu, cause)) = entry else {
                 if self.available_count(now) > 0 {
                     self.feeder_misses += 1;
+                    self.tele.feeder_misses.inc();
                 }
                 self.feeder_refill(now, feeder.refill_batch, feeder.cache_size);
                 return None;
@@ -299,6 +375,11 @@ impl TaskServer {
                 Some(ReissueCause::Error) => self.stats.error_reissues += 1,
                 None => self.stats.initial_issues += 1,
             }
+            self.record_issue(
+                now,
+                wu,
+                cause.map_or(IssueCause::Initial, ReissueCause::issue_cause),
+            );
             let replica = ReplicaId(self.replicas.len() as u64);
             self.replicas.push(ReplicaState {
                 workunit: wu,
@@ -319,11 +400,13 @@ impl TaskServer {
                 ReissueCause::Timeout => self.stats.timeout_reissues += 1,
                 ReissueCause::Error => self.stats.error_reissues += 1,
             }
+            self.record_issue(now, wu, cause.issue_cause());
             wu
         } else if self.next_new < self.catalog.len() {
             let wu = self.next_new as u32;
             self.next_new += 1;
             self.stats.initial_issues += 1;
+            self.record_issue(now, wu, IssueCause::Initial);
             // Under quorum validation each fresh workunit needs two
             // replicas; queue the sibling copy.
             if self.policy_at(now) == ValidationPolicy::QuorumCompare {
@@ -365,21 +448,34 @@ impl TaskServer {
 
     /// Reports a replica's result. `erroneous` is whether the computation
     /// produced an invalid result file.
-    pub fn report_result(&mut self, now: SimTime, replica: ReplicaId, erroneous: bool) -> ReportOutcome {
+    pub fn report_result(
+        &mut self,
+        now: SimTime,
+        replica: ReplicaId,
+        erroneous: bool,
+    ) -> ReportOutcome {
         let r = &mut self.replicas[replica.0 as usize];
         assert!(!r.reported, "replica reported twice");
         r.reported = true;
         let wu = r.workunit;
         self.results_received += 1;
+        self.tele.results_received.inc();
         let needed = match self.policy_at(now) {
             ValidationPolicy::QuorumCompare => 2,
             ValidationPolicy::BoundsCheck => 1,
         };
         if erroneous {
             self.stats.errors_received += 1;
+            self.tele.errors_received.inc();
             // Rejected; if the workunit still needs results, reissue.
             if !self.states[wu as usize].complete {
                 self.push_reissue(wu, ReissueCause::Error);
+                if self.sampled(wu) {
+                    telemetry::emit(Some(now.seconds()), || Event::WorkunitReissued {
+                        workunit: u64::from(wu),
+                        cause: IssueCause::Error,
+                    });
+                }
             }
             return ReportOutcome {
                 completed_workunit: false,
@@ -392,6 +488,7 @@ impl TaskServer {
             // Late or surplus copy of an already-validated workunit: the
             // paper counts it (it arrived) but it is redundant.
             self.stats.late_results += 1;
+            self.tele.late_results.inc();
             return ReportOutcome {
                 completed_workunit: false,
                 useful: false,
@@ -402,6 +499,12 @@ impl TaskServer {
         if state.valid_results >= needed {
             state.complete = true;
             self.completed += 1;
+            self.tele.workunits_validated.inc();
+            if self.sampled(wu) {
+                telemetry::emit(Some(now.seconds()), || Event::WorkunitValidated {
+                    workunit: u64::from(wu),
+                });
+            }
             // One *effective* result per workunit reaches the science team
             // (the paper's 3,936,010 against 5,418,010 received — "only
             // 73 % are useful results"). Quorum partners, late copies and
@@ -430,6 +533,12 @@ impl TaskServer {
         let r = self.replicas[replica.0 as usize];
         if !r.reported && !self.states[r.workunit as usize].complete {
             self.push_reissue(r.workunit, ReissueCause::Timeout);
+            if self.sampled(r.workunit) {
+                telemetry::emit(None, || Event::WorkunitReissued {
+                    workunit: u64::from(r.workunit),
+                    cause: IssueCause::Timeout,
+                });
+            }
             true
         } else {
             false
@@ -534,9 +643,10 @@ mod tests {
         // The reissue is available again.
         let b = s.fetch_work(t(6.0)).unwrap();
         assert_eq!(b.workunit, 0);
-        assert!(s
-            .report_result(t(10.0), b.replica, false)
-            .completed_workunit);
+        assert!(
+            s.report_result(t(10.0), b.replica, false)
+                .completed_workunit
+        );
         assert!((s.redundancy_factor() - 2.0).abs() < 1e-12);
     }
 
@@ -604,7 +714,10 @@ mod tests {
             s.policy_at(t(9.9 * 86_400.0)),
             ValidationPolicy::QuorumCompare
         );
-        assert_eq!(s.policy_at(t(10.0 * 86_400.0)), ValidationPolicy::BoundsCheck);
+        assert_eq!(
+            s.policy_at(t(10.0 * 86_400.0)),
+            ValidationPolicy::BoundsCheck
+        );
     }
 
     #[test]

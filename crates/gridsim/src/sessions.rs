@@ -76,7 +76,11 @@ pub fn execute_with_sessions(
             f64::INFINITY
         };
         // Work available this session, in reference seconds.
-        let session_capacity = if on.is_finite() { on * rate } else { f64::INFINITY };
+        let session_capacity = if on.is_finite() {
+            on * rate
+        } else {
+            f64::INFINITY
+        };
         let remaining = ref_cpu_seconds - done_ref - in_position;
         if session_capacity >= remaining {
             // Finishes inside this session.
@@ -192,10 +196,9 @@ mod tests {
             let h = host(id);
             let mut r1 = stream(4, Domain::HostExecution, id);
             let mut r2 = stream(4, Domain::HostExecution, id);
-            fine_total += execute_with_sessions(&h, 30_000.0, 100.0, &mut r1)
-                .replayed_ref_seconds;
-            coarse_total += execute_with_sessions(&h, 30_000.0, 10_000.0, &mut r2)
-                .replayed_ref_seconds;
+            fine_total += execute_with_sessions(&h, 30_000.0, 100.0, &mut r1).replayed_ref_seconds;
+            coarse_total +=
+                execute_with_sessions(&h, 30_000.0, 10_000.0, &mut r2).replayed_ref_seconds;
         }
         assert!(
             coarse_total > fine_total,

@@ -61,6 +61,10 @@ pub struct CampaignTrace {
     /// Formula-(1) reference total of the simulated (scaled) workload,
     /// seconds.
     pub reference_total_seconds: f64,
+    /// Discrete events the engine processed over the whole run.
+    pub events_processed: u64,
+    /// High-water mark of the event queue.
+    pub peak_queue_depth: u64,
 }
 
 impl CampaignTrace {
@@ -181,7 +185,10 @@ impl CampaignTrace {
         if self.realized_runtimes.is_empty() {
             return 0.0;
         }
-        self.realized_runtimes.iter().map(|&x| x as f64).sum::<f64>()
+        self.realized_runtimes
+            .iter()
+            .map(|&x| x as f64)
+            .sum::<f64>()
             / self.realized_runtimes.len() as f64
     }
 }
@@ -223,6 +230,8 @@ mod tests {
             results_useful: 10,
             server_stats: crate::server::ServerStats::default(),
             reference_total_seconds: 86_400.0,
+            events_processed: 24,
+            peak_queue_depth: 6,
         }
     }
 
@@ -277,6 +286,22 @@ mod tests {
     fn mean_realized_runtime() {
         let t = sample_trace();
         assert!((t.mean_realized_runtime() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trace_round_trips_through_json_text() {
+        let t = sample_trace();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: CampaignTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_value_tree() {
+        use serde::{Deserialize, Serialize};
+        let s = sample_trace().snapshots[0].clone();
+        let back = WorkSnapshot::from_value(&s.to_value()).unwrap();
+        assert_eq!(back, s);
     }
 
     #[test]

@@ -11,12 +11,47 @@
 
 use crate::event::{EventQueue, SimTime};
 use crate::host::{Host, HostId, HostParams};
-use crate::membership::{MembershipModel, HCMD_LAUNCH_DAY};
+use crate::membership::{ChurnCounters, MembershipModel, HCMD_LAUNCH_DAY};
 use crate::project::ProjectPhases;
 use crate::server::{ReplicaId, ServerConfig, TaskServer, WorkunitCatalogEntry};
 use crate::trace::{CampaignTrace, WorkSnapshot};
 use metrics::DailySeries;
 use workunit::{CampaignPackage, LaunchSchedule};
+
+/// Cached metric handles for the engine loop (zero-sized when telemetry
+/// is disabled). Resolved once at construction. The hot pop loop itself
+/// touches no atomics: [`EventQueue`] counts pops in a plain field and
+/// [`SimTelemetry::flush_events`] reconciles the global counter at day
+/// granularity.
+#[derive(Debug)]
+struct SimTelemetry {
+    events: &'static telemetry::Counter,
+    queue_peak: &'static telemetry::Gauge,
+    active_hosts: &'static telemetry::Gauge,
+    churn: ChurnCounters,
+    /// Pops already published to `events` (the counter is process-global
+    /// and several sims may run in one process, so deltas are tracked
+    /// per engine).
+    events_flushed: u64,
+}
+
+impl SimTelemetry {
+    fn new() -> Self {
+        Self {
+            events: telemetry::counter("sim.events.processed"),
+            queue_peak: telemetry::gauge("sim.queue.depth.peak"),
+            active_hosts: telemetry::gauge("sim.hosts.active"),
+            churn: ChurnCounters::new(),
+            events_flushed: 0,
+        }
+    }
+
+    /// Publishes pops accumulated since the last flush.
+    fn flush_events(&mut self, pops: u64) {
+        self.events.add(pops - self.events_flushed);
+        self.events_flushed = pops;
+    }
+}
 
 /// Configuration of a volunteer-grid campaign run.
 #[derive(Debug, Clone)]
@@ -105,6 +140,7 @@ pub struct VolunteerGridSim {
     trace: CampaignTrace,
     snapshot_days: Vec<usize>,
     current_day: usize,
+    tele: SimTelemetry,
 }
 
 impl VolunteerGridSim {
@@ -122,7 +158,9 @@ impl VolunteerGridSim {
             receptor_index[pid.0 as usize] = launch_idx as u16;
         }
         schedule.for_each_workunit_in_order(pkg, |wu| {
-            let mct = pkg.matrix().get(wu.receptor.0 as usize, wu.ligand.0 as usize);
+            let mct = pkg
+                .matrix()
+                .get(wu.receptor.0 as usize, wu.ligand.0 as usize);
             let est = wu.positions as f64 * mct;
             let launch_idx = receptor_index[wu.receptor.0 as usize];
             receptor_total[launch_idx as usize] += est;
@@ -134,6 +172,11 @@ impl VolunteerGridSim {
             });
         });
         let reference_total_seconds: f64 = receptor_total.iter().sum();
+        let (wu_count, h_seconds) = (catalog.len() as u64, pkg.h_seconds);
+        telemetry::emit(None, move || telemetry::Event::WorkunitPackaged {
+            count: wu_count,
+            h_seconds,
+        });
         let server = TaskServer::new(catalog, config.server);
         let mut queue = EventQueue::new();
         queue.schedule(SimTime::ZERO, Event::DayTick);
@@ -155,6 +198,8 @@ impl VolunteerGridSim {
             results_useful: 0,
             server_stats: crate::server::ServerStats::default(),
             reference_total_seconds,
+            events_processed: 0,
+            peak_queue_depth: 0,
         };
         Self {
             config,
@@ -169,6 +214,7 @@ impl VolunteerGridSim {
             trace,
             snapshot_days,
             current_day: 0,
+            tele: SimTelemetry::new(),
         }
     }
 
@@ -218,6 +264,12 @@ impl VolunteerGridSim {
         self.trace.results_received = self.server.results_received;
         self.trace.results_useful = self.server.results_useful;
         self.trace.server_stats = self.server.stats;
+        self.trace.events_processed = self.queue.pops();
+        self.trace.peak_queue_depth = self.queue.peak_len() as u64;
+        self.tele.flush_events(self.queue.pops());
+        self.tele
+            .queue_peak
+            .record_max(self.queue.peak_len() as i64);
         self.trace
     }
 
@@ -252,6 +304,7 @@ impl VolunteerGridSim {
                     join_seconds: now.seconds(),
                 });
                 self.active_count += 1;
+                self.tele.churn.spawned.inc();
                 // Spread arrivals over the day deterministically.
                 let offset = 86_400.0 * (k as f64 + 0.5) / spawn as f64;
                 self.queue.schedule(now.after(offset), Event::Fetch(id));
@@ -268,6 +321,24 @@ impl VolunteerGridSim {
                 wus_done: self.receptor_wus_done.clone(),
             });
         }
+
+        self.tele.active_hosts.set(self.active_count as i64);
+        let pops = self.queue.pops();
+        self.tele.flush_events(pops);
+        self.tele
+            .queue_peak
+            .record_max(self.queue.peak_len() as i64);
+        let (active_hosts, queue_len, completed) = (
+            self.active_count as u64,
+            self.queue.len() as u64,
+            self.server.completed_count() as u64,
+        );
+        telemetry::emit(Some(now.seconds()), move || telemetry::Event::DaySummary {
+            day: day as u64,
+            active_hosts,
+            queue_len,
+            completed,
+        });
 
         if !self.server.is_campaign_complete() && day + 1 < self.config.max_days {
             self.queue.schedule(now.after(86_400.0), Event::DayTick);
@@ -293,10 +364,19 @@ impl VolunteerGridSim {
             }
             slot.active = false;
             self.active_count -= 1;
+            self.tele.churn.retired.inc();
             return;
         }
         match self.server.fetch_work(now) {
             Some(assign) => {
+                if self.server.sampled(assign.workunit) {
+                    telemetry::emit(Some(now.seconds()), || {
+                        telemetry::Event::WorkunitDispatched {
+                            workunit: u64::from(assign.workunit),
+                            host: u64::from(h),
+                        }
+                    });
+                }
                 let exec = if self.config.detailed_sessions {
                     // Session-level execution: explicit on/off periods and
                     // checkpoint replay; error/abandon draws come from the
@@ -336,6 +416,7 @@ impl VolunteerGridSim {
                     // the grid mid-workunit; the deadline will reissue.
                     slot.active = false;
                     self.active_count -= 1;
+                    self.tele.churn.abandoned.inc();
                 } else {
                     self.queue.schedule(
                         now.after(exec.turnaround_seconds),
@@ -366,9 +447,11 @@ impl VolunteerGridSim {
         error: bool,
     ) {
         // Account the attached run time over the replica's lifetime.
-        self.trace
-            .project_cpu_daily
-            .add_interval(issue_seconds, now.seconds().max(issue_seconds + 1e-6), accounted);
+        self.trace.project_cpu_daily.add_interval(
+            issue_seconds,
+            now.seconds().max(issue_seconds + 1e-6),
+            accounted,
+        );
         self.trace.realized_runtimes.push(accounted as f32);
         let points = crate::credit::points_for(&self.hosts[host as usize].host, accounted);
         self.trace
@@ -376,6 +459,14 @@ impl VolunteerGridSim {
             .grant_interval(issue_seconds, now.seconds(), points);
         let day = now.day();
         self.trace.results_daily.add(day, 1.0);
+        let wu = self.workunit_of(replica);
+        if self.server.sampled(wu) {
+            telemetry::emit(Some(now.seconds()), || telemetry::Event::ResultReturned {
+                workunit: u64::from(wu),
+                host: u64::from(host),
+                error,
+            });
+        }
         let outcome = self.server.report_result(now, replica, error);
         if outcome.useful {
             self.trace.useful_results_daily.add(day, 1.0);

@@ -85,9 +85,7 @@ impl Phase1Campaign {
 impl Phase1Report {
     /// The campaign's consumed CPU time scaled back to full scale.
     pub fn consumed_full_scale(&self) -> Ydhms {
-        Ydhms::from_seconds_f64(
-            self.trace.consumed_cpu_seconds() * self.scale_divisor as f64,
-        )
+        Ydhms::from_seconds_f64(self.trace.consumed_cpu_seconds() * self.scale_divisor as f64)
     }
 
     /// Renders the §5/§6 headline summary next to the paper's values.
@@ -110,9 +108,7 @@ impl Phase1Report {
              mean realized wu    : {:.1} h  (paper ~13 h)\n\
              mean project vftp   : {:.0}  (paper 16,450)",
             self.scale_divisor,
-            Ydhms::from_seconds_f64(
-                self.trace.reference_total_seconds * self.scale_divisor as f64
-            ),
+            Ydhms::from_seconds_f64(self.trace.reference_total_seconds * self.scale_divisor as f64),
             self.consumed_full_scale(),
             end,
             crate::config::paper::CAMPAIGN_WEEKS * 7,
@@ -154,7 +150,10 @@ mod tests {
     #[test]
     fn redundancy_lands_near_1_37() {
         let r = report().trace.redundancy_factor();
-        assert!((r - paper::REDUNDANCY_FACTOR).abs() < 0.25, "redundancy {r}");
+        assert!(
+            (r - paper::REDUNDANCY_FACTOR).abs() < 0.25,
+            "redundancy {r}"
+        );
     }
 
     #[test]

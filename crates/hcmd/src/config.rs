@@ -132,8 +132,7 @@ mod tests {
         assert!((ratio - paper::RAW_SPEED_DOWN).abs() < 0.01);
         // 5.43 / 1.37 = 3.96.
         assert!(
-            (paper::RAW_SPEED_DOWN / paper::REDUNDANCY_FACTOR - paper::NET_SPEED_DOWN).abs()
-                < 0.01
+            (paper::RAW_SPEED_DOWN / paper::REDUNDANCY_FACTOR - paper::NET_SPEED_DOWN).abs() < 0.01
         );
         // Redundancy factor from result counts.
         let r = paper::RESULTS_RECEIVED as f64 / paper::RESULTS_USEFUL as f64;
@@ -168,6 +167,8 @@ mod tests {
     fn packaged_vs_realized_confirms_speed_down() {
         // §6: 13 h / 3.96 ≈ 3 h 17 m ≈ the packaged mean.
         let implied = paper::REALIZED_MEAN_SECONDS / paper::NET_SPEED_DOWN;
-        assert!((implied - paper::PACKAGED_MEAN_SECONDS).abs() / paper::PACKAGED_MEAN_SECONDS < 0.02);
+        assert!(
+            (implied - paper::PACKAGED_MEAN_SECONDS).abs() / paper::PACKAGED_MEAN_SECONDS < 0.02
+        );
     }
 }

@@ -130,7 +130,9 @@ impl Phase2Projection {
              {:<34} {:>18.0} {:>18.0}\n\
              {:<34} {:>18.0} {:>18.0}\n\
              {:<34} {:>18.0} {:>18.0}\n",
-            "", "HCMD phase I", "HCMD phase II",
+            "",
+            "HCMD phase I",
+            "HCMD phase II",
             "cpu time in s",
             assumptions.phase1_cpu_seconds,
             self.phase2_cpu_seconds,
@@ -158,12 +160,19 @@ mod tests {
         let p = a.project();
         assert!((p.work_ratio - paper::PHASE2_WORK_RATIO).abs() < 0.01);
         assert!(
-            (p.phase2_cpu_seconds - paper::PHASE2_CPU_SECONDS).abs()
-                / paper::PHASE2_CPU_SECONDS
+            (p.phase2_cpu_seconds - paper::PHASE2_CPU_SECONDS).abs() / paper::PHASE2_CPU_SECONDS
                 < 0.002
         );
-        assert!((p.phase1_vftp - paper::PHASE1_VFTP).abs() < 5.0, "{}", p.phase1_vftp);
-        assert!((p.phase2_vftp - paper::PHASE2_VFTP).abs() < 15.0, "{}", p.phase2_vftp);
+        assert!(
+            (p.phase1_vftp - paper::PHASE1_VFTP).abs() < 5.0,
+            "{}",
+            p.phase1_vftp
+        );
+        assert!(
+            (p.phase2_vftp - paper::PHASE2_VFTP).abs() < 15.0,
+            "{}",
+            p.phase2_vftp
+        );
         assert!(
             (p.phase2_members - paper::PHASE2_MEMBERS).abs() < 200.0,
             "{}",
@@ -200,16 +209,24 @@ mod tests {
 
     #[test]
     fn measured_phase1_override() {
-        let a = Phase2Assumptions::paper().with_measured_phase1(2.0 * paper::PHASE1_CPU_SECONDS, 16.0);
+        let a =
+            Phase2Assumptions::paper().with_measured_phase1(2.0 * paper::PHASE1_CPU_SECONDS, 16.0);
         let p = a.project();
-        assert!((p.phase2_vftp / Phase2Assumptions::paper().project().phase2_vftp - 2.0).abs() < 1e-9);
+        assert!(
+            (p.phase2_vftp / Phase2Assumptions::paper().project().phase2_vftp - 2.0).abs() < 1e-9
+        );
     }
 
     #[test]
     fn render_contains_all_rows() {
         let a = Phase2Assumptions::paper();
         let text = a.project().render_table3(&a);
-        for needle in ["cpu time in s", "Nb weeks", "Nb virtual full-time processors", "Nb members"] {
+        for needle in [
+            "cpu time in s",
+            "Nb weeks",
+            "Nb virtual full-time processors",
+            "Nb members",
+        ] {
             assert!(text.contains(needle));
         }
     }

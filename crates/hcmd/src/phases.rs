@@ -53,12 +53,8 @@ fn summary_for(
 ) -> PhaseSummary {
     let mean_project_vftp = trace.mean_project_vftp(start, end);
     let grid: Vec<f64> = trace.grid_vftp_daily();
-    let mean_grid_vftp = grid
-        .iter()
-        .skip(start)
-        .take(end - start)
-        .sum::<f64>()
-        / (end - start).max(1) as f64;
+    let mean_grid_vftp =
+        grid.iter().skip(start).take(end - start).sum::<f64>() / (end - start).max(1) as f64;
     PhaseSummary {
         name,
         days: (start, end),
@@ -122,6 +118,8 @@ mod tests {
             results_useful: 0,
             server_stats: gridsim::ServerStats::default(),
             reference_total_seconds: 1.0,
+            events_processed: 0,
+            peak_queue_depth: 0,
         }
     }
 

@@ -65,7 +65,10 @@ pub fn generate_report(scale_divisor: u32, seed: u64) -> String {
          | initial issues | {} |\n| quorum siblings | {} |\n\
          | timeout reissues | {} |\n| error reissues | {} |\n\
          | late results | {} |\n\n",
-        st.initial_issues, st.quorum_issues, st.timeout_reissues, st.error_reissues,
+        st.initial_issues,
+        st.quorum_issues,
+        st.timeout_reissues,
+        st.error_reissues,
         st.late_results
     ));
 

@@ -176,7 +176,10 @@ mod tests {
         let (lib, m) = phase1();
         let pkg = CampaignPackage::new(lib, m, workunit::PRODUCTION_WU_SECONDS);
         let text = RequirementsReport::evaluate(lib, m, &pkg).render();
-        assert_eq!(text.matches("[ok]").count() + text.matches("[!!]").count(), 4);
+        assert_eq!(
+            text.matches("[ok]").count() + text.matches("[!!]").count(),
+            4
+        );
         assert!(text.contains("verdict"));
     }
 
@@ -187,6 +190,9 @@ mod tests {
         let (lib, _) = phase1();
         let max_beads = lib.proteins().iter().map(|p| p.bead_count()).max().unwrap() as f64;
         let worst = 2.0 * max_beads * BYTES_PER_BEAD + PROGRAM_BYTES + 4096.0;
-        assert!(worst <= PAYLOAD_BUDGET_BYTES, "phase-1 payload {worst} B fits");
+        assert!(
+            worst <= PAYLOAD_BUDGET_BYTES,
+            "phase-1 payload {worst} B fits"
+        );
     }
 }

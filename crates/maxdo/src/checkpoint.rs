@@ -270,9 +270,8 @@ mod tests {
         let e = engine(&lib);
         let mut cp = DockingCheckpoint::new(1, 2);
         let wrong = e.dock_position(2); // expected position 1
-        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            cp.commit_position(wrong)
-        }));
+        let res =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cp.commit_position(wrong)));
         assert!(res.is_err());
     }
 
@@ -308,9 +307,7 @@ mod tests {
             Err(Truncated)
         );
         assert_eq!(
-            DockingCheckpoint::from_text(
-                "CHECKPOINT v1\nrange 1 2\nnext 1\nevals 0\nrows 1\n"
-            ),
+            DockingCheckpoint::from_text("CHECKPOINT v1\nrange 1 2\nnext 1\nevals 0\nrows 1\n"),
             Err(Truncated)
         );
         assert_eq!(
@@ -320,9 +317,7 @@ mod tests {
             Err(BadRow)
         );
         assert_eq!(
-            DockingCheckpoint::from_text(
-                "CHECKPOINT v1\nrange 5 2\nnext 5\nevals 0\nrows 0\n"
-            ),
+            DockingCheckpoint::from_text("CHECKPOINT v1\nrange 5 2\nnext 5\nevals 0\nrows 0\n"),
             Err(Inconsistent)
         );
     }

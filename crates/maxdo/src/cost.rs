@@ -104,8 +104,8 @@ pub fn shape_factor(p1: &Protein, p2: &Protein) -> f64 {
     // Clamp to ±2σ: the minimiser's iteration count varies a few-fold
     // between couples, not without bound; unclamped tails would inflate
     // the matrix max far beyond Table 1's 46 347 s.
-    let z = ((-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos())
-        .clamp(-2.0, 2.0);
+    let z =
+        ((-2.0 * u1.max(1e-12).ln()).sqrt() * (std::f64::consts::TAU * u2).cos()).clamp(-2.0, 2.0);
     (SHAPE_SIGMA * z).exp()
 }
 
@@ -166,9 +166,7 @@ mod tests {
         let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 3);
         let m = CostModel::with_kappa(0.5);
         let (a, b) = (&lib.proteins()[0], &lib.proteins()[1]);
-        assert!(
-            (m.cost_per_cell(a, b) * 21.0 - m.cost_per_position(a, b)).abs() < 1e-12
-        );
+        assert!((m.cost_per_cell(a, b) * 21.0 - m.cost_per_position(a, b)).abs() < 1e-12);
     }
 
     #[test]
@@ -228,8 +226,7 @@ mod tests {
                 }
                 let e = DockingEngine::new(p1, p2, 4, EnergyParams::default(), mp);
                 let out = e.dock_position(1);
-                measured
-                    .push(out.evaluations as f64 * (p1.bead_count() * p2.bead_count()) as f64);
+                measured.push(out.evaluations as f64 * (p1.bead_count() * p2.bead_count()) as f64);
                 predicted.push(m.cost_per_position(p1, p2));
             }
         }
@@ -247,7 +244,11 @@ mod tests {
         let rm = rank(&measured);
         let rp = rank(&predicted);
         let mean = (n as f64 - 1.0) / 2.0;
-        let cov: f64 = rm.iter().zip(&rp).map(|(a, b)| (a - mean) * (b - mean)).sum();
+        let cov: f64 = rm
+            .iter()
+            .zip(&rp)
+            .map(|(a, b)| (a - mean) * (b - mean))
+            .sum();
         let var: f64 = rm.iter().map(|a| (a - mean) * (a - mean)).sum();
         let spearman = cov / var;
         assert!(spearman > 0.5, "rank correlation too weak: {spearman}");

@@ -65,6 +65,29 @@ pub struct DockingEngine<'a> {
     nsep: u32,
     energy_params: EnergyParams,
     minimize_params: MinimizeParams,
+    tele: DockTelemetry,
+}
+
+/// Cached metric handles for the docking kernel (zero-sized when
+/// telemetry is disabled). Counters are global and shared across rayon
+/// workers — updates are relaxed atomics, so the parallel map stays
+/// uncontended.
+struct DockTelemetry {
+    evaluations: &'static telemetry::Counter,
+    cells_docked: &'static telemetry::Counter,
+    iterations: &'static telemetry::Counter,
+    couple_wall: &'static telemetry::Histogram,
+}
+
+impl DockTelemetry {
+    fn new() -> Self {
+        Self {
+            evaluations: telemetry::counter("maxdo.energy.evaluations"),
+            cells_docked: telemetry::counter("maxdo.cells.docked"),
+            iterations: telemetry::counter("maxdo.minimizer.iterations"),
+            couple_wall: telemetry::histogram("maxdo.couple.wall_us"),
+        }
+    }
 }
 
 impl<'a> DockingEngine<'a> {
@@ -86,6 +109,7 @@ impl<'a> DockingEngine<'a> {
             nsep,
             energy_params,
             minimize_params,
+            tele: DockTelemetry::new(),
         }
     }
 
@@ -149,6 +173,7 @@ impl<'a> DockingEngine<'a> {
                 &self.minimize_params,
             );
             evals += res.evaluations as u64;
+            self.tele.iterations.add(res.iterations as u64);
             let etot = res.energy.total();
             if best.as_ref().is_none_or(|(b, _)| etot < *b) {
                 best = Some((
@@ -164,6 +189,8 @@ impl<'a> DockingEngine<'a> {
                 ));
             }
         }
+        self.tele.evaluations.add(evals);
+        self.tele.cells_docked.inc();
         (best.expect("NGAMMA > 0").1, evals)
     }
 
@@ -190,9 +217,7 @@ impl<'a> DockingEngine<'a> {
             self.nsep
         );
         let mut out = DockingOutput {
-            rows: Vec::with_capacity(
-                ((isep_end - isep_start + 1) * self.nrot()) as usize,
-            ),
+            rows: Vec::with_capacity(((isep_end - isep_start + 1) * self.nrot()) as usize),
             evaluations: 0,
         };
         for isep in isep_start..=isep_end {
@@ -207,6 +232,7 @@ impl<'a> DockingEngine<'a> {
     /// positions (rayon) — the "dedicated grid" style execution used for
     /// calibration runs.
     pub fn dock_map_parallel(&self) -> DockingOutput {
+        let start = std::time::Instant::now();
         let outputs: Vec<DockingOutput> = (1..=self.nsep)
             .into_par_iter()
             .map(|isep| self.dock_position(isep))
@@ -217,6 +243,9 @@ impl<'a> DockingEngine<'a> {
             rows.extend(o.rows);
             evaluations += o.evaluations;
         }
+        self.tele
+            .couple_wall
+            .record_seconds(start.elapsed().as_secs_f64());
         DockingOutput { rows, evaluations }
     }
 }

@@ -215,11 +215,7 @@ impl PairTable {
 
     /// `(ε_ij, rmin_ij², q_i q_j)` for a bead-kind pair.
     #[inline]
-    pub fn lookup(
-        &self,
-        a: crate::model::BeadKind,
-        b: crate::model::BeadKind,
-    ) -> (f64, f64, f64) {
+    pub fn lookup(&self, a: crate::model::BeadKind, b: crate::model::BeadKind) -> (f64, f64, f64) {
         let (i, j) = (Self::index(a), Self::index(b));
         (self.eps[i][j], self.rmin_sq[i][j], self.qq[i][j])
     }
@@ -350,10 +346,8 @@ mod tests {
 
     #[test]
     fn cell_list_indexes_every_bead() {
-        let lib = crate::library::ProteinLibrary::generate(
-            crate::library::LibraryConfig::tiny(1),
-            11,
-        );
+        let lib =
+            crate::library::ProteinLibrary::generate(crate::library::LibraryConfig::tiny(1), 11);
         let p = &lib.proteins()[0];
         let cells = CellList::build(p, 12.0);
         assert_eq!(cells.bead_count(), p.bead_count());
@@ -361,16 +355,18 @@ mod tests {
 
     #[test]
     fn cell_list_neighbor_query_finds_nearby_beads() {
-        let lib = crate::library::ProteinLibrary::generate(
-            crate::library::LibraryConfig::tiny(1),
-            13,
-        );
+        let lib =
+            crate::library::ProteinLibrary::generate(crate::library::LibraryConfig::tiny(1), 13);
         let p = &lib.proteins()[0];
         let cutoff = 8.0;
         let cells = CellList::build(p, cutoff);
         // For several probe points, the cell list must return a superset of
         // the beads within the cutoff.
-        for probe in [Vec3::ZERO, Vec3::new(5.0, -3.0, 2.0), Vec3::new(-10.0, 0.0, 4.0)] {
+        for probe in [
+            Vec3::ZERO,
+            Vec3::new(5.0, -3.0, 2.0),
+            Vec3::new(-10.0, 0.0, 4.0),
+        ] {
             let mut seen = std::collections::HashSet::new();
             cells.for_neighbors(probe, |i| {
                 seen.insert(i);
@@ -422,7 +418,10 @@ mod tests {
         let repel = pair_energy(BeadKind::Positive, BeadKind::Positive, 6.0, &params);
         assert!(attract.eelec < 0.0);
         assert!(repel.eelec > 0.0);
-        assert!((attract.eelec + repel.eelec).abs() < 1e-9, "symmetric magnitudes");
+        assert!(
+            (attract.eelec + repel.eelec).abs() < 1e-9,
+            "symmetric magnitudes"
+        );
     }
 
     #[test]
@@ -451,10 +450,8 @@ mod tests {
 
     #[test]
     fn gradient_matches_finite_differences() {
-        let lib = crate::library::ProteinLibrary::generate(
-            crate::library::LibraryConfig::tiny(2),
-            5,
-        );
+        let lib =
+            crate::library::ProteinLibrary::generate(crate::library::LibraryConfig::tiny(2), 5);
         let (receptor, ligand) = (&lib.proteins()[0], &lib.proteins()[1]);
         let params = EnergyParams::default();
         let cells = CellList::build(receptor, params.cutoff);
@@ -529,10 +526,8 @@ mod tests {
 
     #[test]
     fn cell_list_energy_matches_brute_force() {
-        let lib = crate::library::ProteinLibrary::generate(
-            crate::library::LibraryConfig::tiny(2),
-            21,
-        );
+        let lib =
+            crate::library::ProteinLibrary::generate(crate::library::LibraryConfig::tiny(2), 21);
         let (receptor, ligand) = (&lib.proteins()[0], &lib.proteins()[1]);
         let params = EnergyParams::default();
         let cells = CellList::build(receptor, params.cutoff);

@@ -48,7 +48,11 @@ impl FilteredSearch {
 /// The centroid direction of a predicted binding site (unit vector from
 /// the protein centre through the site), or `None` when no bead passes
 /// the threshold.
-pub fn site_direction(protein: &Protein, propensity: &ContactPropensity, threshold: f64) -> Option<Vec3> {
+pub fn site_direction(
+    protein: &Protein,
+    propensity: &ContactPropensity,
+    threshold: f64,
+) -> Option<Vec3> {
     let site = propensity.binding_site(threshold);
     if site.is_empty() {
         return None;
@@ -79,8 +83,7 @@ pub fn filter_search(
 ) -> FilteredSearch {
     assert!(nsep >= 1, "need starting positions");
     assert!(
-        (0.0..=180.0).contains(&position_cone_deg)
-            && (0.0..=180.0).contains(&orientation_cone_deg),
+        (0.0..=180.0).contains(&position_cone_deg) && (0.0..=180.0).contains(&orientation_cone_deg),
         "cone angles in degrees within [0, 180]"
     );
     let rdir = receptor_site.normalized().expect("receptor site direction");
@@ -214,9 +217,8 @@ mod tests {
     fn kept_positions_point_at_the_site() {
         let (receptor, ligand) = couple();
         let site = Vec3::new(0.0, 0.0, 1.0);
-        let f = filter_search(&receptor, &ligand, 800, site, site, 30.0, 180.0, );
-        let positions =
-            starting_positions(&receptor, ligand.bounding_radius(), 800);
+        let f = filter_search(&receptor, &ligand, 800, site, site, 30.0, 180.0);
+        let positions = starting_positions(&receptor, ligand.bounding_radius(), 800);
         let cos30 = 30.0f64.to_radians().cos();
         for &isep in &f.kept_positions {
             let u = positions[isep as usize - 1].normalized().unwrap();

@@ -178,9 +178,15 @@ mod tests {
         let ep = EnergyParams::default();
         let cells = CellList::build(&receptor, ep.cutoff);
         let start = start_pose(&receptor, &ligand);
-        let e0 = crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep)
-            .total();
-        let res = minimize_fire(&receptor, &cells, &ligand, start, &ep, &FireParams::default());
+        let e0 = crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep).total();
+        let res = minimize_fire(
+            &receptor,
+            &cells,
+            &ligand,
+            start,
+            &ep,
+            &FireParams::default(),
+        );
         assert!(res.energy.total() <= e0, "{} -> {}", e0, res.energy.total());
         assert!(res.pose.translation.is_finite());
     }
@@ -191,8 +197,22 @@ mod tests {
         let ep = EnergyParams::default();
         let cells = CellList::build(&receptor, ep.cutoff);
         let start = start_pose(&receptor, &ligand);
-        let a = minimize_fire(&receptor, &cells, &ligand, start, &ep, &FireParams::default());
-        let b = minimize_fire(&receptor, &cells, &ligand, start, &ep, &FireParams::default());
+        let a = minimize_fire(
+            &receptor,
+            &cells,
+            &ligand,
+            start,
+            &ep,
+            &FireParams::default(),
+        );
+        let b = minimize_fire(
+            &receptor,
+            &cells,
+            &ligand,
+            start,
+            &ep,
+            &FireParams::default(),
+        );
         assert_eq!(a.energy, b.energy);
         assert_eq!(a.evaluations, b.evaluations);
     }
@@ -239,7 +259,10 @@ mod tests {
             sd_total += s.energy.total();
         }
         // Within 30 % of each other in total depth (both negative).
-        assert!(fire_total < 0.0 && sd_total < 0.0, "{fire_total} {sd_total}");
+        assert!(
+            fire_total < 0.0 && sd_total < 0.0,
+            "{fire_total} {sd_total}"
+        );
         let ratio = fire_total / sd_total;
         assert!(
             (0.6..1.67).contains(&ratio),
@@ -253,7 +276,14 @@ mod tests {
         let ep = EnergyParams::default();
         let cells = CellList::build(&receptor, ep.cutoff);
         let start = Pose::from_euler(EulerZyz::default(), Vec3::new(900.0, 0.0, 0.0));
-        let res = minimize_fire(&receptor, &cells, &ligand, start, &ep, &FireParams::default());
+        let res = minimize_fire(
+            &receptor,
+            &cells,
+            &ligand,
+            start,
+            &ep,
+            &FireParams::default(),
+        );
         assert!(res.converged);
         assert_eq!(res.energy.total(), 0.0);
     }
@@ -265,9 +295,15 @@ mod tests {
         let cells = CellList::build(&receptor, ep.cutoff);
         // A clashing start with a violent gradient.
         let start = Pose::from_euler(EulerZyz::default(), Vec3::new(2.0, 0.0, 0.0));
-        let e0 = crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep)
-            .total();
-        let res = minimize_fire(&receptor, &cells, &ligand, start, &ep, &FireParams::default());
+        let e0 = crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep).total();
+        let res = minimize_fire(
+            &receptor,
+            &cells,
+            &ligand,
+            start,
+            &ep,
+            &FireParams::default(),
+        );
         assert!(res.energy.total() <= e0);
     }
 }

@@ -74,8 +74,7 @@ pub fn contact_propensity(
     // Energy cutoff at the requested quantile.
     let mut energies: Vec<f64> = rows.iter().map(|r| r.etot()).collect();
     energies.sort_by(|a, b| a.partial_cmp(b).expect("finite energies"));
-    let idx = ((energies.len() as f64 * energy_quantile).ceil() as usize)
-        .clamp(1, energies.len());
+    let idx = ((energies.len() as f64 * energy_quantile).ceil() as usize).clamp(1, energies.len());
     let cutoff = energies[idx - 1];
 
     let contact_dist = params.cutoff * 0.6; // contacts are closer than the
@@ -116,9 +115,7 @@ pub struct PartnerScore {
 ///
 /// `maps` pairs each ligand with its docking rows against the receptor;
 /// the returned ranking is strongest interaction first.
-pub fn rank_partners(
-    maps: &[(ProteinId, &[crate::docking::DockingRow])],
-) -> Vec<PartnerScore> {
+pub fn rank_partners(maps: &[(ProteinId, &[crate::docking::DockingRow])]) -> Vec<PartnerScore> {
     let mut scores: Vec<PartnerScore> = maps
         .iter()
         .filter(|(_, rows)| !rows.is_empty())
@@ -242,10 +239,7 @@ mod tests {
     #[test]
     fn empty_maps_are_skipped() {
         let (_, rows) = docked_map(3);
-        let ranking = rank_partners(&[
-            (ProteinId(1), rows.as_slice()),
-            (ProteinId(2), &[]),
-        ]);
+        let ranking = rank_partners(&[(ProteinId(1), rows.as_slice()), (ProteinId(2), &[])]);
         assert_eq!(ranking.len(), 1);
     }
 

@@ -61,8 +61,8 @@ pub use docking::{DockingEngine, DockingOutput, DockingRow};
 pub use energy::{CellList, EnergyBreakdown, EnergyParams};
 pub use filter::{filter_search, FilteredSearch};
 pub use fire::{minimize_fire, FireParams};
-pub use interface::{contact_propensity, rank_partners, ContactPropensity, PartnerScore};
 pub use geom::{EulerZyz, Mat3, Pose, Vec3};
+pub use interface::{contact_propensity, rank_partners, ContactPropensity, PartnerScore};
 pub use library::{LibraryConfig, ProteinLibrary};
 pub use minimize::{MinimizeParams, MinimizeResult};
 pub use model::{Bead, BeadKind, Protein, ProteinId};

@@ -156,7 +156,13 @@ impl ProteinLibrary {
                 } else {
                     1.0
                 };
-                generate_protein(ProteinId(i as u32), format!("P{i:03}"), n, elongation, &mut rng)
+                generate_protein(
+                    ProteinId(i as u32),
+                    format!("P{i:03}"),
+                    n,
+                    elongation,
+                    &mut rng,
+                )
             })
             .collect();
         let nsep = proteins

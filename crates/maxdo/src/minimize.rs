@@ -117,6 +117,7 @@ pub fn minimize(
         iterations += 1;
     }
 
+    outcome_counters()[usize::from(converged)].inc();
     MinimizeResult {
         pose,
         energy: g.energy,
@@ -124,6 +125,20 @@ pub fn minimize(
         evaluations,
         converged,
     }
+}
+
+/// `[exhausted, converged]` outcome counters, resolved once. One atomic
+/// load per minimisation (hundreds of energy evaluations), so the cost is
+/// invisible even in calibration sweeps.
+fn outcome_counters() -> &'static [&'static telemetry::Counter; 2] {
+    static COUNTERS: std::sync::OnceLock<[&'static telemetry::Counter; 2]> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        [
+            telemetry::counter("maxdo.minimize.exhausted"),
+            telemetry::counter("maxdo.minimize.converged"),
+        ]
+    })
 }
 
 /// Convenience wrapper: pull a ligand placed along `+x` at separation
@@ -162,10 +177,13 @@ mod tests {
         let cells = CellList::build(&receptor, ep.cutoff);
         let start = Pose::from_euler(
             EulerZyz::default(),
-            Vec3::new(receptor.surface_radius() + ligand.bounding_radius() * 0.2, 0.0, 0.0),
+            Vec3::new(
+                receptor.surface_radius() + ligand.bounding_radius() * 0.2,
+                0.0,
+                0.0,
+            ),
         );
-        let e0 =
-            crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep).total();
+        let e0 = crate::energy::interaction_energy(&receptor, &cells, &ligand, &start, &ep).total();
         let res = minimize(
             &receptor,
             &cells,

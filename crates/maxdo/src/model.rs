@@ -130,17 +130,12 @@ impl Protein {
             beads.iter().all(|b| b.position.is_finite()),
             "bead positions must be finite"
         );
-        let centroid = beads
-            .iter()
-            .fold(Vec3::ZERO, |acc, b| acc + b.position)
-            / beads.len() as f64;
+        let centroid =
+            beads.iter().fold(Vec3::ZERO, |acc, b| acc + b.position) / beads.len() as f64;
         for b in &mut beads {
             b.position -= centroid;
         }
-        let bounding_radius = beads
-            .iter()
-            .map(|b| b.position.norm())
-            .fold(0.0, f64::max);
+        let bounding_radius = beads.iter().map(|b| b.position.norm()).fold(0.0, f64::max);
         Self {
             id,
             name: name.into(),
@@ -208,11 +203,8 @@ mod tests {
     #[test]
     fn construction_recentres_on_centroid() {
         let p = Protein::new(ProteinId(0), "t", tetra_beads());
-        let centroid = p
-            .beads()
-            .iter()
-            .fold(Vec3::ZERO, |a, b| a + b.position)
-            / p.bead_count() as f64;
+        let centroid =
+            p.beads().iter().fold(Vec3::ZERO, |a, b| a + b.position) / p.bead_count() as f64;
         assert!(centroid.norm() < 1e-12);
     }
 

@@ -68,9 +68,7 @@ pub fn write_chain(protein: &Protein, chain: char, pose: &Pose, out: &mut String
 /// Writes a docked complex: receptor as chain A (body frame), ligand as
 /// chain B in `ligand_pose`.
 pub fn write_complex(receptor: &Protein, ligand: &Protein, ligand_pose: &Pose) -> String {
-    let mut out = String::with_capacity(
-        (receptor.bead_count() + ligand.bead_count()) * 80 + 64,
-    );
+    let mut out = String::with_capacity((receptor.bead_count() + ligand.bead_count()) * 80 + 64);
     out.push_str(&format!(
         "REMARK   1 MAXDO COMPLEX {} {}\n",
         receptor.name, ligand.name
@@ -129,8 +127,8 @@ pub fn parse_chain(text: &str, id: ProteinId, name: &str) -> Result<Protein, Pdb
             return Err(PdbParseError::ShortRecord { line: idx + 1 });
         }
         let name_field = &line[12..16];
-        let kind = kind_from_atom_name(name_field)
-            .ok_or(PdbParseError::UnknownAtom { line: idx + 1 })?;
+        let kind =
+            kind_from_atom_name(name_field).ok_or(PdbParseError::UnknownAtom { line: idx + 1 })?;
         let coord = |range: std::ops::Range<usize>| {
             line[range]
                 .trim()

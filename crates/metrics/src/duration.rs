@@ -21,9 +21,7 @@ use std::fmt;
 /// assert_eq!(d.to_string(), "1,488:237:19:45:54");
 /// assert_eq!(d.total_seconds(), 46_946_115_954);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct Ydhms {
     seconds: u64,
 }
@@ -174,6 +172,56 @@ mod tests {
         assert_eq!(Ydhms::from_seconds_f64(1.4).total_seconds(), 1);
         assert_eq!(Ydhms::from_seconds_f64(1.6).total_seconds(), 2);
         assert_eq!(Ydhms::from_seconds_f64(-5.0).total_seconds(), 0);
+    }
+
+    #[test]
+    fn zero_has_all_zero_components() {
+        let z = Ydhms::from_seconds(0);
+        assert_eq!(
+            (z.years(), z.days(), z.hours(), z.minutes(), z.seconds()),
+            (0, 0, 0, 0, 0)
+        );
+        assert_eq!(z.total_seconds(), 0);
+        assert_eq!(z.total_days(), 0.0);
+        assert_eq!(z.total_years(), 0.0);
+    }
+
+    #[test]
+    fn carries_at_each_radix_boundary() {
+        // 59 s + 1 s carries into the minute field...
+        assert_eq!(Ydhms::from_seconds(59).to_string(), "0:0:0:0:59");
+        assert_eq!(Ydhms::from_seconds(60).to_string(), "0:0:0:1:0");
+        // ...59:59 carries into the hour...
+        assert_eq!(Ydhms::from_seconds(3_599).to_string(), "0:0:0:59:59");
+        assert_eq!(Ydhms::from_seconds(3_600).to_string(), "0:0:1:0:0");
+        // ...23:59:59 carries into the day...
+        assert_eq!(Ydhms::from_seconds(86_399).to_string(), "0:0:23:59:59");
+        assert_eq!(Ydhms::from_seconds(86_400).to_string(), "0:1:0:0:0");
+        // ...and day 364 carries into the (365-day) year.
+        assert_eq!(
+            Ydhms::from_seconds(365 * 86_400 - 1).to_string(),
+            "0:364:23:59:59"
+        );
+        assert_eq!(Ydhms::from_seconds(365 * 86_400).to_string(), "1:0:0:0:0");
+    }
+
+    #[test]
+    fn from_seconds_f64_clamps_non_finite_and_negative() {
+        assert_eq!(Ydhms::from_seconds_f64(f64::NAN).total_seconds(), 0);
+        assert_eq!(
+            Ydhms::from_seconds_f64(f64::NEG_INFINITY).total_seconds(),
+            0
+        );
+        assert_eq!(Ydhms::from_seconds_f64(-0.4).total_seconds(), 0);
+        assert_eq!(Ydhms::from_seconds_f64(0.5).total_seconds(), 1);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_u64_max() {
+        let max = Ydhms::from_seconds(u64::MAX);
+        assert_eq!(max.saturating_add(Ydhms::from_seconds(1)), max);
+        let a = Ydhms::from_seconds(40);
+        assert_eq!(a.saturating_add(a).total_seconds(), 80);
     }
 
     #[test]

@@ -60,8 +60,7 @@ impl ProgressionSnapshot {
         if self.proteins.is_empty() {
             return 0.0;
         }
-        self.proteins.iter().filter(|p| p.is_complete()).count() as f64
-            / self.proteins.len() as f64
+        self.proteins.iter().filter(|p| p.is_complete()).count() as f64 / self.proteins.len() as f64
     }
 
     /// Fraction of total computation completed (the "only 47 % of the

@@ -35,11 +35,7 @@ impl LinearFit {
         let my = ys.iter().sum::<f64>() / n;
         let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
         let syy: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
-        let sxy: f64 = xs
-            .iter()
-            .zip(ys)
-            .map(|(x, y)| (x - mx) * (y - my))
-            .sum();
+        let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
         if sxx == 0.0 {
             return None;
         }
@@ -47,7 +43,11 @@ impl LinearFit {
         let intercept = my - slope * mx;
         // A perfectly flat y (syy == 0) is perfectly predicted by the
         // constant model; report r = 1 rather than 0/0.
-        let r = if syy == 0.0 { 1.0 } else { sxy / (sxx * syy).sqrt() };
+        let r = if syy == 0.0 {
+            1.0
+        } else {
+            sxy / (sxx * syy).sqrt()
+        };
         Some(LinearFit {
             slope,
             intercept,

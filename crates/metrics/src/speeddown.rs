@@ -86,7 +86,10 @@ pub struct SpeedDownDecomposition {
 impl SpeedDownDecomposition {
     /// Product of all causes — the predicted net speed-down factor.
     pub fn predicted_factor(&self) -> f64 {
-        self.throttle * self.contention * self.host_slowness * self.checkpoint_replay
+        self.throttle
+            * self.contention
+            * self.host_slowness
+            * self.checkpoint_replay
             * self.screensaver
     }
 

@@ -1,0 +1,134 @@
+//! Per-run manifests.
+//!
+//! Every bench binary writes one [`RunManifest`] next to its figure JSON:
+//! enough provenance (seed, scale, git revision) and enough outcome
+//! summary (wall-clock, events processed, peak queue depth, results/sec)
+//! to tell two runs apart six months later without rerunning either.
+
+use serde::{Deserialize, Serialize};
+
+/// Provenance and outcome summary for one bench/example run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Binary name (e.g. `fig6_campaign`).
+    pub bin: String,
+    /// RNG seed for the run.
+    pub seed: u64,
+    /// Campaign scale divisor (1 = full paper scale).
+    pub scale_divisor: u64,
+    /// Git revision of the working tree, or `"unknown"`.
+    pub git_rev: String,
+    /// Whether the `telemetry` feature was compiled in.
+    pub telemetry_enabled: bool,
+    /// Total wall-clock for the run in seconds.
+    pub wall_seconds: f64,
+    /// Simulator events processed (0 for non-simulating runs).
+    pub events_processed: u64,
+    /// Peak simulator event-queue depth (0 for non-simulating runs).
+    pub peak_queue_depth: u64,
+    /// Validated results per wall-clock second (0 when not applicable).
+    pub results_per_second: f64,
+    /// Final metric values at the end of the run.
+    pub metrics: crate::MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `bin` with provenance filled in and outcome
+    /// fields zeroed; callers set outcomes before [`write`](Self::write).
+    pub fn new(bin: &str, seed: u64, scale_divisor: u64) -> Self {
+        Self {
+            bin: bin.to_string(),
+            seed,
+            scale_divisor,
+            git_rev: git_revision(),
+            telemetry_enabled: crate::ENABLED,
+            wall_seconds: 0.0,
+            events_processed: 0,
+            peak_queue_depth: 0,
+            results_per_second: 0.0,
+            metrics: crate::MetricsSnapshot::default(),
+        }
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_default()
+    }
+
+    /// Writes the manifest as pretty JSON to `path`, creating parent
+    /// directories.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Best-effort git revision of the repository containing the current
+/// directory: reads `.git/HEAD` and resolves one level of symbolic ref
+/// through loose refs and `packed-refs`. Returns `"unknown"` if anything
+/// is missing — never shells out, never fails.
+pub fn git_revision() -> String {
+    fn read_rev() -> Option<String> {
+        let mut dir = std::env::current_dir().ok()?;
+        let git = loop {
+            let candidate = dir.join(".git");
+            if candidate.is_dir() {
+                break candidate;
+            }
+            if !dir.pop() {
+                return None;
+            }
+        };
+        let head = std::fs::read_to_string(git.join("HEAD")).ok()?;
+        let head = head.trim();
+        let Some(refname) = head.strip_prefix("ref: ") else {
+            // Detached HEAD: the line is the hash itself.
+            return Some(head.to_string());
+        };
+        if let Ok(loose) = std::fs::read_to_string(git.join(refname)) {
+            return Some(loose.trim().to_string());
+        }
+        let packed = std::fs::read_to_string(git.join("packed-refs")).ok()?;
+        packed.lines().find_map(|line| {
+            let (hash, name) = line.split_once(' ')?;
+            (name == refname).then(|| hash.to_string())
+        })
+    }
+    read_rev()
+        .filter(|r| !r.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[test]
+    fn manifest_round_trips() {
+        let mut m = RunManifest::new("fig6_campaign", 2007, 10);
+        m.wall_seconds = 1.25;
+        m.events_processed = 123_456;
+        m.peak_queue_depth = 998;
+        m.results_per_second = 321.5;
+        let back = RunManifest::from_value(&m.to_value()).unwrap();
+        assert_eq!(back, m);
+        let back2: RunManifest = serde_json::from_str(&m.to_json()).unwrap();
+        assert_eq!(back2, m);
+    }
+
+    #[test]
+    fn manifest_records_build_facts() {
+        let m = RunManifest::new("x", 1, 1);
+        assert_eq!(m.telemetry_enabled, crate::ENABLED);
+        assert!(!m.git_rev.is_empty());
+    }
+
+    #[test]
+    fn git_revision_is_hex_or_unknown() {
+        let rev = git_revision();
+        assert!(rev == "unknown" || rev.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -111,13 +111,8 @@ pub fn measure_matrix_with_kernel(
         .par_iter()
         .flat_map_iter(|p1| {
             proteins.iter().map(move |p2| {
-                let engine = DockingEngine::new(
-                    p1,
-                    p2,
-                    1,
-                    EnergyParams::default(),
-                    *minimize_params,
-                );
+                let engine =
+                    DockingEngine::new(p1, p2, 1, EnergyParams::default(), *minimize_params);
                 let out = engine.dock_position(1);
                 (out.evaluations as f64) * (p1.bead_count() * p2.bead_count()) as f64
             })
@@ -151,7 +146,7 @@ mod tests {
             let m = lpt_makespan(&jobs, p);
             assert!(m >= total / p as f64 - 1e-12);
             assert!(m >= 7.0); // at least the longest job
-            // LPT is a 4/3-approximation of the optimum (≥ both bounds).
+                               // LPT is a 4/3-approximation of the optimum (≥ both bounds).
             assert!(m <= (total / p as f64).max(7.0) * 4.0 / 3.0 + 1e-12);
         }
     }

@@ -21,7 +21,7 @@ pub mod stats;
 pub mod workload;
 
 pub use calibration::{CalibrationCampaign, CalibrationReport};
-pub use linear::{nsep_linearity, nrot_linearity, LinearityStudy};
+pub use linear::{nrot_linearity, nsep_linearity, LinearityStudy};
 pub use matrix::CostMatrix;
 pub use noise::perturb_matrix;
 pub use stats::{table1, Table1};

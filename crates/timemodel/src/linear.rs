@@ -36,8 +36,7 @@ impl LinearityStudy {
 
 /// Work unit: evaluations × bead-pair count of the couple.
 fn work(engine: &DockingEngine<'_>, evaluations: u64) -> f64 {
-    evaluations as f64
-        * (engine.receptor().bead_count() * engine.ligand().bead_count()) as f64
+    evaluations as f64 * (engine.receptor().bead_count() * engine.ligand().bead_count()) as f64
 }
 
 /// Figure 3(a): cumulative work of computing orientation couples
@@ -49,7 +48,13 @@ pub fn nrot_linearity(
     minimize_params: &MinimizeParams,
 ) -> LinearityStudy {
     assert!((1..=21).contains(&max_rot), "max_rot must be in 1..=21");
-    let engine = DockingEngine::new(receptor, ligand, 1, EnergyParams::default(), *minimize_params);
+    let engine = DockingEngine::new(
+        receptor,
+        ligand,
+        1,
+        EnergyParams::default(),
+        *minimize_params,
+    );
     let mut cumulative = 0.0;
     let mut xs = Vec::with_capacity(max_rot as usize);
     let mut ys = Vec::with_capacity(max_rot as usize);
@@ -76,8 +81,13 @@ pub fn nsep_linearity(
     minimize_params: &MinimizeParams,
 ) -> LinearityStudy {
     assert!(max_sep >= 1, "max_sep must be at least 1");
-    let engine =
-        DockingEngine::new(receptor, ligand, max_sep, EnergyParams::default(), *minimize_params);
+    let engine = DockingEngine::new(
+        receptor,
+        ligand,
+        max_sep,
+        EnergyParams::default(),
+        *minimize_params,
+    );
     let mut cumulative = 0.0;
     let mut xs = Vec::with_capacity(max_sep as usize);
     let mut ys = Vec::with_capacity(max_sep as usize);

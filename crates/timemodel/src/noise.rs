@@ -76,7 +76,11 @@ mod tests {
         let p = perturb_matrix(&m, 0.1, 3);
         let t0 = crate::total_cpu_seconds(&lib, &m);
         let t1 = crate::total_cpu_seconds(&lib, &p);
-        assert!(relative_shift(t1, t0) < 0.05, "total moved {:.3}", relative_shift(t1, t0));
+        assert!(
+            relative_shift(t1, t0) < 0.05,
+            "total moved {:.3}",
+            relative_shift(t1, t0)
+        );
     }
 
     #[test]

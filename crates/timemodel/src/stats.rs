@@ -57,7 +57,11 @@ impl Table1 {
              total cpu time (formula 1): {}\n\
              top-10 protein share of processing time: {:.0}%\n\
              potential minimal workunits: {}",
-            "average", "standard deviation", "min", "max", "median",
+            "average",
+            "standard deviation",
+            "min",
+            "max",
+            "median",
             self.summary.table1_row(),
             self.total,
             self.top10_share * 100.0,
@@ -98,12 +102,22 @@ mod tests {
         assert!((s.mean - PAPER_MEAN).abs() < 1.0, "mean {}", s.mean);
         // σ, median within 10 %; min/max within a small factor (they are
         // extreme order statistics of a synthetic draw).
-        assert!((s.std_dev - PAPER_STD_DEV).abs() / PAPER_STD_DEV < 0.10,
-            "std {}", s.std_dev);
-        assert!((s.median - PAPER_MEDIAN).abs() / PAPER_MEDIAN < 0.10,
-            "median {}", s.median);
+        assert!(
+            (s.std_dev - PAPER_STD_DEV).abs() / PAPER_STD_DEV < 0.10,
+            "std {}",
+            s.std_dev
+        );
+        assert!(
+            (s.median - PAPER_MEDIAN).abs() / PAPER_MEDIAN < 0.10,
+            "median {}",
+            s.median
+        );
         assert!(s.min < 5.0 * PAPER_MIN, "min {}", s.min);
-        assert!(s.max > PAPER_MAX / 2.0 && s.max < PAPER_MAX * 2.0, "max {}", s.max);
+        assert!(
+            s.max > PAPER_MAX / 2.0 && s.max < PAPER_MAX * 2.0,
+            "max {}",
+            s.max
+        );
         // Total within 5 % of 1,488 years.
         let total_years = t.total.total_years();
         let paper_years = crate::workload::phase1_reference_total().total_years();
@@ -113,6 +127,10 @@ mod tests {
         );
         // ~10 proteins ≈ 30 % of the time (allow 25–60 %: the share is an
         // emergent property of the skew).
-        assert!((0.25..0.60).contains(&t.top10_share), "top10 {}", t.top10_share);
+        assert!(
+            (0.25..0.60).contains(&t.top10_share),
+            "top10 {}",
+            t.top10_share
+        );
     }
 }

@@ -118,9 +118,7 @@ mod tests {
         let (lib, m) = setup();
         let w = Workload::derive(&lib, &m);
         assert_eq!(w.per_protein_seconds.len(), 4);
-        assert!(
-            (w.per_protein_seconds.iter().sum::<f64>() - w.total_seconds).abs() < 1e-9
-        );
+        assert!((w.per_protein_seconds.iter().sum::<f64>() - w.total_seconds).abs() < 1e-9);
         assert_eq!(w.total().total_seconds(), w.total_seconds.round() as u64);
     }
 
@@ -139,9 +137,7 @@ mod tests {
         let order = w.launch_order();
         assert_eq!(order.len(), 4);
         for pair in order.windows(2) {
-            assert!(
-                w.per_protein_seconds[pair[0]] <= w.per_protein_seconds[pair[1]]
-            );
+            assert!(w.per_protein_seconds[pair[0]] <= w.per_protein_seconds[pair[1]]);
         }
     }
 

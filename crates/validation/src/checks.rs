@@ -191,9 +191,14 @@ mod tests {
         let mut f = good_file();
         f.rows.pop();
         let fails = check_file(&f, &ValueRanges::default());
-        assert!(fails
-            .iter()
-            .any(|x| matches!(x, CheckFailure::LineCount { expected: 4, got: 3, .. })));
+        assert!(fails.iter().any(|x| matches!(
+            x,
+            CheckFailure::LineCount {
+                expected: 4,
+                got: 3,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -217,9 +222,13 @@ mod tests {
         let mut f = good_file();
         f.rows[0].position = Vec3::new(1e4, 0.0, 0.0);
         let fails = check_file(&f, &ValueRanges::default());
-        assert!(fails
-            .iter()
-            .any(|x| matches!(x, CheckFailure::ValueRange { field: "position", .. })));
+        assert!(fails.iter().any(|x| matches!(
+            x,
+            CheckFailure::ValueRange {
+                field: "position",
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -238,10 +247,21 @@ mod tests {
     #[test]
     fn batch_checks_file_count() {
         let files = vec![good_file()];
-        let fails = check_batch(ProteinId(0), ProteinId(1), &files, 2, &ValueRanges::default());
-        assert!(fails
-            .iter()
-            .any(|x| matches!(x, CheckFailure::FileCount { expected: 2, got: 1, .. })));
+        let fails = check_batch(
+            ProteinId(0),
+            ProteinId(1),
+            &files,
+            2,
+            &ValueRanges::default(),
+        );
+        assert!(fails.iter().any(|x| matches!(
+            x,
+            CheckFailure::FileCount {
+                expected: 2,
+                got: 1,
+                ..
+            }
+        )));
     }
 
     #[test]

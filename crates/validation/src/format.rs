@@ -257,8 +257,14 @@ mod tests {
     #[test]
     fn parse_rejects_bad_inputs() {
         assert_eq!(parse_result_file(""), Err(ParseError::BadHeader));
-        assert_eq!(parse_result_file("NOTMAXDO 1 2 3 4 5"), Err(ParseError::BadHeader));
-        assert_eq!(parse_result_file("MAXDO 1 2 3 4"), Err(ParseError::BadHeader));
+        assert_eq!(
+            parse_result_file("NOTMAXDO 1 2 3 4 5"),
+            Err(ParseError::BadHeader)
+        );
+        assert_eq!(
+            parse_result_file("MAXDO 1 2 3 4"),
+            Err(ParseError::BadHeader)
+        );
         assert_eq!(
             parse_result_file("MAXDO 1 2 3 4 5\n1 2 3\n"),
             Err(ParseError::BadRowShape { line: 2 })
@@ -278,9 +284,7 @@ mod tests {
 
     #[test]
     fn real_docking_output_round_trips() {
-        use maxdo::{
-            DockingEngine, EnergyParams, LibraryConfig, MinimizeParams, ProteinLibrary,
-        };
+        use maxdo::{DockingEngine, EnergyParams, LibraryConfig, MinimizeParams, ProteinLibrary};
         let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 11);
         let engine = DockingEngine::for_couple(
             &lib,

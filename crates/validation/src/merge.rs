@@ -194,7 +194,13 @@ mod tests {
     #[test]
     fn truncation_detected() {
         let err = merge_couple_files(vec![chunk(1, 6)], 9).unwrap_err();
-        assert_eq!(err, MergeError::Truncated { last: 6, expected: 9 });
+        assert_eq!(
+            err,
+            MergeError::Truncated {
+                last: 6,
+                expected: 9
+            }
+        );
     }
 
     #[test]
@@ -207,6 +213,9 @@ mod tests {
 
     #[test]
     fn empty_input_rejected() {
-        assert_eq!(merge_couple_files(Vec::new(), 5).unwrap_err(), MergeError::Empty);
+        assert_eq!(
+            merge_couple_files(Vec::new(), 5).unwrap_err(),
+            MergeError::Empty
+        );
     }
 }

@@ -90,10 +90,8 @@ mod tests {
     fn parallel_matches_sequential_exactly() {
         let files: Vec<ResultFile> = (0..40).map(|i| file(i, i % 7 == 3)).collect();
         let ranges = ValueRanges::default();
-        let sequential: Vec<CheckFailure> = files
-            .iter()
-            .flat_map(|f| check_file(f, &ranges))
-            .collect();
+        let sequential: Vec<CheckFailure> =
+            files.iter().flat_map(|f| check_file(f, &ranges)).collect();
         for workers in [1, 2, 4, 8] {
             let parallel = check_files_parallel(&files, &ranges, workers);
             assert_eq!(parallel, sequential, "workers = {workers}");

@@ -83,7 +83,7 @@ impl ReceptionPipeline {
             expected_files,
             pending: HashMap::new(),
             ranges,
-        files_received: 0,
+            files_received: 0,
         }
     }
 
@@ -132,10 +132,7 @@ impl ReceptionPipeline {
         let mut merged = Vec::new();
         for l in 0..self.set_size {
             let ligand = ProteinId(l);
-            let files = self
-                .pending
-                .remove(&(receptor.0, l))
-                .unwrap_or_default();
+            let files = self.pending.remove(&(receptor.0, l)).unwrap_or_default();
             let expected = self.expected_files[&(receptor.0, l)] as usize;
             failures.extend(check_batch(
                 receptor,

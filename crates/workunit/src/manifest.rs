@@ -28,8 +28,7 @@ pub fn write_manifest(pkg: &CampaignPackage<'_>) -> Bytes {
 /// Serialises an explicit record list (the manifest body behind
 /// [`write_manifest`]).
 pub fn write_records(h_seconds: f64, records: &[WorkunitSpec]) -> Bytes {
-    let mut buf =
-        BytesMut::with_capacity(MAGIC.len() + 16 + records.len() * RECORD_BYTES);
+    let mut buf = BytesMut::with_capacity(MAGIC.len() + 16 + records.len() * RECORD_BYTES);
     buf.put_slice(MAGIC);
     buf.put_f64_le(h_seconds);
     buf.put_u64_le(records.len() as u64);
@@ -106,12 +105,7 @@ pub fn read_manifest(data: &[u8]) -> Result<(f64, Vec<WorkunitSpec>), ManifestEr
 /// cannot tell 0x00 from 0xFF.
 fn record_checksum(wu: &WorkunitSpec) -> u32 {
     let mut h: u32 = 0x811C_9DC5;
-    for v in [
-        wu.receptor.0,
-        wu.ligand.0,
-        wu.isep_start,
-        wu.positions,
-    ] {
+    for v in [wu.receptor.0, wu.ligand.0, wu.isep_start, wu.positions] {
         for byte in v.to_le_bytes() {
             h ^= byte as u32;
             h = h.wrapping_mul(0x0100_0193);

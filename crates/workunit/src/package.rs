@@ -15,9 +15,7 @@ use serde::{Deserialize, Serialize};
 use timemodel::CostMatrix;
 
 /// Dense campaign-wide workunit identifier (assignment order).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct WorkunitId(pub u64);
 
 impl std::fmt::Display for WorkunitId {
@@ -92,9 +90,7 @@ impl<'a> CampaignPackage<'a> {
         mut f: impl FnMut(WorkunitSpec),
     ) {
         let nsep_total = self.library.nsep(receptor);
-        let mct = self
-            .matrix
-            .get(receptor.0 as usize, ligand.0 as usize);
+        let mct = self.matrix.get(receptor.0 as usize, ligand.0 as usize);
         let per = positions_per_workunit(self.h_seconds, mct, nsep_total);
         let mut isep = 1u32;
         while isep <= nsep_total {
@@ -112,8 +108,14 @@ impl<'a> CampaignPackage<'a> {
     /// Visits every workunit of the campaign in canonical order without
     /// materialising them.
     pub fn for_each_workunit(&self, mut f: impl FnMut(WorkunitSpec)) {
+        // Handle resolved once per enumeration; the per-workunit cost is
+        // one relaxed atomic add (zero-sized no-op without telemetry).
+        let enumerated = telemetry::counter("package.workunits.enumerated");
         for (receptor, ligand) in self.library.couples() {
-            self.for_each_workunit_of_couple(receptor, ligand, &mut f);
+            self.for_each_workunit_of_couple(receptor, ligand, |wu| {
+                enumerated.inc();
+                f(wu);
+            });
         }
     }
 

@@ -66,7 +66,10 @@ mod tests {
     fn intermediate_couple_uses_floor() {
         // h = 10 h, Mct = 671 s ⇒ ⌊36000/671⌋ = 53 positions per workunit.
         assert_eq!(positions_per_workunit(36_000.0, 671.0, 2000), 53);
-        assert_eq!(workunits_for_couple(36_000.0, 671.0, 2000), 2000_u32.div_ceil(53));
+        assert_eq!(
+            workunits_for_couple(36_000.0, 671.0, 2000),
+            2000_u32.div_ceil(53)
+        );
     }
 
     #[test]

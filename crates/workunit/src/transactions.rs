@@ -118,8 +118,12 @@ mod tests {
             mean_wu_wall_seconds: 1800.0,
             ..base
         };
-        assert!((double_hosts.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12);
-        assert!((half_duration.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12);
+        assert!(
+            (double_hosts.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12
+        );
+        assert!(
+            (half_duration.results_per_second() / base.results_per_second() - 2.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -4,26 +4,58 @@
 //! Run with: `cargo run --release --example campaign [scale] [seed]`
 //! (default scale 1/50, seed 2007; scale 1 is the full 3.6-million-workunit
 //! campaign and takes a few minutes).
+//!
+//! Progress is reported through the telemetry event log rather than ad-hoc
+//! prints: build with `--features telemetry` to stream structured JSONL
+//! records (run/phase spans, workunit lifecycle, day summaries) to
+//! `target/telemetry/example_campaign.jsonl` and to get the live metric
+//! table on stderr when the run ends.
 
 use gridsim::ProjectPhases;
 use hcmd::campaign::Phase1Campaign;
 use hcmd::phase2::Phase2Assumptions;
 use hcmd::phases::{phase_summaries, render_phase_table};
+use std::time::Instant;
 
 fn main() {
     let mut args = std::env::args().skip(1);
     let scale: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
     let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2007);
 
-    println!("running HCMD phase I at scale 1/{scale} (seed {seed})...\n");
+    if telemetry::ENABLED {
+        let path = std::path::Path::new("target/telemetry/example_campaign.jsonl");
+        match telemetry::install_jsonl(path) {
+            Ok(()) => eprintln!("telemetry: event log -> {}", path.display()),
+            Err(e) => eprintln!("telemetry: cannot open {}: {e}", path.display()),
+        }
+    }
+    let scale64 = u64::from(scale);
+    telemetry::emit(None, move || telemetry::Event::RunStart {
+        bin: "example_campaign".to_string(),
+        seed,
+        scale_divisor: scale64,
+    });
+
+    telemetry::emit(None, || telemetry::Event::PhaseStart {
+        name: "simulation".to_string(),
+    });
+    let t0 = Instant::now();
     let report = Phase1Campaign::new(scale, seed).run();
+    let sim_wall = t0.elapsed().as_secs_f64();
+    telemetry::emit(None, move || telemetry::Event::PhaseEnd {
+        name: "simulation".to_string(),
+        wall_seconds: sim_wall,
+    });
 
     println!("=== §4.1 / Table 1: the compute-time matrix ===");
     println!("{}\n", report.table1.render());
 
     println!("=== §4.2: production packaging ===");
     println!("{}", report.distribution.caption());
-    println!("mean estimated workunit: {}\n", report.distribution.mean_hms());
+    println!(
+        "mean estimated workunit: {}\n",
+        report.distribution.mean_hms()
+    );
 
     println!("=== §5–§6: the campaign ===");
     println!("{}\n", report.render_summary());
@@ -46,10 +78,8 @@ fn main() {
     println!("{}", t2.render());
 
     println!("=== Table 3: phase II projection ===");
-    let assumptions = Phase2Assumptions::paper().with_measured_phase1(
-        report.trace.consumed_cpu_seconds() * scale as f64,
-        16.0,
-    );
+    let assumptions = Phase2Assumptions::paper()
+        .with_measured_phase1(report.trace.consumed_cpu_seconds() * scale as f64, 16.0);
     let projection = assumptions.project();
     println!("{}", projection.render_table3(&assumptions));
     println!(
@@ -60,4 +90,14 @@ fn main() {
         projection.wcg_members_needed / 1e6,
         projection.new_members_needed / 1e6
     );
+
+    let (wall, events) = (t0.elapsed().as_secs_f64(), report.trace.events_processed);
+    telemetry::emit(None, move || telemetry::Event::RunEnd {
+        wall_seconds: wall,
+        events_processed: events,
+    });
+    telemetry::shutdown();
+    if telemetry::ENABLED {
+        eprintln!("\n{}", telemetry::summary());
+    }
 }

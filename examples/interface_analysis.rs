@@ -33,13 +33,7 @@ fn main() {
     println!("docking {} against 3 candidate partners...", receptor.name);
     let mut maps = Vec::new();
     for lid in 1..4u32 {
-        let engine = DockingEngine::for_couple(
-            &library,
-            ProteinId(0),
-            ProteinId(lid),
-            params,
-            mp,
-        );
+        let engine = DockingEngine::for_couple(&library, ProteinId(0), ProteinId(lid), params, mp);
         let nsep = engine.nsep().min(12);
         let out = engine.dock_range(1, nsep);
         println!(
@@ -115,10 +109,7 @@ fn main() {
     // Does the cheap search still find the strong minima? Dock only the
     // kept cells and compare.
     let engine = DockingEngine::for_couple(&library, ProteinId(0), best_partner, params, mp);
-    let full_best = rows
-        .iter()
-        .map(|r| r.etot())
-        .fold(f64::INFINITY, f64::min);
+    let full_best = rows.iter().map(|r| r.etot()).fold(f64::INFINITY, f64::min);
     let mut filtered_best = f64::INFINITY;
     for &isep in filtered.kept_positions.iter().filter(|&&i| i <= 12) {
         for &irot in &filtered.kept_orientations {
@@ -126,7 +117,5 @@ fn main() {
             filtered_best = filtered_best.min(row.etot());
         }
     }
-    println!(
-        "best Etot: full map {full_best:.2} vs filtered search {filtered_best:.2} kcal/mol"
-    );
+    println!("best Etot: full map {full_best:.2} vs filtered search {filtered_best:.2} kcal/mol");
 }

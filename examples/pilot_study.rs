@@ -14,6 +14,13 @@
 //! Community Grid.
 //!
 //! Run with: `cargo run --release --example pilot_study`
+//!
+//! Per-couple progress goes through the telemetry event log instead of
+//! ad-hoc prints: build with `--features telemetry` to stream JSONL
+//! records (one `ResultReturned` per docked couple, phase spans, run
+//! markers) to `target/telemetry/example_pilot_study.jsonl` and to get
+//! the kernel's live counters (energy evaluations, minimizer iterations,
+//! per-couple wall time) on stderr at the end.
 
 use maxdo::interface::rank_partners;
 use maxdo::{
@@ -21,6 +28,21 @@ use maxdo::{
 };
 use validation::format::result_file_from_output;
 use validation::merge_couple_files;
+
+/// Emits a phase span around `f` (no-op without the telemetry feature).
+fn phase<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    telemetry::emit(None, move || telemetry::Event::PhaseStart {
+        name: name.to_string(),
+    });
+    let t0 = std::time::Instant::now();
+    let out = f();
+    let wall = t0.elapsed().as_secs_f64();
+    telemetry::emit(None, move || telemetry::Event::PhaseEnd {
+        name: name.to_string(),
+        wall_seconds: wall,
+    });
+    out
+}
 
 fn main() {
     let library = ProteinLibrary::generate(LibraryConfig::tiny(6), 6);
@@ -30,37 +52,59 @@ fn main() {
         ..Default::default()
     };
 
+    if telemetry::ENABLED {
+        let path = std::path::Path::new("target/telemetry/example_pilot_study.jsonl");
+        match telemetry::install_jsonl(path) {
+            Ok(()) => eprintln!("telemetry: event log -> {}", path.display()),
+            Err(e) => eprintln!("telemetry: cannot open {}: {e}", path.display()),
+        }
+    }
+    telemetry::emit(None, || telemetry::Event::RunStart {
+        bin: "example_pilot_study".to_string(),
+        seed: 6,
+        scale_divisor: 1,
+    });
+
     println!("Décrypthon pilot: 6 proteins, 36 ordered couples\n");
     let t0 = std::time::Instant::now();
     let mut total_cells = 0usize;
     let mut total_evals = 0u64;
     let mut maps: Vec<Vec<(ProteinId, Vec<maxdo::DockingRow>)>> = Vec::new();
-    for r in 0..6u32 {
-        let mut per_receptor = Vec::new();
-        for l in 0..6u32 {
-            if r == l {
-                continue;
+    phase("docking", || {
+        for r in 0..6u32 {
+            let mut per_receptor = Vec::new();
+            for l in 0..6u32 {
+                if r == l {
+                    continue;
+                }
+                let engine =
+                    DockingEngine::for_couple(&library, ProteinId(r), ProteinId(l), params, mp);
+                let nsep = engine.nsep().min(6); // pilot-sized map
+                let out = engine.dock_range(1, nsep);
+                total_cells += out.rows.len();
+                total_evals += out.evaluations;
+                // One event per docked couple — the pilot's progress feed.
+                telemetry::emit(None, move || telemetry::Event::ResultReturned {
+                    workunit: u64::from(r * 6 + l),
+                    host: 0,
+                    error: false,
+                });
+                // Through the §5.2 pipeline, as the real pilot archived them.
+                let file = result_file_from_output(ProteinId(r), ProteinId(l), 1, nsep, &out);
+                let merged = merge_couple_files(vec![file], nsep).expect("single chunk");
+                per_receptor.push((ProteinId(l), merged.rows));
             }
-            let engine =
-                DockingEngine::for_couple(&library, ProteinId(r), ProteinId(l), params, mp);
-            let nsep = engine.nsep().min(6); // pilot-sized map
-            let out = engine.dock_range(1, nsep);
-            total_cells += out.rows.len();
-            total_evals += out.evaluations;
-            // Through the §5.2 pipeline, as the real pilot archived them.
-            let file = result_file_from_output(ProteinId(r), ProteinId(l), 1, nsep, &out);
-            let merged = merge_couple_files(vec![file], nsep).expect("single chunk");
-            per_receptor.push((ProteinId(l), merged.rows));
+            maps.push(per_receptor);
         }
-        maps.push(per_receptor);
-    }
+    });
     let elapsed = t0.elapsed();
-    println!(
-        "docked {total_cells} cells ({total_evals} energy evaluations) in {elapsed:?}\n"
-    );
+    println!("docked {total_cells} cells ({total_evals} energy evaluations) in {elapsed:?}\n");
 
     // Partner table: best partner per receptor.
-    println!("{:>10} {:>12} {:>14}", "receptor", "best partner", "top-10 mean");
+    println!(
+        "{:>10} {:>12} {:>14}",
+        "receptor", "best partner", "top-10 mean"
+    );
     for (r, per_receptor) in maps.iter().enumerate() {
         let refs: Vec<(ProteinId, &[maxdo::DockingRow])> = per_receptor
             .iter()
@@ -91,11 +135,13 @@ fn main() {
         }
     }
     let (r, l, row) = strongest.expect("36 docked couples");
-    let pdb = maxdo::pdb::write_complex(
-        library.protein(r),
-        library.protein(l),
-        &Pose::from_euler(row.orientation, row.position),
-    );
+    let pdb = phase("export", || {
+        maxdo::pdb::write_complex(
+            library.protein(r),
+            library.protein(l),
+            &Pose::from_euler(row.orientation, row.position),
+        )
+    });
     let path = std::env::temp_dir().join("hcmd_pilot_best_complex.pdb");
     std::fs::write(&path, &pdb).expect("write pdb");
     println!(
@@ -121,4 +167,14 @@ fn main() {
          distributed grid such as World Community Grid\" (§4.1).",
         phase1_cells / cells_per_sec / 86_400.0
     );
+
+    let wall = t0.elapsed().as_secs_f64();
+    telemetry::emit(None, move || telemetry::Event::RunEnd {
+        wall_seconds: wall,
+        events_processed: 0,
+    });
+    telemetry::shutdown();
+    if telemetry::ENABLED {
+        eprintln!("\n{}", telemetry::summary());
+    }
 }

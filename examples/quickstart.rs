@@ -46,7 +46,10 @@ fn main() {
         output.rows.len(),
         output.evaluations
     );
-    println!("{:>5} {:>5} {:>10} {:>10} {:>10}", "isep", "irot", "Elj", "Eelec", "Etot");
+    println!(
+        "{:>5} {:>5} {:>10} {:>10} {:>10}",
+        "isep", "irot", "Elj", "Eelec", "Etot"
+    );
     let mut best = &output.rows[0];
     for row in &output.rows {
         if row.etot() < best.etot() {

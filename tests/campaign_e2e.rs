@@ -112,8 +112,7 @@ fn table2_from_the_measured_campaign() {
 #[test]
 fn phase2_projection_from_measured_campaign_scales_like_the_paper() {
     let (trace, _) = run_small_campaign(5);
-    let a = Phase2Assumptions::paper()
-        .with_measured_phase1(trace.consumed_cpu_seconds(), 2.0);
+    let a = Phase2Assumptions::paper().with_measured_phase1(trace.consumed_cpu_seconds(), 2.0);
     let p = a.project();
     // The structural ratios hold regardless of the phase-1 magnitude.
     assert!((p.work_ratio - 5.66).abs() < 0.01);
@@ -144,11 +143,7 @@ fn intensive_quantities_are_scale_invariant() {
         let matrix = CostMatrix::phase1(&full);
         let lib = full.with_scaled_nsep(scale);
         let pkg = CampaignPackage::new(&lib, &matrix, workunit::PRODUCTION_WU_SECONDS);
-        VolunteerGridSim::new(
-            &pkg,
-            gridsim::VolunteerGridConfig::hcmd_phase1(scale, 2007),
-        )
-        .run()
+        VolunteerGridSim::new(&pkg, gridsim::VolunteerGridConfig::hcmd_phase1(scale, 2007)).run()
     };
     let a = run(50);
     let b = run(100);

@@ -102,7 +102,10 @@ fn half_error_population_still_finishes() {
         ..HostParams::wcg_2007()
     };
     let trace = VolunteerGridSim::new(&pkg, base_config(params, 365)).run();
-    assert!(trace.completion_day.is_some(), "50% errors must be survivable");
+    assert!(
+        trace.completion_day.is_some(),
+        "50% errors must be survivable"
+    );
     assert!(
         trace.redundancy_factor() > 1.7,
         "error replicas should show up as redundancy: {}",
@@ -121,7 +124,10 @@ fn absurdly_short_deadline_completes_through_late_results() {
     let mut config = base_config(HostParams::wcg_2007(), 365);
     config.server.deadline_seconds = 2.0 * 3600.0;
     let trace = VolunteerGridSim::new(&pkg, config).run();
-    assert!(trace.completion_day.is_some(), "late results must complete it");
+    assert!(
+        trace.completion_day.is_some(),
+        "late results must complete it"
+    );
     assert!(
         trace.redundancy_factor() > 1.3,
         "timeout reissues should inflate redundancy: {}",
@@ -154,9 +160,11 @@ fn perfect_population_has_minimal_overhead() {
     // speed-down ≈ 1.
     let (lib, m) = small_workload();
     let pkg = CampaignPackage::new(&lib, &m, 2.0 * 3600.0);
-    let trace =
-        VolunteerGridSim::new(&pkg, base_config(HostParams::dedicated_reference(), 3 * 365))
-            .run();
+    let trace = VolunteerGridSim::new(
+        &pkg,
+        base_config(HostParams::dedicated_reference(), 3 * 365),
+    )
+    .run();
     assert!(trace.completion_day.is_some());
     assert!((trace.redundancy_factor() - 1.0).abs() < 1e-9);
     let sd = trace.speed_down();

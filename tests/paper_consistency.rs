@@ -46,8 +46,7 @@ fn formula1_total_is_conserved_across_crates() {
 #[test]
 fn phase1_total_matches_the_papers_1488_years() {
     let (lib, matrix) = catalog_and_matrix();
-    let total_years =
-        timemodel::total_cpu_seconds(lib, matrix) / (365.25 * 86_400.0);
+    let total_years = timemodel::total_cpu_seconds(lib, matrix) / (365.25 * 86_400.0);
     let paper_years = paper::phase1_total().total_years();
     assert!(
         (total_years - paper_years).abs() / paper_years < 0.05,
@@ -78,7 +77,11 @@ fn minimal_workunits_are_on_the_papers_order() {
     // §4.1: 49,481,544 potential workunits (= 168 · Σ Nsep). Band: ±25 %
     // (this is n · ΣNsep of a synthetic catalog).
     let ratio = w.minimal_workunits as f64 / paper::MINIMAL_WORKUNITS as f64;
-    assert!((0.75..1.25).contains(&ratio), "minimal workunits {}", w.minimal_workunits);
+    assert!(
+        (0.75..1.25).contains(&ratio),
+        "minimal workunits {}",
+        w.minimal_workunits
+    );
 }
 
 #[test]
@@ -181,5 +184,8 @@ fn packaging_is_robust_to_calibration_noise() {
     let noisy = timemodel::perturb_matrix(matrix, 0.10, 5);
     let n1 = CampaignPackage::new(lib, &noisy, workunit::PRODUCTION_WU_SECONDS).count();
     let shift = (n1 as f64 - n0 as f64).abs() / n0 as f64;
-    assert!(shift < 0.05, "workunit count moved {n0} -> {n1} ({shift:.3})");
+    assert!(
+        shift < 0.05,
+        "workunit count moved {n0} -> {n1} ({shift:.3})"
+    );
 }

@@ -71,7 +71,13 @@ fn corrupted_results_are_caught_by_the_checks() {
     // exactly what the value-range check exists to reject (§5.1: "there
     // are some specific boundary conditions on each value").
     file.rows[5].elj = -8.0e9;
-    let failures = check_batch(rid, lid, std::slice::from_ref(&file), 1, &ValueRanges::default());
+    let failures = check_batch(
+        rid,
+        lid,
+        std::slice::from_ref(&file),
+        1,
+        &ValueRanges::default(),
+    );
     assert!(
         failures
             .iter()
@@ -89,10 +95,7 @@ fn missing_workunit_blocks_the_merge() {
     let a = result_file_from_output(rid, lid, 1, 2, &engine.dock_range(1, 2));
     let b = result_file_from_output(rid, lid, 5, 5, &engine.dock_range(5, 5));
     let err = merge_couple_files(vec![a, b], 5).unwrap_err();
-    assert_eq!(
-        err,
-        validation::MergeError::Gap { after: 2, next: 5 }
-    );
+    assert_eq!(err, validation::MergeError::Gap { after: 2, next: 5 });
 }
 
 #[test]
@@ -112,6 +115,11 @@ fn checkpointed_and_straight_runs_agree_through_the_pipeline() {
     assert_eq!(cp.rows.len(), straight.rows.len());
     for (a, b) in cp.rows.iter().zip(&straight.rows) {
         assert_eq!((a.isep, a.irot), (b.isep, b.irot));
-        assert!((a.etot() - b.etot()).abs() < 1e-5, "{} vs {}", a.etot(), b.etot());
+        assert!(
+            (a.etot() - b.etot()).abs() < 1e-5,
+            "{} vs {}",
+            a.etot(),
+            b.etot()
+        );
     }
 }

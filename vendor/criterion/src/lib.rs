@@ -1,0 +1,225 @@
+//! Micro-benchmark harness with `criterion`'s API shape.
+//!
+//! The container builds offline, so the workspace vendors the slice of
+//! criterion it calls: [`Criterion::bench_function`], benchmark groups,
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a calibrated mean over a wall-clock-budgeted
+//! batch — no bootstrap statistics, no HTML reports, but stable enough
+//! for the repo's relative comparisons (e.g. telemetry overhead).
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Per-iteration timer handed to bench closures.
+pub struct Bencher {
+    /// Measured mean nanoseconds per iteration (filled by [`iter`]).
+    mean_ns: f64,
+    iters: u64,
+    target: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, calibrating the iteration count to the harness's
+    /// time budget. The routine's return value is black-boxed.
+    pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        // Warm up and estimate a single-iteration cost.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed() < self.target / 10 && warmup_iters < 100_000 {
+            hint::black_box(routine());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_secs_f64() / warmup_iters.max(1) as f64;
+        let iters = ((self.target.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(10, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            hint::black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn run_bench(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // sample_size scales the time budget the way criterion's does:
+    // fewer samples => the caller knows the routine is slow.
+    let budget = Duration::from_millis(20 * sample_size.clamp(2, 20) as u64);
+    let mut b = Bencher {
+        mean_ns: 0.0,
+        iters: 0,
+        target: budget,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<44} {:>12}/iter  ({} iters)",
+        human_ns(b.mean_ns),
+        b.iters
+    );
+}
+
+/// Benchmark identifier (`BenchmarkId::new("fn", param)`).
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Function-plus-parameter id.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets the sample count (scales the per-bench time budget here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_bench(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A named group; benches print as `group/bench`.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets the group's sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_bench(&format!("{}/{}", self.name, name), self.sample_size, &mut f);
+        self
+    }
+
+    /// Runs one parameterised benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a bench group function from `fn(&mut Criterion)` targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("noop_sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn group_and_ids() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        g.finish();
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(9).to_string(), "9");
+    }
+}

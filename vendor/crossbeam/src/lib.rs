@@ -1,0 +1,254 @@
+//! In-repo stand-in for the slice of `crossbeam` the workspace uses:
+//! scoped threads ([`scope`]) and an unbounded MPMC channel
+//! ([`channel::unbounded`]). Built on `std::thread::scope` plus a
+//! `Mutex<VecDeque>` + `Condvar` queue — real threads, real parallelism,
+//! just without crossbeam's lock-free internals.
+
+use std::marker::PhantomData;
+
+/// Scoped-thread handle mirroring `crossbeam::thread::Scope`.
+///
+/// Wraps `std::thread::Scope`; the spawn closure receives `&Scope` so
+/// call sites written for crossbeam (`scope.spawn(move |_| ...)`)
+/// compile unchanged.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Join handle mirroring `crossbeam::thread::ScopedJoinHandle`.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread and returns its result, or the panic payload.
+    pub fn join(self) -> std::thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure's `&Scope` argument allows
+    /// nested spawns, matching crossbeam's signature.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(&Scope { inner: inner_scope })),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller's
+/// stack. Mirrors `crossbeam::scope`: returns `Ok(r)` with the closure's
+/// result, or `Err` with a panic payload if any spawned thread panicked
+/// without being joined. (With `std::thread::scope` underneath, an
+/// unjoined panicking thread propagates at scope exit; explicit `join()`
+/// failures surface through the handle exactly as in crossbeam.)
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// Re-export position matching `crossbeam::thread`.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// MPMC channels mirroring `crossbeam::channel`.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half; clonable (multi-producer).
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; clonable (multi-consumer).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error from [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error from [`Receiver::recv`] when the channel is empty and all
+    /// senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State {
+                items: VecDeque::new(),
+                senders: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues a message; never blocks (unbounded).
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut state = self.shared.queue.lock().unwrap();
+                state.senders -= 1;
+                state.senders
+            };
+            if remaining == 0 {
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives; errors once the channel is
+        /// empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Iterator for Receiver<T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_spawns_and_joins() {
+        let data = vec![1u32, 2, 3];
+        let total = scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<u32>());
+            let h2 = s.spawn(|_| data.len() as u32);
+            h1.join().unwrap() + h2.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn channel_drains_across_workers() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let seen = scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut mine = Vec::new();
+                        while let Ok(i) = rx.recv() {
+                            mine.push(i);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            let mut all: Vec<usize> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            all
+        })
+        .unwrap();
+        assert_eq!(seen, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert!(rx.recv().is_err());
+    }
+}

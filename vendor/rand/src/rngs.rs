@@ -1,0 +1,50 @@
+//! Named generators: a small deterministic `StdRng` stand-in.
+
+use crate::{RngCore, SeedableRng};
+
+/// A deterministic 64-bit generator (SplitMix64-permuted xorshift).
+///
+/// NOT the real `StdRng` algorithm — only the trait surface. Present so
+/// callers that ask for "some seeded generator" have one without pulling
+/// in ChaCha.
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rest = chunks.into_remainder();
+        if !rest.is_empty() {
+            let n = rest.len();
+            rest.copy_from_slice(&self.next_u64().to_le_bytes()[..n]);
+        }
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut state = 0u64;
+        for chunk in seed.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            state ^= u64::from_le_bytes(word).rotate_left(17);
+        }
+        Self { state }
+    }
+}

@@ -1,0 +1,198 @@
+//! In-repo ChaCha random generators (offline stand-in for `rand_chacha`).
+//!
+//! Implements the actual ChaCha stream cipher keystream (D. J. Bernstein)
+//! with the `rand_chacha` 0.3 state layout — 4 constant words, 8 key
+//! words, a 64-bit block counter in words 12–13 and a 64-bit stream id in
+//! words 14–15 — so seeded streams are identical to the real crate's for
+//! the common `from_seed`/`next_u32`/`next_u64`/`fill_bytes` surface the
+//! workspace uses. The repo's simulations were calibrated against these
+//! streams; keeping them bit-exact keeps every figure reproducible.
+
+use rand::{RngCore, SeedableRng};
+
+macro_rules! chacha_rng {
+    ($name:ident, $doc_rounds:literal, $double_rounds:expr) => {
+        #[doc = concat!("ChaCha with ", $doc_rounds, " rounds.")]
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            /// Input block: constants, key, counter, stream id.
+            state: [u32; 16],
+            /// Current keystream block.
+            buf: [u32; 16],
+            /// Next word index into `buf` (16 = exhausted).
+            idx: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buf = chacha_block(&self.state, $double_rounds);
+                // 64-bit block counter in words 12..14.
+                let (lo, carry) = self.state[12].overflowing_add(1);
+                self.state[12] = lo;
+                if carry {
+                    self.state[13] = self.state[13].wrapping_add(1);
+                }
+                self.idx = 0;
+            }
+
+            /// Selects a stream id (words 14–15), restarting the stream.
+            pub fn set_stream(&mut self, stream: u64) {
+                self.state[14] = stream as u32;
+                self.state[15] = (stream >> 32) as u32;
+                self.state[12] = 0;
+                self.state[13] = 0;
+                self.idx = 16;
+            }
+        }
+
+        impl RngCore for $name {
+            fn next_u32(&mut self) -> u32 {
+                if self.idx >= 16 {
+                    self.refill();
+                }
+                let w = self.buf[self.idx];
+                self.idx += 1;
+                w
+            }
+
+            fn next_u64(&mut self) -> u64 {
+                // rand_core's BlockRng order: low word first.
+                let lo = self.next_u32() as u64;
+                let hi = self.next_u32() as u64;
+                (hi << 32) | lo
+            }
+
+            fn fill_bytes(&mut self, dest: &mut [u8]) {
+                let mut chunks = dest.chunks_exact_mut(4);
+                for chunk in &mut chunks {
+                    chunk.copy_from_slice(&self.next_u32().to_le_bytes());
+                }
+                let rest = chunks.into_remainder();
+                if !rest.is_empty() {
+                    let n = rest.len();
+                    rest.copy_from_slice(&self.next_u32().to_le_bytes()[..n]);
+                }
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut state = [0u32; 16];
+                // "expand 32-byte k"
+                state[0] = 0x6170_7865;
+                state[1] = 0x3320_646E;
+                state[2] = 0x7962_2D32;
+                state[3] = 0x6B20_6574;
+                for (i, chunk) in seed.chunks_exact(4).enumerate() {
+                    state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+                // counter = 0, stream id = 0.
+                Self {
+                    state,
+                    buf: [0; 16],
+                    idx: 16,
+                }
+            }
+        }
+    };
+}
+
+chacha_rng!(ChaCha8Rng, "8", 4);
+chacha_rng!(ChaCha12Rng, "12", 6);
+chacha_rng!(ChaCha20Rng, "20", 10);
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+fn chacha_block(input: &[u32; 16], double_rounds: usize) -> [u32; 16] {
+    let mut x = *input;
+    for _ in 0..double_rounds {
+        // Column round.
+        quarter_round(&mut x, 0, 4, 8, 12);
+        quarter_round(&mut x, 1, 5, 9, 13);
+        quarter_round(&mut x, 2, 6, 10, 14);
+        quarter_round(&mut x, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut x, 0, 5, 10, 15);
+        quarter_round(&mut x, 1, 6, 11, 12);
+        quarter_round(&mut x, 2, 7, 8, 13);
+        quarter_round(&mut x, 3, 4, 9, 14);
+    }
+    for (o, i) in x.iter_mut().zip(input) {
+        *o = o.wrapping_add(*i);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// RFC 8439 §2.3.2 test vector (ChaCha20, block counter 1).
+    #[test]
+    fn chacha20_block_matches_rfc8439() {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646E;
+        state[2] = 0x7962_2D32;
+        state[3] = 0x6B20_6574;
+        let key: [u8; 32] = core::array::from_fn(|i| i as u8);
+        for (i, chunk) in key.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        state[12] = 1; // counter
+        state[13] = 0x0900_0000; // nonce words as laid out in the RFC
+        state[14] = 0x4A00_0000;
+        state[15] = 0;
+        let out = chacha_block(&state, 10);
+        assert_eq!(out[0], 0xE4E7_F110);
+        assert_eq!(out[1], 0x1559_3BD1);
+        assert_eq!(out[15], 0x4E3C_50A2);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = ChaCha8Rng::from_seed([7; 32]);
+        let mut b = ChaCha8Rng::from_seed([7; 32]);
+        let mut c = ChaCha8Rng::from_seed([8; 32]);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::from_seed([3; 32]);
+        let mut b = ChaCha8Rng::from_seed([3; 32]);
+        let mut bytes = [0u8; 12];
+        a.fill_bytes(&mut bytes);
+        let w0 = b.next_u32().to_le_bytes();
+        let w1 = b.next_u32().to_le_bytes();
+        let w2 = b.next_u32().to_le_bytes();
+        let expect: Vec<u8> = [w0, w1, w2].concat();
+        assert_eq!(bytes.to_vec(), expect);
+    }
+
+    #[test]
+    fn unit_interval_draws_cover_the_range() {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::from_seed([42; 32]);
+        let draws: Vec<f64> = (0..4096).map(|_| rng.gen::<f64>()).collect();
+        assert!(draws.iter().all(|x| (0.0..1.0).contains(x)));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Sequential stand-in for `rayon`'s parallel iterator API.
+//!
+//! The container builds offline, so the workspace vendors the slice of
+//! rayon it calls. `par_iter()` / `into_par_iter()` hand back the plain
+//! sequential iterator; `flat_map_iter` aliases `flat_map`. Results are
+//! bit-identical to real rayon for the workspace's order-insensitive
+//! reductions — only wall-clock parallel speedup is absent.
+
+pub mod prelude {
+    /// `slice.par_iter()` — sequential `slice::Iter` under the hood.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item type of the iterator.
+        type Item: 'data;
+        /// The stand-in "parallel" iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Returns the sequential iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `x.into_par_iter()` for anything iterable (ranges, vecs, ...).
+    pub trait IntoParallelIterator {
+        /// Item type of the iterator.
+        type Item;
+        /// The stand-in "parallel" iterator.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Consumes `self` into the sequential iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Rayon-only iterator adapters the workspace uses.
+    pub trait ParallelIteratorExt: Iterator + Sized {
+        /// Rayon's `flat_map_iter` (flat-map with a sequential inner
+        /// iterator) — identical to `flat_map` here.
+        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+        where
+            U: IntoIterator,
+            F: FnMut(Self::Item) -> U,
+        {
+            self.flat_map(f)
+        }
+    }
+
+    impl<I: Iterator> ParallelIteratorExt for I {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let xs = vec![1u32, 2, 3, 4];
+        let a: u32 = xs.par_iter().map(|x| x * x).sum();
+        let b: u32 = xs.iter().map(|x| x * x).sum();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let total: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(total, 45);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens() {
+        let out: Vec<u32> = vec![1u32, 2]
+            .par_iter()
+            .flat_map_iter(|&x| vec![x, x * 10])
+            .collect();
+        assert_eq!(out, vec![1, 10, 2, 20]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Deserialization from the [`Value`] tree.
+
+use crate::value::Value;
+use std::fmt;
+
+/// A deserialization failure: what was expected, what was found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+        }
+    }
+
+    /// The standard "expected X, found Y" error.
+    pub fn expected(what: &str, found: &Value) -> Self {
+        Self::custom(format!("expected {what}, found {}", found.kind()))
+    }
+
+    /// A missing struct field.
+    pub fn missing_field(name: &str) -> Self {
+        Self::custom(format!("missing field `{name}`"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A type that can rebuild itself from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    fn from_value(value: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                let out = match *value {
+                    Value::I64(x) => <$t>::try_from(x).ok(),
+                    Value::U64(x) => <$t>::try_from(x).ok(),
+                    // Integral floats round-trip through JSON parsers that
+                    // read `1.0` as a float; accept them when exact.
+                    Value::F64(x) if x.fract() == 0.0
+                        && x >= <$t>::MIN as f64 && x <= <$t>::MAX as f64 =>
+                        Some(x as $t),
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::expected(stringify!($t), value))
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_f64()
+            .ok_or_else(|| Error::expected("number", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(f64::from_value(value)? as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", value)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Strings cannot borrow from a transient value tree, and the
+    /// workspace has `&'static str` fields (phase names). Leak the parsed
+    /// string: deserialization of such types happens a bounded number of
+    /// times (configs, test round-trips), never in a loop.
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Box::leak(String::from_value(value)?.into_boxed_str()))
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(Error::expected("array", value)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        let items = Vec::<T>::from_value(value)?;
+        <[T; N]>::try_from(items)
+            .map_err(|_| Error::custom(format!("expected array of length {N}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_value(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<T>::from_value(value)?.into())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($($name:ident : $idx:tt),+ ; $len:expr))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Seq(items) if items.len() == $len => {
+                        Ok(($($name::from_value(&items[$idx])?,)+))
+                    }
+                    _ => Err(Error::expected(
+                        concat!("array of length ", stringify!($len)),
+                        value,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (A: 0; 1)
+    (A: 0, B: 1; 2)
+    (A: 0, B: 1, C: 2; 3)
+    (A: 0, B: 1, C: 2, D: 3; 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::Serialize;
+
+    #[test]
+    fn primitives_round_trip() {
+        for v in [0u64, 7, u64::MAX] {
+            assert_eq!(u64::from_value(&v.to_value()).unwrap(), v);
+        }
+        assert_eq!(f64::from_value(&3.5f64.to_value()).unwrap(), 3.5);
+        assert_eq!(bool::from_value(&true.to_value()).unwrap(), true);
+        let s = "hi".to_string();
+        assert_eq!(String::from_value(&s.to_value()).unwrap(), s);
+    }
+
+    #[test]
+    fn integral_floats_coerce_to_ints() {
+        assert_eq!(u32::from_value(&Value::F64(12.0)).unwrap(), 12);
+        assert!(u32::from_value(&Value::F64(12.5)).is_err());
+    }
+
+    #[test]
+    fn options_and_vecs() {
+        let v: Option<u32> = None;
+        assert_eq!(Option::<u32>::from_value(&v.to_value()).unwrap(), None);
+        let xs = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_value(&xs.to_value()).unwrap(), xs);
+    }
+
+    #[test]
+    fn out_of_range_integer_fails() {
+        assert!(u8::from_value(&Value::I64(300)).is_err());
+        assert!(u32::from_value(&Value::I64(-1)).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Minimal in-repo stand-in for `serde`.
+//!
+//! The container builds offline, so the workspace vendors the slice of
+//! serde it needs. Instead of serde's visitor-based data model, this stub
+//! round-trips through an owned [`Value`] tree:
+//!
+//! * [`Serialize`] renders a type into a [`Value`];
+//! * [`Deserialize`] rebuilds a type from a [`Value`];
+//! * `vendor/serde_json` prints/parses `Value` as JSON text.
+//!
+//! The derive macros (feature `derive`, crate `vendor/serde_derive`)
+//! generate both impls for plain structs (named, tuple, unit) and enums
+//! (unit, tuple and struct variants, externally tagged) — the only shapes
+//! the workspace uses. Field attributes (`#[serde(...)]`) are not
+//! supported; no workspace type uses them.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de;
+pub mod ser;
+pub mod value;
+
+pub use de::{Deserialize, Error as DeError};
+pub use ser::Serialize;
+pub use value::Value;

@@ -1,0 +1,419 @@
+//! Derive macros for the vendored serde stand-in.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` — the container builds
+//! offline). Supports exactly the shapes the workspace derives on:
+//!
+//! * structs with named fields, tuple structs, unit structs;
+//! * enums with unit, tuple and struct variants (externally tagged, like
+//!   real serde's default representation);
+//! * no generic parameters, no `#[serde(...)]` attributes.
+//!
+//! Anything else is a compile-time panic with a pointed message, so an
+//! unsupported shape fails loudly at the derive site instead of
+//! misbehaving at run time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What one `#[derive]` input turned out to be.
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Map(vec![{}])\n}}\n}}",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+             ::serde::Serialize::to_value(&self.0)\n}}\n}}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Seq(vec![{}])\n}}\n}}",
+                items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => {
+                            format!("Self::{vn} => ::serde::Value::Str(\"{vn}\".to_string())")
+                        }
+                        VariantKind::Tuple(1) => format!(
+                            "Self::{vn}(x0) => ::serde::Value::Map(vec![(\
+                             \"{vn}\".to_string(), ::serde::Serialize::to_value(x0))])"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                                .collect();
+                            format!(
+                                "Self::{vn}({}) => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Seq(vec![{}]))])",
+                                binds.join(", "),
+                                items.join(", ")
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\
+                                 \"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {} }}\n}}\n}}",
+                arms.join(",\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("derive(Serialize): generated code parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let body = match &shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(value.get(\"{f}\")\
+                         .ok_or_else(|| ::serde::DeError::missing_field(\"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Map(_) => Ok(Self {{ {} }}),\n\
+                 _ => Err(::serde::DeError::expected(\"object\", value)),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok(Self(::serde::Deserialize::from_value(value)?))\n}}\n}}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match value {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {arity} => \
+                 Ok(Self({})),\n\
+                 _ => Err(::serde::DeError::expected(\"array\", value)),\n\
+                 }}\n}}\n}}",
+                inits.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(_value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+             Ok(Self)\n}}\n}}"
+        ),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("\"{0}\" => return Ok(Self::{0}),", v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok(Self::{vn}(\
+                             ::serde::Deserialize::from_value(inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                 if let ::serde::Value::Seq(items) = inner {{\n\
+                                 if items.len() == {n} {{\n\
+                                 return Ok(Self::{vn}({}));\n}}\n}}\n\
+                                 return Err(::serde::DeError::expected(\
+                                 \"array\", inner));\n}}",
+                                inits.join(", ")
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         inner.get(\"{f}\").ok_or_else(|| \
+                                         ::serde::DeError::missing_field(\"{f}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok(Self::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(value: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 if let ::serde::Value::Str(s) = value {{\n\
+                 match s.as_str() {{ {} _ => {{}} }}\n}}\n\
+                 if let ::serde::Value::Map(entries) = value {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{ {} _ => {{}} }}\n}}\n}}\n\
+                 Err(::serde::DeError::expected(\"variant of {name}\", value))\n\
+                 }}\n}}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    body.parse()
+        .expect("derive(Deserialize): generated code parses")
+}
+
+// ---------------------------------------------------------------------
+// Token-level parsing
+// ---------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut it = input.into_iter().peekable();
+    skip_attrs_and_vis(&mut it);
+    let kw = expect_ident(&mut it);
+    let name = expect_ident(&mut it);
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "vendored serde_derive: generic type `{name}` is not supported; \
+                 write the impls by hand"
+            );
+        }
+    }
+    match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("vendored serde_derive: unexpected token after struct name: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("vendored serde_derive: expected enum body, got {other:?}"),
+        },
+        other => panic!("vendored serde_derive: expected struct or enum, got `{other}`"),
+    }
+}
+
+type TokenIter = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+/// Skips `#[...]` attributes (incl. doc comments) and a `pub` /
+/// `pub(crate)` visibility prefix.
+fn skip_attrs_and_vis(it: &mut TokenIter) {
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                // The bracket group of the attribute.
+                it.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                it.next();
+                if let Some(TokenTree::Group(g)) = it.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        it.next();
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(it: &mut TokenIter) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("vendored serde_derive: expected identifier, got {other:?}"),
+    }
+}
+
+/// Field names of a named-field body. Types are irrelevant: the generated
+/// code lets inference pick the right `Deserialize` impl.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        fields.push(expect_ident(&mut it));
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("vendored serde_derive: expected `:`, got {other:?}"),
+        }
+        skip_type(&mut it);
+    }
+    fields
+}
+
+/// Consumes a type up to a top-level `,` (or the end). Parens/brackets
+/// arrive as single `Group` tokens, so only `<`/`>` depth needs tracking.
+fn skip_type(it: &mut TokenIter) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = it.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                it.next();
+                return;
+            }
+            _ => {}
+        }
+        it.next();
+    }
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        count += 1;
+        skip_type(&mut it);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it);
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                it.next();
+                VariantKind::Tuple(arity)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip an optional discriminant and the separating comma.
+        while let Some(tt) = it.peek() {
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                it.next();
+                break;
+            }
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
