@@ -5,14 +5,13 @@
 //! monotonically increasing sequence number, so two runs with the same
 //! seed produce byte-identical traces regardless of float coincidences.
 
-use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Simulation time in seconds since campaign start.
 ///
 /// A thin wrapper that provides the total order `BinaryHeap` needs (the
 /// engine never stores NaN; [`SimTime::new`] rejects it).
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
 
 impl SimTime {
@@ -54,10 +53,15 @@ impl SimTime {
 
 impl Eq for SimTime {}
 
-#[allow(clippy::derive_ord_xor_partial_ord)]
 impl Ord for SimTime {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         self.0.partial_cmp(&other.0).expect("SimTime is never NaN")
+    }
+}
+
+impl PartialOrd for SimTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
     }
 }
 
@@ -67,32 +71,42 @@ impl Ord for SimTime {
 /// simulations reproducible.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(SimTime, u64, EventBox<E>)>>,
+    heap: BinaryHeap<ScheduledEvent<E>>,
     seq: u64,
     now: SimTime,
     peak_len: usize,
     pops: u64,
 }
 
-/// Wrapper that exempts the payload from the ordering (only time and
-/// sequence number order events).
+/// A heap entry: timestamp, FIFO tie-breaker, and the payload.
+///
+/// The ordering ignores the payload entirely and is *reversed* on
+/// `(at, seq)` so `BinaryHeap` (a max-heap) pops the earliest event
+/// first, with equal timestamps resolved in insertion order.
 #[derive(Debug)]
-struct EventBox<E>(E);
+struct ScheduledEvent<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
 
-impl<E> PartialEq for EventBox<E> {
-    fn eq(&self, _: &Self) -> bool {
-        true
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for EventBox<E> {}
-impl<E> PartialOrd for EventBox<E> {
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
     fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> Ord for EventBox<E> {
-    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
-        std::cmp::Ordering::Equal
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -120,7 +134,11 @@ impl<E> EventQueue<E> {
     /// Panics if `at` is in the past (before the last popped event).
     pub fn schedule(&mut self, at: SimTime, event: E) {
         assert!(at >= self.now, "cannot schedule into the past");
-        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.heap.push(ScheduledEvent {
+            at,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
         self.peak_len = self.peak_len.max(self.heap.len());
     }
@@ -133,10 +151,10 @@ impl<E> EventQueue<E> {
 
     /// Pops the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
-        self.now = t;
+        let ScheduledEvent { at, event, .. } = self.heap.pop()?;
+        self.now = at;
         self.pops += 1;
-        Some((t, e))
+        Some((at, event))
     }
 
     /// The current simulation time (timestamp of the last popped event).

@@ -56,6 +56,32 @@ pub struct DockingOutput {
     pub evaluations: u64,
 }
 
+impl DockingOutput {
+    /// An empty output with row capacity for `cells` docking cells.
+    pub fn with_capacity(cells: usize) -> Self {
+        Self {
+            rows: Vec::with_capacity(cells),
+            evaluations: 0,
+        }
+    }
+
+    /// Appends `other` — whose rows must follow `self`'s in canonical
+    /// (`isep`-major) order — merging the work accounting. Both the
+    /// serial range loop and the parallel map reduce through this one
+    /// helper, so the two paths provably build identical outputs.
+    pub fn merge(&mut self, other: DockingOutput) {
+        debug_assert!(
+            match (self.rows.last(), other.rows.first()) {
+                (Some(prev), Some(next)) => (prev.isep, prev.irot) < (next.isep, next.irot),
+                _ => true,
+            },
+            "merge would break canonical row order"
+        );
+        self.rows.extend(other.rows);
+        self.evaluations += other.evaluations;
+    }
+}
+
 /// A configured docking engine for one `(receptor, ligand)` couple.
 pub struct DockingEngine<'a> {
     receptor: &'a Protein,
@@ -216,14 +242,10 @@ impl<'a> DockingEngine<'a> {
             "bad isep range {isep_start}..={isep_end} (nsep {})",
             self.nsep
         );
-        let mut out = DockingOutput {
-            rows: Vec::with_capacity(((isep_end - isep_start + 1) * self.nrot()) as usize),
-            evaluations: 0,
-        };
+        let mut out =
+            DockingOutput::with_capacity(((isep_end - isep_start + 1) * self.nrot()) as usize);
         for isep in isep_start..=isep_end {
-            let pos = self.dock_position(isep);
-            out.rows.extend(pos.rows);
-            out.evaluations += pos.evaluations;
+            out.merge(self.dock_position(isep));
         }
         out
     }
@@ -237,16 +259,14 @@ impl<'a> DockingEngine<'a> {
             .into_par_iter()
             .map(|isep| self.dock_position(isep))
             .collect();
-        let mut rows = Vec::with_capacity(outputs.iter().map(|o| o.rows.len()).sum());
-        let mut evaluations = 0;
-        for o in outputs {
-            rows.extend(o.rows);
-            evaluations += o.evaluations;
+        let mut out = DockingOutput::with_capacity(outputs.iter().map(|o| o.rows.len()).sum());
+        for position in outputs {
+            out.merge(position);
         }
         self.tele
             .couple_wall
             .record_seconds(start.elapsed().as_secs_f64());
-        DockingOutput { rows, evaluations }
+        out
     }
 }
 
@@ -350,8 +370,34 @@ mod tests {
         );
         let e = tiny_engine(&lib);
         let seq = e.dock_range(1, e.nsep());
-        let par = e.dock_map_parallel();
-        assert_eq!(seq, par);
+        // Force genuinely threaded execution even on single-core hosts,
+        // and check thread-count independence while at it.
+        for threads in [1, 2, 4] {
+            let par = rayon::with_threads(threads, || e.dock_map_parallel());
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn merge_concatenates_rows_and_accounting() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let whole = e.dock_range(1, 3);
+        let mut merged = DockingOutput::with_capacity(whole.rows.len());
+        for isep in 1..=3 {
+            merged.merge(e.dock_position(isep));
+        }
+        assert_eq!(merged, whole);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "canonical row order")]
+    fn merge_rejects_out_of_order_rows() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let mut out = e.dock_position(2);
+        out.merge(e.dock_position(1));
     }
 
     #[test]

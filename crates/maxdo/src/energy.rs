@@ -79,17 +79,36 @@ pub struct EnergyGradient {
     pub torque: Vec3,
 }
 
-/// A uniform-grid spatial index over the receptor's beads.
+/// A uniform-grid spatial index over the receptor's beads, stored CSR
+/// (one offsets array + flat per-cell data) with the bead attributes the
+/// inner pair loop touches — positions and pair-table row indices — laid
+/// out struct-of-arrays in cell order.
 ///
 /// Built once per receptor and reused across the tens of thousands of
-/// energy evaluations of a docking map.
+/// energy evaluations of a docking map. The CSR + SoA layout keeps the
+/// hot loop's memory traffic contiguous: probing a cell reads three
+/// dense `f64` runs and one `u8` run instead of chasing a `Vec<Vec<_>>`
+/// indirection into an array-of-structs bead table.
 #[derive(Debug, Clone)]
 pub struct CellList {
     origin: Vec3,
     edge: f64,
     dims: [usize; 3],
-    /// `cells[c]` holds indices into the receptor bead array.
-    cells: Vec<Vec<u32>>,
+    /// CSR offsets: cell `c`'s beads occupy slots `offsets[c] ..
+    /// offsets[c + 1]` of the flat arrays below.
+    offsets: Vec<u32>,
+    /// Original receptor bead index of each slot (stable within a cell:
+    /// ascending bead order, so accumulation order matches the old
+    /// nested-`Vec` layout bit-for-bit).
+    order: Vec<u32>,
+    /// Bead x coordinates in slot order.
+    pos_x: Vec<f64>,
+    /// Bead y coordinates in slot order.
+    pos_y: Vec<f64>,
+    /// Bead z coordinates in slot order.
+    pos_z: Vec<f64>,
+    /// [`PairTable`] row index of each slot's bead kind.
+    kind_idx: Vec<u8>,
 }
 
 impl CellList {
@@ -110,16 +129,44 @@ impl CellList {
             (((hi.y - lo.y) / edge).floor() as usize) + 1,
             (((hi.z - lo.z) / edge).floor() as usize) + 1,
         ];
-        let mut cells = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        let n_cells = dims[0] * dims[1] * dims[2];
+        // Counting sort into CSR: count, prefix-sum, place. Placement in
+        // ascending bead order keeps each cell's slots in insertion
+        // order, like the nested-Vec layout this replaces.
+        let mut offsets = vec![0u32; n_cells + 1];
+        for b in beads {
+            offsets[Self::cell_of(lo, edge, dims, b.position) + 1] += 1;
+        }
+        for c in 1..=n_cells {
+            offsets[c] += offsets[c - 1];
+        }
+        let n = beads.len();
+        let mut cursor: Vec<u32> = offsets[..n_cells].to_vec();
+        let mut order = vec![0u32; n];
+        let mut pos_x = vec![0.0; n];
+        let mut pos_y = vec![0.0; n];
+        let mut pos_z = vec![0.0; n];
+        let mut kind_idx = vec![0u8; n];
         for (i, b) in beads.iter().enumerate() {
             let c = Self::cell_of(lo, edge, dims, b.position);
-            cells[c].push(i as u32);
+            let slot = cursor[c] as usize;
+            cursor[c] += 1;
+            order[slot] = i as u32;
+            pos_x[slot] = b.position.x;
+            pos_y[slot] = b.position.y;
+            pos_z[slot] = b.position.z;
+            kind_idx[slot] = PairTable::index(b.kind) as u8;
         }
         Self {
             origin: lo,
             edge,
             dims,
-            cells,
+            offsets,
+            order,
+            pos_x,
+            pos_y,
+            pos_z,
+            kind_idx,
         }
     }
 
@@ -130,10 +177,10 @@ impl CellList {
         (ix as usize * dims[1] + iy as usize) * dims[2] + iz as usize
     }
 
-    /// Calls `f` with every receptor bead index in the 27-cell neighbourhood
-    /// of `p`. Beads further than one cell edge are included (callers still
-    /// apply the exact distance cutoff).
-    pub fn for_neighbors(&self, p: Vec3, mut f: impl FnMut(u32)) {
+    /// Calls `f` with the flat slot range of each cell in the 27-cell
+    /// neighbourhood of `p`, in fixed (x, y, z) scan order.
+    #[inline]
+    fn for_neighbor_ranges(&self, p: Vec3, mut f: impl FnMut(std::ops::Range<usize>)) {
         let cx = ((p.x - self.origin.x) / self.edge).floor() as isize;
         let cy = ((p.y - self.origin.y) / self.edge).floor() as isize;
         let cz = ((p.z - self.origin.z) / self.edge).floor() as isize;
@@ -151,17 +198,29 @@ impl CellList {
                         continue;
                     }
                     let c = (x as usize * self.dims[1] + y as usize) * self.dims[2] + z as usize;
-                    for &i in &self.cells[c] {
-                        f(i);
+                    let range = self.offsets[c] as usize..self.offsets[c + 1] as usize;
+                    if !range.is_empty() {
+                        f(range);
                     }
                 }
             }
         }
     }
 
+    /// Calls `f` with every receptor bead index in the 27-cell neighbourhood
+    /// of `p`. Beads further than one cell edge are included (callers still
+    /// apply the exact distance cutoff).
+    pub fn for_neighbors(&self, p: Vec3, mut f: impl FnMut(u32)) {
+        self.for_neighbor_ranges(p, |range| {
+            for &i in &self.order[range] {
+                f(i);
+            }
+        });
+    }
+
     /// Total number of indexed beads (for sanity checks).
     pub fn bead_count(&self) -> usize {
-        self.cells.iter().map(|c| c.len()).sum()
+        self.order.len()
     }
 }
 
@@ -184,6 +243,13 @@ impl Default for PairTable {
 }
 
 impl PairTable {
+    /// The process-wide table (the constants never change), built once:
+    /// the per-pair square roots stay out of every evaluation.
+    pub fn shared() -> &'static PairTable {
+        static TABLE: std::sync::OnceLock<PairTable> = std::sync::OnceLock::new();
+        TABLE.get_or_init(PairTable::new)
+    }
+
     /// Builds the 5×5 tables from the bead-kind constants.
     pub fn new() -> Self {
         use crate::model::BeadKind;
@@ -202,7 +268,7 @@ impl PairTable {
     }
 
     #[inline]
-    fn index(kind: crate::model::BeadKind) -> usize {
+    pub(crate) fn index(kind: crate::model::BeadKind) -> usize {
         use crate::model::BeadKind::*;
         match kind {
             Backbone => 0,
@@ -262,52 +328,69 @@ fn evaluate(
     params: &EnergyParams,
     mut grad: Option<&mut (Vec3, Vec3)>,
 ) -> EvalOut {
+    debug_assert_eq!(
+        cells.bead_count(),
+        receptor.bead_count(),
+        "cell list built for a different receptor"
+    );
     let cutoff_sq = params.cutoff * params.cutoff;
     let delta_sq = params.softening * params.softening;
-    let pair_table = PairTable::new();
-    let r_beads = receptor.beads();
+    // Cutoff-shift reference at the softened cutoff distance.
+    let rc_sq = cutoff_sq + delta_sq;
+    let pair_table = PairTable::shared();
     let mut elj = 0.0;
     let mut eelec = 0.0;
     for lbead in ligand.beads() {
         let lp = pose.apply(lbead.position);
-        cells.for_neighbors(lp, |ri| {
-            let rbead = &r_beads[ri as usize];
-            let d = lp - rbead.position;
-            let r_sq = d.norm_sq();
-            if r_sq >= cutoff_sq {
-                return;
-            }
-            let (eps, rmin_sq, q1q2) = pair_table.lookup(lbead.kind, rbead.kind);
-            // Softened distance.
-            let rr_sq = r_sq + delta_sq;
-            let rr = rr_sq.sqrt();
-            // Cutoff-shift reference at the softened cutoff distance.
-            let rc_sq = cutoff_sq + delta_sq;
+        // One pair-table row per ligand bead: the inner loop then needs
+        // only a 5-entry lookup keyed by the receptor slot's kind index.
+        let row = PairTable::index(lbead.kind);
+        let eps_row = &pair_table.eps[row];
+        let rmin_sq_row = &pair_table.rmin_sq[row];
+        let qq_row = &pair_table.qq[row];
+        cells.for_neighbor_ranges(lp, |range| {
+            for slot in range {
+                let dx = lp.x - cells.pos_x[slot];
+                let dy = lp.y - cells.pos_y[slot];
+                let dz = lp.z - cells.pos_z[slot];
+                let r_sq = dx * dx + dy * dy + dz * dz;
+                if r_sq >= cutoff_sq {
+                    continue;
+                }
+                let kind = cells.kind_idx[slot] as usize;
+                let eps = eps_row[kind];
+                let rmin_sq = rmin_sq_row[kind];
+                let q1q2 = qq_row[kind];
+                // Softened distance.
+                let rr_sq = r_sq + delta_sq;
+                let rr = rr_sq.sqrt();
 
-            // Lennard-Jones 12-6 in rmin form:
-            //   E = ε [ (rmin/r)^12 − 2 (rmin/r)^6 ]
-            let s6 = (rmin_sq / rr_sq).powi(3);
-            let s12 = s6 * s6;
-            let c6 = (rmin_sq / rc_sq).powi(3);
-            let c12 = c6 * c6;
-            elj += eps * ((s12 - 2.0 * s6) - (c12 - 2.0 * c6));
+                // Lennard-Jones 12-6 in rmin form:
+                //   E = ε [ (rmin/r)^12 − 2 (rmin/r)^6 ]
+                let s6 = (rmin_sq / rr_sq).powi(3);
+                let s12 = s6 * s6;
+                let c6 = (rmin_sq / rc_sq).powi(3);
+                let c12 = c6 * c6;
+                elj += eps * ((s12 - 2.0 * s6) - (c12 - 2.0 * c6));
 
-            // Screened Coulomb with distance-dependent dielectric
-            // ε(r) = ε₀ r ⇒ E = k q₁q₂ / (ε₀ r²), cutoff-shifted.
-            let ke = COULOMB_KCAL * q1q2 / params.dielectric;
-            eelec += ke * (1.0 / rr_sq - 1.0 / rc_sq);
+                // Screened Coulomb with distance-dependent dielectric
+                // ε(r) = ε₀ r ⇒ E = k q₁q₂ / (ε₀ r²), cutoff-shifted.
+                let ke = COULOMB_KCAL * q1q2 / params.dielectric;
+                eelec += ke * (1.0 / rr_sq - 1.0 / rc_sq);
 
-            if let Some(g) = grad.as_deref_mut() {
-                // dE/d(rr): LJ term.
-                let dlj = eps * (-12.0 * s12 / rr + 12.0 * s6 / rr);
-                // Electrostatic term: d/d(rr) [k/rr²] = −2k/rr³.
-                let dele = -2.0 * ke / (rr_sq * rr);
-                // d(rr)/d(d_vec) = d_vec / rr (softening is additive in r²).
-                let de_dvec = d * ((dlj + dele) / rr);
-                // Force on the ligand bead is −∂E/∂(bead position).
-                let f = -de_dvec;
-                g.0 += f;
-                g.1 += (lp - pose.translation).cross(f);
+                if let Some(g) = grad.as_deref_mut() {
+                    // dE/d(rr): LJ term.
+                    let dlj = eps * (-12.0 * s12 / rr + 12.0 * s6 / rr);
+                    // Electrostatic term: d/d(rr) [k/rr²] = −2k/rr³.
+                    let dele = -2.0 * ke / (rr_sq * rr);
+                    // d(rr)/d(d_vec) = d_vec / rr (softening is additive
+                    // in r²).
+                    let de_dvec = Vec3::new(dx, dy, dz) * ((dlj + dele) / rr);
+                    // Force on the ligand bead is −∂E/∂(bead position).
+                    let f = -de_dvec;
+                    g.0 += f;
+                    g.1 += (lp - pose.translation).cross(f);
+                }
             }
         });
     }

@@ -122,6 +122,24 @@ mod tests {
     }
 
     #[test]
+    fn matrix_is_thread_count_independent() {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(6), 13);
+        let model = CostModel::with_kappa(1e-3);
+        let single = rayon::with_threads(1, || CostMatrix::from_cost_model(&lib, &model));
+        for threads in [2, 4, 8] {
+            let multi = rayon::with_threads(threads, || CostMatrix::from_cost_model(&lib, &model));
+            // Bit-level equality: the parallel collect preserves order,
+            // so every float is produced by the same expression.
+            let same = single
+                .values()
+                .iter()
+                .zip(multi.values())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads = {threads}");
+        }
+    }
+
+    #[test]
     fn matrix_is_asymmetric() {
         let (_, m) = small();
         assert_ne!(m.get(0, 1), m.get(1, 0));

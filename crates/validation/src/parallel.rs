@@ -1,15 +1,15 @@
 //! Parallel batch validation.
 //!
 //! §5.2's pipeline processed millions of result files; the three checks
-//! are embarrassingly parallel across files. This module fans a batch out
-//! over a crossbeam scope — one worker per core, files distributed over a
-//! channel — and merges the failures, preserving the sequential API's
-//! results exactly (order-independence of the checks is asserted by the
+//! are embarrassingly parallel across files. This module fans a batch
+//! out over the shared rayon thread pool — `workers` caps the thread
+//! count for the call — and merges the failures in file order,
+//! preserving the sequential API's results exactly (asserted by the
 //! equivalence test below).
 
 use crate::checks::{check_file, CheckFailure, ValueRanges};
 use crate::format::ResultFile;
-use crossbeam::channel;
+use rayon::prelude::*;
 
 /// Runs [`check_file`] over `files` in parallel using up to `workers`
 /// threads, returning all failures (order: by file index, then by the
@@ -24,34 +24,9 @@ pub fn check_files_parallel(
     if files.is_empty() {
         return Vec::new();
     }
-    let workers = workers.min(files.len());
-    let (tx, rx) = channel::unbounded::<usize>();
-    for idx in 0..files.len() {
-        tx.send(idx).expect("receiver alive");
-    }
-    drop(tx);
-
-    let mut per_file: Vec<Vec<CheckFailure>> = vec![Vec::new(); files.len()];
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let rx = rx.clone();
-            handles.push(scope.spawn(move |_| {
-                let mut mine: Vec<(usize, Vec<CheckFailure>)> = Vec::new();
-                while let Ok(idx) = rx.recv() {
-                    mine.push((idx, check_file(&files[idx], ranges)));
-                }
-                mine
-            }));
-        }
-        for handle in handles {
-            for (idx, failures) in handle.join().expect("worker panicked") {
-                per_file[idx] = failures;
-            }
-        }
-    })
-    .expect("scope panicked");
-
+    let per_file: Vec<Vec<CheckFailure>> = rayon::with_threads(workers.min(files.len()), || {
+        files.par_iter().map(|f| check_file(f, ranges)).collect()
+    });
     per_file.into_iter().flatten().collect()
 }
 

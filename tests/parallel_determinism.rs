@@ -1,0 +1,139 @@
+//! Determinism of parallel execution.
+//!
+//! The vendored rayon pool guarantees results are bit-identical to a
+//! sequential run and independent of the thread count (chunking is a
+//! pure function of the input length). These tests pin that guarantee
+//! down end-to-end for the three parallel consumers: the docking map,
+//! the calibration matrix, and the validation pipeline — comparing
+//! serialized JSON bytes, not approximate values.
+
+use maxdo::{
+    CostModel, DockingEngine, DockingRow, EnergyParams, EulerZyz, LibraryConfig, MinimizeParams,
+    ProteinId, ProteinLibrary, Vec3,
+};
+use proptest::prelude::*;
+use timemodel::CalibrationCampaign;
+use validation::checks::{check_file, ValueRanges};
+use validation::format::ResultFile;
+use validation::parallel::check_files_parallel;
+
+/// Serializes to JSON bytes — the strictest equality we can ask for.
+fn bytes<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+fn small_engine(lib: &ProteinLibrary, nsep: u32) -> DockingEngine<'_> {
+    DockingEngine::new(
+        &lib.proteins()[0],
+        &lib.proteins()[1],
+        nsep,
+        EnergyParams::default(),
+        MinimizeParams {
+            max_iterations: 10,
+            ..Default::default()
+        },
+    )
+}
+
+#[test]
+fn docking_output_is_thread_count_independent() {
+    let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), 41);
+    let engine = small_engine(&lib, 6);
+    let serial = bytes(&engine.dock_range(1, engine.nsep()));
+    for threads in [1, 2, 4, 8] {
+        let parallel = bytes(&rayon::with_threads(threads, || engine.dock_map_parallel()));
+        assert_eq!(parallel, serial, "threads = {threads}");
+    }
+}
+
+#[test]
+fn calibration_report_is_thread_count_independent() {
+    let lib = ProteinLibrary::generate(LibraryConfig::tiny(4), 9);
+    let model = CostModel::with_kappa(0.1);
+    let campaign = CalibrationCampaign { processors: 16 };
+    let single = bytes(&rayon::with_threads(1, || campaign.run(&lib, &model)));
+    for threads in [2, 4, 8] {
+        let multi = bytes(&rayon::with_threads(threads, || campaign.run(&lib, &model)));
+        assert_eq!(multi, single, "threads = {threads}");
+    }
+}
+
+/// A deterministic batch of result files, some corrupted, derived from a
+/// seed.
+fn result_files(seed: u64, count: usize) -> Vec<ResultFile> {
+    (0..count as u32)
+        .map(|i| {
+            let corrupt = (seed + i as u64).is_multiple_of(5);
+            let mut rows: Vec<DockingRow> = (1..=3u32)
+                .flat_map(|isep| {
+                    (1..=2u32).map(move |irot| DockingRow {
+                        isep,
+                        irot,
+                        position: Vec3::new(seed as f64 + i as f64, 0.0, 0.0),
+                        orientation: EulerZyz::default(),
+                        elj: -1.0,
+                        eelec: 0.5,
+                    })
+                })
+                .collect();
+            if corrupt {
+                rows[1].elj = f64::NAN;
+            }
+            ResultFile {
+                receptor: ProteinId(0),
+                ligand: ProteinId(i + 1),
+                isep_start: 1,
+                isep_end: 3,
+                nrot: 2,
+                rows,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn validation_report_is_worker_count_independent() {
+    let files = result_files(3, 23);
+    let ranges = ValueRanges::default();
+    let sequential: Vec<_> = files.iter().flat_map(|f| check_file(f, &ranges)).collect();
+    let expect = bytes(&sequential);
+    for workers in [1, 2, 4, 8] {
+        let got = bytes(&check_files_parallel(&files, &ranges, workers));
+        assert_eq!(got, expect, "workers = {workers}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Parallel docking is byte-identical to serial for any small
+    /// library.
+    #[test]
+    fn docking_matches_serial_for_any_library(seed in 0u64..200) {
+        let lib = ProteinLibrary::generate(LibraryConfig::tiny(2), seed);
+        let engine = small_engine(&lib, 4);
+        let serial = bytes(&engine.dock_range(1, engine.nsep()));
+        let parallel = bytes(&rayon::with_threads(4, || engine.dock_map_parallel()));
+        prop_assert_eq!(parallel, serial);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel validation is byte-identical to serial for any batch
+    /// shape and worker count.
+    #[test]
+    fn validation_matches_serial_for_any_batch(
+        seed in 0u64..1000,
+        count in 1usize..40,
+        workers in 1usize..9,
+    ) {
+        let files = result_files(seed, count);
+        let ranges = ValueRanges::default();
+        let sequential: Vec<_> =
+            files.iter().flat_map(|f| check_file(f, &ranges)).collect();
+        let parallel = check_files_parallel(&files, &ranges, workers);
+        prop_assert_eq!(bytes(&parallel), bytes(&sequential));
+    }
+}

@@ -8,11 +8,31 @@
 //! for the repo's relative comparisons (e.g. telemetry overhead).
 
 use std::hint;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     hint::black_box(x)
+}
+
+static SMOKE: AtomicBool = AtomicBool::new(false);
+
+/// Reads the bench binary's CLI arguments (called by [`criterion_main!`]
+/// before any group runs): `--test` or `--quick` puts the harness in
+/// smoke mode, where every benchmark executes its routine exactly once —
+/// CI uses this to prove the benches still run without paying for
+/// calibrated measurement.
+pub fn configure_from_args() {
+    let smoke = std::env::args()
+        .skip(1)
+        .any(|arg| arg == "--test" || arg == "--quick");
+    SMOKE.store(smoke, Ordering::Relaxed);
+}
+
+/// True when the harness is in single-iteration smoke mode.
+pub fn smoke_mode() -> bool {
+    SMOKE.load(Ordering::Relaxed)
 }
 
 /// Per-iteration timer handed to bench closures.
@@ -21,12 +41,21 @@ pub struct Bencher {
     mean_ns: f64,
     iters: u64,
     target: Duration,
+    smoke: bool,
 }
 
 impl Bencher {
     /// Times `routine`, calibrating the iteration count to the harness's
     /// time budget. The routine's return value is black-boxed.
     pub fn iter<T, R: FnMut() -> T>(&mut self, mut routine: R) {
+        if self.smoke {
+            // Smoke mode: run once to prove the routine works.
+            let start = Instant::now();
+            hint::black_box(routine());
+            self.mean_ns = start.elapsed().as_nanos() as f64;
+            self.iters = 1;
+            return;
+        }
         // Warm up and estimate a single-iteration cost.
         let warmup_start = Instant::now();
         let mut warmup_iters: u64 = 0;
@@ -67,6 +96,7 @@ fn run_bench(name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
         mean_ns: 0.0,
         iters: 0,
         target: budget,
+        smoke: smoke_mode(),
     };
     f(&mut b);
     println!(
@@ -187,11 +217,13 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the bench binary's `main`, running each group.
+/// Declares the bench binary's `main`: applies CLI flags (`--test` /
+/// `--quick` → smoke mode), then runs each group.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
+            $crate::configure_from_args();
             $($group();)+
         }
     };
@@ -208,6 +240,21 @@ mod tests {
         c.bench_function("noop_sum", |b| {
             b.iter(|| (0..100u64).sum::<u64>());
         });
+    }
+
+    #[test]
+    fn smoke_bencher_runs_exactly_once() {
+        let mut b = Bencher {
+            mean_ns: 0.0,
+            iters: 0,
+            target: Duration::from_millis(1),
+            smoke: true,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+        assert!(b.mean_ns >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,459 @@
+//! Parallel iterators over indexed sources.
+//!
+//! The model is a simplified cut of rayon's: a [`ParallelSource`] is an
+//! ordered collection that knows its length, can split a tail off, and
+//! can drain itself sequentially. Adapters ([`Map`], [`FlatMapIter`])
+//! wrap a source and stay sources themselves; terminal operations
+//! ([`ParallelIterator::collect`], [`ParallelIterator::sum`], …) split
+//! the source into chunks, fan the chunks out over the shared pool, and
+//! recombine the per-chunk results **in chunk order**.
+//!
+//! Two properties the workspace's tests rely on:
+//!
+//! * **Order preservation** — `collect` concatenates chunk outputs in
+//!   source order, so the result is bit-identical to a sequential run.
+//! * **Thread-count independence** — the chunk decomposition is a pure
+//!   function of the source length ([`MAX_CHUNKS`]), never of the
+//!   thread count, so even order-sensitive reductions (float `sum`)
+//!   produce identical bits with 1 thread or 64.
+
+use crate::pool;
+use std::sync::Mutex;
+
+/// Upper bound on the number of chunks one operation fans out. Chunking
+/// is `ceil(len / MAX_CHUNKS)`-sized pieces — a pure function of the
+/// length, so results never depend on how many threads execute them.
+pub const MAX_CHUNKS: usize = 64;
+
+/// An ordered, splittable, drainable collection — the engine behind
+/// every parallel iterator.
+pub trait ParallelSource: Send + Sized {
+    /// Element type.
+    type Item: Send;
+    /// Remaining number of items.
+    fn length(&self) -> usize;
+    /// Splits off the *last* `count` items into a new source, leaving
+    /// the first `length() - count` in `self`.
+    fn split_tail(&mut self, count: usize) -> Self;
+    /// Consumes the source, yielding every item in order.
+    fn drain(self, each: impl FnMut(Self::Item));
+}
+
+/// Splits `source` into order-preserving chunks, runs `run_piece` over
+/// them on the pool, and returns the per-chunk results in source order.
+fn execute_chunks<S, R>(source: S, run_piece: impl Fn(S) -> R + Sync) -> Vec<R>
+where
+    S: ParallelSource,
+    R: Send,
+{
+    let len = source.length();
+    if len == 0 {
+        return Vec::new();
+    }
+    let piece_len = len.div_ceil(MAX_CHUNKS).max(1);
+    let count = len.div_ceil(piece_len);
+    if count == 1 {
+        return vec![run_piece(source)];
+    }
+    // Split from the tail (cheap for every source), then reverse back
+    // into source order. The last piece absorbs the remainder.
+    let mut head = source;
+    let mut tail_pieces = Vec::with_capacity(count - 1);
+    for piece in (1..count).rev() {
+        let size = if piece == count - 1 {
+            len - piece_len * (count - 1)
+        } else {
+            piece_len
+        };
+        tail_pieces.push(head.split_tail(size));
+    }
+    let mut pieces: Vec<Mutex<Option<S>>> = Vec::with_capacity(count);
+    pieces.push(Mutex::new(Some(head)));
+    pieces.extend(tail_pieces.into_iter().rev().map(|p| Mutex::new(Some(p))));
+    let results: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    pool::run(count, &|index| {
+        let piece = pieces[index]
+            .lock()
+            .unwrap()
+            .take()
+            .expect("chunk claimed twice");
+        *results[index].lock().unwrap() = Some(run_piece(piece));
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("chunk not executed"))
+        .collect()
+}
+
+/// The parallel-iterator API surface: adapters plus terminal
+/// operations. Implemented by [`ParIter`]; imported via the prelude.
+pub trait ParallelIterator: Sized + Send {
+    /// Element type.
+    type Item: Send;
+    /// The underlying source (implementation detail).
+    type Source: ParallelSource<Item = Self::Item>;
+    /// Unwraps the source (implementation detail).
+    fn into_source(self) -> Self::Source;
+
+    /// Parallel `map`. The closure is cloned per chunk, so it must be
+    /// `Clone` (all capture-by-reference closures are).
+    fn map<R, F>(self, f: F) -> ParIter<Map<Self::Source, F>>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Clone + Send,
+    {
+        ParIter {
+            source: Map {
+                source: self.into_source(),
+                f,
+            },
+        }
+    }
+
+    /// Rayon's `flat_map_iter`: flat-map where the inner iterator is
+    /// consumed sequentially within a chunk.
+    fn flat_map_iter<U, F>(self, f: F) -> ParIter<FlatMapIter<Self::Source, F>>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Clone + Send,
+    {
+        ParIter {
+            source: FlatMapIter {
+                source: self.into_source(),
+                f,
+            },
+        }
+    }
+
+    /// Runs `f` on every item, in parallel over chunks.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        execute_chunks(self.into_source(), |piece| piece.drain(&f));
+    }
+
+    /// Collects into `C`, preserving source order exactly.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_source(self.into_source())
+    }
+
+    /// Sums the items. Chunk partial sums are folded in source order,
+    /// so the result is identical for every thread count (for floats it
+    /// may differ in rounding from a strictly sequential left fold).
+    fn sum<Out>(self) -> Out
+    where
+        Out: Send + std::iter::Sum<Self::Item> + std::iter::Sum<Out>,
+    {
+        execute_chunks(self.into_source(), |piece| {
+            let mut buffer = Vec::with_capacity(piece.length());
+            piece.drain(|item| buffer.push(item));
+            buffer.into_iter().sum::<Out>()
+        })
+        .into_iter()
+        .sum()
+    }
+
+    /// Counts the items.
+    fn count(self) -> usize {
+        execute_chunks(self.into_source(), |piece| {
+            let mut n = 0usize;
+            piece.drain(|_| n += 1);
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// A parallel iterator over source `S`.
+pub struct ParIter<S> {
+    source: S,
+}
+
+impl<S: ParallelSource> ParallelIterator for ParIter<S> {
+    type Item = S::Item;
+    type Source = S;
+    fn into_source(self) -> S {
+        self.source
+    }
+}
+
+/// `map` adapter source.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, R> ParallelSource for Map<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> R + Clone + Send,
+    R: Send,
+{
+    type Item = R;
+    fn length(&self) -> usize {
+        self.source.length()
+    }
+    fn split_tail(&mut self, count: usize) -> Self {
+        Map {
+            source: self.source.split_tail(count),
+            f: self.f.clone(),
+        }
+    }
+    fn drain(self, mut each: impl FnMut(R)) {
+        let f = self.f;
+        self.source.drain(|item| each(f(item)));
+    }
+}
+
+/// `flat_map_iter` adapter source. Its `length` is the *base* length —
+/// chunking granularity — not the flattened item count.
+pub struct FlatMapIter<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, U> ParallelSource for FlatMapIter<S, F>
+where
+    S: ParallelSource,
+    F: Fn(S::Item) -> U + Clone + Send,
+    U: IntoIterator,
+    U::Item: Send,
+{
+    type Item = U::Item;
+    fn length(&self) -> usize {
+        self.source.length()
+    }
+    fn split_tail(&mut self, count: usize) -> Self {
+        FlatMapIter {
+            source: self.source.split_tail(count),
+            f: self.f.clone(),
+        }
+    }
+    fn drain(self, mut each: impl FnMut(U::Item)) {
+        let f = self.f;
+        self.source.drain(|item| {
+            for inner in f(item) {
+                each(inner);
+            }
+        });
+    }
+}
+
+/// Borrowed-slice source (`par_iter`).
+pub struct SliceSource<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelSource for SliceSource<'data, T> {
+    type Item = &'data T;
+    fn length(&self) -> usize {
+        self.slice.len()
+    }
+    fn split_tail(&mut self, count: usize) -> Self {
+        let (head, tail) = self.slice.split_at(self.slice.len() - count);
+        self.slice = head;
+        SliceSource { slice: tail }
+    }
+    fn drain(self, each: impl FnMut(&'data T)) {
+        self.slice.iter().for_each(each);
+    }
+}
+
+/// Owned-vector source (`vec.into_par_iter()`).
+pub struct VecSource<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelSource for VecSource<T> {
+    type Item = T;
+    fn length(&self) -> usize {
+        self.vec.len()
+    }
+    fn split_tail(&mut self, count: usize) -> Self {
+        let tail = self.vec.split_off(self.vec.len() - count);
+        VecSource { vec: tail }
+    }
+    fn drain(self, each: impl FnMut(T)) {
+        self.vec.into_iter().for_each(each);
+    }
+}
+
+/// Integer types usable as parallel range bounds.
+pub trait ParIndex: Copy + Send {
+    /// `self + n`, for walking a chunk.
+    fn offset(self, n: usize) -> Self;
+    /// Number of steps in `self..=other` (0 when `other < self`).
+    fn span_inclusive(self, other: Self) -> usize;
+}
+
+/// Integer-range source (`(a..b).into_par_iter()`).
+pub struct RangeSource<T> {
+    start: T,
+    len: usize,
+}
+
+impl<T: ParIndex> ParallelSource for RangeSource<T> {
+    type Item = T;
+    fn length(&self) -> usize {
+        self.len
+    }
+    fn split_tail(&mut self, count: usize) -> Self {
+        self.len -= count;
+        RangeSource {
+            start: self.start.offset(self.len),
+            len: count,
+        }
+    }
+    fn drain(self, mut each: impl FnMut(T)) {
+        for step in 0..self.len {
+            each(self.start.offset(step));
+        }
+    }
+}
+
+/// `x.into_par_iter()` — conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Converts `self`.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<VecSource<T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: VecSource { vec: self },
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+macro_rules! par_index_impls {
+    ($($ty:ty),* $(,)?) => {$(
+        impl ParIndex for $ty {
+            #[inline]
+            fn offset(self, n: usize) -> Self {
+                self + n as $ty
+            }
+            #[inline]
+            fn span_inclusive(self, other: Self) -> usize {
+                if other < self {
+                    0
+                } else {
+                    (other as i128 - self as i128) as usize + 1
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::Range<$ty> {
+            type Item = $ty;
+            type Iter = ParIter<RangeSource<$ty>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let len = if self.end <= self.start {
+                    0
+                } else {
+                    (self.end as i128 - self.start as i128) as usize
+                };
+                ParIter {
+                    source: RangeSource { start: self.start, len },
+                }
+            }
+        }
+
+        impl IntoParallelIterator for std::ops::RangeInclusive<$ty> {
+            type Item = $ty;
+            type Iter = ParIter<RangeSource<$ty>>;
+            fn into_par_iter(self) -> Self::Iter {
+                let (start, end) = (*self.start(), *self.end());
+                ParIter {
+                    source: RangeSource {
+                        start,
+                        len: start.span_inclusive(end),
+                    },
+                }
+            }
+        }
+    )*};
+}
+
+par_index_impls!(u16, u32, u64, usize, i32, i64);
+
+/// `slice.par_iter()` — parallel iterator over `&T`.
+pub trait IntoParallelRefIterator<'data> {
+    /// Element type (a reference).
+    type Item: Send + 'data;
+    /// The resulting parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrows `self` into a parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParIter<SliceSource<'data, T>>;
+    fn par_iter(&'data self) -> Self::Iter {
+        ParIter {
+            source: SliceSource { slice: self },
+        }
+    }
+}
+
+/// Collection types `collect` can target.
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Builds `Self` from a drained source, preserving order.
+    fn from_par_source<S: ParallelSource<Item = T>>(source: S) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_source<S: ParallelSource<Item = T>>(source: S) -> Self {
+        let chunks = execute_chunks(source, |piece| {
+            let mut items = Vec::with_capacity(piece.length());
+            piece.drain(|item| items.push(item));
+            items
+        });
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in chunks {
+            out.extend(chunk);
+        }
+        out
+    }
+}

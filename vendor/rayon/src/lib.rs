@@ -1,70 +1,36 @@
-//! Sequential stand-in for `rayon`'s parallel iterator API.
+//! Multicore stand-in for `rayon`'s parallel iterator API.
 //!
 //! The container builds offline, so the workspace vendors the slice of
-//! rayon it calls. `par_iter()` / `into_par_iter()` hand back the plain
-//! sequential iterator; `flat_map_iter` aliases `flat_map`. Results are
-//! bit-identical to real rayon for the workspace's order-insensitive
-//! reductions — only wall-clock parallel speedup is absent.
+//! rayon it calls — but unlike the other stand-ins this one is a *real*
+//! parallel executor: a lazily initialised, process-wide thread pool
+//! ([`mod@pool`]) drives order-preserving chunked execution of
+//! `par_iter()` / `into_par_iter()` pipelines ([`mod@iter`]).
+//!
+//! Guarantees the workspace's determinism tests pin down:
+//!
+//! * `collect()` output is **bit-identical** to a sequential run — the
+//!   chunk decomposition preserves source order.
+//! * Results are **independent of the thread count**: chunking is a
+//!   pure function of the input length, so `HCMD_THREADS=1` and
+//!   `HCMD_THREADS=64` produce the same bytes (including float `sum`,
+//!   which folds chunk partials in a fixed order).
+//!
+//! Thread count: `HCMD_THREADS` overrides `RAYON_NUM_THREADS` overrides
+//! `std::thread::available_parallelism()`. [`with_threads`] pins the
+//! count for one closure (used by the bench thread-sweep and the
+//! determinism tests).
+
+pub mod iter;
+mod pool;
+
+pub use pool::{current_num_threads, with_threads};
 
 pub mod prelude {
-    /// `slice.par_iter()` — sequential `slice::Iter` under the hood.
-    pub trait IntoParallelRefIterator<'data> {
-        /// Item type of the iterator.
-        type Item: 'data;
-        /// The stand-in "parallel" iterator.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Returns the sequential iterator.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Item = &'data T;
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
-        }
-    }
-
-    /// `x.into_par_iter()` for anything iterable (ranges, vecs, ...).
-    pub trait IntoParallelIterator {
-        /// Item type of the iterator.
-        type Item;
-        /// The stand-in "parallel" iterator.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Consumes `self` into the sequential iterator.
-        fn into_par_iter(self) -> Self::Iter;
-    }
-
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Rayon-only iterator adapters the workspace uses.
-    pub trait ParallelIteratorExt: Iterator + Sized {
-        /// Rayon's `flat_map_iter` (flat-map with a sequential inner
-        /// iterator) — identical to `flat_map` here.
-        fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
-        where
-            U: IntoIterator,
-            F: FnMut(Self::Item) -> U,
-        {
-            self.flat_map(f)
-        }
-    }
-
-    impl<I: Iterator> ParallelIteratorExt for I {}
+    //! Traits that make `.par_iter()` / `.into_par_iter()` and the
+    //! adapter/terminal methods available, mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
 #[cfg(test)]
@@ -86,11 +52,93 @@ mod tests {
     }
 
     #[test]
+    fn into_par_iter_on_inclusive_range() {
+        let items: Vec<u32> = (1..=21u32).into_par_iter().collect();
+        assert_eq!(items, (1..=21).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn empty_and_reversed_ranges() {
+        assert_eq!((5..5usize).into_par_iter().count(), 0);
+        assert_eq!((5..2usize).into_par_iter().count(), 0);
+        #[allow(clippy::reversed_empty_ranges)]
+        let rev = (5..=2u32).into_par_iter().count();
+        assert_eq!(rev, 0);
+    }
+
+    #[test]
     fn flat_map_iter_flattens() {
         let out: Vec<u32> = vec![1u32, 2]
             .par_iter()
             .flat_map_iter(|&x| vec![x, x * 10])
             .collect();
         assert_eq!(out, vec![1, 10, 2, 20]);
+    }
+
+    #[test]
+    fn collect_preserves_order_for_large_inputs() {
+        // More items than chunks × threads: exercises splitting, the
+        // pool, and ordered recombination.
+        let n = 10_000u64;
+        let squares: Vec<u64> = (0..n).into_par_iter().map(|x| x * x).collect();
+        let expect: Vec<u64> = (0..n).map(|x| x * x).collect();
+        assert_eq!(squares, expect);
+    }
+
+    #[test]
+    fn vec_into_par_iter_consumes_in_order() {
+        let v: Vec<String> = (0..500).map(|i| format!("item-{i}")).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        let expect: Vec<usize> = (0..500).map(|i| format!("item-{i}").len()).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn results_are_thread_count_independent() {
+        // Float sum is order-sensitive: identical bits across thread
+        // counts proves chunking never depends on parallelism.
+        let xs: Vec<f64> = (0..5000).map(|i| (i as f64).sin()).collect();
+        let sums: Vec<f64> = [1, 2, 3, 8]
+            .iter()
+            .map(|&t| crate::with_threads(t, || xs.par_iter().map(|x| x * 1.5).sum::<f64>()))
+            .collect();
+        assert!(sums.windows(2).all(|w| w[0].to_bits() == w[1].to_bits()));
+
+        let collected_1 = crate::with_threads(1, || {
+            (0..999u32)
+                .into_par_iter()
+                .map(|x| x as f64 / 7.0)
+                .collect::<Vec<f64>>()
+        });
+        let collected_8 = crate::with_threads(8, || {
+            (0..999u32)
+                .into_par_iter()
+                .map(|x| x as f64 / 7.0)
+                .collect::<Vec<f64>>()
+        });
+        assert_eq!(collected_1, collected_8);
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        (0..1000u32).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(std::sync::atomic::Ordering::SeqCst), 1000);
+    }
+
+    #[test]
+    fn map_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            (0..100u32)
+                .into_par_iter()
+                .map(|x| {
+                    assert!(x != 50, "injected failure");
+                    x
+                })
+                .collect::<Vec<u32>>()
+        });
+        assert!(result.is_err());
     }
 }

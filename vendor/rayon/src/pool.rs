@@ -1,0 +1,336 @@
+//! The shared thread pool behind the parallel iterators.
+//!
+//! A lazily initialised, process-wide pool of detached worker threads
+//! plus a queue of *batches*. A batch is a shared `Fn(usize)` job and a
+//! claim counter over `total` indices: the submitting thread and up to
+//! `threads - 1` workers race to claim indices with one `fetch_add`
+//! each, execute them, and the submitter blocks until every index has
+//! completed. Claiming from a shared atomic counter gives the same
+//! self-balancing behaviour as a work-stealing deque for the chunk
+//! granularities the iterator layer produces (at most
+//! [`crate::iter::MAX_CHUNKS`] chunks per operation) without any unsafe
+//! queue code — the only `unsafe` is the lifetime erasure of the
+//! borrowed job pointer, which is sound because the submitter cannot
+//! return before the completion count reaches `total`.
+//!
+//! Thread count resolution, in order: `HCMD_THREADS`, then
+//! `RAYON_NUM_THREADS`, then `std::thread::available_parallelism()`.
+//! [`with_threads`] overrides the count for one closure on the calling
+//! thread (the pool grows on demand, so a test can force 8-way
+//! execution even on a single-core host).
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// The erased job type as stored in a [`Batch`] (lifetime already
+/// erased to `'static`); submission APIs take a borrowed
+/// `&(dyn Fn(usize) + Sync)` instead, so jobs may capture the stack.
+type Job = dyn Fn(usize) + Sync;
+
+/// One submitted parallel operation: a job, a claim counter over
+/// `0..total`, and completion tracking.
+struct Batch {
+    /// Lifetime-erased pointer to the submitter's job closure. Only
+    /// dereferenced for indices `< total`, all of which complete before
+    /// the submitter (who owns the referent) is allowed to return.
+    job: *const Job,
+    /// Next unclaimed index; claims at or past `total` are no-ops.
+    next: AtomicUsize,
+    total: usize,
+    /// Remaining worker-thread participation slots (the submitter
+    /// always participates and is not counted here).
+    worker_slots: AtomicIsize,
+    /// Number of indices fully executed, guarded for the completion wait.
+    completed: Mutex<usize>,
+    done: Condvar,
+    panicked: AtomicBool,
+}
+
+// SAFETY: `job` points at a `Sync` closure that outlives every
+// dereference (see `Pool::run_batch`); all other fields are Sync.
+unsafe impl Send for Batch {}
+unsafe impl Sync for Batch {}
+
+impl Batch {
+    fn has_work(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.total
+    }
+
+    /// Tries to reserve a worker participation slot.
+    fn try_reserve_worker(&self) -> bool {
+        if self.worker_slots.fetch_sub(1, Ordering::AcqRel) > 0 {
+            true
+        } else {
+            self.worker_slots.fetch_add(1, Ordering::AcqRel);
+            false
+        }
+    }
+
+    /// Claims and runs indices until the batch is exhausted.
+    fn run_claimed(&self) {
+        loop {
+            let index = self.next.fetch_add(1, Ordering::Relaxed);
+            if index >= self.total {
+                return;
+            }
+            // SAFETY: `index < total`, so the submitter is still blocked
+            // in `run_batch` and the job closure it borrows is alive.
+            let job = unsafe { &*self.job };
+            if catch_unwind(AssertUnwindSafe(|| job(index))).is_err() {
+                self.panicked.store(true, Ordering::SeqCst);
+            }
+            let mut completed = self.completed.lock().unwrap();
+            *completed += 1;
+            if *completed == self.total {
+                self.done.notify_all();
+            }
+        }
+    }
+
+    /// Blocks until every index has finished executing.
+    fn wait(&self) {
+        let mut completed = self.completed.lock().unwrap();
+        while *completed < self.total {
+            completed = self.done.wait(completed).unwrap();
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_ready: Condvar,
+}
+
+/// The process-wide pool.
+pub(crate) struct Pool {
+    shared: Arc<Shared>,
+    default_threads: usize,
+    /// Workers spawned so far; grows on demand up to the largest thread
+    /// count ever requested minus one (the submitter participates).
+    workers_spawned: Mutex<usize>,
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                queue.retain(|b| b.has_work());
+                if let Some(batch) = queue.iter().find(|b| b.try_reserve_worker()) {
+                    break Arc::clone(batch);
+                }
+                queue = shared.work_ready.wait(queue).unwrap();
+            }
+        };
+        batch.run_claimed();
+    }
+}
+
+impl Pool {
+    fn new(default_threads: usize) -> Self {
+        Self {
+            shared: Arc::new(Shared {
+                queue: Mutex::new(VecDeque::new()),
+                work_ready: Condvar::new(),
+            }),
+            default_threads,
+            workers_spawned: Mutex::new(0),
+        }
+    }
+
+    /// Spawns detached workers until at least `target` exist.
+    fn ensure_workers(&self, target: usize) {
+        let mut spawned = self.workers_spawned.lock().unwrap();
+        while *spawned < target {
+            let shared = Arc::clone(&self.shared);
+            std::thread::Builder::new()
+                .name(format!("hcmd-rayon-{spawned}"))
+                .spawn(move || worker_loop(shared))
+                .expect("failed to spawn pool worker");
+            *spawned += 1;
+        }
+    }
+
+    /// Runs `job(0..total)` on up to `threads` threads (submitter
+    /// included), returning once every index has completed.
+    ///
+    /// # Panics
+    /// Re-raises (as a fresh panic) if any job index panicked.
+    pub(crate) fn run_batch(&self, total: usize, threads: usize, job: &(dyn Fn(usize) + Sync)) {
+        let threads = threads.max(1).min(total.max(1));
+        if threads == 1 {
+            // Inline sequential execution: identical results (the
+            // iterator layer's chunking is thread-count-independent),
+            // zero synchronisation.
+            for index in 0..total {
+                job(index);
+            }
+            return;
+        }
+        self.ensure_workers(threads - 1);
+        let batch = Arc::new(Batch {
+            // SAFETY (lifetime erasure): the pointer is dereferenced
+            // only by `run_claimed` for indices `< total`; `wait()`
+            // below does not return until all of them have completed,
+            // so `job` strictly outlives every dereference.
+            job: unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), *const Job>(job) },
+            next: AtomicUsize::new(0),
+            total,
+            worker_slots: AtomicIsize::new((threads - 1) as isize),
+            completed: Mutex::new(0),
+            done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        self.shared
+            .queue
+            .lock()
+            .unwrap()
+            .push_back(Arc::clone(&batch));
+        self.shared.work_ready.notify_all();
+        batch.run_claimed();
+        batch.wait();
+        if batch.panicked.load(Ordering::SeqCst) {
+            panic!("a parallel job panicked (see worker backtrace above)");
+        }
+    }
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn configured_default_threads() -> usize {
+    for key in ["HCMD_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(value) = std::env::var(key) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+pub(crate) fn global() -> &'static Pool {
+    POOL.get_or_init(|| Pool::new(configured_default_threads()))
+}
+
+thread_local! {
+    static THREAD_LIMIT: std::cell::Cell<Option<usize>> = const { std::cell::Cell::new(None) };
+}
+
+/// The number of threads parallel operations on this thread will use:
+/// the innermost [`with_threads`] override, else the configured default
+/// (`HCMD_THREADS` / `RAYON_NUM_THREADS` / available parallelism).
+pub fn current_num_threads() -> usize {
+    THREAD_LIMIT
+        .with(std::cell::Cell::get)
+        .unwrap_or_else(|| global().default_threads)
+}
+
+/// Runs `f` with parallel operations *started on this thread* limited
+/// to (or raised to) `threads` threads. The pool grows on demand, so a
+/// larger-than-default count forces genuinely concurrent execution even
+/// on hosts with fewer cores — results are identical either way because
+/// chunking never depends on the thread count.
+///
+/// # Panics
+/// Panics if `threads` is zero.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    assert!(threads >= 1, "need at least one thread");
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_LIMIT.with(|limit| limit.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_LIMIT.with(|limit| limit.replace(Some(threads))));
+    f()
+}
+
+/// Submits a batch of `total` jobs at the calling thread's current
+/// thread count.
+pub(crate) fn run(total: usize, job: &(dyn Fn(usize) + Sync)) {
+    global().run_batch(total, current_num_threads(), job);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        global().run_batch(100, 4, &|i| {
+            hits[i].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::SeqCst) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline() {
+        let tid = std::thread::current().id();
+        global().run_batch(16, 1, &|_| {
+            assert_eq!(std::thread::current().id(), tid);
+        });
+    }
+
+    #[test]
+    fn zero_jobs_is_a_noop() {
+        global().run_batch(0, 8, &|_| panic!("no job should run"));
+    }
+
+    #[test]
+    fn job_panic_propagates_and_pool_survives() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            global().run_batch(8, 4, &|i| {
+                if i == 3 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the submitter");
+        // The pool keeps working after a panicked batch.
+        let count = AtomicU64::new(0);
+        global().run_batch(8, 4, &|_| {
+            count.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 8);
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let default = current_num_threads();
+        let inside = with_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), default);
+        // Restores even when the closure panics.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            with_threads(5, || panic!("unwind through the guard"))
+        }));
+        assert_eq!(current_num_threads(), default);
+    }
+
+    #[test]
+    fn workers_actually_run_concurrently() {
+        // Two jobs that each wait to observe the other started: this
+        // can only complete if two threads execute simultaneously
+        // (timeslicing included), proving the pool is not sequential.
+        let started = [AtomicBool::new(false), AtomicBool::new(false)];
+        global().run_batch(2, 2, &|i| {
+            started[i].store(true, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while !started[1 - i].load(Ordering::SeqCst) {
+                assert!(
+                    std::time::Instant::now() < deadline,
+                    "peer job never started: pool is not concurrent"
+                );
+                std::thread::yield_now();
+            }
+        });
+    }
+}
