@@ -99,6 +99,11 @@ struct SweepPoint {
 struct SweepReport {
     bench: String,
     host_parallelism: usize,
+    /// False when the host cannot actually run threads concurrently
+    /// (`host_parallelism == 1`): the sweep still runs for the
+    /// bit-identity check, but its ~1.0x "speedups" are time-slicing
+    /// artifacts, not measurements.
+    speedup_valid: bool,
     nsep: u32,
     reps_best_of: u32,
     smoke: bool,
@@ -121,6 +126,14 @@ fn bench_thread_sweep(_c: &mut Criterion) {
     let host = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
+    let speedup_valid = host > 1;
+    if !speedup_valid {
+        eprintln!(
+            "bench: host has a single hardware thread; thread-sweep \
+             speedups are time-slicing artifacts and will be marked \
+             \"speedup_valid\": false"
+        );
+    }
     let mut counts = vec![1usize, 2, 4, host];
     counts.sort_unstable();
     counts.dedup();
@@ -157,6 +170,7 @@ fn bench_thread_sweep(_c: &mut Criterion) {
     let report = SweepReport {
         bench: "dock_map_parallel_thread_sweep".to_string(),
         host_parallelism: host,
+        speedup_valid,
         nsep: engine.nsep(),
         reps_best_of: reps,
         smoke: criterion::smoke_mode(),

@@ -4,27 +4,36 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gridsim::{
-    EventQueue, Host, HostId, HostParams, ServerConfig, SimTime, TaskServer, VolunteerGridConfig,
-    VolunteerGridSim,
+    EventQueue, HeapQueue, Host, HostId, HostParams, Scheduler, ServerConfig, SimTime, TaskServer,
+    VolunteerGridConfig, VolunteerGridSim,
 };
 use std::hint::black_box;
 
+/// Schedules 10k scattered events and drains them on engine `S` — the
+/// shared body of the wheel-vs-heap A/B pair below.
+fn schedule_pop_10k<S: Scheduler<u64>>() -> u64 {
+    let mut q = S::default();
+    for i in 0..10_000u64 {
+        // Scatter times deterministically.
+        let t = ((i * 2_654_435_761) % 1_000_000) as f64;
+        q.schedule(SimTime::new(t), i);
+    }
+    let mut acc = 0u64;
+    while let Some((_, e)) = q.pop() {
+        acc = acc.wrapping_add(e);
+    }
+    acc
+}
+
 fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_schedule_pop_10k", |b| {
-        b.iter(|| {
-            let mut q: EventQueue<u64> = EventQueue::new();
-            for i in 0..10_000u64 {
-                // Scatter times deterministically.
-                let t = ((i * 2_654_435_761) % 1_000_000) as f64;
-                q.schedule(SimTime::new(t), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, e)) = q.pop() {
-                acc = acc.wrapping_add(e);
-            }
-            black_box(acc)
-        })
+    let mut group = c.benchmark_group("event_queue_schedule_pop_10k");
+    group.bench_function("wheel", |b| {
+        b.iter(|| black_box(schedule_pop_10k::<EventQueue<u64>>()))
     });
+    group.bench_function("heap", |b| {
+        b.iter(|| black_box(schedule_pop_10k::<HeapQueue<u64>>()))
+    });
+    group.finish();
 }
 
 fn bench_host_planning(c: &mut Criterion) {

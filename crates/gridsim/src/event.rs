@@ -1,15 +1,25 @@
 //! The discrete-event engine.
 //!
-//! A minimal, allocation-friendly priority queue of timestamped events.
-//! Determinism matters more than raw speed here: ties are broken by a
+//! Determinism matters more than raw speed here — ties are broken by a
 //! monotonically increasing sequence number, so two runs with the same
-//! seed produce byte-identical traces regardless of float coincidences.
+//! seed produce byte-identical traces — but at paper scale (hundreds of
+//! thousands of hosts, millions of pending events) raw speed matters
+//! too. The default [`EventQueue`] is therefore backed by a hierarchical
+//! timing wheel ([`crate::wheel`]): O(1) amortized schedule/pop against
+//! the O(log n) sift of a binary heap, with no per-event allocation in
+//! steady state.
+//!
+//! The previous `BinaryHeap` engine survives as [`HeapQueue`]; both
+//! implement [`Scheduler`] and pop in exactly the same `(at, seq)`
+//! order, which the `sim_scale` bench and the engine-identity tests use
+//! to A/B the two implementations.
 
+use crate::wheel::TimingWheel;
 use std::collections::BinaryHeap;
 
 /// Simulation time in seconds since campaign start.
 ///
-/// A thin wrapper that provides the total order `BinaryHeap` needs (the
+/// A thin wrapper that provides the total order the engine needs (the
 /// engine never stores NaN; [`SimTime::new`] rejects it).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SimTime(f64);
@@ -67,10 +77,198 @@ impl PartialOrd for SimTime {
 
 /// A deterministic time-ordered event queue.
 ///
-/// Events with equal timestamps pop in insertion order (FIFO), which keeps
-/// simulations reproducible.
+/// Both engine implementations ([`EventQueue`], [`HeapQueue`]) satisfy
+/// the same two hard invariants:
+///
+/// 1. events pop in increasing `(at, seq)` order;
+/// 2. events with equal timestamps pop in insertion order (FIFO).
+///
+/// Together these make the pop sequence a pure function of the schedule
+/// sequence, so swapping implementations cannot change a trace.
+pub trait Scheduler<E>: Default {
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Schedules `event` `delay` seconds from the current time
+    /// (negative delays clamp to now).
+    fn schedule_in(&mut self, delay: f64, event: E);
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// The current simulation time (timestamp of the last popped event).
+    fn now(&self) -> SimTime;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True when no events are pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Largest number of simultaneously pending events so far.
+    fn peak_len(&self) -> usize;
+
+    /// Total events popped so far (the engine's throughput numerator).
+    fn pops(&self) -> u64;
+}
+
+/// Pops between telemetry samples of the queue counters (power of two;
+/// the sampled flush keeps the hot loop free of atomics).
+const TELEMETRY_STRIDE: u64 = 1024;
+
+/// Cached handles for the engine's sampled metrics — zero-sized no-ops
+/// when the `telemetry` feature is off.
+#[derive(Debug)]
+struct QueueTelemetry {
+    popped: &'static telemetry::Counter,
+    depth: &'static telemetry::Gauge,
+    /// Pops already published to `popped` (counters are process-global;
+    /// several queues may live in one process).
+    flushed: u64,
+}
+
+impl QueueTelemetry {
+    fn new() -> Self {
+        Self {
+            popped: telemetry::counter("sim.events.popped"),
+            depth: telemetry::gauge("sim.queue.depth"),
+            flushed: 0,
+        }
+    }
+}
+
+/// The default deterministic event queue, backed by a hierarchical
+/// timing wheel (see [`crate::wheel`] for the layout and the
+/// determinism argument).
+///
+/// Events with equal timestamps pop in insertion order (FIFO), which
+/// keeps simulations reproducible.
 #[derive(Debug)]
 pub struct EventQueue<E> {
+    wheel: TimingWheel<E>,
+    seq: u64,
+    now: SimTime,
+    len: usize,
+    peak_len: usize,
+    pops: u64,
+    tele: QueueTelemetry,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            wheel: TimingWheel::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            len: 0,
+            peak_len: 0,
+            pops: 0,
+            tele: QueueTelemetry::new(),
+        }
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past (before the last popped event).
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.wheel.insert(at, self.seq, event);
+        self.seq += 1;
+        self.len += 1;
+        self.peak_len = self.peak_len.max(self.len);
+    }
+
+    /// Schedules `event` `delay` seconds from the current time.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        let at = self.now.after(delay.max(0.0));
+        self.schedule(at, event);
+    }
+
+    /// Pops the next event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.wheel.pop_min()?;
+        self.now = entry.at;
+        self.pops += 1;
+        self.len -= 1;
+        // Sampled gauge/counter flush: one branch per pop, atomics only
+        // every TELEMETRY_STRIDE pops, nothing at all when the feature
+        // is compiled out (ENABLED is a const false).
+        if telemetry::ENABLED && self.pops & (TELEMETRY_STRIDE - 1) == 0 {
+            self.tele.popped.add(self.pops - self.tele.flushed);
+            self.tele.flushed = self.pops;
+            self.tele.depth.set(self.len as i64);
+        }
+        Some((entry.at, entry.event))
+    }
+
+    /// The current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Largest number of simultaneously pending events so far.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// Total events popped so far (the engine's throughput numerator).
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+}
+
+impl<E> Scheduler<E> for EventQueue<E> {
+    fn schedule(&mut self, at: SimTime, event: E) {
+        EventQueue::schedule(self, at, event);
+    }
+    fn schedule_in(&mut self, delay: f64, event: E) {
+        EventQueue::schedule_in(self, delay, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        EventQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        EventQueue::len(self)
+    }
+    fn peak_len(&self) -> usize {
+        EventQueue::peak_len(self)
+    }
+    fn pops(&self) -> u64 {
+        EventQueue::pops(self)
+    }
+}
+
+/// The original `BinaryHeap` engine, kept as the A/B baseline for the
+/// timing wheel (`sim_scale` bench, engine-identity tests). O(log n)
+/// schedule/pop with one comparison-heavy sift per operation.
+#[derive(Debug)]
+pub struct HeapQueue<E> {
     heap: BinaryHeap<ScheduledEvent<E>>,
     seq: u64,
     now: SimTime,
@@ -110,13 +308,13 @@ impl<E> Ord for ScheduledEvent<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// An empty queue at time zero.
     pub fn new() -> Self {
         Self {
@@ -177,9 +375,33 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
-    /// Total events popped so far (the engine's throughput numerator).
+    /// Total events popped so far.
     pub fn pops(&self) -> u64 {
         self.pops
+    }
+}
+
+impl<E> Scheduler<E> for HeapQueue<E> {
+    fn schedule(&mut self, at: SimTime, event: E) {
+        HeapQueue::schedule(self, at, event);
+    }
+    fn schedule_in(&mut self, delay: f64, event: E) {
+        HeapQueue::schedule_in(self, delay, event);
+    }
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        HeapQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        HeapQueue::now(self)
+    }
+    fn len(&self) -> usize {
+        HeapQueue::len(self)
+    }
+    fn peak_len(&self) -> usize {
+        HeapQueue::peak_len(self)
+    }
+    fn pops(&self) -> u64 {
+        HeapQueue::pops(self)
     }
 }
 
@@ -286,5 +508,80 @@ mod tests {
         // Peak is a high-water mark; it does not shrink with pops.
         assert_eq!(q.peak_len(), 3);
         assert_eq!(q.pops(), 2);
+    }
+
+    #[test]
+    fn reschedule_at_now_pops_after_current_ties() {
+        // The engine's wake path schedules at exactly `now`+delay while
+        // events at the same timestamp are still pending; FIFO must hold
+        // across that insert-into-current-bucket path.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::new(4.0), "a");
+        q.schedule(SimTime::new(4.0), "b");
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, "a");
+        q.schedule_in(0.0, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["b", "c"]);
+    }
+
+    /// Runs the same deterministic mixed workload through both engines
+    /// and asserts identical pop sequences — near ticks, same-timestamp
+    /// storms, day-scale jumps, 10-day deadlines, far-future spills.
+    #[test]
+    fn wheel_and_heap_pop_identically() {
+        fn workload<S: Scheduler<u32>>() -> Vec<(u64, u32)> {
+            let mut q = S::default();
+            let mut out = Vec::new();
+            let mut x = 0x9E37_79B9_7F4A_7C15u64;
+            for i in 0..400u32 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let delay = match x % 7 {
+                    0 => 0.0,
+                    1 => 1.0,
+                    2 => (x >> 32) as f64 % 300.0,
+                    3 => 86_400.0,
+                    4 => 10.0 * 86_400.0,
+                    5 => 250.0 * 86_400.0,
+                    _ => 400.0 * 86_400.0,
+                };
+                q.schedule_in(delay, i);
+                if x % 3 == 0 {
+                    if let Some((t, e)) = q.pop() {
+                        out.push((t.seconds().to_bits(), e));
+                    }
+                }
+            }
+            while let Some((t, e)) = q.pop() {
+                out.push((t.seconds().to_bits(), e));
+            }
+            out
+        }
+        assert_eq!(workload::<EventQueue<u32>>(), workload::<HeapQueue<u32>>());
+    }
+
+    #[test]
+    fn heap_queue_keeps_the_legacy_semantics() {
+        let mut q = HeapQueue::new();
+        q.schedule(SimTime::new(5.0), "b");
+        q.schedule(SimTime::new(5.0), "c");
+        q.schedule(SimTime::new(1.0), "a");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peak_len(), 3);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(q.pops(), 3);
+        assert_eq!(q.now().seconds(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "into the past")]
+    fn heap_queue_rejects_past_schedules() {
+        let mut q = HeapQueue::new();
+        q.schedule(SimTime::new(10.0), 0);
+        q.pop();
+        q.schedule(SimTime::new(5.0), 1);
     }
 }

@@ -23,8 +23,9 @@
 //!   progression — everything Figures 6–8 plot ([`trace`]);
 //! * a dedicated grid (Grid'5000-style) baseline for Table 2
 //!   ([`dedicated`]);
-//! * the discrete-event engine itself ([`event`]) and deterministic
-//!   splittable RNG streams ([`rng`]).
+//! * the discrete-event engine itself ([`event`]) — a hierarchical
+//!   timing wheel ([`wheel`]) with the original binary heap kept as an
+//!   A/B baseline — and deterministic splittable RNG streams ([`rng`]).
 //!
 //! The top-level entry point is [`volunteer::VolunteerGridSim`]:
 //!
@@ -54,14 +55,15 @@ pub mod server;
 pub mod sessions;
 pub mod trace;
 pub mod volunteer;
+pub mod wheel;
 
 pub use credit::CreditLedger;
 pub use dedicated::{DedicatedGrid, HeterogeneousGrid};
-pub use event::{EventQueue, SimTime};
+pub use event::{EventQueue, HeapQueue, Scheduler, SimTime};
 pub use fluid::{FluidModel, FluidTrace};
 pub use host::{AccountingMode, Host, HostId, HostParams, WorkunitExecution};
 pub use membership::{MembershipModel, SeasonalityModel};
 pub use project::{ProjectPhases, SharePhase};
 pub use server::{FeederConfig, ServerConfig, ServerStats, TaskServer, ValidationPolicy};
 pub use trace::CampaignTrace;
-pub use volunteer::{VolunteerGridConfig, VolunteerGridSim};
+pub use volunteer::{SimEvent, VolunteerGridConfig, VolunteerGridSim};

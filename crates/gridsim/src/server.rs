@@ -256,22 +256,33 @@ impl TaskServer {
             .and_then(|s| s.parse::<u64>().ok())
             .filter(|&s| s > 0)
             .unwrap_or_else(|| (n as u64 / 512).max(1));
+        // Pre-size the hot collections from the configured policy instead
+        // of growing from empty. Quorum validation (replication level 2)
+        // queues one sibling per fresh workunit, so the reissue queue's
+        // steady-state depth tracks the in-flight issue window; replicas
+        // accumulate one entry per issue over the whole campaign.
+        let redundancy: usize = match config.validation_switch_day {
+            Some(0) => 1,
+            _ => 2,
+        };
+        let reissue_capacity = if redundancy > 1 { (n / 4).max(64) } else { 64 };
+        let feeder_capacity = config.feeder.map_or(0, |f| f.cache_size);
         Self {
-            catalog,
             config,
             states: vec![WuState::default(); n],
-            replicas: Vec::new(),
+            replicas: Vec::with_capacity(n * redundancy),
             next_new: 0,
-            reissue: VecDeque::new(),
+            reissue: VecDeque::with_capacity(reissue_capacity),
             completed: 0,
             results_received: 0,
             results_useful: 0,
             stats: ServerStats::default(),
-            reissue_causes: VecDeque::new(),
-            feeder_cache: VecDeque::new(),
+            reissue_causes: VecDeque::with_capacity(reissue_capacity),
+            feeder_cache: VecDeque::with_capacity(feeder_capacity),
             feeder_misses: 0,
             tele: ServerTelemetry::new(),
             sample_stride,
+            catalog,
         }
     }
 
@@ -353,45 +364,36 @@ impl TaskServer {
     /// cache momentarily empty).
     pub fn fetch_work(&mut self, now: SimTime) -> Option<ReplicaAssignment> {
         if let Some(feeder) = self.config.feeder {
-            // Serve from the cache; refill lazily when it runs dry (the
-            // real feeder runs asynchronously — serving the refill on the
-            // *next* request models the one-poll latency volunteers see).
-            let entry = self.feeder_cache.pop_front();
-            let Some((wu, cause)) = entry else {
-                if self.available_count(now) > 0 {
-                    self.feeder_misses += 1;
-                    self.tele.feeder_misses.inc();
+            // Fast path: serve straight from the cache front; refill
+            // lazily when it runs dry (the real feeder runs
+            // asynchronously — serving the refill on the *next* request
+            // models the one-poll latency volunteers see).
+            loop {
+                let Some((wu, cause)) = self.feeder_cache.pop_front() else {
+                    if self.available_count(now) > 0 {
+                        self.feeder_misses += 1;
+                        self.tele.feeder_misses.inc();
+                    }
+                    self.feeder_refill(now, feeder.refill_batch, feeder.cache_size);
+                    return None;
+                };
+                // Skip reissue copies whose workunit completed while staged.
+                if self.states[wu as usize].complete && cause.is_some() {
+                    continue;
                 }
-                self.feeder_refill(now, feeder.refill_batch, feeder.cache_size);
-                return None;
-            };
-            // Skip reissue copies whose workunit completed while staged.
-            if self.states[wu as usize].complete && cause.is_some() {
-                return self.fetch_work(now);
+                match cause {
+                    Some(ReissueCause::Quorum) => self.stats.quorum_issues += 1,
+                    Some(ReissueCause::Timeout) => self.stats.timeout_reissues += 1,
+                    Some(ReissueCause::Error) => self.stats.error_reissues += 1,
+                    None => self.stats.initial_issues += 1,
+                }
+                self.record_issue(
+                    now,
+                    wu,
+                    cause.map_or(IssueCause::Initial, ReissueCause::issue_cause),
+                );
+                return Some(self.issue_replica(wu));
             }
-            match cause {
-                Some(ReissueCause::Quorum) => self.stats.quorum_issues += 1,
-                Some(ReissueCause::Timeout) => self.stats.timeout_reissues += 1,
-                Some(ReissueCause::Error) => self.stats.error_reissues += 1,
-                None => self.stats.initial_issues += 1,
-            }
-            self.record_issue(
-                now,
-                wu,
-                cause.map_or(IssueCause::Initial, ReissueCause::issue_cause),
-            );
-            let replica = ReplicaId(self.replicas.len() as u64);
-            self.replicas.push(ReplicaState {
-                workunit: wu,
-                reported: false,
-            });
-            let e = self.catalog[wu as usize];
-            return Some(ReplicaAssignment {
-                replica,
-                workunit: wu,
-                ref_seconds: e.ref_seconds as f64,
-                position_ref_seconds: e.position_ref_seconds as f64,
-            });
         }
         // Reissues first: they hold completed predecessors' workunits back.
         let workunit = if let Some((wu, cause)) = self.pop_reissue() {
@@ -416,18 +418,23 @@ impl TaskServer {
         } else {
             return None;
         };
+        Some(self.issue_replica(workunit))
+    }
+
+    /// Registers a fresh replica of `workunit` and builds its assignment.
+    fn issue_replica(&mut self, workunit: u32) -> ReplicaAssignment {
         let replica = ReplicaId(self.replicas.len() as u64);
         self.replicas.push(ReplicaState {
             workunit,
             reported: false,
         });
         let e = self.catalog[workunit as usize];
-        Some(ReplicaAssignment {
+        ReplicaAssignment {
             replica,
             workunit,
             ref_seconds: e.ref_seconds as f64,
             position_ref_seconds: e.position_ref_seconds as f64,
-        })
+        }
     }
 
     fn push_reissue(&mut self, wu: u32, cause: ReissueCause) {

@@ -9,7 +9,7 @@
 //! intensive quantity — VFTP per share, speed-down, redundancy, durations —
 //! is preserved while extensive ones shrink.
 
-use crate::event::{EventQueue, SimTime};
+use crate::event::{EventQueue, Scheduler, SimTime};
 use crate::host::{Host, HostId, HostParams};
 use crate::membership::{ChurnCounters, MembershipModel, HCMD_LAUNCH_DAY};
 use crate::project::ProjectPhases;
@@ -103,17 +103,29 @@ impl VolunteerGridConfig {
     }
 }
 
-enum Event {
+/// An event in the volunteer-grid simulation.
+///
+/// Public so the engine can be swapped via [`Scheduler`] type
+/// parameters (`sim_scale` bench, engine-identity tests); the payload
+/// stays a small inline enum — no boxing — so the timing wheel's bucket
+/// `Vec`s hold events by value with no per-schedule allocation.
+#[derive(Debug)]
+pub enum SimEvent {
     /// Daily tick: population targets, snapshots, grid accounting.
     DayTick,
     /// A host asks the server for work.
     Fetch(u32),
     /// A host reports a finished replica.
     Report {
+        /// Reporting host index.
         host: u32,
+        /// The replica being reported.
         replica: ReplicaId,
+        /// Absolute issue time, seconds.
         issue_seconds: f64,
+        /// Accounted CPU/wall seconds for credit and Figure 6.
         accounted: f64,
+        /// Whether the result is erroneous.
         error: bool,
     },
     /// A replica's deadline expired.
@@ -127,10 +139,15 @@ struct HostSlot {
 }
 
 /// The simulator.
-pub struct VolunteerGridSim {
+///
+/// Generic over the event engine so the timing-wheel [`EventQueue`]
+/// (the default) and the legacy [`crate::event::HeapQueue`] can be
+/// A/B-compared on identical campaigns; both satisfy the same `(at,
+/// seq)` pop order, so the choice cannot change a trace.
+pub struct VolunteerGridSim<S: Scheduler<SimEvent> = EventQueue<SimEvent>> {
     config: VolunteerGridConfig,
     server: TaskServer,
-    queue: EventQueue<Event>,
+    queue: S,
     hosts: Vec<HostSlot>,
     idle: Vec<u32>,
     active_count: usize,
@@ -144,11 +161,19 @@ pub struct VolunteerGridSim {
 }
 
 impl VolunteerGridSim {
-    /// Builds a simulator from a packaged campaign.
+    /// Builds a simulator from a packaged campaign, on the default
+    /// timing-wheel engine.
     ///
     /// The catalog is ordered by the §5.1 launch schedule (cheapest
     /// receptor first); receptor indices in the trace follow that order.
     pub fn new(pkg: &CampaignPackage<'_>, config: VolunteerGridConfig) -> Self {
+        Self::with_scheduler(pkg, config)
+    }
+}
+
+impl<S: Scheduler<SimEvent>> VolunteerGridSim<S> {
+    /// Builds a simulator on an explicit event engine (`S::default()`).
+    pub fn with_scheduler(pkg: &CampaignPackage<'_>, config: VolunteerGridConfig) -> Self {
         let schedule = LaunchSchedule::cheapest_first(pkg);
         let mut catalog = Vec::new();
         let mut receptor_total = vec![0.0f64; schedule.len()];
@@ -178,8 +203,8 @@ impl VolunteerGridSim {
             h_seconds,
         });
         let server = TaskServer::new(catalog, config.server);
-        let mut queue = EventQueue::new();
-        queue.schedule(SimTime::ZERO, Event::DayTick);
+        let mut queue = S::default();
+        queue.schedule(SimTime::ZERO, SimEvent::DayTick);
         let n_receptors = schedule.len();
         let snapshot_days = config.snapshot_days.clone();
         let trace = CampaignTrace {
@@ -233,16 +258,16 @@ impl VolunteerGridSim {
     pub fn run(mut self) -> CampaignTrace {
         while let Some((now, event)) = self.queue.pop() {
             match event {
-                Event::DayTick => self.on_day_tick(now),
-                Event::Fetch(h) => self.on_fetch(now, h),
-                Event::Report {
+                SimEvent::DayTick => self.on_day_tick(now),
+                SimEvent::Fetch(h) => self.on_fetch(now, h),
+                SimEvent::Report {
                     host,
                     replica,
                     issue_seconds,
                     accounted,
                     error,
                 } => self.on_report(now, host, replica, issue_seconds, accounted, error),
-                Event::Timeout(replica) => {
+                SimEvent::Timeout(replica) => {
                     self.server.handle_timeout(replica);
                 }
             }
@@ -307,7 +332,7 @@ impl VolunteerGridSim {
                 self.tele.churn.spawned.inc();
                 // Spread arrivals over the day deterministically.
                 let offset = 86_400.0 * (k as f64 + 0.5) / spawn as f64;
-                self.queue.schedule(now.after(offset), Event::Fetch(id));
+                self.queue.schedule(now.after(offset), SimEvent::Fetch(id));
             }
         } else {
             self.retire_quota += self.active_count - target;
@@ -341,7 +366,7 @@ impl VolunteerGridSim {
         });
 
         if !self.server.is_campaign_complete() && day + 1 < self.config.max_days {
-            self.queue.schedule(now.after(86_400.0), Event::DayTick);
+            self.queue.schedule(now.after(86_400.0), SimEvent::DayTick);
         }
     }
 
@@ -409,7 +434,7 @@ impl VolunteerGridSim {
                 };
                 self.queue.schedule(
                     now.after(self.server.deadline_seconds()),
-                    Event::Timeout(assign.replica),
+                    SimEvent::Timeout(assign.replica),
                 );
                 if exec.abandoned {
                     // The volunteer silently walks away: the host leaves
@@ -420,7 +445,7 @@ impl VolunteerGridSim {
                 } else {
                     self.queue.schedule(
                         now.after(exec.turnaround_seconds),
-                        Event::Report {
+                        SimEvent::Report {
                             host: h,
                             replica: assign.replica,
                             issue_seconds: now.seconds(),
@@ -482,7 +507,7 @@ impl VolunteerGridSim {
         // The host asks for more work shortly (unless the horizon passed).
         if now.day() < self.config.max_days {
             let delay = self.hosts[host as usize].host.work_fetch_delay();
-            self.queue.schedule(now.after(delay), Event::Fetch(host));
+            self.queue.schedule(now.after(delay), SimEvent::Fetch(host));
         }
     }
 
@@ -493,6 +518,11 @@ impl VolunteerGridSim {
     }
 
     /// Wakes idle hosts when the server has work again.
+    ///
+    /// Runs after *every* event, so it must not scan the host table:
+    /// hosts that found no work park themselves on the `idle` free-list
+    /// and this pops at most `available_count` of them — O(1) when
+    /// nobody is idle, O(woken) otherwise, never O(hosts).
     fn wake_idle_hosts(&mut self, now: SimTime) {
         if self.idle.is_empty() {
             return;
@@ -503,7 +533,7 @@ impl VolunteerGridSim {
             if !self.hosts[h as usize].active {
                 continue;
             }
-            self.queue.schedule_in(1.0, Event::Fetch(h));
+            self.queue.schedule_in(1.0, SimEvent::Fetch(h));
             available -= 1;
         }
     }

@@ -1,0 +1,103 @@
+//! Byte-identity of campaign traces across event engines.
+//!
+//! The timing wheel replaced the `BinaryHeap` inside the simulator's
+//! event queue; both pop in strictly increasing unique `(at, seq)`
+//! order, so the swap must be invisible — not approximately, but to the
+//! byte. These tests run fixed-seed campaigns through both engines (and
+//! through both host-execution modes) and compare the serialized JSON
+//! of the full [`CampaignTrace`].
+
+use gridsim::{
+    EventQueue, HeapQueue, MembershipModel, ProjectPhases, Scheduler, SeasonalityModel, SharePhase,
+    SimEvent, VolunteerGridConfig, VolunteerGridSim,
+};
+use maxdo::{CostModel, LibraryConfig, ProteinLibrary};
+use timemodel::CostMatrix;
+use workunit::CampaignPackage;
+
+/// Serializes to JSON bytes — the strictest equality we can ask for.
+fn bytes<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string(value).expect("serializes")
+}
+
+/// A small fixed-population campaign trace on the given engine.
+fn campaign<S: Scheduler<SimEvent>>(seed: u64, detailed: bool, feeder: bool) -> String {
+    let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 7);
+    let matrix = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.3));
+    let pkg = CampaignPackage::new(&lib, &matrix, 4.0 * 3600.0);
+    let mut config = VolunteerGridConfig::hcmd_phase1(1, seed);
+    config.membership = MembershipModel {
+        reference_vftp: 40.0,
+        reference_day: 1,
+        growth_exponent: 0.0,
+        seasonality: SeasonalityModel::flat(),
+        mean_accounted_fraction: 0.625,
+    };
+    config.phases = ProjectPhases::new(vec![SharePhase {
+        start_day: 0,
+        share_start: 1.0,
+        share_end: 1.0,
+        days: 365,
+        name: "full",
+    }]);
+    config.membership_start_day = 0;
+    config.snapshot_days = vec![1, 50];
+    config.detailed_sessions = detailed;
+    if feeder {
+        config.server.feeder = Some(gridsim::FeederConfig::default());
+    }
+    bytes(&VolunteerGridSim::<S>::with_scheduler(&pkg, config).run())
+}
+
+#[test]
+fn analytic_campaign_trace_is_engine_independent() {
+    for seed in [42, 7, 2007] {
+        let wheel = campaign::<EventQueue<SimEvent>>(seed, false, false);
+        let heap = campaign::<HeapQueue<SimEvent>>(seed, false, false);
+        assert_eq!(wheel, heap, "seed = {seed}");
+    }
+}
+
+#[test]
+fn detailed_sessions_trace_is_engine_independent() {
+    let wheel = campaign::<EventQueue<SimEvent>>(99, true, false);
+    let heap = campaign::<HeapQueue<SimEvent>>(99, true, false);
+    assert_eq!(wheel, heap);
+}
+
+#[test]
+fn feeder_campaign_trace_is_engine_independent() {
+    let wheel = campaign::<EventQueue<SimEvent>>(42, false, true);
+    let heap = campaign::<HeapQueue<SimEvent>>(42, false, true);
+    assert_eq!(wheel, heap);
+}
+
+#[test]
+fn default_engine_is_the_timing_wheel() {
+    // `VolunteerGridSim::new` must run on the wheel: same bytes as the
+    // explicit wheel instantiation.
+    let lib = ProteinLibrary::generate(LibraryConfig::tiny(3), 7);
+    let matrix = CostMatrix::from_cost_model(&lib, &CostModel::with_kappa(0.3));
+    let pkg = CampaignPackage::new(&lib, &matrix, 4.0 * 3600.0);
+    let mut config = VolunteerGridConfig::hcmd_phase1(1, 42);
+    config.membership = MembershipModel {
+        reference_vftp: 40.0,
+        reference_day: 1,
+        growth_exponent: 0.0,
+        seasonality: SeasonalityModel::flat(),
+        mean_accounted_fraction: 0.625,
+    };
+    config.phases = ProjectPhases::new(vec![SharePhase {
+        start_day: 0,
+        share_start: 1.0,
+        share_end: 1.0,
+        days: 365,
+        name: "full",
+    }]);
+    config.membership_start_day = 0;
+    config.snapshot_days = vec![1, 50];
+    let via_new = bytes(&VolunteerGridSim::new(&pkg, config.clone()).run());
+    let via_wheel =
+        bytes(&VolunteerGridSim::<EventQueue<SimEvent>>::with_scheduler(&pkg, config).run());
+    assert_eq!(via_new, via_wheel);
+}

@@ -1,0 +1,126 @@
+//! Warn-only perf-regression guard for the event-engine bench.
+//!
+//! Compares a fresh `sim_scale` run against the committed
+//! `BENCH_simscale.json` baseline, scenario by scenario, and prints a
+//! warning when the fresh events/sec falls below the baseline by more
+//! than the tolerance. CI machines are noisy and heterogeneous, so the
+//! guard never fails the build on a perf delta — exit 0 with warnings on
+//! stderr; exit 2 only when a report is missing or malformed.
+//!
+//! ```text
+//! bench_guard <baseline.json> <fresh.json> [--tolerance <fraction>]
+//! ```
+//!
+//! It also re-checks the PR's core claim on the *fresh* numbers: the
+//! timing wheel should stay ≥ 2x the heap at the 100k-host scenario
+//! (again warn-only — `--quick` runs don't include that fleet).
+
+use serde::Value;
+use std::process::ExitCode;
+
+/// Minimum wheel-over-heap speedup the big fleets are expected to keep.
+const EXPECTED_WHEEL_SPEEDUP: f64 = 2.0;
+/// Hosts from which the speedup expectation applies.
+const BIG_FLEET_HOSTS: f64 = 100_000.0;
+
+fn load(path: &str) -> Result<Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    serde_json::parse_value(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))
+}
+
+/// Flattens a report into `(hosts, wheel events/sec, wheel speedup)` rows.
+fn scenario_rows(report: &Value, path: &str) -> Result<Vec<(f64, f64, f64)>, String> {
+    let Some(Value::Seq(scenarios)) = report.get("scenarios") else {
+        return Err(format!("{path}: no \"scenarios\" array"));
+    };
+    scenarios
+        .iter()
+        .map(|s| {
+            let hosts = s.get("hosts").and_then(Value::as_f64);
+            let eps = s
+                .get("wheel")
+                .and_then(|w| w.get("events_per_sec"))
+                .and_then(Value::as_f64);
+            let speedup = s.get("wheel_speedup").and_then(Value::as_f64);
+            match (hosts, eps, speedup) {
+                (Some(h), Some(e), Some(x)) => Ok((h, e, x)),
+                _ => Err(format!("{path}: malformed scenario entry")),
+            }
+        })
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let mut tolerance = 0.30f64;
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tolerance" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => {
+                    eprintln!("bench_guard: --tolerance needs a fraction (e.g. 0.3)");
+                    return ExitCode::from(2);
+                }
+            },
+            other => paths.push(other.to_string()),
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_guard <baseline.json> <fresh.json> [--tolerance <fraction>]");
+        return ExitCode::from(2);
+    };
+
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let (base_rows, fresh_rows) = match (
+        scenario_rows(&baseline, baseline_path),
+        scenario_rows(&fresh, fresh_path),
+    ) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_guard: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut warnings = 0u32;
+    for &(hosts, fresh_eps, speedup) in &fresh_rows {
+        // Compare against the baseline scenario with the same fleet size
+        // (a --quick fresh run only covers a subset of the baseline).
+        if let Some(&(_, base_eps, _)) = base_rows.iter().find(|&&(h, _, _)| h == hosts) {
+            let floor = base_eps * (1.0 - tolerance);
+            if fresh_eps < floor {
+                warnings += 1;
+                eprintln!(
+                    "bench_guard: WARNING: {hosts:.0}-host fleet: wheel {fresh_eps:.0} \
+                     events/sec is below baseline {base_eps:.0} - {:.0}% tolerance",
+                    tolerance * 100.0
+                );
+            } else {
+                println!(
+                    "bench_guard: {hosts:.0}-host fleet ok: {fresh_eps:.0} events/sec \
+                     (baseline {base_eps:.0})"
+                );
+            }
+        } else {
+            println!("bench_guard: {hosts:.0}-host fleet has no baseline entry; skipped");
+        }
+        if hosts >= BIG_FLEET_HOSTS && speedup < EXPECTED_WHEEL_SPEEDUP {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: {hosts:.0}-host fleet: wheel speedup {speedup:.2}x \
+                 fell below the expected {EXPECTED_WHEEL_SPEEDUP:.1}x over the heap"
+            );
+        }
+    }
+    if warnings > 0 {
+        eprintln!("bench_guard: {warnings} warning(s) — informational only, not failing the build");
+    }
+    ExitCode::SUCCESS
+}
