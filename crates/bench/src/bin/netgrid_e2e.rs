@@ -1,0 +1,229 @@
+//! Live-grid end-to-end bench: the real `hcmd-netgrid` server and a
+//! fleet of real agents over loopback TCP, faults on.
+//!
+//! This is the wire-level counterpart of `sim_scale`: instead of a
+//! synthetic event fleet it runs an actual campaign — length-prefixed
+//! frames, maxdo docking in agent threads, quorum validation on the
+//! server — and reports throughput plus request-latency percentiles.
+//! The fleet always includes one agent that vanishes mid-workunit and
+//! one saboteur that corrupts every payload, so a single run exercises
+//! the §5.1 timeout-reissue path and the quorum-rejection path, and the
+//! report carries those counts.
+//!
+//! Writes `BENCH_netgrid.json` at the workspace root (override with
+//! `--out`); `tools/bench_guard` compares fresh runs against the
+//! committed baseline in CI (warn-only). `--quick` shrinks the fleet
+//! and the deadline so the loopback smoke stays seconds-scale.
+
+use bench_support::RunSession;
+use metrics::quantile;
+use netgrid::{
+    run_agent, AgentConfig, CampaignParams, FaultProfile, NetCampaign, NetServer, NetServerConfig,
+};
+use std::thread;
+use std::time::Duration;
+
+/// The `BENCH_netgrid.json` document.
+#[derive(serde::Serialize)]
+struct NetgridReport {
+    bench: String,
+    quick: bool,
+    seed: u64,
+    /// Honest (flaky-profile) agents; the victim and the saboteur ride
+    /// on top of these.
+    agents: usize,
+    workunits: usize,
+    wall_seconds: f64,
+    workunits_per_sec: f64,
+    /// `RequestWork` round trips observed across the whole fleet.
+    requests: usize,
+    request_latency_p50_ms: f64,
+    request_latency_p99_ms: f64,
+    timeout_reissues: u64,
+    quorum_rejects: u64,
+    /// Injected fault totals, for context next to the reissue counts.
+    disconnect_faults: u64,
+    stall_faults: u64,
+    corrupt_faults: u64,
+    merged_matches_baseline: bool,
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut agents: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed <n>")
+            }
+            "--agents" => {
+                agents = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--agents <n>"),
+                )
+            }
+            "--out" => out = Some(args.next().expect("--out <path>")),
+            other => {
+                eprintln!("netgrid_e2e: unknown argument {other}");
+                eprintln!(
+                    "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] [--out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Quick keeps the tiny 2-protein campaign and a short deadline so
+    // the victim's abandoned replica expires fast; the full run grows
+    // the library and the fleet.
+    let honest_agents = agents.unwrap_or(if quick { 4 } else { 6 });
+    let deadline_seconds = if quick { 2.0 } else { 4.0 };
+    let campaign_params = CampaignParams {
+        proteins: if quick { 2 } else { 3 },
+        lib_seed: seed,
+        ..CampaignParams::tiny()
+    };
+
+    let mut session = RunSession::start("netgrid_e2e", seed, 1);
+
+    let config = NetServerConfig {
+        campaign: campaign_params,
+        sweep_ms: 25,
+        ..NetServerConfig::loopback(deadline_seconds)
+    };
+    let server = NetServer::bind(config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || server.run());
+
+    // The fleet: one victim that takes a workunit and vanishes (forces
+    // a timeout reissue), one saboteur that corrupts everything it
+    // touches (forces quorum rejections), and the honest-but-flaky
+    // majority that actually carries the campaign.
+    let victim = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            run_agent(AgentConfig {
+                die_after: Some(1),
+                seed,
+                ..AgentConfig::new(addr, 100)
+            })
+        })
+    };
+    victim.join().unwrap().expect("victim agent ran");
+    let saboteur = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            run_agent(AgentConfig {
+                profile: FaultProfile {
+                    disconnect: 0.0,
+                    stall: 0.0,
+                    corrupt: 1.0,
+                },
+                seed,
+                ..AgentConfig::new(addr, 666)
+            })
+        })
+    };
+    thread::sleep(Duration::from_millis(50));
+    let honest: Vec<_> = (1..=honest_agents as u64)
+        .map(|agent| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                run_agent(AgentConfig {
+                    profile: FaultProfile::flaky(),
+                    threads: if agent == 1 { 2 } else { 1 },
+                    seed,
+                    ..AgentConfig::new(addr, agent)
+                })
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut faults = (0u64, 0u64, 0u64);
+    for h in honest {
+        let r = h.join().unwrap().expect("honest agent ran");
+        latencies.extend_from_slice(&r.request_latencies_ms);
+        faults.0 += r.disconnect_faults;
+        faults.1 += r.stall_faults;
+        faults.2 += r.corrupt_faults;
+    }
+    if let Ok(r) = saboteur.join().unwrap() {
+        latencies.extend_from_slice(&r.request_latencies_ms);
+        faults.2 += r.corrupt_faults;
+    }
+    let run = server.join().unwrap().expect("server ran");
+
+    let baseline = NetCampaign::build(campaign_params).baseline_outputs();
+    let merged_matches_baseline = serde_json::to_string(&run.outputs).expect("outputs serialize")
+        == serde_json::to_string(&baseline).expect("baseline serializes");
+
+    let report = NetgridReport {
+        bench: "netgrid_e2e".to_string(),
+        quick,
+        seed,
+        agents: honest_agents,
+        workunits: run.workunits,
+        wall_seconds: run.wall_seconds,
+        workunits_per_sec: run.workunits as f64 / run.wall_seconds.max(1e-9),
+        requests: latencies.len(),
+        request_latency_p50_ms: quantile(&latencies, 0.50).unwrap_or(0.0),
+        request_latency_p99_ms: quantile(&latencies, 0.99).unwrap_or(0.0),
+        timeout_reissues: run.server_stats.timeout_reissues,
+        quorum_rejects: run.net_stats.quorum_rejected,
+        disconnect_faults: faults.0,
+        stall_faults: faults.1,
+        corrupt_faults: faults.2,
+        merged_matches_baseline,
+    };
+    println!(
+        "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents + victim + saboteur)",
+        report.workunits, report.wall_seconds, report.workunits_per_sec, report.agents
+    );
+    println!(
+        "request latency p50 {:.2} ms, p99 {:.2} ms over {} requests",
+        report.request_latency_p50_ms, report.request_latency_p99_ms, report.requests
+    );
+    println!(
+        "faults: {} timeout reissues, {} quorum rejects ({} disconnects, {} stalls, {} corruptions injected)",
+        report.timeout_reissues,
+        report.quorum_rejects,
+        report.disconnect_faults,
+        report.stall_faults,
+        report.corrupt_faults
+    );
+    println!(
+        "merged output matches in-process baseline: {}",
+        report.merged_matches_baseline
+    );
+    if !report.merged_matches_baseline {
+        eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
+    }
+    if report.timeout_reissues == 0 || report.quorum_rejects == 0 {
+        eprintln!("netgrid_e2e: WARNING: a fault path went unexercised this run");
+    }
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    let default_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_netgrid.json");
+    let path = out.as_deref().unwrap_or(default_path);
+    match std::fs::write(path, json + "\n") {
+        Ok(()) => println!("netgrid_e2e -> {path}"),
+        Err(e) => {
+            eprintln!("netgrid_e2e: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let ok = report.merged_matches_baseline;
+    session.record_engine(report.requests as u64, 0, report.workunits as u64);
+    session.finish();
+    if !ok {
+        std::process::exit(1);
+    }
+}

@@ -15,8 +15,10 @@
 //!   ([`membership`]);
 //! * a BOINC-style task server: workunit queue in launch order, replica
 //!   issuing, deadlines and reissue, redundant computing with quorum
-//!   validation, and the mid-campaign switch to bounds-check validation
-//!   ([`server`]);
+//!   validation, and the mid-campaign switch to bounds-check validation —
+//!   implemented once as the transport-free [`sched::SchedulerCore`] and
+//!   shared with the live wire-level grid (`hcmd-netgrid`); [`server`]
+//!   is the simulator's frontend onto it;
 //! * the multi-project priority phases of the HCMD campaign — control,
 //!   prioritization, full power ([`project`]);
 //! * per-day CPU accounting, per-week result counting, per-receptor
@@ -51,6 +53,7 @@ pub mod host;
 pub mod membership;
 pub mod project;
 pub mod rng;
+pub mod sched;
 pub mod server;
 pub mod sessions;
 pub mod trace;
@@ -64,6 +67,7 @@ pub use fluid::{FluidModel, FluidTrace};
 pub use host::{AccountingMode, Host, HostId, HostParams, WorkunitExecution};
 pub use membership::{MembershipModel, SeasonalityModel};
 pub use project::{ProjectPhases, SharePhase};
+pub use sched::SchedulerCore;
 pub use server::{FeederConfig, ServerConfig, ServerStats, TaskServer, ValidationPolicy};
 pub use trace::CampaignTrace;
 pub use volunteer::{SimEvent, VolunteerGridConfig, VolunteerGridSim};

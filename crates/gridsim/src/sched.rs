@@ -1,0 +1,903 @@
+//! The transport-free scheduling core shared by every server frontend.
+//!
+//! [`SchedulerCore`] owns the policy state the paper's task server keeps
+//! in its database — the launch-ordered workunit queue, replica issue,
+//! deadlines and reissue, redundant computing with quorum validation, and
+//! the mid-campaign validation switch (§3.1, §5.1) — and nothing else: no
+//! clock, no sockets, no threads. Time is an explicit [`SimTime`]
+//! argument on every call, so the same core can be driven by
+//!
+//! * the discrete-event simulator ([`crate::volunteer`]), which feeds it
+//!   simulated seconds, and
+//! * the live wire-level grid (`hcmd-netgrid`), which feeds it wall-clock
+//!   seconds since server start.
+//!
+//! Both frontends therefore *provably* execute the same issue/validate
+//! decisions — there is exactly one implementation to drift from. The
+//! `scheduler_parity` integration test scripts one event sequence through
+//! both and asserts the decision streams are identical.
+//!
+//! §5.1 mechanisms implemented here:
+//!
+//! * **redundant computing** — "World Community Grid system sends more than
+//!   one copy of each workunit to the volunteers ... to identify and reject
+//!   erroneous results";
+//! * **timeouts** — "the workunit sent to a volunteer reached the timeout"
+//!   triggers a reissue; a late result that arrives after its reissue "is
+//!   taken into account even if the result has already been computed by
+//!   some other device" (it counts as redundant);
+//! * **the validation switch** — "It [the redundancy factor] was higher at
+//!   the beginning, because the results were compared to each other to be
+//!   validated, but later we provided a method to validate the results by
+//!   checking the values returned in the result file": quorum-compare
+//!   validation early, bounds-check validation (single replica) later.
+
+use crate::event::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use telemetry::{Event, IssueCause};
+
+/// How results are validated, which determines the replication level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ValidationPolicy {
+    /// Two replicas per workunit; results must agree (an erroneous result
+    /// never matches, forcing another replica).
+    QuorumCompare,
+    /// One replica; the result file's values are checked against known
+    /// bounds, so errors are detected without a second copy.
+    BoundsCheck,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Day (campaign time) at which validation switches from
+    /// [`ValidationPolicy::QuorumCompare`] to
+    /// [`ValidationPolicy::BoundsCheck`]; `None` keeps quorum forever.
+    pub validation_switch_day: Option<usize>,
+    /// Replica deadline, seconds (reissue after this).
+    pub deadline_seconds: f64,
+    /// Shared-memory feeder cache (Anderson, Korpela & Walton — the
+    /// paper's reference \[13\]): the scheduler serves replicas out of a
+    /// bounded in-memory cache that a feeder process refills from the
+    /// database in batches. `None` disables the feeder (every fetch hits
+    /// the queue directly).
+    pub feeder: Option<FeederConfig>,
+}
+
+/// Configuration of the BOINC-style feeder cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeederConfig {
+    /// Replicas the shared-memory segment holds.
+    pub cache_size: usize,
+    /// Replicas loaded per refill pass (the feeder wakes when the cache
+    /// runs low and loads up to this many).
+    pub refill_batch: usize,
+}
+
+impl Default for FeederConfig {
+    fn default() -> Self {
+        Self {
+            cache_size: 1000,
+            refill_batch: 100,
+        }
+    }
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            // The paper's redundancy factor fell after the early phase; the
+            // switch day is tuned so the campaign-wide factor lands at 1.37.
+            validation_switch_day: Some(110),
+            deadline_seconds: 10.0 * 86_400.0,
+            feeder: None,
+        }
+    }
+}
+
+/// Identifier of one issued replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ReplicaId(pub u64);
+
+/// A replica handed to a host, with everything the host model needs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicaAssignment {
+    /// The replica's identity (for reporting and timeout matching).
+    pub replica: ReplicaId,
+    /// Index of the workunit in the launch-ordered spec list.
+    pub workunit: u32,
+    /// Reference CPU seconds of the whole workunit.
+    pub ref_seconds: f64,
+    /// Reference CPU seconds of one starting position (checkpoint grain).
+    pub position_ref_seconds: f64,
+}
+
+/// What the server concluded from a reported result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportOutcome {
+    /// The result was the one that (first) completed its workunit.
+    pub completed_workunit: bool,
+    /// The result contributed to validation (useful); otherwise it is
+    /// redundant (late duplicate, post-completion copy) or erroneous.
+    pub useful: bool,
+    /// The result was erroneous and rejected.
+    pub erroneous: bool,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct WuState {
+    valid_results: u16,
+    complete: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReplicaState {
+    workunit: u32,
+    reported: bool,
+}
+
+/// Per-workunit static description the server schedules from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkunitCatalogEntry {
+    /// Reference CPU seconds of the workunit.
+    pub ref_seconds: f32,
+    /// Reference CPU seconds of one starting position.
+    pub position_ref_seconds: f32,
+    /// Receptor protein index (for progression accounting).
+    pub receptor: u16,
+}
+
+/// Why replicas were (re)issued — the server's own accounting of its
+/// §5.1 fault-tolerance work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// First replicas of fresh workunits.
+    pub initial_issues: u64,
+    /// Sibling replicas required by quorum validation.
+    pub quorum_issues: u64,
+    /// Reissues after a deadline expired.
+    pub timeout_reissues: u64,
+    /// Reissues after an erroneous result.
+    pub error_reissues: u64,
+    /// Results rejected as erroneous.
+    pub errors_received: u64,
+    /// Results that arrived after their workunit had completed.
+    pub late_results: u64,
+}
+
+impl ServerStats {
+    /// Total replicas issued.
+    pub fn total_issues(&self) -> u64 {
+        self.initial_issues + self.quorum_issues + self.timeout_reissues + self.error_reissues
+    }
+}
+
+/// The scheduling core: workunit queue in launch order, replica issue,
+/// validation, reissue. Transport-free — drive it from a simulator event
+/// loop or from live connection handlers; see the module docs.
+#[derive(Debug)]
+pub struct SchedulerCore {
+    catalog: Vec<WorkunitCatalogEntry>,
+    config: ServerConfig,
+    states: Vec<WuState>,
+    replicas: Vec<ReplicaState>,
+    /// Next never-issued workunit (launch order).
+    next_new: usize,
+    /// Workunits needing another replica (errors, timeouts, quorum).
+    reissue: VecDeque<u32>,
+    /// Completed workunit count.
+    completed: usize,
+    /// Total results received (the paper's 5,418,010 analogue).
+    pub results_received: u64,
+    /// Useful results (the paper's 3,936,010 analogue).
+    pub results_useful: u64,
+    /// Issue/reissue cause accounting.
+    pub stats: ServerStats,
+    /// Replicas currently staged in the feeder cache (workunit ids with
+    /// their issue causes pre-resolved).
+    feeder_cache: VecDeque<(u32, Option<ReissueCause>)>,
+    /// Fetches that found the cache empty while work existed in the
+    /// database — BOINC's "no work available, try again" responses.
+    pub feeder_misses: u64,
+    /// Pending reissue causes aligned with the `reissue` queue semantics:
+    /// cause of the next issue of each queued workunit.
+    reissue_causes: VecDeque<ReissueCause>,
+    /// Cached telemetry handles (zero-sized when telemetry is disabled).
+    tele: ServerTelemetry,
+    /// Workunit lifecycle events are logged for every `sample_stride`-th
+    /// workunit; full campaigns have ~10⁵ workunits, far too many to log
+    /// each. Override with `HCMD_TELEMETRY_SAMPLE=<stride>`.
+    sample_stride: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReissueCause {
+    Quorum,
+    Timeout,
+    Error,
+}
+
+impl ReissueCause {
+    fn issue_cause(self) -> IssueCause {
+        match self {
+            ReissueCause::Quorum => IssueCause::Quorum,
+            ReissueCause::Timeout => IssueCause::Timeout,
+            ReissueCause::Error => IssueCause::Error,
+        }
+    }
+}
+
+/// The server's cached metric handles, resolved once at construction so
+/// the scheduling hot path never touches the registry lock. Mirrors
+/// [`ServerStats`] into the global registry plus result accounting.
+#[derive(Debug)]
+struct ServerTelemetry {
+    initial_issues: &'static telemetry::Counter,
+    quorum_issues: &'static telemetry::Counter,
+    timeout_reissues: &'static telemetry::Counter,
+    error_reissues: &'static telemetry::Counter,
+    errors_received: &'static telemetry::Counter,
+    late_results: &'static telemetry::Counter,
+    results_received: &'static telemetry::Counter,
+    workunits_validated: &'static telemetry::Counter,
+    feeder_misses: &'static telemetry::Counter,
+}
+
+impl ServerTelemetry {
+    fn new() -> Self {
+        Self {
+            initial_issues: telemetry::counter("server.issues.initial"),
+            quorum_issues: telemetry::counter("server.issues.quorum"),
+            timeout_reissues: telemetry::counter("server.issues.timeout"),
+            error_reissues: telemetry::counter("server.issues.error"),
+            errors_received: telemetry::counter("server.results.errors"),
+            late_results: telemetry::counter("server.results.late"),
+            results_received: telemetry::counter("server.results.received"),
+            workunits_validated: telemetry::counter("server.workunits.validated"),
+            feeder_misses: telemetry::counter("server.feeder.misses"),
+        }
+    }
+}
+
+impl SchedulerCore {
+    /// Creates a server over a launch-ordered workunit catalog.
+    pub fn new(catalog: Vec<WorkunitCatalogEntry>, config: ServerConfig) -> Self {
+        assert!(!catalog.is_empty(), "campaign has no workunits");
+        assert!(config.deadline_seconds > 0.0, "deadline must be positive");
+        let n = catalog.len();
+        let sample_stride = std::env::var("HCMD_TELEMETRY_SAMPLE")
+            .ok()
+            .and_then(|s| s.parse::<u64>().ok())
+            .filter(|&s| s > 0)
+            .unwrap_or_else(|| (n as u64 / 512).max(1));
+        // Pre-size the hot collections from the configured policy instead
+        // of growing from empty. Quorum validation (replication level 2)
+        // queues one sibling per fresh workunit, so the reissue queue's
+        // steady-state depth tracks the in-flight issue window; replicas
+        // accumulate one entry per issue over the whole campaign.
+        let redundancy: usize = match config.validation_switch_day {
+            Some(0) => 1,
+            _ => 2,
+        };
+        let reissue_capacity = if redundancy > 1 { (n / 4).max(64) } else { 64 };
+        let feeder_capacity = config.feeder.map_or(0, |f| f.cache_size);
+        Self {
+            config,
+            states: vec![WuState::default(); n],
+            replicas: Vec::with_capacity(n * redundancy),
+            next_new: 0,
+            reissue: VecDeque::with_capacity(reissue_capacity),
+            completed: 0,
+            results_received: 0,
+            results_useful: 0,
+            stats: ServerStats::default(),
+            reissue_causes: VecDeque::with_capacity(reissue_capacity),
+            feeder_cache: VecDeque::with_capacity(feeder_capacity),
+            feeder_misses: 0,
+            tele: ServerTelemetry::new(),
+            sample_stride,
+            catalog,
+        }
+    }
+
+    /// Whether a workunit's lifecycle is logged to the event stream (the
+    /// engine uses the same sampling for dispatch/report events).
+    pub fn sampled(&self, wu: u32) -> bool {
+        u64::from(wu) % self.sample_stride == 0
+    }
+
+    fn record_issue(&self, now: SimTime, wu: u32, cause: IssueCause) {
+        match cause {
+            IssueCause::Initial => self.tele.initial_issues.inc(),
+            IssueCause::Quorum => self.tele.quorum_issues.inc(),
+            IssueCause::Timeout => self.tele.timeout_reissues.inc(),
+            IssueCause::Error => self.tele.error_reissues.inc(),
+        }
+        if self.sampled(wu) {
+            telemetry::emit(Some(now.seconds()), || Event::WorkunitIssued {
+                workunit: u64::from(wu),
+                cause,
+            });
+        }
+    }
+
+    /// Moves up to `n` issuable replicas from the database queues into the
+    /// feeder cache (the feeder's refill pass).
+    fn feeder_refill(&mut self, now: SimTime, n: usize, cache_size: usize) {
+        while self.feeder_cache.len() < cache_size.min(self.feeder_cache.len() + n) {
+            if let Some((wu, cause)) = self.pop_reissue() {
+                self.feeder_cache.push_back((wu, Some(cause)));
+            } else if self.next_new < self.catalog.len() {
+                let wu = self.next_new as u32;
+                self.next_new += 1;
+                if self.policy_at(now) == ValidationPolicy::QuorumCompare {
+                    self.push_reissue(wu, ReissueCause::Quorum);
+                }
+                self.feeder_cache.push_back((wu, None));
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The validation policy in force at a time.
+    pub fn policy_at(&self, now: SimTime) -> ValidationPolicy {
+        match self.config.validation_switch_day {
+            Some(day) if now.day() >= day => ValidationPolicy::BoundsCheck,
+            _ => ValidationPolicy::QuorumCompare,
+        }
+    }
+
+    /// Replica deadline in seconds.
+    pub fn deadline_seconds(&self) -> f64 {
+        self.config.deadline_seconds
+    }
+
+    /// Number of workunits in the campaign.
+    pub fn workunit_count(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Number of completed (validated) workunits.
+    pub fn completed_count(&self) -> usize {
+        self.completed
+    }
+
+    /// True when every workunit is validated.
+    pub fn is_campaign_complete(&self) -> bool {
+        self.completed == self.catalog.len()
+    }
+
+    /// Catalog entry of a workunit.
+    pub fn entry(&self, workunit: u32) -> WorkunitCatalogEntry {
+        self.catalog[workunit as usize]
+    }
+
+    /// Hands out the next replica, or `None` when no work is available
+    /// right now (everything issued and pending, or — with a feeder — the
+    /// cache momentarily empty).
+    pub fn fetch_work(&mut self, now: SimTime) -> Option<ReplicaAssignment> {
+        if let Some(feeder) = self.config.feeder {
+            // Fast path: serve straight from the cache front; refill
+            // lazily when it runs dry (the real feeder runs
+            // asynchronously — serving the refill on the *next* request
+            // models the one-poll latency volunteers see).
+            loop {
+                let Some((wu, cause)) = self.feeder_cache.pop_front() else {
+                    if self.available_count(now) > 0 {
+                        self.feeder_misses += 1;
+                        self.tele.feeder_misses.inc();
+                    }
+                    self.feeder_refill(now, feeder.refill_batch, feeder.cache_size);
+                    return None;
+                };
+                // Skip reissue copies whose workunit completed while staged.
+                if self.states[wu as usize].complete && cause.is_some() {
+                    continue;
+                }
+                match cause {
+                    Some(ReissueCause::Quorum) => self.stats.quorum_issues += 1,
+                    Some(ReissueCause::Timeout) => self.stats.timeout_reissues += 1,
+                    Some(ReissueCause::Error) => self.stats.error_reissues += 1,
+                    None => self.stats.initial_issues += 1,
+                }
+                self.record_issue(
+                    now,
+                    wu,
+                    cause.map_or(IssueCause::Initial, ReissueCause::issue_cause),
+                );
+                return Some(self.issue_replica(wu));
+            }
+        }
+        // Reissues first: they hold completed predecessors' workunits back.
+        let workunit = if let Some((wu, cause)) = self.pop_reissue() {
+            match cause {
+                ReissueCause::Quorum => self.stats.quorum_issues += 1,
+                ReissueCause::Timeout => self.stats.timeout_reissues += 1,
+                ReissueCause::Error => self.stats.error_reissues += 1,
+            }
+            self.record_issue(now, wu, cause.issue_cause());
+            wu
+        } else if self.next_new < self.catalog.len() {
+            let wu = self.next_new as u32;
+            self.next_new += 1;
+            self.stats.initial_issues += 1;
+            self.record_issue(now, wu, IssueCause::Initial);
+            // Under quorum validation each fresh workunit needs two
+            // replicas; queue the sibling copy.
+            if self.policy_at(now) == ValidationPolicy::QuorumCompare {
+                self.push_reissue(wu, ReissueCause::Quorum);
+            }
+            wu
+        } else {
+            return None;
+        };
+        Some(self.issue_replica(workunit))
+    }
+
+    /// Registers a fresh replica of `workunit` and builds its assignment.
+    fn issue_replica(&mut self, workunit: u32) -> ReplicaAssignment {
+        let replica = ReplicaId(self.replicas.len() as u64);
+        self.replicas.push(ReplicaState {
+            workunit,
+            reported: false,
+        });
+        let e = self.catalog[workunit as usize];
+        ReplicaAssignment {
+            replica,
+            workunit,
+            ref_seconds: e.ref_seconds as f64,
+            position_ref_seconds: e.position_ref_seconds as f64,
+        }
+    }
+
+    fn push_reissue(&mut self, wu: u32, cause: ReissueCause) {
+        self.reissue.push_back(wu);
+        self.reissue_causes.push_back(cause);
+    }
+
+    fn pop_reissue(&mut self) -> Option<(u32, ReissueCause)> {
+        while let Some(wu) = self.reissue.pop_front() {
+            let cause = self.reissue_causes.pop_front().expect("queues in sync");
+            if !self.states[wu as usize].complete {
+                return Some((wu, cause));
+            }
+            // A sibling/reissue became moot; drop it.
+        }
+        None
+    }
+
+    /// Reports a replica's result. `erroneous` is whether the computation
+    /// produced an invalid result file.
+    pub fn report_result(
+        &mut self,
+        now: SimTime,
+        replica: ReplicaId,
+        erroneous: bool,
+    ) -> ReportOutcome {
+        let r = &mut self.replicas[replica.0 as usize];
+        assert!(!r.reported, "replica reported twice");
+        r.reported = true;
+        let wu = r.workunit;
+        self.results_received += 1;
+        self.tele.results_received.inc();
+        let needed = match self.policy_at(now) {
+            ValidationPolicy::QuorumCompare => 2,
+            ValidationPolicy::BoundsCheck => 1,
+        };
+        if erroneous {
+            self.stats.errors_received += 1;
+            self.tele.errors_received.inc();
+            // Rejected; if the workunit still needs results, reissue.
+            if !self.states[wu as usize].complete {
+                self.push_reissue(wu, ReissueCause::Error);
+                if self.sampled(wu) {
+                    telemetry::emit(Some(now.seconds()), || Event::WorkunitReissued {
+                        workunit: u64::from(wu),
+                        cause: IssueCause::Error,
+                    });
+                }
+            }
+            return ReportOutcome {
+                completed_workunit: false,
+                useful: false,
+                erroneous: true,
+            };
+        }
+        let state = &mut self.states[wu as usize];
+        if state.complete {
+            // Late or surplus copy of an already-validated workunit: the
+            // paper counts it (it arrived) but it is redundant.
+            self.stats.late_results += 1;
+            self.tele.late_results.inc();
+            return ReportOutcome {
+                completed_workunit: false,
+                useful: false,
+                erroneous: false,
+            };
+        }
+        state.valid_results += 1;
+        if state.valid_results >= needed {
+            state.complete = true;
+            self.completed += 1;
+            self.tele.workunits_validated.inc();
+            if self.sampled(wu) {
+                telemetry::emit(Some(now.seconds()), || Event::WorkunitValidated {
+                    workunit: u64::from(wu),
+                });
+            }
+            // One *effective* result per workunit reaches the science team
+            // (the paper's 3,936,010 against 5,418,010 received — "only
+            // 73 % are useful results"). Quorum partners, late copies and
+            // errors are all redundancy.
+            self.results_useful += 1;
+            ReportOutcome {
+                completed_workunit: true,
+                useful: true,
+                erroneous: false,
+            }
+        } else {
+            // First of a quorum pair: needed for validation but not the
+            // effective result.
+            ReportOutcome {
+                completed_workunit: false,
+                useful: false,
+                erroneous: false,
+            }
+        }
+    }
+
+    /// Handles a replica deadline: if the replica never reported and its
+    /// workunit is still incomplete, queue a reissue. Returns true when a
+    /// reissue was queued.
+    pub fn handle_timeout(&mut self, replica: ReplicaId) -> bool {
+        let r = self.replicas[replica.0 as usize];
+        if !r.reported && !self.states[r.workunit as usize].complete {
+            self.push_reissue(r.workunit, ReissueCause::Timeout);
+            if self.sampled(r.workunit) {
+                telemetry::emit(None, || Event::WorkunitReissued {
+                    workunit: u64::from(r.workunit),
+                    cause: IssueCause::Timeout,
+                });
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The workunit a replica belongs to.
+    pub fn replica_workunit(&self, replica: ReplicaId) -> u32 {
+        self.replicas[replica.0 as usize].workunit
+    }
+
+    /// Number of replicas ever issued. Replica ids are dense, so a
+    /// transport can range-check untrusted ids before calling in.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Upper bound on the number of replicas the server could issue right
+    /// now (queued reissues — possibly moot — plus never-issued workunits).
+    /// Used by the engine to wake idle hosts.
+    pub fn available_count(&self, _now: SimTime) -> usize {
+        self.reissue.len() + (self.catalog.len() - self.next_new)
+    }
+
+    /// The campaign-wide redundancy factor so far
+    /// (results received / useful results).
+    pub fn redundancy_factor(&self) -> f64 {
+        if self.results_useful == 0 {
+            1.0
+        } else {
+            self.results_received as f64 / self.results_useful as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Vec<WorkunitCatalogEntry> {
+        (0..n)
+            .map(|i| WorkunitCatalogEntry {
+                ref_seconds: 1000.0 + i as f32,
+                position_ref_seconds: 100.0,
+                receptor: (i % 4) as u16,
+            })
+            .collect()
+    }
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::new(sec)
+    }
+
+    #[test]
+    fn quorum_era_issues_two_replicas_per_workunit() {
+        let mut s = SchedulerCore::new(catalog(2), ServerConfig::default());
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(1.0)).unwrap();
+        assert_eq!(a.workunit, 0);
+        assert_eq!(b.workunit, 0, "sibling replica of wu 0 first");
+        let c = s.fetch_work(t(2.0)).unwrap();
+        assert_eq!(c.workunit, 1);
+    }
+
+    #[test]
+    fn quorum_completion_needs_two_valid_results() {
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(0.0)).unwrap();
+        let r1 = s.report_result(t(10.0), a.replica, false);
+        assert!(!r1.completed_workunit);
+        assert!(!r1.useful, "quorum partner is redundancy, not effective");
+        let r2 = s.report_result(t(20.0), b.replica, false);
+        assert!(r2.completed_workunit);
+        assert!(r2.useful);
+        assert!(s.is_campaign_complete());
+        assert_eq!(s.results_useful, 1);
+        assert_eq!(s.results_received, 2);
+        assert!((s.redundancy_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_check_era_single_replica_suffices() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(2), cfg);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(0.0)).unwrap();
+        assert_eq!((a.workunit, b.workunit), (0, 1), "no sibling replicas");
+        let r = s.report_result(t(10.0), a.replica, false);
+        assert!(r.completed_workunit);
+        assert_eq!(s.redundancy_factor(), 1.0);
+    }
+
+    #[test]
+    fn erroneous_result_triggers_reissue() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(1), cfg);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let r = s.report_result(t(5.0), a.replica, true);
+        assert!(r.erroneous);
+        assert!(!r.useful);
+        // The reissue is available again.
+        let b = s.fetch_work(t(6.0)).unwrap();
+        assert_eq!(b.workunit, 0);
+        assert!(
+            s.report_result(t(10.0), b.replica, false)
+                .completed_workunit
+        );
+        assert!((s.redundancy_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_reissues_only_unreported_incomplete_replicas() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(2), cfg);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(0.0)).unwrap();
+        s.report_result(t(5.0), a.replica, false);
+        assert!(!s.handle_timeout(a.replica), "reported replica: no reissue");
+        assert!(s.handle_timeout(b.replica), "silent replica: reissue");
+        let c = s.fetch_work(t(10.0)).unwrap();
+        assert_eq!(c.workunit, b.workunit);
+    }
+
+    #[test]
+    fn late_result_after_completion_is_redundant() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(1), cfg);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        s.handle_timeout(a.replica);
+        let b = s.fetch_work(t(1.0)).unwrap();
+        s.report_result(t(2.0), b.replica, false);
+        // The original straggler finally reports.
+        let r = s.report_result(t(3.0), a.replica, false);
+        assert!(!r.useful);
+        assert!(!r.completed_workunit);
+        assert_eq!(s.results_received, 2);
+        assert_eq!(s.results_useful, 1);
+        assert!((s.redundancy_factor() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn moot_sibling_replicas_are_dropped() {
+        // Quorum era queues a sibling; if the wu completes via timeout
+        // reissues before the sibling is fetched, the sibling must not be
+        // handed out.
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s.fetch_work(t(0.0)).unwrap(); // wu0 replica 1
+        let b = s.fetch_work(t(0.0)).unwrap(); // wu0 sibling
+        s.report_result(t(1.0), a.replica, false);
+        s.report_result(t(2.0), b.replica, false);
+        assert!(s.is_campaign_complete());
+        assert!(s.fetch_work(t(3.0)).is_none());
+    }
+
+    #[test]
+    fn policy_switches_at_the_configured_day() {
+        let s = SchedulerCore::new(
+            catalog(1),
+            ServerConfig {
+                validation_switch_day: Some(10),
+                ..Default::default()
+            },
+        );
+        assert_eq!(s.policy_at(t(0.0)), ValidationPolicy::QuorumCompare);
+        assert_eq!(
+            s.policy_at(t(9.9 * 86_400.0)),
+            ValidationPolicy::QuorumCompare
+        );
+        assert_eq!(
+            s.policy_at(t(10.0 * 86_400.0)),
+            ValidationPolicy::BoundsCheck
+        );
+    }
+
+    #[test]
+    fn fetch_returns_none_when_everything_is_out() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(1), cfg);
+        assert!(s.fetch_work(t(0.0)).is_some());
+        assert!(s.fetch_work(t(0.0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "reported twice")]
+    fn double_report_rejected() {
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s.fetch_work(t(0.0)).unwrap();
+        s.report_result(t(1.0), a.replica, false);
+        s.report_result(t(2.0), a.replica, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "no workunits")]
+    fn empty_catalog_rejected() {
+        SchedulerCore::new(Vec::new(), ServerConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod feeder_tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Vec<WorkunitCatalogEntry> {
+        (0..n)
+            .map(|_| WorkunitCatalogEntry {
+                ref_seconds: 1000.0,
+                position_ref_seconds: 100.0,
+                receptor: 0,
+            })
+            .collect()
+    }
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::new(sec)
+    }
+
+    fn feeder_config(cache: usize, batch: usize) -> ServerConfig {
+        ServerConfig {
+            validation_switch_day: Some(0),
+            feeder: Some(FeederConfig {
+                cache_size: cache,
+                refill_batch: batch,
+            }),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn first_fetch_misses_then_cache_serves() {
+        let mut s = SchedulerCore::new(catalog(10), feeder_config(4, 4));
+        // The cache starts cold: the first request records a miss and
+        // triggers the refill (BOINC's "no work sent, try again").
+        assert!(s.fetch_work(t(0.0)).is_none());
+        assert_eq!(s.feeder_misses, 1);
+        // Now the cache is primed.
+        let a = s.fetch_work(t(1.0)).expect("cache primed");
+        assert_eq!(a.workunit, 0);
+        assert_eq!(s.stats.initial_issues, 1);
+    }
+
+    #[test]
+    fn all_work_flows_through_the_feeder() {
+        let mut s = SchedulerCore::new(catalog(25), feeder_config(8, 8));
+        let mut served = 0;
+        let mut polls = 0;
+        while !s.is_campaign_complete() && polls < 1000 {
+            polls += 1;
+            if let Some(a) = s.fetch_work(t(polls as f64)) {
+                s.report_result(t(polls as f64 + 0.5), a.replica, false);
+                served += 1;
+            }
+        }
+        assert!(s.is_campaign_complete(), "campaign must drain via feeder");
+        assert_eq!(served, 25);
+        assert!(s.feeder_misses >= 1, "cold cache must have missed");
+    }
+
+    #[test]
+    fn cache_never_exceeds_its_size() {
+        let mut s = SchedulerCore::new(catalog(100), feeder_config(5, 50));
+        assert!(s.fetch_work(t(0.0)).is_none()); // refill pass
+        assert!(s.feeder_cache.len() <= 5, "cache {}", s.feeder_cache.len());
+    }
+
+    #[test]
+    fn empty_database_miss_is_not_counted() {
+        let mut s = SchedulerCore::new(catalog(1), feeder_config(4, 4));
+        assert!(s.fetch_work(t(0.0)).is_none()); // cold start
+        let a = s.fetch_work(t(1.0)).unwrap();
+        s.report_result(t(2.0), a.replica, false);
+        assert!(s.is_campaign_complete());
+        let misses_before = s.feeder_misses;
+        // No work exists at all now: not a feeder miss, just done.
+        assert!(s.fetch_work(t(3.0)).is_none());
+        assert_eq!(s.feeder_misses, misses_before);
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::new(sec)
+    }
+
+    fn catalog(n: usize) -> Vec<WorkunitCatalogEntry> {
+        (0..n)
+            .map(|_| WorkunitCatalogEntry {
+                ref_seconds: 1000.0,
+                position_ref_seconds: 100.0,
+                receptor: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn issue_causes_are_attributed() {
+        let mut s = SchedulerCore::new(catalog(2), ServerConfig::default());
+        // Quorum era: wu0 + sibling, wu1 + sibling.
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(0.0)).unwrap();
+        assert_eq!(s.stats.initial_issues, 1);
+        assert_eq!(s.stats.quorum_issues, 1);
+        // b times out silently; reissue is attributed to the timeout.
+        s.report_result(t(10.0), a.replica, false);
+        assert!(s.handle_timeout(b.replica));
+        let c = s.fetch_work(t(20.0)).unwrap();
+        assert_eq!(c.workunit, 0);
+        assert_eq!(s.stats.timeout_reissues, 1);
+        // An erroneous result triggers an error reissue.
+        s.report_result(t(30.0), c.replica, true);
+        assert_eq!(s.stats.errors_received, 1);
+        let d = s.fetch_work(t(40.0)).unwrap();
+        assert_eq!(d.workunit, 0);
+        assert_eq!(s.stats.error_reissues, 1);
+        // Complete wu0; the straggler b finally reports late.
+        s.report_result(t(50.0), d.replica, false);
+        let late = s.report_result(t(60.0), b.replica, false);
+        assert!(!late.useful);
+        assert_eq!(s.stats.late_results, 1);
+        assert_eq!(s.stats.total_issues(), 4);
+    }
+}

@@ -234,6 +234,28 @@ impl<'a> DockingEngine<'a> {
         DockingOutput { rows, evaluations }
     }
 
+    /// Docks every orientation couple of one starting position in
+    /// parallel over the shared thread pool.
+    ///
+    /// The checkpoint unit is the starting position (§4.3), so a
+    /// volunteer agent that wants both between-position checkpoints *and*
+    /// multicore execution parallelises inside the position: the 21
+    /// orientation couples fan out over the pool and collect in order.
+    /// Output is bit-identical to [`Self::dock_position`] — the collect
+    /// preserves `irot` order and each cell is independent.
+    pub fn dock_position_parallel(&self, isep: u32) -> DockingOutput {
+        let cells: Vec<(DockingRow, u64)> = (1..=self.nrot())
+            .into_par_iter()
+            .map(|irot| self.dock_cell(isep, irot))
+            .collect();
+        let mut out = DockingOutput::with_capacity(cells.len());
+        for (row, evals) in cells {
+            out.rows.push(row);
+            out.evaluations += evals;
+        }
+        out
+    }
+
     /// Docks a contiguous inclusive range of starting positions — exactly
     /// the work of one workunit (§4.2).
     pub fn dock_range(&self, isep_start: u32, isep_end: u32) -> DockingOutput {
@@ -374,6 +396,17 @@ mod tests {
         // and check thread-count independence while at it.
         for threads in [1, 2, 4] {
             let par = rayon::with_threads(threads, || e.dock_map_parallel());
+            assert_eq!(seq, par, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_position_matches_sequential() {
+        let lib = tiny_lib();
+        let e = tiny_engine(&lib);
+        let seq = e.dock_position(1);
+        for threads in [1, 2, 4] {
+            let par = rayon::with_threads(threads, || e.dock_position_parallel(1));
             assert_eq!(seq, par, "threads = {threads}");
         }
     }

@@ -1,0 +1,289 @@
+//! The volunteer agent: fetch, dock, checkpoint, report.
+//!
+//! One agent models one volunteer machine. Its session loop mirrors the
+//! BOINC client the paper's volunteers ran: connect, learn the campaign
+//! from `HelloAck`, then cycle *request work → compute → report* until
+//! the server says the campaign is complete. The docking is the real
+//! maxdo kernel; with `threads > 1` each starting position's 21
+//! orientation couples run on the vendored rayon pool
+//! (order-preserving, so the payload is byte-identical to a
+//! single-threaded volunteer's — a prerequisite for byte-level quorum).
+//!
+//! Progress is checkpointed *between starting positions* (§4.3,
+//! [`DockingCheckpoint`]): when fault injection kills the connection
+//! mid-workunit, the replica is abandoned exactly the way a powered-off
+//! volunteer PC abandons work — the server's deadline sweep reissues it,
+//! and this agent starts the next assignment from scratch.
+
+use crate::campaign::NetCampaign;
+use crate::faults::{FaultAction, FaultDice, FaultProfile};
+use crate::protocol::{read_message, write_message, Message};
+use maxdo::{DockingCheckpoint, DockingOutput};
+use std::io;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Agent configuration.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Stable agent identity (also salts the fault stream).
+    pub agent: u64,
+    /// Docking threads (1 = sequential).
+    pub threads: usize,
+    /// Fault injection profile.
+    pub profile: FaultProfile,
+    /// Run seed shared by every agent of a campaign.
+    pub seed: u64,
+    /// Abandon the session (no report, no `Bye`) after this many
+    /// assignments — the "volunteer switched the PC off" test hook.
+    pub die_after: Option<u32>,
+    /// Give up after this many consecutive failed connection attempts.
+    pub max_connect_attempts: u32,
+}
+
+impl AgentConfig {
+    /// A reliable single-threaded volunteer.
+    pub fn new(addr: impl Into<String>, agent: u64) -> Self {
+        Self {
+            addr: addr.into(),
+            agent,
+            threads: 1,
+            profile: FaultProfile::none(),
+            seed: 0,
+            die_after: None,
+            max_connect_attempts: 50,
+        }
+    }
+}
+
+/// What one agent did over its lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct AgentReport {
+    /// Assignments received.
+    pub assignments: u64,
+    /// Results reported (honest + corrupted + stalled).
+    pub reported: u64,
+    /// Reports the server accepted.
+    pub accepted: u64,
+    /// Injected disconnects.
+    pub disconnect_faults: u64,
+    /// Injected stalls.
+    pub stall_faults: u64,
+    /// Injected corruptions.
+    pub corrupt_faults: u64,
+    /// Round-trip latency of each `RequestWork`, milliseconds.
+    pub request_latencies_ms: Vec<f64>,
+    /// Whether the agent saw the campaign complete (vs. dying early).
+    pub saw_completion: bool,
+}
+
+/// Runs one agent until the campaign completes (or it dies on purpose).
+pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
+    let mut report = AgentReport::default();
+    let mut dice = FaultDice::new(config.seed, config.agent, config.profile);
+    let mut campaign: Option<NetCampaign> = None;
+    let mut connect_failures = 0u32;
+
+    'session: loop {
+        let mut stream = match TcpStream::connect(&config.addr) {
+            Ok(s) => {
+                connect_failures = 0;
+                s
+            }
+            Err(e) => {
+                connect_failures += 1;
+                if connect_failures >= config.max_connect_attempts {
+                    // The server is gone — most likely the campaign
+                    // finished while this agent was between sessions.
+                    return if report.saw_completion || report.reported > 0 {
+                        Ok(report)
+                    } else {
+                        Err(e)
+                    };
+                }
+                std::thread::sleep(Duration::from_millis(50));
+                continue 'session;
+            }
+        };
+        stream.set_nodelay(true)?;
+
+        write_message(
+            &mut stream,
+            &Message::Hello {
+                agent: config.agent,
+                threads: config.threads as u32,
+            },
+        )?;
+        let deadline_seconds = match read_message(&mut stream) {
+            Ok(Some(Message::HelloAck {
+                campaign: params,
+                deadline_seconds,
+                ..
+            })) => {
+                if campaign.is_none() {
+                    campaign = Some(NetCampaign::build(params));
+                }
+                deadline_seconds
+            }
+            Ok(Some(Message::Busy { retry_after_ms })) => {
+                std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
+                continue 'session;
+            }
+            Ok(_) | Err(_) => {
+                std::thread::sleep(Duration::from_millis(50));
+                continue 'session;
+            }
+        };
+        let campaign = campaign.as_ref().expect("set on first HelloAck");
+
+        loop {
+            let asked = Instant::now();
+            if write_message(&mut stream, &Message::RequestWork).is_err() {
+                continue 'session;
+            }
+            let reply = match read_message(&mut stream) {
+                Ok(Some(m)) => m,
+                _ => continue 'session,
+            };
+            report
+                .request_latencies_ms
+                .push(asked.elapsed().as_secs_f64() * 1e3);
+            match reply {
+                Message::NoWork {
+                    campaign_complete,
+                    retry_after_ms,
+                } => {
+                    if campaign_complete {
+                        report.saw_completion = true;
+                        let _ = write_message(&mut stream, &Message::Bye);
+                        return Ok(report);
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
+                }
+                Message::Busy { retry_after_ms } => {
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
+                    continue 'session;
+                }
+                Message::Assignment {
+                    replica,
+                    workunit,
+                    isep_start,
+                    positions,
+                    deadline_seconds: wu_deadline,
+                    ..
+                } => {
+                    report.assignments += 1;
+                    if config
+                        .die_after
+                        .is_some_and(|n| report.assignments >= u64::from(n))
+                    {
+                        // Vanish mid-workunit: no report, no Bye.
+                        return Ok(report);
+                    }
+                    let action = dice.draw();
+                    if action == FaultAction::Disconnect {
+                        report.disconnect_faults += 1;
+                        // Drop the TCP stream on the floor; the replica
+                        // ages out and the server reissues it.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue 'session;
+                    }
+                    let mut output =
+                        compute_workunit(campaign, workunit, isep_start, positions, config.threads);
+                    match action {
+                        FaultAction::Stall => {
+                            report.stall_faults += 1;
+                            let past_deadline =
+                                Duration::from_secs_f64(wu_deadline.max(deadline_seconds) + 0.3);
+                            std::thread::sleep(past_deadline);
+                        }
+                        FaultAction::Corrupt => {
+                            report.corrupt_faults += 1;
+                            dice.corrupt(&mut output);
+                        }
+                        FaultAction::None | FaultAction::Disconnect => {}
+                    }
+                    if write_message(
+                        &mut stream,
+                        &Message::ResultReport {
+                            replica,
+                            workunit,
+                            output,
+                        },
+                    )
+                    .is_err()
+                    {
+                        continue 'session;
+                    }
+                    report.reported += 1;
+                    match read_message(&mut stream) {
+                        Ok(Some(Message::ResultAck {
+                            accepted,
+                            campaign_complete,
+                            ..
+                        })) => {
+                            if accepted {
+                                report.accepted += 1;
+                            }
+                            if campaign_complete {
+                                report.saw_completion = true;
+                                let _ = write_message(&mut stream, &Message::Bye);
+                                return Ok(report);
+                            }
+                        }
+                        _ => continue 'session,
+                    }
+                }
+                _ => continue 'session,
+            }
+        }
+    }
+}
+
+/// Computes one workunit through the §4.3 checkpoint, position by
+/// position — on `threads > 1`, each position's orientation fan runs on
+/// the shared rayon pool with a thread-local cap.
+fn compute_workunit(
+    campaign: &NetCampaign,
+    workunit: u32,
+    isep_start: u32,
+    positions: u32,
+    threads: usize,
+) -> DockingOutput {
+    let spec = campaign.spec(workunit);
+    debug_assert_eq!((spec.isep_start, spec.positions), (isep_start, positions));
+    let engine = campaign.engine(spec);
+    let mut cp = DockingCheckpoint::new(isep_start, isep_start + positions - 1);
+    while !cp.is_complete() {
+        let next = cp.next_isep;
+        let out = if threads > 1 {
+            rayon::with_threads(threads, || engine.dock_position_parallel(next))
+        } else {
+            engine.dock_position(next)
+        };
+        cp.commit_position(out);
+    }
+    DockingOutput {
+        rows: cp.rows,
+        evaluations: cp.evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CampaignParams;
+
+    #[test]
+    fn checkpointed_compute_matches_direct_dock_range() {
+        let campaign = NetCampaign::build(CampaignParams::tiny());
+        let spec = campaign.spec(0);
+        let direct = campaign.compute(spec);
+        let via_checkpoint = compute_workunit(&campaign, 0, spec.isep_start, spec.positions, 1);
+        assert_eq!(via_checkpoint, direct);
+        let parallel = compute_workunit(&campaign, 0, spec.isep_start, spec.positions, 4);
+        assert_eq!(parallel, direct, "thread count must not change bytes");
+    }
+}

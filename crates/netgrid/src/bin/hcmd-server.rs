@@ -1,0 +1,116 @@
+//! The task-server daemon.
+//!
+//! ```text
+//! hcmd-server [--addr 127.0.0.1:7070] [--proteins 2] [--seed 7]
+//!             [--h-seconds 40] [--deadline 30] [--max-connections 64]
+//!             [--events PATH]
+//! ```
+//!
+//! Binds, prints the resolved address, then runs the campaign to
+//! completion and prints the closing statistics. Pair it with one or
+//! more `hcmd-agent` processes (see README "Two terminals, one grid").
+
+use netgrid::{NetServer, NetServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: hcmd-server [--addr HOST:PORT] [--proteins N] [--seed N] \
+         [--h-seconds S] [--deadline S] [--max-connections N] [--events PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn take(args: &[String], i: &mut usize) -> String {
+    *i += 1;
+    args.get(*i).cloned().unwrap_or_else(|| usage())
+}
+
+fn main() {
+    let mut config = NetServerConfig::loopback(30.0);
+    config.addr = "127.0.0.1:7070".into();
+    let mut events: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => config.addr = take(&args, &mut i),
+            "--proteins" => {
+                config.campaign.proteins = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--seed" => {
+                config.campaign.lib_seed = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--h-seconds" => {
+                config.campaign.h_seconds = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--deadline" => {
+                config.scheduler.deadline_seconds =
+                    take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                config.faults.max_connections =
+                    take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--events" => events = Some(take(&args, &mut i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if let Some(path) = &events {
+        if let Err(e) = telemetry::install_jsonl(std::path::Path::new(path)) {
+            eprintln!("hcmd-server: cannot open event log {path}: {e}");
+            std::process::exit(1);
+        }
+        if !telemetry::ENABLED {
+            eprintln!("hcmd-server: --events given but telemetry is compiled out (build with --features telemetry)");
+        }
+    }
+
+    let server = match NetServer::bind(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hcmd-server: bind failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("hcmd-server: listening on {addr}"),
+        Err(e) => eprintln!("hcmd-server: local_addr: {e}"),
+    }
+
+    match server.run() {
+        Ok(report) => {
+            println!(
+                "campaign complete: {} workunits in {:.1} s ({} connections, {} rejected)",
+                report.workunits,
+                report.wall_seconds,
+                report.connections,
+                report.rejected_connections
+            );
+            println!(
+                "issues: {} initial, {} quorum, {} timeout reissues, {} error reissues",
+                report.server_stats.initial_issues,
+                report.server_stats.quorum_issues,
+                report.server_stats.timeout_reissues,
+                report.server_stats.error_reissues
+            );
+            println!(
+                "wire: {} quorum-rejected, {} bounds-rejected, {} duplicates, {} expiries, {} backoffs",
+                report.net_stats.quorum_rejected,
+                report.net_stats.bounds_rejected,
+                report.net_stats.duplicates_dropped,
+                report.net_stats.deadline_expiries,
+                report.net_stats.backoffs_sent
+            );
+            telemetry::shutdown();
+        }
+        Err(e) => {
+            eprintln!("hcmd-server: {e}");
+            telemetry::shutdown();
+            std::process::exit(1);
+        }
+    }
+}

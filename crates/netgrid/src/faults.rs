@@ -1,0 +1,254 @@
+//! Deterministic fault injection for live-grid runs.
+//!
+//! The simulator models volunteer unreliability statistically (§5.1:
+//! deadline misses, erroneous results, host churn). The wire-level grid
+//! reproduces the same failure classes as *concrete misbehaviour*:
+//!
+//! * **Disconnect** — the agent drops the TCP connection mid-workunit
+//!   and reconnects; the abandoned replica ages out past its deadline
+//!   and the server reissues it (§5.1 timeout reissue).
+//! * **Stall** — the agent computes but sits on the result past the
+//!   deadline before reporting; the server has already reissued, and the
+//!   eventual report lands in the `late_results` bucket.
+//! * **Corrupt** — the agent flips a low mantissa bit of one energy
+//!   value. The frame checksum is recomputed by the (faulty, not
+//!   byte-mangling) agent, and the value stays within §5.2 bounds — only
+//!   quorum comparison can catch it, which is exactly the failure mode
+//!   that policy exists for.
+//!
+//! Draws come from a per-agent `ChaCha8` stream seeded by
+//! `(run seed, agent id)`, so a campaign's fault schedule is
+//! reproducible run to run.
+
+use maxdo::DockingOutput;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// What a faulty agent does with one assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Compute and report honestly.
+    None,
+    /// Drop the connection without reporting; reconnect and move on.
+    Disconnect,
+    /// Report correctly, but only after the deadline has passed.
+    Stall,
+    /// Report a payload with one bit-flipped energy value.
+    Corrupt,
+}
+
+/// Per-assignment fault probabilities. Evaluated in order — disconnect,
+/// then stall, then corrupt — with at most one action per assignment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// P(drop the connection instead of reporting).
+    pub disconnect: f64,
+    /// P(report after the deadline).
+    pub stall: f64,
+    /// P(report a corrupted payload).
+    pub corrupt: f64,
+}
+
+impl FaultProfile {
+    /// A perfectly reliable volunteer.
+    pub fn none() -> Self {
+        Self {
+            disconnect: 0.0,
+            stall: 0.0,
+            corrupt: 0.0,
+        }
+    }
+
+    /// The default misbehaving volunteer: each failure class common
+    /// enough that a small campaign exercises all three.
+    pub fn flaky() -> Self {
+        Self {
+            disconnect: 0.15,
+            stall: 0.10,
+            corrupt: 0.15,
+        }
+    }
+
+    /// Parses a profile name (`none` | `flaky`), as accepted by
+    /// `hcmd-agent --fault-profile`.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "none" => Ok(Self::none()),
+            "flaky" => Ok(Self::flaky()),
+            other => Err(format!("unknown fault profile '{other}' (none|flaky)")),
+        }
+    }
+}
+
+/// The per-agent fault stream.
+pub struct FaultDice {
+    rng: ChaCha8Rng,
+    profile: FaultProfile,
+    agent: u64,
+    corruptions: u64,
+}
+
+impl FaultDice {
+    /// One stream per `(run seed, agent)` — reproducible per agent, but
+    /// uncorrelated between agents.
+    pub fn new(seed: u64, agent: u64, profile: FaultProfile) -> Self {
+        Self {
+            rng: ChaCha8Rng::seed_from_u64(seed ^ agent.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            profile,
+            agent,
+            corruptions: 0,
+        }
+    }
+
+    /// Draws the fault action for the next assignment.
+    pub fn draw(&mut self) -> FaultAction {
+        let p: f64 = self.rng.gen();
+        let d = self.profile.disconnect;
+        let s = d + self.profile.stall;
+        let c = s + self.profile.corrupt;
+        if p < d {
+            FaultAction::Disconnect
+        } else if p < s {
+            FaultAction::Stall
+        } else if p < c {
+            FaultAction::Corrupt
+        } else {
+            FaultAction::None
+        }
+    }
+
+    /// Corrupts a computed output in place: one row's electrostatic term
+    /// gets low mantissa bits flipped. Small enough to stay inside the
+    /// §5.2 value ranges, large enough to break byte-level quorum
+    /// agreement. The flipped pattern is salted by a per-draw counter
+    /// (and the agent id), so two corruptions of the same workunit are
+    /// never byte-identical — a saboteur that corrupts both replicas of
+    /// a pair cannot accidentally self-validate its garbage.
+    pub fn corrupt(&mut self, output: &mut DockingOutput) {
+        if output.rows.is_empty() {
+            return;
+        }
+        let idx = self.rng.gen_range(0..output.rows.len());
+        self.corruptions += 1;
+        let salt = (self.agent.wrapping_mul(31).wrapping_add(self.corruptions) & 0xffff) << 8;
+        let row = &mut output.rows[idx];
+        row.eelec = f64::from_bits(row.eelec.to_bits() ^ (1 << 30) ^ salt);
+    }
+}
+
+/// Server-side fault/limit knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerFaults {
+    /// Connections beyond this are turned away with `Busy` (0 = off).
+    pub max_connections: usize,
+    /// Base of the per-agent exponential backoff, ms.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, ms.
+    pub backoff_max_ms: u64,
+    /// Extra deterministic jitter added per retry, ms (spreads agent
+    /// retries so they do not re-collide; derived from the agent id,
+    /// not a clock, to keep runs reproducible).
+    pub backoff_jitter_ms: u64,
+}
+
+impl Default for ServerFaults {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            backoff_base_ms: 20,
+            backoff_max_ms: 2_000,
+            backoff_jitter_ms: 17,
+        }
+    }
+}
+
+impl ServerFaults {
+    /// Backoff for an agent's `miss`-th consecutive empty fetch:
+    /// exponential in `miss`, capped, plus per-agent jitter.
+    pub fn backoff_ms(&self, agent: u64, miss: u32) -> u64 {
+        let exp = self
+            .backoff_base_ms
+            .saturating_mul(1u64 << miss.min(10))
+            .min(self.backoff_max_ms);
+        let jitter = (agent
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(u64::from(miss)))
+            % (self.backoff_jitter_ms.max(1));
+        exp + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{DockingRow, EulerZyz, Vec3};
+
+    #[test]
+    fn fault_stream_is_deterministic_per_agent() {
+        let draws = |agent: u64| {
+            let mut dice = FaultDice::new(99, agent, FaultProfile::flaky());
+            (0..32).map(|_| dice.draw()).collect::<Vec<_>>()
+        };
+        assert_eq!(draws(3), draws(3));
+        assert_ne!(draws(3), draws(4), "agents share one schedule");
+    }
+
+    #[test]
+    fn flaky_profile_hits_every_class() {
+        let mut dice = FaultDice::new(1, 1, FaultProfile::flaky());
+        let mut seen = [false; 4];
+        for _ in 0..400 {
+            match dice.draw() {
+                FaultAction::None => seen[0] = true,
+                FaultAction::Disconnect => seen[1] = true,
+                FaultAction::Stall => seen[2] = true,
+                FaultAction::Corrupt => seen[3] = true,
+            }
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn none_profile_never_faults() {
+        let mut dice = FaultDice::new(1, 1, FaultProfile::none());
+        assert!((0..200).all(|_| dice.draw() == FaultAction::None));
+    }
+
+    #[test]
+    fn corruption_changes_bytes_but_stays_in_bounds() {
+        let mut out = DockingOutput {
+            rows: vec![DockingRow {
+                isep: 1,
+                irot: 1,
+                position: Vec3::new(5.0, 0.0, 0.0),
+                orientation: EulerZyz::default(),
+                elj: -2.0,
+                eelec: 1.5,
+            }],
+            evaluations: 10,
+        };
+        let clean = out.clone();
+        let mut dice = FaultDice::new(7, 7, FaultProfile::flaky());
+        dice.corrupt(&mut out);
+        assert_ne!(out, clean, "corruption must change the payload");
+        let delta = (out.rows[0].eelec - clean.rows[0].eelec).abs();
+        assert!(delta < 1.0, "bit flip too large to pass bounds: {delta}");
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let f = ServerFaults::default();
+        let b1 = f.backoff_ms(1, 0);
+        let b4 = f.backoff_ms(1, 4);
+        let b20 = f.backoff_ms(1, 20);
+        assert!(b1 < b4 && b4 < b20.max(b4 + 1));
+        assert!(b20 <= f.backoff_max_ms + f.backoff_jitter_ms);
+    }
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(FaultProfile::parse("flaky"), Ok(FaultProfile::flaky()));
+        assert_eq!(FaultProfile::parse("none"), Ok(FaultProfile::none()));
+        assert!(FaultProfile::parse("chaotic").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! The live grid: a wire-level task server and volunteer agent.
+//!
+//! Everything before this crate exercised the HCMD campaign in a single
+//! process — the simulator models volunteers statistically, and the
+//! scheduler sees only booleans. Here the campaign runs over actual TCP
+//! sockets: `hcmd-server` owns the workunit queue, deadlines, reissue
+//! and quorum validation; `hcmd-agent` fetches work, runs the real
+//! maxdo docking kernel, checkpoints between starting positions, and
+//! reports results. The scheduling brain is *shared with the simulator*
+//! (`gridsim::SchedulerCore`), so simulated and live campaigns make
+//! identical issue/validate decisions by construction.
+//!
+//! Module map:
+//! * [`protocol`] — length-prefixed, versioned, checksummed JSON frames;
+//! * [`campaign`] — deterministic campaign expansion from a tiny recipe
+//!   (both ends derive the same library and launch-ordered catalog);
+//! * [`state`] — the transport-free server state: `SchedulerCore` plus
+//!   real-payload validation (bounds + byte-level quorum), wall-clock
+//!   deadlines, per-agent backoff;
+//! * [`server`] — the TCP daemon (accept loop, handler threads,
+//!   deadline sweeper);
+//! * [`agent`] — the volunteer loop (fetch → dock → checkpoint →
+//!   report) with real multicore docking;
+//! * [`faults`] — deterministic fault injection: disconnects, stalls
+//!   past the deadline, bit-flipped payloads, connection limits.
+//!
+//! See DESIGN.md §6 for the frame layout, both state machines, and how
+//! each injected fault maps to a §5.1 failure class.
+
+pub mod agent;
+pub mod campaign;
+pub mod faults;
+pub mod protocol;
+pub mod server;
+pub mod state;
+
+pub use agent::{run_agent, AgentConfig, AgentReport};
+pub use campaign::NetCampaign;
+pub use faults::{FaultAction, FaultDice, FaultProfile, ServerFaults};
+pub use protocol::{CampaignParams, DecodeError, Message};
+pub use server::{NetRunReport, NetServer, NetServerConfig};
+pub use state::{GridState, NetStats, ResultDisposition, Verdict, WorkReply};

@@ -1,0 +1,510 @@
+//! The wire protocol: length-prefixed, versioned, checksummed JSON frames.
+//!
+//! Every message between a volunteer agent and the task server travels as
+//! one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"HCMD"
+//! 4       1     protocol version (1)
+//! 5       4     payload length, u32 little-endian
+//! 9       8     FNV-1a 64 of the payload, u64 little-endian
+//! 17      len   payload: externally-tagged JSON of [`Message`]
+//! ```
+//!
+//! The header is fixed-size so a reader can frame the stream without
+//! parsing JSON; the checksum catches wire corruption before the payload
+//! reaches serde (value-level corruption injected by a *faulty agent* is
+//! re-checksummed by that agent and is deliberately NOT caught here — it
+//! is the validation pipeline's job, see DESIGN.md §6). Frames larger
+//! than [`MAX_FRAME_BYTES`] are rejected before any allocation, so a
+//! malicious or broken peer cannot balloon server memory.
+//!
+//! [`encode`]/[`decode`] are pure buffer transforms (proptested for
+//! round-trip identity, truncation and oversize rejection);
+//! [`write_message`]/[`read_message`] adapt them to blocking streams.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use maxdo::DockingOutput;
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+/// Frame magic: `b"HCMD"`.
+pub const MAGIC: [u8; 4] = *b"HCMD";
+/// Protocol version carried in every frame header.
+pub const PROTOCOL_VERSION: u8 = 1;
+/// Fixed header size: magic + version + length + checksum.
+pub const HEADER_BYTES: usize = 4 + 1 + 4 + 8;
+/// Hard cap on the payload size; larger frames are rejected unread.
+pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// Campaign parameters both sides must agree on. The synthetic protein
+/// library is derived deterministically from `(proteins, lib_seed,
+/// separation_spacing)` — the real grid ships protein data inside the
+/// workunit; here the `HelloAck` ships the recipe instead, so an agent
+/// can never compute against the wrong catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignParams {
+    /// Proteins in the set (the paper's 168; tiny for loopback runs).
+    pub proteins: u32,
+    /// Seed of the synthetic library generator.
+    pub lib_seed: u64,
+    /// Target workunit duration `h`, reference-CPU seconds.
+    pub h_seconds: f64,
+    /// Starting-position spacing (Å) — controls `Nsep` and thereby the
+    /// real compute cost per workunit.
+    pub separation_spacing: f64,
+    /// Minimiser iteration cap (small for loopback smoke runs).
+    pub max_iterations: u32,
+}
+
+impl CampaignParams {
+    /// A campaign small enough for loopback smoke tests: a few dozen
+    /// workunits of real docking, seconds of total CPU.
+    pub fn tiny() -> Self {
+        Self {
+            proteins: 2,
+            lib_seed: 7,
+            h_seconds: 40.0,
+            separation_spacing: 30.0,
+            max_iterations: 10,
+        }
+    }
+}
+
+/// One protocol message. Externally tagged in JSON, exactly like the
+/// telemetry event log: `{"RequestWork":null}` / `{"Hello":{...}}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Agent → server, first frame on every connection.
+    Hello {
+        /// Agent identity (stable across reconnects).
+        agent: u64,
+        /// Worker threads the agent will dock with.
+        threads: u32,
+    },
+    /// Server → agent, reply to `Hello`.
+    HelloAck {
+        /// Server's protocol version (for future negotiation).
+        protocol: u8,
+        /// The campaign recipe the agent must build locally.
+        campaign: CampaignParams,
+        /// Replica deadline, wall seconds — reissue after this.
+        deadline_seconds: f64,
+    },
+    /// Agent → server: "send me work" (BOINC's scheduler request).
+    RequestWork,
+    /// Server → agent: one replica of one workunit.
+    Assignment {
+        /// Replica identity (echo it back in `ResultReport`).
+        replica: u64,
+        /// Workunit index in the launch-ordered catalog.
+        workunit: u32,
+        /// Receptor protein index.
+        receptor: u32,
+        /// Ligand protein index.
+        ligand: u32,
+        /// First starting position (1-based, inclusive).
+        isep_start: u32,
+        /// Number of starting positions.
+        positions: u32,
+        /// Deadline for this replica, wall seconds from issue.
+        deadline_seconds: f64,
+    },
+    /// Server → agent: nothing issuable right now (BOINC's "no work
+    /// sent, try again"); carries the per-agent backoff.
+    NoWork {
+        /// True once every workunit has validated — the agent should
+        /// say `Bye` and exit.
+        campaign_complete: bool,
+        /// How long the agent must wait before asking again, ms.
+        retry_after_ms: u64,
+    },
+    /// Server → agent on accept when the connection limit is reached
+    /// (server-side fault injection); also legal as a `Hello` reply.
+    Busy {
+        /// Suggested reconnect delay, ms.
+        retry_after_ms: u64,
+    },
+    /// Agent → server: a computed (or corrupted...) result.
+    ResultReport {
+        /// The replica this result answers.
+        replica: u64,
+        /// Its workunit index (redundant, cross-checked server-side).
+        workunit: u32,
+        /// The docking rows + work accounting — the §5.2 result file.
+        output: DockingOutput,
+    },
+    /// Server → agent, reply to `ResultReport`.
+    ResultAck {
+        /// False when the result was rejected (bounds or quorum).
+        accepted: bool,
+        /// True when this result completed (validated) its workunit.
+        completed_workunit: bool,
+        /// True once the whole campaign is validated.
+        campaign_complete: bool,
+    },
+    /// Agent → server: clean shutdown of the connection.
+    Bye,
+}
+
+/// Why a buffer failed to decode.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodeError {
+    /// Not enough bytes yet; `needed` more would allow progress.
+    Incomplete {
+        /// Additional bytes required (lower bound).
+        needed: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unknown protocol version.
+    UnsupportedVersion(u8),
+    /// Declared payload length exceeds [`MAX_FRAME_BYTES`].
+    Oversized {
+        /// The declared length.
+        len: usize,
+    },
+    /// Payload bytes do not match the header checksum.
+    Checksum {
+        /// Checksum from the header.
+        expected: u64,
+        /// Checksum of the received payload.
+        got: u64,
+    },
+    /// Checksummed payload is not a valid [`Message`].
+    Payload(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Incomplete { needed } => {
+                write!(f, "incomplete frame: {needed} more bytes")
+            }
+            DecodeError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            DecodeError::UnsupportedVersion(v) => write!(f, "unsupported protocol version {v}"),
+            DecodeError::Oversized { len } => {
+                write!(f, "frame of {len} bytes exceeds the {MAX_FRAME_BYTES} cap")
+            }
+            DecodeError::Checksum { expected, got } => {
+                write!(f, "payload checksum {got:#018x} != header {expected:#018x}")
+            }
+            DecodeError::Payload(e) => write!(f, "bad payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a 64-bit — tiny, dependency-free, good enough to catch wire
+/// corruption and to fingerprint result payloads for quorum comparison.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Encodes one message as a complete frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let payload = serde_json::to_string(msg).expect("Message serialization cannot fail");
+    let payload = payload.as_bytes();
+    assert!(
+        payload.len() <= MAX_FRAME_BYTES,
+        "outgoing frame of {} bytes exceeds the cap",
+        payload.len()
+    );
+    let mut buf = BytesMut::with_capacity(HEADER_BYTES + payload.len());
+    buf.put_slice(&MAGIC);
+    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u64_le(fnv1a64(payload));
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Decodes one frame from the front of `buf`. On success returns the
+/// message and the number of bytes consumed (header + payload).
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
+    if buf.len() < HEADER_BYTES {
+        return Err(DecodeError::Incomplete {
+            needed: HEADER_BYTES - buf.len(),
+        });
+    }
+    let mut r: &[u8] = buf;
+    let mut magic = [0u8; 4];
+    r.copy_to_slice(&mut magic);
+    if magic != MAGIC {
+        return Err(DecodeError::BadMagic(magic));
+    }
+    let version = r.get_u8();
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::UnsupportedVersion(version));
+    }
+    let len = r.get_u32_le() as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(DecodeError::Oversized { len });
+    }
+    let expected = r.get_u64_le();
+    if r.remaining() < len {
+        return Err(DecodeError::Incomplete {
+            needed: len - r.remaining(),
+        });
+    }
+    let payload = &r[..len];
+    let got = fnv1a64(payload);
+    if got != expected {
+        return Err(DecodeError::Checksum { expected, got });
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| DecodeError::Payload(format!("not UTF-8: {e}")))?;
+    let msg: Message =
+        serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?;
+    Ok((msg, HEADER_BYTES + len))
+}
+
+/// Writes one framed message to a blocking stream.
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    let frame = encode(msg);
+    w.write_all(&frame)?;
+    w.flush()
+}
+
+/// Reads exactly `buf.len()` bytes, treating EOF at offset 0 as a clean
+/// close (`Ok(false)`) and EOF mid-buffer as an error.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(false),
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    format!("stream closed mid-frame ({filled}/{} bytes)", buf.len()),
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // A read timeout mid-frame keeps waiting for the rest; a
+            // timeout before the first byte surfaces to the caller so
+            // connection handlers can poll their shutdown flag.
+            Err(e)
+                if filled > 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Reads one framed message from a blocking stream. `Ok(None)` means the
+/// peer closed the connection cleanly between frames.
+pub fn read_message(r: &mut impl Read) -> io::Result<Option<Message>> {
+    let mut header = [0u8; HEADER_BYTES];
+    if !read_full(r, &mut header)? {
+        return Ok(None);
+    }
+    // Validate the header before allocating for the payload.
+    let mut h: &[u8] = &header;
+    let mut magic = [0u8; 4];
+    h.copy_to_slice(&mut magic);
+    let version = h.get_u8();
+    let len = h.get_u32_le() as usize;
+    if magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::BadMagic(magic).to_string(),
+        ));
+    }
+    if version != PROTOCOL_VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::UnsupportedVersion(version).to_string(),
+        ));
+    }
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            DecodeError::Oversized { len }.to_string(),
+        ));
+    }
+    let mut frame = vec![0u8; HEADER_BYTES + len];
+    frame[..HEADER_BYTES].copy_from_slice(&header);
+    if !read_full(r, &mut frame[HEADER_BYTES..])? {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "stream closed before frame payload",
+        ));
+    }
+    match decode(&frame) {
+        Ok((msg, consumed)) => {
+            debug_assert_eq!(consumed, frame.len());
+            Ok(Some(msg))
+        }
+        Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxdo::{DockingRow, EulerZyz, Vec3};
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello {
+                agent: 42,
+                threads: 4,
+            },
+            Message::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                campaign: CampaignParams::tiny(),
+                deadline_seconds: 3.0,
+            },
+            Message::RequestWork,
+            Message::Assignment {
+                replica: 7,
+                workunit: 3,
+                receptor: 0,
+                ligand: 1,
+                isep_start: 5,
+                positions: 2,
+                deadline_seconds: 3.0,
+            },
+            Message::NoWork {
+                campaign_complete: false,
+                retry_after_ms: 150,
+            },
+            Message::Busy {
+                retry_after_ms: 500,
+            },
+            Message::ResultReport {
+                replica: 7,
+                workunit: 3,
+                output: DockingOutput {
+                    rows: vec![DockingRow {
+                        isep: 5,
+                        irot: 1,
+                        position: Vec3::new(1.0, -2.0, 3.5),
+                        orientation: EulerZyz::default(),
+                        elj: -4.25,
+                        eelec: 0.5,
+                    }],
+                    evaluations: 99,
+                },
+            },
+            Message::ResultAck {
+                accepted: true,
+                completed_workunit: false,
+                campaign_complete: false,
+            },
+            Message::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_message_round_trips() {
+        for msg in sample_messages() {
+            let frame = encode(&msg);
+            let (back, consumed) = decode(&frame).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, frame.len());
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete() {
+        let frame = encode(&Message::RequestWork);
+        for cut in 0..frame.len() {
+            match decode(&frame[..cut]) {
+                Err(DecodeError::Incomplete { needed }) => assert!(needed > 0),
+                other => panic!("prefix of {cut} bytes gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_left_alone() {
+        let frame = encode(&Message::Bye);
+        let mut buf = frame.to_vec();
+        buf.extend_from_slice(b"next frame starts here");
+        let (msg, consumed) = decode(&buf).unwrap();
+        assert_eq!(msg, Message::Bye);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut frame = encode(&Message::Bye).to_vec();
+        frame[0] = b'X';
+        assert!(matches!(decode(&frame), Err(DecodeError::BadMagic(_))));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut frame = encode(&Message::Bye).to_vec();
+        frame[4] = PROTOCOL_VERSION + 1;
+        assert!(matches!(
+            decode(&frame),
+            Err(DecodeError::UnsupportedVersion(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_payload() {
+        let mut frame = encode(&Message::Bye).to_vec();
+        let bad = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        frame[5..9].copy_from_slice(&bad);
+        // Only the header is present — the declared length alone must
+        // trigger the rejection, not an attempt to buffer 8 MiB.
+        assert!(matches!(
+            decode(&frame[..HEADER_BYTES]),
+            Err(DecodeError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_bit_fails_the_checksum() {
+        let mut frame = encode(&Message::Hello {
+            agent: 1,
+            threads: 1,
+        })
+        .to_vec();
+        let last = frame.len() - 1;
+        frame[last] ^= 0x10;
+        assert!(matches!(decode(&frame), Err(DecodeError::Checksum { .. })));
+    }
+
+    #[test]
+    fn valid_checksum_with_garbage_json_is_a_payload_error() {
+        let payload = b"{\"NotAMessage\":1}";
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&MAGIC);
+        frame.push(PROTOCOL_VERSION);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
+    }
+
+    #[test]
+    fn stream_round_trip_over_a_cursor() {
+        let msgs = sample_messages();
+        let mut wire = Vec::new();
+        for m in &msgs {
+            write_message(&mut wire, m).unwrap();
+        }
+        let mut r: &[u8] = &wire;
+        for m in &msgs {
+            let got = read_message(&mut r).unwrap().expect("message");
+            assert_eq!(&got, m);
+        }
+        assert_eq!(read_message(&mut r).unwrap(), None, "clean EOF");
+    }
+}

@@ -1,0 +1,339 @@
+//! The wire-level task server.
+//!
+//! A small, dependency-free TCP daemon: a non-blocking accept loop, one
+//! handler thread per connection, and a deadline-sweeper thread, all
+//! sharing one mutex-guarded [`GridState`]. The scheduling itself never
+//! left `gridsim::SchedulerCore` — this module only moves frames and
+//! maps wall-clock time onto the core's [`SimTime`] axis (seconds since
+//! server start, so a wall run of a few minutes sits firmly inside day
+//! 0's quorum-compare era).
+//!
+//! Concurrency model: the per-connection handler holds the state lock
+//! only across one scheduler call (`fetch` / `report`), never across a
+//! socket operation, so a stalled volunteer cannot wedge the grid. The
+//! docking work itself happens on the *agents*; the server's handlers
+//! are I/O-bound and a plain mutex is far from contention at the
+//! dozens-of-volunteers scale the loopback campaigns run at.
+
+use crate::campaign::NetCampaign;
+use crate::faults::ServerFaults;
+use crate::protocol::{read_message, write_message, CampaignParams, Message, PROTOCOL_VERSION};
+use crate::state::{GridState, NetStats, WorkReply};
+use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
+use gridsim::SimTime;
+use maxdo::DockingOutput;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use telemetry::{self, Event};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct NetServerConfig {
+    /// Bind address; use port 0 to let the OS pick (tests, benches).
+    pub addr: String,
+    /// The campaign recipe announced to every agent.
+    pub campaign: CampaignParams,
+    /// Scheduling-core configuration (deadline, validation switch).
+    pub scheduler: ServerConfig,
+    /// Connection limits and backoff shaping.
+    pub faults: ServerFaults,
+    /// Deadline-sweep interval, ms.
+    pub sweep_ms: u64,
+}
+
+impl NetServerConfig {
+    /// A loopback configuration: tiny campaign, short deadlines so
+    /// stalls and disconnects reissue within seconds.
+    pub fn loopback(deadline_seconds: f64) -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            campaign: CampaignParams::tiny(),
+            scheduler: ServerConfig {
+                deadline_seconds,
+                ..ServerConfig::default()
+            },
+            faults: ServerFaults::default(),
+            sweep_ms: 50,
+        }
+    }
+}
+
+/// What a finished campaign run hands back.
+#[derive(Debug)]
+pub struct NetRunReport {
+    /// The scheduling core's issue/validation statistics.
+    pub server_stats: ServerStats,
+    /// Wire-layer counters (quorum rejects, expiries, backoffs...).
+    pub net_stats: NetStats,
+    /// The validated output of every workunit, in catalog order — the
+    /// artifact that must match the in-process baseline byte for byte.
+    pub outputs: Vec<DockingOutput>,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_seconds: f64,
+    /// Workunits in the campaign.
+    pub workunits: usize,
+    /// Connections accepted over the run.
+    pub connections: u64,
+    /// Connections turned away at the limit.
+    pub rejected_connections: u64,
+}
+
+/// A bound, not-yet-running server.
+pub struct NetServer {
+    listener: TcpListener,
+    campaign: Arc<NetCampaign>,
+    state: Arc<Mutex<GridState>>,
+    config: NetServerConfig,
+}
+
+/// Read timeout on handler sockets: the poll interval at which blocked
+/// handlers notice campaign completion.
+const HANDLER_POLL: Duration = Duration::from_millis(200);
+
+impl NetServer {
+    /// Binds the listener and materialises the campaign.
+    pub fn bind(config: NetServerConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let campaign = Arc::new(NetCampaign::build(config.campaign));
+        let state = Arc::new(Mutex::new(GridState::new(
+            &campaign,
+            config.scheduler,
+            config.faults,
+        )));
+        Ok(Self {
+            listener,
+            campaign,
+            state,
+            config,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the campaign to completion: accepts volunteers, sweeps
+    /// deadlines, and returns once every workunit has validated and the
+    /// handlers have drained.
+    pub fn run(self) -> io::Result<NetRunReport> {
+        let epoch = Instant::now();
+        let done = Arc::new(AtomicBool::new(false));
+        let active = Arc::new(AtomicUsize::new(0));
+        let mut connections = 0u64;
+        let mut rejected = 0u64;
+        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+
+        let sweeper = {
+            let state = Arc::clone(&self.state);
+            let done = Arc::clone(&done);
+            let interval = Duration::from_millis(self.config.sweep_ms.max(1));
+            thread::spawn(move || {
+                while !done.load(Relaxed) {
+                    thread::sleep(interval);
+                    let mut s = state.lock().unwrap();
+                    s.sweep(SimTime::new(epoch.elapsed().as_secs_f64()));
+                    if s.is_campaign_complete() {
+                        done.store(true, Relaxed);
+                    }
+                }
+            })
+        };
+
+        while !done.load(Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let limit = self.config.faults.max_connections;
+                    if limit > 0 && active.load(Relaxed) >= limit {
+                        rejected += 1;
+                        let _ = stream.set_nodelay(true);
+                        let mut stream = stream;
+                        let _ = write_message(
+                            &mut stream,
+                            &Message::Busy {
+                                retry_after_ms: self.config.faults.backoff_base_ms.max(1) * 4,
+                            },
+                        );
+                        telemetry::emit(None, || Event::ConnectionClosed {
+                            agent: 0,
+                            frames: 1,
+                            reason: "server-full".into(),
+                        });
+                        continue;
+                    }
+                    active.fetch_add(1, Relaxed);
+                    let ctx = HandlerCtx {
+                        campaign: Arc::clone(&self.campaign),
+                        state: Arc::clone(&self.state),
+                        done: Arc::clone(&done),
+                        active: Arc::clone(&active),
+                        params: self.config.campaign,
+                        deadline_seconds: self.config.scheduler.deadline_seconds,
+                        epoch,
+                    };
+                    handlers.push(thread::spawn(move || handle_connection(stream, ctx)));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            // Reap finished handlers so a long campaign does not grow an
+            // unbounded join list.
+            handlers.retain(|h| !h.is_finished());
+        }
+        drop(self.listener);
+        let _ = sweeper.join();
+        for h in handlers {
+            let _ = h.join();
+        }
+
+        let state = Arc::try_unwrap(self.state)
+            .map_err(|_| ())
+            .expect("all state holders joined")
+            .into_inner()
+            .unwrap();
+        let outputs = state
+            .accepted_outputs()
+            .expect("run() only returns after campaign completion");
+        Ok(NetRunReport {
+            server_stats: state.server_stats(),
+            net_stats: state.net_stats,
+            outputs,
+            wall_seconds: epoch.elapsed().as_secs_f64(),
+            workunits: self.campaign.len(),
+            connections,
+            rejected_connections: rejected,
+        })
+    }
+}
+
+struct HandlerCtx {
+    campaign: Arc<NetCampaign>,
+    state: Arc<Mutex<GridState>>,
+    done: Arc<AtomicBool>,
+    active: Arc<AtomicUsize>,
+    params: CampaignParams,
+    deadline_seconds: f64,
+    epoch: Instant,
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: HandlerCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(HANDLER_POLL));
+    let mut agent_id = 0u64;
+    let mut frames = 0u64;
+    let reason = serve(&mut stream, &ctx, &mut agent_id, &mut frames);
+    telemetry::emit(None, || Event::ConnectionClosed {
+        agent: agent_id,
+        frames,
+        reason: reason.into(),
+    });
+    ctx.active.fetch_sub(1, Relaxed);
+}
+
+/// The connection's request/reply loop. Returns the close reason for
+/// the `ConnectionClosed` telemetry event.
+fn serve(
+    stream: &mut TcpStream,
+    ctx: &HandlerCtx,
+    agent_id: &mut u64,
+    frames: &mut u64,
+) -> &'static str {
+    loop {
+        let msg = match read_message(stream) {
+            Ok(Some(m)) => m,
+            Ok(None) => return "eof",
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                // Idle poll tick: keep serving until the campaign ends.
+                if ctx.done.load(Relaxed) {
+                    return "eof";
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return "protocol",
+            Err(_) => return "io",
+        };
+        *frames += 1;
+        let now = SimTime::new(ctx.epoch.elapsed().as_secs_f64());
+        let reply = match msg {
+            Message::Hello { agent, threads: _ } => {
+                *agent_id = agent;
+                telemetry::emit(Some(now.seconds()), || Event::ConnectionOpened { agent });
+                Message::HelloAck {
+                    protocol: PROTOCOL_VERSION,
+                    campaign: ctx.params,
+                    deadline_seconds: ctx.deadline_seconds,
+                }
+            }
+            Message::RequestWork => {
+                let reply = ctx.state.lock().unwrap().fetch(now, *agent_id);
+                match reply {
+                    WorkReply::Assigned(a) => {
+                        let spec = ctx.campaign.spec(a.workunit);
+                        Message::Assignment {
+                            replica: a.replica.0,
+                            workunit: a.workunit,
+                            receptor: spec.receptor.0,
+                            ligand: spec.ligand.0,
+                            isep_start: spec.isep_start,
+                            positions: spec.positions,
+                            deadline_seconds: ctx.deadline_seconds,
+                        }
+                    }
+                    WorkReply::Backoff {
+                        retry_after_ms,
+                        campaign_complete,
+                    } => Message::NoWork {
+                        campaign_complete,
+                        retry_after_ms,
+                    },
+                }
+            }
+            Message::ResultReport {
+                replica,
+                workunit,
+                output,
+            } => {
+                let disposition = ctx.state.lock().unwrap().report(
+                    now,
+                    &ctx.campaign,
+                    ReplicaId(replica),
+                    workunit,
+                    output,
+                );
+                if disposition.campaign_complete {
+                    ctx.done.store(true, Relaxed);
+                }
+                Message::ResultAck {
+                    accepted: matches!(
+                        disposition.verdict,
+                        crate::state::Verdict::Accepted
+                            | crate::state::Verdict::QuorumPending
+                            | crate::state::Verdict::Late
+                    ),
+                    completed_workunit: disposition.completed_workunit,
+                    campaign_complete: disposition.campaign_complete,
+                }
+            }
+            Message::Bye => return "bye",
+            // Server-to-agent frames arriving here mean a confused peer.
+            _ => return "protocol",
+        };
+        if write_message(stream, &reply).is_err() {
+            return "io";
+        }
+    }
+}

@@ -1,0 +1,541 @@
+//! Transport-free server state: [`SchedulerCore`] plus everything the
+//! wire adds on top.
+//!
+//! The simulator and the live server share one scheduling brain
+//! (`gridsim::SchedulerCore`: queue order, redundancy, deadlines,
+//! reissue causes, the day-110 validation-policy switch). What the wire
+//! adds — and what lives here — is the part the simulator abstracts
+//! away:
+//!
+//! * **real payloads**: results are actual [`DockingOutput`]s, so
+//!   quorum comparison is a byte-level fingerprint match and bounds
+//!   checking runs the real §5.2 value checks, instead of the
+//!   simulator's boolean `error` flag;
+//! * **real deadlines**: replica expiry is tracked against wall-clock
+//!   seconds and swept periodically, instead of a scheduled sim event;
+//! * **double-report protection**: the core asserts each replica reports
+//!   once; TCP peers can retransmit, so the wire layer must deduplicate
+//!   before calling in;
+//! * **per-agent backoff** when a fetch finds no work.
+//!
+//! `GridState` is deliberately transport-free (time is an explicit
+//! argument, no sockets): the parity test drives it and a bare
+//! `SchedulerCore` through one scripted history and asserts identical
+//! decisions, which is what "the simulator and the live grid share one
+//! scheduler" *means* operationally.
+
+use crate::campaign::NetCampaign;
+use crate::faults::ServerFaults;
+use crate::protocol::fnv1a64;
+use gridsim::server::{
+    ReplicaAssignment, ReplicaId, SchedulerCore, ServerConfig, ServerStats, ValidationPolicy,
+};
+use gridsim::SimTime;
+use maxdo::DockingOutput;
+use std::collections::HashMap;
+use telemetry::{self, Event};
+use validation::{checks::check_file, ValueRanges};
+
+/// Reply to a work request.
+#[derive(Debug)]
+pub enum WorkReply {
+    /// One replica to compute.
+    Assigned(ReplicaAssignment),
+    /// Nothing issuable; retry after the per-agent backoff.
+    Backoff {
+        /// Suggested wait, ms.
+        retry_after_ms: u64,
+        /// True once the campaign is fully validated.
+        campaign_complete: bool,
+    },
+}
+
+/// How a reported result was judged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Validated its workunit (alone under bounds-check, or as the
+    /// matching half of a quorum pair).
+    Accepted,
+    /// First valid result of a quorum pair; waiting for its partner.
+    QuorumPending,
+    /// Disagreed byte-for-byte with every stored candidate.
+    QuorumRejected,
+    /// Failed the §5.2 value checks outright.
+    BoundsRejected,
+    /// A retransmission of a replica already reported — dropped.
+    Duplicate,
+    /// Valid, but its workunit had already validated (paper: counted,
+    /// redundant).
+    Late,
+}
+
+/// Everything the transport needs to answer a `ResultReport`.
+#[derive(Debug, Clone, Copy)]
+pub struct ResultDisposition {
+    /// How the result was judged.
+    pub verdict: Verdict,
+    /// Whether this result completed (validated) its workunit.
+    pub completed_workunit: bool,
+    /// Whether the whole campaign is now validated.
+    pub campaign_complete: bool,
+}
+
+/// Wire-level counters, alongside the core's [`ServerStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Results rejected by byte-level quorum comparison.
+    pub quorum_rejected: u64,
+    /// Results rejected by the §5.2 bounds checks.
+    pub bounds_rejected: u64,
+    /// Duplicate reports dropped at the wire layer.
+    pub duplicates_dropped: u64,
+    /// Replica deadlines expired by the sweeper.
+    pub deadline_expiries: u64,
+    /// Fetches answered with a backoff.
+    pub backoffs_sent: u64,
+}
+
+struct Tele {
+    quorum_rejected: &'static telemetry::Counter,
+    bounds_rejected: &'static telemetry::Counter,
+    duplicates: &'static telemetry::Counter,
+    expiries: &'static telemetry::Counter,
+    backoffs: &'static telemetry::Counter,
+    accepted: &'static telemetry::Counter,
+}
+
+impl Tele {
+    fn new() -> Self {
+        Self {
+            quorum_rejected: telemetry::counter("net.results.quorum_rejected"),
+            bounds_rejected: telemetry::counter("net.results.bounds_rejected"),
+            duplicates: telemetry::counter("net.results.duplicates"),
+            expiries: telemetry::counter("net.replicas.expired"),
+            backoffs: telemetry::counter("net.fetch.backoffs"),
+            accepted: telemetry::counter("net.results.accepted"),
+        }
+    }
+}
+
+/// The live grid's server state (scheduling + validation + payloads),
+/// with time as an explicit argument.
+pub struct GridState {
+    core: SchedulerCore,
+    faults: ServerFaults,
+    ranges: ValueRanges,
+    /// Outstanding (issued, unreported, unexpired) replicas → absolute
+    /// deadline in seconds.
+    outstanding: HashMap<u64, f64>,
+    /// Replicas that have reported (wire-level dedup; the core panics on
+    /// double reports).
+    reported: std::collections::HashSet<u64>,
+    /// Quorum candidates per incomplete workunit: payload fingerprint +
+    /// the payload itself (kept so the *matched* copy becomes the
+    /// accepted artifact).
+    candidates: HashMap<u32, Vec<(u64, DockingOutput)>>,
+    /// The validated output per workunit, in catalog order.
+    accepted: Vec<Option<DockingOutput>>,
+    /// Consecutive empty fetches per agent (drives backoff).
+    misses: HashMap<u64, u32>,
+    /// Wire-level counters.
+    pub net_stats: NetStats,
+    tele: Tele,
+}
+
+impl GridState {
+    /// Builds the state for one campaign.
+    pub fn new(campaign: &NetCampaign, config: ServerConfig, faults: ServerFaults) -> Self {
+        Self {
+            core: SchedulerCore::new(campaign.catalog(), config),
+            faults,
+            ranges: ValueRanges::default(),
+            outstanding: HashMap::new(),
+            reported: std::collections::HashSet::new(),
+            candidates: HashMap::new(),
+            accepted: vec![None; campaign.len()],
+            misses: HashMap::new(),
+            net_stats: NetStats::default(),
+            tele: Tele::new(),
+        }
+    }
+
+    /// Read access to the shared scheduling core.
+    pub fn core(&self) -> &SchedulerCore {
+        &self.core
+    }
+
+    /// The core's cumulative issue/validation statistics.
+    pub fn server_stats(&self) -> ServerStats {
+        self.core.stats
+    }
+
+    /// True once every workunit has validated.
+    pub fn is_campaign_complete(&self) -> bool {
+        self.core.is_campaign_complete()
+    }
+
+    /// The validated outputs in catalog order; `None` until
+    /// [`Self::is_campaign_complete`].
+    pub fn accepted_outputs(&self) -> Option<Vec<DockingOutput>> {
+        if !self.is_campaign_complete() {
+            return None;
+        }
+        self.accepted.iter().cloned().collect::<Option<Vec<_>>>()
+    }
+
+    /// Answers a work request from `agent` at time `now`.
+    pub fn fetch(&mut self, now: SimTime, agent: u64) -> WorkReply {
+        match self.core.fetch_work(now) {
+            Some(assignment) => {
+                self.misses.remove(&agent);
+                self.outstanding.insert(
+                    assignment.replica.0,
+                    now.seconds() + self.core.deadline_seconds(),
+                );
+                telemetry::emit(Some(now.seconds()), || Event::WorkunitDispatched {
+                    workunit: u64::from(assignment.workunit),
+                    host: agent,
+                });
+                WorkReply::Assigned(assignment)
+            }
+            None => {
+                let miss = self.misses.entry(agent).or_insert(0);
+                let reply = WorkReply::Backoff {
+                    retry_after_ms: self.faults.backoff_ms(agent, *miss),
+                    campaign_complete: self.core.is_campaign_complete(),
+                };
+                *miss = miss.saturating_add(1);
+                self.net_stats.backoffs_sent += 1;
+                self.tele.backoffs.inc();
+                reply
+            }
+        }
+    }
+
+    /// Expires outstanding replicas whose deadline passed; each expiry
+    /// queues a timeout reissue in the core (if still needed). Returns
+    /// the number of expiries.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let expired: Vec<u64> = self
+            .outstanding
+            .iter()
+            .filter(|(_, &deadline)| now.seconds() >= deadline)
+            .map(|(&r, _)| r)
+            .collect();
+        for r in &expired {
+            self.outstanding.remove(r);
+            self.net_stats.deadline_expiries += 1;
+            self.tele.expiries.inc();
+            self.core.handle_timeout(ReplicaId(*r));
+        }
+        expired.len()
+    }
+
+    /// Judges and books one reported result.
+    ///
+    /// Validation is two-layered, matching §5.2: the value-range checks
+    /// always run on arrival (they became the *only* check after the
+    /// day-110 switch), and under [`ValidationPolicy::QuorumCompare`]
+    /// a result must additionally agree byte-for-byte with a partner
+    /// replica before the workunit validates.
+    pub fn report(
+        &mut self,
+        now: SimTime,
+        campaign: &NetCampaign,
+        replica: ReplicaId,
+        workunit: u32,
+        output: DockingOutput,
+    ) -> ResultDisposition {
+        // Wire-level sanity: a retransmitted or forged report must not
+        // reach the core (it panics on double reports by design — the
+        // simulator can never produce one).
+        if self.reported.contains(&replica.0)
+            || replica.0 >= self.core.replica_count() as u64
+            || self.core.replica_workunit(replica) != workunit
+        {
+            self.net_stats.duplicates_dropped += 1;
+            self.tele.duplicates.inc();
+            return ResultDisposition {
+                verdict: Verdict::Duplicate,
+                completed_workunit: false,
+                campaign_complete: self.core.is_campaign_complete(),
+            };
+        }
+        self.reported.insert(replica.0);
+        self.outstanding.remove(&replica.0);
+
+        // Layer 1: the §5.2 bounds checks (the simulator's `error` flag
+        // made concrete).
+        let file = campaign.result_file(workunit, &output);
+        let bounds_ok = check_file(&file, &self.ranges).is_empty();
+        if !bounds_ok {
+            self.net_stats.bounds_rejected += 1;
+            self.tele.bounds_rejected.inc();
+            let outcome = self.core.report_result(now, replica, true);
+            debug_assert!(outcome.erroneous);
+            return ResultDisposition {
+                verdict: Verdict::BoundsRejected,
+                completed_workunit: false,
+                campaign_complete: self.core.is_campaign_complete(),
+            };
+        }
+
+        // Accepted payloads are recorded exactly when the core validates
+        // a workunit, so this is "has the core completed it already".
+        let was_complete = self.accepted[workunit as usize].is_some();
+
+        // Layer 2: quorum agreement, when the policy demands it.
+        let policy = self.core.policy_at(now);
+        if policy == ValidationPolicy::QuorumCompare && !was_complete {
+            let fp = fnv1a64(
+                serde_json::to_string(&output)
+                    .expect("DockingOutput serializes")
+                    .as_bytes(),
+            );
+            let cands = self.candidates.entry(workunit).or_default();
+            if !cands.is_empty() && !cands.iter().any(|(h, _)| *h == fp) {
+                // Disagrees with every candidate: reject — but *keep* it
+                // as a candidate. If the first result was the corrupted
+                // one, an honest pair must still be able to meet and
+                // validate; with majority-free pairwise matching the
+                // corrupted minority loses because corruption is random
+                // (two corrupted payloads never match byte-for-byte).
+                cands.push((fp, output));
+                self.net_stats.quorum_rejected += 1;
+                self.tele.quorum_rejected.inc();
+                telemetry::emit(Some(now.seconds()), || Event::QuorumRejected {
+                    workunit: u64::from(workunit),
+                });
+                let outcome = self.core.report_result(now, replica, true);
+                debug_assert!(outcome.erroneous);
+                return ResultDisposition {
+                    verdict: Verdict::QuorumRejected,
+                    completed_workunit: false,
+                    campaign_complete: self.core.is_campaign_complete(),
+                };
+            }
+            let matched = !cands.is_empty();
+            cands.push((fp, output.clone()));
+            let outcome = self.core.report_result(now, replica, false);
+            if outcome.completed_workunit {
+                debug_assert!(matched, "core quorum met before a byte-level match");
+                self.accepted[workunit as usize] = Some(output);
+                self.candidates.remove(&workunit);
+                self.tele.accepted.inc();
+                return ResultDisposition {
+                    verdict: Verdict::Accepted,
+                    completed_workunit: true,
+                    campaign_complete: self.core.is_campaign_complete(),
+                };
+            }
+            // Not yet completed: either the first candidate of the pair,
+            // or a match whose quorum the core has not closed (only
+            // possible with >2 live replicas of one workunit).
+            return ResultDisposition {
+                verdict: Verdict::QuorumPending,
+                completed_workunit: false,
+                campaign_complete: self.core.is_campaign_complete(),
+            };
+        }
+
+        // Bounds-check era (or surplus copy of a validated workunit).
+        let outcome = self.core.report_result(now, replica, false);
+        if outcome.completed_workunit {
+            self.accepted[workunit as usize] = Some(output);
+            self.candidates.remove(&workunit);
+            self.tele.accepted.inc();
+            ResultDisposition {
+                verdict: Verdict::Accepted,
+                completed_workunit: true,
+                campaign_complete: self.core.is_campaign_complete(),
+            }
+        } else {
+            ResultDisposition {
+                verdict: Verdict::Late,
+                completed_workunit: false,
+                campaign_complete: self.core.is_campaign_complete(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CampaignParams;
+
+    fn setup() -> (NetCampaign, GridState) {
+        let campaign = NetCampaign::build(CampaignParams::tiny());
+        let config = ServerConfig {
+            deadline_seconds: 5.0,
+            ..ServerConfig::default()
+        };
+        let state = GridState::new(&campaign, config, ServerFaults::default());
+        (campaign, state)
+    }
+
+    fn t(s: f64) -> SimTime {
+        SimTime::new(s)
+    }
+
+    #[test]
+    fn honest_quorum_pair_validates_with_the_matched_payload() {
+        let (campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        let b = match state.fetch(t(0.0), 2) {
+            WorkReply::Assigned(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.workunit, b.workunit, "quorum sibling issued first");
+        let out = campaign.compute(campaign.spec(a.workunit));
+        let d1 = state.report(t(1.0), &campaign, a.replica, a.workunit, out.clone());
+        assert_eq!(d1.verdict, Verdict::QuorumPending);
+        let d2 = state.report(t(2.0), &campaign, b.replica, b.workunit, out.clone());
+        assert_eq!(d2.verdict, Verdict::Accepted);
+        assert!(d2.completed_workunit);
+    }
+
+    #[test]
+    fn corrupted_first_candidate_cannot_poison_the_workunit() {
+        let (campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        let b = match state.fetch(t(0.0), 2) {
+            WorkReply::Assigned(b) => b,
+            other => panic!("{other:?}"),
+        };
+        let honest = campaign.compute(campaign.spec(a.workunit));
+        let mut corrupt = honest.clone();
+        corrupt.rows[0].eelec += 1e-9;
+        // Corrupted result lands first and becomes the first candidate.
+        let d1 = state.report(t(1.0), &campaign, a.replica, a.workunit, corrupt);
+        assert_eq!(d1.verdict, Verdict::QuorumPending);
+        // Honest result disagrees with it: quorum-rejected, error reissue.
+        let d2 = state.report(t(2.0), &campaign, b.replica, b.workunit, honest.clone());
+        assert_eq!(d2.verdict, Verdict::QuorumRejected);
+        assert_eq!(state.net_stats.quorum_rejected, 1);
+        // The reissued replicas eventually deliver two honest copies.
+        let c = match state.fetch(t(3.0), 3) {
+            WorkReply::Assigned(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.workunit, a.workunit, "error reissue comes first");
+        let d3 = state.report(t(4.0), &campaign, c.replica, c.workunit, honest.clone());
+        assert_eq!(d3.verdict, Verdict::Accepted, "honest pair met");
+        assert!(d3.completed_workunit);
+        assert_eq!(
+            state.accepted[a.workunit as usize].as_ref(),
+            Some(&honest),
+            "the honest payload is the accepted artifact"
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_payload_is_rejected_and_reissued() {
+        let (campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        let mut bad = campaign.compute(campaign.spec(a.workunit));
+        bad.rows[0].elj = f64::INFINITY;
+        let d = state.report(t(1.0), &campaign, a.replica, a.workunit, bad);
+        assert_eq!(d.verdict, Verdict::BoundsRejected);
+        assert_eq!(state.net_stats.bounds_rejected, 1);
+        assert_eq!(state.server_stats().errors_received, 1);
+    }
+
+    #[test]
+    fn duplicate_report_is_dropped_before_the_core() {
+        let (campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        let out = campaign.compute(campaign.spec(a.workunit));
+        state.report(t(1.0), &campaign, a.replica, a.workunit, out.clone());
+        let d = state.report(t(1.5), &campaign, a.replica, a.workunit, out);
+        assert_eq!(d.verdict, Verdict::Duplicate);
+        assert_eq!(state.net_stats.duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn sweep_expires_deadlines_and_queues_timeout_reissues() {
+        let (_campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(state.sweep(t(1.0)), 0, "before the deadline");
+        assert_eq!(state.sweep(t(10.0)), 1, "past the 5 s deadline");
+        assert_eq!(state.net_stats.deadline_expiries, 1);
+        assert_eq!(state.server_stats().timeout_reissues, 0);
+        // The reissue surfaces on the next fetch, same workunit.
+        let b = match state.fetch(t(10.0), 2) {
+            WorkReply::Assigned(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(b.workunit, a.workunit);
+    }
+
+    #[test]
+    fn empty_queue_backs_off_exponentially_per_agent() {
+        let (campaign, mut state) = setup();
+        // Drain the whole queue.
+        let mut assignments = Vec::new();
+        loop {
+            match state.fetch(t(0.0), 1) {
+                WorkReply::Assigned(a) => assignments.push(a),
+                WorkReply::Backoff { .. } => break,
+            }
+        }
+        assert!(assignments.len() >= 2 * campaign.len());
+        let first = match state.fetch(t(0.0), 9) {
+            WorkReply::Backoff { retry_after_ms, .. } => retry_after_ms,
+            other => panic!("{other:?}"),
+        };
+        let later = (0..4)
+            .map(|_| match state.fetch(t(0.0), 9) {
+                WorkReply::Backoff { retry_after_ms, .. } => retry_after_ms,
+                other => panic!("{other:?}"),
+            })
+            .last()
+            .unwrap();
+        assert!(later > first, "backoff must grow: {first} → {later}");
+    }
+
+    #[test]
+    fn stalled_result_after_completion_is_counted_redundant() {
+        let (campaign, mut state) = setup();
+        let a = match state.fetch(t(0.0), 1) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("{other:?}"),
+        };
+        let b = match state.fetch(t(0.0), 2) {
+            WorkReply::Assigned(b) => b,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(a.workunit, b.workunit);
+        let out = campaign.compute(campaign.spec(a.workunit));
+        // One half of the pair reports; the other stalls past its
+        // deadline, so the sweep reissues it.
+        state.report(t(1.0), &campaign, a.replica, a.workunit, out.clone());
+        assert_eq!(state.sweep(t(10.0)), 1, "only b is still outstanding");
+        let c = match state.fetch(t(10.0), 3) {
+            WorkReply::Assigned(c) => c,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(c.workunit, a.workunit, "timeout reissue of the pair");
+        let d = state.report(t(11.0), &campaign, c.replica, c.workunit, out.clone());
+        assert_eq!(d.verdict, Verdict::Accepted);
+        // The stalled replica finally reports: valid, but redundant.
+        let late = state.report(t(12.0), &campaign, b.replica, b.workunit, out);
+        assert_eq!(late.verdict, Verdict::Late);
+        assert_eq!(state.server_stats().late_results, 1);
+    }
+}

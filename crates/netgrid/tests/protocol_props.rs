@@ -1,0 +1,180 @@
+//! Property tests on the wire protocol: every frame kind round-trips
+//! through encode→decode byte-exactly, every truncation is reported as
+//! `Incomplete`, oversized declared lengths are rejected before any
+//! payload is read, and any flipped payload byte fails the checksum.
+
+use maxdo::{DockingOutput, DockingRow, EulerZyz, Vec3};
+use netgrid::protocol::{
+    decode, encode, CampaignParams, DecodeError, Message, HEADER_BYTES, MAGIC, MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+
+/// Builds one message of each protocol kind from sampled primitives.
+/// `kind` selects the variant; the other arguments fill its fields.
+fn build_message(
+    kind: usize,
+    a: u64,
+    b: u32,
+    x: f64,
+    flags: (bool, bool),
+    rows: &[(u32, u32, f64, f64)],
+) -> Message {
+    match kind {
+        0 => Message::Hello {
+            agent: a,
+            threads: b,
+        },
+        1 => Message::HelloAck {
+            protocol: PROTOCOL_VERSION,
+            campaign: CampaignParams {
+                proteins: (b % 64).max(1),
+                lib_seed: a,
+                h_seconds: x.abs() + 1.0,
+                separation_spacing: x.abs() / 2.0 + 1.0,
+                max_iterations: b % 500 + 1,
+            },
+            deadline_seconds: x.abs(),
+        },
+        2 => Message::RequestWork,
+        3 => Message::Assignment {
+            replica: a,
+            workunit: b,
+            receptor: b % 7,
+            ligand: b % 5,
+            isep_start: b % 100 + 1,
+            positions: b % 50 + 1,
+            deadline_seconds: x.abs(),
+        },
+        4 => Message::NoWork {
+            campaign_complete: flags.0,
+            retry_after_ms: a % 10_000,
+        },
+        5 => Message::Busy {
+            retry_after_ms: a % 10_000,
+        },
+        6 => Message::ResultReport {
+            replica: a,
+            workunit: b,
+            output: DockingOutput {
+                rows: rows
+                    .iter()
+                    .map(|&(isep, irot, e1, e2)| DockingRow {
+                        isep,
+                        irot,
+                        position: Vec3::new(e1, e2, e1 - e2),
+                        orientation: EulerZyz {
+                            alpha: e1 / 10.0,
+                            beta: e2 / 10.0,
+                            gamma: (e1 + e2) / 10.0,
+                        },
+                        elj: e1,
+                        eelec: e2,
+                    })
+                    .collect(),
+                evaluations: a,
+            },
+        },
+        7 => Message::ResultAck {
+            accepted: flags.0,
+            completed_workunit: flags.1,
+            campaign_complete: flags.0 != flags.1,
+        },
+        _ => Message::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// encode→decode is the identity for every frame kind, and decode
+    /// consumes exactly the frame (trailing bytes untouched).
+    #[test]
+    fn encode_decode_identity(
+        kind in 0usize..9,
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        x in -1.0e6f64..1.0e6,
+        flags in ((0u8..2), (0u8..2)),
+        rows in collection::vec((1u32..500, 1u32..22, -1.0e4f64..1.0e4, -1.0e4f64..1.0e4), 0..5),
+        trailer in collection::vec(0u8..=255, 0..8),
+    ) {
+        let msg = build_message(kind, a, b, x, (flags.0 == 1, flags.1 == 1), &rows);
+        let frame = encode(&msg);
+        let mut buf = frame.to_vec();
+        buf.extend_from_slice(&trailer);
+        let (back, consumed) = decode(&buf).expect("well-formed frame must decode");
+        prop_assert_eq!(&back, &msg);
+        prop_assert_eq!(consumed, frame.len());
+        // Idempotent: re-encoding the decoded message gives the same bytes.
+        prop_assert_eq!(encode(&back).as_ref(), frame.as_ref());
+    }
+
+    /// Every strict prefix of a valid frame decodes to `Incomplete` with
+    /// a positive byte count — never a panic, never a wrong message.
+    #[test]
+    fn any_truncation_is_incomplete(
+        kind in 0usize..9,
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        x in -1.0e6f64..1.0e6,
+        rows in collection::vec((1u32..500, 1u32..22, -1.0e4f64..1.0e4, -1.0e4f64..1.0e4), 0..4),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let msg = build_message(kind, a, b, x, (false, true), &rows);
+        let frame = encode(&msg);
+        let cut = ((frame.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < frame.len());
+        match decode(&frame[..cut]) {
+            Err(DecodeError::Incomplete { needed }) => {
+                prop_assert!(needed > 0);
+                // The hint is honest: supplying that many bytes makes
+                // progress past `Incomplete` at this cut point.
+                prop_assert!(cut + needed <= frame.len());
+            }
+            other => prop_assert!(false, "cut at {} gave {:?}", cut, other),
+        }
+    }
+
+    /// A header declaring more than MAX_FRAME_BYTES is rejected from the
+    /// header alone, whatever the declared length's value.
+    #[test]
+    fn oversized_length_rejected(excess in 1u64..1_000_000) {
+        let len = (MAX_FRAME_BYTES as u64 + excess).min(u64::from(u32::MAX)) as u32;
+        let mut header = Vec::with_capacity(HEADER_BYTES);
+        header.extend_from_slice(&MAGIC);
+        header.push(PROTOCOL_VERSION);
+        header.extend_from_slice(&len.to_le_bytes());
+        header.extend_from_slice(&0u64.to_le_bytes());
+        match decode(&header) {
+            Err(DecodeError::Oversized { len: got }) => prop_assert_eq!(got, len as usize),
+            other => prop_assert!(false, "declared {} gave {:?}", len, other),
+        }
+    }
+
+    /// Any single flipped payload bit fails the checksum (or, for a
+    /// frame-level mutation, some other decode error) — it never decodes
+    /// as a valid message.
+    #[test]
+    fn flipped_payload_byte_never_decodes(
+        kind in 0usize..9,
+        a in 0u64..u64::MAX,
+        b in 0u32..u32::MAX,
+        byte_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let msg = build_message(kind, a, b, 1.5, (true, false), &[]);
+        let mut frame = encode(&msg).to_vec();
+        let payload_len = frame.len() - HEADER_BYTES;
+        prop_assume!(payload_len > 0);
+        let idx = HEADER_BYTES + ((payload_len as f64) * byte_frac) as usize;
+        prop_assume!(idx < frame.len());
+        frame[idx] ^= 1 << bit;
+        prop_assert!(
+            matches!(decode(&frame), Err(DecodeError::Checksum { .. })),
+            "flipping payload byte {} bit {} did not fail the checksum",
+            idx,
+            bit
+        );
+    }
+}

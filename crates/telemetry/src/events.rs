@@ -101,6 +101,29 @@ pub enum Event {
         /// Why the reissue happened.
         cause: IssueCause,
     },
+    /// A volunteer agent's connection to the live task server opened
+    /// (netgrid; wire-level runs only).
+    ConnectionOpened {
+        /// Agent identifier from the `Hello` frame.
+        agent: u64,
+    },
+    /// A volunteer agent's connection closed.
+    ConnectionClosed {
+        /// Agent identifier from the `Hello` frame (0 when the agent
+        /// dropped before identifying itself).
+        agent: u64,
+        /// Frames exchanged over the connection's lifetime.
+        frames: u64,
+        /// Why the connection ended (`bye`, `eof`, `io`, `protocol`,
+        /// `server-full`).
+        reason: String,
+    },
+    /// A (sampled) workunit result was rejected by quorum comparison:
+    /// it disagreed with every stored candidate result byte-for-byte.
+    QuorumRejected {
+        /// Workunit index within the campaign.
+        workunit: u64,
+    },
     /// End-of-simulated-day rollup from the volunteer grid.
     DaySummary {
         /// Day index from campaign start.
@@ -243,6 +266,25 @@ mod tests {
                     workunit: 41,
                     cause: IssueCause::Timeout,
                 },
+            },
+            Record {
+                wall_ms: 401,
+                sim_s: None,
+                event: Event::ConnectionOpened { agent: 7 },
+            },
+            Record {
+                wall_ms: 977,
+                sim_s: None,
+                event: Event::ConnectionClosed {
+                    agent: 7,
+                    frames: 42,
+                    reason: "bye".into(),
+                },
+            },
+            Record {
+                wall_ms: 612,
+                sim_s: Some(33.5),
+                event: Event::QuorumRejected { workunit: 18 },
             },
             Record {
                 wall_ms: 900,

@@ -1,0 +1,140 @@
+//! Wire-level fault injection, end to end over loopback TCP.
+//!
+//! These tests run the real campaign — live `hcmd-netgrid` server, real
+//! agents, real maxdo docking — with volunteers that misbehave on
+//! purpose, and assert the server's §5.1 failure handling: a vanished
+//! agent's replica is reissued after its deadline, corrupted results
+//! are caught by quorum comparison, and the campaign still completes
+//! with a merged output byte-identical to the in-process baseline.
+
+use netgrid::{
+    run_agent, AgentConfig, CampaignParams, FaultProfile, NetCampaign, NetRunReport, NetServer,
+    NetServerConfig,
+};
+use std::thread;
+use std::time::Duration;
+
+/// Binds a loopback server for a tiny campaign and returns the resolved
+/// address plus the thread computing `run()`.
+fn spawn_server(
+    deadline_seconds: f64,
+) -> (String, thread::JoinHandle<std::io::Result<NetRunReport>>) {
+    let config = NetServerConfig {
+        sweep_ms: 25,
+        ..NetServerConfig::loopback(deadline_seconds)
+    };
+    let server = NetServer::bind(config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    (addr, thread::spawn(move || server.run()))
+}
+
+fn baseline_json() -> String {
+    let baseline = NetCampaign::build(CampaignParams::tiny()).baseline_outputs();
+    serde_json::to_string(&baseline).unwrap()
+}
+
+#[test]
+fn killed_agent_times_out_and_campaign_still_completes() {
+    let (addr, server) = spawn_server(1.5);
+
+    // The victim takes one assignment and vanishes without reporting —
+    // the volunteer's PC switched off mid-workunit.
+    let victim = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            run_agent(AgentConfig {
+                die_after: Some(1),
+                ..AgentConfig::new(addr, 100)
+            })
+        })
+    };
+    victim.join().unwrap().expect("victim ran");
+
+    // Two honest volunteers finish the campaign, including the replica
+    // the victim abandoned (reissued once its deadline expires).
+    let honest: Vec<_> = (1..=2u64)
+        .map(|agent| {
+            let addr = addr.clone();
+            thread::spawn(move || run_agent(AgentConfig::new(addr, agent)))
+        })
+        .collect();
+    for h in honest {
+        let report = h.join().unwrap().expect("honest agent ran");
+        assert!(report.saw_completion, "agent should see the campaign end");
+    }
+
+    let report = server.join().unwrap().expect("server ran");
+    assert!(
+        report.net_stats.deadline_expiries >= 1,
+        "the abandoned replica must expire: {:?}",
+        report.net_stats
+    );
+    assert!(
+        report.server_stats.timeout_reissues >= 1,
+        "expiry must become a timeout reissue: {:?}",
+        report.server_stats
+    );
+    assert_eq!(report.outputs.len(), report.workunits);
+    assert_eq!(
+        serde_json::to_string(&report.outputs).unwrap(),
+        baseline_json(),
+        "merged wire-level output must be byte-identical to the in-process baseline"
+    );
+}
+
+#[test]
+fn corrupted_results_are_quorum_rejected_and_the_honest_output_wins() {
+    let (addr, server) = spawn_server(8.0);
+
+    // One saboteur corrupts every result; three honest agents (one
+    // multicore) outvote it on every workunit.
+    let saboteur = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            run_agent(AgentConfig {
+                profile: FaultProfile {
+                    disconnect: 0.0,
+                    stall: 0.0,
+                    corrupt: 1.0,
+                },
+                seed: 5,
+                ..AgentConfig::new(addr, 666)
+            })
+        })
+    };
+    // Give the saboteur first crack at the queue so at least one of its
+    // corrupted results is in before the honest agents finish.
+    thread::sleep(Duration::from_millis(50));
+    let honest: Vec<_> = (1..=3u64)
+        .map(|agent| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                run_agent(AgentConfig {
+                    threads: if agent == 1 { 2 } else { 1 },
+                    ..AgentConfig::new(addr, agent)
+                })
+            })
+        })
+        .collect();
+    for h in honest {
+        h.join().unwrap().expect("honest agent ran");
+    }
+    let _ = saboteur.join().unwrap();
+
+    let report = server.join().unwrap().expect("server ran");
+    assert!(
+        report.net_stats.quorum_rejected >= 1,
+        "a corrupted result must disagree with an honest candidate: {:?}",
+        report.net_stats
+    );
+    assert!(
+        report.server_stats.error_reissues >= 1,
+        "each quorum rejection reissues the workunit: {:?}",
+        report.server_stats
+    );
+    assert_eq!(
+        serde_json::to_string(&report.outputs).unwrap(),
+        baseline_json(),
+        "corruption must never reach the accepted artifact"
+    );
+}

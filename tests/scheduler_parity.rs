@@ -1,0 +1,252 @@
+//! Scheduler parity: the simulator frontend and the wire frontend make
+//! identical issue/validate decisions.
+//!
+//! PR 4 extracted `gridsim::SchedulerCore` so the in-process simulator
+//! and the live TCP grid share one scheduling brain. This test is the
+//! guarantee that the extraction means something: one scripted event
+//! history — fetches, good results, a bounds-invalid result, a deadline
+//! expiry, then a drain to completion — is replayed against
+//!
+//! * the **simulator frontend**: a bare `SchedulerCore` fed boolean
+//!   error flags, exactly as `VolunteerGridSim` drives it, and
+//! * the **wire frontend**: `netgrid::GridState` fed real
+//!   `DockingOutput` payloads, where "erroneous" is a §5.2
+//!   bounds-check failure on real bytes,
+//!
+//! and the two decision logs (workunit issue order, completion and
+//! error outcomes, reissue bookkeeping) must be identical, down to the
+//! final `ServerStats`.
+
+use gridsim::server::{SchedulerCore, ServerConfig, ServerStats};
+use gridsim::SimTime;
+use netgrid::{CampaignParams, GridState, NetCampaign, ServerFaults, Verdict, WorkReply};
+
+/// The common frontend surface the script drives.
+trait Frontend {
+    /// Requests work; logs `issue wu=N` or `nowork`. Returns the index
+    /// of the new assignment in the frontend's own list.
+    fn fetch(&mut self, now: f64) -> Option<usize>;
+    /// Reports assignment `idx`; `good` selects an honest result vs. an
+    /// erroneous one (boolean flag / bounds-invalid payload).
+    fn report(&mut self, now: f64, idx: usize, good: bool);
+    /// Expires outstanding past-deadline replicas; logs the count.
+    fn sweep(&mut self, now: f64);
+    fn is_complete(&self) -> bool;
+    fn log(&self) -> &[String];
+    fn stats(&self) -> ServerStats;
+}
+
+/// The simulator's view: boolean error flags, explicit timeout calls —
+/// the same calls `VolunteerGridSim` makes.
+struct SimFrontend {
+    core: SchedulerCore,
+    /// (replica, workunit, deadline, reported)
+    assignments: Vec<(gridsim::server::ReplicaId, u32, f64, bool)>,
+    log: Vec<String>,
+}
+
+impl SimFrontend {
+    fn new(campaign: &NetCampaign, config: ServerConfig) -> Self {
+        Self {
+            core: SchedulerCore::new(campaign.catalog(), config),
+            assignments: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Frontend for SimFrontend {
+    fn fetch(&mut self, now: f64) -> Option<usize> {
+        match self.core.fetch_work(SimTime::new(now)) {
+            Some(a) => {
+                self.log.push(format!("issue wu={}", a.workunit));
+                self.assignments.push((
+                    a.replica,
+                    a.workunit,
+                    now + self.core.deadline_seconds(),
+                    false,
+                ));
+                Some(self.assignments.len() - 1)
+            }
+            None => {
+                self.log.push("nowork".into());
+                None
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64, idx: usize, good: bool) {
+        let (replica, wu, _, ref mut reported) = self.assignments[idx];
+        *reported = true;
+        let outcome = self.core.report_result(SimTime::new(now), replica, !good);
+        self.log.push(format!(
+            "report wu={wu} completed={} erroneous={}",
+            outcome.completed_workunit, outcome.erroneous
+        ));
+    }
+
+    fn sweep(&mut self, now: f64) {
+        // The simulator schedules one Timeout event per replica; sweep
+        // equivalence is "every outstanding past-deadline replica gets
+        // its handle_timeout call".
+        let mut expired = 0;
+        for i in 0..self.assignments.len() {
+            let (replica, _, deadline, reported) = self.assignments[i];
+            if !reported && now >= deadline {
+                self.core.handle_timeout(replica);
+                self.assignments[i].3 = true; // expire once, like the sim's single Timeout event
+                expired += 1;
+            }
+        }
+        self.log.push(format!("sweep expired={expired}"));
+    }
+
+    fn is_complete(&self) -> bool {
+        self.core.is_campaign_complete()
+    }
+
+    fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.core.stats
+    }
+}
+
+/// The wire's view: real payloads through `GridState`. An "erroneous"
+/// result is an honest payload with one energy blown out of the §5.2
+/// bounds, so the error flag is *derived from bytes*, not asserted.
+struct WireFrontend {
+    campaign: NetCampaign,
+    state: GridState,
+    /// (replica, workunit)
+    assignments: Vec<(gridsim::server::ReplicaId, u32)>,
+    log: Vec<String>,
+}
+
+impl WireFrontend {
+    fn new(config: ServerConfig) -> Self {
+        let campaign = NetCampaign::build(CampaignParams::tiny());
+        let state = GridState::new(&campaign, config, ServerFaults::default());
+        Self {
+            campaign,
+            state,
+            assignments: Vec::new(),
+            log: Vec::new(),
+        }
+    }
+}
+
+impl Frontend for WireFrontend {
+    fn fetch(&mut self, now: f64) -> Option<usize> {
+        match self.state.fetch(SimTime::new(now), 1) {
+            WorkReply::Assigned(a) => {
+                self.log.push(format!("issue wu={}", a.workunit));
+                self.assignments.push((a.replica, a.workunit));
+                Some(self.assignments.len() - 1)
+            }
+            WorkReply::Backoff { .. } => {
+                self.log.push("nowork".into());
+                None
+            }
+        }
+    }
+
+    fn report(&mut self, now: f64, idx: usize, good: bool) {
+        let (replica, wu) = self.assignments[idx];
+        let mut output = self.campaign.compute(self.campaign.spec(wu));
+        if !good {
+            output.rows[0].elj = f64::INFINITY;
+        }
+        let d = self
+            .state
+            .report(SimTime::new(now), &self.campaign, replica, wu, output);
+        let erroneous = matches!(d.verdict, Verdict::BoundsRejected | Verdict::QuorumRejected);
+        self.log.push(format!(
+            "report wu={wu} completed={} erroneous={erroneous}",
+            d.completed_workunit
+        ));
+    }
+
+    fn sweep(&mut self, now: f64) {
+        let expired = self.state.sweep(SimTime::new(now));
+        self.log.push(format!("sweep expired={expired}"));
+    }
+
+    fn is_complete(&self) -> bool {
+        self.state.is_campaign_complete()
+    }
+
+    fn log(&self) -> &[String] {
+        &self.log
+    }
+
+    fn stats(&self) -> ServerStats {
+        self.state.server_stats()
+    }
+}
+
+/// The scripted history, plus a drain loop to campaign completion.
+fn run_script(f: &mut impl Frontend) {
+    // Three fetches at t=0: wu0's initial, wu0's quorum sibling, wu1's
+    // initial (leaving wu1's sibling queued).
+    let i0 = f.fetch(0.0).expect("work available");
+    let i1 = f.fetch(0.0).expect("work available");
+    let i2 = f.fetch(0.0).expect("work available");
+    // wu0's pair reports honestly and validates.
+    f.report(1.0, i0, true);
+    f.report(2.0, i1, true);
+    // wu1's sibling is fetched late and reports an erroneous result —
+    // an error reissue.
+    let i3 = f.fetch(5.0).expect("work available");
+    f.report(6.0, i3, false);
+    // wu1's first replica (i2, issued t=0, 10 s deadline) never
+    // reports; the sweep at t=11 expires it — a timeout reissue.
+    f.sweep(11.0);
+    let _ = i2;
+    // Drain: fetch and immediately report honestly until complete.
+    let mut now = 12.0;
+    while !f.is_complete() {
+        now += 0.5;
+        while let Some(i) = f.fetch(now) {
+            f.report(now, i, true);
+        }
+    }
+}
+
+#[test]
+fn simulator_and_wire_frontends_decide_identically() {
+    let config = ServerConfig {
+        deadline_seconds: 10.0,
+        ..ServerConfig::default()
+    };
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+
+    let mut sim = SimFrontend::new(&campaign, config);
+    let mut wire = WireFrontend::new(config);
+    run_script(&mut sim);
+    run_script(&mut wire);
+
+    assert_eq!(
+        sim.log(),
+        wire.log(),
+        "the two frontends diverged in their issue/validate decisions"
+    );
+    assert_eq!(sim.stats(), wire.stats(), "final ServerStats diverged");
+    assert!(sim.is_complete() && wire.is_complete());
+
+    // Both exercised the interesting paths, not just the happy drain.
+    let stats = sim.stats();
+    assert_eq!(stats.errors_received, 1, "one bounds-invalid result");
+    assert_eq!(stats.error_reissues, 1);
+    assert_eq!(stats.timeout_reissues, 1, "one expired replica");
+
+    // And the wire frontend's accepted artifact is the in-process
+    // baseline, byte for byte.
+    let outputs = wire.state.accepted_outputs().expect("campaign complete");
+    assert_eq!(
+        serde_json::to_string(&outputs).unwrap(),
+        serde_json::to_string(&campaign.baseline_outputs()).unwrap(),
+    );
+}

@@ -1,19 +1,27 @@
-//! Warn-only perf-regression guard for the event-engine bench.
+//! Warn-only perf-regression guard for the committed bench baselines.
 //!
-//! Compares a fresh `sim_scale` run against the committed
-//! `BENCH_simscale.json` baseline, scenario by scenario, and prints a
-//! warning when the fresh events/sec falls below the baseline by more
-//! than the tolerance. CI machines are noisy and heterogeneous, so the
-//! guard never fails the build on a perf delta — exit 0 with warnings on
-//! stderr; exit 2 only when a report is missing or malformed.
+//! Compares a fresh bench run against its committed baseline and prints
+//! a warning when the fresh numbers regress past the tolerance. CI
+//! machines are noisy and heterogeneous, so the guard never fails the
+//! build on a perf delta — exit 0 with warnings on stderr; exit 2 only
+//! when a report is missing, malformed, or of a different kind than its
+//! baseline.
 //!
 //! ```text
 //! bench_guard <baseline.json> <fresh.json> [--tolerance <fraction>]
 //! ```
 //!
-//! It also re-checks the PR's core claim on the *fresh* numbers: the
-//! timing wheel should stay ≥ 2x the heap at the 100k-host scenario
-//! (again warn-only — `--quick` runs don't include that fleet).
+//! The report kind is read from the `"bench"` field and dispatches the
+//! comparison:
+//!
+//! * `sim_scale` (`BENCH_simscale.json`) — events/sec per fleet
+//!   scenario, plus the PR-3 claim that the timing wheel stays ≥ 2x the
+//!   heap at the 100k-host fleet (warn-only; `--quick` runs don't
+//!   include that fleet).
+//! * `netgrid_e2e` (`BENCH_netgrid.json`) — loopback workunits/sec and
+//!   p99 request latency, plus a warning if the merged wire-level
+//!   output diverged from the in-process baseline or a fault path went
+//!   unexercised.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -50,6 +58,95 @@ fn scenario_rows(report: &Value, path: &str) -> Result<Vec<(f64, f64, f64)>, Str
         .collect()
 }
 
+/// The numbers the netgrid guard compares, pulled from one report.
+struct NetgridSummary {
+    workunits_per_sec: f64,
+    p99_ms: f64,
+    timeout_reissues: u64,
+    quorum_rejects: u64,
+    merged_matches_baseline: bool,
+}
+
+fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
+    let f = |key: &str| {
+        report
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric \"{key}\""))
+    };
+    let merged = match report.get("merged_matches_baseline") {
+        Some(Value::Bool(b)) => *b,
+        _ => return Err(format!("{path}: missing bool \"merged_matches_baseline\"")),
+    };
+    Ok(NetgridSummary {
+        workunits_per_sec: f("workunits_per_sec")?,
+        p99_ms: f("request_latency_p99_ms")?,
+        timeout_reissues: f("timeout_reissues")? as u64,
+        quorum_rejects: f("quorum_rejects")? as u64,
+        merged_matches_baseline: merged,
+    })
+}
+
+/// Warn-only comparison for a `netgrid_e2e` run: throughput floor, p99
+/// latency ceiling, and the two correctness signals the e2e run must
+/// carry (baseline-identical merge, both fault paths exercised).
+fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) -> u32 {
+    let mut warnings = 0;
+    let floor = base.workunits_per_sec * (1.0 - tolerance);
+    if fresh.workunits_per_sec < floor {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: loopback throughput {:.2} wu/s is below baseline {:.2} - {:.0}% tolerance",
+            fresh.workunits_per_sec,
+            base.workunits_per_sec,
+            tolerance * 100.0
+        );
+    } else {
+        println!(
+            "bench_guard: loopback throughput ok: {:.2} wu/s (baseline {:.2})",
+            fresh.workunits_per_sec, base.workunits_per_sec
+        );
+    }
+    let ceiling = base.p99_ms * (1.0 + tolerance);
+    if fresh.p99_ms > ceiling {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: p99 request latency {:.2} ms is above baseline {:.2} ms + {:.0}% tolerance",
+            fresh.p99_ms,
+            base.p99_ms,
+            tolerance * 100.0
+        );
+    } else {
+        println!(
+            "bench_guard: p99 request latency ok: {:.2} ms (baseline {:.2} ms)",
+            fresh.p99_ms, base.p99_ms
+        );
+    }
+    if !fresh.merged_matches_baseline {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: merged wire-level output diverged from the in-process baseline"
+        );
+    }
+    if fresh.timeout_reissues == 0 || fresh.quorum_rejects == 0 {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: a fault path went unexercised ({} timeout reissues, {} quorum rejects)",
+            fresh.timeout_reissues, fresh.quorum_rejects
+        );
+    }
+    warnings
+}
+
+/// The report kind, from the `"bench"` field (`sim_scale` reports from
+/// before the field existed default to `sim_scale`).
+fn report_kind(report: &Value) -> &str {
+    report
+        .get("bench")
+        .and_then(Value::as_str)
+        .unwrap_or("sim_scale")
+}
+
 fn main() -> ExitCode {
     let mut tolerance = 0.30f64;
     let mut paths = Vec::new();
@@ -78,6 +175,35 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let kind = report_kind(&fresh);
+    if report_kind(&baseline) != kind {
+        eprintln!(
+            "bench_guard: baseline is a {} report but fresh is a {} report",
+            report_kind(&baseline),
+            kind
+        );
+        return ExitCode::from(2);
+    }
+    if kind == "netgrid_e2e" {
+        let (base, fresh) = match (
+            netgrid_summary(&baseline, baseline_path),
+            netgrid_summary(&fresh, fresh_path),
+        ) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_guard: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let warnings = guard_netgrid(&base, &fresh, tolerance);
+        if warnings > 0 {
+            eprintln!(
+                "bench_guard: {warnings} warning(s) — informational only, not failing the build"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let (base_rows, fresh_rows) = match (
         scenario_rows(&baseline, baseline_path),
         scenario_rows(&fresh, fresh_path),
