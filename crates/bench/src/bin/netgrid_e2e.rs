@@ -10,6 +10,12 @@
 //! the §5.1 timeout-reissue path and the quorum-rejection path, and the
 //! report carries those counts.
 //!
+//! The campaign runs twice: once plain and once with `--journal`-style
+//! durability (write-ahead log + snapshots under a scratch directory),
+//! and the report carries the journaled throughput and its overhead
+//! fraction so `tools/bench_guard` can flag a journal that gets in the
+//! way of the wire.
+//!
 //! Writes `BENCH_netgrid.json` at the workspace root (override with
 //! `--out`); `tools/bench_guard` compares fresh runs against the
 //! committed baseline in CI (warn-only). `--quick` shrinks the fleet
@@ -18,7 +24,8 @@
 use bench_support::RunSession;
 use metrics::quantile;
 use netgrid::{
-    run_agent, AgentConfig, CampaignParams, FaultProfile, NetCampaign, NetServer, NetServerConfig,
+    run_agent, AgentConfig, CampaignParams, FaultProfile, JournalConfig, NetCampaign, NetRunReport,
+    NetServer, NetServerConfig,
 };
 use std::thread;
 use std::time::Duration;
@@ -46,56 +53,27 @@ struct NetgridReport {
     stall_faults: u64,
     corrupt_faults: u64,
     merged_matches_baseline: bool,
+    /// Throughput of the same campaign with the write-ahead journal on.
+    journal_workunits_per_sec: f64,
+    /// `(plain - journaled) / plain` throughput; noise makes small
+    /// negative values normal. Guarded warn-only at 10% by bench_guard.
+    journal_overhead_frac: f64,
+    journal_merged_matches_baseline: bool,
 }
 
-fn main() {
-    let mut quick = false;
-    let mut seed = 42u64;
-    let mut agents: Option<usize> = None;
-    let mut out: Option<String> = None;
-    let mut args = std::env::args().skip(1);
-    while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--quick" => quick = true,
-            "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--seed <n>")
-            }
-            "--agents" => {
-                agents = Some(
-                    args.next()
-                        .and_then(|s| s.parse().ok())
-                        .expect("--agents <n>"),
-                )
-            }
-            "--out" => out = Some(args.next().expect("--out <path>")),
-            other => {
-                eprintln!("netgrid_e2e: unknown argument {other}");
-                eprintln!(
-                    "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] [--out <path>]"
-                );
-                std::process::exit(2);
-            }
-        }
-    }
-    // Quick keeps the tiny 2-protein campaign and a short deadline so
-    // the victim's abandoned replica expires fast; the full run grows
-    // the library and the fleet.
-    let honest_agents = agents.unwrap_or(if quick { 4 } else { 6 });
-    let deadline_seconds = if quick { 2.0 } else { 4.0 };
-    let campaign_params = CampaignParams {
-        proteins: if quick { 2 } else { 3 },
-        lib_seed: seed,
-        ..CampaignParams::tiny()
-    };
-
-    let mut session = RunSession::start("netgrid_e2e", seed, 1);
-
+/// One full wire-level campaign: fleet, faults and all. Returns the
+/// server report plus the fleet's request latencies and fault totals.
+fn run_campaign(
+    campaign_params: CampaignParams,
+    deadline_seconds: f64,
+    honest_agents: usize,
+    seed: u64,
+    journal: Option<JournalConfig>,
+) -> (NetRunReport, Vec<f64>, (u64, u64, u64)) {
     let config = NetServerConfig {
         campaign: campaign_params,
         sweep_ms: 25,
+        journal,
         ..NetServerConfig::loopback(deadline_seconds)
     };
     let server = NetServer::bind(config).expect("bind loopback");
@@ -160,11 +138,80 @@ fn main() {
         faults.2 += r.corrupt_faults;
     }
     let run = server.join().unwrap().expect("server ran");
+    (run, latencies, faults)
+}
+
+fn main() {
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut agents: Option<usize> = None;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed <n>")
+            }
+            "--agents" => {
+                agents = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--agents <n>"),
+                )
+            }
+            "--out" => out = Some(args.next().expect("--out <path>")),
+            other => {
+                eprintln!("netgrid_e2e: unknown argument {other}");
+                eprintln!(
+                    "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] [--out <path>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // Quick keeps the tiny 2-protein campaign and a short deadline so
+    // the victim's abandoned replica expires fast; the full run grows
+    // the library and the fleet.
+    let honest_agents = agents.unwrap_or(if quick { 4 } else { 6 });
+    let deadline_seconds = if quick { 2.0 } else { 4.0 };
+    let campaign_params = CampaignParams {
+        proteins: if quick { 2 } else { 3 },
+        lib_seed: seed,
+        ..CampaignParams::tiny()
+    };
+
+    let mut session = RunSession::start("netgrid_e2e", seed, 1);
+
+    let (run, latencies, faults) =
+        run_campaign(campaign_params, deadline_seconds, honest_agents, seed, None);
+
+    // Same campaign again, durably: every transition through the
+    // write-ahead log at the default fsync cadence.
+    let journal_dir = std::env::temp_dir().join(format!("hcmd-bench-journal-{}", seed));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let (journaled_run, _, _) = run_campaign(
+        campaign_params,
+        deadline_seconds,
+        honest_agents,
+        seed,
+        Some(JournalConfig::new(&journal_dir)),
+    );
+    let _ = std::fs::remove_dir_all(&journal_dir);
 
     let baseline = NetCampaign::build(campaign_params).baseline_outputs();
-    let merged_matches_baseline = serde_json::to_string(&run.outputs).expect("outputs serialize")
-        == serde_json::to_string(&baseline).expect("baseline serializes");
+    let baseline_json = serde_json::to_string(&baseline).expect("baseline serializes");
+    let merged_matches_baseline =
+        serde_json::to_string(&run.outputs).expect("outputs serialize") == baseline_json;
+    let journal_merged_matches_baseline =
+        serde_json::to_string(&journaled_run.outputs).expect("outputs serialize") == baseline_json;
 
+    let workunits_per_sec = run.workunits as f64 / run.wall_seconds.max(1e-9);
+    let journal_workunits_per_sec =
+        journaled_run.workunits as f64 / journaled_run.wall_seconds.max(1e-9);
     let report = NetgridReport {
         bench: "netgrid_e2e".to_string(),
         quick,
@@ -172,7 +219,7 @@ fn main() {
         agents: honest_agents,
         workunits: run.workunits,
         wall_seconds: run.wall_seconds,
-        workunits_per_sec: run.workunits as f64 / run.wall_seconds.max(1e-9),
+        workunits_per_sec,
         requests: latencies.len(),
         request_latency_p50_ms: quantile(&latencies, 0.50).unwrap_or(0.0),
         request_latency_p99_ms: quantile(&latencies, 0.99).unwrap_or(0.0),
@@ -182,6 +229,10 @@ fn main() {
         stall_faults: faults.1,
         corrupt_faults: faults.2,
         merged_matches_baseline,
+        journal_workunits_per_sec,
+        journal_overhead_frac: (workunits_per_sec - journal_workunits_per_sec)
+            / workunits_per_sec.max(1e-9),
+        journal_merged_matches_baseline,
     };
     println!(
         "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents + victim + saboteur)",
@@ -200,10 +251,15 @@ fn main() {
         report.corrupt_faults
     );
     println!(
-        "merged output matches in-process baseline: {}",
-        report.merged_matches_baseline
+        "journaled: {:.1} wu/s ({:+.1}% overhead vs plain)",
+        report.journal_workunits_per_sec,
+        report.journal_overhead_frac * 100.0
     );
-    if !report.merged_matches_baseline {
+    println!(
+        "merged output matches in-process baseline: plain {}, journaled {}",
+        report.merged_matches_baseline, report.journal_merged_matches_baseline
+    );
+    if !report.merged_matches_baseline || !report.journal_merged_matches_baseline {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }
     if report.timeout_reissues == 0 || report.quorum_rejects == 0 {
@@ -220,7 +276,7 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let ok = report.merged_matches_baseline;
+    let ok = report.merged_matches_baseline && report.journal_merged_matches_baseline;
     session.record_engine(report.requests as u64, 0, report.workunits as u64);
     session.finish();
     if !ok {

@@ -125,13 +125,13 @@ pub struct ReportOutcome {
     pub erroneous: bool,
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 struct WuState {
     valid_results: u16,
     complete: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 struct ReplicaState {
     workunit: u32,
     reported: bool,
@@ -211,11 +211,37 @@ pub struct SchedulerCore {
     sample_stride: u64,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 enum ReissueCause {
     Quorum,
     Timeout,
     Error,
+}
+
+/// A serializable image of the scheduler's mutable state, taken with
+/// [`SchedulerCore::snapshot`] and rebuilt with [`SchedulerCore::restore`].
+///
+/// The catalog and configuration are *not* part of the image: both are
+/// derived deterministically from the campaign recipe, so a restart
+/// rebuilds them from the recipe and the snapshot only has to carry the
+/// progress state (which workunits validated, which replicas are out,
+/// what is queued for reissue). `catalog_len` is kept as a cheap sanity
+/// check that a snapshot is being restored against the campaign it was
+/// taken from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSnapshot {
+    states: Vec<WuState>,
+    replicas: Vec<ReplicaState>,
+    next_new: usize,
+    reissue: Vec<u32>,
+    reissue_causes: Vec<ReissueCause>,
+    completed: usize,
+    results_received: u64,
+    results_useful: u64,
+    stats: ServerStats,
+    feeder_cache: Vec<(u32, Option<ReissueCause>)>,
+    feeder_misses: u64,
+    catalog_len: usize,
 }
 
 impl ReissueCause {
@@ -299,6 +325,77 @@ impl SchedulerCore {
             sample_stride,
             catalog,
         }
+    }
+
+    /// Captures the scheduler's mutable state for durable storage.
+    pub fn snapshot(&self) -> CoreSnapshot {
+        CoreSnapshot {
+            states: self.states.clone(),
+            replicas: self.replicas.clone(),
+            next_new: self.next_new,
+            reissue: self.reissue.iter().copied().collect(),
+            reissue_causes: self.reissue_causes.iter().copied().collect(),
+            completed: self.completed,
+            results_received: self.results_received,
+            results_useful: self.results_useful,
+            stats: self.stats,
+            feeder_cache: self.feeder_cache.iter().copied().collect(),
+            feeder_misses: self.feeder_misses,
+            catalog_len: self.catalog.len(),
+        }
+    }
+
+    /// Rebuilds a scheduler from a [`CoreSnapshot`] plus the (recipe-
+    /// derived) catalog and configuration it was taken under. Fails when
+    /// the snapshot is internally inconsistent or belongs to a different
+    /// campaign, so a corrupt journal cannot resurrect a nonsense server.
+    pub fn restore(
+        catalog: Vec<WorkunitCatalogEntry>,
+        config: ServerConfig,
+        snap: CoreSnapshot,
+    ) -> Result<Self, String> {
+        let n = catalog.len();
+        if snap.catalog_len != n || snap.states.len() != n {
+            return Err(format!(
+                "snapshot belongs to a {}-workunit campaign, catalog has {n}",
+                snap.catalog_len
+            ));
+        }
+        if snap.reissue.len() != snap.reissue_causes.len() {
+            return Err("snapshot reissue queues out of sync".into());
+        }
+        if snap.next_new > n || snap.completed > n {
+            return Err("snapshot cursors out of range".into());
+        }
+        if let Some(r) = snap
+            .replicas
+            .iter()
+            .find(|r| r.workunit as usize >= n)
+            .map(|r| r.workunit)
+        {
+            return Err(format!("snapshot replica references workunit {r} >= {n}"));
+        }
+        if snap
+            .reissue
+            .iter()
+            .chain(snap.feeder_cache.iter().map(|(wu, _)| wu))
+            .any(|&wu| wu as usize >= n)
+        {
+            return Err("snapshot reissue/feeder entry out of range".into());
+        }
+        let mut core = Self::new(catalog, config);
+        core.states = snap.states;
+        core.replicas = snap.replicas;
+        core.next_new = snap.next_new;
+        core.reissue = snap.reissue.into();
+        core.reissue_causes = snap.reissue_causes.into();
+        core.completed = snap.completed;
+        core.results_received = snap.results_received;
+        core.results_useful = snap.results_useful;
+        core.stats = snap.stats;
+        core.feeder_cache = snap.feeder_cache.into();
+        core.feeder_misses = snap.feeder_misses;
+        Ok(core)
     }
 
     /// Whether a workunit's lifecycle is logged to the event stream (the
@@ -772,6 +869,96 @@ mod tests {
     #[should_panic(expected = "no workunits")]
     fn empty_catalog_rejected() {
         SchedulerCore::new(Vec::new(), ServerConfig::default());
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Vec<WorkunitCatalogEntry> {
+        (0..n)
+            .map(|i| WorkunitCatalogEntry {
+                ref_seconds: 1000.0 + i as f32,
+                position_ref_seconds: 100.0,
+                receptor: (i % 3) as u16,
+            })
+            .collect()
+    }
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::new(sec)
+    }
+
+    /// Drives a core through a mixed history (issues, quorum pair, an
+    /// error, a timeout), snapshots it, restores, and asserts the two
+    /// cores make identical decisions from there to campaign end.
+    #[test]
+    fn restored_core_continues_exactly_where_the_original_stopped() {
+        let mut s = SchedulerCore::new(catalog(4), ServerConfig::default());
+        let a = s.fetch_work(t(0.0)).unwrap();
+        let b = s.fetch_work(t(0.0)).unwrap();
+        let c = s.fetch_work(t(1.0)).unwrap();
+        s.report_result(t(2.0), a.replica, false);
+        s.report_result(t(3.0), b.replica, true); // error reissue
+        s.handle_timeout(c.replica); // timeout reissue
+
+        let snap = s.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CoreSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap, "snapshot must survive a JSON round trip");
+        let mut r = SchedulerCore::restore(catalog(4), ServerConfig::default(), back).unwrap();
+
+        assert_eq!(r.stats, s.stats);
+        assert_eq!(r.completed_count(), s.completed_count());
+        assert_eq!(r.replica_count(), s.replica_count());
+        // Drain both to completion in lockstep; every decision must match.
+        let mut now = 10.0;
+        while !s.is_campaign_complete() || !r.is_campaign_complete() {
+            now += 1.0;
+            let (x, y) = (s.fetch_work(t(now)), r.fetch_work(t(now)));
+            match (x, y) {
+                (Some(x), Some(y)) => {
+                    assert_eq!((x.replica, x.workunit), (y.replica, y.workunit));
+                    let ox = s.report_result(t(now + 0.5), x.replica, false);
+                    let oy = r.report_result(t(now + 0.5), y.replica, false);
+                    assert_eq!(ox, oy);
+                }
+                (None, None) => break,
+                diverged => panic!("fetch decisions diverged: {diverged:?}"),
+            }
+        }
+        assert_eq!(s.is_campaign_complete(), r.is_campaign_complete());
+        assert_eq!(s.stats, r.stats);
+        assert_eq!(s.results_received, r.results_received);
+        assert_eq!(s.results_useful, r.results_useful);
+    }
+
+    #[test]
+    fn snapshot_of_wrong_campaign_is_rejected() {
+        let s = SchedulerCore::new(catalog(4), ServerConfig::default());
+        let snap = s.snapshot();
+        assert!(SchedulerCore::restore(catalog(5), ServerConfig::default(), snap).is_err());
+    }
+
+    #[test]
+    fn feeder_cache_survives_the_snapshot() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0),
+            feeder: Some(FeederConfig {
+                cache_size: 4,
+                refill_batch: 4,
+            }),
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(6), cfg);
+        assert!(s.fetch_work(t(0.0)).is_none(), "cold cache");
+        let snap = s.snapshot();
+        let mut r = SchedulerCore::restore(catalog(6), cfg, snap).unwrap();
+        let a = s.fetch_work(t(1.0)).unwrap();
+        let b = r.fetch_work(t(1.0)).unwrap();
+        assert_eq!((a.replica, a.workunit), (b.replica, b.workunit));
+        assert_eq!(s.feeder_misses, r.feeder_misses);
     }
 }
 

@@ -97,7 +97,12 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 if connect_failures >= config.max_connect_attempts {
                     // The server is gone — most likely the campaign
                     // finished while this agent was between sessions.
-                    return if report.saw_completion || report.reported > 0 {
+                    // Any received assignment counts as progress: an
+                    // agent whose every assignment drew a disconnect
+                    // fault has reported nothing yet still ran exactly
+                    // as configured, so its report is a result, not an
+                    // error.
+                    return if report.saw_completion || report.assignments > 0 {
                         Ok(report)
                     } else {
                         Err(e)
@@ -274,7 +279,66 @@ fn compute_workunit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::CampaignParams;
+    use crate::protocol::{CampaignParams, PROTOCOL_VERSION};
+
+    /// Regression: an agent whose *every* assignment drew a disconnect
+    /// fault has `reported == 0` when the server exits. That agent ran
+    /// exactly as configured, so giving up on a vanished server must be
+    /// `Ok(report)` — it used to demand `reported > 0` and returned the
+    /// connect error instead.
+    #[test]
+    fn give_up_with_assignments_but_no_reports_is_ok() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // Close the listener immediately: once the faulty agent
+            // drops this connection, every reconnect is refused.
+            drop(listener);
+            let campaign = NetCampaign::build(CampaignParams::tiny());
+            loop {
+                let reply = match read_message(&mut s) {
+                    Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        campaign: CampaignParams::tiny(),
+                        deadline_seconds: 5.0,
+                    },
+                    Ok(Some(Message::RequestWork)) => {
+                        let spec = campaign.spec(0);
+                        Message::Assignment {
+                            replica: 0,
+                            workunit: 0,
+                            receptor: spec.receptor.0,
+                            ligand: spec.ligand.0,
+                            isep_start: spec.isep_start,
+                            positions: spec.positions,
+                            deadline_seconds: 5.0,
+                        }
+                    }
+                    _ => return, // agent dropped the connection
+                };
+                if write_message(&mut s, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let report = run_agent(AgentConfig {
+            profile: FaultProfile {
+                disconnect: 1.0,
+                stall: 0.0,
+                corrupt: 0.0,
+            },
+            max_connect_attempts: 3,
+            ..AgentConfig::new(addr.to_string(), 9)
+        })
+        .expect("an agent that received assignments made progress");
+        assert!(report.assignments >= 1, "{report:?}");
+        assert_eq!(report.reported, 0, "every assignment disconnected");
+        assert_eq!(report.disconnect_faults, report.assignments);
+        assert!(!report.saw_completion);
+        server.join().unwrap();
+    }
 
     #[test]
     fn checkpointed_compute_matches_direct_dock_range() {

@@ -3,19 +3,29 @@
 //! ```text
 //! hcmd-server [--addr 127.0.0.1:7070] [--proteins 2] [--seed 7]
 //!             [--h-seconds 40] [--deadline 30] [--max-connections 64]
-//!             [--events PATH]
+//!             [--events PATH] [--journal DIR] [--fsync always|never|every=N]
+//!             [--snapshot-every N] [--out PATH]
 //! ```
 //!
 //! Binds, prints the resolved address, then runs the campaign to
 //! completion and prints the closing statistics. Pair it with one or
 //! more `hcmd-agent` processes (see README "Two terminals, one grid").
+//!
+//! With `--journal DIR` the server is crash-safe: every scheduler
+//! transition is appended to a write-ahead log under `DIR`, and a
+//! restarted server replays it and resumes the campaign exactly where
+//! the crash left it (see DESIGN.md §6 "Durability"). `--out PATH`
+//! writes the merged validated artifact as JSON on completion, which
+//! the restart smoke test byte-compares against an uninterrupted run.
 
-use netgrid::{NetServer, NetServerConfig};
+use netgrid::{FsyncPolicy, JournalConfig, NetServer, NetServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: hcmd-server [--addr HOST:PORT] [--proteins N] [--seed N] \
-         [--h-seconds S] [--deadline S] [--max-connections N] [--events PATH]"
+         [--h-seconds S] [--deadline S] [--max-connections N] [--events PATH] \
+         [--journal DIR] [--fsync always|never|every=N] [--snapshot-every N] \
+         [--out PATH]"
     );
     std::process::exit(2);
 }
@@ -29,6 +39,9 @@ fn main() {
     let mut config = NetServerConfig::loopback(30.0);
     config.addr = "127.0.0.1:7070".into();
     let mut events: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut fsync = FsyncPolicy::default();
+    let mut snapshot_every = 4096u64;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -53,10 +66,27 @@ fn main() {
                     take(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--events" => events = Some(take(&args, &mut i)),
+            "--journal" => {
+                config.journal = Some(JournalConfig::new(take(&args, &mut i)));
+            }
+            "--fsync" => {
+                fsync = FsyncPolicy::parse(&take(&args, &mut i)).unwrap_or_else(|e| {
+                    eprintln!("hcmd-server: {e}");
+                    usage()
+                })
+            }
+            "--snapshot-every" => {
+                snapshot_every = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--out" => out = Some(take(&args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
         i += 1;
+    }
+    if let Some(journal) = &mut config.journal {
+        journal.fsync = fsync;
+        journal.snapshot_every = snapshot_every;
     }
 
     if let Some(path) = &events {
@@ -105,6 +135,16 @@ fn main() {
                 report.net_stats.deadline_expiries,
                 report.net_stats.backoffs_sent
             );
+            if let Some(path) = &out {
+                let json =
+                    serde_json::to_string(&report.outputs).expect("DockingOutput serializes");
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("hcmd-server: cannot write artifact {path}: {e}");
+                    telemetry::shutdown();
+                    std::process::exit(1);
+                }
+                println!("artifact written to {path}");
+            }
             telemetry::shutdown();
         }
         Err(e) => {

@@ -23,6 +23,7 @@
 use maxdo::DockingOutput;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 
 /// What a faulty agent does with one assignment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -137,7 +138,10 @@ impl FaultDice {
 }
 
 /// Server-side fault/limit knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+///
+/// Serializable because the journal header records them: a journaled
+/// campaign must resume under the same limits it ran under.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ServerFaults {
     /// Connections beyond this are turned away with `Busy` (0 = off).
     pub max_connections: usize,
@@ -238,11 +242,30 @@ mod tests {
     #[test]
     fn backoff_grows_and_caps() {
         let f = ServerFaults::default();
-        let b1 = f.backoff_ms(1, 0);
-        let b4 = f.backoff_ms(1, 4);
-        let b20 = f.backoff_ms(1, 20);
-        assert!(b1 < b4 && b4 < b20.max(b4 + 1));
-        assert!(b20 <= f.backoff_max_ms + f.backoff_jitter_ms);
+        // With base 20 ms and cap 2000 ms the exponential part doubles
+        // through miss 6 (20·2⁶ = 1280) and saturates at the cap from
+        // miss 7 on (20·2⁷ = 2560 → 2000). Jitter is < 17 ms, smaller
+        // than every doubling step, so growth below the cap is strict.
+        for agent in [0u64, 1, 7, 1_000_003] {
+            for miss in 0..7 {
+                let lo = f.backoff_ms(agent, miss);
+                let hi = f.backoff_ms(agent, miss + 1);
+                assert!(
+                    lo < hi,
+                    "backoff must strictly grow below the cap: \
+                     agent={agent} miss={miss}: {lo} → {hi}"
+                );
+            }
+            // Past the knee every backoff sits in the cap band
+            // [max, max + jitter): capped, but never above the ceiling.
+            for miss in 7..40 {
+                let b = f.backoff_ms(agent, miss);
+                assert!(
+                    (f.backoff_max_ms..f.backoff_max_ms + f.backoff_jitter_ms).contains(&b),
+                    "agent={agent} miss={miss}: {b} outside the cap band"
+                );
+            }
+        }
     }
 
     #[test]

@@ -22,14 +22,19 @@
 //! * [`agent`] — the volunteer loop (fetch → dock → checkpoint →
 //!   report) with real multicore docking;
 //! * [`faults`] — deterministic fault injection: disconnects, stalls
-//!   past the deadline, bit-flipped payloads, connection limits.
+//!   past the deadline, bit-flipped payloads, connection limits;
+//! * [`journal`] — write-ahead journal + compacting snapshots, so a
+//!   `kill -9` mid-campaign resumes from disk and finishes with the
+//!   identical merged artifact.
 //!
-//! See DESIGN.md §6 for the frame layout, both state machines, and how
-//! each injected fault maps to a §5.1 failure class.
+//! See DESIGN.md §6 for the frame layout, both state machines, how
+//! each injected fault maps to a §5.1 failure class, and the journal's
+//! durability/recovery invariants.
 
 pub mod agent;
 pub mod campaign;
 pub mod faults;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod state;
@@ -37,6 +42,7 @@ pub mod state;
 pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use campaign::NetCampaign;
 pub use faults::{FaultAction, FaultDice, FaultProfile, ServerFaults};
+pub use journal::{open_journaled, FsyncPolicy, Journal, JournalConfig, JournalRecord};
 pub use protocol::{CampaignParams, DecodeError, Message};
 pub use server::{NetRunReport, NetServer, NetServerConfig};
-pub use state::{GridState, NetStats, ResultDisposition, Verdict, WorkReply};
+pub use state::{GridSnapshot, GridState, NetStats, ResultDisposition, Verdict, WorkReply};

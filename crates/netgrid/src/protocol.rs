@@ -208,10 +208,11 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Encodes one message as a complete frame.
-pub fn encode(msg: &Message) -> Bytes {
-    let payload = serde_json::to_string(msg).expect("Message serialization cannot fail");
-    let payload = payload.as_bytes();
+/// Frames an arbitrary payload with the standard header (magic, version,
+/// length, FNV-1a checksum). [`encode`] uses this for wire messages; the
+/// journal reuses the exact same framing for its on-disk records, so one
+/// reader/checksum implementation covers both.
+pub fn frame_payload(payload: &[u8]) -> Bytes {
     assert!(
         payload.len() <= MAX_FRAME_BYTES,
         "outgoing frame of {} bytes exceeds the cap",
@@ -226,9 +227,10 @@ pub fn encode(msg: &Message) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes one frame from the front of `buf`. On success returns the
-/// message and the number of bytes consumed (header + payload).
-pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
+/// Splits one checksum-verified payload off the front of `buf`. On
+/// success returns the payload slice and the number of bytes consumed
+/// (header + payload).
+pub fn deframe(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
     if buf.len() < HEADER_BYTES {
         return Err(DecodeError::Incomplete {
             needed: HEADER_BYTES - buf.len(),
@@ -254,16 +256,29 @@ pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
             needed: len - r.remaining(),
         });
     }
-    let payload = &r[..len];
+    let payload = &buf[HEADER_BYTES..HEADER_BYTES + len];
     let got = fnv1a64(payload);
     if got != expected {
         return Err(DecodeError::Checksum { expected, got });
     }
+    Ok((payload, HEADER_BYTES + len))
+}
+
+/// Encodes one message as a complete frame.
+pub fn encode(msg: &Message) -> Bytes {
+    let payload = serde_json::to_string(msg).expect("Message serialization cannot fail");
+    frame_payload(payload.as_bytes())
+}
+
+/// Decodes one frame from the front of `buf`. On success returns the
+/// message and the number of bytes consumed (header + payload).
+pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
+    let (payload, consumed) = deframe(buf)?;
     let text = std::str::from_utf8(payload)
         .map_err(|e| DecodeError::Payload(format!("not UTF-8: {e}")))?;
     let msg: Message =
         serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?;
-    Ok((msg, HEADER_BYTES + len))
+    Ok((msg, consumed))
 }
 
 /// Writes one framed message to a blocking stream.

@@ -17,6 +17,7 @@
 
 use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
+use crate::journal::{open_journaled, JournalConfig};
 use crate::protocol::{read_message, write_message, CampaignParams, Message, PROTOCOL_VERSION};
 use crate::state::{GridState, NetStats, WorkReply};
 use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
@@ -43,6 +44,9 @@ pub struct NetServerConfig {
     pub faults: ServerFaults,
     /// Deadline-sweep interval, ms.
     pub sweep_ms: u64,
+    /// Write-ahead journal location and policy; `None` keeps all state
+    /// in RAM (the pre-durability behaviour).
+    pub journal: Option<JournalConfig>,
 }
 
 impl NetServerConfig {
@@ -58,6 +62,7 @@ impl NetServerConfig {
             },
             faults: ServerFaults::default(),
             sweep_ms: 50,
+            journal: None,
         }
     }
 }
@@ -88,28 +93,44 @@ pub struct NetServer {
     campaign: Arc<NetCampaign>,
     state: Arc<Mutex<GridState>>,
     config: NetServerConfig,
+    /// Server-clock second the journal replay reached (0 for a fresh
+    /// state): added to every `epoch.elapsed()` reading so the SimTime
+    /// axis stays monotone across restarts.
+    clock_offset: f64,
 }
 
 /// Read timeout on handler sockets: the poll interval at which blocked
 /// handlers notice campaign completion.
 const HANDLER_POLL: Duration = Duration::from_millis(200);
 
+/// How long a handler keeps serving after the campaign completes, so an
+/// agent sleeping on a `NoWork` backoff (capped at 2 s agent-side) can
+/// wake, ask once more, and be told `campaign_complete` instead of
+/// finding a dead socket and burning its whole reconnect budget.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(3);
+
 impl NetServer {
-    /// Binds the listener and materialises the campaign.
+    /// Binds the listener and materialises the campaign. With a journal
+    /// configured, this is also the recovery path: any existing
+    /// snapshot + wal under the journal directory is replayed before the
+    /// first connection is accepted.
     pub fn bind(config: NetServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let campaign = Arc::new(NetCampaign::build(config.campaign));
-        let state = Arc::new(Mutex::new(GridState::new(
-            &campaign,
-            config.scheduler,
-            config.faults,
-        )));
+        let (state, clock_offset) = match &config.journal {
+            Some(journal) => open_journaled(journal, &campaign, config.scheduler, config.faults)?,
+            None => (
+                GridState::new(&campaign, config.scheduler, config.faults),
+                0.0,
+            ),
+        };
         Ok(Self {
             listener,
             campaign,
-            state,
+            state: Arc::new(Mutex::new(state)),
             config,
+            clock_offset,
         })
     }
 
@@ -123,11 +144,16 @@ impl NetServer {
     /// handlers have drained.
     pub fn run(self) -> io::Result<NetRunReport> {
         let epoch = Instant::now();
-        let done = Arc::new(AtomicBool::new(false));
+        let clock_offset = self.clock_offset;
+        // A journaled restart may recover an already-finished campaign.
+        let done = Arc::new(AtomicBool::new(
+            self.state.lock().unwrap().is_campaign_complete(),
+        ));
         let active = Arc::new(AtomicUsize::new(0));
         let mut connections = 0u64;
         let mut rejected = 0u64;
         let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
+        let mut first_panic: Option<String> = None;
 
         let sweeper = {
             let state = Arc::clone(&self.state);
@@ -137,7 +163,7 @@ impl NetServer {
                 while !done.load(Relaxed) {
                     thread::sleep(interval);
                     let mut s = state.lock().unwrap();
-                    s.sweep(SimTime::new(epoch.elapsed().as_secs_f64()));
+                    s.sweep(SimTime::new(clock_offset + epoch.elapsed().as_secs_f64()));
                     if s.is_campaign_complete() {
                         done.store(true, Relaxed);
                     }
@@ -148,25 +174,20 @@ impl NetServer {
         while !done.load(Relaxed) {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
-                    connections += 1;
                     let limit = self.config.faults.max_connections;
                     if limit > 0 && active.load(Relaxed) >= limit {
+                        // Turned away before any frame is read: counted
+                        // (and telemetered) as a rejection, never as an
+                        // accepted connection.
                         rejected += 1;
+                        let retry_after_ms = self.config.faults.backoff_base_ms.max(1) * 4;
                         let _ = stream.set_nodelay(true);
                         let mut stream = stream;
-                        let _ = write_message(
-                            &mut stream,
-                            &Message::Busy {
-                                retry_after_ms: self.config.faults.backoff_base_ms.max(1) * 4,
-                            },
-                        );
-                        telemetry::emit(None, || Event::ConnectionClosed {
-                            agent: 0,
-                            frames: 1,
-                            reason: "server-full".into(),
-                        });
+                        let _ = write_message(&mut stream, &Message::Busy { retry_after_ms });
+                        telemetry::emit(None, || Event::ConnectionRejected { retry_after_ms });
                         continue;
                     }
+                    connections += 1;
                     active.fetch_add(1, Relaxed);
                     let ctx = HandlerCtx {
                         campaign: Arc::clone(&self.campaign),
@@ -176,6 +197,7 @@ impl NetServer {
                         params: self.config.campaign,
                         deadline_seconds: self.config.scheduler.deadline_seconds,
                         epoch,
+                        clock_offset,
                     };
                     handlers.push(thread::spawn(move || handle_connection(stream, ctx)));
                 }
@@ -186,13 +208,22 @@ impl NetServer {
                 Err(e) => return Err(e),
             }
             // Reap finished handlers so a long campaign does not grow an
-            // unbounded join list.
-            handlers.retain(|h| !h.is_finished());
+            // unbounded join list — and *join* them, so a panicked
+            // handler surfaces instead of being silently discarded.
+            if let Err(msg) = reap_finished(&mut handlers) {
+                first_panic.get_or_insert(msg);
+                done.store(true, Relaxed);
+            }
         }
         drop(self.listener);
         let _ = sweeper.join();
         for h in handlers {
-            let _ = h.join();
+            if let Err(payload) = h.join() {
+                first_panic.get_or_insert(panic_message(&*payload));
+            }
+        }
+        if let Some(msg) = first_panic {
+            return Err(io::Error::other(format!("handler thread panicked: {msg}")));
         }
 
         let state = Arc::try_unwrap(self.state)
@@ -215,6 +246,37 @@ impl NetServer {
     }
 }
 
+/// Joins every finished handler out of `handlers`. Returns the first
+/// panic message encountered (after still reaping the rest), so the
+/// accept loop can shut the run down with a diagnostic instead of
+/// leaving the panicked handler's replica to silently age out.
+fn reap_finished(handlers: &mut Vec<thread::JoinHandle<()>>) -> Result<(), String> {
+    let mut first_panic = None;
+    let mut i = 0;
+    while i < handlers.len() {
+        if handlers[i].is_finished() {
+            if let Err(payload) = handlers.swap_remove(i).join() {
+                first_panic.get_or_insert(panic_message(&*payload));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    first_panic.map_or(Ok(()), Err)
+}
+
+/// Best-effort rendering of a panic payload (panics carry `&str` or
+/// `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
 struct HandlerCtx {
     campaign: Arc<NetCampaign>,
     state: Arc<Mutex<GridState>>,
@@ -223,9 +285,22 @@ struct HandlerCtx {
     params: CampaignParams,
     deadline_seconds: f64,
     epoch: Instant,
+    clock_offset: f64,
+}
+
+/// Decrements the active-connection count when the handler exits —
+/// *however* it exits. Without the drop guard a panicking handler would
+/// leak its slot and walk the server toward rejecting every connection.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Relaxed);
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, ctx: HandlerCtx) {
+    let _guard = ActiveGuard(Arc::clone(&ctx.active));
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(HANDLER_POLL));
     let mut agent_id = 0u64;
@@ -236,7 +311,6 @@ fn handle_connection(mut stream: TcpStream, ctx: HandlerCtx) {
         frames,
         reason: reason.into(),
     });
-    ctx.active.fetch_sub(1, Relaxed);
 }
 
 /// The connection's request/reply loop. Returns the close reason for
@@ -247,6 +321,7 @@ fn serve(
     agent_id: &mut u64,
     frames: &mut u64,
 ) -> &'static str {
+    let mut done_since: Option<Instant> = None;
     loop {
         let msg = match read_message(stream) {
             Ok(Some(m)) => m,
@@ -257,8 +332,13 @@ fn serve(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
-                // Idle poll tick: keep serving until the campaign ends.
-                if ctx.done.load(Relaxed) {
+                // Idle poll tick: keep serving until the campaign ends,
+                // then linger through the grace window so an agent
+                // sleeping on a backoff still gets its completion
+                // notice on the next request.
+                if ctx.done.load(Relaxed)
+                    && done_since.get_or_insert_with(Instant::now).elapsed() > SHUTDOWN_GRACE
+                {
                     return "eof";
                 }
                 continue;
@@ -267,7 +347,7 @@ fn serve(
             Err(_) => return "io",
         };
         *frames += 1;
-        let now = SimTime::new(ctx.epoch.elapsed().as_secs_f64());
+        let now = SimTime::new(ctx.clock_offset + ctx.epoch.elapsed().as_secs_f64());
         let reply = match msg {
             Message::Hello { agent, threads: _ } => {
                 *agent_id = agent;
@@ -335,5 +415,59 @@ fn serve(
         if write_message(stream, &reply).is_err() {
             return "io";
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the silent-discard bug: `retain(|h|
+    /// !h.is_finished())` dropped JoinHandles without joining, so a
+    /// panicked handler vanished without a diagnostic.
+    #[test]
+    fn reap_joins_finished_handlers_and_surfaces_the_panic() {
+        let mut handlers = vec![
+            thread::spawn(|| {}),
+            thread::spawn(|| panic!("boom in handler")),
+            thread::spawn(|| {}),
+        ];
+        while handlers.iter().any(|h| !h.is_finished()) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        let err = reap_finished(&mut handlers).expect_err("panic must surface");
+        assert!(err.contains("boom in handler"), "got: {err}");
+        assert!(handlers.is_empty(), "every finished handler was joined");
+    }
+
+    #[test]
+    fn reap_of_healthy_handlers_is_clean() {
+        let mut handlers = vec![thread::spawn(|| {}), thread::spawn(|| {})];
+        while handlers.iter().any(|h| !h.is_finished()) {
+            thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(reap_finished(&mut handlers), Ok(()));
+        assert!(handlers.is_empty());
+    }
+
+    #[test]
+    fn active_guard_decrements_even_through_a_panic() {
+        let active = Arc::new(AtomicUsize::new(1));
+        let cloned = Arc::clone(&active);
+        let h = thread::spawn(move || {
+            let _guard = ActiveGuard(cloned);
+            panic!("handler died");
+        });
+        assert!(h.join().is_err());
+        assert_eq!(active.load(Relaxed), 0, "slot released despite the panic");
+    }
+
+    #[test]
+    fn panic_messages_render_str_and_string_payloads() {
+        let a = thread::spawn(|| panic!("static str")).join().unwrap_err();
+        assert_eq!(panic_message(&*a), "static str");
+        let s = String::from("owned");
+        let b = thread::spawn(move || panic!("{s}")).join().unwrap_err();
+        assert_eq!(panic_message(&*b), "owned");
     }
 }

@@ -26,12 +26,15 @@
 
 use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
+use crate::journal::{Journal, JournalRecord};
 use crate::protocol::fnv1a64;
 use gridsim::server::{
-    ReplicaAssignment, ReplicaId, SchedulerCore, ServerConfig, ServerStats, ValidationPolicy,
+    CoreSnapshot, ReplicaAssignment, ReplicaId, SchedulerCore, ServerConfig, ServerStats,
+    ValidationPolicy,
 };
 use gridsim::SimTime;
 use maxdo::DockingOutput;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use telemetry::{self, Event};
 use validation::{checks::check_file, ValueRanges};
@@ -51,7 +54,10 @@ pub enum WorkReply {
 }
 
 /// How a reported result was judged.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Serializable because the journal records the live verdict of every
+/// report and replay asserts it is reproduced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Verdict {
     /// Validated its workunit (alone under bounds-check, or as the
     /// matching half of a quorum pair).
@@ -81,7 +87,7 @@ pub struct ResultDisposition {
 }
 
 /// Wire-level counters, alongside the core's [`ServerStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct NetStats {
     /// Results rejected by byte-level quorum comparison.
     pub quorum_rejected: u64,
@@ -139,7 +145,29 @@ pub struct GridState {
     misses: HashMap<u64, u32>,
     /// Wire-level counters.
     pub net_stats: NetStats,
+    /// Latest server-clock second any entry point has seen — the resume
+    /// offset a journaled restart continues the clock from.
+    last_now: f64,
+    /// Write-ahead journal, when durability is on. Lives inside the
+    /// state (behind the server's state lock), so wal order is exactly
+    /// the transition apply order.
+    journal: Option<Journal>,
     tele: Tele,
+}
+
+/// A complete, serializable copy of [`GridState`] — what the journal's
+/// compacting snapshot persists. Maps are flattened to key-sorted pairs
+/// so equal states snapshot to identical bytes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridSnapshot {
+    core: CoreSnapshot,
+    outstanding: Vec<(u64, f64)>,
+    reported: Vec<u64>,
+    candidates: Vec<(u32, Vec<(u64, DockingOutput)>)>,
+    accepted: Vec<Option<DockingOutput>>,
+    misses: Vec<(u64, u32)>,
+    net_stats: NetStats,
+    last_now: f64,
 }
 
 impl GridState {
@@ -155,6 +183,8 @@ impl GridState {
             accepted: vec![None; campaign.len()],
             misses: HashMap::new(),
             net_stats: NetStats::default(),
+            last_now: 0.0,
+            journal: None,
             tele: Tele::new(),
         }
     }
@@ -162,6 +192,103 @@ impl GridState {
     /// Read access to the shared scheduling core.
     pub fn core(&self) -> &SchedulerCore {
         &self.core
+    }
+
+    /// Attaches an open write-ahead journal; every subsequent
+    /// [`Self::fetch`]/[`Self::report`]/[`Self::sweep`] transition is
+    /// appended to it (and compacted when due).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Latest server-clock second any entry point has seen.
+    pub fn last_now(&self) -> f64 {
+        self.last_now
+    }
+
+    /// Captures the complete state for a compacting snapshot.
+    pub fn snapshot(&self) -> GridSnapshot {
+        fn sorted<V: Clone>(map: &HashMap<u64, V>) -> Vec<(u64, V)> {
+            let mut v: Vec<(u64, V)> = map.iter().map(|(&k, v)| (k, v.clone())).collect();
+            v.sort_by_key(|&(k, _)| k);
+            v
+        }
+        let mut reported: Vec<u64> = self.reported.iter().copied().collect();
+        reported.sort_unstable();
+        let mut candidates: Vec<(u32, Vec<(u64, DockingOutput)>)> = self
+            .candidates
+            .iter()
+            .map(|(&wu, v)| (wu, v.clone()))
+            .collect();
+        candidates.sort_by_key(|&(wu, _)| wu);
+        GridSnapshot {
+            core: self.core.snapshot(),
+            outstanding: sorted(&self.outstanding),
+            reported,
+            candidates,
+            accepted: self.accepted.clone(),
+            misses: sorted(&self.misses),
+            net_stats: self.net_stats,
+            last_now: self.last_now,
+        }
+    }
+
+    /// Rebuilds a state from a snapshot taken under the same campaign
+    /// and configuration. Fails (with a reason) when the snapshot is
+    /// internally inconsistent or belongs to a different campaign.
+    pub fn restore(
+        campaign: &NetCampaign,
+        config: ServerConfig,
+        faults: ServerFaults,
+        snap: GridSnapshot,
+    ) -> Result<Self, String> {
+        let core = SchedulerCore::restore(campaign.catalog(), config, snap.core)?;
+        if snap.accepted.len() != campaign.len() {
+            return Err(format!(
+                "snapshot has {} accepted slots for a {}-workunit campaign",
+                snap.accepted.len(),
+                campaign.len()
+            ));
+        }
+        let replicas = core.replica_count() as u64;
+        if let Some(&(r, _)) = snap.outstanding.iter().find(|&&(r, _)| r >= replicas) {
+            return Err(format!("outstanding replica {r} out of range"));
+        }
+        if let Some(&r) = snap.reported.iter().find(|&&r| r >= replicas) {
+            return Err(format!("reported replica {r} out of range"));
+        }
+        Ok(Self {
+            core,
+            faults,
+            ranges: ValueRanges::default(),
+            outstanding: snap.outstanding.into_iter().collect(),
+            reported: snap.reported.into_iter().collect(),
+            candidates: snap.candidates.into_iter().collect(),
+            accepted: snap.accepted,
+            misses: snap.misses.into_iter().collect(),
+            net_stats: snap.net_stats,
+            last_now: snap.last_now,
+            journal: None,
+            tele: Tele::new(),
+        })
+    }
+
+    /// Appends one transition to the journal (when attached), cutting a
+    /// compacting snapshot when one is due. Durability failures are
+    /// fatal by design: a server that can no longer journal must not
+    /// keep mutating state it promised to persist.
+    fn journal_append(&mut self, rec: &JournalRecord) {
+        let Some(mut journal) = self.journal.take() else {
+            return;
+        };
+        journal.append(rec).expect("journal append failed");
+        if journal.snapshot_due() {
+            let snap = self.snapshot();
+            journal
+                .write_snapshot(self.last_now, snap)
+                .expect("journal snapshot failed");
+        }
+        self.journal = Some(journal);
     }
 
     /// The core's cumulative issue/validation statistics.
@@ -185,7 +312,8 @@ impl GridState {
 
     /// Answers a work request from `agent` at time `now`.
     pub fn fetch(&mut self, now: SimTime, agent: u64) -> WorkReply {
-        match self.core.fetch_work(now) {
+        self.last_now = self.last_now.max(now.seconds());
+        let reply = match self.core.fetch_work(now) {
             Some(assignment) => {
                 self.misses.remove(&agent);
                 self.outstanding.insert(
@@ -209,13 +337,26 @@ impl GridState {
                 self.tele.backoffs.inc();
                 reply
             }
+        };
+        if self.journal.is_some() {
+            let assigned = match &reply {
+                WorkReply::Assigned(a) => Some((a.replica.0, a.workunit)),
+                WorkReply::Backoff { .. } => None,
+            };
+            self.journal_append(&JournalRecord::Fetch {
+                now_s: now.seconds(),
+                agent,
+                assigned,
+            });
         }
+        reply
     }
 
     /// Expires outstanding replicas whose deadline passed; each expiry
     /// queues a timeout reissue in the core (if still needed). Returns
     /// the number of expiries.
     pub fn sweep(&mut self, now: SimTime) -> usize {
+        self.last_now = self.last_now.max(now.seconds());
         let expired: Vec<u64> = self
             .outstanding
             .iter()
@@ -228,6 +369,14 @@ impl GridState {
             self.tele.expiries.inc();
             self.core.handle_timeout(ReplicaId(*r));
         }
+        // No-op sweeps change nothing and run every few tens of ms, so
+        // only expiring sweeps are journaled.
+        if !expired.is_empty() {
+            self.journal_append(&JournalRecord::Sweep {
+                now_s: now.seconds(),
+                expired: expired.len() as u64,
+            });
+        }
         expired.len()
     }
 
@@ -239,6 +388,37 @@ impl GridState {
     /// a result must additionally agree byte-for-byte with a partner
     /// replica before the workunit validates.
     pub fn report(
+        &mut self,
+        now: SimTime,
+        campaign: &NetCampaign,
+        replica: ReplicaId,
+        workunit: u32,
+        output: DockingOutput,
+    ) -> ResultDisposition {
+        self.last_now = self.last_now.max(now.seconds());
+        if self.journal.is_none() {
+            return self.report_inner(now, campaign, replica, workunit, output);
+        }
+        // The journal keeps the payload exactly when it became server
+        // state (a quorum candidate or the accepted artifact); replay
+        // synthesizes rejected/duplicate payloads, whose bytes the live
+        // server discarded on arrival anyway.
+        let d = self.report_inner(now, campaign, replica, workunit, output.clone());
+        let payload = match d.verdict {
+            Verdict::BoundsRejected | Verdict::Duplicate => None,
+            _ => Some(output),
+        };
+        self.journal_append(&JournalRecord::Report {
+            now_s: now.seconds(),
+            replica: replica.0,
+            workunit,
+            verdict: d.verdict,
+            output: payload,
+        });
+        d
+    }
+
+    fn report_inner(
         &mut self,
         now: SimTime,
         campaign: &NetCampaign,

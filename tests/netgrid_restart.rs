@@ -1,0 +1,228 @@
+//! Journal recovery: a crashed server restarts into the exact state it
+//! lost, and the campaign still finishes byte-identical to an
+//! uninterrupted run.
+//!
+//! These tests drive a journaled [`GridState`] through a scripted
+//! history covering every transition class the journal records — quorum
+//! validation, a duplicate, a quorum rejection, a bounds rejection, a
+//! deadline expiry, backoffs — then "crash" it (drop it with no clean
+//! shutdown; the wal on disk is all that survives) and recover with
+//! [`open_journaled`]. Recovery must reconstruct `ServerStats`,
+//! `NetStats` and the resume clock exactly, and draining the recovered
+//! state to completion must produce the same merged artifact as the
+//! in-process baseline, byte for byte.
+//!
+//! The process-level version of the same property (SIGKILL of a live
+//! `hcmd-server`, restart from `--journal`) lives in
+//! `crates/netgrid/tests/restart_kill.rs` and the CI restart-smoke job.
+
+use gridsim::server::{ServerConfig, ServerStats};
+use gridsim::SimTime;
+use netgrid::{
+    open_journaled, CampaignParams, FsyncPolicy, GridState, JournalConfig, NetCampaign, NetStats,
+    ServerFaults, Verdict, WorkReply,
+};
+use std::path::PathBuf;
+
+fn t(s: f64) -> SimTime {
+    SimTime::new(s)
+}
+
+fn server_config() -> ServerConfig {
+    ServerConfig {
+        deadline_seconds: 10.0,
+        ..ServerConfig::default()
+    }
+}
+
+fn journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("hcmd-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open(campaign: &NetCampaign, cfg: &JournalConfig) -> (GridState, f64) {
+    open_journaled(cfg, campaign, server_config(), ServerFaults::default()).expect("journal opens")
+}
+
+fn fetch(state: &mut GridState, now: f64, agent: u64) -> gridsim::server::ReplicaAssignment {
+    match state.fetch(t(now), agent) {
+        WorkReply::Assigned(a) => a,
+        other => panic!("expected work, got {other:?}"),
+    }
+}
+
+/// The scripted mid-campaign history: every journal record class fires
+/// at least once before the "crash".
+fn run_script(state: &mut GridState, campaign: &NetCampaign) {
+    let a = fetch(state, 0.0, 1);
+    let b = fetch(state, 0.0, 2);
+    let c = fetch(state, 0.0, 3);
+    assert_eq!(a.workunit, b.workunit, "quorum sibling first");
+    assert_ne!(a.workunit, c.workunit);
+    let honest = campaign.compute(campaign.spec(a.workunit));
+
+    // a: first candidate of the quorum pair.
+    let d1 = state.report(t(1.0), campaign, a.replica, a.workunit, honest.clone());
+    assert_eq!(d1.verdict, Verdict::QuorumPending);
+    // a retransmits: dropped at the wire layer.
+    let d2 = state.report(t(1.2), campaign, a.replica, a.workunit, honest.clone());
+    assert_eq!(d2.verdict, Verdict::Duplicate);
+    // b disagrees byte-for-byte: quorum rejection + error reissue.
+    let mut corrupt = honest.clone();
+    corrupt.rows[0].eelec += 1e-9;
+    let d3 = state.report(t(2.0), campaign, b.replica, b.workunit, corrupt);
+    assert_eq!(d3.verdict, Verdict::QuorumRejected);
+    // A fourth agent draws c's quorum sibling and reports out of
+    // bounds: bounds rejection + error reissue.
+    let d4 = fetch(state, 3.0, 4);
+    let mut bad = campaign.compute(campaign.spec(d4.workunit));
+    bad.rows[0].elj = f64::INFINITY;
+    let d5 = state.report(t(4.0), campaign, d4.replica, d4.workunit, bad);
+    assert_eq!(d5.verdict, Verdict::BoundsRejected);
+    // c never reports; the sweep at t=11 expires it (10 s deadline).
+    assert_eq!(state.sweep(t(11.0)), 1);
+}
+
+/// Finishes the campaign honestly: sweep, then fetch-and-report until
+/// every workunit validates.
+fn drain(state: &mut GridState, campaign: &NetCampaign) {
+    let mut now = 12.0;
+    while !state.is_campaign_complete() {
+        now += 0.5;
+        state.sweep(t(now));
+        while let WorkReply::Assigned(a) = state.fetch(t(now), 9) {
+            let out = campaign.compute(campaign.spec(a.workunit));
+            state.report(t(now), campaign, a.replica, a.workunit, out);
+        }
+    }
+}
+
+fn artifact_json(state: &GridState) -> String {
+    serde_json::to_string(&state.accepted_outputs().expect("campaign complete")).unwrap()
+}
+
+fn baseline_json(campaign: &NetCampaign) -> String {
+    serde_json::to_string(&campaign.baseline_outputs()).unwrap()
+}
+
+/// Captured live state to compare recovery against.
+fn crash_point(state: &GridState) -> (ServerStats, NetStats, f64) {
+    (state.server_stats(), state.net_stats, state.last_now())
+}
+
+#[test]
+fn scripted_history_replays_to_the_exact_live_state_and_artifact() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig {
+        fsync: FsyncPolicy::EveryN(4),
+        snapshot_every: 0, // pure wal replay
+        ..JournalConfig::new(journal_dir("script"))
+    };
+
+    let (mut live, resume) = open(&campaign, &cfg);
+    assert_eq!(resume, 0.0, "fresh journal starts the clock at zero");
+    run_script(&mut live, &campaign);
+    let (stats, net, last_now) = crash_point(&live);
+    assert!(net.duplicates_dropped >= 1 && net.quorum_rejected >= 1);
+    assert!(net.bounds_rejected >= 1 && net.deadline_expiries >= 1);
+    drop(live); // crash: no clean shutdown exists, the wal is the truth
+
+    let (mut recovered, resume) = open(&campaign, &cfg);
+    assert_eq!(recovered.server_stats(), stats, "ServerStats reconstructed");
+    assert_eq!(recovered.net_stats, net, "NetStats reconstructed");
+    assert_eq!(resume, last_now, "clock resumes where the journal ends");
+
+    drain(&mut recovered, &campaign);
+    assert_eq!(
+        artifact_json(&recovered),
+        baseline_json(&campaign),
+        "merged artifact after crash+restart must equal the baseline"
+    );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
+fn torn_wal_tail_recovers_a_consistent_prefix_and_still_completes() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig {
+        snapshot_every: 0,
+        ..JournalConfig::new(journal_dir("torn"))
+    };
+
+    let (mut live, _) = open(&campaign, &cfg);
+    run_script(&mut live, &campaign);
+    let (_, net, _) = crash_point(&live);
+    drop(live);
+
+    // Tear the tail mid-frame, as a crash between write and sync would:
+    // the last record was the expiring sweep.
+    let wal = cfg.dir.join("wal.bin");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..bytes.len() - 7]).unwrap();
+
+    let (mut recovered, _) = open(&campaign, &cfg);
+    assert_eq!(
+        recovered.net_stats.deadline_expiries,
+        net.deadline_expiries - 1,
+        "the torn sweep record is dropped — state is the prior prefix"
+    );
+    // The expiry re-happens on the next sweep; the campaign still
+    // converges to the identical artifact.
+    drain(&mut recovered, &campaign);
+    assert_eq!(artifact_json(&recovered), baseline_json(&campaign));
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
+fn snapshot_compaction_bounds_the_wal_and_recovery_stays_exact() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig {
+        snapshot_every: 4, // compact aggressively
+        ..JournalConfig::new(journal_dir("snap"))
+    };
+
+    let (mut live, _) = open(&campaign, &cfg);
+    run_script(&mut live, &campaign);
+    let (stats, net, last_now) = crash_point(&live);
+    drop(live);
+
+    let snapshot = cfg.dir.join("snapshot.bin");
+    assert!(snapshot.exists(), "compaction must have run");
+    let wal_len = std::fs::metadata(cfg.dir.join("wal.bin")).unwrap().len();
+    let snap_len = std::fs::metadata(&snapshot).unwrap().len();
+    assert!(
+        wal_len < snap_len,
+        "compaction keeps the wal short: wal={wal_len}B snapshot={snap_len}B"
+    );
+
+    let (mut recovered, resume) = open(&campaign, &cfg);
+    assert_eq!(recovered.server_stats(), stats);
+    assert_eq!(recovered.net_stats, net);
+    assert_eq!(resume, last_now);
+    drain(&mut recovered, &campaign);
+    assert_eq!(artifact_json(&recovered), baseline_json(&campaign));
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
+fn journal_of_a_different_campaign_is_refused() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig::new(journal_dir("mismatch"));
+    let (mut live, _) = open(&campaign, &cfg);
+    let a = fetch(&mut live, 0.0, 1);
+    let _ = a;
+    drop(live);
+
+    // Same directory, different recipe: replay must refuse, not fork.
+    let other = NetCampaign::build(CampaignParams {
+        lib_seed: 8,
+        ..CampaignParams::tiny()
+    });
+    let err = match open_journaled(&cfg, &other, server_config(), ServerFaults::default()) {
+        Ok(_) => panic!("foreign journal must be rejected"),
+        Err(e) => e,
+    };
+    assert!(err.to_string().contains("different campaign"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}

@@ -30,6 +30,9 @@ use std::process::ExitCode;
 const EXPECTED_WHEEL_SPEEDUP: f64 = 2.0;
 /// Hosts from which the speedup expectation applies.
 const BIG_FLEET_HOSTS: f64 = 100_000.0;
+/// Largest acceptable `(plain - journaled) / plain` throughput loss
+/// from the write-ahead journal before the (warn-only) guard fires.
+const JOURNAL_OVERHEAD_CEILING: f64 = 0.10;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -65,6 +68,10 @@ struct NetgridSummary {
     timeout_reissues: u64,
     quorum_rejects: u64,
     merged_matches_baseline: bool,
+    /// `(plain - journaled) / plain` throughput; `None` on reports from
+    /// before the journal column existed.
+    journal_overhead_frac: Option<f64>,
+    journal_merged_matches_baseline: Option<bool>,
 }
 
 fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
@@ -84,6 +91,11 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
         timeout_reissues: f("timeout_reissues")? as u64,
         quorum_rejects: f("quorum_rejects")? as u64,
         merged_matches_baseline: merged,
+        journal_overhead_frac: report.get("journal_overhead_frac").and_then(Value::as_f64),
+        journal_merged_matches_baseline: match report.get("journal_merged_matches_baseline") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
     })
 }
 
@@ -133,6 +145,28 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
         eprintln!(
             "bench_guard: WARNING: a fault path went unexercised ({} timeout reissues, {} quorum rejects)",
             fresh.timeout_reissues, fresh.quorum_rejects
+        );
+    }
+    match fresh.journal_overhead_frac {
+        Some(frac) if frac > JOURNAL_OVERHEAD_CEILING => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: write-ahead journal costs {:.1}% throughput (ceiling {:.0}%)",
+                frac * 100.0,
+                JOURNAL_OVERHEAD_CEILING * 100.0
+            );
+        }
+        Some(frac) => println!(
+            "bench_guard: journal overhead ok: {:.1}% (ceiling {:.0}%)",
+            frac * 100.0,
+            JOURNAL_OVERHEAD_CEILING * 100.0
+        ),
+        None => println!("bench_guard: note: report has no journal overhead column"),
+    }
+    if fresh.journal_merged_matches_baseline == Some(false) {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: journaled run's merged output diverged from the in-process baseline"
         );
     }
     warnings
