@@ -10,11 +10,14 @@
 //! the §5.1 timeout-reissue path and the quorum-rejection path, and the
 //! report carries those counts.
 //!
-//! The campaign runs twice: once plain and once with `--journal`-style
-//! durability (write-ahead log + snapshots under a scratch directory),
-//! and the report carries the journaled throughput and its overhead
-//! fraction so `tools/bench_guard` can flag a journal that gets in the
-//! way of the wire.
+//! The campaign runs three times: once plain, once with
+//! `--journal`-style durability (write-ahead log + snapshots under a
+//! scratch directory), and once with the `--ops-addr` observability
+//! endpoint enabled while a scraper thread polls `/metrics` through the
+//! whole run. The report carries the journaled and ops-enabled
+//! throughputs, their overhead fractions, and the scrape latency
+//! percentiles (`ops_scrape_p99_ms`) so `tools/bench_guard` can flag a
+//! journal or an ops endpoint that gets in the way of the wire.
 //!
 //! Writes `BENCH_netgrid.json` at the workspace root (override with
 //! `--out`); `tools/bench_guard` compares fresh runs against the
@@ -24,11 +27,11 @@
 use bench_support::RunSession;
 use metrics::quantile;
 use netgrid::{
-    run_agent, AgentConfig, CampaignParams, FaultProfile, JournalConfig, NetCampaign, NetRunReport,
-    NetServer, NetServerConfig,
+    http_get, run_agent, AgentConfig, CampaignParams, FaultProfile, JournalConfig, NetCampaign,
+    NetRunReport, NetServer, NetServerConfig,
 };
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// The `BENCH_netgrid.json` document.
 #[derive(serde::Serialize)]
@@ -59,25 +62,59 @@ struct NetgridReport {
     /// negative values normal. Guarded warn-only at 10% by bench_guard.
     journal_overhead_frac: f64,
     journal_merged_matches_baseline: bool,
+    /// Throughput of the same campaign with the `--ops-addr` endpoint
+    /// enabled and a scraper polling `/metrics` through the whole run.
+    ops_workunits_per_sec: f64,
+    /// `(plain - ops) / plain` throughput; guarded warn-only by
+    /// bench_guard.
+    ops_overhead_frac: f64,
+    /// `/metrics` scrapes completed during the ops-enabled run.
+    ops_scrapes: usize,
+    ops_scrape_p50_ms: f64,
+    /// Guarded warn-only by bench_guard.
+    ops_scrape_p99_ms: f64,
+    ops_merged_matches_baseline: bool,
 }
 
 /// One full wire-level campaign: fleet, faults and all. Returns the
-/// server report plus the fleet's request latencies and fault totals.
+/// server report plus the fleet's request latencies, fault totals, and
+/// — when `ops` is on — the per-scrape `/metrics` latencies (ms) of a
+/// scraper thread that polls the observability endpoint throughout.
 fn run_campaign(
     campaign_params: CampaignParams,
     deadline_seconds: f64,
     honest_agents: usize,
     seed: u64,
     journal: Option<JournalConfig>,
-) -> (NetRunReport, Vec<f64>, (u64, u64, u64)) {
+    ops: bool,
+) -> (NetRunReport, Vec<f64>, (u64, u64, u64), Vec<f64>) {
     let config = NetServerConfig {
         campaign: campaign_params,
         sweep_ms: 25,
         journal,
+        ops_addr: ops.then(|| "127.0.0.1:0".to_string()),
         ..NetServerConfig::loopback(deadline_seconds)
     };
     let server = NetServer::bind(config).expect("bind loopback");
     let addr = server.local_addr().expect("local addr").to_string();
+    // Scrape `/metrics` continuously while the campaign runs, timing
+    // each round trip; stop once the endpoint closes after its linger.
+    let scraper = server.ops_addr().map(|ops_addr| {
+        thread::spawn(move || {
+            let mut scrape_ms: Vec<f64> = Vec::new();
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while Instant::now() < deadline {
+                let t0 = Instant::now();
+                match http_get(ops_addr, "/metrics") {
+                    Ok((200, _)) => scrape_ms.push(t0.elapsed().as_secs_f64() * 1e3),
+                    _ if !scrape_ms.is_empty() => break,
+                    _ => {}
+                }
+                thread::sleep(Duration::from_millis(20));
+            }
+            scrape_ms
+        })
+    });
     let server = thread::spawn(move || server.run());
 
     // The fleet: one victim that takes a workunit and vanishes (forces
@@ -138,7 +175,8 @@ fn run_campaign(
         faults.2 += r.corrupt_faults;
     }
     let run = server.join().unwrap().expect("server ran");
-    (run, latencies, faults)
+    let scrape_ms = scraper.map(|s| s.join().unwrap()).unwrap_or_default();
+    (run, latencies, faults, scrape_ms)
 }
 
 fn main() {
@@ -186,21 +224,39 @@ fn main() {
 
     let mut session = RunSession::start("netgrid_e2e", seed, 1);
 
-    let (run, latencies, faults) =
-        run_campaign(campaign_params, deadline_seconds, honest_agents, seed, None);
+    let (run, latencies, faults, _) = run_campaign(
+        campaign_params,
+        deadline_seconds,
+        honest_agents,
+        seed,
+        None,
+        false,
+    );
 
     // Same campaign again, durably: every transition through the
     // write-ahead log at the default fsync cadence.
     let journal_dir = std::env::temp_dir().join(format!("hcmd-bench-journal-{}", seed));
     let _ = std::fs::remove_dir_all(&journal_dir);
-    let (journaled_run, _, _) = run_campaign(
+    let (journaled_run, _, _, _) = run_campaign(
         campaign_params,
         deadline_seconds,
         honest_agents,
         seed,
         Some(JournalConfig::new(&journal_dir)),
+        false,
     );
     let _ = std::fs::remove_dir_all(&journal_dir);
+
+    // And once more with the observability endpoint on and a scraper
+    // hammering `/metrics` the whole time, to price the ops path.
+    let (ops_run, _, _, scrape_ms) = run_campaign(
+        campaign_params,
+        deadline_seconds,
+        honest_agents,
+        seed,
+        None,
+        true,
+    );
 
     let baseline = NetCampaign::build(campaign_params).baseline_outputs();
     let baseline_json = serde_json::to_string(&baseline).expect("baseline serializes");
@@ -208,10 +264,13 @@ fn main() {
         serde_json::to_string(&run.outputs).expect("outputs serialize") == baseline_json;
     let journal_merged_matches_baseline =
         serde_json::to_string(&journaled_run.outputs).expect("outputs serialize") == baseline_json;
+    let ops_merged_matches_baseline =
+        serde_json::to_string(&ops_run.outputs).expect("outputs serialize") == baseline_json;
 
     let workunits_per_sec = run.workunits as f64 / run.wall_seconds.max(1e-9);
     let journal_workunits_per_sec =
         journaled_run.workunits as f64 / journaled_run.wall_seconds.max(1e-9);
+    let ops_workunits_per_sec = ops_run.workunits as f64 / ops_run.wall_seconds.max(1e-9);
     let report = NetgridReport {
         bench: "netgrid_e2e".to_string(),
         quick,
@@ -233,6 +292,13 @@ fn main() {
         journal_overhead_frac: (workunits_per_sec - journal_workunits_per_sec)
             / workunits_per_sec.max(1e-9),
         journal_merged_matches_baseline,
+        ops_workunits_per_sec,
+        ops_overhead_frac: (workunits_per_sec - ops_workunits_per_sec)
+            / workunits_per_sec.max(1e-9),
+        ops_scrapes: scrape_ms.len(),
+        ops_scrape_p50_ms: quantile(&scrape_ms, 0.50).unwrap_or(0.0),
+        ops_scrape_p99_ms: quantile(&scrape_ms, 0.99).unwrap_or(0.0),
+        ops_merged_matches_baseline,
     };
     println!(
         "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents + victim + saboteur)",
@@ -256,10 +322,23 @@ fn main() {
         report.journal_overhead_frac * 100.0
     );
     println!(
-        "merged output matches in-process baseline: plain {}, journaled {}",
-        report.merged_matches_baseline, report.journal_merged_matches_baseline
+        "ops endpoint on: {:.1} wu/s ({:+.1}% overhead vs plain), {} scrapes, scrape p50 {:.2} ms p99 {:.2} ms",
+        report.ops_workunits_per_sec,
+        report.ops_overhead_frac * 100.0,
+        report.ops_scrapes,
+        report.ops_scrape_p50_ms,
+        report.ops_scrape_p99_ms
     );
-    if !report.merged_matches_baseline || !report.journal_merged_matches_baseline {
+    println!(
+        "merged output matches in-process baseline: plain {}, journaled {}, ops {}",
+        report.merged_matches_baseline,
+        report.journal_merged_matches_baseline,
+        report.ops_merged_matches_baseline
+    );
+    if !report.merged_matches_baseline
+        || !report.journal_merged_matches_baseline
+        || !report.ops_merged_matches_baseline
+    {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }
     if report.timeout_reissues == 0 || report.quorum_rejects == 0 {
@@ -276,7 +355,9 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let ok = report.merged_matches_baseline && report.journal_merged_matches_baseline;
+    let ok = report.merged_matches_baseline
+        && report.journal_merged_matches_baseline
+        && report.ops_merged_matches_baseline;
     session.record_engine(report.requests as u64, 0, report.workunits as u64);
     session.finish();
     if !ok {

@@ -548,7 +548,7 @@ mod tests {
                     _ => 400.0 * 86_400.0,
                 };
                 q.schedule_in(delay, i);
-                if x % 3 == 0 {
+                if x.is_multiple_of(3) {
                     if let Some((t, e)) = q.pop() {
                         out.push((t.seconds().to_bits(), e));
                     }

@@ -691,6 +691,96 @@ impl SchedulerCore {
             self.results_received as f64 / self.results_useful as f64
         }
     }
+
+    /// Workunit state counts for operator dashboards. `issued` counts
+    /// workunits with at least one replica ever created (issue order is
+    /// launch order, so that is exactly `0..next_new`); `quorum_pending`
+    /// are issued workunits holding a partial quorum (≥ 1 valid result,
+    /// not yet complete).
+    pub fn wu_state_counts(&self) -> WuStateCounts {
+        let quorum_pending = self.states[..self.next_new]
+            .iter()
+            .filter(|s| !s.complete && s.valid_results > 0)
+            .count();
+        WuStateCounts {
+            total: self.catalog.len(),
+            issued: self.next_new,
+            in_flight: self.next_new - self.completed,
+            quorum_pending,
+            done: self.completed,
+        }
+    }
+
+    /// Per-receptor progression, sorted by receptor index — the live
+    /// analogue of the paper's Fig. 1 per-protein-couple plot. One entry
+    /// per receptor appearing in the catalog.
+    pub fn receptor_progress(&self) -> Vec<ReceptorProgress> {
+        let mut by_receptor: std::collections::BTreeMap<u16, ReceptorProgress> =
+            std::collections::BTreeMap::new();
+        for (i, entry) in self.catalog.iter().enumerate() {
+            let p = by_receptor
+                .entry(entry.receptor)
+                .or_insert(ReceptorProgress {
+                    receptor: entry.receptor,
+                    total: 0,
+                    completed: 0,
+                });
+            p.total += 1;
+            if self.states[i].complete {
+                p.completed += 1;
+            }
+        }
+        by_receptor.into_values().collect()
+    }
+
+    /// Reference CPU seconds of all validated workunits. Divided by the
+    /// campaign's elapsed time this is the paper's §3.1 "virtual
+    /// full-time processors" figure.
+    pub fn completed_ref_seconds(&self) -> f64 {
+        self.catalog
+            .iter()
+            .zip(&self.states)
+            .filter(|(_, s)| s.complete)
+            .map(|(e, _)| f64::from(e.ref_seconds))
+            .sum()
+    }
+
+    /// Replicas issued and never reported (in flight or expired).
+    pub fn unreported_replica_count(&self) -> usize {
+        self.replicas.iter().filter(|r| !r.reported).count()
+    }
+
+    /// Depth of the reissue queue (workunits awaiting another replica).
+    pub fn reissue_queue_depth(&self) -> usize {
+        self.reissue.len()
+    }
+}
+
+/// Workunit state counts for operator dashboards; see
+/// [`SchedulerCore::wu_state_counts`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WuStateCounts {
+    /// Workunits in the campaign catalog.
+    pub total: usize,
+    /// Workunits with at least one replica ever issued.
+    pub issued: usize,
+    /// Issued workunits not yet validated.
+    pub in_flight: usize,
+    /// Issued workunits holding a partial quorum.
+    pub quorum_pending: usize,
+    /// Validated workunits.
+    pub done: usize,
+}
+
+/// Per-receptor progression; see [`SchedulerCore::receptor_progress`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReceptorProgress {
+    /// Receptor protein index from the catalog.
+    pub receptor: u16,
+    /// Workunits targeting this receptor.
+    pub total: u32,
+    /// Validated workunits targeting this receptor.
+    pub completed: u32,
 }
 
 #[cfg(test)]

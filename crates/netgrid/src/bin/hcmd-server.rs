@@ -4,12 +4,17 @@
 //! hcmd-server [--addr 127.0.0.1:7070] [--proteins 2] [--seed 7]
 //!             [--h-seconds 40] [--deadline 30] [--max-connections 64]
 //!             [--events PATH] [--journal DIR] [--fsync always|never|every=N]
-//!             [--snapshot-every N] [--out PATH]
+//!             [--snapshot-every N] [--out PATH] [--ops-addr HOST:PORT]
 //! ```
 //!
 //! Binds, prints the resolved address, then runs the campaign to
 //! completion and prints the closing statistics. Pair it with one or
 //! more `hcmd-agent` processes (see README "Two terminals, one grid").
+//!
+//! With `--ops-addr` the server additionally serves a read-only HTTP
+//! observability endpoint while it runs: `GET /metrics` (Prometheus
+//! text exposition) and `GET /` (a self-contained HTML status page).
+//! See README "Watching a live campaign".
 //!
 //! With `--journal DIR` the server is crash-safe: every scheduler
 //! transition is appended to a write-ahead log under `DIR`, and a
@@ -25,7 +30,7 @@ fn usage() -> ! {
         "usage: hcmd-server [--addr HOST:PORT] [--proteins N] [--seed N] \
          [--h-seconds S] [--deadline S] [--max-connections N] [--events PATH] \
          [--journal DIR] [--fsync always|never|every=N] [--snapshot-every N] \
-         [--out PATH]"
+         [--out PATH] [--ops-addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -79,6 +84,7 @@ fn main() {
                 snapshot_every = take(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--out" => out = Some(take(&args, &mut i)),
+            "--ops-addr" => config.ops_addr = Some(take(&args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -109,6 +115,9 @@ fn main() {
     match server.local_addr() {
         Ok(addr) => println!("hcmd-server: listening on {addr}"),
         Err(e) => eprintln!("hcmd-server: local_addr: {e}"),
+    }
+    if let Some(addr) = server.ops_addr() {
+        println!("hcmd-server: ops endpoint on http://{addr}/ (metrics at /metrics)");
     }
 
     match server.run() {

@@ -288,6 +288,17 @@ impl Journal {
         self.snapshot_every > 0 && self.appends_since_snapshot >= self.snapshot_every
     }
 
+    /// Current snapshot epoch (bumped by each compacting snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Wal frames appended since the last compacting snapshot — the
+    /// "journal lag" an operator watches to confirm compaction keeps up.
+    pub fn appends_since_snapshot(&self) -> u64 {
+        self.appends_since_snapshot
+    }
+
     /// Writes a compacting snapshot and resets the wal. Atomic against
     /// crashes at every point: see the epoch handshake in the module
     /// docs.

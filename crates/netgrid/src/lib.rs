@@ -35,6 +35,7 @@ pub mod agent;
 pub mod campaign;
 pub mod faults;
 pub mod journal;
+pub mod ops;
 pub mod protocol;
 pub mod server;
 pub mod state;
@@ -43,6 +44,10 @@ pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use campaign::NetCampaign;
 pub use faults::{FaultAction, FaultDice, FaultProfile, ServerFaults};
 pub use journal::{open_journaled, FsyncPolicy, Journal, JournalConfig, JournalRecord};
+pub use ops::{http_get, OpsServer};
 pub use protocol::{CampaignParams, DecodeError, Message};
 pub use server::{NetRunReport, NetServer, NetServerConfig};
-pub use state::{GridSnapshot, GridState, NetStats, ResultDisposition, Verdict, WorkReply};
+pub use state::{
+    AgentLedger, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot, ResultDisposition,
+    Verdict, WorkReply,
+};

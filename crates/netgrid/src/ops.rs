@@ -1,0 +1,755 @@
+//! The read-only HTTP observability endpoint.
+//!
+//! The paper's operators steered a 26-week campaign by watching live
+//! per-protein progression and fleet health (Figs. 1/6/7); this module
+//! is that surface for `hcmd-server`. It is deliberately tiny: a
+//! hand-rolled HTTP/1.1 responder on the same nonblocking-accept
+//! pattern as the task listener, two routes, zero dependencies.
+//!
+//! * `GET /metrics` — Prometheus text exposition: every registry metric
+//!   (via `telemetry::exposition`) plus the scheduler-state families
+//!   rendered from an [`OpsSnapshot`].
+//! * `GET /` — a self-contained HTML status page (inline CSS, no
+//!   external assets, meta-refresh): per-receptor progression, virtual
+//!   full-time processors, workunit state counts, reissue and
+//!   quorum-reject rates, journal epoch/lag, and the per-agent table.
+//!
+//! # Why scrapes cannot stall the grid
+//!
+//! The endpoint never holds the state lock across I/O: it takes a
+//! [`GridState::ops_snapshot`] — a copy of counters and short vecs — in
+//! one short critical section, drops the lock, then renders and writes
+//! to the socket at the scraper's pace. A slow or wedged scraper costs
+//! the fetch/report hot path exactly one cheap copy. Requests are
+//! served one at a time on the ops thread; concurrent scrapers queue in
+//! the listener backlog rather than spawning threads into the server.
+//!
+//! The ops thread keeps answering for a short linger window
+//! ([`OPS_LINGER`]) after the campaign completes, so a scraper polling
+//! mid-run gets to observe the final state before the socket closes.
+
+use crate::state::{GridState, OpsSnapshot};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+use telemetry::exposition::{MetricKind, TextRenderer};
+
+/// Maximum request-line length; longer lines get `414 URI Too Long`.
+const MAX_REQUEST_LINE: usize = 1024;
+
+/// Maximum total request-head size; bigger heads get `431`.
+const MAX_REQUEST_HEAD: usize = 8192;
+
+/// How long the endpoint keeps serving after the campaign completes.
+const OPS_LINGER: Duration = Duration::from_secs(1);
+
+/// Per-connection socket timeout: bounds how long one misbehaving
+/// scraper can occupy the (single) serving thread.
+const OPS_IO_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Poll interval of the nonblocking accept loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+struct Tele {
+    requests: &'static telemetry::Counter,
+    bad_requests: &'static telemetry::Counter,
+    bytes_out: &'static telemetry::Counter,
+    scrape_us: &'static telemetry::Histogram,
+}
+
+impl Tele {
+    fn new() -> Self {
+        Self {
+            requests: telemetry::counter("net.ops.requests"),
+            bad_requests: telemetry::counter("net.ops.bad_requests"),
+            bytes_out: telemetry::counter("net.ops.bytes_out"),
+            scrape_us: telemetry::histogram("net.ops.scrape_us"),
+        }
+    }
+}
+
+/// A bound, not-yet-serving ops endpoint.
+pub struct OpsServer {
+    listener: TcpListener,
+}
+
+impl OpsServer {
+    /// Binds the ops listener (port 0 lets the OS pick).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self { listener })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Spawns the serving thread. It answers scrapes until `done` is
+    /// set *and* the linger window has passed, then drops its state
+    /// handle and exits — the server joins it before tearing the state
+    /// down.
+    pub fn spawn(
+        self,
+        state: Arc<Mutex<GridState>>,
+        done: Arc<AtomicBool>,
+    ) -> thread::JoinHandle<()> {
+        thread::spawn(move || {
+            let tele = Tele::new();
+            let mut done_since: Option<Instant> = None;
+            loop {
+                if done.load(Relaxed) {
+                    if done_since.get_or_insert_with(Instant::now).elapsed() > OPS_LINGER {
+                        return;
+                    }
+                } else {
+                    done_since = None;
+                }
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => serve_one(stream, &state, &tele),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => return,
+                }
+            }
+        })
+    }
+}
+
+/// Reads one request head and writes one response; never touches
+/// scheduler state unless the request parsed to a known GET route.
+fn serve_one(mut stream: TcpStream, state: &Arc<Mutex<GridState>>, tele: &Tele) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(OPS_IO_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(OPS_IO_TIMEOUT));
+    tele.requests.inc();
+    let started = Instant::now();
+    let response = match read_request_head(&mut stream) {
+        Ok(head) => match parse_request_line(&head) {
+            Ok(("GET", path)) => match path {
+                "/metrics" => {
+                    let snap = { state.lock().unwrap().ops_snapshot() };
+                    Response::ok(
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        render_metrics(&snap),
+                    )
+                }
+                "/" | "/index.html" => {
+                    let snap = { state.lock().unwrap().ops_snapshot() };
+                    Response::ok("text/html; charset=utf-8", render_dashboard(&snap))
+                }
+                _ => Response::error(404, "not found\n"),
+            },
+            Ok((_other, _)) => Response::error(405, "only GET is served here\n"),
+            Err(status) => Response::error(status, "malformed request\n"),
+        },
+        Err(status) => Response::error(status, "request head too large\n"),
+    };
+    if response.status != 200 {
+        tele.bad_requests.inc();
+    }
+    let bytes = response.into_bytes();
+    tele.bytes_out.add(bytes.len() as u64);
+    let _ = stream.write_all(&bytes);
+    let _ = stream.flush();
+    tele.scrape_us.record(started.elapsed().as_micros() as u64);
+}
+
+/// Reads until the `\r\n\r\n` head terminator, bounded by
+/// [`MAX_REQUEST_HEAD`]. Returns the head text or a 4xx status.
+fn read_request_head(stream: &mut TcpStream) -> Result<String, u16> {
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                head.extend_from_slice(&buf[..n]);
+                if head.windows(4).any(|w| w == b"\r\n\r\n")
+                    || head.windows(2).any(|w| w == b"\n\n")
+                {
+                    break;
+                }
+                if head.len() > MAX_REQUEST_HEAD {
+                    return Err(431u16);
+                }
+            }
+            Err(ref e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break
+            }
+            Err(_) => return Err(400),
+        }
+    }
+    String::from_utf8(head).map_err(|_| 400u16)
+}
+
+/// Parses `METHOD SP PATH SP HTTP/x.y` out of the head's first line.
+/// Returns the 4xx status for malformed or oversized request lines.
+fn parse_request_line(head: &str) -> Result<(&str, &str), u16> {
+    let line = head.lines().next().ok_or(400u16)?;
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(414u16);
+    }
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or(400u16)?;
+    let path = parts.next().ok_or(400u16)?;
+    let version = parts.next().ok_or(400u16)?;
+    if !version.starts_with("HTTP/") {
+        return Err(400u16);
+    }
+    // Ignore any query string: `/metrics?foo` scrapes the same document.
+    let path = path.split('?').next().unwrap_or(path);
+    Ok((method, path))
+}
+
+struct Response {
+    status: u16,
+    content_type: &'static str,
+    body: String,
+}
+
+impl Response {
+    fn ok(content_type: &'static str, body: String) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            body,
+        }
+    }
+
+    fn error(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        let reason = match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            414 => "URI Too Long",
+            431 => "Request Header Fields Too Large",
+            _ => "Error",
+        };
+        format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len(),
+            self.body
+        )
+        .into_bytes()
+    }
+}
+
+/// Renders the full `/metrics` document: the telemetry registry first
+/// (empty when the `telemetry` feature is off), then the scheduler
+/// families from the ops snapshot.
+pub fn render_metrics(snap: &OpsSnapshot) -> String {
+    let mut doc = telemetry::render_snapshot(&telemetry::snapshot());
+    let mut r = TextRenderer::new();
+
+    let n = r.family(
+        "hcmd_wu_states",
+        MetricKind::Gauge,
+        "Workunit state counts by lifecycle state",
+    );
+    r.sample(&n, &[("state", "total")], snap.wu.total as f64);
+    r.sample(&n, &[("state", "issued")], snap.wu.issued as f64);
+    r.sample(&n, &[("state", "in_flight")], snap.wu.in_flight as f64);
+    r.sample(
+        &n,
+        &[("state", "quorum_pending")],
+        snap.wu.quorum_pending as f64,
+    );
+    r.sample(&n, &[("state", "done")], snap.wu.done as f64);
+
+    let n = r.family(
+        "hcmd_receptor_workunits",
+        MetricKind::Gauge,
+        "Per-receptor workunit progression (paper Fig. 1)",
+    );
+    for p in &snap.receptors {
+        let receptor = p.receptor.to_string();
+        r.sample(
+            &n,
+            &[("receptor", receptor.as_str()), ("state", "done")],
+            f64::from(p.completed),
+        );
+        r.sample(
+            &n,
+            &[("receptor", receptor.as_str()), ("state", "total")],
+            f64::from(p.total),
+        );
+    }
+
+    let n = r.family(
+        "hcmd_replicas_issued",
+        MetricKind::Counter,
+        "Replicas issued by cause",
+    );
+    r.sample(
+        &n,
+        &[("cause", "initial")],
+        snap.stats.initial_issues as f64,
+    );
+    r.sample(&n, &[("cause", "quorum")], snap.stats.quorum_issues as f64);
+    r.sample(
+        &n,
+        &[("cause", "timeout")],
+        snap.stats.timeout_reissues as f64,
+    );
+    r.sample(&n, &[("cause", "error")], snap.stats.error_reissues as f64);
+
+    let n = r.family(
+        "hcmd_results_received",
+        MetricKind::Counter,
+        "Results received over the campaign",
+    );
+    r.sample(&n, &[], snap.results_received as f64);
+    let n = r.family(
+        "hcmd_results_useful",
+        MetricKind::Counter,
+        "Useful (non-redundant, valid) results",
+    );
+    r.sample(&n, &[], snap.results_useful as f64);
+
+    let n = r.family(
+        "hcmd_results_rejected",
+        MetricKind::Counter,
+        "Results rejected by validation layer",
+    );
+    r.sample(
+        &n,
+        &[("layer", "quorum")],
+        snap.net_stats.quorum_rejected as f64,
+    );
+    r.sample(
+        &n,
+        &[("layer", "bounds")],
+        snap.net_stats.bounds_rejected as f64,
+    );
+
+    let n = r.family(
+        "hcmd_redundancy_factor",
+        MetricKind::Gauge,
+        "Results received / useful results (paper section 6)",
+    );
+    r.sample(&n, &[], snap.redundancy_factor);
+
+    let n = r.family(
+        "hcmd_virtual_full_time_processors",
+        MetricKind::Gauge,
+        "Validated reference CPU seconds / campaign seconds (paper section 3.1)",
+    );
+    r.sample(&n, &[], vftp(snap));
+
+    let n = r.family(
+        "hcmd_outstanding_replicas",
+        MetricKind::Gauge,
+        "Issued, unreported, unexpired replicas",
+    );
+    r.sample(&n, &[], snap.outstanding_replicas as f64);
+
+    let n = r.family(
+        "hcmd_reissue_queue_depth",
+        MetricKind::Gauge,
+        "Workunits queued for another replica",
+    );
+    r.sample(&n, &[], snap.reissue_queue_depth as f64);
+
+    let n = r.family(
+        "hcmd_quorum_candidate_workunits",
+        MetricKind::Gauge,
+        "Incomplete workunits holding quorum candidates",
+    );
+    r.sample(&n, &[], snap.quorum_candidate_workunits as f64);
+
+    let n = r.family(
+        "hcmd_deadline_expiries",
+        MetricKind::Counter,
+        "Replica deadlines expired by the sweeper",
+    );
+    r.sample(&n, &[], snap.net_stats.deadline_expiries as f64);
+
+    let n = r.family(
+        "hcmd_backoffs_sent",
+        MetricKind::Counter,
+        "Fetches answered with a backoff",
+    );
+    r.sample(&n, &[], snap.net_stats.backoffs_sent as f64);
+
+    let n = r.family(
+        "hcmd_agents_seen",
+        MetricKind::Gauge,
+        "Agents that have fetched or reported",
+    );
+    r.sample(&n, &[], snap.agents.len() as f64);
+
+    let n = r.family(
+        "hcmd_server_clock_seconds",
+        MetricKind::Gauge,
+        "Latest server-clock second any entry point has seen",
+    );
+    r.sample(&n, &[], snap.last_now);
+
+    let n = r.family(
+        "hcmd_campaign_complete",
+        MetricKind::Gauge,
+        "1 once every workunit validated",
+    );
+    r.sample(&n, &[], if snap.campaign_complete { 1.0 } else { 0.0 });
+
+    if let Some(j) = &snap.journal {
+        let n = r.family(
+            "hcmd_journal_epoch",
+            MetricKind::Gauge,
+            "Snapshot epoch of the write-ahead journal",
+        );
+        r.sample(&n, &[], j.epoch as f64);
+        let n = r.family(
+            "hcmd_journal_wal_appends_since_snapshot",
+            MetricKind::Gauge,
+            "Wal frames since the last compacting snapshot (journal lag)",
+        );
+        r.sample(&n, &[], j.wal_appends_since_snapshot as f64);
+    }
+
+    doc.push_str(&r.finish());
+    doc
+}
+
+/// §3.1 virtual full-time processors: validated reference CPU seconds
+/// over elapsed campaign seconds.
+fn vftp(snap: &OpsSnapshot) -> f64 {
+    if snap.last_now <= 0.0 {
+        0.0
+    } else {
+        snap.completed_ref_seconds / snap.last_now
+    }
+}
+
+/// Renders the self-contained HTML status page. Inline CSS only, no
+/// external assets, no script beyond the meta-refresh — the page must
+/// render from an air-gapped operator console.
+pub fn render_dashboard(snap: &OpsSnapshot) -> String {
+    let wu = &snap.wu;
+    let pct = if wu.total == 0 {
+        0.0
+    } else {
+        100.0 * wu.done as f64 / wu.total as f64
+    };
+    let reissues =
+        snap.stats.quorum_issues + snap.stats.timeout_reissues + snap.stats.error_reissues;
+    let reissue_rate = if snap.stats.total_issues() == 0 {
+        0.0
+    } else {
+        100.0 * reissues as f64 / snap.stats.total_issues() as f64
+    };
+    let qreject_rate = if snap.results_received == 0 {
+        0.0
+    } else {
+        100.0 * snap.net_stats.quorum_rejected as f64 / snap.results_received as f64
+    };
+
+    let mut receptor_rows = String::new();
+    for p in &snap.receptors {
+        let rpct = if p.total == 0 {
+            0.0
+        } else {
+            100.0 * f64::from(p.completed) / f64::from(p.total)
+        };
+        receptor_rows.push_str(&format!(
+            "<tr><td>{}</td><td class=\"num\">{}/{}</td>\
+             <td class=\"barcell\"><div class=\"bar\"><span style=\"width:{rpct:.1}%\"></span></div></td>\
+             <td class=\"num\">{rpct:.1}%</td></tr>\n",
+            p.receptor, p.completed, p.total
+        ));
+    }
+
+    let mut agent_rows = String::new();
+    for (agent, l) in &snap.agents {
+        agent_rows.push_str(&format!(
+            "<tr><td>{agent}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{:.1}s</td></tr>\n",
+            l.assignments, l.reports, l.accepted, l.rejected, l.last_seen_s
+        ));
+    }
+
+    let journal_tile = match &snap.journal {
+        Some(j) => format!(
+            "<div class=\"tile\"><div class=\"label\">Journal epoch / lag</div>\
+             <div class=\"value\">{} / {}</div></div>",
+            j.epoch, j.wal_appends_since_snapshot
+        ),
+        None => "<div class=\"tile\"><div class=\"label\">Journal</div>\
+             <div class=\"value\">off</div></div>"
+            .into(),
+    };
+
+    let status = if snap.campaign_complete {
+        "complete"
+    } else {
+        "running"
+    };
+
+    format!(
+        r#"<!doctype html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>hcmd campaign ops</title>
+<style>
+:root {{
+  color-scheme: light;
+  --surface-1: #fcfcfb; --page: #f9f9f7;
+  --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+  --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --track: #e1e0d9;
+}}
+@media (prefers-color-scheme: dark) {{
+  :root {{
+    color-scheme: dark;
+    --surface-1: #1a1a19; --page: #0d0d0d;
+    --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+    --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --track: #2c2c2a;
+  }}
+}}
+* {{ box-sizing: border-box; }}
+body {{
+  margin: 0; padding: 24px; background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}}
+h1 {{ font-size: 18px; margin: 0 0 4px; }}
+h2 {{ font-size: 14px; margin: 24px 0 8px; color: var(--text-secondary); font-weight: 600; }}
+.sub {{ color: var(--muted); margin-bottom: 16px; }}
+.tiles {{ display: flex; flex-wrap: wrap; gap: 12px; }}
+.tile {{
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px;
+  padding: 12px 16px; min-width: 150px;
+}}
+.tile .label {{ color: var(--text-secondary); font-size: 12px; }}
+.tile .value {{ font-size: 22px; margin-top: 2px; }}
+table {{
+  border-collapse: collapse; background: var(--surface-1);
+  border: 1px solid var(--border); border-radius: 8px; min-width: 420px;
+}}
+th, td {{ padding: 6px 12px; text-align: left; border-top: 1px solid var(--grid); }}
+thead th {{ border-top: 0; color: var(--text-secondary); font-weight: 600; font-size: 12px; }}
+td.num {{ text-align: right; font-variant-numeric: tabular-nums; }}
+td.barcell {{ width: 220px; }}
+.bar {{ background: var(--track); border-radius: 4px; height: 8px; overflow: hidden; }}
+.bar span {{ display: block; height: 100%; background: var(--series-1); border-radius: 4px; }}
+.progress {{ background: var(--track); border-radius: 4px; height: 12px; overflow: hidden; margin: 8px 0 16px; max-width: 720px; }}
+.progress span {{ display: block; height: 100%; background: var(--series-1); border-radius: 4px; }}
+</style>
+</head>
+<body>
+<h1>hcmd campaign ops</h1>
+<div class="sub">status: {status} &middot; server clock {last_now:.1}s &middot; auto-refresh 2s</div>
+<div class="progress"><span style="width:{pct:.2}%"></span></div>
+<div class="tiles">
+  <div class="tile"><div class="label">Workunits done</div><div class="value">{done}/{total}</div></div>
+  <div class="tile"><div class="label">Issued / in flight / quorum-pending</div><div class="value">{issued} / {in_flight} / {quorum_pending}</div></div>
+  <div class="tile"><div class="label">Virtual full-time processors</div><div class="value">{vftp:.2}</div></div>
+  <div class="tile"><div class="label">Redundancy factor</div><div class="value">{redundancy:.3}</div></div>
+  <div class="tile"><div class="label">Reissue rate</div><div class="value">{reissue_rate:.1}%</div></div>
+  <div class="tile"><div class="label">Quorum-reject rate</div><div class="value">{qreject_rate:.1}%</div></div>
+  <div class="tile"><div class="label">Outstanding replicas</div><div class="value">{outstanding}</div></div>
+  <div class="tile"><div class="label">Reissue queue</div><div class="value">{reissue_queue}</div></div>
+  {journal_tile}
+</div>
+<h2>Per-receptor progression</h2>
+<table>
+<thead><tr><th>Receptor</th><th>Done</th><th></th><th>%</th></tr></thead>
+<tbody>
+{receptor_rows}</tbody>
+</table>
+<h2>Agents ({agent_count})</h2>
+<table>
+<thead><tr><th>Agent</th><th>Assignments</th><th>Reports</th><th>Accepted</th><th>Rejected</th><th>Last seen</th></tr></thead>
+<tbody>
+{agent_rows}</tbody>
+</table>
+</body>
+</html>
+"#,
+        status = status,
+        last_now = snap.last_now,
+        pct = pct,
+        done = wu.done,
+        total = wu.total,
+        issued = wu.issued,
+        in_flight = wu.in_flight,
+        quorum_pending = wu.quorum_pending,
+        vftp = vftp(snap),
+        redundancy = snap.redundancy_factor,
+        reissue_rate = reissue_rate,
+        qreject_rate = qreject_rate,
+        outstanding = snap.outstanding_replicas,
+        reissue_queue = snap.reissue_queue_depth,
+        journal_tile = journal_tile,
+        receptor_rows = receptor_rows,
+        agent_count = snap.agents.len(),
+        agent_rows = agent_rows,
+    )
+}
+
+/// Minimal blocking HTTP GET against the ops endpoint — shared by the
+/// integration tests, the e2e bench scraper, and the CI smoke script.
+/// Returns `(status, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: ops\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let (head, body) = raw
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no header terminator"))?;
+    let status = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((status, body.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{AgentLedger, JournalOps};
+    use gridsim::{ReceptorProgress, WuStateCounts};
+
+    fn snap() -> OpsSnapshot {
+        OpsSnapshot {
+            last_now: 12.5,
+            wu: WuStateCounts {
+                total: 40,
+                issued: 30,
+                in_flight: 10,
+                quorum_pending: 4,
+                done: 20,
+            },
+            receptors: vec![
+                ReceptorProgress {
+                    receptor: 0,
+                    total: 20,
+                    completed: 12,
+                },
+                ReceptorProgress {
+                    receptor: 1,
+                    total: 20,
+                    completed: 8,
+                },
+            ],
+            stats: Default::default(),
+            net_stats: Default::default(),
+            results_received: 55,
+            results_useful: 44,
+            redundancy_factor: 1.25,
+            completed_ref_seconds: 2500.0,
+            outstanding_replicas: 7,
+            reissue_queue_depth: 2,
+            quorum_candidate_workunits: 4,
+            campaign_complete: false,
+            journal: Some(JournalOps {
+                epoch: 3,
+                wal_appends_since_snapshot: 17,
+            }),
+            agents: vec![(
+                9,
+                AgentLedger {
+                    assignments: 5,
+                    reports: 4,
+                    accepted: 3,
+                    rejected: 1,
+                    last_seen_s: 11.0,
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn metrics_document_carries_the_scheduler_families() {
+        let text = render_metrics(&snap());
+        assert!(text.contains("hcmd_wu_states{state=\"done\"} 20"));
+        assert!(text.contains("hcmd_receptor_workunits{receptor=\"1\",state=\"done\"} 8"));
+        assert!(text.contains("hcmd_redundancy_factor 1.25"));
+        // 2500 ref-seconds over 12.5 clock seconds = 200 VFTP.
+        assert!(text.contains("hcmd_virtual_full_time_processors 200"));
+        assert!(text.contains("hcmd_journal_epoch 3"));
+        assert!(text.contains("hcmd_journal_wal_appends_since_snapshot 17"));
+        assert!(text.contains("hcmd_campaign_complete 0"));
+        // Every family is announced before it is sampled.
+        for family in ["hcmd_wu_states", "hcmd_results_received"] {
+            let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
+            let sample_at = text.find(&format!("\n{family}")).unwrap();
+            assert!(type_at < sample_at, "{family} sampled before its header");
+        }
+    }
+
+    #[test]
+    fn dashboard_is_self_contained_html() {
+        let html = render_dashboard(&snap());
+        assert!(html.starts_with("<!doctype html>"));
+        for (needle, why) in [
+            ("20/40", "workunit progress tile"),
+            ("12/20", "receptor 0 progression"),
+            ("200.00", "VFTP tile"),
+            ("3 / 17", "journal epoch / lag tile"),
+            ("<td>9</td>", "agent row"),
+            ("prefers-color-scheme: dark", "dark mode palette"),
+        ] {
+            assert!(html.contains(needle), "missing {why}: {needle}");
+        }
+        // Self-contained: no external fetches of any kind.
+        for forbidden in ["http://", "https://", "src=", "href=", "@import", "url("] {
+            assert!(
+                !html.contains(forbidden),
+                "dashboard references an external asset via {forbidden}"
+            );
+        }
+    }
+
+    #[test]
+    fn request_lines_parse_and_reject_correctly() {
+        assert_eq!(
+            parse_request_line("GET /metrics HTTP/1.1\r\n"),
+            Ok(("GET", "/metrics"))
+        );
+        assert_eq!(
+            parse_request_line("GET /metrics?x=1 HTTP/1.1\r\n"),
+            Ok(("GET", "/metrics"))
+        );
+        assert_eq!(parse_request_line("POST / HTTP/1.1\r\n"), Ok(("POST", "/")));
+        assert_eq!(parse_request_line("GET /metrics\r\n"), Err(400));
+        assert_eq!(parse_request_line(""), Err(400));
+        assert_eq!(parse_request_line("GET / SMTP/1.0\r\n"), Err(400));
+        let long = format!("GET /{} HTTP/1.1\r\n", "a".repeat(2 * MAX_REQUEST_LINE));
+        assert_eq!(parse_request_line(&long), Err(414u16));
+    }
+}

@@ -18,6 +18,7 @@
 use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
 use crate::journal::{open_journaled, JournalConfig};
+use crate::ops::OpsServer;
 use crate::protocol::{read_message, write_message, CampaignParams, Message, PROTOCOL_VERSION};
 use crate::state::{GridState, NetStats, WorkReply};
 use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
@@ -47,6 +48,9 @@ pub struct NetServerConfig {
     /// Write-ahead journal location and policy; `None` keeps all state
     /// in RAM (the pre-durability behaviour).
     pub journal: Option<JournalConfig>,
+    /// Bind address of the read-only HTTP observability endpoint
+    /// (`/metrics`, `/`); `None` disables it. Port 0 lets the OS pick.
+    pub ops_addr: Option<String>,
 }
 
 impl NetServerConfig {
@@ -63,6 +67,7 @@ impl NetServerConfig {
             faults: ServerFaults::default(),
             sweep_ms: 50,
             journal: None,
+            ops_addr: None,
         }
     }
 }
@@ -97,6 +102,8 @@ pub struct NetServer {
     /// state): added to every `epoch.elapsed()` reading so the SimTime
     /// axis stays monotone across restarts.
     clock_offset: f64,
+    /// Bound observability endpoint, when `ops_addr` is configured.
+    ops: Option<OpsServer>,
 }
 
 /// Read timeout on handler sockets: the poll interval at which blocked
@@ -125,18 +132,29 @@ impl NetServer {
                 0.0,
             ),
         };
+        let ops = match &config.ops_addr {
+            Some(addr) => Some(OpsServer::bind(addr)?),
+            None => None,
+        };
         Ok(Self {
             listener,
             campaign,
             state: Arc::new(Mutex::new(state)),
             config,
             clock_offset,
+            ops,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
         self.listener.local_addr()
+    }
+
+    /// The bound observability address, when `ops_addr` is configured
+    /// (resolves port 0).
+    pub fn ops_addr(&self) -> Option<SocketAddr> {
+        self.ops.as_ref().and_then(|o| o.local_addr().ok())
     }
 
     /// Runs the campaign to completion: accepts volunteers, sweeps
@@ -154,6 +172,13 @@ impl NetServer {
         let mut rejected = 0u64;
         let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
         let mut first_panic: Option<String> = None;
+
+        // The ops thread holds its own state Arc and serves scrapes
+        // until `done` plus a linger window — it must be joined before
+        // the state is torn down below.
+        let ops_thread = self
+            .ops
+            .map(|ops| ops.spawn(Arc::clone(&self.state), Arc::clone(&done)));
 
         let sweeper = {
             let state = Arc::clone(&self.state);
@@ -226,6 +251,14 @@ impl NetServer {
             return Err(io::Error::other(format!("handler thread panicked: {msg}")));
         }
 
+        // Captured before the ops join: the ops thread lingers ~1 s
+        // past completion for late scrapers, and that grace must not
+        // inflate the reported campaign duration.
+        let wall_seconds = epoch.elapsed().as_secs_f64();
+        if let Some(t) = ops_thread {
+            let _ = t.join();
+        }
+
         let state = Arc::try_unwrap(self.state)
             .map_err(|_| ())
             .expect("all state holders joined")
@@ -238,7 +271,7 @@ impl NetServer {
             server_stats: state.server_stats(),
             net_stats: state.net_stats,
             outputs,
-            wall_seconds: epoch.elapsed().as_secs_f64(),
+            wall_seconds,
             workunits: self.campaign.len(),
             connections,
             rejected_connections: rejected,

@@ -33,6 +33,7 @@ use gridsim::server::{
     ValidationPolicy,
 };
 use gridsim::SimTime;
+use gridsim::{ReceptorProgress, WuStateCounts};
 use maxdo::DockingOutput;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -123,6 +124,70 @@ impl Tele {
     }
 }
 
+/// Per-agent accounting for the ops endpoint's fleet table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AgentLedger {
+    /// Replicas assigned to this agent.
+    pub assignments: u64,
+    /// Results this agent reported (all verdicts).
+    pub reports: u64,
+    /// Reports that validated a workunit.
+    pub accepted: u64,
+    /// Reports rejected by quorum comparison or bounds checks.
+    pub rejected: u64,
+    /// Server-clock second of the agent's last fetch or report.
+    pub last_seen_s: f64,
+}
+
+/// Journal health as seen by the ops endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalOps {
+    /// Snapshot epoch (bumped by each compacting snapshot).
+    pub epoch: u64,
+    /// Wal frames appended since the last compacting snapshot.
+    pub wal_appends_since_snapshot: u64,
+}
+
+/// A cheap, self-contained copy of everything the ops endpoint renders,
+/// taken under the server's state lock by [`GridState::ops_snapshot`].
+/// Copy-on-scrape: the HTTP thread takes this snapshot in one short
+/// critical section and renders outside it, so a slow scraper can never
+/// stall the fetch/report hot path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OpsSnapshot {
+    /// Latest server-clock second any entry point has seen.
+    pub last_now: f64,
+    /// Workunit state counts (issued / in-flight / quorum-pending / done).
+    pub wu: WuStateCounts,
+    /// Per-receptor progression (the paper's Fig. 1, live).
+    pub receptors: Vec<ReceptorProgress>,
+    /// Core issue/reissue/validation accounting.
+    pub stats: ServerStats,
+    /// Wire-level counters.
+    pub net_stats: NetStats,
+    /// Total results received.
+    pub results_received: u64,
+    /// Useful results.
+    pub results_useful: u64,
+    /// Results received / useful results.
+    pub redundancy_factor: f64,
+    /// Reference CPU seconds of validated workunits (drives the virtual
+    /// full-time processor figure: divide by `last_now`).
+    pub completed_ref_seconds: f64,
+    /// Issued, unreported, unexpired replicas.
+    pub outstanding_replicas: usize,
+    /// Workunits queued for another replica.
+    pub reissue_queue_depth: usize,
+    /// Incomplete workunits holding quorum candidates.
+    pub quorum_candidate_workunits: usize,
+    /// True once every workunit validated.
+    pub campaign_complete: bool,
+    /// Journal health; `None` when durability is off.
+    pub journal: Option<JournalOps>,
+    /// Per-agent ledger, sorted by agent id.
+    pub agents: Vec<(u64, AgentLedger)>,
+}
+
 /// The live grid's server state (scheduling + validation + payloads),
 /// with time as an explicit argument.
 pub struct GridState {
@@ -143,6 +208,16 @@ pub struct GridState {
     accepted: Vec<Option<DockingOutput>>,
     /// Consecutive empty fetches per agent (drives backoff).
     misses: HashMap<u64, u32>,
+    /// Which agent holds each issued replica — lets a report (which
+    /// carries no agent id on the wire) be attributed back to the agent
+    /// the replica was assigned to.
+    replica_agent: HashMap<u64, u64>,
+    /// Per-agent assignment/report accounting for the ops endpoint.
+    /// Advisory: rebuilt from `Fetch` records on journal replay but not
+    /// part of [`GridSnapshot`], so it restarts empty after a
+    /// restore-from-snapshot (the scheduler state it describes does
+    /// not).
+    agents: HashMap<u64, AgentLedger>,
     /// Wire-level counters.
     pub net_stats: NetStats,
     /// Latest server-clock second any entry point has seen — the resume
@@ -182,6 +257,8 @@ impl GridState {
             candidates: HashMap::new(),
             accepted: vec![None; campaign.len()],
             misses: HashMap::new(),
+            replica_agent: HashMap::new(),
+            agents: HashMap::new(),
             net_stats: NetStats::default(),
             last_now: 0.0,
             journal: None,
@@ -266,6 +343,8 @@ impl GridState {
             candidates: snap.candidates.into_iter().collect(),
             accepted: snap.accepted,
             misses: snap.misses.into_iter().collect(),
+            replica_agent: HashMap::new(),
+            agents: HashMap::new(),
             net_stats: snap.net_stats,
             last_now: snap.last_now,
             journal: None,
@@ -313,9 +392,13 @@ impl GridState {
     /// Answers a work request from `agent` at time `now`.
     pub fn fetch(&mut self, now: SimTime, agent: u64) -> WorkReply {
         self.last_now = self.last_now.max(now.seconds());
+        let ledger = self.agents.entry(agent).or_default();
+        ledger.last_seen_s = ledger.last_seen_s.max(now.seconds());
         let reply = match self.core.fetch_work(now) {
             Some(assignment) => {
                 self.misses.remove(&agent);
+                self.agents.entry(agent).or_default().assignments += 1;
+                self.replica_agent.insert(assignment.replica.0, agent);
                 self.outstanding.insert(
                     assignment.replica.0,
                     now.seconds() + self.core.deadline_seconds(),
@@ -397,13 +480,16 @@ impl GridState {
     ) -> ResultDisposition {
         self.last_now = self.last_now.max(now.seconds());
         if self.journal.is_none() {
-            return self.report_inner(now, campaign, replica, workunit, output);
+            let d = self.report_inner(now, campaign, replica, workunit, output);
+            self.note_report(replica, d.verdict, now);
+            return d;
         }
         // The journal keeps the payload exactly when it became server
         // state (a quorum candidate or the accepted artifact); replay
         // synthesizes rejected/duplicate payloads, whose bytes the live
         // server discarded on arrival anyway.
         let d = self.report_inner(now, campaign, replica, workunit, output.clone());
+        self.note_report(replica, d.verdict, now);
         let payload = match d.verdict {
             Verdict::BoundsRejected | Verdict::Duplicate => None,
             _ => Some(output),
@@ -416,6 +502,53 @@ impl GridState {
             output: payload,
         });
         d
+    }
+
+    /// Books one report against the agent the replica was assigned to.
+    /// Forged replica ids never got an assignment, so they attribute to
+    /// nobody.
+    fn note_report(&mut self, replica: ReplicaId, verdict: Verdict, now: SimTime) {
+        let Some(&agent) = self.replica_agent.get(&replica.0) else {
+            return;
+        };
+        let ledger = self.agents.entry(agent).or_default();
+        ledger.last_seen_s = ledger.last_seen_s.max(now.seconds());
+        ledger.reports += 1;
+        match verdict {
+            Verdict::Accepted => ledger.accepted += 1,
+            Verdict::QuorumRejected | Verdict::BoundsRejected => ledger.rejected += 1,
+            Verdict::QuorumPending | Verdict::Duplicate | Verdict::Late => {}
+        }
+    }
+
+    /// Takes the copy-on-scrape snapshot the ops endpoint renders; see
+    /// [`OpsSnapshot`]. Called under the server's state lock — every
+    /// field is a counter, small struct, or short vec, so the critical
+    /// section stays far below one fetch/report cycle.
+    pub fn ops_snapshot(&self) -> OpsSnapshot {
+        let mut agents: Vec<(u64, AgentLedger)> =
+            self.agents.iter().map(|(&a, &l)| (a, l)).collect();
+        agents.sort_by_key(|&(a, _)| a);
+        OpsSnapshot {
+            last_now: self.last_now,
+            wu: self.core.wu_state_counts(),
+            receptors: self.core.receptor_progress(),
+            stats: self.core.stats,
+            net_stats: self.net_stats,
+            results_received: self.core.results_received,
+            results_useful: self.core.results_useful,
+            redundancy_factor: self.core.redundancy_factor(),
+            completed_ref_seconds: self.core.completed_ref_seconds(),
+            outstanding_replicas: self.outstanding.len(),
+            reissue_queue_depth: self.core.reissue_queue_depth(),
+            quorum_candidate_workunits: self.candidates.len(),
+            campaign_complete: self.core.is_campaign_complete(),
+            journal: self.journal.as_ref().map(|j| JournalOps {
+                epoch: j.epoch(),
+                wal_appends_since_snapshot: j.appends_since_snapshot(),
+            }),
+            agents,
+        }
     }
 
     fn report_inner(
@@ -668,11 +801,8 @@ mod tests {
         let (campaign, mut state) = setup();
         // Drain the whole queue.
         let mut assignments = Vec::new();
-        loop {
-            match state.fetch(t(0.0), 1) {
-                WorkReply::Assigned(a) => assignments.push(a),
-                WorkReply::Backoff { .. } => break,
-            }
+        while let WorkReply::Assigned(a) = state.fetch(t(0.0), 1) {
+            assignments.push(a);
         }
         assert!(assignments.len() >= 2 * campaign.len());
         let first = match state.fetch(t(0.0), 9) {

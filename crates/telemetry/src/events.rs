@@ -17,6 +17,17 @@
 //! many to log one line each; instrumented call sites sample the
 //! per-workunit lifecycle events (see `gridsim`'s `telemetry` docs) while
 //! low-volume events (phases, day summaries) are always emitted.
+//!
+//! # Size cap / rotation
+//!
+//! Even sampled, a 26-week campaign writes an unbounded log. The sink
+//! therefore enforces a size cap: once the current file would exceed it,
+//! the file is rotated to `<path>.1` (replacing any previous rotation)
+//! and a fresh file opened at `<path>`, so the log holds at most two
+//! generations ≈ 2 × cap bytes. The default cap is 64 MiB; override it
+//! with the `HCMD_EVENTS_MAX_BYTES` environment variable (a cap of `0`
+//! disables rotation) or programmatically via
+//! [`install_jsonl_with_cap`].
 
 use serde::{Deserialize, Serialize};
 
@@ -174,23 +185,85 @@ mod imp {
     use std::sync::{Mutex, OnceLock};
     use std::time::Instant;
 
+    /// Default size cap per log generation (64 MiB). See the module docs
+    /// for the rotation scheme; `HCMD_EVENTS_MAX_BYTES` overrides it.
+    pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
+    struct Sink {
+        writer: BufWriter<File>,
+        path: std::path::PathBuf,
+        written: u64,
+        /// `None` disables rotation.
+        max_bytes: Option<u64>,
+    }
+
+    impl Sink {
+        /// Writes one line, rotating the file first when the line would
+        /// push the current generation past the cap.
+        fn write_line(&mut self, line: &str) {
+            let needed = line.len() as u64 + 1;
+            if let Some(cap) = self.max_bytes {
+                if self.written > 0 && self.written + needed > cap {
+                    let _ = self.writer.flush();
+                    let rotated = {
+                        let mut os = self.path.clone().into_os_string();
+                        os.push(".1");
+                        std::path::PathBuf::from(os)
+                    };
+                    if std::fs::rename(&self.path, &rotated).is_ok() {
+                        if let Ok(f) = File::create(&self.path) {
+                            self.writer = BufWriter::new(f);
+                            self.written = 0;
+                        }
+                    }
+                }
+            }
+            let _ = writeln!(self.writer, "{line}");
+            self.written += needed;
+        }
+    }
+
     static ACTIVE: AtomicBool = AtomicBool::new(false);
-    static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+    static SINK: Mutex<Option<Sink>> = Mutex::new(None);
     static EPOCH: OnceLock<Instant> = OnceLock::new();
 
     fn wall_ms() -> u64 {
         EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
     }
 
+    fn cap_from_env() -> Option<u64> {
+        match std::env::var("HCMD_EVENTS_MAX_BYTES") {
+            Ok(v) => match v.trim().parse::<u64>() {
+                Ok(0) => None,
+                Ok(n) => Some(n),
+                Err(_) => Some(DEFAULT_MAX_BYTES),
+            },
+            Err(_) => Some(DEFAULT_MAX_BYTES),
+        }
+    }
+
     /// Opens (truncating) a JSONL sink at `path`; subsequent [`emit`]
-    /// calls append one line per event. Creates parent directories.
+    /// calls append one line per event. Creates parent directories. The
+    /// size cap comes from `HCMD_EVENTS_MAX_BYTES` (default 64 MiB, `0`
+    /// disables rotation).
     pub fn install_jsonl(path: &Path) -> std::io::Result<()> {
+        install_jsonl_with_cap(path, cap_from_env())
+    }
+
+    /// Like [`install_jsonl`] but with an explicit size cap per log
+    /// generation; `None` disables rotation.
+    pub fn install_jsonl_with_cap(path: &Path, max_bytes: Option<u64>) -> std::io::Result<()> {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
         let file = BufWriter::new(File::create(path)?);
         EPOCH.get_or_init(Instant::now);
-        *SINK.lock().unwrap() = Some(file);
+        *SINK.lock().unwrap() = Some(Sink {
+            writer: file,
+            path: path.to_path_buf(),
+            written: 0,
+            max_bytes,
+        });
         ACTIVE.store(true, Relaxed);
         Ok(())
     }
@@ -213,16 +286,16 @@ mod imp {
             return;
         };
         let mut sink = SINK.lock().unwrap();
-        if let Some(w) = sink.as_mut() {
-            let _ = writeln!(w, "{line}");
+        if let Some(s) = sink.as_mut() {
+            s.write_line(&line);
         }
     }
 
     /// Flushes and closes the sink. Safe to call more than once.
     pub fn shutdown() {
         ACTIVE.store(false, Relaxed);
-        if let Some(mut w) = SINK.lock().unwrap().take() {
-            let _ = w.flush();
+        if let Some(mut s) = SINK.lock().unwrap().take() {
+            let _ = s.writer.flush();
         }
     }
 }
@@ -232,10 +305,21 @@ mod imp {
     use super::Event;
     use std::path::Path;
 
+    /// Default size cap per log generation (matching the enabled build;
+    /// unused here).
+    pub const DEFAULT_MAX_BYTES: u64 = 64 * 1024 * 1024;
+
     /// No-op (telemetry disabled); reports success so callers need no
     /// feature-gating.
     #[inline(always)]
     pub fn install_jsonl(_path: &Path) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// No-op (telemetry disabled); reports success so callers need no
+    /// feature-gating.
+    #[inline(always)]
+    pub fn install_jsonl_with_cap(_path: &Path, _max_bytes: Option<u64>) -> std::io::Result<()> {
         Ok(())
     }
 
@@ -248,7 +332,7 @@ mod imp {
     pub fn shutdown() {}
 }
 
-pub use imp::{emit, install_jsonl, shutdown};
+pub use imp::{emit, install_jsonl, install_jsonl_with_cap, shutdown, DEFAULT_MAX_BYTES};
 
 #[cfg(test)]
 mod tests {
@@ -332,9 +416,15 @@ mod tests {
         assert_eq!(back, r);
     }
 
+    /// The JSONL sink is process-global; tests that install one must not
+    /// overlap or their events interleave into each other's files.
+    #[cfg(feature = "enabled")]
+    static SINK_TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[cfg(feature = "enabled")]
     #[test]
     fn jsonl_sink_writes_one_line_per_event() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let dir = std::env::temp_dir().join("hcmd-telemetry-test");
         let path = dir.join("events.jsonl");
         install_jsonl(&path).unwrap();
@@ -362,6 +452,43 @@ mod tests {
         });
         let text_after = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text_after, text);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn jsonl_sink_rotates_at_the_size_cap() {
+        let _guard = SINK_TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("hcmd-telemetry-rotate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("events.jsonl");
+        // Each PhaseStart line is ~70 bytes; a 256-byte cap forces at
+        // least one rotation within a dozen events.
+        install_jsonl_with_cap(&path, Some(256)).unwrap();
+        for i in 0..12 {
+            emit(None, || Event::PhaseStart {
+                name: format!("phase-{i:04}"),
+            });
+        }
+        shutdown();
+        let rotated = dir.join("events.jsonl.1");
+        assert!(rotated.exists(), "rotation never happened");
+        let live = std::fs::read_to_string(&path).unwrap();
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert!(live.len() as u64 <= 256, "live generation exceeds cap");
+        assert!(old.len() as u64 <= 256, "rotated generation exceeds cap");
+        // Every line in both generations is intact JSON (rotation never
+        // splits a record), and the newest record is in the live file.
+        for line in live.lines().chain(old.lines()) {
+            let _: Record = serde_json::from_str(line).unwrap();
+        }
+        let last: Record = serde_json::from_str(live.lines().last().unwrap()).unwrap();
+        assert_eq!(
+            last.event,
+            Event::PhaseStart {
+                name: "phase-0011".into()
+            }
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,318 @@
+//! Prometheus text-exposition rendering of a [`MetricsSnapshot`].
+//!
+//! The live server's `/metrics` endpoint (netgrid's `ops` module) is a
+//! plain-text Prometheus scrape target. This module owns the format:
+//! metric-name sanitisation, `HELP`/label escaping, `# TYPE` headers,
+//! and the mapping from the registry's log₂ histograms to cumulative
+//! `_bucket{le="..."}` series with the mandatory `+Inf` terminal bucket.
+//!
+//! Output is deterministic: [`MetricsSnapshot`] is sorted by name, and
+//! [`TextRenderer`] emits families in call order with labels rendered
+//! exactly as given — two scrapes of the same state are byte-identical,
+//! which is what makes the format lintable (`tools/promcheck`) and
+//! diff-able in CI.
+//!
+//! Reference: the Prometheus exposition format spec. Names must match
+//! `[a-zA-Z_:][a-zA-Z0-9_:]*` (our dotted registry names are mapped
+//! `.` → `_`), label names `[a-zA-Z_][a-zA-Z0-9_]*`, and label values /
+//! help text escape `\`, `"` (values only) and newlines.
+
+use crate::registry::{HistogramSnapshot, MetricsSnapshot};
+
+/// Metric kind for the `# TYPE` header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Cumulative-bucket histogram.
+    Histogram,
+}
+
+impl MetricKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Maps an arbitrary metric name onto the Prometheus name alphabet:
+/// every character outside `[a-zA-Z0-9_:]` becomes `_`, and a leading
+/// digit gets a `_` prefix. Registry names like `net.results.accepted`
+/// render as `net_results_accepted`.
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, c) in name.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if ok {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Escapes a `# HELP` text: `\` → `\\`, newline → `\n`.
+pub fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: `\` → `\\`, `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats a sample value. Integral values render without a fractional
+/// part (`17`, not `17.0`), infinities as `+Inf`/`-Inf`.
+fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        };
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Streaming builder for one exposition document.
+///
+/// Call [`Self::family`] once per metric, then [`Self::sample`] (or
+/// [`Self::histogram`]) for its series. The builder sanitises names and
+/// escapes help/label text so callers can pass raw strings.
+#[derive(Debug, Default)]
+pub struct TextRenderer {
+    out: String,
+}
+
+impl TextRenderer {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Emits the `# HELP` / `# TYPE` header pair for `name` and returns
+    /// the sanitised name (reuse it for the family's samples).
+    pub fn family(&mut self, name: &str, kind: MetricKind, help: &str) -> String {
+        let name = sanitize_name(name);
+        self.out
+            .push_str(&format!("# HELP {name} {}\n", escape_help(help)));
+        self.out
+            .push_str(&format!("# TYPE {name} {}\n", kind.as_str()));
+        name
+    }
+
+    /// Emits one sample line. `labels` are `(name, value)` pairs; label
+    /// names are sanitised, values escaped.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&sanitize_name(name));
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(&format!(
+                    "{}=\"{}\"",
+                    sanitize_name(k),
+                    escape_label_value(v)
+                ));
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&format_value(value));
+        self.out.push('\n');
+    }
+
+    /// Emits one registry histogram as a conventional Prometheus
+    /// histogram: cumulative `_bucket{le="..."}` series over the log₂
+    /// bucket bounds, a `+Inf` terminal bucket, `_sum` and `_count`.
+    pub fn histogram(&mut self, h: &HistogramSnapshot, help: &str) {
+        let name = self.family(&h.name, MetricKind::Histogram, help);
+        let mut cumulative = 0u64;
+        for &(bound, count) in &h.buckets {
+            cumulative += count;
+            self.sample(
+                &format!("{name}_bucket"),
+                &[("le", bound.to_string().as_str())],
+                cumulative as f64,
+            );
+        }
+        self.sample(&format!("{name}_bucket"), &[("le", "+Inf")], h.count as f64);
+        self.sample(&format!("{name}_sum"), &[], h.sum as f64);
+        self.sample(&format!("{name}_count"), &[], h.count as f64);
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Renders every metric of a snapshot: counters, gauges, histograms, in
+/// the snapshot's (sorted) order.
+pub fn render_snapshot(snap: &MetricsSnapshot) -> String {
+    let mut r = TextRenderer::new();
+    for (name, v) in &snap.counters {
+        let n = r.family(name, MetricKind::Counter, "hcmd registry counter");
+        r.sample(&n, &[], *v as f64);
+    }
+    for (name, v) in &snap.gauges {
+        let n = r.family(name, MetricKind::Gauge, "hcmd registry gauge");
+        r.sample(&n, &[], *v as f64);
+    }
+    for h in &snap.histograms {
+        r.histogram(h, "hcmd registry histogram (log2 buckets)");
+    }
+    r.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized_onto_the_prometheus_alphabet() {
+        assert_eq!(
+            sanitize_name("net.results.accepted"),
+            "net_results_accepted"
+        );
+        assert_eq!(sanitize_name("sim.queue.depth"), "sim_queue_depth");
+        assert_eq!(sanitize_name("already_fine:name"), "already_fine:name");
+        assert_eq!(sanitize_name("9starts.with.digit"), "_9starts_with_digit");
+        assert_eq!(sanitize_name("dash-and space"), "dash_and_space");
+        assert_eq!(sanitize_name(""), "_");
+    }
+
+    #[test]
+    fn help_and_label_values_escape_specials() {
+        assert_eq!(escape_help("a\\b\nc"), "a\\\\b\\nc");
+        assert_eq!(
+            escape_label_value("say \"hi\"\n\\"),
+            "say \\\"hi\\\"\\n\\\\"
+        );
+    }
+
+    #[test]
+    fn integral_values_render_without_fraction() {
+        assert_eq!(format_value(17.0), "17");
+        assert_eq!(format_value(0.5), "0.5");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_monotone_with_inf_terminal() {
+        let h = HistogramSnapshot {
+            name: "req.latency".into(),
+            count: 7,
+            sum: 1107,
+            p50: 3,
+            p99: 1023,
+            max: 1023,
+            buckets: vec![(0, 1), (1, 2), (3, 2), (127, 1), (1023, 1)],
+        };
+        let mut r = TextRenderer::new();
+        r.histogram(&h, "test");
+        let text = r.finish();
+        // Extract the bucket series in order and check both le bounds
+        // and cumulative counts are monotone non-decreasing.
+        let mut last_le = -1.0f64;
+        let mut last_cum = 0.0f64;
+        let mut saw_inf = false;
+        for line in text.lines().filter(|l| l.contains("_bucket")) {
+            assert!(!saw_inf, "+Inf must be the terminal bucket");
+            let le = line
+                .split("le=\"")
+                .nth(1)
+                .unwrap()
+                .split('"')
+                .next()
+                .unwrap();
+            let value: f64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            let le_v = if le == "+Inf" {
+                saw_inf = true;
+                f64::INFINITY
+            } else {
+                le.parse().unwrap()
+            };
+            assert!(le_v > last_le, "le bounds must increase: {text}");
+            assert!(
+                value >= last_cum,
+                "bucket counts must be cumulative: {text}"
+            );
+            last_le = le_v;
+            last_cum = value;
+        }
+        assert!(saw_inf, "terminal +Inf bucket missing:\n{text}");
+        assert_eq!(last_cum, 7.0, "+Inf bucket equals the sample count");
+        assert!(text.contains("req_latency_sum 1107"));
+        assert!(text.contains("req_latency_count 7"));
+    }
+
+    #[test]
+    fn empty_histogram_still_has_the_inf_bucket() {
+        let h = HistogramSnapshot {
+            name: "empty".into(),
+            count: 0,
+            sum: 0,
+            p50: 0,
+            p99: 0,
+            max: 0,
+            buckets: Vec::new(),
+        };
+        let mut r = TextRenderer::new();
+        r.histogram(&h, "test");
+        let text = r.finish();
+        assert!(text.contains("empty_bucket{le=\"+Inf\"} 0"));
+        assert!(text.contains("empty_count 0"));
+    }
+
+    #[test]
+    fn labels_render_escaped_and_sorted_as_given() {
+        let mut r = TextRenderer::new();
+        let n = r.family("wu.states", MetricKind::Gauge, "workunit states");
+        r.sample(&n, &[("state", "in-flight"), ("shard", "a\"b")], 3.0);
+        let text = r.finish();
+        assert!(
+            text.contains("wu_states{state=\"in-flight\",shard=\"a\\\"b\"} 3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn snapshot_rendering_is_deterministic() {
+        let mut snap = MetricsSnapshot {
+            counters: vec![("b.two".into(), 2), ("a.one".into(), 1)],
+            gauges: vec![("z.gauge".into(), -4)],
+            histograms: Vec::new(),
+        };
+        snap.sort();
+        let first = render_snapshot(&snap);
+        let second = render_snapshot(&snap);
+        assert_eq!(first, second);
+        let a = first.find("a_one").unwrap();
+        let b = first.find("b_two").unwrap();
+        assert!(a < b, "families follow the sorted snapshot order");
+        assert!(first.contains("z_gauge -4"));
+    }
+}

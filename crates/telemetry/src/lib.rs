@@ -33,10 +33,15 @@
 pub const ENABLED: bool = cfg!(feature = "enabled");
 
 pub mod events;
+pub mod exposition;
 pub mod manifest;
 pub mod registry;
 
-pub use events::{emit, install_jsonl, shutdown, Event, IssueCause, Record};
+pub use events::{
+    emit, install_jsonl, install_jsonl_with_cap, shutdown, Event, IssueCause, Record,
+    DEFAULT_MAX_BYTES,
+};
+pub use exposition::{render_snapshot, MetricKind, TextRenderer};
 pub use manifest::{git_revision, RunManifest};
 pub use registry::{
     counter, gauge, histogram, reset, snapshot, summary, Counter, Gauge, Histogram,

@@ -15,6 +15,11 @@ use serde::{Deserialize, Serialize};
 
 /// Point-in-time copy of every registered metric, serializable for run
 /// manifests and round-trip tests.
+///
+/// Ordering is part of the contract: counters, gauges and histograms are
+/// each sorted by name (byte order), so two snapshots of the same state
+/// render identically — the Prometheus exposition built on top of this
+/// ([`crate::exposition`]) is diff-able across scrapes and in CI.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter values by name (sorted).
@@ -23,6 +28,17 @@ pub struct MetricsSnapshot {
     pub gauges: Vec<(String, i64)>,
     /// Histogram summaries by name (sorted).
     pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Restores the sorted-by-name invariant. The registry produces
+    /// sorted snapshots already; snapshots assembled by hand (tests,
+    /// external tooling) call this before rendering.
+    pub fn sort(&mut self) {
+        self.counters.sort_by(|a, b| a.0.cmp(&b.0));
+        self.gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 /// Summary of one histogram's state.
@@ -40,6 +56,12 @@ pub struct HistogramSnapshot {
     pub p99: u64,
     /// Largest recorded value's bucket upper bound.
     pub max: u64,
+    /// Occupied log₂ buckets as `(inclusive upper bound, count)` pairs,
+    /// sorted by bound. Non-cumulative; the Prometheus exposition
+    /// cumulates them into `_bucket{le=...}` series. Empty on snapshots
+    /// taken before this field existed (the serde default).
+    #[serde(default)]
+    pub buckets: Vec<(u64, u64)>,
 }
 
 #[cfg(feature = "enabled")]
@@ -187,6 +209,15 @@ mod imp {
                 .rev()
                 .find(|(_, b)| b.load(Relaxed) > 0)
                 .map_or(0, |(k, _)| bucket_bound(k));
+            let buckets = self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter_map(|(k, b)| {
+                    let n = b.load(Relaxed);
+                    (n > 0).then(|| (bucket_bound(k), n))
+                })
+                .collect();
             HistogramSnapshot {
                 name: name.to_string(),
                 count: self.count(),
@@ -194,6 +225,7 @@ mod imp {
                 p50: self.quantile_bound(0.5),
                 p99: self.quantile_bound(0.99),
                 max,
+                buckets,
             }
         }
     }

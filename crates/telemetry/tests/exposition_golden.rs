@@ -1,0 +1,50 @@
+//! Golden-file round-trip of the Prometheus exposition format.
+//!
+//! A hand-populated [`MetricsSnapshot`] must render byte-for-byte to the
+//! checked-in `tests/golden/metrics.prom`, and survive a JSON round-trip
+//! (snapshot → JSON → snapshot → exposition) unchanged — the contract
+//! the ops endpoint and `tools/promcheck` both rely on.
+
+use telemetry::registry::{HistogramSnapshot, MetricsSnapshot};
+use telemetry::render_snapshot;
+
+fn populated_snapshot() -> MetricsSnapshot {
+    let mut snap = MetricsSnapshot {
+        // Deliberately unsorted: `sort()` must restore the registry's
+        // sorted-by-name invariant before rendering.
+        counters: vec![
+            ("net.results.accepted".into(), 1234),
+            ("net.conns.opened".into(), 42),
+        ],
+        gauges: vec![("wu.inflight".into(), 17)],
+        histograms: vec![HistogramSnapshot {
+            name: "net.req.latency_us".into(),
+            count: 10,
+            sum: 23,
+            p50: 1,
+            p99: 7,
+            max: 6,
+            buckets: vec![(0, 5), (1, 3), (7, 2)],
+        }],
+    };
+    snap.sort();
+    snap
+}
+
+#[test]
+fn snapshot_renders_to_the_golden_file() {
+    let golden = include_str!("golden/metrics.prom");
+    let rendered = render_snapshot(&populated_snapshot());
+    assert_eq!(
+        rendered, golden,
+        "exposition output drifted from tests/golden/metrics.prom"
+    );
+}
+
+#[test]
+fn snapshot_survives_a_json_round_trip() {
+    let snap = populated_snapshot();
+    let json = serde_json::to_string(&snap).unwrap();
+    let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+    assert_eq!(render_snapshot(&back), render_snapshot(&snap));
+}

@@ -21,7 +21,9 @@
 //! * `netgrid_e2e` (`BENCH_netgrid.json`) — loopback workunits/sec and
 //!   p99 request latency, plus a warning if the merged wire-level
 //!   output diverged from the in-process baseline or a fault path went
-//!   unexercised.
+//!   unexercised. Reports with the ops-endpoint columns also get
+//!   warn-only ceilings on the ops throughput overhead and on the p99
+//!   `/metrics` scrape latency.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -33,6 +35,15 @@ const BIG_FLEET_HOSTS: f64 = 100_000.0;
 /// Largest acceptable `(plain - journaled) / plain` throughput loss
 /// from the write-ahead journal before the (warn-only) guard fires.
 const JOURNAL_OVERHEAD_CEILING: f64 = 0.10;
+/// Largest acceptable `(plain - ops) / plain` throughput loss from the
+/// live observability endpoint before the (warn-only) guard fires. The
+/// endpoint only copies a snapshot under the state mutex, so it should
+/// cost essentially nothing.
+const OPS_OVERHEAD_CEILING: f64 = 0.10;
+/// Absolute warn-only ceiling on the p99 `/metrics` scrape round trip
+/// over loopback. A scrape renders a copied snapshot off the hot path,
+/// so anything slower than this means the ops thread is blocking.
+const OPS_SCRAPE_P99_CEILING_MS: f64 = 50.0;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -72,6 +83,11 @@ struct NetgridSummary {
     /// before the journal column existed.
     journal_overhead_frac: Option<f64>,
     journal_merged_matches_baseline: Option<bool>,
+    /// `(plain - ops) / plain` throughput; `None` on reports from
+    /// before the ops-endpoint columns existed.
+    ops_overhead_frac: Option<f64>,
+    ops_scrape_p99_ms: Option<f64>,
+    ops_merged_matches_baseline: Option<bool>,
 }
 
 fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
@@ -93,6 +109,12 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
         merged_matches_baseline: merged,
         journal_overhead_frac: report.get("journal_overhead_frac").and_then(Value::as_f64),
         journal_merged_matches_baseline: match report.get("journal_merged_matches_baseline") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
+        ops_overhead_frac: report.get("ops_overhead_frac").and_then(Value::as_f64),
+        ops_scrape_p99_ms: report.get("ops_scrape_p99_ms").and_then(Value::as_f64),
+        ops_merged_matches_baseline: match report.get("ops_merged_matches_baseline") {
             Some(Value::Bool(b)) => Some(*b),
             _ => None,
         },
@@ -167,6 +189,40 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
         warnings += 1;
         eprintln!(
             "bench_guard: WARNING: journaled run's merged output diverged from the in-process baseline"
+        );
+    }
+    match fresh.ops_overhead_frac {
+        Some(frac) if frac > OPS_OVERHEAD_CEILING => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: ops endpoint costs {:.1}% throughput (ceiling {:.0}%)",
+                frac * 100.0,
+                OPS_OVERHEAD_CEILING * 100.0
+            );
+        }
+        Some(frac) => println!(
+            "bench_guard: ops endpoint overhead ok: {:.1}% (ceiling {:.0}%)",
+            frac * 100.0,
+            OPS_OVERHEAD_CEILING * 100.0
+        ),
+        None => println!("bench_guard: note: report has no ops overhead column"),
+    }
+    match fresh.ops_scrape_p99_ms {
+        Some(p99) if p99 > OPS_SCRAPE_P99_CEILING_MS => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: /metrics scrape p99 {p99:.2} ms is above the {OPS_SCRAPE_P99_CEILING_MS:.0} ms ceiling"
+            );
+        }
+        Some(p99) => println!(
+            "bench_guard: /metrics scrape p99 ok: {p99:.2} ms (ceiling {OPS_SCRAPE_P99_CEILING_MS:.0} ms)"
+        ),
+        None => {}
+    }
+    if fresh.ops_merged_matches_baseline == Some(false) {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: ops-enabled run's merged output diverged from the in-process baseline"
         );
     }
     warnings
