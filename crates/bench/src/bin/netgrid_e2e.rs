@@ -19,6 +19,19 @@
 //! percentiles (`ops_scrape_p99_ms`) so `tools/bench_guard` can flag a
 //! journal or an ops endpoint that gets in the way of the wire.
 //!
+//! A fourth, *scale* campaign then drives `--scale-agents` (default
+//! 10 000) simulated volunteers through the multiplexed driver
+//! (`netgrid::run_mux_fleet`) against the same event-loop server —
+//! the `scale_*` columns report its throughput and request-latency
+//! percentiles. `--agents` beyond 64 switches the classic fleet itself
+//! to the mux driver (journal/ops campaigns are skipped and their
+//! columns go null; the separate scale campaign too, since the classic
+//! run *is* the scale run then).
+//!
+//! `--codec` picks the wire codec for every agent frame: `binary`
+//! (protocol v2, the default) or `json` (protocol v1 — the old-agent
+//! interop path).
+//!
 //! Writes `BENCH_netgrid.json` at the workspace root (override with
 //! `--out`); `tools/bench_guard` compares fresh runs against the
 //! committed baseline in CI (warn-only). `--quick` shrinks the fleet
@@ -27,11 +40,16 @@
 use bench_support::RunSession;
 use metrics::quantile;
 use netgrid::{
-    http_get, run_agent, AgentConfig, CampaignParams, FaultProfile, JournalConfig, NetCampaign,
-    NetRunReport, NetServer, NetServerConfig,
+    http_get, run_agent, run_mux_fleet, AgentConfig, CampaignParams, Codec, FaultProfile,
+    JournalConfig, MuxFleetConfig, MuxFleetReport, NetCampaign, NetRunReport, NetServer,
+    NetServerConfig,
 };
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Threaded-fleet ceiling: more honest agents than this and the classic
+/// campaign switches to the multiplexed driver.
+const THREADED_FLEET_MAX: usize = 64;
 
 /// The `BENCH_netgrid.json` document.
 #[derive(serde::Serialize)]
@@ -39,9 +57,14 @@ struct NetgridReport {
     bench: String,
     quick: bool,
     seed: u64,
+    /// Wire codec every agent frame used: "binary" (v2) or "json" (v1).
+    codec: String,
     /// Honest (flaky-profile) agents; the victim and the saboteur ride
     /// on top of these.
     agents: usize,
+    /// Whether the classic fleet ran through the multiplexed driver
+    /// (`--agents` beyond the threaded ceiling).
+    mux: bool,
     workunits: usize,
     wall_seconds: f64,
     workunits_per_sec: f64,
@@ -57,44 +80,73 @@ struct NetgridReport {
     corrupt_faults: u64,
     merged_matches_baseline: bool,
     /// Throughput of the same campaign with the write-ahead journal on.
-    journal_workunits_per_sec: f64,
+    /// Null when the classic fleet is mux-driven (journal campaign
+    /// skipped).
+    journal_workunits_per_sec: Option<f64>,
     /// `(plain - journaled) / plain` throughput; noise makes small
     /// negative values normal. Guarded warn-only at 10% by bench_guard.
-    journal_overhead_frac: f64,
-    journal_merged_matches_baseline: bool,
+    journal_overhead_frac: Option<f64>,
+    journal_merged_matches_baseline: Option<bool>,
     /// Throughput of the same campaign with the `--ops-addr` endpoint
     /// enabled and a scraper polling `/metrics` through the whole run.
-    ops_workunits_per_sec: f64,
+    ops_workunits_per_sec: Option<f64>,
     /// `(plain - ops) / plain` throughput; guarded warn-only by
     /// bench_guard.
-    ops_overhead_frac: f64,
+    ops_overhead_frac: Option<f64>,
     /// `/metrics` scrapes completed during the ops-enabled run.
-    ops_scrapes: usize,
-    ops_scrape_p50_ms: f64,
+    ops_scrapes: Option<usize>,
+    ops_scrape_p50_ms: Option<f64>,
     /// Guarded warn-only by bench_guard.
-    ops_scrape_p99_ms: f64,
-    ops_merged_matches_baseline: bool,
+    ops_scrape_p99_ms: Option<f64>,
+    ops_merged_matches_baseline: Option<bool>,
+    /// Simulated volunteers in the scale campaign (0 = skipped).
+    scale_agents: usize,
+    scale_wall_seconds: Option<f64>,
+    scale_workunits_per_sec: Option<f64>,
+    scale_requests: Option<usize>,
+    scale_request_latency_p50_ms: Option<f64>,
+    /// Guarded warn-only by bench_guard against an absolute ceiling.
+    scale_request_latency_p99_ms: Option<f64>,
+    scale_connections: Option<u64>,
+    scale_merged_matches_baseline: Option<bool>,
 }
 
-/// One full wire-level campaign: fleet, faults and all. Returns the
-/// server report plus the fleet's request latencies, fault totals, and
-/// — when `ops` is on — the per-scrape `/metrics` latencies (ms) of a
-/// scraper thread that polls the observability endpoint throughout.
+/// Everything one campaign run yields, whichever driver carried it.
+struct CampaignOutcome {
+    run: NetRunReport,
+    latencies: Vec<f64>,
+    faults: (u64, u64, u64),
+    scrape_ms: Vec<f64>,
+    connections: u64,
+}
+
+/// One full wire-level campaign: fleet, faults and all. The honest
+/// majority runs as real threaded agents up to [`THREADED_FLEET_MAX`],
+/// then switches to the multiplexed driver; the victim (takes a
+/// workunit and vanishes) and the saboteur (corrupts every payload)
+/// are always real threaded agents.
 fn run_campaign(
     campaign_params: CampaignParams,
     deadline_seconds: f64,
     honest_agents: usize,
     seed: u64,
+    codec: Codec,
     journal: Option<JournalConfig>,
     ops: bool,
-) -> (NetRunReport, Vec<f64>, (u64, u64, u64), Vec<f64>) {
-    let config = NetServerConfig {
+) -> CampaignOutcome {
+    let mut config = NetServerConfig {
         campaign: campaign_params,
         sweep_ms: 25,
         journal,
         ops_addr: ops.then(|| "127.0.0.1:0".to_string()),
         ..NetServerConfig::loopback(deadline_seconds)
     };
+    if honest_agents > THREADED_FLEET_MAX {
+        // The default 64-connection Busy limit models a small server;
+        // the scale campaign measures the event loop itself, so the
+        // brush-off path must not throttle the fleet.
+        config.faults.max_connections = 0;
+    }
     let server = NetServer::bind(config).expect("bind loopback");
     let addr = server.local_addr().expect("local addr").to_string();
     // Scrape `/metrics` continuously while the campaign runs, timing
@@ -127,6 +179,7 @@ fn run_campaign(
             run_agent(AgentConfig {
                 die_after: Some(1),
                 seed,
+                codec,
                 ..AgentConfig::new(addr, 100)
             })
         })
@@ -142,33 +195,64 @@ fn run_campaign(
                     corrupt: 1.0,
                 },
                 seed,
+                codec,
                 ..AgentConfig::new(addr, 666)
             })
         })
     };
     thread::sleep(Duration::from_millis(50));
-    let honest: Vec<_> = (1..=honest_agents as u64)
-        .map(|agent| {
-            let addr = addr.clone();
-            thread::spawn(move || {
-                run_agent(AgentConfig {
-                    profile: FaultProfile::flaky(),
-                    threads: if agent == 1 { 2 } else { 1 },
-                    seed,
-                    ..AgentConfig::new(addr, agent)
-                })
-            })
-        })
-        .collect();
 
     let mut latencies: Vec<f64> = Vec::new();
     let mut faults = (0u64, 0u64, 0u64);
-    for h in honest {
-        let r = h.join().unwrap().expect("honest agent ran");
-        latencies.extend_from_slice(&r.request_latencies_ms);
-        faults.0 += r.disconnect_faults;
-        faults.1 += r.stall_faults;
-        faults.2 += r.corrupt_faults;
+    if honest_agents > THREADED_FLEET_MAX {
+        let fleet = run_mux_fleet(MuxFleetConfig {
+            seed,
+            profile: FaultProfile::flaky(),
+            codec,
+            timeout: Duration::from_secs(280),
+            ..MuxFleetConfig::new(addr, honest_agents)
+        })
+        .expect("mux fleet ran");
+        let MuxFleetReport {
+            disconnect_faults,
+            stall_faults,
+            corrupt_faults,
+            request_latencies_ms,
+            ..
+        } = fleet;
+        latencies = request_latencies_ms;
+        faults = (disconnect_faults, stall_faults, corrupt_faults);
+        // Debug hook: dump every mux request latency (one ms value per
+        // line) for offline histogramming of the tail.
+        if let Ok(path) = std::env::var("HCMD_LAT_DUMP") {
+            let mut s = String::with_capacity(latencies.len() * 8);
+            for v in &latencies {
+                s.push_str(&format!("{v:.3}\n"));
+            }
+            let _ = std::fs::write(path, s);
+        }
+    } else {
+        let honest: Vec<_> = (1..=honest_agents as u64)
+            .map(|agent| {
+                let addr = addr.clone();
+                thread::spawn(move || {
+                    run_agent(AgentConfig {
+                        profile: FaultProfile::flaky(),
+                        threads: if agent == 1 { 2 } else { 1 },
+                        seed,
+                        codec,
+                        ..AgentConfig::new(addr, agent)
+                    })
+                })
+            })
+            .collect();
+        for h in honest {
+            let r = h.join().unwrap().expect("honest agent ran");
+            latencies.extend_from_slice(&r.request_latencies_ms);
+            faults.0 += r.disconnect_faults;
+            faults.1 += r.stall_faults;
+            faults.2 += r.corrupt_faults;
+        }
     }
     if let Ok(r) = saboteur.join().unwrap() {
         latencies.extend_from_slice(&r.request_latencies_ms);
@@ -176,13 +260,22 @@ fn run_campaign(
     }
     let run = server.join().unwrap().expect("server ran");
     let scrape_ms = scraper.map(|s| s.join().unwrap()).unwrap_or_default();
-    (run, latencies, faults, scrape_ms)
+    let connections = run.connections;
+    CampaignOutcome {
+        run,
+        latencies,
+        faults,
+        scrape_ms,
+        connections,
+    }
 }
 
 fn main() {
     let mut quick = false;
     let mut seed = 42u64;
     let mut agents: Option<usize> = None;
+    let mut scale_agents: Option<usize> = None;
+    let mut codec = Codec::Binary;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -201,11 +294,27 @@ fn main() {
                         .expect("--agents <n>"),
                 )
             }
+            "--scale-agents" => {
+                scale_agents = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--scale-agents <n>"),
+                )
+            }
+            "--codec" => {
+                codec = args
+                    .next()
+                    .as_deref()
+                    .map(Codec::parse)
+                    .expect("--codec <json|binary>")
+                    .unwrap_or_else(|e| panic!("--codec: {e}"))
+            }
             "--out" => out = Some(args.next().expect("--out <path>")),
             other => {
                 eprintln!("netgrid_e2e: unknown argument {other}");
                 eprintln!(
-                    "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] [--out <path>]"
+                    "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] \
+                     [--scale-agents <n>] [--codec json|binary] [--out <path>]"
                 );
                 std::process::exit(2);
             }
@@ -215,6 +324,14 @@ fn main() {
     // the victim's abandoned replica expires fast; the full run grows
     // the library and the fleet.
     let honest_agents = agents.unwrap_or(if quick { 4 } else { 6 });
+    let mux = honest_agents > THREADED_FLEET_MAX;
+    // A mux-driven classic fleet IS the scale run; a separate scale
+    // campaign would just repeat it.
+    let scale_agents = if mux {
+        0
+    } else {
+        scale_agents.unwrap_or(if quick { 256 } else { 10_000 })
+    };
     let deadline_seconds = if quick { 2.0 } else { 4.0 };
     let campaign_params = CampaignParams {
         proteins: if quick { 2 } else { 3 },
@@ -224,85 +341,130 @@ fn main() {
 
     let mut session = RunSession::start("netgrid_e2e", seed, 1);
 
-    let (run, latencies, faults, _) = run_campaign(
+    let plain = run_campaign(
         campaign_params,
         deadline_seconds,
         honest_agents,
         seed,
+        codec,
         None,
         false,
     );
 
-    // Same campaign again, durably: every transition through the
-    // write-ahead log at the default fsync cadence.
-    let journal_dir = std::env::temp_dir().join(format!("hcmd-bench-journal-{}", seed));
-    let _ = std::fs::remove_dir_all(&journal_dir);
-    let (journaled_run, _, _, _) = run_campaign(
-        campaign_params,
-        deadline_seconds,
-        honest_agents,
-        seed,
-        Some(JournalConfig::new(&journal_dir)),
-        false,
-    );
-    let _ = std::fs::remove_dir_all(&journal_dir);
+    // Same campaign again, durably (threaded classic only): every
+    // transition through the write-ahead log at the default fsync
+    // cadence. And once more with the observability endpoint on and a
+    // scraper hammering `/metrics` the whole time, to price each path.
+    let (journaled, ops_enabled) = if mux {
+        (None, None)
+    } else {
+        let journal_dir = std::env::temp_dir().join(format!("hcmd-bench-journal-{}", seed));
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        let journaled = run_campaign(
+            campaign_params,
+            deadline_seconds,
+            honest_agents,
+            seed,
+            codec,
+            Some(JournalConfig::new(&journal_dir)),
+            false,
+        );
+        let _ = std::fs::remove_dir_all(&journal_dir);
+        let ops_enabled = run_campaign(
+            campaign_params,
+            deadline_seconds,
+            honest_agents,
+            seed,
+            codec,
+            None,
+            true,
+        );
+        (Some(journaled), Some(ops_enabled))
+    };
 
-    // And once more with the observability endpoint on and a scraper
-    // hammering `/metrics` the whole time, to price the ops path.
-    let (ops_run, _, _, scrape_ms) = run_campaign(
-        campaign_params,
-        deadline_seconds,
-        honest_agents,
-        seed,
-        None,
-        true,
-    );
+    // The scale campaign: the same server, thousands of multiplexed
+    // volunteers.
+    let scale = (scale_agents > 0).then(|| {
+        run_campaign(
+            campaign_params,
+            deadline_seconds,
+            scale_agents,
+            seed,
+            codec,
+            None,
+            false,
+        )
+    });
 
     let baseline = NetCampaign::build(campaign_params).baseline_outputs();
     let baseline_json = serde_json::to_string(&baseline).expect("baseline serializes");
-    let merged_matches_baseline =
-        serde_json::to_string(&run.outputs).expect("outputs serialize") == baseline_json;
-    let journal_merged_matches_baseline =
-        serde_json::to_string(&journaled_run.outputs).expect("outputs serialize") == baseline_json;
-    let ops_merged_matches_baseline =
-        serde_json::to_string(&ops_run.outputs).expect("outputs serialize") == baseline_json;
+    let matches_baseline = |run: &NetRunReport| {
+        serde_json::to_string(&run.outputs).expect("outputs serialize") == baseline_json
+    };
+    let merged_matches_baseline = matches_baseline(&plain.run);
+    let journal_merged_matches_baseline = journaled.as_ref().map(|o| matches_baseline(&o.run));
+    let ops_merged_matches_baseline = ops_enabled.as_ref().map(|o| matches_baseline(&o.run));
+    let scale_merged_matches_baseline = scale.as_ref().map(|o| matches_baseline(&o.run));
 
-    let workunits_per_sec = run.workunits as f64 / run.wall_seconds.max(1e-9);
-    let journal_workunits_per_sec =
-        journaled_run.workunits as f64 / journaled_run.wall_seconds.max(1e-9);
-    let ops_workunits_per_sec = ops_run.workunits as f64 / ops_run.wall_seconds.max(1e-9);
+    let wu_per_sec = |o: &CampaignOutcome| o.run.workunits as f64 / o.run.wall_seconds.max(1e-9);
+    let workunits_per_sec = wu_per_sec(&plain);
+    let journal_workunits_per_sec = journaled.as_ref().map(&wu_per_sec);
+    let ops_workunits_per_sec = ops_enabled.as_ref().map(&wu_per_sec);
     let report = NetgridReport {
         bench: "netgrid_e2e".to_string(),
         quick,
         seed,
+        codec: codec.to_string(),
         agents: honest_agents,
-        workunits: run.workunits,
-        wall_seconds: run.wall_seconds,
+        mux,
+        workunits: plain.run.workunits,
+        wall_seconds: plain.run.wall_seconds,
         workunits_per_sec,
-        requests: latencies.len(),
-        request_latency_p50_ms: quantile(&latencies, 0.50).unwrap_or(0.0),
-        request_latency_p99_ms: quantile(&latencies, 0.99).unwrap_or(0.0),
-        timeout_reissues: run.server_stats.timeout_reissues,
-        quorum_rejects: run.net_stats.quorum_rejected,
-        disconnect_faults: faults.0,
-        stall_faults: faults.1,
-        corrupt_faults: faults.2,
+        requests: plain.latencies.len(),
+        request_latency_p50_ms: quantile(&plain.latencies, 0.50).unwrap_or(0.0),
+        request_latency_p99_ms: quantile(&plain.latencies, 0.99).unwrap_or(0.0),
+        timeout_reissues: plain.run.server_stats.timeout_reissues,
+        quorum_rejects: plain.run.net_stats.quorum_rejected,
+        disconnect_faults: plain.faults.0,
+        stall_faults: plain.faults.1,
+        corrupt_faults: plain.faults.2,
         merged_matches_baseline,
         journal_workunits_per_sec,
-        journal_overhead_frac: (workunits_per_sec - journal_workunits_per_sec)
-            / workunits_per_sec.max(1e-9),
+        journal_overhead_frac: journal_workunits_per_sec
+            .map(|j| (workunits_per_sec - j) / workunits_per_sec.max(1e-9)),
         journal_merged_matches_baseline,
         ops_workunits_per_sec,
-        ops_overhead_frac: (workunits_per_sec - ops_workunits_per_sec)
-            / workunits_per_sec.max(1e-9),
-        ops_scrapes: scrape_ms.len(),
-        ops_scrape_p50_ms: quantile(&scrape_ms, 0.50).unwrap_or(0.0),
-        ops_scrape_p99_ms: quantile(&scrape_ms, 0.99).unwrap_or(0.0),
+        ops_overhead_frac: ops_workunits_per_sec
+            .map(|o| (workunits_per_sec - o) / workunits_per_sec.max(1e-9)),
+        ops_scrapes: ops_enabled.as_ref().map(|o| o.scrape_ms.len()),
+        ops_scrape_p50_ms: ops_enabled
+            .as_ref()
+            .map(|o| quantile(&o.scrape_ms, 0.50).unwrap_or(0.0)),
+        ops_scrape_p99_ms: ops_enabled
+            .as_ref()
+            .map(|o| quantile(&o.scrape_ms, 0.99).unwrap_or(0.0)),
         ops_merged_matches_baseline,
+        scale_agents,
+        scale_wall_seconds: scale.as_ref().map(|o| o.run.wall_seconds),
+        scale_workunits_per_sec: scale.as_ref().map(&wu_per_sec),
+        scale_requests: scale.as_ref().map(|o| o.latencies.len()),
+        scale_request_latency_p50_ms: scale
+            .as_ref()
+            .map(|o| quantile(&o.latencies, 0.50).unwrap_or(0.0)),
+        scale_request_latency_p99_ms: scale
+            .as_ref()
+            .map(|o| quantile(&o.latencies, 0.99).unwrap_or(0.0)),
+        scale_connections: scale.as_ref().map(|o| o.connections),
+        scale_merged_matches_baseline,
     };
     println!(
-        "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents + victim + saboteur)",
-        report.workunits, report.wall_seconds, report.workunits_per_sec, report.agents
+        "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents [{}] + victim + saboteur, {} codec)",
+        report.workunits,
+        report.wall_seconds,
+        report.workunits_per_sec,
+        report.agents,
+        if mux { "mux" } else { "threaded" },
+        report.codec,
     );
     println!(
         "request latency p50 {:.2} ms, p99 {:.2} ms over {} requests",
@@ -316,29 +478,50 @@ fn main() {
         report.stall_faults,
         report.corrupt_faults
     );
-    println!(
-        "journaled: {:.1} wu/s ({:+.1}% overhead vs plain)",
+    if let (Some(j), Some(frac)) = (
         report.journal_workunits_per_sec,
-        report.journal_overhead_frac * 100.0
-    );
+        report.journal_overhead_frac,
+    ) {
+        println!(
+            "journaled: {:.1} wu/s ({:+.1}% overhead vs plain)",
+            j,
+            frac * 100.0
+        );
+    }
+    if let (Some(o), Some(frac)) = (report.ops_workunits_per_sec, report.ops_overhead_frac) {
+        println!(
+            "ops endpoint on: {:.1} wu/s ({:+.1}% overhead vs plain), {} scrapes, scrape p50 {:.2} ms p99 {:.2} ms",
+            o,
+            frac * 100.0,
+            report.ops_scrapes.unwrap_or(0),
+            report.ops_scrape_p50_ms.unwrap_or(0.0),
+            report.ops_scrape_p99_ms.unwrap_or(0.0)
+        );
+    }
+    if report.scale_agents > 0 {
+        println!(
+            "scale: {} mux agents, {:.1} wu/s in {:.2} s, request p50 {:.3} ms p99 {:.3} ms over {} requests ({} connections)",
+            report.scale_agents,
+            report.scale_workunits_per_sec.unwrap_or(0.0),
+            report.scale_wall_seconds.unwrap_or(0.0),
+            report.scale_request_latency_p50_ms.unwrap_or(0.0),
+            report.scale_request_latency_p99_ms.unwrap_or(0.0),
+            report.scale_requests.unwrap_or(0),
+            report.scale_connections.unwrap_or(0),
+        );
+    }
     println!(
-        "ops endpoint on: {:.1} wu/s ({:+.1}% overhead vs plain), {} scrapes, scrape p50 {:.2} ms p99 {:.2} ms",
-        report.ops_workunits_per_sec,
-        report.ops_overhead_frac * 100.0,
-        report.ops_scrapes,
-        report.ops_scrape_p50_ms,
-        report.ops_scrape_p99_ms
-    );
-    println!(
-        "merged output matches in-process baseline: plain {}, journaled {}, ops {}",
+        "merged output matches in-process baseline: plain {}, journaled {:?}, ops {:?}, scale {:?}",
         report.merged_matches_baseline,
         report.journal_merged_matches_baseline,
-        report.ops_merged_matches_baseline
+        report.ops_merged_matches_baseline,
+        report.scale_merged_matches_baseline,
     );
-    if !report.merged_matches_baseline
-        || !report.journal_merged_matches_baseline
-        || !report.ops_merged_matches_baseline
-    {
+    let ok = report.merged_matches_baseline
+        && report.journal_merged_matches_baseline.unwrap_or(true)
+        && report.ops_merged_matches_baseline.unwrap_or(true)
+        && report.scale_merged_matches_baseline.unwrap_or(true);
+    if !ok {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }
     if report.timeout_reissues == 0 || report.quorum_rejects == 0 {
@@ -355,9 +538,6 @@ fn main() {
             std::process::exit(1);
         }
     }
-    let ok = report.merged_matches_baseline
-        && report.journal_merged_matches_baseline
-        && report.ops_merged_matches_baseline;
     session.record_engine(report.requests as u64, 0, report.workunits as u64);
     session.finish();
     if !ok {

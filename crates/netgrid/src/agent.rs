@@ -17,7 +17,7 @@
 
 use crate::campaign::NetCampaign;
 use crate::faults::{FaultAction, FaultDice, FaultProfile};
-use crate::protocol::{read_message, write_message, Message};
+use crate::protocol::{read_message, write_message_with, Codec, Message};
 use maxdo::{DockingCheckpoint, DockingOutput};
 use std::io;
 use std::net::TcpStream;
@@ -41,6 +41,11 @@ pub struct AgentConfig {
     pub die_after: Option<u32>,
     /// Give up after this many consecutive failed connection attempts.
     pub max_connect_attempts: u32,
+    /// Wire codec for outgoing frames. The agent falls back to
+    /// [`Codec::Json`] on its own if a binary `Hello` gets no valid
+    /// answer (a v1-only server closes the connection on an unknown
+    /// version byte).
+    pub codec: Codec,
 }
 
 impl AgentConfig {
@@ -54,6 +59,7 @@ impl AgentConfig {
             seed: 0,
             die_after: None,
             max_connect_attempts: 50,
+            codec: Codec::Binary,
         }
     }
 }
@@ -85,6 +91,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
     let mut dice = FaultDice::new(config.seed, config.agent, config.profile);
     let mut campaign: Option<NetCampaign> = None;
     let mut connect_failures = 0u32;
+    let mut codec = config.codec;
 
     'session: loop {
         let mut stream = match TcpStream::connect(&config.addr) {
@@ -114,12 +121,13 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
         };
         stream.set_nodelay(true)?;
 
-        write_message(
+        write_message_with(
             &mut stream,
             &Message::Hello {
                 agent: config.agent,
                 threads: config.threads as u32,
             },
+            codec,
         )?;
         let deadline_seconds = match read_message(&mut stream) {
             Ok(Some(Message::HelloAck {
@@ -137,6 +145,12 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 continue 'session;
             }
             Ok(_) | Err(_) => {
+                // A v1-only server drops the connection on a binary
+                // Hello (unknown version byte): retry the next session
+                // in JSON, which every server release understands.
+                if codec == Codec::Binary {
+                    codec = Codec::Json;
+                }
                 std::thread::sleep(Duration::from_millis(50));
                 continue 'session;
             }
@@ -145,7 +159,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
 
         loop {
             let asked = Instant::now();
-            if write_message(&mut stream, &Message::RequestWork).is_err() {
+            if write_message_with(&mut stream, &Message::RequestWork, codec).is_err() {
                 continue 'session;
             }
             let reply = match read_message(&mut stream) {
@@ -162,7 +176,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 } => {
                     if campaign_complete {
                         report.saw_completion = true;
-                        let _ = write_message(&mut stream, &Message::Bye);
+                        let _ = write_message_with(&mut stream, &Message::Bye, codec);
                         return Ok(report);
                     }
                     std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
@@ -210,13 +224,14 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                         }
                         FaultAction::None | FaultAction::Disconnect => {}
                     }
-                    if write_message(
+                    if write_message_with(
                         &mut stream,
                         &Message::ResultReport {
                             replica,
                             workunit,
                             output,
                         },
+                        codec,
                     )
                     .is_err()
                     {
@@ -234,7 +249,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                             }
                             if campaign_complete {
                                 report.saw_completion = true;
-                                let _ = write_message(&mut stream, &Message::Bye);
+                                let _ = write_message_with(&mut stream, &Message::Bye, codec);
                                 return Ok(report);
                             }
                         }
@@ -279,7 +294,7 @@ fn compute_workunit(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::{CampaignParams, PROTOCOL_VERSION};
+    use crate::protocol::{write_message, CampaignParams, PROTOCOL_VERSION};
 
     /// Regression: an agent whose *every* assignment drew a disconnect
     /// fault has `reported == 0` when the server exits. That agent ran

@@ -2,21 +2,23 @@
 //!
 //! ```text
 //! hcmd-agent [--addr 127.0.0.1:7070] [--agent 1] [--threads 4]
-//!            [--fault-profile none|flaky] [--seed 0]
+//!            [--fault-profile none|flaky] [--seed 0] [--codec binary|json]
 //! ```
 //!
 //! Connects to an `hcmd-server`, learns the campaign from `HelloAck`,
 //! and docks until the server reports the campaign complete. With
 //! `--fault-profile flaky` the agent misbehaves on purpose —
 //! disconnects mid-workunit, stalls past deadlines, flips result bits —
-//! to exercise the server's reissue and quorum machinery.
+//! to exercise the server's reissue and quorum machinery. `--codec`
+//! picks the wire codec: `binary` (protocol v2, the default; falls back
+//! to JSON by itself against a v1-only server) or `json` (protocol v1).
 
-use netgrid::{run_agent, AgentConfig, FaultProfile};
+use netgrid::{run_agent, AgentConfig, Codec, FaultProfile};
 
 fn usage() -> ! {
     eprintln!(
         "usage: hcmd-agent [--addr HOST:PORT] [--agent N] [--threads N] \
-         [--fault-profile none|flaky] [--seed N]"
+         [--fault-profile none|flaky] [--seed N] [--codec binary|json]"
     );
     std::process::exit(2);
 }
@@ -39,6 +41,12 @@ fn main() {
             "--seed" => config.seed = take(&args, &mut i).parse().unwrap_or_else(|_| usage()),
             "--fault-profile" => {
                 config.profile = FaultProfile::parse(&take(&args, &mut i)).unwrap_or_else(|e| {
+                    eprintln!("hcmd-agent: {e}");
+                    usage()
+                })
+            }
+            "--codec" => {
+                config.codec = Codec::parse(&take(&args, &mut i)).unwrap_or_else(|e| {
                     eprintln!("hcmd-agent: {e}");
                     usage()
                 })

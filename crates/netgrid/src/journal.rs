@@ -282,6 +282,22 @@ impl Journal {
         Ok(())
     }
 
+    /// Flushes any appends the `EveryN` fsync policy left unsynced. The
+    /// server's event loop calls this on its sweep timer, so a burst of
+    /// traffic that stops mid-batch still reaches the platter within one
+    /// timer tick instead of waiting for the Nth append that may never
+    /// come. A no-op under `Always` (nothing pending) and respected as a
+    /// no-op under `Never` (the operator opted out of fsync entirely).
+    pub fn flush(&mut self) -> io::Result<()> {
+        if self.appends_since_sync == 0 || matches!(self.fsync, FsyncPolicy::Never) {
+            return Ok(());
+        }
+        self.wal.sync_data()?;
+        self.tele.fsyncs.inc();
+        self.appends_since_sync = 0;
+        Ok(())
+    }
+
     /// True when enough appends accumulated that the owner should cut a
     /// compacting snapshot.
     pub fn snapshot_due(&self) -> bool {
@@ -343,7 +359,7 @@ fn read_frames(path: &Path) -> io::Result<(Vec<JournalRecord>, u64)> {
     let mut off = 0usize;
     while off < buf.len() {
         match protocol::deframe(&buf[off..]) {
-            Ok((payload, consumed)) => {
+            Ok((_version, payload, consumed)) => {
                 let text = std::str::from_utf8(payload).map_err(|e| {
                     bad(format!("{}: frame at {off} not UTF-8: {e}", path.display()))
                 })?;
@@ -584,7 +600,7 @@ mod tests {
             assigned: Some((7, 3)),
         };
         let bytes = frame(&rec);
-        let (payload, consumed) = protocol::deframe(&bytes).expect("well-formed frame");
+        let (_version, payload, consumed) = protocol::deframe(&bytes).expect("well-formed frame");
         assert_eq!(consumed, bytes.len());
         let back: JournalRecord =
             serde_json::from_str(std::str::from_utf8(payload).unwrap()).unwrap();

@@ -11,16 +11,24 @@
 //! identical issue/validate decisions by construction.
 //!
 //! Module map:
-//! * [`protocol`] — length-prefixed, versioned, checksummed JSON frames;
+//! * [`protocol`] — length-prefixed, versioned, checksummed frames,
+//!   in two codecs: JSON (v1) and a compact fixed-width binary (v2),
+//!   negotiated per connection with v1 interop preserved;
 //! * [`campaign`] — deterministic campaign expansion from a tiny recipe
 //!   (both ends derive the same library and launch-ordered catalog);
 //! * [`state`] — the transport-free server state: `SchedulerCore` plus
 //!   real-payload validation (bounds + byte-level quorum), wall-clock
 //!   deadlines, per-agent backoff;
-//! * [`server`] — the TCP daemon (accept loop, handler threads,
-//!   deadline sweeper);
+//! * [`sys`] — a dependency-free readiness shim: epoll on Linux with a
+//!   portable `poll(2)` fallback, via direct `extern "C"` declarations;
+//! * [`server`] — the TCP daemon: a single-threaded nonblocking event
+//!   loop driving per-connection state machines, with the deadline
+//!   sweeper and journal fsync folded in as timer events;
 //! * [`agent`] — the volunteer loop (fetch → dock → checkpoint →
 //!   report) with real multicore docking;
+//! * [`mux`] — a multiplexed fleet driver: one thread pushing thousands
+//!   of simulated agent connections through nonblocking sockets, for
+//!   scale benchmarking without a thread per agent;
 //! * [`faults`] — deterministic fault injection: disconnects, stalls
 //!   past the deadline, bit-flipped payloads, connection limits;
 //! * [`journal`] — write-ahead journal + compacting snapshots, so a
@@ -35,17 +43,20 @@ pub mod agent;
 pub mod campaign;
 pub mod faults;
 pub mod journal;
+pub mod mux;
 pub mod ops;
 pub mod protocol;
 pub mod server;
 pub mod state;
+pub mod sys;
 
 pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use campaign::NetCampaign;
 pub use faults::{FaultAction, FaultDice, FaultProfile, ServerFaults};
 pub use journal::{open_journaled, FsyncPolicy, Journal, JournalConfig, JournalRecord};
+pub use mux::{run_mux_fleet, MuxFleetConfig, MuxFleetReport};
 pub use ops::{http_get, OpsServer};
-pub use protocol::{CampaignParams, DecodeError, Message};
+pub use protocol::{CampaignParams, Codec, DecodeError, Message};
 pub use server::{NetRunReport, NetServer, NetServerConfig};
 pub use state::{
     AgentLedger, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot, ResultDisposition,

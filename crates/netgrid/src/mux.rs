@@ -1,0 +1,893 @@
+//! The multiplexed fleet driver: thousands of simulated volunteers on
+//! one thread.
+//!
+//! The threaded agent ([`crate::agent::run_agent`]) is the *reference*
+//! volunteer — one OS thread, blocking sockets, real docking. It is
+//! faithful but it cannot scale a loopback bench past a few dozen
+//! agents: 10 000 volunteers would need 10 000 stacks. This module
+//! drives N agent state machines through nonblocking sockets on a
+//! single thread, mirroring the reference agent's protocol behaviour
+//! exactly — Hello/HelloAck, request → compute → report, Busy retries,
+//! server-directed backoff, and the same per-agent [`FaultDice`]
+//! stream (disconnects, stalls past the deadline, corrupted payloads)
+//! folded into the state machine as timer events.
+//!
+//! Two deliberate departures from the reference agent, both chosen for
+//! scale rather than fidelity:
+//!
+//! * **Memoized docking.** Every unique workunit is computed once, on a
+//!   helper thread, and the result shared; a corrupting agent mutates
+//!   its own clone. 10 000 agents re-docking the same 33 workunits
+//!   would measure the docking kernel, not the server's wire path —
+//!   and a stalled compute on the driver thread would poison every
+//!   other agent's latency sample.
+//! * **Sessions close across backoffs.** The reference agent sleeps on
+//!   an open socket; here an agent told `NoWork` says `Bye`, closes,
+//!   and reconnects when its backoff expires. That is how periodic
+//!   BOINC volunteers actually behave, and it keeps the peak open-fd
+//!   count under [`MuxFleetConfig::max_open`] — a 10k-agent loopback
+//!   run owns *both* ends of every socket, which would otherwise need
+//!   20 001 descriptors against a typical 1024-or-so rlimit.
+//! * **Admission-controlled asks.** At most
+//!   [`MuxFleetConfig::max_inflight_asks`] `RequestWork` frames are in
+//!   flight at once; agents past the cap park in a FIFO until a reply
+//!   frees a slot. The single-threaded server answers one frame at a
+//!   time, so a synchronized wave of 10 000 asks serializes into a
+//!   ~200 ms queue for whoever lands last — a deep-but-bounded pipeline
+//!   keeps the server saturated (throughput is unchanged) while holding
+//!   its queue, and therefore request latency, to a few hundred service
+//!   times.
+
+use crate::campaign::NetCampaign;
+use crate::faults::{FaultAction, FaultDice, FaultProfile};
+use crate::protocol::{decode_versioned, encode_with, Codec, DecodeError, Message};
+use crate::sys::{Event as IoEvent, Poller};
+use maxdo::DockingOutput;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::AsRawFd;
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Multiplexed fleet configuration.
+#[derive(Debug, Clone)]
+pub struct MuxFleetConfig {
+    /// Server address (`host:port`).
+    pub addr: String,
+    /// Number of simulated agents; ids run `1..=agents`.
+    pub agents: usize,
+    /// Run seed shared with the rest of the campaign fleet.
+    pub seed: u64,
+    /// Fault profile applied to every simulated agent (each agent still
+    /// draws from its own id-salted dice stream).
+    pub profile: FaultProfile,
+    /// Wire codec for every frame the fleet sends.
+    pub codec: Codec,
+    /// Peak simultaneously-open connections; agents beyond it queue for
+    /// a connect slot. Remember the loopback bench owns both socket
+    /// ends, so the process fd bill is twice this number.
+    pub max_open: usize,
+    /// Connect dispatches per driver iteration. Dialing happens on a
+    /// small connector-thread pool — this only bounds how fast the
+    /// driver feeds it, so a ramp cannot flood the dial queue.
+    pub connect_batch: usize,
+    /// Peak `RequestWork` frames in flight at once. The server answers
+    /// one frame at a time, so a synchronized burst of N asks queues the
+    /// last one behind N − 1 service times (~200 ms at N = 10 000); this
+    /// admission cap turns the burst into a pipeline deep enough to keep
+    /// the server saturated while bounding its queue.
+    pub max_inflight_asks: usize,
+    /// Hard wall-clock cap; the driver returns what it has when this
+    /// expires (`saw_completion: false`).
+    pub timeout: Duration,
+}
+
+impl MuxFleetConfig {
+    /// A clean (no-fault, binary-codec) fleet of `agents` volunteers.
+    pub fn new(addr: impl Into<String>, agents: usize) -> Self {
+        Self {
+            addr: addr.into(),
+            agents,
+            seed: 0,
+            profile: FaultProfile::none(),
+            codec: Codec::Binary,
+            max_open: 8_000,
+            connect_batch: 64,
+            max_inflight_asks: 16,
+            timeout: Duration::from_secs(300),
+        }
+    }
+}
+
+/// What the whole fleet did, aggregated — the mux analogue of summing
+/// N [`crate::agent::AgentReport`]s.
+#[derive(Debug, Clone, Default)]
+pub struct MuxFleetReport {
+    /// Assignments received across the fleet.
+    pub assignments: u64,
+    /// Results reported (honest + corrupted + stalled).
+    pub reported: u64,
+    /// Reports the server accepted.
+    pub accepted: u64,
+    /// Injected disconnects.
+    pub disconnect_faults: u64,
+    /// Injected stalls.
+    pub stall_faults: u64,
+    /// Injected corruptions.
+    pub corrupt_faults: u64,
+    /// Round-trip latency of every `RequestWork`, milliseconds.
+    pub request_latencies_ms: Vec<f64>,
+    /// Whether any agent saw the campaign complete before the timeout.
+    pub saw_completion: bool,
+    /// Connections the fleet opened over its lifetime.
+    pub connections: u64,
+}
+
+/// One simulated agent's protocol position.
+enum AState {
+    /// Not connected; wants a connect slot once `until` passes.
+    Offline { until: Instant },
+    /// Handed to the connector pool; waiting for the dialed socket.
+    Connecting,
+    /// Hello sent, awaiting `HelloAck`.
+    Greeting,
+    /// Ready to ask but held back by the in-flight ask cap; queued in
+    /// the driver's `ask_queue`.
+    AskPending,
+    /// `RequestWork` sent at `asked`, awaiting the reply.
+    Asking { asked: Instant },
+    /// Assignment in hand, waiting for the shared compute of its
+    /// workunit; the fault drawn on receipt is applied at delivery.
+    AwaitCompute {
+        replica: u64,
+        workunit: u32,
+        action: FaultAction,
+    },
+    /// Stall fault: the finished result is deliberately held past the
+    /// deadline, then reported.
+    Stalling {
+        until: Instant,
+        replica: u64,
+        workunit: u32,
+    },
+    /// Report sent, awaiting `ResultAck`.
+    AwaitAck,
+    /// Saw campaign completion (or was shut down with the fleet).
+    Done,
+}
+
+/// One agent: identity, fault dice, state, and (while connected) its
+/// socket with buffered bytes each way.
+struct MuxAgent {
+    id: u64,
+    dice: FaultDice,
+    state: AState,
+    conn: Option<MuxConn>,
+}
+
+struct MuxConn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    interest: (bool, bool),
+}
+
+impl MuxConn {
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(true)
+    }
+}
+
+/// The shared docking cache: each workunit is computed exactly once.
+enum CacheEntry {
+    /// Compute in flight; these agent indices are waiting on it.
+    Pending(Vec<usize>),
+    Ready(Arc<DockingOutput>),
+}
+
+/// How often the driver scans agent timers (backoffs, stalls, connect
+/// queue) when no socket is ready — also the poll-timeout ceiling.
+const TIMER_TICK: Duration = Duration::from_millis(5);
+
+/// Reconnect delay after an injected disconnect (matches the reference
+/// agent's 20 ms pause before it re-dials).
+const DISCONNECT_PAUSE: Duration = Duration::from_millis(20);
+
+/// Reconnect delay after an unexpected socket error.
+const ERROR_PAUSE: Duration = Duration::from_millis(50);
+
+/// Connector-pool width. Dialing is blocking (a dropped SYN under
+/// backlog pressure stalls `connect` for a full retransmit timeout),
+/// so it happens on these helper threads: one slow dial delays at most
+/// the dials queued behind it on the same worker, never the driver.
+const CONNECT_WORKERS: usize = 4;
+
+/// Compute-pool width: all spare cores, at least one. Docking runs on
+/// a few persistent nice-19 workers rather than a thread per workunit —
+/// dozens of runnable compute threads would out-weigh the driver and
+/// server in the scheduler even at the lowest priority, and on a
+/// loopback bench every millisecond the kernel holds the core shows up
+/// directly in the request-latency tail.
+fn compute_workers() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .saturating_sub(2)
+        .max(1)
+}
+
+/// Runs the whole fleet to campaign completion (or the timeout) on the
+/// calling thread.
+pub fn run_mux_fleet(config: MuxFleetConfig) -> io::Result<MuxFleetReport> {
+    Driver::new(config)?.run()
+}
+
+struct Driver {
+    config: MuxFleetConfig,
+    poller: Poller,
+    agents: Vec<MuxAgent>,
+    /// fd → agent index, for routing readiness events.
+    by_fd: HashMap<i32, usize>,
+    campaign: Option<Arc<NetCampaign>>,
+    deadline_seconds: f64,
+    cache: HashMap<u32, CacheEntry>,
+    /// Finished docking results from the compute pool.
+    compute_rx: mpsc::Receiver<(u32, DockingOutput)>,
+    /// Docking jobs for the persistent compute pool.
+    compute_job_tx: mpsc::Sender<(u32, u32, u32, Arc<NetCampaign>)>,
+    dial_tx: mpsc::Sender<usize>,
+    dialed_rx: mpsc::Receiver<(usize, io::Result<TcpStream>)>,
+    /// Dials handed to the pool and not yet back; counts against
+    /// `max_open` so in-flight connects can't overshoot the fd budget.
+    pending_connects: usize,
+    /// `RequestWork` frames awaiting a reply (agents in `Asking`).
+    inflight_asks: usize,
+    /// Agents in `AskPending`, oldest first. Entries can go stale when
+    /// a queued session drops; `pump_asks` skips those.
+    ask_queue: VecDeque<usize>,
+    report: MuxFleetReport,
+    open: usize,
+    complete: bool,
+}
+
+impl Driver {
+    fn new(config: MuxFleetConfig) -> io::Result<Self> {
+        let start = Instant::now();
+        let agents = (1..=config.agents as u64)
+            .map(|id| MuxAgent {
+                id,
+                dice: FaultDice::new(config.seed, id, config.profile),
+                state: AState::Offline { until: start },
+                conn: None,
+            })
+            .collect();
+        let (compute_tx, compute_rx) = mpsc::channel();
+        let (compute_job_tx, compute_jobs) = mpsc::channel::<(u32, u32, u32, Arc<NetCampaign>)>();
+        let compute_jobs = Arc::new(Mutex::new(compute_jobs));
+        for _ in 0..compute_workers() {
+            let jobs = Arc::clone(&compute_jobs);
+            let done = compute_tx.clone();
+            thread::spawn(move || {
+                // The docking kernel must not starve the driver (or the
+                // server, on a loopback bench sharing its core): compute
+                // runs at the lowest scheduling priority.
+                crate::sys::deprioritize_current_thread();
+                loop {
+                    let Ok((workunit, isep_start, positions, campaign)) =
+                        jobs.lock().expect("compute queue").recv()
+                    else {
+                        return;
+                    };
+                    let spec = campaign.spec(workunit);
+                    debug_assert_eq!((spec.isep_start, spec.positions), (isep_start, positions));
+                    let output = campaign.compute(spec);
+                    // Fails only once the driver is gone; then the job
+                    // queue is closed too and the next recv ends us.
+                    let _ = done.send((workunit, output));
+                }
+            });
+        }
+        let (dial_tx, dial_jobs) = mpsc::channel::<usize>();
+        let (dialed_tx, dialed_rx) = mpsc::channel();
+        let dial_jobs = Arc::new(Mutex::new(dial_jobs));
+        for _ in 0..CONNECT_WORKERS {
+            let jobs = Arc::clone(&dial_jobs);
+            let done = dialed_tx.clone();
+            let addr = config.addr.clone();
+            thread::spawn(move || loop {
+                let Ok(idx) = jobs.lock().expect("dial queue").recv() else {
+                    return;
+                };
+                // Sends fail only once the driver is gone — then the
+                // queue is closed too and the next recv ends the worker.
+                let _ = done.send((idx, TcpStream::connect(&addr)));
+            });
+        }
+        Ok(Self {
+            poller: Poller::new()?,
+            agents,
+            by_fd: HashMap::new(),
+            campaign: None,
+            deadline_seconds: 0.0,
+            cache: HashMap::new(),
+            compute_rx,
+            compute_job_tx,
+            dial_tx,
+            dialed_rx,
+            pending_connects: 0,
+            inflight_asks: 0,
+            ask_queue: VecDeque::new(),
+            report: MuxFleetReport::default(),
+            open: 0,
+            complete: false,
+            config,
+        })
+    }
+
+    fn run(mut self) -> io::Result<MuxFleetReport> {
+        let deadline = Instant::now() + self.config.timeout;
+        let mut events: Vec<IoEvent> = Vec::new();
+        while !self.complete {
+            if Instant::now() > deadline {
+                break;
+            }
+            self.drain_compute_results();
+            self.drain_dialed();
+            self.fire_timers();
+            self.pump_asks();
+            self.poller.wait(Some(TIMER_TICK), &mut events)?;
+            for ev in events.drain(..) {
+                if self.complete {
+                    break;
+                }
+                if let Some(&idx) = self.by_fd.get(&ev.fd) {
+                    self.advance_io(idx, ev);
+                }
+            }
+        }
+        // Fleet shutdown: every socket drops at once; the server sees
+        // the EOFs and drains within its grace window.
+        for idx in 0..self.agents.len() {
+            self.disconnect(idx);
+            self.agents[idx].state = AState::Done;
+        }
+        self.report.saw_completion = self.complete;
+        Ok(self.report)
+    }
+
+    /// Applies finished docking computes: the workunit's waiters get
+    /// their (possibly fault-shaped) reports queued.
+    fn drain_compute_results(&mut self) {
+        while let Ok((workunit, output)) = self.compute_rx.try_recv() {
+            let output = Arc::new(output);
+            let waiters = match self
+                .cache
+                .insert(workunit, CacheEntry::Ready(Arc::clone(&output)))
+            {
+                Some(CacheEntry::Pending(w)) => w,
+                _ => Vec::new(),
+            };
+            for idx in waiters {
+                self.deliver_compute(idx, workunit, &output);
+            }
+        }
+    }
+
+    /// Moves one agent from `AwaitCompute` toward its report, honouring
+    /// the fault it drew when the assignment arrived.
+    fn deliver_compute(&mut self, idx: usize, workunit: u32, output: &Arc<DockingOutput>) {
+        let AState::AwaitCompute {
+            replica,
+            workunit: wu,
+            action,
+        } = self.agents[idx].state
+        else {
+            return;
+        };
+        if wu != workunit {
+            return;
+        }
+        match action {
+            FaultAction::Stall => {
+                self.agents[idx].state = AState::Stalling {
+                    until: Instant::now()
+                        + Duration::from_secs_f64(self.deadline_seconds.max(0.0) + 0.3),
+                    replica,
+                    workunit,
+                };
+            }
+            FaultAction::Corrupt => {
+                let mut corrupted = (**output).clone();
+                self.agents[idx].dice.corrupt(&mut corrupted);
+                self.send_report(idx, replica, workunit, corrupted);
+            }
+            FaultAction::None | FaultAction::Disconnect => {
+                self.send_report(idx, replica, workunit, (**output).clone());
+            }
+        }
+    }
+
+    fn send_report(&mut self, idx: usize, replica: u64, workunit: u32, output: DockingOutput) {
+        self.queue_frame(
+            idx,
+            &Message::ResultReport {
+                replica,
+                workunit,
+                output,
+            },
+        );
+        self.report.reported += 1;
+        self.agents[idx].state = AState::AwaitAck;
+    }
+
+    /// Timer scan: expire stalls, wake offline agents whose backoff
+    /// passed (bounded by the connect batch and the open-socket cap).
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        let mut budget = self.config.connect_batch;
+        for idx in 0..self.agents.len() {
+            match self.agents[idx].state {
+                AState::Stalling {
+                    until,
+                    replica,
+                    workunit,
+                } if now >= until => {
+                    if let Some(CacheEntry::Ready(out)) = self.cache.get(&workunit) {
+                        let out = Arc::clone(out);
+                        self.send_report(idx, replica, workunit, (*out).clone());
+                    } else {
+                        // Compute lost in a shutdown race: nothing to
+                        // report, start the session over.
+                        self.agents[idx].state = AState::Offline { until: now };
+                    }
+                }
+                AState::Offline { until }
+                    if now >= until
+                        && budget > 0
+                        && self.open + self.pending_connects < self.config.max_open =>
+                {
+                    budget -= 1;
+                    self.pending_connects += 1;
+                    self.agents[idx].state = AState::Connecting;
+                    if self.dial_tx.send(idx).is_err() {
+                        // Connector pool gone (only on teardown): retry
+                        // later so the state machine stays coherent.
+                        self.pending_connects -= 1;
+                        self.agents[idx].state = AState::Offline {
+                            until: now + ERROR_PAUSE,
+                        };
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Collects dialed sockets from the connector pool and installs
+    /// them on their agents.
+    fn drain_dialed(&mut self) {
+        while let Ok((idx, dialed)) = self.dialed_rx.try_recv() {
+            self.pending_connects -= 1;
+            if !matches!(self.agents[idx].state, AState::Connecting) || self.complete {
+                continue; // Stale dial; the socket drops here.
+            }
+            match dialed {
+                Ok(stream) => self.install_conn(idx, stream),
+                Err(_) => {
+                    self.agents[idx].state = AState::Offline {
+                        until: Instant::now() + ERROR_PAUSE,
+                    };
+                }
+            }
+        }
+    }
+
+    /// Wires a freshly-dialed socket into the poller and queues the
+    /// agent's `Hello`.
+    fn install_conn(&mut self, idx: usize, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            self.agents[idx].state = AState::Offline {
+                until: Instant::now() + ERROR_PAUSE,
+            };
+            return;
+        }
+        let fd = stream.as_raw_fd();
+        self.agents[idx].conn = Some(MuxConn {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            interest: (false, false),
+        });
+        self.by_fd.insert(fd, idx);
+        self.open += 1;
+        self.report.connections += 1;
+        if self.poller.register(fd, true, false).is_err() {
+            self.drop_session(idx, ERROR_PAUSE);
+            return;
+        }
+        if let Some(c) = self.agents[idx].conn.as_mut() {
+            c.interest = (true, false);
+        }
+        let threads = 1u32;
+        let id = self.agents[idx].id;
+        self.queue_frame(idx, &Message::Hello { agent: id, threads });
+        self.agents[idx].state = AState::Greeting;
+    }
+
+    /// Encodes `msg` onto the agent's connection and flushes what fits;
+    /// leftover bytes raise write interest.
+    fn queue_frame(&mut self, idx: usize, msg: &Message) {
+        let frame = encode_with(msg, self.config.codec);
+        let Some(conn) = self.agents[idx].conn.as_mut() else {
+            return;
+        };
+        conn.write_buf.extend_from_slice(&frame);
+        if conn.flush().is_err() {
+            self.drop_session(idx, ERROR_PAUSE);
+            return;
+        }
+        self.update_interest(idx);
+    }
+
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.agents[idx].conn.as_mut() else {
+            return;
+        };
+        let wanted = (true, conn.write_pos < conn.write_buf.len());
+        if wanted != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            conn.interest = wanted;
+            let _ = self.poller.reregister(fd, wanted.0, wanted.1);
+        }
+    }
+
+    /// Tears the socket down (if any) without touching agent state.
+    fn disconnect(&mut self, idx: usize) {
+        if let Some(conn) = self.agents[idx].conn.take() {
+            let fd = conn.stream.as_raw_fd();
+            let _ = self.poller.deregister(fd);
+            self.by_fd.remove(&fd);
+            self.open -= 1;
+        }
+    }
+
+    /// Sends `RequestWork` now if an in-flight slot is free, else parks
+    /// the agent in `AskPending` until one opens.
+    fn begin_ask(&mut self, idx: usize) {
+        if self.inflight_asks >= self.config.max_inflight_asks {
+            self.agents[idx].state = AState::AskPending;
+            self.ask_queue.push_back(idx);
+            return;
+        }
+        self.inflight_asks += 1;
+        self.agents[idx].state = AState::Asking {
+            asked: Instant::now(),
+        };
+        // On a flush error this drops the session, which releases the
+        // slot again via `end_ask`.
+        self.queue_frame(idx, &Message::RequestWork);
+    }
+
+    /// Releases the agent's in-flight ask slot if it holds one,
+    /// returning the send time. Call before overwriting an `Asking`
+    /// state, from reply handlers and teardown paths alike.
+    fn end_ask(&mut self, idx: usize) -> Option<Instant> {
+        if let AState::Asking { asked } = self.agents[idx].state {
+            self.inflight_asks -= 1;
+            // Leave `Asking` with the release so a nested teardown
+            // (e.g. `drop_session` after a reply handler already called
+            // this) cannot free the slot twice; every caller overwrites
+            // this placeholder state before returning to the driver.
+            self.agents[idx].state = AState::AskPending;
+            Some(asked)
+        } else {
+            None
+        }
+    }
+
+    /// Admits parked asks as in-flight slots free up (once per driver
+    /// iteration, so reply handlers never re-enter each other).
+    fn pump_asks(&mut self) {
+        while self.inflight_asks < self.config.max_inflight_asks {
+            let Some(idx) = self.ask_queue.pop_front() else {
+                return;
+            };
+            if !matches!(self.agents[idx].state, AState::AskPending) {
+                continue; // Session dropped while queued.
+            }
+            self.inflight_asks += 1;
+            self.agents[idx].state = AState::Asking {
+                asked: Instant::now(),
+            };
+            self.queue_frame(idx, &Message::RequestWork);
+        }
+    }
+
+    /// Socket loss mid-session: close and schedule a reconnect, exactly
+    /// like the reference agent's `continue 'session`.
+    fn drop_session(&mut self, idx: usize, pause: Duration) {
+        self.end_ask(idx);
+        self.disconnect(idx);
+        self.agents[idx].state = AState::Offline {
+            until: Instant::now() + pause,
+        };
+    }
+
+    /// Readiness on one agent's socket: read, decode, dispatch, flush.
+    fn advance_io(&mut self, idx: usize, ev: IoEvent) {
+        if ev.readable || ev.hangup {
+            let mut chunk = [0u8; 16 * 1024];
+            let mut lost = false;
+            loop {
+                let Some(conn) = self.agents[idx].conn.as_mut() else {
+                    return;
+                };
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => {
+                        lost = true;
+                        break;
+                    }
+                    Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        lost = true;
+                        break;
+                    }
+                }
+            }
+            loop {
+                let Some(conn) = self.agents[idx].conn.as_mut() else {
+                    return;
+                };
+                match decode_versioned(&conn.read_buf) {
+                    Ok((msg, consumed, _codec)) => {
+                        conn.read_buf.drain(..consumed);
+                        self.on_message(idx, msg);
+                    }
+                    Err(DecodeError::Incomplete { .. }) => break,
+                    Err(_) => {
+                        self.drop_session(idx, ERROR_PAUSE);
+                        return;
+                    }
+                }
+            }
+            if lost && self.agents[idx].conn.is_some() {
+                self.drop_session(idx, ERROR_PAUSE);
+                return;
+            }
+        }
+        if ev.writable {
+            let Some(conn) = self.agents[idx].conn.as_mut() else {
+                return;
+            };
+            if conn.flush().is_err() {
+                self.drop_session(idx, ERROR_PAUSE);
+                return;
+            }
+        }
+        self.update_interest(idx);
+    }
+
+    /// One server frame against this agent's state machine — the mux
+    /// mirror of the reference agent's session-loop `match`.
+    fn on_message(&mut self, idx: usize, msg: Message) {
+        match msg {
+            Message::HelloAck {
+                campaign: params,
+                deadline_seconds,
+                ..
+            } => {
+                if self.campaign.is_none() {
+                    self.campaign = Some(Arc::new(NetCampaign::build(params)));
+                }
+                self.deadline_seconds = deadline_seconds;
+                self.begin_ask(idx);
+            }
+            Message::Busy { retry_after_ms } => {
+                self.drop_session(idx, Duration::from_millis(retry_after_ms.min(2_000)));
+            }
+            Message::NoWork {
+                campaign_complete,
+                retry_after_ms,
+            } => {
+                if let Some(asked) = self.end_ask(idx) {
+                    self.report
+                        .request_latencies_ms
+                        .push(asked.elapsed().as_secs_f64() * 1e3);
+                }
+                if campaign_complete {
+                    self.queue_frame(idx, &Message::Bye);
+                    self.disconnect(idx);
+                    self.agents[idx].state = AState::Done;
+                    self.complete = true;
+                    return;
+                }
+                // Unlike the reference agent, release the socket across
+                // the backoff (see the module docs on fd budgets). The
+                // deterministic per-agent jitter (up to +25%) spreads
+                // reconnects: the server's own backoff jitter is small
+                // relative to the exponential steps, and ten thousand
+                // agents re-dialing on the same step is a SYN storm.
+                let base = retry_after_ms.min(2_000);
+                let jitter = (self.agents[idx].id.wrapping_mul(0x9e37_79b9) >> 7) % (base / 4 + 1);
+                self.queue_frame(idx, &Message::Bye);
+                self.drop_session(idx, Duration::from_millis(base + jitter));
+            }
+            Message::Assignment {
+                replica,
+                workunit,
+                isep_start,
+                positions,
+                ..
+            } => {
+                if let Some(asked) = self.end_ask(idx) {
+                    self.report
+                        .request_latencies_ms
+                        .push(asked.elapsed().as_secs_f64() * 1e3);
+                }
+                self.report.assignments += 1;
+                let action = self.agents[idx].dice.draw();
+                if action == FaultAction::Disconnect {
+                    self.report.disconnect_faults += 1;
+                    self.drop_session(idx, DISCONNECT_PAUSE);
+                    return;
+                }
+                if action == FaultAction::Stall {
+                    self.report.stall_faults += 1;
+                }
+                if action == FaultAction::Corrupt {
+                    self.report.corrupt_faults += 1;
+                }
+                self.agents[idx].state = AState::AwaitCompute {
+                    replica,
+                    workunit,
+                    action,
+                };
+                self.request_compute(idx, workunit, isep_start, positions);
+            }
+            Message::ResultAck {
+                accepted,
+                campaign_complete,
+                ..
+            } => {
+                if accepted {
+                    self.report.accepted += 1;
+                }
+                if campaign_complete {
+                    self.queue_frame(idx, &Message::Bye);
+                    self.disconnect(idx);
+                    self.agents[idx].state = AState::Done;
+                    self.complete = true;
+                    return;
+                }
+                self.begin_ask(idx);
+            }
+            // Agent-to-server frames or a second HelloAck mean a
+            // confused peer: start the session over.
+            _ => self.drop_session(idx, ERROR_PAUSE),
+        }
+    }
+
+    /// Ensures `workunit`'s docking result exists or is being computed;
+    /// delivers immediately on a cache hit.
+    fn request_compute(&mut self, idx: usize, workunit: u32, isep_start: u32, positions: u32) {
+        match self.cache.get_mut(&workunit) {
+            Some(CacheEntry::Ready(out)) => {
+                let out = Arc::clone(out);
+                self.deliver_compute(idx, workunit, &out);
+            }
+            Some(CacheEntry::Pending(waiters)) => waiters.push(idx),
+            None => {
+                self.cache.insert(workunit, CacheEntry::Pending(vec![idx]));
+                let Some(campaign) = self.campaign.as_ref().map(Arc::clone) else {
+                    // HelloAck always precedes assignments; defensive.
+                    self.drop_session(idx, ERROR_PAUSE);
+                    return;
+                };
+                if self
+                    .compute_job_tx
+                    .send((workunit, isep_start, positions, campaign))
+                    .is_err()
+                {
+                    // Compute pool gone (only on teardown).
+                    self.cache.remove(&workunit);
+                    self.drop_session(idx, ERROR_PAUSE);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::CampaignParams;
+    use crate::server::{NetServer, NetServerConfig};
+
+    /// A mux fleet alone must carry a campaign to completion and the
+    /// server's merged artifact must equal the in-process baseline —
+    /// the same bar the threaded fleet is held to.
+    #[test]
+    fn mux_fleet_completes_a_campaign_with_the_baseline_artifact() {
+        for codec in [Codec::Binary, Codec::Json] {
+            let config = NetServerConfig {
+                sweep_ms: 25,
+                ..NetServerConfig::loopback(5.0)
+            };
+            let params = config.campaign;
+            let server = NetServer::bind(config).expect("bind");
+            let addr = server.local_addr().expect("addr").to_string();
+            let server = thread::spawn(move || server.run());
+
+            let fleet = run_mux_fleet(MuxFleetConfig {
+                seed: 7,
+                codec,
+                timeout: Duration::from_secs(60),
+                ..MuxFleetConfig::new(addr, 8)
+            })
+            .expect("fleet ran");
+            let run = server.join().unwrap().expect("server ran");
+
+            assert!(fleet.saw_completion, "fleet should see completion");
+            assert!(fleet.assignments > 0 && fleet.reported > 0);
+            assert!(!fleet.request_latencies_ms.is_empty());
+            let baseline = NetCampaign::build(params).baseline_outputs();
+            assert_eq!(
+                serde_json::to_string(&run.outputs).unwrap(),
+                serde_json::to_string(&baseline).unwrap(),
+                "merged artifact must match the baseline under {codec}"
+            );
+        }
+    }
+
+    /// Faulty mux agents must exercise the reissue and quorum paths
+    /// without wedging the campaign.
+    #[test]
+    fn mux_fleet_with_faults_still_converges() {
+        let config = NetServerConfig {
+            sweep_ms: 25,
+            ..NetServerConfig::loopback(2.0)
+        };
+        let params = config.campaign;
+        let server = NetServer::bind(config).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let server = thread::spawn(move || server.run());
+
+        let fleet = run_mux_fleet(MuxFleetConfig {
+            seed: 11,
+            profile: FaultProfile::flaky(),
+            timeout: Duration::from_secs(120),
+            ..MuxFleetConfig::new(addr, 8)
+        })
+        .expect("fleet ran");
+        let run = server.join().unwrap().expect("server ran");
+
+        assert!(fleet.saw_completion);
+        assert!(
+            fleet.disconnect_faults + fleet.stall_faults + fleet.corrupt_faults > 0,
+            "flaky profile should have injected something: {fleet:?}"
+        );
+        let baseline = NetCampaign::build(params).baseline_outputs();
+        assert_eq!(
+            serde_json::to_string(&run.outputs).unwrap(),
+            serde_json::to_string(&baseline).unwrap(),
+        );
+    }
+}

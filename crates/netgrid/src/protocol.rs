@@ -1,4 +1,4 @@
-//! The wire protocol: length-prefixed, versioned, checksummed JSON frames.
+//! The wire protocol: length-prefixed, versioned, checksummed frames.
 //!
 //! Every message between a volunteer agent and the task server travels as
 //! one frame:
@@ -6,23 +6,33 @@
 //! ```text
 //! offset  size  field
 //! 0       4     magic  b"HCMD"
-//! 4       1     protocol version (1)
+//! 4       1     protocol version (1 = JSON payload, 2 = binary payload)
 //! 5       4     payload length, u32 little-endian
 //! 9       8     FNV-1a 64 of the payload, u64 little-endian
-//! 17      len   payload: externally-tagged JSON of [`Message`]
+//! 17      len   payload: v1 externally-tagged JSON of [`Message`],
+//!               v2 tag byte + fixed-width little-endian fields
 //! ```
 //!
 //! The header is fixed-size so a reader can frame the stream without
-//! parsing JSON; the checksum catches wire corruption before the payload
-//! reaches serde (value-level corruption injected by a *faulty agent* is
-//! re-checksummed by that agent and is deliberately NOT caught here — it
-//! is the validation pipeline's job, see DESIGN.md §6). Frames larger
-//! than [`MAX_FRAME_BYTES`] are rejected before any allocation, so a
-//! malicious or broken peer cannot balloon server memory.
+//! parsing the payload; the checksum catches wire corruption before the
+//! payload reaches the decoder (value-level corruption injected by a
+//! *faulty agent* is re-checksummed by that agent and is deliberately NOT
+//! caught here — it is the validation pipeline's job, see DESIGN.md §6).
+//! Frames larger than [`MAX_FRAME_BYTES`] are rejected before any
+//! allocation, so a malicious or broken peer cannot balloon server memory.
+//!
+//! Version 2 is the hot-path codec: the same header, but the payload is
+//! a compact tag + fixed-width little-endian record instead of JSON —
+//! `DockingOutput` rows go from ~200 JSON bytes to 72 binary bytes each
+//! and skip float printing/parsing entirely. A peer picks its codec by
+//! the version byte of the frames it *sends*; the other side replies in
+//! kind, so a v1-only agent and a v2 server interoperate frame by frame
+//! (see [`Codec`] and DESIGN.md §6 for the negotiation rules).
 //!
 //! [`encode`]/[`decode`] are pure buffer transforms (proptested for
-//! round-trip identity, truncation and oversize rejection);
-//! [`write_message`]/[`read_message`] adapt them to blocking streams.
+//! round-trip identity, cross-version equality, truncation and oversize
+//! rejection); [`write_message`]/[`read_message`] adapt them to blocking
+//! streams.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use maxdo::DockingOutput;
@@ -31,12 +41,70 @@ use std::io::{self, Read, Write};
 
 /// Frame magic: `b"HCMD"`.
 pub const MAGIC: [u8; 4] = *b"HCMD";
-/// Protocol version carried in every frame header.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Frame version of the JSON codec (and of on-disk journal records).
+pub const PROTOCOL_V1: u8 = 1;
+/// Frame version of the binary hot-path codec.
+pub const PROTOCOL_V2: u8 = 2;
+/// Highest protocol version this build speaks; announced to agents in
+/// `HelloAck::protocol`.
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V2;
 /// Fixed header size: magic + version + length + checksum.
 pub const HEADER_BYTES: usize = 4 + 1 + 4 + 8;
 /// Hard cap on the payload size; larger frames are rejected unread.
 pub const MAX_FRAME_BYTES: usize = 8 << 20;
+
+/// The payload encoding of a frame, selected by the header version byte.
+///
+/// Negotiation is per direction and needs no extra round trip: each side
+/// encodes with the codec it wants and replies in the codec of the frame
+/// it is answering. An old v1-only agent therefore never sees a v2
+/// frame, while a v2 agent learns the server's ceiling from
+/// `HelloAck::protocol` (a v1-only server would instead reject its v2
+/// `Hello` outright, which the agent treats as "fall back to JSON").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Codec {
+    /// v1: externally-tagged JSON — the interop fallback.
+    Json,
+    /// v2: tag byte + fixed-width little-endian fields.
+    Binary,
+}
+
+impl Codec {
+    /// The header version byte this codec stamps on its frames.
+    pub fn version(self) -> u8 {
+        match self {
+            Codec::Json => PROTOCOL_V1,
+            Codec::Binary => PROTOCOL_V2,
+        }
+    }
+
+    /// The codec for a header version byte, if supported.
+    pub fn from_version(v: u8) -> Option<Self> {
+        match v {
+            PROTOCOL_V1 => Some(Codec::Json),
+            PROTOCOL_V2 => Some(Codec::Binary),
+            _ => None,
+        }
+    }
+
+    /// Parses the `--codec` CLI flag value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "json" | "v1" => Ok(Codec::Json),
+            "binary" | "v2" => Ok(Codec::Binary),
+            other => Err(format!("bad codec '{other}' (json|binary)")),
+        }
+    }
+}
+
+impl std::fmt::Display for Codec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Codec::Json => "json",
+            Codec::Binary => "binary",
+        })
+    }
+}
 
 /// Campaign parameters both sides must agree on. The synthetic protein
 /// library is derived deterministically from `(proteins, lib_seed,
@@ -208,11 +276,16 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// Frames an arbitrary payload with the standard header (magic, version,
-/// length, FNV-1a checksum). [`encode`] uses this for wire messages; the
-/// journal reuses the exact same framing for its on-disk records, so one
-/// reader/checksum implementation covers both.
+/// Frames an arbitrary payload with the standard header (magic, version
+/// 1, length, FNV-1a checksum). [`encode`] uses this for JSON wire
+/// messages; the journal reuses the exact same framing for its on-disk
+/// records, so one reader/checksum implementation covers both.
 pub fn frame_payload(payload: &[u8]) -> Bytes {
+    frame_payload_versioned(PROTOCOL_V1, payload)
+}
+
+/// [`frame_payload`] with an explicit header version byte.
+pub fn frame_payload_versioned(version: u8, payload: &[u8]) -> Bytes {
     assert!(
         payload.len() <= MAX_FRAME_BYTES,
         "outgoing frame of {} bytes exceeds the cap",
@@ -220,7 +293,7 @@ pub fn frame_payload(payload: &[u8]) -> Bytes {
     );
     let mut buf = BytesMut::with_capacity(HEADER_BYTES + payload.len());
     buf.put_slice(&MAGIC);
-    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u8(version);
     buf.put_u32_le(payload.len() as u32);
     buf.put_u64_le(fnv1a64(payload));
     buf.put_slice(payload);
@@ -228,9 +301,9 @@ pub fn frame_payload(payload: &[u8]) -> Bytes {
 }
 
 /// Splits one checksum-verified payload off the front of `buf`. On
-/// success returns the payload slice and the number of bytes consumed
-/// (header + payload).
-pub fn deframe(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
+/// success returns the header version byte, the payload slice and the
+/// number of bytes consumed (header + payload).
+pub fn deframe(buf: &[u8]) -> Result<(u8, &[u8], usize), DecodeError> {
     if buf.len() < HEADER_BYTES {
         return Err(DecodeError::Incomplete {
             needed: HEADER_BYTES - buf.len(),
@@ -243,7 +316,7 @@ pub fn deframe(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
         return Err(DecodeError::BadMagic(magic));
     }
     let version = r.get_u8();
-    if version != PROTOCOL_VERSION {
+    if Codec::from_version(version).is_none() {
         return Err(DecodeError::UnsupportedVersion(version));
     }
     let len = r.get_u32_le() as usize;
@@ -261,31 +334,59 @@ pub fn deframe(buf: &[u8]) -> Result<(&[u8], usize), DecodeError> {
     if got != expected {
         return Err(DecodeError::Checksum { expected, got });
     }
-    Ok((payload, HEADER_BYTES + len))
+    Ok((version, payload, HEADER_BYTES + len))
 }
 
-/// Encodes one message as a complete frame.
+/// Encodes one message as a complete frame in the given codec.
+pub fn encode_with(msg: &Message, codec: Codec) -> Bytes {
+    match codec {
+        Codec::Json => {
+            let payload = serde_json::to_string(msg).expect("Message serialization cannot fail");
+            frame_payload_versioned(PROTOCOL_V1, payload.as_bytes())
+        }
+        Codec::Binary => frame_payload_versioned(PROTOCOL_V2, &binary::encode(msg)),
+    }
+}
+
+/// Encodes one message as a complete JSON (v1) frame.
 pub fn encode(msg: &Message) -> Bytes {
-    let payload = serde_json::to_string(msg).expect("Message serialization cannot fail");
-    frame_payload(payload.as_bytes())
+    encode_with(msg, Codec::Json)
+}
+
+/// Decodes one frame from the front of `buf`, in whichever codec its
+/// header declares. On success returns the message, the number of bytes
+/// consumed (header + payload), and the codec the peer used — the reply
+/// should be encoded with the same codec.
+pub fn decode_versioned(buf: &[u8]) -> Result<(Message, usize, Codec), DecodeError> {
+    let (version, payload, consumed) = deframe(buf)?;
+    let codec = Codec::from_version(version).expect("deframe only passes supported versions");
+    let msg = match codec {
+        Codec::Json => {
+            let text = std::str::from_utf8(payload)
+                .map_err(|e| DecodeError::Payload(format!("not UTF-8: {e}")))?;
+            serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?
+        }
+        Codec::Binary => binary::decode(payload).map_err(DecodeError::Payload)?,
+    };
+    Ok((msg, consumed, codec))
 }
 
 /// Decodes one frame from the front of `buf`. On success returns the
 /// message and the number of bytes consumed (header + payload).
 pub fn decode(buf: &[u8]) -> Result<(Message, usize), DecodeError> {
-    let (payload, consumed) = deframe(buf)?;
-    let text = std::str::from_utf8(payload)
-        .map_err(|e| DecodeError::Payload(format!("not UTF-8: {e}")))?;
-    let msg: Message =
-        serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?;
-    Ok((msg, consumed))
+    decode_versioned(buf).map(|(msg, consumed, _)| (msg, consumed))
 }
 
-/// Writes one framed message to a blocking stream.
-pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
-    let frame = encode(msg);
+/// Writes one framed message to a blocking stream in the given codec.
+pub fn write_message_with(w: &mut impl Write, msg: &Message, codec: Codec) -> io::Result<()> {
+    let frame = encode_with(msg, codec);
     w.write_all(&frame)?;
     w.flush()
+}
+
+/// Writes one framed message to a blocking stream as JSON (v1).
+pub fn write_message(w: &mut impl Write, msg: &Message) -> io::Result<()> {
+    write_message_with(w, msg, Codec::Json)
 }
 
 /// Reads exactly `buf.len()` bytes, treating EOF at offset 0 as a clean
@@ -337,7 +438,7 @@ pub fn read_message(r: &mut impl Read) -> io::Result<Option<Message>> {
             DecodeError::BadMagic(magic).to_string(),
         ));
     }
-    if version != PROTOCOL_VERSION {
+    if Codec::from_version(version).is_none() {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             DecodeError::UnsupportedVersion(version).to_string(),
@@ -363,6 +464,291 @@ pub fn read_message(r: &mut impl Read) -> io::Result<Option<Message>> {
             Ok(Some(msg))
         }
         Err(e) => Err(io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+    }
+}
+
+/// The v2 payload codec: one tag byte, then fixed-width little-endian
+/// fields. `DockingOutput` rows are 72-byte records (`isep`, `irot`,
+/// position, orientation, `elj`, `eelec`) — f64 bit patterns travel
+/// verbatim, so a binary round trip is exact by construction, and the
+/// byte-level quorum fingerprint (computed over the *canonical JSON* of
+/// the output, not over wire bytes) is codec-independent.
+///
+/// The decoder is strict: unknown tags, non-0/1 booleans, row counts
+/// that disagree with the payload length, and trailing bytes are all
+/// payload errors. Truncation inside the payload can only come from a
+/// buggy or malicious encoder (the frame header already guaranteed the
+/// byte count), so it is a payload error too, never `Incomplete`.
+pub mod binary {
+    use super::Message;
+    use maxdo::{DockingOutput, DockingRow, EulerZyz, Vec3};
+
+    const TAG_HELLO: u8 = 0;
+    const TAG_HELLO_ACK: u8 = 1;
+    const TAG_REQUEST_WORK: u8 = 2;
+    const TAG_ASSIGNMENT: u8 = 3;
+    const TAG_NO_WORK: u8 = 4;
+    const TAG_BUSY: u8 = 5;
+    const TAG_RESULT_REPORT: u8 = 6;
+    const TAG_RESULT_ACK: u8 = 7;
+    const TAG_BYE: u8 = 8;
+
+    /// Bytes of one fixed-width docking row record.
+    pub const ROW_BYTES: usize = 4 + 4 + 24 + 24 + 8 + 8;
+
+    struct Writer(Vec<u8>);
+
+    impl Writer {
+        fn u8(&mut self, v: u8) {
+            self.0.push(v);
+        }
+        fn u32(&mut self, v: u32) {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+        fn u64(&mut self, v: u64) {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+        fn f64(&mut self, v: f64) {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+        fn flag(&mut self, v: bool) {
+            self.0.push(u8::from(v));
+        }
+        fn row(&mut self, row: &DockingRow) {
+            self.u32(row.isep);
+            self.u32(row.irot);
+            self.f64(row.position.x);
+            self.f64(row.position.y);
+            self.f64(row.position.z);
+            self.f64(row.orientation.alpha);
+            self.f64(row.orientation.beta);
+            self.f64(row.orientation.gamma);
+            self.f64(row.elj);
+            self.f64(row.eelec);
+        }
+    }
+
+    struct Reader<'a> {
+        buf: &'a [u8],
+        off: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+            let end = self
+                .off
+                .checked_add(n)
+                .filter(|&e| e <= self.buf.len())
+                .ok_or_else(|| format!("binary payload truncated at offset {}", self.off))?;
+            let slice = &self.buf[self.off..end];
+            self.off = end;
+            Ok(slice)
+        }
+        fn u8(&mut self) -> Result<u8, String> {
+            Ok(self.take(1)?[0])
+        }
+        fn u32(&mut self) -> Result<u32, String> {
+            Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        }
+        fn u64(&mut self) -> Result<u64, String> {
+            Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+        fn f64(&mut self) -> Result<f64, String> {
+            Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        }
+        fn flag(&mut self) -> Result<bool, String> {
+            match self.u8()? {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(format!("bad boolean byte {other:#04x}")),
+            }
+        }
+        fn row(&mut self) -> Result<DockingRow, String> {
+            Ok(DockingRow {
+                isep: self.u32()?,
+                irot: self.u32()?,
+                position: Vec3 {
+                    x: self.f64()?,
+                    y: self.f64()?,
+                    z: self.f64()?,
+                },
+                orientation: EulerZyz {
+                    alpha: self.f64()?,
+                    beta: self.f64()?,
+                    gamma: self.f64()?,
+                },
+                elj: self.f64()?,
+                eelec: self.f64()?,
+            })
+        }
+        fn finish(self) -> Result<(), String> {
+            if self.off == self.buf.len() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{} trailing bytes after the message",
+                    self.buf.len() - self.off
+                ))
+            }
+        }
+    }
+
+    /// Encodes one message as a v2 binary payload (no frame header).
+    pub fn encode(msg: &Message) -> Vec<u8> {
+        let mut w = Writer(Vec::with_capacity(64));
+        match msg {
+            Message::Hello { agent, threads } => {
+                w.u8(TAG_HELLO);
+                w.u64(*agent);
+                w.u32(*threads);
+            }
+            Message::HelloAck {
+                protocol,
+                campaign,
+                deadline_seconds,
+            } => {
+                w.u8(TAG_HELLO_ACK);
+                w.u8(*protocol);
+                w.u32(campaign.proteins);
+                w.u64(campaign.lib_seed);
+                w.f64(campaign.h_seconds);
+                w.f64(campaign.separation_spacing);
+                w.u32(campaign.max_iterations);
+                w.f64(*deadline_seconds);
+            }
+            Message::RequestWork => w.u8(TAG_REQUEST_WORK),
+            Message::Assignment {
+                replica,
+                workunit,
+                receptor,
+                ligand,
+                isep_start,
+                positions,
+                deadline_seconds,
+            } => {
+                w.u8(TAG_ASSIGNMENT);
+                w.u64(*replica);
+                w.u32(*workunit);
+                w.u32(*receptor);
+                w.u32(*ligand);
+                w.u32(*isep_start);
+                w.u32(*positions);
+                w.f64(*deadline_seconds);
+            }
+            Message::NoWork {
+                campaign_complete,
+                retry_after_ms,
+            } => {
+                w.u8(TAG_NO_WORK);
+                w.flag(*campaign_complete);
+                w.u64(*retry_after_ms);
+            }
+            Message::Busy { retry_after_ms } => {
+                w.u8(TAG_BUSY);
+                w.u64(*retry_after_ms);
+            }
+            Message::ResultReport {
+                replica,
+                workunit,
+                output,
+            } => {
+                w.0.reserve(24 + output.rows.len() * ROW_BYTES);
+                w.u8(TAG_RESULT_REPORT);
+                w.u64(*replica);
+                w.u32(*workunit);
+                w.u64(output.evaluations);
+                w.u32(output.rows.len() as u32);
+                for row in &output.rows {
+                    w.row(row);
+                }
+            }
+            Message::ResultAck {
+                accepted,
+                completed_workunit,
+                campaign_complete,
+            } => {
+                w.u8(TAG_RESULT_ACK);
+                w.flag(*accepted);
+                w.flag(*completed_workunit);
+                w.flag(*campaign_complete);
+            }
+            Message::Bye => w.u8(TAG_BYE),
+        }
+        w.0
+    }
+
+    /// Decodes one v2 binary payload (no frame header) strictly.
+    pub fn decode(payload: &[u8]) -> Result<Message, String> {
+        let mut r = Reader {
+            buf: payload,
+            off: 0,
+        };
+        let msg = match r.u8()? {
+            TAG_HELLO => Message::Hello {
+                agent: r.u64()?,
+                threads: r.u32()?,
+            },
+            TAG_HELLO_ACK => Message::HelloAck {
+                protocol: r.u8()?,
+                campaign: super::CampaignParams {
+                    proteins: r.u32()?,
+                    lib_seed: r.u64()?,
+                    h_seconds: r.f64()?,
+                    separation_spacing: r.f64()?,
+                    max_iterations: r.u32()?,
+                },
+                deadline_seconds: r.f64()?,
+            },
+            TAG_REQUEST_WORK => Message::RequestWork,
+            TAG_ASSIGNMENT => Message::Assignment {
+                replica: r.u64()?,
+                workunit: r.u32()?,
+                receptor: r.u32()?,
+                ligand: r.u32()?,
+                isep_start: r.u32()?,
+                positions: r.u32()?,
+                deadline_seconds: r.f64()?,
+            },
+            TAG_NO_WORK => Message::NoWork {
+                campaign_complete: r.flag()?,
+                retry_after_ms: r.u64()?,
+            },
+            TAG_BUSY => Message::Busy {
+                retry_after_ms: r.u64()?,
+            },
+            TAG_RESULT_REPORT => {
+                let replica = r.u64()?;
+                let workunit = r.u32()?;
+                let evaluations = r.u64()?;
+                let count = r.u32()? as usize;
+                // The row count must agree with the bytes actually
+                // present before anything is allocated for the rows.
+                let remaining = payload.len() - r.off;
+                if count != remaining / ROW_BYTES || !remaining.is_multiple_of(ROW_BYTES) {
+                    return Err(format!(
+                        "row count {count} disagrees with {remaining} payload bytes"
+                    ));
+                }
+                let mut rows = Vec::with_capacity(count);
+                for _ in 0..count {
+                    rows.push(r.row()?);
+                }
+                Message::ResultReport {
+                    replica,
+                    workunit,
+                    output: DockingOutput { rows, evaluations },
+                }
+            }
+            TAG_RESULT_ACK => Message::ResultAck {
+                accepted: r.flag()?,
+                completed_workunit: r.flag()?,
+                campaign_complete: r.flag()?,
+            },
+            TAG_BYE => Message::Bye,
+            other => return Err(format!("unknown message tag {other:#04x}")),
+        };
+        r.finish()?;
+        Ok(msg)
     }
 }
 
@@ -434,6 +820,68 @@ mod tests {
     }
 
     #[test]
+    fn every_message_round_trips_in_binary() {
+        for msg in sample_messages() {
+            let frame = encode_with(&msg, Codec::Binary);
+            assert_eq!(frame[4], PROTOCOL_V2);
+            let (back, consumed, codec) = decode_versioned(&frame).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, frame.len());
+            assert_eq!(codec, Codec::Binary);
+        }
+    }
+
+    #[test]
+    fn binary_report_frames_are_smaller_than_json() {
+        let report = sample_messages()
+            .into_iter()
+            .find(|m| matches!(m, Message::ResultReport { .. }))
+            .unwrap();
+        let json = encode_with(&report, Codec::Json);
+        let bin = encode_with(&report, Codec::Binary);
+        assert!(
+            bin.len() < json.len(),
+            "binary {} >= json {}",
+            bin.len(),
+            json.len()
+        );
+    }
+
+    #[test]
+    fn binary_decoder_rejects_trailing_and_truncated_payloads() {
+        let payload = binary::encode(&Message::Hello {
+            agent: 9,
+            threads: 2,
+        });
+        // Structurally short and long payloads (with valid checksums)
+        // are payload errors, not Incomplete — framing already
+        // guaranteed the byte count.
+        for cut in 0..payload.len() {
+            let frame = frame_payload_versioned(PROTOCOL_V2, &payload[..cut]);
+            assert!(
+                matches!(decode(&frame), Err(DecodeError::Payload(_))),
+                "cut at {cut} must be a payload error"
+            );
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        let frame = frame_payload_versioned(PROTOCOL_V2, &long);
+        assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
+    }
+
+    #[test]
+    fn binary_boolean_bytes_are_strict() {
+        let mut payload = binary::encode(&Message::ResultAck {
+            accepted: true,
+            completed_workunit: false,
+            campaign_complete: false,
+        });
+        payload[1] = 2;
+        let frame = frame_payload_versioned(PROTOCOL_V2, &payload);
+        assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
+    }
+
+    #[test]
     fn every_truncation_is_incomplete() {
         let frame = encode(&Message::RequestWork);
         for cut in 0..frame.len() {
@@ -464,7 +912,7 @@ mod tests {
     #[test]
     fn future_version_rejected() {
         let mut frame = encode(&Message::Bye).to_vec();
-        frame[4] = PROTOCOL_VERSION + 1;
+        frame[4] = PROTOCOL_V2 + 1;
         assert!(matches!(
             decode(&frame),
             Err(DecodeError::UnsupportedVersion(_))
@@ -501,7 +949,7 @@ mod tests {
         let payload = b"{\"NotAMessage\":1}";
         let mut frame = Vec::new();
         frame.extend_from_slice(&MAGIC);
-        frame.push(PROTOCOL_VERSION);
+        frame.push(PROTOCOL_V1);
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a64(payload).to_le_bytes());
         frame.extend_from_slice(payload);

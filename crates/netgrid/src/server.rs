@@ -1,34 +1,47 @@
 //! The wire-level task server.
 //!
-//! A small, dependency-free TCP daemon: a non-blocking accept loop, one
-//! handler thread per connection, and a deadline-sweeper thread, all
-//! sharing one mutex-guarded [`GridState`]. The scheduling itself never
-//! left `gridsim::SchedulerCore` — this module only moves frames and
-//! maps wall-clock time onto the core's [`SimTime`] axis (seconds since
+//! A small, dependency-free TCP daemon built as a **single-threaded
+//! nonblocking event loop**: one [`crate::sys::Poller`] watches the
+//! listener and every volunteer socket, and each connection advances a
+//! tiny state machine (accumulate bytes → decode frame → dispatch →
+//! queue reply → flush). The scheduling itself never left
+//! `gridsim::SchedulerCore` — this module only moves frames and maps
+//! wall-clock time onto the core's [`SimTime`] axis (seconds since
 //! server start, so a wall run of a few minutes sits firmly inside day
 //! 0's quorum-compare era).
 //!
-//! Concurrency model: the per-connection handler holds the state lock
-//! only across one scheduler call (`fetch` / `report`), never across a
-//! socket operation, so a stalled volunteer cannot wedge the grid. The
-//! docking work itself happens on the *agents*; the server's handlers
-//! are I/O-bound and a plain mutex is far from contention at the
-//! dozens-of-volunteers scale the loopback campaigns run at.
+//! Why an event loop: the previous design spawned one OS thread per
+//! agent, which topped out around the dozens-of-volunteers scale —
+//! 10 000 loopback agents would mean 10 000 stacks and a scheduler
+//! meltdown. Here every connection is a few hundred bytes of buffer
+//! state, the deadline sweeper and the journal fsync policy are timer
+//! events on the same loop, and the state mutex (still shared with the
+//! ops scrape thread) is only ever taken from this one thread for
+//! scheduler calls.
+//!
+//! Codec negotiation is per-frame: the loop decodes whatever version
+//! the agent sent (JSON v1 or binary v2) and answers in that same
+//! codec, so a v1-only agent never sees a v2 frame. See
+//! [`crate::protocol::Codec`].
 
 use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
 use crate::journal::{open_journaled, JournalConfig};
 use crate::ops::OpsServer;
-use crate::protocol::{read_message, write_message, CampaignParams, Message, PROTOCOL_VERSION};
+use crate::protocol::{
+    decode_versioned, encode_with, CampaignParams, Codec, DecodeError, Message, PROTOCOL_VERSION,
+};
 use crate::state::{GridState, NetStats, WorkReply};
+use crate::sys::{Event as IoEvent, Poller};
 use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
 use gridsim::SimTime;
 use maxdo::DockingOutput;
-use std::io;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
-use std::thread;
 use std::time::{Duration, Instant};
 use telemetry::{self, Event};
 
@@ -106,15 +119,88 @@ pub struct NetServer {
     ops: Option<OpsServer>,
 }
 
-/// Read timeout on handler sockets: the poll interval at which blocked
-/// handlers notice campaign completion.
-const HANDLER_POLL: Duration = Duration::from_millis(200);
-
-/// How long a handler keeps serving after the campaign completes, so an
+/// How long the loop keeps serving after the campaign completes, so an
 /// agent sleeping on a `NoWork` backoff (capped at 2 s agent-side) can
 /// wake, ask once more, and be told `campaign_complete` instead of
 /// finding a dead socket and burning its whole reconnect budget.
 const SHUTDOWN_GRACE: Duration = Duration::from_secs(3);
+
+/// Per-read scratch size. Large enough that a typical request frame
+/// arrives in one `read`, small enough to sit on the stack.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// One live connection's state: buffered bytes in each direction plus
+/// the bookkeeping the dispatch needs. The implicit state machine is
+/// *reading header → reading payload → dispatching → writing reply* —
+/// the first two are simply "does `read_buf` decode yet", the last is
+/// "is `write_buf` drained yet".
+struct Conn {
+    stream: TcpStream,
+    /// Bytes received but not yet decoded into frames.
+    read_buf: Vec<u8>,
+    /// Encoded replies not yet flushed to the socket.
+    write_buf: Vec<u8>,
+    /// How much of `write_buf` has been written so far.
+    write_pos: usize,
+    /// The agent id learned from `Hello` (0 until then).
+    agent: u64,
+    /// Frames decoded on this connection (for close telemetry).
+    frames: u64,
+    /// The codec of the most recent frame from this peer; replies use
+    /// the same codec, which is the whole negotiation.
+    codec: Codec,
+    /// Set when the connection should close once `write_buf` drains,
+    /// carrying the close reason for telemetry.
+    closing: Option<&'static str>,
+    /// A connection turned away at the limit: it gets a `Busy` frame
+    /// and a close, and was telemetered as *rejected*, so it must not
+    /// emit a `ConnectionClosed` event.
+    brushoff: bool,
+    /// The interest currently registered with the poller, so interest
+    /// updates only hit `epoll_ctl` when something changed.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn new(stream: TcpStream, brushoff: bool) -> Self {
+        Self {
+            stream,
+            read_buf: Vec::new(),
+            write_buf: Vec::new(),
+            write_pos: 0,
+            agent: 0,
+            frames: 0,
+            codec: Codec::Json,
+            closing: None,
+            brushoff,
+            interest: (false, false),
+        }
+    }
+
+    /// Drains as much of `write_buf` as the socket will take. Returns
+    /// `Ok(true)` when fully flushed.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.write_buf.clear();
+        self.write_pos = 0;
+        Ok(true)
+    }
+
+    /// The interest this connection wants right now: reads while the
+    /// dialogue is open, writes only while bytes are queued.
+    fn wanted_interest(&self) -> (bool, bool) {
+        let pending_write = self.write_pos < self.write_buf.len();
+        (self.closing.is_none() && !self.brushoff, pending_write)
+    }
+}
 
 impl NetServer {
     /// Binds the listener and materialises the campaign. With a journal
@@ -124,6 +210,10 @@ impl NetServer {
     pub fn bind(config: NetServerConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
+        // std's listen backlog is 128; a 10k-agent reconnect storm
+        // overflows that and every dropped SYN costs the dialer a 1 s
+        // retransmit. Widen it (the kernel clamps to somaxconn).
+        crate::sys::widen_listen_backlog(listener.as_raw_fd(), 4096);
         let campaign = Arc::new(NetCampaign::build(config.campaign));
         let (state, clock_offset) = match &config.journal {
             Some(journal) => open_journaled(journal, &campaign, config.scheduler, config.faults)?,
@@ -159,19 +249,13 @@ impl NetServer {
 
     /// Runs the campaign to completion: accepts volunteers, sweeps
     /// deadlines, and returns once every workunit has validated and the
-    /// handlers have drained.
+    /// connections have drained (or the shutdown grace expires).
     pub fn run(self) -> io::Result<NetRunReport> {
         let epoch = Instant::now();
-        let clock_offset = self.clock_offset;
         // A journaled restart may recover an already-finished campaign.
         let done = Arc::new(AtomicBool::new(
             self.state.lock().unwrap().is_campaign_complete(),
         ));
-        let active = Arc::new(AtomicUsize::new(0));
-        let mut connections = 0u64;
-        let mut rejected = 0u64;
-        let mut handlers: Vec<thread::JoinHandle<()>> = Vec::new();
-        let mut first_panic: Option<String> = None;
 
         // The ops thread holds its own state Arc and serves scrapes
         // until `done` plus a linger window — it must be joined before
@@ -180,76 +264,26 @@ impl NetServer {
             .ops
             .map(|ops| ops.spawn(Arc::clone(&self.state), Arc::clone(&done)));
 
-        let sweeper = {
-            let state = Arc::clone(&self.state);
-            let done = Arc::clone(&done);
-            let interval = Duration::from_millis(self.config.sweep_ms.max(1));
-            thread::spawn(move || {
-                while !done.load(Relaxed) {
-                    thread::sleep(interval);
-                    let mut s = state.lock().unwrap();
-                    s.sweep(SimTime::new(clock_offset + epoch.elapsed().as_secs_f64()));
-                    if s.is_campaign_complete() {
-                        done.store(true, Relaxed);
-                    }
-                }
-            })
+        let mut event_loop = EventLoop {
+            listener: Some(self.listener),
+            campaign: Arc::clone(&self.campaign),
+            state: Arc::clone(&self.state),
+            done: Arc::clone(&done),
+            params: self.config.campaign,
+            deadline_seconds: self.config.scheduler.deadline_seconds,
+            faults: self.config.faults,
+            epoch,
+            clock_offset: self.clock_offset,
+            poller: Poller::new()?,
+            conns: HashMap::new(),
+            connections: 0,
+            rejected: 0,
+            accepted_active: 0,
         };
-
-        while !done.load(Relaxed) {
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let limit = self.config.faults.max_connections;
-                    if limit > 0 && active.load(Relaxed) >= limit {
-                        // Turned away before any frame is read: counted
-                        // (and telemetered) as a rejection, never as an
-                        // accepted connection.
-                        rejected += 1;
-                        let retry_after_ms = self.config.faults.backoff_base_ms.max(1) * 4;
-                        let _ = stream.set_nodelay(true);
-                        let mut stream = stream;
-                        let _ = write_message(&mut stream, &Message::Busy { retry_after_ms });
-                        telemetry::emit(None, || Event::ConnectionRejected { retry_after_ms });
-                        continue;
-                    }
-                    connections += 1;
-                    active.fetch_add(1, Relaxed);
-                    let ctx = HandlerCtx {
-                        campaign: Arc::clone(&self.campaign),
-                        state: Arc::clone(&self.state),
-                        done: Arc::clone(&done),
-                        active: Arc::clone(&active),
-                        params: self.config.campaign,
-                        deadline_seconds: self.config.scheduler.deadline_seconds,
-                        epoch,
-                        clock_offset,
-                    };
-                    handlers.push(thread::spawn(move || handle_connection(stream, ctx)));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    thread::sleep(Duration::from_millis(5));
-                }
-                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                Err(e) => return Err(e),
-            }
-            // Reap finished handlers so a long campaign does not grow an
-            // unbounded join list — and *join* them, so a panicked
-            // handler surfaces instead of being silently discarded.
-            if let Err(msg) = reap_finished(&mut handlers) {
-                first_panic.get_or_insert(msg);
-                done.store(true, Relaxed);
-            }
-        }
-        drop(self.listener);
-        let _ = sweeper.join();
-        for h in handlers {
-            if let Err(payload) = h.join() {
-                first_panic.get_or_insert(panic_message(&*payload));
-            }
-        }
-        if let Some(msg) = first_panic {
-            return Err(io::Error::other(format!("handler thread panicked: {msg}")));
-        }
+        event_loop.run(Duration::from_millis(self.config.sweep_ms.max(1)))?;
+        let connections = event_loop.connections;
+        let rejected = event_loop.rejected;
+        drop(event_loop);
 
         // Captured before the ops join: the ops thread lingers ~1 s
         // past completion for late scrapers, and that grace must not
@@ -279,123 +313,271 @@ impl NetServer {
     }
 }
 
-/// Joins every finished handler out of `handlers`. Returns the first
-/// panic message encountered (after still reaping the rest), so the
-/// accept loop can shut the run down with a diagnostic instead of
-/// leaving the panicked handler's replica to silently age out.
-fn reap_finished(handlers: &mut Vec<thread::JoinHandle<()>>) -> Result<(), String> {
-    let mut first_panic = None;
-    let mut i = 0;
-    while i < handlers.len() {
-        if handlers[i].is_finished() {
-            if let Err(payload) = handlers.swap_remove(i).join() {
-                first_panic.get_or_insert(panic_message(&*payload));
-            }
-        } else {
-            i += 1;
-        }
-    }
-    first_panic.map_or(Ok(()), Err)
+/// What the dispatch of one decoded frame asks the loop to do.
+enum Disposition {
+    /// Queue this reply (in the connection's codec) and keep reading.
+    Reply(Message),
+    /// Close once queued replies flush, with this telemetry reason.
+    Close(&'static str),
 }
 
-/// Best-effort rendering of a panic payload (panics carry `&str` or
-/// `String` in practice).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".into()
-    }
-}
-
-struct HandlerCtx {
+/// The readiness loop and every piece of context its handlers need.
+struct EventLoop {
+    /// `Some` while accepting; dropped (closing the socket) the moment
+    /// the campaign completes, so no new volunteers join the grace
+    /// window.
+    listener: Option<TcpListener>,
     campaign: Arc<NetCampaign>,
     state: Arc<Mutex<GridState>>,
     done: Arc<AtomicBool>,
-    active: Arc<AtomicUsize>,
     params: CampaignParams,
     deadline_seconds: f64,
+    faults: ServerFaults,
     epoch: Instant,
     clock_offset: f64,
+    poller: Poller,
+    conns: HashMap<i32, Conn>,
+    connections: u64,
+    rejected: u64,
+    /// Live accepted (non-brushoff) connections, against
+    /// `faults.max_connections`.
+    accepted_active: usize,
 }
 
-/// Decrements the active-connection count when the handler exits —
-/// *however* it exits. Without the drop guard a panicking handler would
-/// leak its slot and walk the server toward rejecting every connection.
-struct ActiveGuard(Arc<AtomicUsize>);
-
-impl Drop for ActiveGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Relaxed);
+impl EventLoop {
+    fn now(&self) -> SimTime {
+        SimTime::new(self.clock_offset + self.epoch.elapsed().as_secs_f64())
     }
-}
 
-fn handle_connection(mut stream: TcpStream, ctx: HandlerCtx) {
-    let _guard = ActiveGuard(Arc::clone(&ctx.active));
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(HANDLER_POLL));
-    let mut agent_id = 0u64;
-    let mut frames = 0u64;
-    let reason = serve(&mut stream, &ctx, &mut agent_id, &mut frames);
-    telemetry::emit(None, || Event::ConnectionClosed {
-        agent: agent_id,
-        frames,
-        reason: reason.into(),
-    });
-}
+    /// The loop proper. Each iteration: wait for readiness or the next
+    /// sweep tick, drain the listener, advance ready connections, and
+    /// fire timer events (deadline sweep + journal fsync).
+    fn run(&mut self, sweep_interval: Duration) -> io::Result<()> {
+        let listener_fd = self.listener.as_ref().unwrap().as_raw_fd();
+        self.poller.register(listener_fd, true, false)?;
+        let mut events: Vec<IoEvent> = Vec::new();
+        let mut next_sweep = Instant::now() + sweep_interval;
+        let mut done_since: Option<Instant> = None;
 
-/// The connection's request/reply loop. Returns the close reason for
-/// the `ConnectionClosed` telemetry event.
-fn serve(
-    stream: &mut TcpStream,
-    ctx: &HandlerCtx,
-    agent_id: &mut u64,
-    frames: &mut u64,
-) -> &'static str {
-    let mut done_since: Option<Instant> = None;
-    loop {
-        let msg = match read_message(stream) {
-            Ok(Some(m)) => m,
-            Ok(None) => return "eof",
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                ) =>
-            {
-                // Idle poll tick: keep serving until the campaign ends,
-                // then linger through the grace window so an agent
-                // sleeping on a backoff still gets its completion
-                // notice on the next request.
-                if ctx.done.load(Relaxed)
-                    && done_since.get_or_insert_with(Instant::now).elapsed() > SHUTDOWN_GRACE
-                {
-                    return "eof";
+        loop {
+            // Timer events fold into the same loop: the poll timeout is
+            // exactly the time until the next sweep (bounded by the
+            // shutdown grace once the campaign is done).
+            if Instant::now() >= next_sweep {
+                self.sweep_tick();
+                next_sweep = Instant::now() + sweep_interval;
+            }
+            let done = self.done.load(Relaxed);
+            if done {
+                let since = done_since.get_or_insert_with(Instant::now);
+                // Completion: stop accepting, linger through the grace
+                // window answering `campaign_complete`, leave as soon
+                // as every volunteer has said Bye.
+                if let Some(listener) = self.listener.take() {
+                    self.poller.deregister(listener.as_raw_fd())?;
+                    drop(listener);
                 }
+                if self.conns.is_empty() || since.elapsed() > SHUTDOWN_GRACE {
+                    return Ok(());
+                }
+            }
+            let timeout = next_sweep.saturating_duration_since(Instant::now());
+            self.poller.wait(Some(timeout), &mut events)?;
+
+            // advance_conn takes each ready connection out of the map,
+            // advances it, decides its fate, and puts it back.
+            for ev in events.drain(..) {
+                if ev.fd == listener_fd && self.listener.is_some() {
+                    self.accept_ready()?;
+                    continue;
+                }
+                self.advance_conn(ev);
+            }
+        }
+    }
+
+    /// One sweep tick: expire deadlines, settle the journal's fsync
+    /// debt, and notice campaign completion.
+    fn sweep_tick(&mut self) {
+        let now = self.now();
+        let mut s = self.state.lock().unwrap();
+        s.sweep(now);
+        s.flush_journal();
+        if s.is_campaign_complete() {
+            self.done.store(true, Relaxed);
+        }
+    }
+
+    /// Drains the listener: accept every pending connection, brushing
+    /// off anything over the limit with a `Busy` frame.
+    fn accept_ready(&mut self) -> io::Result<()> {
+        loop {
+            let (stream, _peer) = match self.listener.as_ref().unwrap().accept() {
+                Ok(pair) => pair,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            stream.set_nonblocking(true)?;
+            let _ = stream.set_nodelay(true);
+            let fd = stream.as_raw_fd();
+            let limit = self.faults.max_connections;
+            if limit > 0 && self.accepted_active >= limit {
+                // Turned away before any frame is read: counted (and
+                // telemetered) as a rejection, never as an accepted
+                // connection. The Busy frame goes out in JSON — the
+                // peer has not spoken yet, and v1 is what every agent
+                // version can read.
+                self.rejected += 1;
+                let retry_after_ms = self.faults.backoff_base_ms.max(1) * 4;
+                telemetry::emit(None, || Event::ConnectionRejected { retry_after_ms });
+                let mut conn = Conn::new(stream, true);
+                conn.write_buf.extend_from_slice(&encode_with(
+                    &Message::Busy { retry_after_ms },
+                    Codec::Json,
+                ));
+                conn.closing = Some("busy");
+                self.install(fd, conn);
                 continue;
             }
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => return "protocol",
-            Err(_) => return "io",
+            self.connections += 1;
+            self.accepted_active += 1;
+            self.install(fd, Conn::new(stream, false));
+        }
+    }
+
+    /// Flushes what it can, registers the connection, and retires it on
+    /// the spot if it is already finished (e.g. a brush-off whose Busy
+    /// frame fit in the socket buffer).
+    fn install(&mut self, fd: i32, mut conn: Conn) {
+        match conn.flush() {
+            Ok(_) => {}
+            Err(_) => {
+                conn.closing.get_or_insert("io");
+                self.retire(conn);
+                return;
+            }
+        }
+        if conn.closing.is_some() && conn.write_pos >= conn.write_buf.len() {
+            self.retire(conn);
+            return;
+        }
+        let interest = conn.wanted_interest();
+        conn.interest = interest;
+        if self.poller.register(fd, interest.0, interest.1).is_ok() {
+            self.conns.insert(fd, conn);
+        } else {
+            conn.closing.get_or_insert("io");
+            self.retire(conn);
+        }
+    }
+
+    /// Advances one connection's state machine for a readiness event:
+    /// read everything available, decode and dispatch every complete
+    /// frame, flush queued replies, then update poller interest or
+    /// retire the connection.
+    fn advance_conn(&mut self, ev: IoEvent) {
+        let Some(mut conn) = self.conns.remove(&ev.fd) else {
+            return;
         };
-        *frames += 1;
-        let now = SimTime::new(ctx.clock_offset + ctx.epoch.elapsed().as_secs_f64());
-        let reply = match msg {
+        if ev.readable || ev.hangup {
+            self.read_and_dispatch(&mut conn);
+        }
+        if conn.write_pos < conn.write_buf.len() && conn.flush().is_err() {
+            conn.closing.get_or_insert("io");
+            conn.write_buf.clear();
+            conn.write_pos = 0;
+        }
+        let finished_flush = conn.write_pos >= conn.write_buf.len();
+        if conn.closing.is_some() && finished_flush {
+            let _ = self.poller.deregister(ev.fd);
+            self.retire(conn);
+            return;
+        }
+        if ev.hangup && conn.closing.is_none() {
+            // Error/hangup with nothing left to read: the peer is gone.
+            conn.closing = Some("eof");
+            let _ = self.poller.deregister(ev.fd);
+            self.retire(conn);
+            return;
+        }
+        let wanted = conn.wanted_interest();
+        if wanted != conn.interest {
+            conn.interest = wanted;
+            let _ = self.poller.reregister(ev.fd, wanted.0, wanted.1);
+        }
+        self.conns.insert(ev.fd, conn);
+    }
+
+    /// The read half of the state machine: drain the socket into the
+    /// connection's buffer, then decode and dispatch every complete
+    /// frame in it (an agent may pipeline several).
+    fn read_and_dispatch(&mut self, conn: &mut Conn) {
+        if conn.closing.is_some() || conn.brushoff {
+            return;
+        }
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    conn.closing = Some("eof");
+                    break;
+                }
+                Ok(n) => conn.read_buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    conn.closing = Some("io");
+                    break;
+                }
+            }
+        }
+        let orderly_close = conn.closing;
+        conn.closing = None;
+        while conn.closing.is_none() {
+            match decode_versioned(&conn.read_buf) {
+                Ok((msg, consumed, codec)) => {
+                    conn.read_buf.drain(..consumed);
+                    conn.frames += 1;
+                    conn.codec = codec;
+                    match self.dispatch(&mut conn.agent, msg) {
+                        Disposition::Reply(reply) => {
+                            conn.write_buf
+                                .extend_from_slice(&encode_with(&reply, codec));
+                        }
+                        Disposition::Close(reason) => conn.closing = Some(reason),
+                    }
+                }
+                Err(DecodeError::Incomplete { .. }) => break,
+                Err(_) => conn.closing = Some("protocol"),
+            }
+        }
+        // An EOF/error noticed during the reads only takes effect after
+        // every already-buffered frame has been dispatched.
+        if conn.closing.is_none() {
+            conn.closing = orderly_close;
+        }
+    }
+
+    /// Maps one decoded frame to a scheduler call and a reply — the
+    /// dispatch state of the per-connection machine.
+    fn dispatch(&mut self, agent_id: &mut u64, msg: Message) -> Disposition {
+        let now = self.now();
+        match msg {
             Message::Hello { agent, threads: _ } => {
                 *agent_id = agent;
                 telemetry::emit(Some(now.seconds()), || Event::ConnectionOpened { agent });
-                Message::HelloAck {
+                Disposition::Reply(Message::HelloAck {
                     protocol: PROTOCOL_VERSION,
-                    campaign: ctx.params,
-                    deadline_seconds: ctx.deadline_seconds,
-                }
+                    campaign: self.params,
+                    deadline_seconds: self.deadline_seconds,
+                })
             }
             Message::RequestWork => {
-                let reply = ctx.state.lock().unwrap().fetch(now, *agent_id);
-                match reply {
+                let reply = self.state.lock().unwrap().fetch(now, *agent_id);
+                Disposition::Reply(match reply {
                     WorkReply::Assigned(a) => {
-                        let spec = ctx.campaign.spec(a.workunit);
+                        let spec = self.campaign.spec(a.workunit);
                         Message::Assignment {
                             replica: a.replica.0,
                             workunit: a.workunit,
@@ -403,7 +585,7 @@ fn serve(
                             ligand: spec.ligand.0,
                             isep_start: spec.isep_start,
                             positions: spec.positions,
-                            deadline_seconds: ctx.deadline_seconds,
+                            deadline_seconds: self.deadline_seconds,
                         }
                     }
                     WorkReply::Backoff {
@@ -413,24 +595,24 @@ fn serve(
                         campaign_complete,
                         retry_after_ms,
                     },
-                }
+                })
             }
             Message::ResultReport {
                 replica,
                 workunit,
                 output,
             } => {
-                let disposition = ctx.state.lock().unwrap().report(
+                let disposition = self.state.lock().unwrap().report(
                     now,
-                    &ctx.campaign,
+                    &self.campaign,
                     ReplicaId(replica),
                     workunit,
                     output,
                 );
                 if disposition.campaign_complete {
-                    ctx.done.store(true, Relaxed);
+                    self.done.store(true, Relaxed);
                 }
-                Message::ResultAck {
+                Disposition::Reply(Message::ResultAck {
                     accepted: matches!(
                         disposition.verdict,
                         crate::state::Verdict::Accepted
@@ -439,68 +621,27 @@ fn serve(
                     ),
                     completed_workunit: disposition.completed_workunit,
                     campaign_complete: disposition.campaign_complete,
-                }
+                })
             }
-            Message::Bye => return "bye",
+            Message::Bye => Disposition::Close("bye"),
             // Server-to-agent frames arriving here mean a confused peer.
-            _ => return "protocol",
-        };
-        if write_message(stream, &reply).is_err() {
-            return "io";
+            _ => Disposition::Close("protocol"),
         }
     }
-}
 
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    /// Regression for the silent-discard bug: `retain(|h|
-    /// !h.is_finished())` dropped JoinHandles without joining, so a
-    /// panicked handler vanished without a diagnostic.
-    #[test]
-    fn reap_joins_finished_handlers_and_surfaces_the_panic() {
-        let mut handlers = vec![
-            thread::spawn(|| {}),
-            thread::spawn(|| panic!("boom in handler")),
-            thread::spawn(|| {}),
-        ];
-        while handlers.iter().any(|h| !h.is_finished()) {
-            thread::sleep(Duration::from_millis(2));
+    /// Final close of a connection: emits the paired `ConnectionClosed`
+    /// event (brush-offs were telemetered as rejections instead) and
+    /// releases its limit slot.
+    fn retire(&mut self, conn: Conn) {
+        if !conn.brushoff {
+            self.accepted_active -= 1;
+            let reason = conn.closing.unwrap_or("eof");
+            telemetry::emit(None, || Event::ConnectionClosed {
+                agent: conn.agent,
+                frames: conn.frames,
+                reason: reason.into(),
+            });
         }
-        let err = reap_finished(&mut handlers).expect_err("panic must surface");
-        assert!(err.contains("boom in handler"), "got: {err}");
-        assert!(handlers.is_empty(), "every finished handler was joined");
-    }
-
-    #[test]
-    fn reap_of_healthy_handlers_is_clean() {
-        let mut handlers = vec![thread::spawn(|| {}), thread::spawn(|| {})];
-        while handlers.iter().any(|h| !h.is_finished()) {
-            thread::sleep(Duration::from_millis(2));
-        }
-        assert_eq!(reap_finished(&mut handlers), Ok(()));
-        assert!(handlers.is_empty());
-    }
-
-    #[test]
-    fn active_guard_decrements_even_through_a_panic() {
-        let active = Arc::new(AtomicUsize::new(1));
-        let cloned = Arc::clone(&active);
-        let h = thread::spawn(move || {
-            let _guard = ActiveGuard(cloned);
-            panic!("handler died");
-        });
-        assert!(h.join().is_err());
-        assert_eq!(active.load(Relaxed), 0, "slot released despite the panic");
-    }
-
-    #[test]
-    fn panic_messages_render_str_and_string_payloads() {
-        let a = thread::spawn(|| panic!("static str")).join().unwrap_err();
-        assert_eq!(panic_message(&*a), "static str");
-        let s = String::from("owned");
-        let b = thread::spawn(move || panic!("{s}")).join().unwrap_err();
-        assert_eq!(panic_message(&*b), "owned");
+        drop(conn);
     }
 }

@@ -370,6 +370,16 @@ impl GridState {
         self.journal = Some(journal);
     }
 
+    /// Syncs any journal appends the `EveryN` fsync policy left
+    /// pending. The server's event loop calls this as a timer event (on
+    /// the sweep tick), bounding how long an acknowledged transition can
+    /// sit in the page cache. Same failure policy as appends: fatal.
+    pub fn flush_journal(&mut self) {
+        if let Some(journal) = self.journal.as_mut() {
+            journal.flush().expect("journal flush failed");
+        }
+    }
+
     /// The core's cumulative issue/validation statistics.
     pub fn server_stats(&self) -> ServerStats {
         self.core.stats

@@ -111,6 +111,50 @@ fn live_scrapes_agree_with_the_final_report() {
     }
 }
 
+/// Regression guard for the accept path: the ops thread used to poll
+/// its listener on a 10 ms sleep, so a scrape arriving just after the
+/// poll ate a ~5 ms median wait before the endpoint even accepted.
+/// Readiness-driven accepts answer in well under a millisecond; the
+/// median over a burst of sequential scrapes must stay far below the
+/// old sleep-quantum floor.
+#[test]
+fn scrape_latency_is_not_sleep_quantised() {
+    let server = ops_server(10.0);
+    let addr = server.local_addr().unwrap();
+    let ops = server.ops_addr().expect("ops endpoint bound");
+    let run = thread::spawn(move || server.run().expect("campaign run"));
+
+    // Wait for the endpoint to come up, then measure sequential scrapes.
+    loop {
+        if let Ok((200, _)) = http_get(ops, "/metrics") {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    let mut latencies_ms: Vec<f64> = (0..40)
+        .map(|_| {
+            let start = Instant::now();
+            let (status, _) = http_get(ops, "/metrics").expect("scrape");
+            assert_eq!(status, 200);
+            start.elapsed().as_secs_f64() * 1e3
+        })
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = latencies_ms[latencies_ms.len() / 2];
+    assert!(
+        median < 3.0,
+        "median /metrics scrape took {median:.2} ms — the accept path \
+         looks sleep-polled again (tail: {:?})",
+        &latencies_ms[latencies_ms.len() - 4..]
+    );
+
+    let agents = honest_fleet(addr, 3);
+    run.join().unwrap();
+    for a in agents {
+        a.join().unwrap();
+    }
+}
+
 #[test]
 fn malformed_requests_get_4xx_and_leave_scheduler_state_alone() {
     let server = ops_server(10.0);

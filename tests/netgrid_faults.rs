@@ -157,6 +157,15 @@ fn busy_rejections_are_not_double_counted_as_connections() {
         sweep_ms: 25,
         ..NetServerConfig::loopback(8.0)
     };
+    // The event-loop server clears the stock tiny campaign in tens of
+    // milliseconds — faster than the probe below can land — so give
+    // every workunit enough docking iterations that the solo volunteer
+    // is still mid-campaign when the probe arrives.
+    config.campaign = CampaignParams {
+        max_iterations: 400,
+        ..CampaignParams::tiny()
+    };
+    let params = config.campaign;
     // One slot: the single honest volunteer holds it for the whole
     // campaign, so any probe while it runs draws `Busy`.
     config.faults.max_connections = 1;
@@ -190,9 +199,10 @@ fn busy_rejections_are_not_double_counted_as_connections() {
         report.rejected_connections, 1,
         "the probe is a rejection, nothing else: {report:?}"
     );
+    let baseline = NetCampaign::build(params).baseline_outputs();
     assert_eq!(
         serde_json::to_string(&report.outputs).unwrap(),
-        baseline_json(),
+        serde_json::to_string(&baseline).unwrap(),
         "a rejected probe must not perturb the artifact"
     );
 }

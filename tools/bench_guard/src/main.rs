@@ -23,7 +23,15 @@
 //!   output diverged from the in-process baseline or a fault path went
 //!   unexercised. Reports with the ops-endpoint columns also get
 //!   warn-only ceilings on the ops throughput overhead and on the p99
-//!   `/metrics` scrape latency.
+//!   `/metrics` scrape latency; the journal/ops columns are null on
+//!   mux-driven runs and simply skipped. Relative compares only apply
+//!   between runs with the same fleet size — a `--quick` or `--agents`
+//!   override measures a different experiment than the baseline.
+//!   Reports with a scale campaign get an absolute warn-only ceiling on
+//!   the mux fleet's p99 request latency.
+//! * `frame_codec` (`BENCH_codec.json`) — per-frame encode/decode cost
+//!   of the two wire codecs; warns when the binary codec fails to beat
+//!   JSON or regresses past the tolerance against its baseline.
 
 use serde::Value;
 use std::process::ExitCode;
@@ -44,6 +52,10 @@ const OPS_OVERHEAD_CEILING: f64 = 0.10;
 /// over loopback. A scrape renders a copied snapshot off the hot path,
 /// so anything slower than this means the ops thread is blocking.
 const OPS_SCRAPE_P99_CEILING_MS: f64 = 50.0;
+/// Absolute warn-only ceiling on the scale campaign's p99 request
+/// latency — the PR-7 target: single-digit milliseconds with ten
+/// thousand multiplexed volunteers on loopback.
+const SCALE_P99_CEILING_MS: f64 = 10.0;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -74,6 +86,9 @@ fn scenario_rows(report: &Value, path: &str) -> Result<Vec<(f64, f64, f64)>, Str
 
 /// The numbers the netgrid guard compares, pulled from one report.
 struct NetgridSummary {
+    /// Honest classic-fleet size; relative compares only make sense
+    /// between equal fleets. `None` on pre-PR-7 reports.
+    agents: Option<f64>,
     workunits_per_sec: f64,
     p99_ms: f64,
     timeout_reissues: u64,
@@ -88,6 +103,12 @@ struct NetgridSummary {
     ops_overhead_frac: Option<f64>,
     ops_scrape_p99_ms: Option<f64>,
     ops_merged_matches_baseline: Option<bool>,
+    /// Scale-campaign columns; `None`/zero when the campaign was
+    /// skipped or the report predates it.
+    scale_agents: Option<f64>,
+    scale_workunits_per_sec: Option<f64>,
+    scale_request_latency_p99_ms: Option<f64>,
+    scale_merged_matches_baseline: Option<bool>,
 }
 
 fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
@@ -102,6 +123,7 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
         _ => return Err(format!("{path}: missing bool \"merged_matches_baseline\"")),
     };
     Ok(NetgridSummary {
+        agents: report.get("agents").and_then(Value::as_f64),
         workunits_per_sec: f("workunits_per_sec")?,
         p99_ms: f("request_latency_p99_ms")?,
         timeout_reissues: f("timeout_reissues")? as u64,
@@ -118,6 +140,17 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
             Some(Value::Bool(b)) => Some(*b),
             _ => None,
         },
+        scale_agents: report.get("scale_agents").and_then(Value::as_f64),
+        scale_workunits_per_sec: report
+            .get("scale_workunits_per_sec")
+            .and_then(Value::as_f64),
+        scale_request_latency_p99_ms: report
+            .get("scale_request_latency_p99_ms")
+            .and_then(Value::as_f64),
+        scale_merged_matches_baseline: match report.get("scale_merged_matches_baseline") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
     })
 }
 
@@ -126,8 +159,17 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
 /// carry (baseline-identical merge, both fault paths exercised).
 fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) -> u32 {
     let mut warnings = 0;
+    // A 6-agent baseline says nothing about a 1000-agent fresh run:
+    // relative compares need like-for-like fleets.
+    let comparable = base.agents == fresh.agents;
+    if !comparable {
+        println!(
+            "bench_guard: note: fleet sizes differ (baseline {:?}, fresh {:?}); relative compares skipped",
+            base.agents, fresh.agents
+        );
+    }
     let floor = base.workunits_per_sec * (1.0 - tolerance);
-    if fresh.workunits_per_sec < floor {
+    if comparable && fresh.workunits_per_sec < floor {
         warnings += 1;
         eprintln!(
             "bench_guard: WARNING: loopback throughput {:.2} wu/s is below baseline {:.2} - {:.0}% tolerance",
@@ -135,14 +177,14 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
             base.workunits_per_sec,
             tolerance * 100.0
         );
-    } else {
+    } else if comparable {
         println!(
             "bench_guard: loopback throughput ok: {:.2} wu/s (baseline {:.2})",
             fresh.workunits_per_sec, base.workunits_per_sec
         );
     }
     let ceiling = base.p99_ms * (1.0 + tolerance);
-    if fresh.p99_ms > ceiling {
+    if comparable && fresh.p99_ms > ceiling {
         warnings += 1;
         eprintln!(
             "bench_guard: WARNING: p99 request latency {:.2} ms is above baseline {:.2} ms + {:.0}% tolerance",
@@ -150,7 +192,7 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
             base.p99_ms,
             tolerance * 100.0
         );
-    } else {
+    } else if comparable {
         println!(
             "bench_guard: p99 request latency ok: {:.2} ms (baseline {:.2} ms)",
             fresh.p99_ms, base.p99_ms
@@ -225,6 +267,113 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
             "bench_guard: WARNING: ops-enabled run's merged output diverged from the in-process baseline"
         );
     }
+    match fresh.scale_request_latency_p99_ms {
+        Some(p99) if p99 > SCALE_P99_CEILING_MS => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: scale campaign ({:.0} agents) p99 request latency {p99:.2} ms is above the {SCALE_P99_CEILING_MS:.0} ms ceiling",
+                fresh.scale_agents.unwrap_or(0.0)
+            );
+        }
+        Some(p99) => println!(
+            "bench_guard: scale campaign ({:.0} agents) p99 request latency ok: {p99:.2} ms (ceiling {SCALE_P99_CEILING_MS:.0} ms)",
+            fresh.scale_agents.unwrap_or(0.0)
+        ),
+        None => {}
+    }
+    if let (Some(base_wps), Some(fresh_wps), true) = (
+        base.scale_workunits_per_sec,
+        fresh.scale_workunits_per_sec,
+        base.scale_agents == fresh.scale_agents,
+    ) {
+        let floor = base_wps * (1.0 - tolerance);
+        if fresh_wps < floor {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: scale-campaign throughput {fresh_wps:.2} wu/s is below baseline {base_wps:.2} - {:.0}% tolerance",
+                tolerance * 100.0
+            );
+        } else {
+            println!(
+                "bench_guard: scale-campaign throughput ok: {fresh_wps:.2} wu/s (baseline {base_wps:.2})"
+            );
+        }
+    }
+    if fresh.scale_merged_matches_baseline == Some(false) {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: scale campaign's merged output diverged from the in-process baseline"
+        );
+    }
+    warnings
+}
+
+/// The numbers the frame-codec guard compares: nanoseconds per frame
+/// for each codec/direction, from `BENCH_codec.json`.
+struct CodecSummary {
+    json_encode_ns: f64,
+    json_decode_ns: f64,
+    binary_encode_ns: f64,
+    binary_decode_ns: f64,
+}
+
+fn codec_summary(report: &Value, path: &str) -> Result<CodecSummary, String> {
+    let f = |key: &str| {
+        report
+            .get(key)
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("{path}: missing numeric \"{key}\""))
+    };
+    Ok(CodecSummary {
+        json_encode_ns: f("json_encode_ns")?,
+        json_decode_ns: f("json_decode_ns")?,
+        binary_encode_ns: f("binary_encode_ns")?,
+        binary_decode_ns: f("binary_decode_ns")?,
+    })
+}
+
+/// Warn-only comparison for a `frame_codec` run: the binary codec must
+/// actually beat JSON in both directions (that is its whole reason to
+/// exist), and neither codec should regress past the tolerance.
+fn guard_codec(base: &CodecSummary, fresh: &CodecSummary, tolerance: f64) -> u32 {
+    let mut warnings = 0;
+    for (dir, json_ns, binary_ns) in [
+        ("encode", fresh.json_encode_ns, fresh.binary_encode_ns),
+        ("decode", fresh.json_decode_ns, fresh.binary_decode_ns),
+    ] {
+        let speedup = json_ns / binary_ns;
+        if speedup < 1.0 {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: binary {dir} ({binary_ns:.0} ns) is slower than JSON ({json_ns:.0} ns)"
+            );
+        } else {
+            println!("bench_guard: binary {dir} ok: {speedup:.1}x faster than JSON ({binary_ns:.0} ns vs {json_ns:.0} ns)");
+        }
+    }
+    for (name, base_ns, fresh_ns) in [
+        ("json encode", base.json_encode_ns, fresh.json_encode_ns),
+        ("json decode", base.json_decode_ns, fresh.json_decode_ns),
+        (
+            "binary encode",
+            base.binary_encode_ns,
+            fresh.binary_encode_ns,
+        ),
+        (
+            "binary decode",
+            base.binary_decode_ns,
+            fresh.binary_decode_ns,
+        ),
+    ] {
+        let ceiling = base_ns * (1.0 + tolerance);
+        if fresh_ns > ceiling {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: {name} {fresh_ns:.0} ns/frame is above baseline {base_ns:.0} + {:.0}% tolerance",
+                tolerance * 100.0
+            );
+        }
+    }
     warnings
 }
 
@@ -286,6 +435,25 @@ fn main() -> ExitCode {
             }
         };
         let warnings = guard_netgrid(&base, &fresh, tolerance);
+        if warnings > 0 {
+            eprintln!(
+                "bench_guard: {warnings} warning(s) — informational only, not failing the build"
+            );
+        }
+        return ExitCode::SUCCESS;
+    }
+    if kind == "frame_codec" {
+        let (base, fresh) = match (
+            codec_summary(&baseline, baseline_path),
+            codec_summary(&fresh, fresh_path),
+        ) {
+            (Ok(b), Ok(f)) => (b, f),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench_guard: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let warnings = guard_codec(&base, &fresh, tolerance);
         if warnings > 0 {
             eprintln!(
                 "bench_guard: {warnings} warning(s) — informational only, not failing the build"
