@@ -28,6 +28,15 @@
 //! columns go null; the separate scale campaign too, since the classic
 //! run *is* the scale run then).
 //!
+//! A final *trust* pair prices trust-adaptive replication: the same
+//! campaign with an honest-but-unreliable fleet plus the saboteur,
+//! once under the fixed-quorum policy and once with `--trust on`. The
+//! `trust_*` columns report the redundancy fraction (replicas issued
+//! per workunit), quorum-rejection counts, wasted reference
+//! CPU-seconds, spot-check tallies and whether the saboteur was
+//! quarantined — the CI `netgrid-trust-smoke` job asserts the last
+//! plus artifact identity.
+//!
 //! `--codec` picks the wire codec for every agent frame: `binary`
 //! (protocol v2, the default) or `json` (protocol v1 — the old-agent
 //! interop path).
@@ -42,7 +51,7 @@ use metrics::quantile;
 use netgrid::{
     http_get, run_agent, run_mux_fleet, AgentConfig, CampaignParams, Codec, FaultProfile,
     JournalConfig, MuxFleetConfig, MuxFleetReport, NetCampaign, NetRunReport, NetServer,
-    NetServerConfig,
+    NetServerConfig, TrustConfig,
 };
 use std::thread;
 use std::time::{Duration, Instant};
@@ -109,6 +118,35 @@ struct NetgridReport {
     scale_request_latency_p99_ms: Option<f64>,
     scale_connections: Option<u64>,
     scale_merged_matches_baseline: Option<bool>,
+    /// Honest (reliable-profile) agents in the trust comparison pair;
+    /// the same corrupt-everything saboteur rides along in both runs.
+    trust_agents: usize,
+    /// Replicas issued per workunit with the fixed-quorum policy
+    /// (`--trust off`): initial + quorum + reissues, over workunits.
+    trust_off_redundancy_frac: f64,
+    /// Replicas issued per workunit with trust-adaptive replication on
+    /// (single-replica issues to trusted agents + seeded spot checks).
+    trust_on_redundancy_frac: f64,
+    /// `(off - on) / off` — the headline saving. Guarded warn-only by
+    /// bench_guard against regressing to ~0.
+    trust_redundancy_reduction_frac: f64,
+    trust_off_quorum_rejects: u64,
+    /// With trust on the saboteur is quarantined after a short run of
+    /// rejections and stops burning quorum slots; the acceptance bar is
+    /// a >= 2x reduction vs `trust_off_quorum_rejects`.
+    trust_on_quorum_rejects: u64,
+    /// Reference CPU-seconds burned on redundant replicas of
+    /// already-validated workunits, fixed-quorum policy.
+    trust_off_wasted_ref_seconds: f64,
+    /// Same measure with trust on. Guarded warn-only by bench_guard.
+    trust_on_wasted_ref_seconds: f64,
+    trust_on_spot_checks_passed: u64,
+    trust_on_spot_checks_failed: u64,
+    /// True when the trust-on run ever quarantined an agent (the
+    /// saboteur); the CI trust-smoke job asserts this.
+    trust_saboteur_quarantined: bool,
+    trust_off_merged_matches_baseline: bool,
+    trust_on_merged_matches_baseline: bool,
 }
 
 /// Everything one campaign run yields, whichever driver carried it.
@@ -134,6 +172,31 @@ fn run_campaign(
     journal: Option<JournalConfig>,
     ops: bool,
 ) -> CampaignOutcome {
+    run_campaign_with(
+        campaign_params,
+        deadline_seconds,
+        honest_agents,
+        seed,
+        codec,
+        journal,
+        ops,
+        FaultProfile::flaky(),
+        false,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_campaign_with(
+    campaign_params: CampaignParams,
+    deadline_seconds: f64,
+    honest_agents: usize,
+    seed: u64,
+    codec: Codec,
+    journal: Option<JournalConfig>,
+    ops: bool,
+    honest_profile: FaultProfile,
+    trust: bool,
+) -> CampaignOutcome {
     let mut config = NetServerConfig {
         campaign: campaign_params,
         sweep_ms: 25,
@@ -141,6 +204,9 @@ fn run_campaign(
         ops_addr: ops.then(|| "127.0.0.1:0".to_string()),
         ..NetServerConfig::loopback(deadline_seconds)
     };
+    if trust {
+        config.faults.trust = TrustConfig::on();
+    }
     if honest_agents > THREADED_FLEET_MAX {
         // The default 64-connection Busy limit models a small server;
         // the scale campaign measures the event loop itself, so the
@@ -189,11 +255,7 @@ fn run_campaign(
         let addr = addr.clone();
         thread::spawn(move || {
             run_agent(AgentConfig {
-                profile: FaultProfile {
-                    disconnect: 0.0,
-                    stall: 0.0,
-                    corrupt: 1.0,
-                },
+                profile: FaultProfile::saboteur(),
                 seed,
                 codec,
                 ..AgentConfig::new(addr, 666)
@@ -207,7 +269,7 @@ fn run_campaign(
     if honest_agents > THREADED_FLEET_MAX {
         let fleet = run_mux_fleet(MuxFleetConfig {
             seed,
-            profile: FaultProfile::flaky(),
+            profile: honest_profile,
             codec,
             timeout: Duration::from_secs(280),
             ..MuxFleetConfig::new(addr, honest_agents)
@@ -237,7 +299,7 @@ fn run_campaign(
                 let addr = addr.clone();
                 thread::spawn(move || {
                     run_agent(AgentConfig {
-                        profile: FaultProfile::flaky(),
+                        profile: honest_profile,
                         threads: if agent == 1 { 2 } else { 1 },
                         seed,
                         codec,
@@ -396,6 +458,29 @@ fn main() {
         )
     });
 
+    // The trust comparison pair: an honest-but-unreliable fleet (drops
+    // and stalls, never corrupts — the fleet the policy is designed to
+    // reward) plus the same corrupt-everything saboteur, once under the
+    // fixed-quorum policy and once with trust-adaptive replication on.
+    // A small threaded fleet regardless of `--agents`: the pair
+    // measures replication policy, not driver throughput.
+    let trust_fleet = honest_agents.min(8);
+    let trust_run = |trust: bool| {
+        run_campaign_with(
+            campaign_params,
+            deadline_seconds,
+            trust_fleet,
+            seed,
+            codec,
+            None,
+            false,
+            FaultProfile::reliable(),
+            trust,
+        )
+    };
+    let trust_off = trust_run(false);
+    let trust_on = trust_run(true);
+
     let baseline = NetCampaign::build(campaign_params).baseline_outputs();
     let baseline_json = serde_json::to_string(&baseline).expect("baseline serializes");
     let matches_baseline = |run: &NetRunReport| {
@@ -405,6 +490,22 @@ fn main() {
     let journal_merged_matches_baseline = journaled.as_ref().map(|o| matches_baseline(&o.run));
     let ops_merged_matches_baseline = ops_enabled.as_ref().map(|o| matches_baseline(&o.run));
     let scale_merged_matches_baseline = scale.as_ref().map(|o| matches_baseline(&o.run));
+
+    // Replicas issued per workunit: every issue class the scheduler
+    // has, over the campaign size. The fixed-quorum floor is 2.0; trust
+    // pulls it toward 1.0 plus the spot-check fraction.
+    let redundancy_frac = |o: &CampaignOutcome| {
+        let s = &o.run.server_stats;
+        (s.initial_issues
+            + s.quorum_issues
+            + s.timeout_reissues
+            + s.error_reissues
+            + s.spot_check_issues) as f64
+            / (o.run.workunits as f64).max(1.0)
+    };
+    let trust_off_redundancy_frac = redundancy_frac(&trust_off);
+    let trust_on_redundancy_frac = redundancy_frac(&trust_on);
+    let trust_summary = trust_on.run.trust.expect("trust-on run has a summary");
 
     let wu_per_sec = |o: &CampaignOutcome| o.run.workunits as f64 / o.run.wall_seconds.max(1e-9);
     let workunits_per_sec = wu_per_sec(&plain);
@@ -456,6 +557,20 @@ fn main() {
             .map(|o| quantile(&o.latencies, 0.99).unwrap_or(0.0)),
         scale_connections: scale.as_ref().map(|o| o.connections),
         scale_merged_matches_baseline,
+        trust_agents: trust_fleet,
+        trust_off_redundancy_frac,
+        trust_on_redundancy_frac,
+        trust_redundancy_reduction_frac: (trust_off_redundancy_frac - trust_on_redundancy_frac)
+            / trust_off_redundancy_frac.max(1e-9),
+        trust_off_quorum_rejects: trust_off.run.net_stats.quorum_rejected,
+        trust_on_quorum_rejects: trust_on.run.net_stats.quorum_rejected,
+        trust_off_wasted_ref_seconds: trust_off.run.wasted_ref_seconds,
+        trust_on_wasted_ref_seconds: trust_on.run.wasted_ref_seconds,
+        trust_on_spot_checks_passed: trust_summary.spot_checks_passed,
+        trust_on_spot_checks_failed: trust_summary.spot_checks_failed,
+        trust_saboteur_quarantined: trust_summary.ever_quarantined >= 1,
+        trust_off_merged_matches_baseline: matches_baseline(&trust_off.run),
+        trust_on_merged_matches_baseline: matches_baseline(&trust_on.run),
     };
     println!(
         "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents [{}] + victim + saboteur, {} codec)",
@@ -511,21 +626,42 @@ fn main() {
         );
     }
     println!(
-        "merged output matches in-process baseline: plain {}, journaled {:?}, ops {:?}, scale {:?}",
+        "trust: redundancy {:.2} -> {:.2} replicas/wu ({:.0}% saved), quorum rejects {} -> {}, \
+         wasted {:.0} -> {:.0} ref-s, spot checks {} passed / {} failed, saboteur quarantined: {}",
+        report.trust_off_redundancy_frac,
+        report.trust_on_redundancy_frac,
+        report.trust_redundancy_reduction_frac * 100.0,
+        report.trust_off_quorum_rejects,
+        report.trust_on_quorum_rejects,
+        report.trust_off_wasted_ref_seconds,
+        report.trust_on_wasted_ref_seconds,
+        report.trust_on_spot_checks_passed,
+        report.trust_on_spot_checks_failed,
+        report.trust_saboteur_quarantined,
+    );
+    println!(
+        "merged output matches in-process baseline: plain {}, journaled {:?}, ops {:?}, scale {:?}, trust off/on {}/{}",
         report.merged_matches_baseline,
         report.journal_merged_matches_baseline,
         report.ops_merged_matches_baseline,
         report.scale_merged_matches_baseline,
+        report.trust_off_merged_matches_baseline,
+        report.trust_on_merged_matches_baseline,
     );
     let ok = report.merged_matches_baseline
         && report.journal_merged_matches_baseline.unwrap_or(true)
         && report.ops_merged_matches_baseline.unwrap_or(true)
-        && report.scale_merged_matches_baseline.unwrap_or(true);
+        && report.scale_merged_matches_baseline.unwrap_or(true)
+        && report.trust_off_merged_matches_baseline
+        && report.trust_on_merged_matches_baseline;
     if !ok {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }
     if report.timeout_reissues == 0 || report.quorum_rejects == 0 {
         eprintln!("netgrid_e2e: WARNING: a fault path went unexercised this run");
+    }
+    if !report.trust_saboteur_quarantined {
+        eprintln!("netgrid_e2e: WARNING: the saboteur escaped quarantine this run");
     }
 
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -129,6 +129,12 @@ pub struct ReportOutcome {
 struct WuState {
     valid_results: u16,
     complete: bool,
+    /// Trust-adaptive replication override, fixed at issue time:
+    /// 0 = follow the validation policy in force at report time (the
+    /// paper's behaviour, bit-identical to every pre-trust trace);
+    /// nonzero = exactly this many valid results complete the workunit.
+    #[serde(default)]
+    needed_override: u16,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -164,12 +170,20 @@ pub struct ServerStats {
     pub errors_received: u64,
     /// Results that arrived after their workunit had completed.
     pub late_results: u64,
+    /// Replicas issued to independently recompute a trusted agent's
+    /// single-replica result (trust-adaptive spot checks).
+    #[serde(default)]
+    pub spot_check_issues: u64,
 }
 
 impl ServerStats {
     /// Total replicas issued.
     pub fn total_issues(&self) -> u64 {
-        self.initial_issues + self.quorum_issues + self.timeout_reissues + self.error_reissues
+        self.initial_issues
+            + self.quorum_issues
+            + self.timeout_reissues
+            + self.error_reissues
+            + self.spot_check_issues
     }
 }
 
@@ -200,6 +214,11 @@ pub struct SchedulerCore {
     /// Fetches that found the cache empty while work existed in the
     /// database — BOINC's "no work available, try again" responses.
     pub feeder_misses: u64,
+    /// Reference CPU seconds of every received result that was *not*
+    /// the effective one — quorum partners, errors, late copies, spot
+    /// checks. The donated-CPU cost of redundancy (the paper's Fig. 6b
+    /// waste, measured instead of modelled).
+    pub wasted_ref_seconds: f64,
     /// Pending reissue causes aligned with the `reissue` queue semantics:
     /// cause of the next issue of each queued workunit.
     reissue_causes: VecDeque<ReissueCause>,
@@ -216,6 +235,19 @@ enum ReissueCause {
     Quorum,
     Timeout,
     Error,
+}
+
+/// Trust-adaptive replication level for a fresh workunit issue,
+/// chosen by the caller from the fetching agent's trust band; see
+/// [`SchedulerCore::fetch_work_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ReplicationOverride {
+    /// One valid result completes the workunit (trusted agents; spot
+    /// checks provide the safety net).
+    Single,
+    /// A byte-matching pair is required regardless of the validation
+    /// policy in force (untrusted agents).
+    Quorum,
 }
 
 /// A serializable image of the scheduler's mutable state, taken with
@@ -241,6 +273,8 @@ pub struct CoreSnapshot {
     stats: ServerStats,
     feeder_cache: Vec<(u32, Option<ReissueCause>)>,
     feeder_misses: u64,
+    #[serde(default)]
+    wasted_ref_seconds: f64,
     catalog_len: usize,
 }
 
@@ -263,6 +297,7 @@ struct ServerTelemetry {
     quorum_issues: &'static telemetry::Counter,
     timeout_reissues: &'static telemetry::Counter,
     error_reissues: &'static telemetry::Counter,
+    spot_check_issues: &'static telemetry::Counter,
     errors_received: &'static telemetry::Counter,
     late_results: &'static telemetry::Counter,
     results_received: &'static telemetry::Counter,
@@ -277,6 +312,7 @@ impl ServerTelemetry {
             quorum_issues: telemetry::counter("server.issues.quorum"),
             timeout_reissues: telemetry::counter("server.issues.timeout"),
             error_reissues: telemetry::counter("server.issues.error"),
+            spot_check_issues: telemetry::counter("server.issues.spotcheck"),
             errors_received: telemetry::counter("server.results.errors"),
             late_results: telemetry::counter("server.results.late"),
             results_received: telemetry::counter("server.results.received"),
@@ -321,6 +357,7 @@ impl SchedulerCore {
             reissue_causes: VecDeque::with_capacity(reissue_capacity),
             feeder_cache: VecDeque::with_capacity(feeder_capacity),
             feeder_misses: 0,
+            wasted_ref_seconds: 0.0,
             tele: ServerTelemetry::new(),
             sample_stride,
             catalog,
@@ -341,6 +378,7 @@ impl SchedulerCore {
             stats: self.stats,
             feeder_cache: self.feeder_cache.iter().copied().collect(),
             feeder_misses: self.feeder_misses,
+            wasted_ref_seconds: self.wasted_ref_seconds,
             catalog_len: self.catalog.len(),
         }
     }
@@ -395,6 +433,7 @@ impl SchedulerCore {
         core.stats = snap.stats;
         core.feeder_cache = snap.feeder_cache.into();
         core.feeder_misses = snap.feeder_misses;
+        core.wasted_ref_seconds = snap.wasted_ref_seconds;
         Ok(core)
     }
 
@@ -475,6 +514,22 @@ impl SchedulerCore {
     /// right now (everything issued and pending, or — with a feeder — the
     /// cache momentarily empty).
     pub fn fetch_work(&mut self, now: SimTime) -> Option<ReplicaAssignment> {
+        self.fetch_work_with(now, None)
+    }
+
+    /// [`Self::fetch_work`] with a trust-adaptive replication override.
+    ///
+    /// The override applies only when the fetch lands on a *fresh*
+    /// workunit (the initial-issue branch); reissues and quorum
+    /// siblings keep whatever replication their workunit was issued
+    /// under, and the feeder path (which pre-resolves issue causes at
+    /// refill time) ignores overrides entirely. `None` reproduces
+    /// `fetch_work` exactly.
+    pub fn fetch_work_with(
+        &mut self,
+        now: SimTime,
+        replication: Option<ReplicationOverride>,
+    ) -> Option<ReplicaAssignment> {
         if let Some(feeder) = self.config.feeder {
             // Fast path: serve straight from the cache front; refill
             // lazily when it runs dry (the real feeder runs
@@ -521,10 +576,26 @@ impl SchedulerCore {
             self.next_new += 1;
             self.stats.initial_issues += 1;
             self.record_issue(now, wu, IssueCause::Initial);
-            // Under quorum validation each fresh workunit needs two
-            // replicas; queue the sibling copy.
-            if self.policy_at(now) == ValidationPolicy::QuorumCompare {
-                self.push_reissue(wu, ReissueCause::Quorum);
+            match replication {
+                // Trusted agent: one valid result completes the
+                // workunit, no sibling — spot checks (issued separately)
+                // are the safety net.
+                Some(ReplicationOverride::Single) => {
+                    self.states[wu as usize].needed_override = 1;
+                }
+                // Untrusted agent: force a byte-matching pair even if
+                // the bounds-check era would have accepted a single.
+                Some(ReplicationOverride::Quorum) => {
+                    self.states[wu as usize].needed_override = 2;
+                    self.push_reissue(wu, ReissueCause::Quorum);
+                }
+                // Under quorum validation each fresh workunit needs two
+                // replicas; queue the sibling copy.
+                None => {
+                    if self.policy_at(now) == ValidationPolicy::QuorumCompare {
+                        self.push_reissue(wu, ReissueCause::Quorum);
+                    }
+                }
             }
             wu
         } else {
@@ -579,13 +650,12 @@ impl SchedulerCore {
         let wu = r.workunit;
         self.results_received += 1;
         self.tele.results_received.inc();
-        let needed = match self.policy_at(now) {
-            ValidationPolicy::QuorumCompare => 2,
-            ValidationPolicy::BoundsCheck => 1,
-        };
+        let ref_s = f64::from(self.catalog[wu as usize].ref_seconds);
+        let needed = self.needed_at(now, wu);
         if erroneous {
             self.stats.errors_received += 1;
             self.tele.errors_received.inc();
+            self.wasted_ref_seconds += ref_s;
             // Rejected; if the workunit still needs results, reissue.
             if !self.states[wu as usize].complete {
                 self.push_reissue(wu, ReissueCause::Error);
@@ -608,6 +678,7 @@ impl SchedulerCore {
             // paper counts it (it arrived) but it is redundant.
             self.stats.late_results += 1;
             self.tele.late_results.inc();
+            self.wasted_ref_seconds += ref_s;
             return ReportOutcome {
                 completed_workunit: false,
                 useful: false,
@@ -637,12 +708,93 @@ impl SchedulerCore {
         } else {
             // First of a quorum pair: needed for validation but not the
             // effective result.
+            self.wasted_ref_seconds += ref_s;
             ReportOutcome {
                 completed_workunit: false,
                 useful: false,
                 erroneous: false,
             }
         }
+    }
+
+    /// Valid results required to complete `wu` as judged at `now`: the
+    /// issue-time trust override when one was set, the validation
+    /// policy in force otherwise.
+    fn needed_at(&self, now: SimTime, wu: u32) -> u16 {
+        match self.states[wu as usize].needed_override {
+            0 => match self.policy_at(now) {
+                ValidationPolicy::QuorumCompare => 2,
+                ValidationPolicy::BoundsCheck => 1,
+            },
+            n => n,
+        }
+    }
+
+    /// Valid results required to complete `wu` right now — the wire
+    /// layer consults this to know whether a workunit validates by
+    /// byte-level quorum (≥ 2) or on its own (1).
+    pub fn replication_needed(&self, now: SimTime, wu: u32) -> u16 {
+        self.needed_at(now, wu)
+    }
+
+    /// Issues a spot-check replica of an already-validated workunit: an
+    /// independent recomputation of a trusted agent's single-replica
+    /// result. Deliberate redundancy, accounted separately from the
+    /// §5.1 reissue causes.
+    pub fn issue_spot_check(&mut self, wu: u32) -> ReplicaAssignment {
+        assert!(
+            self.states[wu as usize].complete,
+            "spot checks recompute completed workunits"
+        );
+        self.stats.spot_check_issues += 1;
+        self.tele.spot_check_issues.inc();
+        self.issue_replica(wu)
+    }
+
+    /// Books a spot-check replica's report. The workunit is already
+    /// complete, so the result is received-but-redundant by
+    /// construction; the byte-level verdict lives in the wire layer.
+    /// Returns the replica's workunit.
+    pub fn note_spot_report(&mut self, replica: ReplicaId) -> u32 {
+        let r = &mut self.replicas[replica.0 as usize];
+        assert!(!r.reported, "replica reported twice");
+        r.reported = true;
+        let wu = r.workunit;
+        self.results_received += 1;
+        self.tele.results_received.inc();
+        self.wasted_ref_seconds += f64::from(self.catalog[wu as usize].ref_seconds);
+        wu
+    }
+
+    /// Retracts a completed workunit after a failed spot check: its
+    /// accepted (single-replica) result can no longer be believed. The
+    /// workunit re-enters the incomplete pool needing a full byte-
+    /// matching quorum, and two fresh replicas are queued (error
+    /// cause — the suspect's result *was* an undetected error).
+    /// Returns false when the workunit was not complete.
+    pub fn invalidate_workunit(&mut self, wu: u32) -> bool {
+        let state = &mut self.states[wu as usize];
+        if !state.complete {
+            return false;
+        }
+        state.complete = false;
+        state.valid_results = 0;
+        state.needed_override = 2;
+        self.completed -= 1;
+        self.results_useful -= 1;
+        // The retracted result was counted useful when it validated;
+        // it turned out to be waste.
+        self.wasted_ref_seconds += f64::from(self.catalog[wu as usize].ref_seconds);
+        self.push_reissue(wu, ReissueCause::Error);
+        self.push_reissue(wu, ReissueCause::Error);
+        true
+    }
+
+    /// Donated reference CPU seconds spent on results that never became
+    /// the effective copy (quorum partners, errors, late copies, spot
+    /// checks, retracted singles).
+    pub fn wasted_ref_seconds(&self) -> f64 {
+        self.wasted_ref_seconds
     }
 
     /// Handles a replica deadline: if the replica never reported and its
@@ -959,6 +1111,96 @@ mod tests {
     #[should_panic(expected = "no workunits")]
     fn empty_catalog_rejected() {
         SchedulerCore::new(Vec::new(), ServerConfig::default());
+    }
+
+    #[test]
+    fn single_override_completes_on_one_result_even_in_the_quorum_era() {
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s
+            .fetch_work_with(t(0.0), Some(ReplicationOverride::Single))
+            .unwrap();
+        assert_eq!(s.replication_needed(t(0.0), a.workunit), 1);
+        // No quorum sibling was queued.
+        assert_eq!(s.reissue_queue_depth(), 0);
+        let r = s.report_result(t(1.0), a.replica, false);
+        assert!(r.completed_workunit && r.useful);
+        assert!(s.is_campaign_complete());
+        assert_eq!(s.stats.quorum_issues, 0);
+        assert_eq!(s.redundancy_factor(), 1.0);
+        assert_eq!(s.wasted_ref_seconds(), 0.0);
+    }
+
+    #[test]
+    fn quorum_override_forces_a_pair_even_in_the_bounds_era() {
+        let cfg = ServerConfig {
+            validation_switch_day: Some(0), // bounds era from t=0
+            ..Default::default()
+        };
+        let mut s = SchedulerCore::new(catalog(1), cfg);
+        let a = s
+            .fetch_work_with(t(0.0), Some(ReplicationOverride::Quorum))
+            .unwrap();
+        assert_eq!(s.replication_needed(t(0.0), a.workunit), 2);
+        let b = s.fetch_work(t(0.0)).expect("the forced sibling");
+        assert_eq!(b.workunit, a.workunit);
+        assert!(!s.report_result(t(1.0), a.replica, false).completed_workunit);
+        assert!(s.report_result(t(2.0), b.replica, false).completed_workunit);
+        assert_eq!(s.stats.quorum_issues, 1);
+    }
+
+    #[test]
+    fn no_override_stays_bit_identical_to_the_policy_path() {
+        // fetch_work and fetch_work_with(None) are the same code path;
+        // the day-110 switch must still govern the quorum need at
+        // report time for un-overridden workunits.
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s.fetch_work_with(t(0.0), None).unwrap();
+        assert_eq!(s.replication_needed(t(0.0), a.workunit), 2);
+        // After the switch day the same workunit needs only one.
+        assert_eq!(s.replication_needed(t(111.0 * 86_400.0), a.workunit), 1);
+    }
+
+    #[test]
+    fn spot_check_reports_are_received_but_redundant() {
+        let mut s = SchedulerCore::new(catalog(1), ServerConfig::default());
+        let a = s
+            .fetch_work_with(t(0.0), Some(ReplicationOverride::Single))
+            .unwrap();
+        s.report_result(t(1.0), a.replica, false);
+        assert!(s.is_campaign_complete());
+        let spot = s.issue_spot_check(a.workunit);
+        assert_eq!(spot.workunit, a.workunit);
+        assert_eq!(s.stats.spot_check_issues, 1);
+        assert_eq!(s.unreported_replica_count(), 1);
+        let wu = s.note_spot_report(spot.replica);
+        assert_eq!(wu, a.workunit);
+        assert_eq!(s.results_received, 2);
+        assert_eq!(s.results_useful, 1, "spot copy is pure redundancy");
+        assert!(s.wasted_ref_seconds() > 0.0);
+    }
+
+    #[test]
+    fn invalidation_reopens_the_workunit_under_forced_quorum() {
+        let mut s = SchedulerCore::new(catalog(2), ServerConfig::default());
+        let a = s
+            .fetch_work_with(t(0.0), Some(ReplicationOverride::Single))
+            .unwrap();
+        s.report_result(t(1.0), a.replica, false);
+        assert_eq!(s.completed_count(), 1);
+
+        assert!(s.invalidate_workunit(a.workunit));
+        assert!(!s.invalidate_workunit(a.workunit), "already retracted");
+        assert_eq!(s.completed_count(), 0);
+        assert_eq!(s.results_useful, 0);
+        assert_eq!(s.replication_needed(t(2.0), a.workunit), 2);
+        // Two fresh replicas are queued ahead of new work.
+        let b = s.fetch_work(t(3.0)).unwrap();
+        let c = s.fetch_work(t(3.0)).unwrap();
+        assert_eq!((b.workunit, c.workunit), (a.workunit, a.workunit));
+        assert!(!s.report_result(t(4.0), b.replica, false).completed_workunit);
+        assert!(s.report_result(t(5.0), c.replica, false).completed_workunit);
+        assert_eq!(s.completed_count(), 1);
+        assert_eq!(s.stats.error_reissues, 2);
     }
 }
 

@@ -15,8 +15,8 @@
 //! that guarantee.
 
 pub use crate::sched::{
-    CoreSnapshot, FeederConfig, ReplicaAssignment, ReplicaId, ReportOutcome, SchedulerCore,
-    ServerConfig, ServerStats, ValidationPolicy, WorkunitCatalogEntry,
+    CoreSnapshot, FeederConfig, ReplicaAssignment, ReplicaId, ReplicationOverride, ReportOutcome,
+    SchedulerCore, ServerConfig, ServerStats, ValidationPolicy, WorkunitCatalogEntry,
 };
 
 /// The task server driven by the discrete-event simulator — exactly the

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! hcmd-agent [--addr 127.0.0.1:7070] [--agent 1] [--threads 4]
-//!            [--fault-profile none|flaky] [--seed 0] [--codec binary|json]
+//!            [--fault-profile none|flaky|reliable|saboteur] [--seed 0]
+//!            [--codec binary|json]
 //! ```
 //!
 //! Connects to an `hcmd-server`, learns the campaign from `HelloAck`,
@@ -18,7 +19,8 @@ use netgrid::{run_agent, AgentConfig, Codec, FaultProfile};
 fn usage() -> ! {
     eprintln!(
         "usage: hcmd-agent [--addr HOST:PORT] [--agent N] [--threads N] \
-         [--fault-profile none|flaky] [--seed N] [--codec binary|json]"
+         [--fault-profile none|flaky|reliable|saboteur] [--seed N] \
+         [--codec binary|json]"
     );
     std::process::exit(2);
 }

@@ -5,6 +5,8 @@
 //!             [--h-seconds 40] [--deadline 30] [--max-connections 64]
 //!             [--events PATH] [--journal DIR] [--fsync always|never|every=N]
 //!             [--snapshot-every N] [--out PATH] [--ops-addr HOST:PORT]
+//!             [--trust on|off] [--trust-spot-rate F] [--trust-spot-seed N]
+//!             [--trust-min-samples N] [--trust-state-out PATH]
 //! ```
 //!
 //! Binds, prints the resolved address, then runs the campaign to
@@ -22,6 +24,14 @@
 //! the crash left it (see DESIGN.md §6 "Durability"). `--out PATH`
 //! writes the merged validated artifact as JSON on completion, which
 //! the restart smoke test byte-compares against an uninterrupted run.
+//!
+//! With `--trust on` the server runs trust-adaptive replication (see
+//! DESIGN.md §6 "Trust-adaptive replication"): agents with a clean
+//! accept history get single-replica issues backed by seeded spot
+//! checks, agents with a dirty one get full quorum or quarantine.
+//! `--trust-state-out PATH` writes the closing per-agent trust ledger
+//! as JSON, which the trust restart regression compares across a
+//! `kill -9`.
 
 use netgrid::{FsyncPolicy, JournalConfig, NetServer, NetServerConfig};
 
@@ -30,7 +40,9 @@ fn usage() -> ! {
         "usage: hcmd-server [--addr HOST:PORT] [--proteins N] [--seed N] \
          [--h-seconds S] [--deadline S] [--max-connections N] [--events PATH] \
          [--journal DIR] [--fsync always|never|every=N] [--snapshot-every N] \
-         [--out PATH] [--ops-addr HOST:PORT]"
+         [--out PATH] [--ops-addr HOST:PORT] [--trust on|off] \
+         [--trust-spot-rate F] [--trust-spot-seed N] [--trust-min-samples N] \
+         [--trust-state-out PATH]"
     );
     std::process::exit(2);
 }
@@ -45,6 +57,7 @@ fn main() {
     config.addr = "127.0.0.1:7070".into();
     let mut events: Option<String> = None;
     let mut out: Option<String> = None;
+    let mut trust_state_out: Option<String> = None;
     let mut fsync = FsyncPolicy::default();
     let mut snapshot_every = 4096u64;
 
@@ -85,6 +98,24 @@ fn main() {
             }
             "--out" => out = Some(take(&args, &mut i)),
             "--ops-addr" => config.ops_addr = Some(take(&args, &mut i)),
+            "--trust" => match take(&args, &mut i).as_str() {
+                "on" => config.faults.trust.enabled = true,
+                "off" => config.faults.trust.enabled = false,
+                _ => usage(),
+            },
+            "--trust-spot-rate" => {
+                config.faults.trust.spot_check_rate =
+                    take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--trust-spot-seed" => {
+                config.faults.trust.spot_seed =
+                    take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--trust-min-samples" => {
+                config.faults.trust.min_samples =
+                    take(&args, &mut i).parse().unwrap_or_else(|_| usage())
+            }
+            "--trust-state-out" => trust_state_out = Some(take(&args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -144,6 +175,33 @@ fn main() {
                 report.net_stats.deadline_expiries,
                 report.net_stats.backoffs_sent
             );
+            if let Some(t) = &report.trust {
+                println!(
+                    "trust: {} trusted, {} probation, {} untrusted, {} quarantined \
+                     ({} ever), spot checks {} passed / {} failed, {} fetches denied, \
+                     {} workunits retracted, {:.0} ref-s wasted",
+                    t.trusted,
+                    t.probation,
+                    t.untrusted,
+                    t.quarantined,
+                    t.ever_quarantined,
+                    t.spot_checks_passed,
+                    t.spot_checks_failed,
+                    report.net_stats.trust_denied_fetches,
+                    report.net_stats.workunits_invalidated,
+                    report.wasted_ref_seconds
+                );
+            }
+            if let Some(path) = &trust_state_out {
+                let json =
+                    serde_json::to_string(&report.agent_trust).expect("AgentTrust serializes");
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("hcmd-server: cannot write trust state {path}: {e}");
+                    telemetry::shutdown();
+                    std::process::exit(1);
+                }
+                println!("trust state written to {path}");
+            }
             if let Some(path) = &out {
                 let json =
                     serde_json::to_string(&report.outputs).expect("DockingOutput serializes");

@@ -70,13 +70,42 @@ impl FaultProfile {
         }
     }
 
-    /// Parses a profile name (`none` | `flaky`), as accepted by
-    /// `hcmd-agent --fault-profile`.
+    /// An honest-but-unreliable volunteer: drops connections and stalls
+    /// like `flaky`, but never corrupts a payload. This is the fleet
+    /// the trust policy is designed to reward — its results are always
+    /// byte-correct, so single-replica issues to it are safe and the
+    /// merged artifact stays baseline-identical.
+    pub fn reliable() -> Self {
+        Self {
+            disconnect: 0.15,
+            stall: 0.10,
+            corrupt: 0.0,
+        }
+    }
+
+    /// The cheat: corrupts every payload it touches, never drops or
+    /// stalls. Under the fixed quorum it burns rejection slots all
+    /// campaign; under `--trust on` it is quarantined after a short
+    /// run of rejections (README "Starving the saboteur").
+    pub fn saboteur() -> Self {
+        Self {
+            disconnect: 0.0,
+            stall: 0.0,
+            corrupt: 1.0,
+        }
+    }
+
+    /// Parses a profile name (`none` | `flaky` | `reliable` |
+    /// `saboteur`), as accepted by `hcmd-agent --fault-profile`.
     pub fn parse(name: &str) -> Result<Self, String> {
         match name {
             "none" => Ok(Self::none()),
             "flaky" => Ok(Self::flaky()),
-            other => Err(format!("unknown fault profile '{other}' (none|flaky)")),
+            "reliable" => Ok(Self::reliable()),
+            "saboteur" => Ok(Self::saboteur()),
+            other => Err(format!(
+                "unknown fault profile '{other}' (none|flaky|reliable|saboteur)"
+            )),
         }
     }
 }
@@ -153,6 +182,10 @@ pub struct ServerFaults {
     /// retries so they do not re-collide; derived from the agent id,
     /// not a clock, to keep runs reproducible).
     pub backoff_jitter_ms: u64,
+    /// Trust-adaptive replication policy. In the journal header
+    /// identity alongside the other knobs: a journal written under one
+    /// trust policy refuses to replay under another.
+    pub trust: crate::trust::TrustConfig,
 }
 
 impl Default for ServerFaults {
@@ -162,6 +195,7 @@ impl Default for ServerFaults {
             backoff_base_ms: 20,
             backoff_max_ms: 2_000,
             backoff_jitter_ms: 17,
+            trust: crate::trust::TrustConfig::off(),
         }
     }
 }

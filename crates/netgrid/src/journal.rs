@@ -34,10 +34,12 @@
 //!
 //! Replayed reports need their payloads only when the payload became
 //! server state: accepted artifacts and quorum candidates are journaled
-//! in full, while `BoundsRejected` and `Duplicate` reports — whose
-//! payloads the server discards on arrival — are replayed with a
-//! synthesized empty payload (an empty result file always fails the
-//! §5.2 line-count check, reproducing the rejection exactly).
+//! in full, while `BoundsRejected`, `Duplicate`, `SpotMismatch` and
+//! `SpotVoid` reports — whose payloads the server discards on arrival —
+//! are replayed with a synthesized empty payload (an empty result file
+//! always fails the §5.2 line-count check, and an empty payload's
+//! fingerprint never matches an accepted artifact, reproducing each
+//! rejection exactly).
 //!
 //! # Consistency model
 //!
@@ -440,8 +442,18 @@ fn apply(state: &mut GridState, campaign: &NetCampaign, rec: &JournalRecord) -> 
                 // The server discarded these payloads on arrival; an
                 // empty result file fails the §5.2 line-count check, so
                 // it reproduces the bounds rejection, and a duplicate is
-                // dropped before its payload is ever inspected.
-                (None, Verdict::BoundsRejected | Verdict::Duplicate) => DockingOutput {
+                // dropped before its payload is ever inspected. A spot
+                // mismatch is judged by fingerprint against the accepted
+                // artifact — an empty payload never matches a real one,
+                // reproducing the mismatch — and a voided spot check
+                // never looks at its payload at all.
+                (
+                    None,
+                    Verdict::BoundsRejected
+                    | Verdict::Duplicate
+                    | Verdict::SpotMismatch
+                    | Verdict::SpotVoid,
+                ) => DockingOutput {
                     rows: Vec::new(),
                     evaluations: 0,
                 },

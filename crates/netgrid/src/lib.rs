@@ -33,7 +33,11 @@
 //!   past the deadline, bit-flipped payloads, connection limits;
 //! * [`journal`] — write-ahead journal + compacting snapshots, so a
 //!   `kill -9` mid-campaign resumes from disk and finishes with the
-//!   identical merged artifact.
+//!   identical merged artifact;
+//! * [`trust`] — the trust-adaptive replication policy: a journaled
+//!   per-agent accept/reject ledger drives three replication bands
+//!   (trusted singles with seeded spot checks, probation quorum,
+//!   untrusted quarantine with exponential re-admission).
 //!
 //! See DESIGN.md §6 for the frame layout, both state machines, how
 //! each injected fault maps to a §5.1 failure class, and the journal's
@@ -49,6 +53,7 @@ pub mod protocol;
 pub mod server;
 pub mod state;
 pub mod sys;
+pub mod trust;
 
 pub use agent::{run_agent, AgentConfig, AgentReport};
 pub use campaign::NetCampaign;
@@ -60,5 +65,6 @@ pub use protocol::{CampaignParams, Codec, DecodeError, Message};
 pub use server::{NetRunReport, NetServer, NetServerConfig};
 pub use state::{
     AgentLedger, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot, ResultDisposition,
-    Verdict, WorkReply,
+    TrustSummary, Verdict, WorkReply,
 };
+pub use trust::{AgentTrust, TrustBand, TrustConfig};

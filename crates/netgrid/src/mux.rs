@@ -63,6 +63,11 @@ pub struct MuxFleetConfig {
     /// Fault profile applied to every simulated agent (each agent still
     /// draws from its own id-salted dice stream).
     pub profile: FaultProfile,
+    /// The first `saboteurs` agent ids (1..=saboteurs) corrupt *every*
+    /// payload instead of drawing from `profile` — the adversary the
+    /// trust policy is designed to starve. Low ids, so a saboteur fleet
+    /// is deterministic regardless of fleet size.
+    pub saboteurs: usize,
     /// Wire codec for every frame the fleet sends.
     pub codec: Codec,
     /// Peak simultaneously-open connections; agents beyond it queue for
@@ -92,6 +97,7 @@ impl MuxFleetConfig {
             agents,
             seed: 0,
             profile: FaultProfile::none(),
+            saboteurs: 0,
             codec: Codec::Binary,
             max_open: 8_000,
             connect_batch: 64,
@@ -268,11 +274,20 @@ impl Driver {
     fn new(config: MuxFleetConfig) -> io::Result<Self> {
         let start = Instant::now();
         let agents = (1..=config.agents as u64)
-            .map(|id| MuxAgent {
-                id,
-                dice: FaultDice::new(config.seed, id, config.profile),
-                state: AState::Offline { until: start },
-                conn: None,
+            .map(|id| {
+                // Saboteurs corrupt unconditionally; everyone else rolls
+                // the configured profile.
+                let profile = if id <= config.saboteurs as u64 {
+                    FaultProfile::saboteur()
+                } else {
+                    config.profile
+                };
+                MuxAgent {
+                    id,
+                    dice: FaultDice::new(config.seed, id, profile),
+                    state: AState::Offline { until: start },
+                    conn: None,
+                }
             })
             .collect();
         let (compute_tx, compute_rx) = mpsc::channel();
@@ -818,8 +833,8 @@ impl Driver {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::CampaignParams;
     use crate::server::{NetServer, NetServerConfig};
+    use crate::trust::{TrustBand, TrustConfig};
 
     /// A mux fleet alone must carry a campaign to completion and the
     /// server's merged artifact must equal the in-process baseline —
@@ -888,6 +903,59 @@ mod tests {
         assert_eq!(
             serde_json::to_string(&run.outputs).unwrap(),
             serde_json::to_string(&baseline).unwrap(),
+        );
+    }
+
+    /// A saboteur that corrupts every payload, against a trust-on
+    /// server: the campaign must still finish with the baseline
+    /// artifact, and the saboteur must end the run quarantined —
+    /// starved of work instead of burning replicas.
+    #[test]
+    fn mux_saboteur_is_quarantined_under_trust() {
+        let mut config = NetServerConfig {
+            sweep_ms: 25,
+            ..NetServerConfig::loopback(2.0)
+        };
+        config.faults.trust = TrustConfig::on();
+        let trust_cfg = config.faults.trust;
+        let params = config.campaign;
+        let server = NetServer::bind(config).expect("bind");
+        let addr = server.local_addr().expect("addr").to_string();
+        let server = thread::spawn(move || server.run());
+
+        let fleet = run_mux_fleet(MuxFleetConfig {
+            seed: 13,
+            saboteurs: 1,
+            timeout: Duration::from_secs(120),
+            ..MuxFleetConfig::new(addr, 8)
+        })
+        .expect("fleet ran");
+        let run = server.join().unwrap().expect("server ran");
+
+        assert!(fleet.saw_completion);
+        assert!(fleet.corrupt_faults > 0, "saboteur never got to corrupt");
+        let trust = run.trust.expect("trust summary present when enabled");
+        assert!(
+            trust.ever_quarantined >= 1,
+            "saboteur should have been quarantined: {trust:?}"
+        );
+        let saboteur = run
+            .agent_trust
+            .iter()
+            .find(|(a, _)| *a == 1)
+            .map(|(_, t)| *t)
+            .expect("saboteur fetched work");
+        assert_eq!(
+            saboteur.band(f64::MAX, &trust_cfg),
+            TrustBand::Probation,
+            "a quarantined window resets to a fresh probation ledger"
+        );
+        assert!(saboteur.quarantine_count >= 1);
+        let baseline = NetCampaign::build(params).baseline_outputs();
+        assert_eq!(
+            serde_json::to_string(&run.outputs).unwrap(),
+            serde_json::to_string(&baseline).unwrap(),
+            "trust must never cost artifact correctness"
         );
     }
 }

@@ -452,6 +452,64 @@ pub fn render_metrics(snap: &OpsSnapshot) -> String {
         r.sample(&n, &[], j.wal_appends_since_snapshot as f64);
     }
 
+    let n = r.family(
+        "hcmd_wasted_ref_seconds",
+        MetricKind::Gauge,
+        "Reference CPU seconds burned on results that were not useful",
+    );
+    r.sample(&n, &[], snap.wasted_ref_seconds);
+
+    let n = r.family(
+        "hcmd_trust_enabled",
+        MetricKind::Gauge,
+        "1 when trust-adaptive replication is on",
+    );
+    r.sample(&n, &[], if snap.trust.is_some() { 1.0 } else { 0.0 });
+
+    if let Some(t) = &snap.trust {
+        let n = r.family(
+            "hcmd_trust_band_agents",
+            MetricKind::Gauge,
+            "Agents per trust band",
+        );
+        r.sample(&n, &[("band", "trusted")], t.trusted as f64);
+        r.sample(&n, &[("band", "probation")], t.probation as f64);
+        r.sample(&n, &[("band", "untrusted")], t.untrusted as f64);
+        r.sample(&n, &[("band", "quarantined")], t.quarantined as f64);
+
+        let n = r.family(
+            "hcmd_trust_spot_checks",
+            MetricKind::Counter,
+            "Seeded spot-check recomputations by outcome",
+        );
+        r.sample(&n, &[("result", "passed")], t.spot_checks_passed as f64);
+        r.sample(&n, &[("result", "failed")], t.spot_checks_failed as f64);
+
+        let n = r.family(
+            "hcmd_trust_denied_fetches",
+            MetricKind::Counter,
+            "Fetches refused because the agent is quarantined",
+        );
+        r.sample(&n, &[], snap.net_stats.trust_denied_fetches as f64);
+
+        let n = r.family(
+            "hcmd_trust_workunits_invalidated",
+            MetricKind::Counter,
+            "Validated workunits retracted after a failed spot check",
+        );
+        r.sample(&n, &[], snap.net_stats.workunits_invalidated as f64);
+
+        let n = r.family(
+            "hcmd_trust_agent_score",
+            MetricKind::Gauge,
+            "Per-agent accept ratio over the current scoring window",
+        );
+        for (agent, score, _band) in &snap.agents_trust {
+            let agent = agent.to_string();
+            r.sample(&n, &[("agent", agent.as_str())], *score);
+        }
+    }
+
     doc.push_str(&r.finish());
     doc
 }
@@ -504,14 +562,28 @@ pub fn render_dashboard(snap: &OpsSnapshot) -> String {
         ));
     }
 
+    let trust_on = snap.trust.is_some();
+    let trust_of = |agent: u64| -> String {
+        snap.agents_trust
+            .iter()
+            .find(|&&(a, _, _)| a == agent)
+            .map(|&(_, score, band)| format!("{band:?} ({score:.2})"))
+            .unwrap_or_else(|| "&mdash;".into())
+    };
     let mut agent_rows = String::new();
     for (agent, l) in &snap.agents {
+        let trust_cell = if trust_on {
+            format!("<td>{}</td>", trust_of(*agent))
+        } else {
+            String::new()
+        };
         agent_rows.push_str(&format!(
             "<tr><td>{agent}</td><td class=\"num\">{}</td><td class=\"num\">{}</td>\
-             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{:.1}s</td></tr>\n",
-            l.assignments, l.reports, l.accepted, l.rejected, l.last_seen_s
+             <td class=\"num\">{}</td><td class=\"num\">{}</td><td class=\"num\">{:.1}s</td>{}</tr>\n",
+            l.assignments, l.reports, l.accepted, l.rejected, l.last_seen_s, trust_cell
         ));
     }
+    let trust_th = if trust_on { "<th>Trust</th>" } else { "" };
 
     let journal_tile = match &snap.journal {
         Some(j) => format!(
@@ -520,6 +592,24 @@ pub fn render_dashboard(snap: &OpsSnapshot) -> String {
             j.epoch, j.wal_appends_since_snapshot
         ),
         None => "<div class=\"tile\"><div class=\"label\">Journal</div>\
+             <div class=\"value\">off</div></div>"
+            .into(),
+    };
+
+    let trust_tile = match &snap.trust {
+        Some(t) => format!(
+            "<div class=\"tile\"><div class=\"label\">Trust bands T/P/U/Q</div>\
+             <div class=\"value\">{} / {} / {} / {}</div></div>\
+             <div class=\"tile\"><div class=\"label\">Spot checks pass/fail</div>\
+             <div class=\"value\">{} / {}</div></div>",
+            t.trusted,
+            t.probation,
+            t.untrusted,
+            t.quarantined,
+            t.spot_checks_passed,
+            t.spot_checks_failed
+        ),
+        None => "<div class=\"tile\"><div class=\"label\">Trust policy</div>\
              <div class=\"value\">off</div></div>"
             .into(),
     };
@@ -597,6 +687,7 @@ td.barcell {{ width: 220px; }}
   <div class="tile"><div class="label">Outstanding replicas</div><div class="value">{outstanding}</div></div>
   <div class="tile"><div class="label">Reissue queue</div><div class="value">{reissue_queue}</div></div>
   {journal_tile}
+  {trust_tile}
 </div>
 <h2>Per-receptor progression</h2>
 <table>
@@ -606,7 +697,7 @@ td.barcell {{ width: 220px; }}
 </table>
 <h2>Agents ({agent_count})</h2>
 <table>
-<thead><tr><th>Agent</th><th>Assignments</th><th>Reports</th><th>Accepted</th><th>Rejected</th><th>Last seen</th></tr></thead>
+<thead><tr><th>Agent</th><th>Assignments</th><th>Reports</th><th>Accepted</th><th>Rejected</th><th>Last seen</th>{trust_th}</tr></thead>
 <tbody>
 {agent_rows}</tbody>
 </table>
@@ -628,9 +719,11 @@ td.barcell {{ width: 220px; }}
         outstanding = snap.outstanding_replicas,
         reissue_queue = snap.reissue_queue_depth,
         journal_tile = journal_tile,
+        trust_tile = trust_tile,
         receptor_rows = receptor_rows,
         agent_count = snap.agents.len(),
         agent_rows = agent_rows,
+        trust_th = trust_th,
     )
 }
 
@@ -662,7 +755,8 @@ pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::{AgentLedger, JournalOps};
+    use crate::state::{AgentLedger, JournalOps, TrustSummary};
+    use crate::trust::TrustBand;
     use gridsim::{ReceptorProgress, WuStateCounts};
 
     fn snap() -> OpsSnapshot {
@@ -711,6 +805,17 @@ mod tests {
                     last_seen_s: 11.0,
                 },
             )],
+            wasted_ref_seconds: 750.0,
+            trust: Some(TrustSummary {
+                trusted: 3,
+                probation: 2,
+                untrusted: 1,
+                quarantined: 1,
+                ever_quarantined: 1,
+                spot_checks_passed: 6,
+                spot_checks_failed: 1,
+            }),
+            agents_trust: vec![(9, 0.96, TrustBand::Trusted)],
         }
     }
 
@@ -725,6 +830,13 @@ mod tests {
         assert!(text.contains("hcmd_journal_epoch 3"));
         assert!(text.contains("hcmd_journal_wal_appends_since_snapshot 17"));
         assert!(text.contains("hcmd_campaign_complete 0"));
+        assert!(text.contains("hcmd_wasted_ref_seconds 750"));
+        assert!(text.contains("hcmd_trust_enabled 1"));
+        assert!(text.contains("hcmd_trust_band_agents{band=\"trusted\"} 3"));
+        assert!(text.contains("hcmd_trust_band_agents{band=\"quarantined\"} 1"));
+        assert!(text.contains("hcmd_trust_spot_checks{result=\"passed\"} 6"));
+        assert!(text.contains("hcmd_trust_spot_checks{result=\"failed\"} 1"));
+        assert!(text.contains("hcmd_trust_agent_score{agent=\"9\"} 0.96"));
         // Every family is announced before it is sampled.
         for family in ["hcmd_wu_states", "hcmd_results_received"] {
             let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
@@ -743,6 +855,9 @@ mod tests {
             ("200.00", "VFTP tile"),
             ("3 / 17", "journal epoch / lag tile"),
             ("<td>9</td>", "agent row"),
+            ("3 / 2 / 1 / 1", "trust band tile"),
+            ("6 / 1", "spot check tile"),
+            ("Trusted (0.96)", "agent trust column"),
             ("prefers-color-scheme: dark", "dark mode palette"),
         ] {
             assert!(html.contains(needle), "missing {why}: {needle}");

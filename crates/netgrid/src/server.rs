@@ -103,6 +103,13 @@ pub struct NetRunReport {
     pub connections: u64,
     /// Connections turned away at the limit.
     pub rejected_connections: u64,
+    /// Reference CPU seconds burned on results that were not useful.
+    pub wasted_ref_seconds: f64,
+    /// Trust band census at shutdown; `None` when the policy is off.
+    pub trust: Option<crate::state::TrustSummary>,
+    /// Per-agent trust ledger at shutdown, sorted by agent id; empty
+    /// when the policy is off.
+    pub agent_trust: Vec<(u64, crate::trust::AgentTrust)>,
 }
 
 /// A bound, not-yet-running server.
@@ -304,6 +311,9 @@ impl NetServer {
         Ok(NetRunReport {
             server_stats: state.server_stats(),
             net_stats: state.net_stats,
+            wasted_ref_seconds: state.wasted_ref_seconds(),
+            trust: state.trust_summary(),
+            agent_trust: state.agent_trust_table(),
             outputs,
             wall_seconds,
             workunits: self.campaign.len(),
@@ -618,6 +628,8 @@ impl EventLoop {
                         crate::state::Verdict::Accepted
                             | crate::state::Verdict::QuorumPending
                             | crate::state::Verdict::Late
+                            | crate::state::Verdict::SpotConfirmed
+                            | crate::state::Verdict::SpotVoid
                     ),
                     completed_workunit: disposition.completed_workunit,
                     campaign_complete: disposition.campaign_complete,

@@ -28,15 +28,16 @@ use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
 use crate::journal::{Journal, JournalRecord};
 use crate::protocol::fnv1a64;
+use crate::trust::{spot_selected, AgentTrust, TrustBand};
 use gridsim::server::{
-    CoreSnapshot, ReplicaAssignment, ReplicaId, SchedulerCore, ServerConfig, ServerStats,
-    ValidationPolicy,
+    CoreSnapshot, ReplicaAssignment, ReplicaId, ReplicationOverride, SchedulerCore, ServerConfig,
+    ServerStats,
 };
 use gridsim::SimTime;
 use gridsim::{ReceptorProgress, WuStateCounts};
 use maxdo::DockingOutput;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use telemetry::{self, Event};
 use validation::{checks::check_file, ValueRanges};
 
@@ -74,6 +75,16 @@ pub enum Verdict {
     /// Valid, but its workunit had already validated (paper: counted,
     /// redundant).
     Late,
+    /// A spot-check recomputation that byte-matched the accepted
+    /// single-replica result it was auditing.
+    SpotConfirmed,
+    /// A spot-check recomputation that disagreed with the accepted
+    /// result: the audited agent's trust craters and its unconfirmed
+    /// singles are retracted for re-replication.
+    SpotMismatch,
+    /// A spot-check whose target workunit was retracted while the check
+    /// was in flight — nothing left to compare against.
+    SpotVoid,
 }
 
 /// Everything the transport needs to answer a `ResultReport`.
@@ -100,6 +111,20 @@ pub struct NetStats {
     pub deadline_expiries: u64,
     /// Fetches answered with a backoff.
     pub backoffs_sent: u64,
+    /// Fetches denied because the agent is quarantined (a subset of
+    /// `backoffs_sent`).
+    #[serde(default)]
+    pub trust_denied_fetches: u64,
+    /// Spot-check recomputations that byte-matched the audited result.
+    #[serde(default)]
+    pub spot_checks_passed: u64,
+    /// Spot-check recomputations that mismatched (each craters the
+    /// audited agent's trust).
+    #[serde(default)]
+    pub spot_checks_failed: u64,
+    /// Validated workunits retracted after a failed spot check.
+    #[serde(default)]
+    pub workunits_invalidated: u64,
 }
 
 struct Tele {
@@ -137,6 +162,25 @@ pub struct AgentLedger {
     pub rejected: u64,
     /// Server-clock second of the agent's last fetch or report.
     pub last_seen_s: f64,
+}
+
+/// End-of-run trust accounting; see [`GridState::trust_summary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrustSummary {
+    /// Agents whose history earns single-replica issues.
+    pub trusted: usize,
+    /// Agents on the standard quorum (newcomers and middling scores).
+    pub probation: usize,
+    /// Agents under forced quorum.
+    pub untrusted: usize,
+    /// Agents currently serving quarantine.
+    pub quarantined: usize,
+    /// Agents quarantined at least once over the campaign.
+    pub ever_quarantined: usize,
+    /// Spot checks that byte-matched the audited result.
+    pub spot_checks_passed: u64,
+    /// Spot checks that mismatched.
+    pub spot_checks_failed: u64,
 }
 
 /// Journal health as seen by the ops endpoint.
@@ -186,6 +230,17 @@ pub struct OpsSnapshot {
     pub journal: Option<JournalOps>,
     /// Per-agent ledger, sorted by agent id.
     pub agents: Vec<(u64, AgentLedger)>,
+    /// Reference CPU seconds burned on results that were not useful
+    /// (redundant surplus, rejects, late reports, spot recomputations).
+    #[serde(default)]
+    pub wasted_ref_seconds: f64,
+    /// Trust band census; `None` when the trust policy is off.
+    #[serde(default)]
+    pub trust: Option<TrustSummary>,
+    /// Per-agent trust score and band, sorted by agent id; empty when
+    /// the trust policy is off.
+    #[serde(default)]
+    pub agents_trust: Vec<(u64, f64, TrustBand)>,
 }
 
 /// The live grid's server state (scheduling + validation + payloads),
@@ -200,18 +255,34 @@ pub struct GridState {
     /// Replicas that have reported (wire-level dedup; the core panics on
     /// double reports).
     reported: std::collections::HashSet<u64>,
-    /// Quorum candidates per incomplete workunit: payload fingerprint +
+    /// Quorum candidates per incomplete workunit: payload fingerprint,
     /// the payload itself (kept so the *matched* copy becomes the
-    /// accepted artifact).
-    candidates: HashMap<u32, Vec<(u64, DockingOutput)>>,
+    /// accepted artifact), and the reporting agent (`u64::MAX` when the
+    /// replica was never attributed) so quorum partners earn trust
+    /// credit when their pair completes.
+    candidates: HashMap<u32, Vec<(u64, DockingOutput, u64)>>,
     /// The validated output per workunit, in catalog order.
     accepted: Vec<Option<DockingOutput>>,
     /// Consecutive empty fetches per agent (drives backoff).
     misses: HashMap<u64, u32>,
     /// Which agent holds each issued replica — lets a report (which
     /// carries no agent id on the wire) be attributed back to the agent
-    /// the replica was assigned to.
+    /// the replica was assigned to. Promoted into [`GridSnapshot`] with
+    /// the trust ledger: trust credit flows through this map, so a
+    /// restart must reconstruct it exactly.
     replica_agent: HashMap<u64, u64>,
+    /// Per-agent accept/reject history driving the replication bands.
+    /// Journaled (unlike the advisory `agents` ledger): trust decisions
+    /// change scheduling, so they must survive `kill -9`.
+    agent_trust: HashMap<u64, AgentTrust>,
+    /// Trusted agents' accepted singles not yet independently
+    /// confirmed, per suspect agent — the set a failed spot check
+    /// retracts retroactively.
+    unverified: HashMap<u64, Vec<u32>>,
+    /// Spot checks awaiting an independent agent: (workunit, suspect).
+    spot_queue: VecDeque<(u32, u64)>,
+    /// Spot-check replicas in flight: replica → (workunit, suspect).
+    spot_outstanding: HashMap<u64, (u32, u64)>,
     /// Per-agent assignment/report accounting for the ops endpoint.
     /// Advisory: rebuilt from `Fetch` records on journal replay but not
     /// part of [`GridSnapshot`], so it restarts empty after a
@@ -230,6 +301,10 @@ pub struct GridState {
     tele: Tele,
 }
 
+/// One workunit's banked candidate list as the snapshot stores it:
+/// `(fingerprint, payload, reporting agent)` per candidate.
+type CandidateRows = Vec<(u64, DockingOutput, u64)>;
+
 /// A complete, serializable copy of [`GridState`] — what the journal's
 /// compacting snapshot persists. Maps are flattened to key-sorted pairs
 /// so equal states snapshot to identical bytes.
@@ -238,11 +313,21 @@ pub struct GridSnapshot {
     core: CoreSnapshot,
     outstanding: Vec<(u64, f64)>,
     reported: Vec<u64>,
-    candidates: Vec<(u32, Vec<(u64, DockingOutput)>)>,
+    candidates: Vec<(u32, CandidateRows)>,
     accepted: Vec<Option<DockingOutput>>,
     misses: Vec<(u64, u32)>,
     net_stats: NetStats,
     last_now: f64,
+    #[serde(default)]
+    replica_agent: Vec<(u64, u64)>,
+    #[serde(default)]
+    agent_trust: Vec<(u64, AgentTrust)>,
+    #[serde(default)]
+    unverified: Vec<(u64, Vec<u32>)>,
+    #[serde(default)]
+    spot_queue: Vec<(u32, u64)>,
+    #[serde(default)]
+    spot_outstanding: Vec<(u64, (u32, u64))>,
 }
 
 impl GridState {
@@ -258,6 +343,10 @@ impl GridState {
             accepted: vec![None; campaign.len()],
             misses: HashMap::new(),
             replica_agent: HashMap::new(),
+            agent_trust: HashMap::new(),
+            unverified: HashMap::new(),
+            spot_queue: VecDeque::new(),
+            spot_outstanding: HashMap::new(),
             agents: HashMap::new(),
             net_stats: NetStats::default(),
             last_now: 0.0,
@@ -292,7 +381,7 @@ impl GridState {
         }
         let mut reported: Vec<u64> = self.reported.iter().copied().collect();
         reported.sort_unstable();
-        let mut candidates: Vec<(u32, Vec<(u64, DockingOutput)>)> = self
+        let mut candidates: Vec<(u32, CandidateRows)> = self
             .candidates
             .iter()
             .map(|(&wu, v)| (wu, v.clone()))
@@ -307,6 +396,11 @@ impl GridState {
             misses: sorted(&self.misses),
             net_stats: self.net_stats,
             last_now: self.last_now,
+            replica_agent: sorted(&self.replica_agent),
+            agent_trust: sorted(&self.agent_trust),
+            unverified: sorted(&self.unverified),
+            spot_queue: self.spot_queue.iter().copied().collect(),
+            spot_outstanding: sorted(&self.spot_outstanding),
         }
     }
 
@@ -343,7 +437,11 @@ impl GridState {
             candidates: snap.candidates.into_iter().collect(),
             accepted: snap.accepted,
             misses: snap.misses.into_iter().collect(),
-            replica_agent: HashMap::new(),
+            replica_agent: snap.replica_agent.into_iter().collect(),
+            agent_trust: snap.agent_trust.into_iter().collect(),
+            unverified: snap.unverified.into_iter().collect(),
+            spot_queue: snap.spot_queue.into(),
+            spot_outstanding: snap.spot_outstanding.into_iter().collect(),
             agents: HashMap::new(),
             net_stats: snap.net_stats,
             last_now: snap.last_now,
@@ -385,9 +483,74 @@ impl GridState {
         self.core.stats
     }
 
-    /// True once every workunit has validated.
+    /// True once every workunit has validated *and* no spot check is
+    /// queued or in flight — a campaign does not finish with audits of
+    /// its single-replica results unresolved. (Both sets are empty when
+    /// trust is off, so this is the core's own gate then.)
     pub fn is_campaign_complete(&self) -> bool {
         self.core.is_campaign_complete()
+            && self.spot_queue.is_empty()
+            && self.spot_outstanding.is_empty()
+    }
+
+    /// Donated reference CPU seconds spent on results that never became
+    /// the effective copy (quorum partners, errors, late copies, spot
+    /// checks, retracted singles).
+    pub fn wasted_ref_seconds(&self) -> f64 {
+        self.core.wasted_ref_seconds()
+    }
+
+    /// Band counts and spot-check totals for end-of-run reporting;
+    /// `None` when trust is off. Bands are judged at the latest server
+    /// clock, so an agent still serving quarantine counts as
+    /// quarantined.
+    pub fn trust_summary(&self) -> Option<TrustSummary> {
+        let cfg = self.faults.trust;
+        if !cfg.enabled {
+            return None;
+        }
+        let mut summary = TrustSummary::default();
+        for trust in self.agent_trust.values() {
+            match trust.band(self.last_now, &cfg) {
+                TrustBand::Trusted => summary.trusted += 1,
+                TrustBand::Probation => summary.probation += 1,
+                TrustBand::Untrusted => summary.untrusted += 1,
+                TrustBand::Quarantined => summary.quarantined += 1,
+            }
+            if trust.quarantine_count > 0 {
+                summary.ever_quarantined += 1;
+            }
+        }
+        summary.spot_checks_passed = self.net_stats.spot_checks_passed;
+        summary.spot_checks_failed = self.net_stats.spot_checks_failed;
+        Some(summary)
+    }
+
+    /// The trust ledger of one agent, when trust is on and the agent
+    /// has history.
+    pub fn agent_trust(&self, agent: u64) -> Option<AgentTrust> {
+        self.agent_trust.get(&agent).copied()
+    }
+
+    /// The trust policy this state runs under.
+    pub fn trust_config(&self) -> crate::trust::TrustConfig {
+        self.faults.trust
+    }
+
+    /// How many valid results `workunit` still demands at `now` — its
+    /// issue-time trust override if one was fixed, the era's policy
+    /// otherwise. Exposed for the parity property tests.
+    pub fn replication_needed(&self, now: SimTime, workunit: u32) -> u16 {
+        self.core.replication_needed(now, workunit)
+    }
+
+    /// The full trust ledger, sorted by agent id; empty when trust is
+    /// off (end-of-run reporting and the restart regression tests).
+    pub fn agent_trust_table(&self) -> Vec<(u64, AgentTrust)> {
+        let mut v: Vec<(u64, AgentTrust)> =
+            self.agent_trust.iter().map(|(&a, &t)| (a, t)).collect();
+        v.sort_by_key(|&(a, _)| a);
+        v
     }
 
     /// The validated outputs in catalog order; `None` until
@@ -404,8 +567,8 @@ impl GridState {
         self.last_now = self.last_now.max(now.seconds());
         let ledger = self.agents.entry(agent).or_default();
         ledger.last_seen_s = ledger.last_seen_s.max(now.seconds());
-        let reply = match self.core.fetch_work(now) {
-            Some(assignment) => {
+        let reply = match self.next_assignment(now, agent) {
+            Ok(assignment) => {
                 self.misses.remove(&agent);
                 self.agents.entry(agent).or_default().assignments += 1;
                 self.replica_agent.insert(assignment.replica.0, agent);
@@ -419,16 +582,28 @@ impl GridState {
                 });
                 WorkReply::Assigned(assignment)
             }
-            None => {
-                let miss = self.misses.entry(agent).or_insert(0);
-                let reply = WorkReply::Backoff {
-                    retry_after_ms: self.faults.backoff_ms(agent, *miss),
-                    campaign_complete: self.core.is_campaign_complete(),
+            Err(quarantined_ms) => {
+                let retry_after_ms = match quarantined_ms {
+                    // Quarantine: the agent gets no work until its
+                    // re-admission timer runs out, regardless of how
+                    // often it asks.
+                    Some(ms) => {
+                        self.net_stats.trust_denied_fetches += 1;
+                        ms.max(self.faults.backoff_base_ms.max(1))
+                    }
+                    None => {
+                        let miss = self.misses.entry(agent).or_insert(0);
+                        let ms = self.faults.backoff_ms(agent, *miss);
+                        *miss = miss.saturating_add(1);
+                        ms
+                    }
                 };
-                *miss = miss.saturating_add(1);
                 self.net_stats.backoffs_sent += 1;
                 self.tele.backoffs.inc();
-                reply
+                WorkReply::Backoff {
+                    retry_after_ms,
+                    campaign_complete: self.is_campaign_complete(),
+                }
             }
         };
         if self.journal.is_some() {
@@ -445,21 +620,95 @@ impl GridState {
         reply
     }
 
+    /// Picks the next replica for `agent`, or `Err(quarantine)` when
+    /// nothing is issuable: `Err(Some(ms))` for a quarantined agent
+    /// (remaining quarantine in ms), `Err(None)` for a plain empty
+    /// queue.
+    ///
+    /// With trust on, the order is: quarantine gate, then pending spot
+    /// checks (served to any agent but the suspect — an audit computed
+    /// by its own subject proves nothing), then regular work at the
+    /// agent's band-appropriate replication level. Every decision is a
+    /// pure function of journaled state, so replay reproduces it.
+    fn next_assignment(
+        &mut self,
+        now: SimTime,
+        agent: u64,
+    ) -> Result<ReplicaAssignment, Option<u64>> {
+        let trust = self.faults.trust;
+        if !trust.enabled {
+            return self.core.fetch_work(now).ok_or(None);
+        }
+        let entry = self.agent_trust.entry(agent).or_default();
+        let quarantine_s = entry.quarantine_remaining_s(now.seconds());
+        if quarantine_s > 0.0 {
+            return Err(Some((quarantine_s * 1_000.0).ceil() as u64));
+        }
+        loop {
+            // Serve the oldest spot check whose suspect is someone
+            // else. Once the core has validated everything, self-audits
+            // are allowed so a lone surviving agent cannot deadlock the
+            // drain (a recomputation by the same agent still catches
+            // nondeterministic corruption; a byte-stable liar is no
+            // worse off than an unsampled single).
+            let pos = match self.spot_queue.iter().position(|&(_, s)| s != agent) {
+                Some(p) => Some(p),
+                None if self.core.is_campaign_complete() && !self.spot_queue.is_empty() => Some(0),
+                None => None,
+            };
+            let Some(pos) = pos else { break };
+            let (wu, suspect) = self.spot_queue.remove(pos).expect("position in range");
+            if self.accepted[wu as usize].is_none() {
+                // Retracted while queued (its suspect cratered): the
+                // workunit is back under quorum; the audit is moot.
+                continue;
+            }
+            let assignment = self.core.issue_spot_check(wu);
+            self.spot_outstanding
+                .insert(assignment.replica.0, (wu, suspect));
+            return Ok(assignment);
+        }
+        let replication = match self
+            .agent_trust
+            .entry(agent)
+            .or_default()
+            .band(now.seconds(), &trust)
+        {
+            TrustBand::Trusted => Some(ReplicationOverride::Single),
+            TrustBand::Untrusted => Some(ReplicationOverride::Quorum),
+            TrustBand::Probation => None,
+            // Gated above; unreachable in practice, safe if not.
+            TrustBand::Quarantined => return Err(None),
+        };
+        self.core.fetch_work_with(now, replication).ok_or(None)
+    }
+
     /// Expires outstanding replicas whose deadline passed; each expiry
     /// queues a timeout reissue in the core (if still needed). Returns
     /// the number of expiries.
     pub fn sweep(&mut self, now: SimTime) -> usize {
         self.last_now = self.last_now.max(now.seconds());
-        let expired: Vec<u64> = self
+        let mut expired: Vec<u64> = self
             .outstanding
             .iter()
             .filter(|(_, &deadline)| now.seconds() >= deadline)
             .map(|(&r, _)| r)
             .collect();
+        // Replica-id order, not map order: when one sweep expires
+        // several replicas the reissue queue must come out the same on
+        // the live server and on journal replay.
+        expired.sort_unstable();
         for r in &expired {
             self.outstanding.remove(r);
             self.net_stats.deadline_expiries += 1;
             self.tele.expiries.inc();
+            if let Some((wu, suspect)) = self.spot_outstanding.remove(r) {
+                // An expired spot check goes back in the audit queue —
+                // the workunit stays unconfirmed until somebody
+                // actually recomputes it.
+                self.spot_queue.push_back((wu, suspect));
+                continue;
+            }
             self.core.handle_timeout(ReplicaId(*r));
         }
         // No-op sweeps change nothing and run every few tens of ms, so
@@ -501,7 +750,10 @@ impl GridState {
         let d = self.report_inner(now, campaign, replica, workunit, output.clone());
         self.note_report(replica, d.verdict, now);
         let payload = match d.verdict {
-            Verdict::BoundsRejected | Verdict::Duplicate => None,
+            Verdict::BoundsRejected
+            | Verdict::Duplicate
+            | Verdict::SpotMismatch
+            | Verdict::SpotVoid => None,
             _ => Some(output),
         };
         self.journal_append(&JournalRecord::Report {
@@ -525,9 +777,74 @@ impl GridState {
         ledger.last_seen_s = ledger.last_seen_s.max(now.seconds());
         ledger.reports += 1;
         match verdict {
-            Verdict::Accepted => ledger.accepted += 1,
+            Verdict::Accepted | Verdict::SpotConfirmed => ledger.accepted += 1,
             Verdict::QuorumRejected | Verdict::BoundsRejected => ledger.rejected += 1,
-            Verdict::QuorumPending | Verdict::Duplicate | Verdict::Late => {}
+            Verdict::QuorumPending
+            | Verdict::Duplicate
+            | Verdict::Late
+            | Verdict::SpotMismatch
+            | Verdict::SpotVoid => {}
+        }
+        // Trust scoring for the *reporter*. A confirmed spot check is a
+        // byte-correct recomputation, so it earns the auditor credit; a
+        // mismatch proves only disagreement (the cratered party is the
+        // suspect, handled in the spot path), so the auditor's score is
+        // untouched.
+        match verdict {
+            Verdict::Accepted | Verdict::SpotConfirmed => self.trust_accept(agent),
+            Verdict::QuorumRejected | Verdict::BoundsRejected => self.trust_reject(agent, now),
+            Verdict::QuorumPending
+            | Verdict::Duplicate
+            | Verdict::Late
+            | Verdict::SpotMismatch
+            | Verdict::SpotVoid => {}
+        }
+    }
+
+    /// Credits one validated result to `agent`'s trust window.
+    fn trust_accept(&mut self, agent: u64) {
+        if !self.faults.trust.enabled || agent == u64::MAX {
+            return;
+        }
+        self.agent_trust.entry(agent).or_default().record_accept();
+    }
+
+    /// Debits one rejected result; a long enough run of consecutive
+    /// rejections starts quarantine.
+    fn trust_reject(&mut self, agent: u64, now: SimTime) {
+        let cfg = self.faults.trust;
+        if !cfg.enabled || agent == u64::MAX {
+            return;
+        }
+        let trust = self.agent_trust.entry(agent).or_default();
+        if trust.record_reject(&cfg) {
+            trust.quarantine(now.seconds(), &cfg);
+        }
+    }
+
+    /// A spot check caught `suspect` lying (or at least disagreeing):
+    /// trust craters to zero with immediate quarantine, and every one
+    /// of the suspect's accepted-but-unconfirmed singles is retracted
+    /// and re-replicated under forced quorum.
+    fn crater_agent(&mut self, suspect: u64, now: SimTime) {
+        let cfg = self.faults.trust;
+        if suspect != u64::MAX {
+            self.agent_trust
+                .entry(suspect)
+                .or_default()
+                .crater(now.seconds(), &cfg);
+        }
+        let Some(wus) = self.unverified.remove(&suspect) else {
+            return;
+        };
+        for wu in wus {
+            if self.core.invalidate_workunit(wu) {
+                self.net_stats.workunits_invalidated += 1;
+                self.accepted[wu as usize] = None;
+                self.candidates.remove(&wu);
+                // Any queued audit of a retracted workunit is dropped
+                // lazily at fetch time (its accepted copy is gone).
+            }
         }
     }
 
@@ -539,6 +856,18 @@ impl GridState {
         let mut agents: Vec<(u64, AgentLedger)> =
             self.agents.iter().map(|(&a, &l)| (a, l)).collect();
         agents.sort_by_key(|&(a, _)| a);
+        let agents_trust = if self.faults.trust.enabled {
+            let cfg = self.faults.trust;
+            let mut v: Vec<(u64, f64, TrustBand)> = self
+                .agent_trust
+                .iter()
+                .map(|(&a, t)| (a, t.score(), t.band(self.last_now, &cfg)))
+                .collect();
+            v.sort_by_key(|&(a, _, _)| a);
+            v
+        } else {
+            Vec::new()
+        };
         OpsSnapshot {
             last_now: self.last_now,
             wu: self.core.wu_state_counts(),
@@ -552,12 +881,15 @@ impl GridState {
             outstanding_replicas: self.outstanding.len(),
             reissue_queue_depth: self.core.reissue_queue_depth(),
             quorum_candidate_workunits: self.candidates.len(),
-            campaign_complete: self.core.is_campaign_complete(),
+            campaign_complete: self.is_campaign_complete(),
             journal: self.journal.as_ref().map(|j| JournalOps {
                 epoch: j.epoch(),
                 wal_appends_since_snapshot: j.appends_since_snapshot(),
             }),
             agents,
+            wasted_ref_seconds: self.core.wasted_ref_seconds(),
+            trust: self.trust_summary(),
+            agents_trust,
         }
     }
 
@@ -581,11 +913,64 @@ impl GridState {
             return ResultDisposition {
                 verdict: Verdict::Duplicate,
                 completed_workunit: false,
-                campaign_complete: self.core.is_campaign_complete(),
+                campaign_complete: self.is_campaign_complete(),
             };
         }
         self.reported.insert(replica.0);
         self.outstanding.remove(&replica.0);
+
+        // Spot-check replicas short-circuit normal validation: the
+        // workunit is already complete, and the only question is
+        // whether this independent recomputation byte-matches the
+        // accepted single it audits.
+        if let Some((wu, suspect)) = self.spot_outstanding.remove(&replica.0) {
+            debug_assert_eq!(wu, workunit, "spot replica reported for the wrong workunit");
+            self.core.note_spot_report(replica);
+            let Some(accepted) = self.accepted[wu as usize].as_ref() else {
+                // Retracted while the audit was in flight.
+                return ResultDisposition {
+                    verdict: Verdict::SpotVoid,
+                    completed_workunit: false,
+                    campaign_complete: self.is_campaign_complete(),
+                };
+            };
+            let fp_accepted = fnv1a64(
+                serde_json::to_string(accepted)
+                    .expect("DockingOutput serializes")
+                    .as_bytes(),
+            );
+            let fp = fnv1a64(
+                serde_json::to_string(&output)
+                    .expect("DockingOutput serializes")
+                    .as_bytes(),
+            );
+            if fp == fp_accepted {
+                self.net_stats.spot_checks_passed += 1;
+                // The audited single is now independently confirmed; a
+                // later crater of the suspect no longer retracts it.
+                if let Some(wus) = self.unverified.get_mut(&suspect) {
+                    wus.retain(|&w| w != wu);
+                    if wus.is_empty() {
+                        self.unverified.remove(&suspect);
+                    }
+                }
+                return ResultDisposition {
+                    verdict: Verdict::SpotConfirmed,
+                    completed_workunit: false,
+                    campaign_complete: self.is_campaign_complete(),
+                };
+            }
+            self.net_stats.spot_checks_failed += 1;
+            telemetry::emit(Some(now.seconds()), || Event::QuorumRejected {
+                workunit: u64::from(wu),
+            });
+            self.crater_agent(suspect, now);
+            return ResultDisposition {
+                verdict: Verdict::SpotMismatch,
+                completed_workunit: false,
+                campaign_complete: self.is_campaign_complete(),
+            };
+        }
 
         // Layer 1: the §5.2 bounds checks (the simulator's `error` flag
         // made concrete).
@@ -599,7 +984,7 @@ impl GridState {
             return ResultDisposition {
                 verdict: Verdict::BoundsRejected,
                 completed_workunit: false,
-                campaign_complete: self.core.is_campaign_complete(),
+                campaign_complete: self.is_campaign_complete(),
             };
         }
 
@@ -607,23 +992,30 @@ impl GridState {
         // a workunit, so this is "has the core completed it already".
         let was_complete = self.accepted[workunit as usize].is_some();
 
-        // Layer 2: quorum agreement, when the policy demands it.
-        let policy = self.core.policy_at(now);
-        if policy == ValidationPolicy::QuorumCompare && !was_complete {
+        // Layer 2: byte-level quorum agreement, whenever this workunit
+        // needs more than one valid result — by the era's validation
+        // policy or by a trust override fixed at issue time.
+        let needed = self.core.replication_needed(now, workunit);
+        if needed >= 2 && !was_complete {
             let fp = fnv1a64(
                 serde_json::to_string(&output)
                     .expect("DockingOutput serializes")
                     .as_bytes(),
             );
+            let agent = self
+                .replica_agent
+                .get(&replica.0)
+                .copied()
+                .unwrap_or(u64::MAX);
             let cands = self.candidates.entry(workunit).or_default();
-            if !cands.is_empty() && !cands.iter().any(|(h, _)| *h == fp) {
+            if !cands.is_empty() && !cands.iter().any(|(h, _, _)| *h == fp) {
                 // Disagrees with every candidate: reject — but *keep* it
                 // as a candidate. If the first result was the corrupted
                 // one, an honest pair must still be able to meet and
                 // validate; with majority-free pairwise matching the
                 // corrupted minority loses because corruption is random
                 // (two corrupted payloads never match byte-for-byte).
-                cands.push((fp, output));
+                cands.push((fp, output, agent));
                 self.net_stats.quorum_rejected += 1;
                 self.tele.quorum_rejected.inc();
                 telemetry::emit(Some(now.seconds()), || Event::QuorumRejected {
@@ -634,21 +1026,34 @@ impl GridState {
                 return ResultDisposition {
                     verdict: Verdict::QuorumRejected,
                     completed_workunit: false,
-                    campaign_complete: self.core.is_campaign_complete(),
+                    campaign_complete: self.is_campaign_complete(),
                 };
             }
             let matched = !cands.is_empty();
-            cands.push((fp, output.clone()));
+            cands.push((fp, output.clone(), agent));
             let outcome = self.core.report_result(now, replica, false);
             if outcome.completed_workunit {
                 debug_assert!(matched, "core quorum met before a byte-level match");
+                // The pending partners whose bytes won the quorum earn
+                // trust credit too — without this, agents whose results
+                // mostly land first would never accumulate accepts in
+                // the quorum era. (The completing reporter is the last
+                // candidate; its credit flows through the verdict.)
+                let partners: Vec<u64> = cands[..cands.len() - 1]
+                    .iter()
+                    .filter(|(h, _, _)| *h == fp)
+                    .map(|(_, _, a)| *a)
+                    .collect();
                 self.accepted[workunit as usize] = Some(output);
                 self.candidates.remove(&workunit);
                 self.tele.accepted.inc();
+                for partner in partners {
+                    self.trust_accept(partner);
+                }
                 return ResultDisposition {
                     verdict: Verdict::Accepted,
                     completed_workunit: true,
-                    campaign_complete: self.core.is_campaign_complete(),
+                    campaign_complete: self.is_campaign_complete(),
                 };
             }
             // Not yet completed: either the first candidate of the pair,
@@ -657,26 +1062,39 @@ impl GridState {
             return ResultDisposition {
                 verdict: Verdict::QuorumPending,
                 completed_workunit: false,
-                campaign_complete: self.core.is_campaign_complete(),
+                campaign_complete: self.is_campaign_complete(),
             };
         }
 
-        // Bounds-check era (or surplus copy of a validated workunit).
+        // Single-replica validation (bounds-check era, a trusted
+        // agent's single, or a surplus copy of a validated workunit).
         let outcome = self.core.report_result(now, replica, false);
         if outcome.completed_workunit {
             self.accepted[workunit as usize] = Some(output);
             self.candidates.remove(&workunit);
             self.tele.accepted.inc();
+            // A single accepted under trust is provisional until
+            // audited; a seeded deterministic draw decides whether this
+            // one gets an independent recomputation.
+            let trust = self.faults.trust;
+            if trust.enabled {
+                if let Some(&agent) = self.replica_agent.get(&replica.0) {
+                    self.unverified.entry(agent).or_default().push(workunit);
+                    if spot_selected(trust.spot_seed, workunit, trust.spot_check_rate) {
+                        self.spot_queue.push_back((workunit, agent));
+                    }
+                }
+            }
             ResultDisposition {
                 verdict: Verdict::Accepted,
                 completed_workunit: true,
-                campaign_complete: self.core.is_campaign_complete(),
+                campaign_complete: self.is_campaign_complete(),
             }
         } else {
             ResultDisposition {
                 verdict: Verdict::Late,
                 completed_workunit: false,
-                campaign_complete: self.core.is_campaign_complete(),
+                campaign_complete: self.is_campaign_complete(),
             }
         }
     }
@@ -857,5 +1275,277 @@ mod tests {
         let late = state.report(t(12.0), &campaign, b.replica, b.workunit, out);
         assert_eq!(late.verdict, Verdict::Late);
         assert_eq!(state.server_stats().late_results, 1);
+    }
+
+    fn setup_trust(spot_check_rate: f64) -> (NetCampaign, GridState) {
+        let campaign = NetCampaign::build(CampaignParams::tiny());
+        let config = ServerConfig {
+            deadline_seconds: 5.0,
+            ..ServerConfig::default()
+        };
+        let faults = ServerFaults {
+            trust: crate::trust::TrustConfig {
+                spot_check_rate,
+                ..crate::trust::TrustConfig::on()
+            },
+            ..ServerFaults::default()
+        };
+        let state = GridState::new(&campaign, config, faults);
+        (campaign, state)
+    }
+
+    fn assigned(state: &mut GridState, now: SimTime, agent: u64) -> ReplicaAssignment {
+        match state.fetch(now, agent) {
+            WorkReply::Assigned(a) => a,
+            other => panic!("agent {agent} expected work, got {other:?}"),
+        }
+    }
+
+    /// Completes `n` honest quorum pairs between two agents, crediting
+    /// both ledgers with `n` accepts. Returns the last time used.
+    fn earn_trust(
+        campaign: &NetCampaign,
+        state: &mut GridState,
+        agents: (u64, u64),
+        n: u64,
+        mut now_s: f64,
+    ) -> f64 {
+        for _ in 0..n {
+            let a = assigned(state, t(now_s), agents.0);
+            let b = assigned(state, t(now_s), agents.1);
+            assert_eq!(a.workunit, b.workunit, "probation pair shares a workunit");
+            let out = campaign.compute(campaign.spec(a.workunit));
+            let d1 = state.report(t(now_s + 1.0), campaign, a.replica, a.workunit, out.clone());
+            assert_eq!(d1.verdict, Verdict::QuorumPending);
+            let d2 = state.report(t(now_s + 2.0), campaign, b.replica, b.workunit, out);
+            assert_eq!(d2.verdict, Verdict::Accepted);
+            now_s += 3.0;
+        }
+        now_s
+    }
+
+    #[test]
+    fn trusted_agents_graduate_to_single_replica_issues() {
+        let (campaign, mut state) = setup_trust(0.0);
+        let now_s = earn_trust(&campaign, &mut state, (1, 2), 5, 0.0);
+        for agent in [1, 2] {
+            let tr = state.agent_trust(agent).expect("ledger exists");
+            assert_eq!(tr.accepted, 5, "agent {agent} quorum accepts");
+            assert_eq!(
+                tr.band(now_s, &state.trust_config()),
+                TrustBand::Trusted,
+                "agent {agent} should have graduated"
+            );
+        }
+        // Both trusted: fresh fetches are singles — different workunits,
+        // each validating on its lone report.
+        let a = assigned(&mut state, t(now_s), 1);
+        let b = assigned(&mut state, t(now_s), 2);
+        assert_ne!(a.workunit, b.workunit, "trusted issues carry no sibling");
+        let out = campaign.compute(campaign.spec(a.workunit));
+        let d = state.report(t(now_s + 1.0), &campaign, a.replica, a.workunit, out);
+        assert_eq!(d.verdict, Verdict::Accepted);
+        assert!(d.completed_workunit, "a trusted single completes alone");
+    }
+
+    #[test]
+    fn saboteur_trips_quarantine_and_is_readmitted_later() {
+        let (campaign, mut state) = setup_trust(0.0);
+        let cfg = state.trust_config();
+        let mut now_s = 0.0;
+        // Four consecutive quorum rejections: honest candidate first,
+        // the saboteur's disagreeing copy second. A fresh honest agent
+        // per round keeps everyone else safely in probation, and the
+        // error reissue is drained each round so the next pair is a
+        // fresh workunit.
+        for k in 0..u64::from(cfg.quarantine_after) {
+            let a = assigned(&mut state, t(now_s), 100 + k);
+            let b = assigned(&mut state, t(now_s), 9);
+            assert_eq!(a.workunit, b.workunit);
+            let honest = campaign.compute(campaign.spec(a.workunit));
+            let mut corrupt = honest.clone();
+            corrupt.rows[0].eelec += 1e-9;
+            state.report(
+                t(now_s + 1.0),
+                &campaign,
+                a.replica,
+                a.workunit,
+                honest.clone(),
+            );
+            let d = state.report(t(now_s + 2.0), &campaign, b.replica, b.workunit, corrupt);
+            assert_eq!(d.verdict, Verdict::QuorumRejected, "reject {k}");
+            let c = assigned(&mut state, t(now_s + 2.0), 200 + k);
+            assert_eq!(c.workunit, a.workunit, "error reissue comes first");
+            let d = state.report(t(now_s + 3.0), &campaign, c.replica, c.workunit, honest);
+            assert_eq!(d.verdict, Verdict::Accepted);
+            now_s += 4.0;
+        }
+        let quarantined_at = now_s - 1.0;
+        let tr = state.agent_trust(9).expect("saboteur ledger");
+        assert_eq!(tr.quarantine_count, 1);
+        assert_eq!(tr.rejected, 0, "quarantine resets the scoring window");
+        assert_eq!(
+            tr.band(quarantined_at, &cfg),
+            TrustBand::Quarantined,
+            "still serving quarantine"
+        );
+        // Work requests are refused with the remaining quarantine.
+        let denied = state.fetch(t(quarantined_at), 9);
+        match denied {
+            WorkReply::Backoff { retry_after_ms, .. } => {
+                assert!(
+                    retry_after_ms > cfg.quarantine_base_s as u64 * 1000 / 2,
+                    "backoff should cover the quarantine: {retry_after_ms} ms"
+                );
+            }
+            other => panic!("quarantined agent got {other:?}"),
+        }
+        assert_eq!(state.net_stats.trust_denied_fetches, 1);
+        // Honest agents are unaffected...
+        let _ = assigned(&mut state, t(quarantined_at), 1);
+        // ...and the saboteur is re-admitted once the timer expires.
+        let readmit = quarantined_at + cfg.quarantine_base_s * 2.0 + 1.0;
+        let _ = assigned(&mut state, t(readmit), 9);
+    }
+
+    #[test]
+    fn spot_check_confirms_an_honest_single() {
+        let (campaign, mut state) = setup_trust(1.0);
+        let now_s = earn_trust(&campaign, &mut state, (1, 2), 5, 0.0);
+        let a = assigned(&mut state, t(now_s), 1);
+        let honest = campaign.compute(campaign.spec(a.workunit));
+        let d = state.report(
+            t(now_s + 1.0),
+            &campaign,
+            a.replica,
+            a.workunit,
+            honest.clone(),
+        );
+        assert!(d.completed_workunit, "trusted single");
+        // Rate 1.0: the accepted single is queued for audit, and the
+        // campaign must not be reported complete until it drains.
+        assert!(!state.is_campaign_complete());
+        let audit = assigned(&mut state, t(now_s + 2.0), 2);
+        assert_eq!(audit.workunit, a.workunit, "spot check served first");
+        let d = state.report(
+            t(now_s + 3.0),
+            &campaign,
+            audit.replica,
+            audit.workunit,
+            honest.clone(),
+        );
+        assert_eq!(d.verdict, Verdict::SpotConfirmed);
+        assert!(!d.completed_workunit, "the workunit was already complete");
+        assert_eq!(state.net_stats.spot_checks_passed, 1);
+        assert_eq!(
+            state.accepted[a.workunit as usize].as_ref(),
+            Some(&honest),
+            "a passed audit leaves the artifact alone"
+        );
+        assert_eq!(state.server_stats().spot_check_issues, 1);
+    }
+
+    #[test]
+    fn spot_mismatch_craters_the_cheat_and_retracts_its_single() {
+        let (campaign, mut state) = setup_trust(1.0);
+        let now_s = earn_trust(&campaign, &mut state, (1, 2), 5, 0.0);
+        // Trusted agent 1 slips a corrupted-but-in-bounds single past
+        // validation: accepted provisionally, queued for audit.
+        let a = assigned(&mut state, t(now_s), 1);
+        let wu = a.workunit;
+        let honest = campaign.compute(campaign.spec(wu));
+        let mut corrupt = honest.clone();
+        corrupt.rows[0].eelec += 1e-9;
+        let d = state.report(t(now_s + 1.0), &campaign, a.replica, wu, corrupt);
+        assert!(d.completed_workunit, "the poisoned single sails through");
+        // Agent 2's independent recomputation disagrees byte-for-byte.
+        let audit = assigned(&mut state, t(now_s + 2.0), 2);
+        assert_eq!(audit.workunit, wu);
+        let d = state.report(
+            t(now_s + 3.0),
+            &campaign,
+            audit.replica,
+            audit.workunit,
+            honest.clone(),
+        );
+        assert_eq!(d.verdict, Verdict::SpotMismatch);
+        assert_eq!(state.net_stats.spot_checks_failed, 1);
+        assert_eq!(state.net_stats.workunits_invalidated, 1);
+        assert_eq!(state.accepted[wu as usize], None, "artifact retracted");
+        let tr = state.agent_trust(1).expect("cheater ledger");
+        assert_eq!(tr.spot_failed, 1);
+        assert_eq!(
+            tr.quarantine_count, 1,
+            "a failed audit craters to quarantine"
+        );
+        // The retracted workunit is re-replicated under forced quorum:
+        // two fresh replicas, byte-matching pair required again.
+        let b = assigned(&mut state, t(now_s + 4.0), 2);
+        let c = assigned(&mut state, t(now_s + 4.0), 3);
+        assert_eq!(b.workunit, wu, "error reissue comes first");
+        assert_eq!(c.workunit, wu, "two replicas for the forced quorum");
+        let d1 = state.report(t(now_s + 5.0), &campaign, b.replica, wu, honest.clone());
+        assert_eq!(d1.verdict, Verdict::QuorumPending);
+        let d2 = state.report(t(now_s + 6.0), &campaign, c.replica, wu, honest.clone());
+        assert_eq!(d2.verdict, Verdict::Accepted);
+        assert_eq!(
+            state.accepted[wu as usize].as_ref(),
+            Some(&honest),
+            "the honest pair repairs the artifact"
+        );
+    }
+
+    #[test]
+    fn trust_state_round_trips_through_the_snapshot() {
+        let (campaign, mut state) = setup_trust(1.0);
+        let now_s = earn_trust(&campaign, &mut state, (1, 2), 5, 0.0);
+        // Leave a single accepted with its audit still queued, so the
+        // snapshot carries non-trivial spot state.
+        let a = assigned(&mut state, t(now_s), 1);
+        let honest = campaign.compute(campaign.spec(a.workunit));
+        state.report(
+            t(now_s + 1.0),
+            &campaign,
+            a.replica,
+            a.workunit,
+            honest.clone(),
+        );
+        let snap = state.snapshot();
+        let config = ServerConfig {
+            deadline_seconds: 5.0,
+            ..ServerConfig::default()
+        };
+        let faults = ServerFaults {
+            trust: crate::trust::TrustConfig {
+                spot_check_rate: 1.0,
+                ..crate::trust::TrustConfig::on()
+            },
+            ..ServerFaults::default()
+        };
+        let mut twin = GridState::restore(&campaign, config, faults, snap).expect("restore");
+        assert_eq!(
+            twin.agent_trust_table(),
+            state.agent_trust_table(),
+            "trust ledgers survive the snapshot"
+        );
+        assert_eq!(twin.is_campaign_complete(), state.is_campaign_complete());
+        // The restored state serves the same pending audit and judges it
+        // the same way.
+        let x = assigned(&mut state, t(now_s + 2.0), 2);
+        let y = assigned(&mut twin, t(now_s + 2.0), 2);
+        assert_eq!(x.workunit, y.workunit, "same pending spot check");
+        assert_eq!(
+            state
+                .report(
+                    t(now_s + 3.0),
+                    &campaign,
+                    x.replica,
+                    x.workunit,
+                    honest.clone()
+                )
+                .verdict,
+            twin.report(t(now_s + 3.0), &campaign, y.replica, y.workunit, honest)
+                .verdict,
+        );
     }
 }

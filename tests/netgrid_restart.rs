@@ -20,7 +20,7 @@ use gridsim::server::{ServerConfig, ServerStats};
 use gridsim::SimTime;
 use netgrid::{
     open_journaled, CampaignParams, FsyncPolicy, GridState, JournalConfig, NetCampaign, NetStats,
-    ServerFaults, Verdict, WorkReply,
+    ServerFaults, TrustConfig, Verdict, WorkReply,
 };
 use std::path::PathBuf;
 
@@ -224,5 +224,160 @@ fn journal_of_a_different_campaign_is_refused() {
         Err(e) => e,
     };
     assert!(err.to_string().contains("different campaign"), "got: {err}");
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+// --- trust-adaptive replication across a crash ---------------------------
+
+fn trust_faults() -> ServerFaults {
+    ServerFaults {
+        trust: TrustConfig {
+            spot_check_rate: 1.0, // every trusted single gets audited
+            ..TrustConfig::on()
+        },
+        ..ServerFaults::default()
+    }
+}
+
+/// Builds a mid-campaign trust state with every interesting feature
+/// populated: two agents graduated to Trusted, a saboteur quarantined
+/// mid-sentence, and one accepted single whose audit is still queued.
+/// Returns the time the script ended at.
+fn trust_script(state: &mut GridState, campaign: &NetCampaign) -> f64 {
+    let mut now = 0.0;
+    // Agents 1 and 2 earn Trusted with five honest quorum pairs.
+    for _ in 0..5 {
+        let a = fetch(state, now, 1);
+        let b = fetch(state, now, 2);
+        assert_eq!(a.workunit, b.workunit);
+        let out = campaign.compute(campaign.spec(a.workunit));
+        state.report(t(now + 1.0), campaign, a.replica, a.workunit, out.clone());
+        let d = state.report(t(now + 2.0), campaign, b.replica, b.workunit, out);
+        assert_eq!(d.verdict, Verdict::Accepted);
+        now += 3.0;
+    }
+    // Agent 9 collects four consecutive quorum rejections and lands in
+    // quarantine. Fresh probation agents carry the honest halves so
+    // nobody else's band moves.
+    for k in 0..4u64 {
+        let a = fetch(state, now, 100 + k);
+        let b = fetch(state, now, 9);
+        assert_eq!(a.workunit, b.workunit);
+        let honest = campaign.compute(campaign.spec(a.workunit));
+        let mut corrupt = honest.clone();
+        corrupt.rows[0].eelec += 1e-9;
+        state.report(
+            t(now + 1.0),
+            campaign,
+            a.replica,
+            a.workunit,
+            honest.clone(),
+        );
+        let d = state.report(t(now + 2.0), campaign, b.replica, b.workunit, corrupt);
+        assert_eq!(d.verdict, Verdict::QuorumRejected);
+        let c = fetch(state, now + 2.0, 200 + k);
+        assert_eq!(c.workunit, a.workunit, "error reissue comes first");
+        state.report(t(now + 3.0), campaign, c.replica, c.workunit, honest);
+        now += 4.0;
+    }
+    // Trusted agent 1 lands a single; its audit is queued but unserved
+    // at the crash.
+    let a = fetch(state, now, 1);
+    let out = campaign.compute(campaign.spec(a.workunit));
+    let d = state.report(t(now + 1.0), campaign, a.replica, a.workunit, out);
+    assert!(d.completed_workunit, "trusted single validates alone");
+    now + 1.0
+}
+
+/// Drains a trust-on campaign with the two trusted agents: agent 1
+/// computes fresh singles, agent 2 (and 1, for each other's audits)
+/// serves the spot-check queue. Deterministic given a start time.
+fn trust_drain(state: &mut GridState, campaign: &NetCampaign, start: f64) {
+    let mut now = start;
+    while !state.is_campaign_complete() {
+        now += 0.5;
+        state.sweep(t(now));
+        for agent in [1, 2] {
+            while let WorkReply::Assigned(a) = state.fetch(t(now), agent) {
+                let out = campaign.compute(campaign.spec(a.workunit));
+                state.report(t(now), campaign, a.replica, a.workunit, out);
+            }
+        }
+    }
+}
+
+#[test]
+fn trust_bands_and_quarantine_replay_exactly_across_a_crash() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig {
+        fsync: FsyncPolicy::EveryN(4),
+        snapshot_every: 8, // exercise trust state through the snapshot too
+        ..JournalConfig::new(journal_dir("trust"))
+    };
+
+    let (mut live, resume) =
+        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("journal opens");
+    assert_eq!(resume, 0.0);
+    let crash_now = trust_script(&mut live, &campaign);
+    let (stats, net, last_now) = crash_point(&live);
+    let live_trust = live.agent_trust_table();
+    let live_summary = live.trust_summary().expect("trust on");
+    assert_eq!(live_summary.quarantined, 1, "saboteur serving quarantine");
+    assert!(!live.is_campaign_complete(), "audit still queued");
+    drop(live); // crash
+
+    let (mut recovered, resume) =
+        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("recovery");
+    assert_eq!(resume, last_now);
+    assert_eq!(recovered.server_stats(), stats);
+    assert_eq!(recovered.net_stats, net);
+    assert_eq!(
+        recovered.agent_trust_table(),
+        live_trust,
+        "per-agent trust ledgers reconstructed exactly"
+    );
+    assert_eq!(recovered.trust_summary(), Some(live_summary));
+
+    // An uninterrupted twin run of the identical script...
+    let mut twin = GridState::new(&campaign, server_config(), trust_faults());
+    let twin_crash_now = trust_script(&mut twin, &campaign);
+    assert_eq!(crash_now, twin_crash_now);
+
+    // ...must agree with the crash-recovered state from here to the
+    // end: same drain, same final trust state, same artifact.
+    trust_drain(&mut recovered, &campaign, crash_now + 1.0);
+    trust_drain(&mut twin, &campaign, crash_now + 1.0);
+    assert_eq!(
+        recovered.agent_trust_table(),
+        twin.agent_trust_table(),
+        "final trust state must not depend on the crash"
+    );
+    let q9 = recovered.agent_trust(9).expect("saboteur ledger");
+    assert_eq!(q9.quarantine_count, 1, "quarantine survived the restart");
+    assert_eq!(artifact_json(&recovered), artifact_json(&twin));
+    assert_eq!(artifact_json(&recovered), baseline_json(&campaign));
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
+fn trust_journal_refuses_a_different_trust_policy() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig::new(journal_dir("trust-mismatch"));
+    let (mut live, _) =
+        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("journal opens");
+    let _ = fetch(&mut live, 0.0, 1);
+    drop(live);
+
+    // Same campaign, trust off: the scheduling decisions in the wal
+    // were made under a different policy — replay must refuse.
+    let err = match open_journaled(&cfg, &campaign, server_config(), ServerFaults::default()) {
+        Ok(_) => panic!("journal under a different trust policy must be rejected"),
+        Err(e) => e,
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("faults") || msg.contains("trust") || msg.contains("different"),
+        "got: {msg}"
+    );
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }

@@ -19,7 +19,10 @@
 
 use gridsim::server::{SchedulerCore, ServerConfig, ServerStats};
 use gridsim::SimTime;
-use netgrid::{CampaignParams, GridState, NetCampaign, ServerFaults, Verdict, WorkReply};
+use netgrid::trust::spot_selected;
+use netgrid::{
+    CampaignParams, GridState, NetCampaign, ServerFaults, TrustConfig, Verdict, WorkReply,
+};
 
 /// The common frontend surface the script drives.
 trait Frontend {
@@ -248,5 +251,142 @@ fn simulator_and_wire_frontends_decide_identically() {
     assert_eq!(
         serde_json::to_string(&outputs).unwrap(),
         serde_json::to_string(&campaign.baseline_outputs()).unwrap(),
+    );
+}
+
+/// Property: spot-check selection is a pure function of (seed,
+/// workunit, rate) — stable across calls, empty at rate 0, total at
+/// rate 1, and monotone in rate (raising the rate never deselects a
+/// workunit, because selection thresholds one fixed hash).
+#[test]
+fn spot_selection_is_a_pure_function_of_seed_and_workunit() {
+    for seed in [0u64, 7, 0x5d0c_beef, u64::MAX] {
+        let picks: Vec<bool> = (0..5_000).map(|wu| spot_selected(seed, wu, 0.25)).collect();
+        let again: Vec<bool> = (0..5_000).map(|wu| spot_selected(seed, wu, 0.25)).collect();
+        assert_eq!(picks, again, "selection must be deterministic");
+        assert!((0..5_000).all(|wu| !spot_selected(seed, wu, 0.0)));
+        assert!((0..5_000).all(|wu| spot_selected(seed, wu, 1.0)));
+        for wu in 0..5_000 {
+            if spot_selected(seed, wu, 0.25) {
+                assert!(
+                    spot_selected(seed, wu, 0.5),
+                    "raising the rate deselected wu {wu} under seed {seed}"
+                );
+            }
+        }
+        let hits = picks.iter().filter(|&&p| p).count();
+        assert!(
+            (800..1700).contains(&hits),
+            "rate 0.25 over 5000 workunits selected {hits}"
+        );
+    }
+    // Different seeds sample different subsets.
+    let a: Vec<bool> = (0..5_000).map(|wu| spot_selected(1, wu, 0.25)).collect();
+    let b: Vec<bool> = (0..5_000).map(|wu| spot_selected(2, wu, 0.25)).collect();
+    assert_ne!(a, b, "the seed must actually steer the draw");
+}
+
+/// Property: under the trust policy, a scripted campaign history —
+/// honest agents, one saboteur, interleaved fetch/report/sweep — is
+/// fully deterministic (two runs produce identical decision logs,
+/// seeded spot checks included), and the replication level demanded of
+/// any workunit never leaves `[1, quorum max]`: trusted singles floor
+/// at one result, forced re-replication ceilings at the configured
+/// quorum of two.
+#[test]
+fn trust_scripted_history_is_deterministic_with_bounded_replication() {
+    const QUORUM_MAX: u16 = 2;
+    let run = || -> (Vec<String>, GridState) {
+        let campaign = NetCampaign::build(CampaignParams::tiny());
+        let config = ServerConfig {
+            deadline_seconds: 10.0,
+            ..ServerConfig::default()
+        };
+        let faults = ServerFaults {
+            trust: TrustConfig {
+                spot_check_rate: 0.5,
+                ..TrustConfig::on()
+            },
+            ..ServerFaults::default()
+        };
+        let mut state = GridState::new(&campaign, config, faults);
+        let mut log = Vec::new();
+        // Deterministic script mixer (an LCG, not the std RNG, so the
+        // history is identical on every run of this test binary).
+        let mut lcg: u64 = 0x2545_f491_4f6c_dd1d;
+        let mut draw = |m: u64| {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (lcg >> 33) % m
+        };
+        let mut now = 0.0f64;
+        let mut corruptions = 0u32;
+        for step in 0..10_000 {
+            if state.is_campaign_complete() {
+                break;
+            }
+            now += 0.25;
+            // Agent 9 is the saboteur: in-bounds corruption every time.
+            let agent = [1u64, 2, 3, 9][draw(4) as usize];
+            if draw(10) == 0 {
+                let expired = state.sweep(SimTime::new(now));
+                log.push(format!("sweep expired={expired}"));
+                continue;
+            }
+            match state.fetch(SimTime::new(now), agent) {
+                WorkReply::Assigned(a) => {
+                    let needed = state.replication_needed(SimTime::new(now), a.workunit);
+                    assert!(
+                        (1..=QUORUM_MAX).contains(&needed),
+                        "step {step}: wu {} demands {needed} results",
+                        a.workunit
+                    );
+                    let mut out = campaign.compute(campaign.spec(a.workunit));
+                    if agent == 9 {
+                        // Salted like FaultDice: two corruptions never
+                        // byte-match, so the saboteur cannot validate
+                        // its own garbage by holding both pair halves.
+                        corruptions += 1;
+                        out.rows[0].eelec += 1e-9 * f64::from(corruptions);
+                    }
+                    let d = state.report(
+                        SimTime::new(now + 0.1),
+                        &campaign,
+                        a.replica,
+                        a.workunit,
+                        out,
+                    );
+                    log.push(format!(
+                        "agent={agent} wu={} verdict={:?} complete={}",
+                        a.workunit, d.verdict, d.completed_workunit
+                    ));
+                }
+                WorkReply::Backoff { .. } => log.push(format!("agent={agent} backoff")),
+            }
+        }
+        (log, state)
+    };
+
+    let (log_a, state_a) = run();
+    let (log_b, state_b) = run();
+    assert_eq!(log_a, log_b, "identical scripts must replay identically");
+    assert_eq!(state_a.server_stats(), state_b.server_stats());
+    assert!(
+        state_a.is_campaign_complete(),
+        "script budget too small to finish the campaign"
+    );
+    // The interesting machinery actually ran: someone graduated to
+    // singles and was audited for it.
+    assert!(
+        state_a.net_stats.spot_checks_passed > 0,
+        "no spot check ever fired: {:?}",
+        state_a.net_stats
+    );
+    assert_eq!(
+        serde_json::to_string(&state_a.accepted_outputs().unwrap()).unwrap(),
+        serde_json::to_string(&NetCampaign::build(CampaignParams::tiny()).baseline_outputs())
+            .unwrap(),
+        "trust must not change the merged artifact"
     );
 }

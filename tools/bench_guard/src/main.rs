@@ -28,7 +28,12 @@
 //!   between runs with the same fleet size — a `--quick` or `--agents`
 //!   override measures a different experiment than the baseline.
 //!   Reports with a scale campaign get an absolute warn-only ceiling on
-//!   the mux fleet's p99 request latency.
+//!   the mux fleet's p99 request latency. Reports with the trust
+//!   comparison columns get warn-only floors on the redundancy saving
+//!   and the quorum-rejection reduction from trust-adaptive
+//!   replication, a wasted-compute sanity check, and warnings if the
+//!   saboteur escaped quarantine or either trust run's merged output
+//!   diverged.
 //! * `frame_codec` (`BENCH_codec.json`) — per-frame encode/decode cost
 //!   of the two wire codecs; warns when the binary codec fails to beat
 //!   JSON or regresses past the tolerance against its baseline.
@@ -56,6 +61,15 @@ const OPS_SCRAPE_P99_CEILING_MS: f64 = 50.0;
 /// latency — the PR-7 target: single-digit milliseconds with ten
 /// thousand multiplexed volunteers on loopback.
 const SCALE_P99_CEILING_MS: f64 = 10.0;
+/// Smallest acceptable `(off - on) / off` redundancy saving from
+/// trust-adaptive replication before the (warn-only) guard fires — the
+/// PR-8 headline is a measured drop, so a run where trust saves
+/// essentially nothing means graduation stopped happening.
+const TRUST_REDUNDANCY_REDUCTION_FLOOR: f64 = 0.05;
+/// Smallest acceptable `trust_off / trust_on` quorum-rejection ratio:
+/// quarantining the saboteur is expected to at least halve the
+/// rejections it can land.
+const TRUST_REJECT_REDUCTION_FLOOR: f64 = 2.0;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -109,6 +123,16 @@ struct NetgridSummary {
     scale_workunits_per_sec: Option<f64>,
     scale_request_latency_p99_ms: Option<f64>,
     scale_merged_matches_baseline: Option<bool>,
+    /// Trust-comparison columns; `None` on reports from before the
+    /// trust pair existed.
+    trust_redundancy_reduction_frac: Option<f64>,
+    trust_off_quorum_rejects: Option<f64>,
+    trust_on_quorum_rejects: Option<f64>,
+    trust_off_wasted_ref_seconds: Option<f64>,
+    trust_on_wasted_ref_seconds: Option<f64>,
+    trust_saboteur_quarantined: Option<bool>,
+    trust_off_merged_matches_baseline: Option<bool>,
+    trust_on_merged_matches_baseline: Option<bool>,
 }
 
 fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
@@ -148,6 +172,33 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
             .get("scale_request_latency_p99_ms")
             .and_then(Value::as_f64),
         scale_merged_matches_baseline: match report.get("scale_merged_matches_baseline") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
+        trust_redundancy_reduction_frac: report
+            .get("trust_redundancy_reduction_frac")
+            .and_then(Value::as_f64),
+        trust_off_quorum_rejects: report
+            .get("trust_off_quorum_rejects")
+            .and_then(Value::as_f64),
+        trust_on_quorum_rejects: report
+            .get("trust_on_quorum_rejects")
+            .and_then(Value::as_f64),
+        trust_off_wasted_ref_seconds: report
+            .get("trust_off_wasted_ref_seconds")
+            .and_then(Value::as_f64),
+        trust_on_wasted_ref_seconds: report
+            .get("trust_on_wasted_ref_seconds")
+            .and_then(Value::as_f64),
+        trust_saboteur_quarantined: match report.get("trust_saboteur_quarantined") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
+        trust_off_merged_matches_baseline: match report.get("trust_off_merged_matches_baseline") {
+            Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
+        trust_on_merged_matches_baseline: match report.get("trust_on_merged_matches_baseline") {
             Some(Value::Bool(b)) => Some(*b),
             _ => None,
         },
@@ -303,6 +354,64 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
         warnings += 1;
         eprintln!(
             "bench_guard: WARNING: scale campaign's merged output diverged from the in-process baseline"
+        );
+    }
+    match fresh.trust_redundancy_reduction_frac {
+        Some(frac) if frac < TRUST_REDUNDANCY_REDUCTION_FLOOR => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: trust-adaptive replication saved only {:.1}% redundancy (floor {:.0}%)",
+                frac * 100.0,
+                TRUST_REDUNDANCY_REDUCTION_FLOOR * 100.0
+            );
+        }
+        Some(frac) => println!(
+            "bench_guard: trust redundancy saving ok: {:.1}% (floor {:.0}%)",
+            frac * 100.0,
+            TRUST_REDUNDANCY_REDUCTION_FLOOR * 100.0
+        ),
+        None => println!("bench_guard: note: report has no trust comparison columns"),
+    }
+    if let (Some(off), Some(on)) = (
+        fresh.trust_off_quorum_rejects,
+        fresh.trust_on_quorum_rejects,
+    ) {
+        let ratio = off / on.max(1.0);
+        if ratio < TRUST_REJECT_REDUCTION_FLOOR {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: quorum rejections only fell {ratio:.1}x under trust \
+                 ({off:.0} -> {on:.0}; floor {TRUST_REJECT_REDUCTION_FLOOR:.0}x)"
+            );
+        } else {
+            println!(
+                "bench_guard: trust quorum-rejection reduction ok: {ratio:.1}x ({off:.0} -> {on:.0})"
+            );
+        }
+    }
+    if let (Some(off), Some(on)) = (
+        fresh.trust_off_wasted_ref_seconds,
+        fresh.trust_on_wasted_ref_seconds,
+    ) {
+        if on > off {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: trust-on run wasted more reference CPU than trust-off ({on:.0} vs {off:.0} ref-s)"
+            );
+        } else {
+            println!("bench_guard: trust wasted-compute ok: {on:.0} ref-s (trust-off {off:.0})");
+        }
+    }
+    if fresh.trust_saboteur_quarantined == Some(false) {
+        warnings += 1;
+        eprintln!("bench_guard: WARNING: the saboteur escaped quarantine in the trust-on run");
+    }
+    if fresh.trust_off_merged_matches_baseline == Some(false)
+        || fresh.trust_on_merged_matches_baseline == Some(false)
+    {
+        warnings += 1;
+        eprintln!(
+            "bench_guard: WARNING: a trust-comparison run's merged output diverged from the in-process baseline"
         );
     }
     warnings
