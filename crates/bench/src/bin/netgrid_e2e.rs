@@ -37,9 +37,28 @@
 //! quarantined — the CI `netgrid-trust-smoke` job asserts the last
 //! plus artifact identity.
 //!
+//! A *sharded* block then splits the same campaign across N
+//! `NetServer` shards (2-shard, 2-shard `--trust on` and 4-shard by
+//! default; `--shards N` overrides the topology, `--shards 0` skips the
+//! block) with the mux fleet round-robined across every shard. Each row
+//! in the `shard_campaigns` column reports redirect and lease (steal)
+//! counts, per-shard and aggregate throughput, and whether the merged
+//! per-shard artifacts are byte-identical to a like-for-like
+//! single-server run — the CI `netgrid-shard-smoke` job asserts that
+//! flag, and bench_guard warns when steering degrades aggregate
+//! throughput below 0.9x the single server.
+//!
 //! `--codec` picks the wire codec for every agent frame: `binary`
 //! (protocol v2, the default) or `json` (protocol v1 — the old-agent
-//! interop path).
+//! interop path). The sharded campaigns always speak `v3` — steering
+//! needs the shard message family.
+//!
+//! `--merge p0.json,p1.json[,...]` skips the bench entirely and runs
+//! the artifact merge step instead: reads the per-shard partials the
+//! sharded servers wrote with `--out`, combines them with
+//! `netgrid::merge_artifact_json`, and writes the single-server byte
+//! stream to `--out` (or stdout). This is how a real sharded operation
+//! — and the CI interop smoke — assembles the final catalog.
 //!
 //! Writes `BENCH_netgrid.json` at the workspace root (override with
 //! `--out`); `tools/bench_guard` compares fresh runs against the
@@ -49,10 +68,11 @@
 use bench_support::RunSession;
 use metrics::quantile;
 use netgrid::{
-    http_get, run_agent, run_mux_fleet, AgentConfig, CampaignParams, Codec, FaultProfile,
-    JournalConfig, MuxFleetConfig, MuxFleetReport, NetCampaign, NetRunReport, NetServer,
-    NetServerConfig, TrustConfig,
+    http_get, merge_artifact_json, merge_artifacts, run_agent, run_mux_fleet, AgentConfig,
+    CampaignParams, Codec, FaultProfile, JournalConfig, MuxFleetConfig, MuxFleetReport,
+    NetCampaign, NetRunReport, NetServer, NetServerConfig, ShardSpec, ShardTopology, TrustConfig,
 };
+use std::net::TcpListener;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -147,6 +167,51 @@ struct NetgridReport {
     trust_saboteur_quarantined: bool,
     trust_off_merged_matches_baseline: bool,
     trust_on_merged_matches_baseline: bool,
+    /// Throughput of the like-for-like single-server run the sharded
+    /// campaigns are scored against: same campaign, same mux fleet, one
+    /// unsharded server. Null when `--shards 0` skipped the block.
+    shard_single_workunits_per_sec: Option<f64>,
+    /// One row per sharded campaign (2-shard, 2-shard trust-on and
+    /// 4-shard by default). Null when `--shards 0` skipped the block.
+    shard_campaigns: Option<Vec<ShardBenchRow>>,
+}
+
+/// One sharded campaign in the `shard_campaigns` column.
+#[derive(serde::Serialize)]
+struct ShardBenchRow {
+    /// Topology size: the campaign catalog was hash-split across this
+    /// many `NetServer` shards.
+    shards: u16,
+    /// Whether every shard ran trust-adaptive replication.
+    trust: bool,
+    /// Workunits validated across all shards (the whole catalog).
+    workunits: usize,
+    /// Fleet-side wall clock, start of the fleet to global completion.
+    /// (Server-side `wall_seconds` includes the sharded shutdown grace,
+    /// which would understate throughput.)
+    wall_seconds: f64,
+    /// Aggregate throughput across the topology; bench_guard warns when
+    /// this falls below 0.9x the single-server reference.
+    workunits_per_sec: f64,
+    /// Validated-workunit throughput of each shard, in shard order. A
+    /// shard that drained early and kept leasing work still shows up
+    /// here — steering is why these stay comparable.
+    per_shard_workunits_per_sec: Vec<f64>,
+    /// `RequestWork` round trips across the fleet; the natural bound on
+    /// `redirects` (one redirect answers one ask).
+    requests: usize,
+    /// `Redirect` frames sent across all shards.
+    redirects: u64,
+    /// Work-stealing leases granted across all shards (the steal count).
+    leases: u64,
+    /// Workunits that moved shard-to-shard under those leases.
+    leased_workunits: u64,
+    /// The headline invariant: the merged per-shard partials are
+    /// byte-identical to the single-server reference artifact.
+    merged_matches_single: bool,
+    /// `workunits_per_sec / shard_single_workunits_per_sec`; guarded
+    /// warn-only at 0.9 by bench_guard.
+    throughput_vs_single_frac: f64,
 }
 
 /// Everything one campaign run yields, whichever driver carried it.
@@ -332,11 +397,129 @@ fn run_campaign_with(
     }
 }
 
+/// Everything one sharded campaign yields, across all its shards.
+struct ShardedOutcome {
+    reports: Vec<NetRunReport>,
+    /// Fleet-side wall clock (the per-shard server reports include the
+    /// sharded shutdown grace, so they are not a throughput clock).
+    wall_seconds: f64,
+    requests: usize,
+    merged_json: String,
+}
+
+/// Reserves `n` distinct loopback addresses: all listeners are held
+/// until every port is known, then dropped together so the shards can
+/// rebind them.
+fn free_addrs(n: u16) -> Vec<String> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("reserve loopback port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr").to_string())
+        .collect()
+}
+
+/// One campaign split across `shards` servers by the deterministic
+/// shard map, with the mux fleet round-robined across every shard.
+/// Always speaks protocol v3 — steering needs the shard messages.
+fn run_sharded_campaign(
+    campaign_params: CampaignParams,
+    deadline_seconds: f64,
+    shards: u16,
+    agents: usize,
+    seed: u64,
+    trust: bool,
+) -> ShardedOutcome {
+    let addrs = free_addrs(shards);
+    let handles: Vec<_> = (0..shards)
+        .map(|shard_id| {
+            let mut config = NetServerConfig {
+                campaign: campaign_params,
+                sweep_ms: 25,
+                ..NetServerConfig::loopback(deadline_seconds)
+            };
+            if trust {
+                config.faults.trust = TrustConfig::on();
+            }
+            config.addr = addrs[shard_id as usize].clone();
+            config.shard = Some(ShardTopology {
+                spec: ShardSpec { shard_id, shards },
+                addrs: addrs.clone(),
+            });
+            let server = NetServer::bind(config).expect("bind shard");
+            thread::spawn(move || server.run())
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let fleet = run_mux_fleet(MuxFleetConfig {
+        seed,
+        codec: Codec::BinaryV3,
+        addrs: addrs.clone(),
+        timeout: Duration::from_secs(280),
+        ..MuxFleetConfig::new(addrs[0].clone(), agents)
+    })
+    .expect("sharded mux fleet ran");
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    assert!(
+        fleet.saw_completion,
+        "sharded fleet should see global completion"
+    );
+    let reports: Vec<NetRunReport> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap().expect("shard ran"))
+        .collect();
+    let parts: Vec<_> = reports.iter().map(|r| r.partial_outputs.clone()).collect();
+    let merged = merge_artifacts(&parts).expect("shards cover the campaign");
+    ShardedOutcome {
+        merged_json: serde_json::to_string(&merged).expect("merged artifact serializes"),
+        requests: fleet.request_latencies_ms.len(),
+        reports,
+        wall_seconds,
+    }
+}
+
+/// The like-for-like single-server run the sharded campaigns are scored
+/// against: same campaign, same fleet size, same driver and codec, one
+/// unsharded server. Returns the artifact JSON and the fleet-side
+/// workunits/sec.
+fn run_shard_reference(
+    campaign_params: CampaignParams,
+    deadline_seconds: f64,
+    agents: usize,
+    seed: u64,
+) -> (String, f64) {
+    let config = NetServerConfig {
+        campaign: campaign_params,
+        sweep_ms: 25,
+        ..NetServerConfig::loopback(deadline_seconds)
+    };
+    let server = NetServer::bind(config).expect("bind single reference");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || server.run());
+    let t0 = Instant::now();
+    let fleet = run_mux_fleet(MuxFleetConfig {
+        seed,
+        codec: Codec::BinaryV3,
+        timeout: Duration::from_secs(280),
+        ..MuxFleetConfig::new(addr, agents)
+    })
+    .expect("reference mux fleet ran");
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(fleet.saw_completion, "reference fleet saw completion");
+    let run = server.join().unwrap().expect("reference server ran");
+    let json = serde_json::to_string(&run.outputs).expect("outputs serialize");
+    (json, run.workunits as f64 / wall.max(1e-9))
+}
+
 fn main() {
     let mut quick = false;
     let mut seed = 42u64;
     let mut agents: Option<usize> = None;
     let mut scale_agents: Option<usize> = None;
+    let mut shards: Option<u16> = None;
+    let mut merge: Option<String> = None;
     let mut codec = Codec::Binary;
     let mut out: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -363,6 +546,14 @@ fn main() {
                         .expect("--scale-agents <n>"),
                 )
             }
+            "--shards" => {
+                shards = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--shards <n>"),
+                )
+            }
+            "--merge" => merge = Some(args.next().expect("--merge <p0.json,p1.json,...>")),
             "--codec" => {
                 codec = args
                     .next()
@@ -376,11 +567,43 @@ fn main() {
                 eprintln!("netgrid_e2e: unknown argument {other}");
                 eprintln!(
                     "usage: netgrid_e2e [--quick] [--seed <n>] [--agents <n>] \
-                     [--scale-agents <n>] [--codec json|binary] [--out <path>]"
+                     [--scale-agents <n>] [--shards <n>] [--codec json|binary] \
+                     [--out <path>] | --merge <p0.json,p1.json,...> [--out <path>]"
                 );
                 std::process::exit(2);
             }
         }
+    }
+
+    // Merge mode: no campaign at all — combine per-shard partial
+    // artifacts (what a sharded `hcmd-server --out` writes) into the
+    // single-server byte stream and exit. The CI shard-interop smoke
+    // drives this path against real server processes.
+    if let Some(list) = merge {
+        let parts: Vec<String> = list
+            .split(',')
+            .map(|p| {
+                std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("netgrid_e2e: cannot read partial artifact {p}: {e}");
+                    std::process::exit(2);
+                })
+            })
+            .collect();
+        let merged = merge_artifact_json(&parts).unwrap_or_else(|e| {
+            eprintln!("netgrid_e2e: merge failed: {e}");
+            std::process::exit(1);
+        });
+        match &out {
+            Some(path) => match std::fs::write(path, &merged) {
+                Ok(()) => println!("netgrid_e2e: merged {} partials -> {path}", parts.len()),
+                Err(e) => {
+                    eprintln!("netgrid_e2e: cannot write {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            None => println!("{merged}"),
+        }
+        return;
     }
     // Quick keeps the tiny 2-protein campaign and a short deadline so
     // the victim's abandoned replica expires fast; the full run grows
@@ -481,6 +704,71 @@ fn main() {
     let trust_off = trust_run(false);
     let trust_on = trust_run(true);
 
+    // The sharded block: the same campaign hash-split across N servers,
+    // the mux fleet round-robined across every shard, scored against a
+    // like-for-like single-server run. 2-shard (plain and trust-on) and
+    // 4-shard by default; `--shards N` narrows to one topology (plain
+    // and trust-on), `--shards 0` (or 1) skips the block.
+    let shard_rows: Vec<(u16, bool)> = match shards {
+        None => vec![(2, false), (2, true), (4, false)],
+        Some(0) | Some(1) => Vec::new(),
+        Some(n) => vec![(n, false), (n, true)],
+    };
+    let sharded = (!shard_rows.is_empty()).then(|| {
+        let max_shards = shard_rows.iter().map(|&(n, _)| n).max().unwrap() as usize;
+        let shard_fleet = honest_agents.min(8).max(max_shards);
+        // A larger catalog than the classic campaigns: global completion
+        // travels by gossip (one ~100 ms steering tick), a fixed lag
+        // that would dominate the throughput ratio on a sub-second
+        // campaign. The single-server reference uses these same params,
+        // so the comparison stays like-for-like.
+        let shard_params = CampaignParams {
+            proteins: if quick { 5 } else { 6 },
+            ..campaign_params
+        };
+        let (single_json, single_wps) =
+            run_shard_reference(shard_params, deadline_seconds, shard_fleet, seed);
+        let rows: Vec<ShardBenchRow> = shard_rows
+            .iter()
+            .map(|&(n, trust)| {
+                let o = run_sharded_campaign(
+                    shard_params,
+                    deadline_seconds,
+                    n,
+                    shard_fleet,
+                    seed,
+                    trust,
+                );
+                let validated = |r: &NetRunReport| r.partial_outputs.iter().flatten().count();
+                let workunits: usize = o.reports.iter().map(&validated).sum();
+                let workunits_per_sec = workunits as f64 / o.wall_seconds.max(1e-9);
+                ShardBenchRow {
+                    shards: n,
+                    trust,
+                    workunits,
+                    wall_seconds: o.wall_seconds,
+                    workunits_per_sec,
+                    per_shard_workunits_per_sec: o
+                        .reports
+                        .iter()
+                        .map(|r| validated(r) as f64 / o.wall_seconds.max(1e-9))
+                        .collect(),
+                    requests: o.requests,
+                    redirects: o.reports.iter().map(|r| r.net_stats.shard_redirects).sum(),
+                    leases: o.reports.iter().map(|r| r.net_stats.shard_leases_out).sum(),
+                    leased_workunits: o
+                        .reports
+                        .iter()
+                        .map(|r| r.net_stats.shard_wus_leased_out)
+                        .sum(),
+                    merged_matches_single: o.merged_json == single_json,
+                    throughput_vs_single_frac: workunits_per_sec / single_wps.max(1e-9),
+                }
+            })
+            .collect();
+        (single_wps, rows)
+    });
+
     let baseline = NetCampaign::build(campaign_params).baseline_outputs();
     let baseline_json = serde_json::to_string(&baseline).expect("baseline serializes");
     let matches_baseline = |run: &NetRunReport| {
@@ -571,6 +859,8 @@ fn main() {
         trust_saboteur_quarantined: trust_summary.ever_quarantined >= 1,
         trust_off_merged_matches_baseline: matches_baseline(&trust_off.run),
         trust_on_merged_matches_baseline: matches_baseline(&trust_on.run),
+        shard_single_workunits_per_sec: sharded.as_ref().map(|(wps, _)| *wps),
+        shard_campaigns: sharded.map(|(_, rows)| rows),
     };
     println!(
         "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents [{}] + victim + saboteur, {} codec)",
@@ -639,6 +929,23 @@ fn main() {
         report.trust_on_spot_checks_failed,
         report.trust_saboteur_quarantined,
     );
+    if let Some(rows) = &report.shard_campaigns {
+        for row in rows {
+            println!(
+                "sharded: {} shards{} -> {:.1} wu/s aggregate ({:.2}x single-server {:.1}), \
+                 {} redirects, {} leases ({} wus stolen), merge matches single: {}",
+                row.shards,
+                if row.trust { " (trust on)" } else { "" },
+                row.workunits_per_sec,
+                row.throughput_vs_single_frac,
+                report.shard_single_workunits_per_sec.unwrap_or(0.0),
+                row.redirects,
+                row.leases,
+                row.leased_workunits,
+                row.merged_matches_single,
+            );
+        }
+    }
     println!(
         "merged output matches in-process baseline: plain {}, journaled {:?}, ops {:?}, scale {:?}, trust off/on {}/{}",
         report.merged_matches_baseline,
@@ -653,7 +960,11 @@ fn main() {
         && report.ops_merged_matches_baseline.unwrap_or(true)
         && report.scale_merged_matches_baseline.unwrap_or(true)
         && report.trust_off_merged_matches_baseline
-        && report.trust_on_merged_matches_baseline;
+        && report.trust_on_merged_matches_baseline
+        && report
+            .shard_campaigns
+            .as_ref()
+            .is_none_or(|rows| rows.iter().all(|r| r.merged_matches_single));
     if !ok {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }

@@ -228,6 +228,9 @@ pub struct SchedulerCore {
     /// workunit; full campaigns have ~10⁵ workunits, far too many to log
     /// each. Override with `HCMD_TELEMETRY_SAMPLE=<stride>`.
     sample_stride: u64,
+    /// Shard-ownership mode; `None` (single server) on every pre-shard
+    /// path, preserving bit-identical scheduling decisions.
+    shard: Option<ShardOwnership>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -235,6 +238,37 @@ enum ReissueCause {
     Quorum,
     Timeout,
     Error,
+}
+
+/// Shard-ownership state: which slice of the catalog this scheduler
+/// instance is responsible for, when a campaign is split across several
+/// servers (multi-server sharding). `None` on every single-server path,
+/// in which case the scheduler behaves exactly as before — the
+/// launch-order cursor (`next_new`) walks the whole catalog.
+///
+/// In shard mode the never-issued pool is an explicit launch-ordered
+/// queue instead of a cursor, because work-stealing leases mutate
+/// ownership mid-campaign: `lease_out` releases unissued workunits to a
+/// hungry peer and `lease_in` adopts them. Both are idempotent (a
+/// duplicate gossip frame re-applying a lease is a no-op), and only
+/// never-issued workunits can move — once a replica is out, the
+/// workunit's reissue/quorum lifecycle stays on the shard that issued
+/// it, so completion accounting never crosses shards.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardOwnership {
+    /// Per-workunit: does this shard currently own it?
+    owned: Vec<bool>,
+    /// Per-workunit: has this shard ever issued a replica of it?
+    /// Issued workunits are lease-locked (see above).
+    issued: Vec<bool>,
+    /// Launch-ordered queue of owned, never-issued workunits. Entries
+    /// can go stale (leased out, re-adopted, completed); pops skip
+    /// anything not currently owned-and-unissued.
+    fresh: VecDeque<u32>,
+    /// Currently-owned workunit count (the campaign-complete target).
+    owned_total: usize,
+    /// Workunits this shard has issued at least one replica of.
+    issued_count: usize,
 }
 
 /// Trust-adaptive replication level for a fresh workunit issue,
@@ -276,6 +310,8 @@ pub struct CoreSnapshot {
     #[serde(default)]
     wasted_ref_seconds: f64,
     catalog_len: usize,
+    #[serde(default)]
+    shard: Option<ShardOwnership>,
 }
 
 impl ReissueCause {
@@ -360,8 +396,47 @@ impl SchedulerCore {
             wasted_ref_seconds: 0.0,
             tele: ServerTelemetry::new(),
             sample_stride,
+            shard: None,
             catalog,
         }
+    }
+
+    /// Creates a sharded server over the *full* launch-ordered catalog,
+    /// owning only the workunits where `owned[wu]` is true. The catalog
+    /// stays complete so replica/workunit indices agree across shards
+    /// (and with the single-server run); only issue eligibility is
+    /// restricted. Shard mode does not support the feeder cache — the
+    /// feeder's refill pass walks the launch cursor, which shard mode
+    /// replaces with an ownership queue.
+    pub fn with_ownership(
+        catalog: Vec<WorkunitCatalogEntry>,
+        config: ServerConfig,
+        owned: Vec<bool>,
+    ) -> Self {
+        assert!(
+            config.feeder.is_none(),
+            "shard-ownership mode does not support the feeder cache"
+        );
+        assert_eq!(owned.len(), catalog.len(), "ownership map length");
+        let mut core = Self::new(catalog, config);
+        let fresh: VecDeque<u32> = owned
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o)
+            .map(|(i, _)| i as u32)
+            .collect();
+        let owned_total = fresh.len();
+        // Park the launch cursor at the end: fresh issue flows through
+        // the ownership queue instead.
+        core.next_new = core.catalog.len();
+        core.shard = Some(ShardOwnership {
+            issued: vec![false; owned.len()],
+            owned,
+            fresh,
+            owned_total,
+            issued_count: 0,
+        });
+        core
     }
 
     /// Captures the scheduler's mutable state for durable storage.
@@ -380,6 +455,7 @@ impl SchedulerCore {
             feeder_misses: self.feeder_misses,
             wasted_ref_seconds: self.wasted_ref_seconds,
             catalog_len: self.catalog.len(),
+            shard: self.shard.clone(),
         }
     }
 
@@ -421,6 +497,14 @@ impl SchedulerCore {
         {
             return Err("snapshot reissue/feeder entry out of range".into());
         }
+        if let Some(sh) = &snap.shard {
+            if sh.owned.len() != n || sh.issued.len() != n {
+                return Err("snapshot shard ownership map length mismatch".into());
+            }
+            if sh.fresh.iter().any(|&wu| wu as usize >= n) {
+                return Err("snapshot shard fresh entry out of range".into());
+            }
+        }
         let mut core = Self::new(catalog, config);
         core.states = snap.states;
         core.replicas = snap.replicas;
@@ -434,6 +518,7 @@ impl SchedulerCore {
         core.feeder_cache = snap.feeder_cache.into();
         core.feeder_misses = snap.feeder_misses;
         core.wasted_ref_seconds = snap.wasted_ref_seconds;
+        core.shard = snap.shard;
         Ok(core)
     }
 
@@ -500,9 +585,13 @@ impl SchedulerCore {
         self.completed
     }
 
-    /// True when every workunit is validated.
+    /// True when every workunit is validated — every *owned* workunit,
+    /// in shard mode.
     pub fn is_campaign_complete(&self) -> bool {
-        self.completed == self.catalog.len()
+        match &self.shard {
+            Some(sh) => self.completed == sh.owned_total,
+            None => self.completed == self.catalog.len(),
+        }
     }
 
     /// Catalog entry of a workunit.
@@ -571,9 +660,7 @@ impl SchedulerCore {
             }
             self.record_issue(now, wu, cause.issue_cause());
             wu
-        } else if self.next_new < self.catalog.len() {
-            let wu = self.next_new as u32;
-            self.next_new += 1;
+        } else if let Some(wu) = self.pop_fresh() {
             self.stats.initial_issues += 1;
             self.record_issue(now, wu, IssueCause::Initial);
             match replication {
@@ -602,6 +689,126 @@ impl SchedulerCore {
             return None;
         };
         Some(self.issue_replica(workunit))
+    }
+
+    /// Pops the next never-issued workunit in launch order: the
+    /// `next_new` cursor on the single-server path, the ownership
+    /// queue in shard mode (skipping entries leased away, already
+    /// issued via a re-adoption duplicate, or completed).
+    fn pop_fresh(&mut self) -> Option<u32> {
+        match &mut self.shard {
+            None => {
+                if self.next_new < self.catalog.len() {
+                    let wu = self.next_new as u32;
+                    self.next_new += 1;
+                    Some(wu)
+                } else {
+                    None
+                }
+            }
+            Some(sh) => loop {
+                let wu = sh.fresh.pop_front()?;
+                let i = wu as usize;
+                if sh.owned[i] && !sh.issued[i] && !self.states[i].complete {
+                    sh.issued[i] = true;
+                    sh.issued_count += 1;
+                    break Some(wu);
+                }
+            },
+        }
+    }
+
+    /// Whether this scheduler runs in shard-ownership mode.
+    pub fn is_sharded(&self) -> bool {
+        self.shard.is_some()
+    }
+
+    /// Whether this scheduler currently owns `wu`. Always true on the
+    /// single-server path.
+    pub fn owns(&self, wu: u32) -> bool {
+        match &self.shard {
+            Some(sh) => sh.owned[wu as usize],
+            None => true,
+        }
+    }
+
+    /// Currently-owned workunit count (the whole catalog when not
+    /// sharded).
+    pub fn owned_count(&self) -> usize {
+        match &self.shard {
+            Some(sh) => sh.owned_total,
+            None => self.catalog.len(),
+        }
+    }
+
+    /// Owned workunits no replica has ever been issued for — the
+    /// shard's stealable backlog.
+    pub fn fresh_backlog(&self) -> usize {
+        match &self.shard {
+            Some(sh) => sh.owned_total - sh.issued_count,
+            None => self.catalog.len() - self.next_new,
+        }
+    }
+
+    /// Up to `max` workunits this shard could lease to a hungry peer:
+    /// the *tail* of the launch-ordered ownership queue (the work this
+    /// shard would reach last), owned and never issued. Empty when not
+    /// sharded.
+    pub fn lease_candidates(&self, max: usize) -> Vec<u32> {
+        let Some(sh) = &self.shard else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(max.min(8));
+        for &wu in sh.fresh.iter().rev() {
+            let i = wu as usize;
+            if sh.owned[i] && !sh.issued[i] && !self.states[i].complete && !out.contains(&wu) {
+                out.push(wu);
+                if out.len() >= max {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// Releases ownership of never-issued workunits to a peer shard.
+    /// Idempotent: workunits already released, already issued here, or
+    /// not owned are skipped. Returns how many actually moved.
+    pub fn lease_out(&mut self, wus: &[u32]) -> usize {
+        let Some(sh) = &mut self.shard else {
+            return 0;
+        };
+        let mut moved = 0;
+        for &wu in wus {
+            let i = wu as usize;
+            if i < sh.owned.len() && sh.owned[i] && !sh.issued[i] {
+                sh.owned[i] = false;
+                sh.owned_total -= 1;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Adopts ownership of workunits leased from a peer shard.
+    /// Idempotent: workunits already owned are skipped, so a duplicate
+    /// gossip frame re-applying the same lease is a no-op. Returns how
+    /// many actually moved.
+    pub fn lease_in(&mut self, wus: &[u32]) -> usize {
+        let Some(sh) = &mut self.shard else {
+            return 0;
+        };
+        let mut moved = 0;
+        for &wu in wus {
+            let i = wu as usize;
+            if i < sh.owned.len() && !sh.owned[i] {
+                sh.owned[i] = true;
+                sh.owned_total += 1;
+                sh.fresh.push_back(wu);
+                moved += 1;
+            }
+        }
+        moved
     }
 
     /// Registers a fresh replica of `workunit` and builds its assignment.
@@ -831,7 +1038,7 @@ impl SchedulerCore {
     /// now (queued reissues — possibly moot — plus never-issued workunits).
     /// Used by the engine to wake idle hosts.
     pub fn available_count(&self, _now: SimTime) -> usize {
-        self.reissue.len() + (self.catalog.len() - self.next_new)
+        self.reissue.len() + self.fresh_backlog()
     }
 
     /// The campaign-wide redundancy factor so far
@@ -850,14 +1057,21 @@ impl SchedulerCore {
     /// are issued workunits holding a partial quorum (≥ 1 valid result,
     /// not yet complete).
     pub fn wu_state_counts(&self) -> WuStateCounts {
+        // Launch order is issue order on the single-server path, so
+        // issued workunits are exactly `0..next_new`; shard mode issues
+        // out of the ownership queue and counts explicitly.
+        let (total, issued) = match &self.shard {
+            Some(sh) => (sh.owned_total, sh.issued_count),
+            None => (self.catalog.len(), self.next_new),
+        };
         let quorum_pending = self.states[..self.next_new]
             .iter()
             .filter(|s| !s.complete && s.valid_results > 0)
             .count();
         WuStateCounts {
-            total: self.catalog.len(),
-            issued: self.next_new,
-            in_flight: self.next_new - self.completed,
+            total,
+            issued,
+            in_flight: issued - self.completed,
             quorum_pending,
             done: self.completed,
         }
@@ -1418,5 +1632,122 @@ mod stats_tests {
         assert!(!late.useful);
         assert_eq!(s.stats.late_results, 1);
         assert_eq!(s.stats.total_issues(), 4);
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+
+    fn catalog(n: usize) -> Vec<WorkunitCatalogEntry> {
+        (0..n)
+            .map(|i| WorkunitCatalogEntry {
+                ref_seconds: 1000.0 + i as f32,
+                position_ref_seconds: 100.0,
+                receptor: (i % 2) as u16,
+            })
+            .collect()
+    }
+
+    fn t(sec: f64) -> SimTime {
+        SimTime::new(sec)
+    }
+
+    fn bounds_cfg() -> ServerConfig {
+        ServerConfig {
+            validation_switch_day: Some(0),
+            ..Default::default()
+        }
+    }
+
+    fn owned_evens(n: usize) -> Vec<bool> {
+        (0..n).map(|i| i % 2 == 0).collect()
+    }
+
+    #[test]
+    fn sharded_core_issues_only_owned_workunits_in_launch_order() {
+        let mut s = SchedulerCore::with_ownership(catalog(6), bounds_cfg(), owned_evens(6));
+        assert!(s.is_sharded());
+        assert_eq!(s.owned_count(), 3);
+        assert_eq!(s.fresh_backlog(), 3);
+        let issued: Vec<u32> =
+            std::iter::from_fn(|| s.fetch_work(t(0.0)).map(|a| a.workunit)).collect();
+        assert_eq!(issued, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn sharded_campaign_completes_at_the_owned_total() {
+        let mut s = SchedulerCore::with_ownership(catalog(6), bounds_cfg(), owned_evens(6));
+        while let Some(a) = s.fetch_work(t(0.0)) {
+            s.report_result(t(1.0), a.replica, false);
+        }
+        assert!(s.is_campaign_complete());
+        assert_eq!(s.completed_count(), 3);
+    }
+
+    #[test]
+    fn lease_moves_unissued_work_and_is_idempotent() {
+        let mut a = SchedulerCore::with_ownership(catalog(4), bounds_cfg(), vec![true; 4]);
+        let mut b = SchedulerCore::with_ownership(catalog(4), bounds_cfg(), vec![false; 4]);
+        assert!(b.fetch_work(t(0.0)).is_none(), "shard B starts empty");
+        assert!(b.is_campaign_complete(), "owning nothing is complete");
+
+        let wus = a.lease_candidates(2);
+        assert_eq!(wus, vec![3, 2], "tail of A's launch-order queue");
+        assert_eq!(a.lease_out(&wus), 2);
+        assert_eq!(a.lease_out(&wus), 0, "duplicate release is a no-op");
+        assert_eq!(b.lease_in(&wus), 2);
+        assert_eq!(b.lease_in(&wus), 0, "duplicate adoption is a no-op");
+        assert_eq!((a.owned_count(), b.owned_count()), (2, 2));
+
+        // A drains its remaining half; the leased wus never surface.
+        let a_issued: Vec<u32> =
+            std::iter::from_fn(|| a.fetch_work(t(0.0)).map(|x| x.workunit)).collect();
+        assert_eq!(a_issued, vec![0, 1]);
+        let b_issued: Vec<u32> =
+            std::iter::from_fn(|| b.fetch_work(t(0.0)).map(|x| x.workunit)).collect();
+        assert_eq!(b_issued, vec![3, 2]);
+    }
+
+    #[test]
+    fn issued_workunits_are_lease_locked() {
+        let mut s = SchedulerCore::with_ownership(catalog(2), bounds_cfg(), vec![true; 2]);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        assert_eq!(a.workunit, 0);
+        assert_eq!(s.lease_out(&[0]), 0, "an issued workunit cannot move");
+        assert_eq!(s.lease_candidates(8), vec![1]);
+    }
+
+    #[test]
+    fn shard_state_survives_the_snapshot_round_trip() {
+        let mut s = SchedulerCore::with_ownership(catalog(4), bounds_cfg(), vec![true; 4]);
+        let a = s.fetch_work(t(0.0)).unwrap();
+        s.report_result(t(1.0), a.replica, false);
+        s.lease_out(&[3]);
+        let snap = s.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: CoreSnapshot = serde_json::from_str(&json).unwrap();
+        let mut r = SchedulerCore::restore(catalog(4), bounds_cfg(), back).unwrap();
+        assert_eq!(r.owned_count(), s.owned_count());
+        assert_eq!(r.fresh_backlog(), s.fresh_backlog());
+        let (x, y) = (s.fetch_work(t(2.0)), r.fetch_work(t(2.0)));
+        assert_eq!(
+            x.map(|a| (a.replica, a.workunit)),
+            y.map(|a| (a.replica, a.workunit))
+        );
+    }
+
+    #[test]
+    fn readopted_lease_does_not_double_issue() {
+        // A leases wu 1 out, the peer leases it straight back (e.g. the
+        // peer finished); the duplicate fresh entry must not produce a
+        // second initial issue.
+        let mut s = SchedulerCore::with_ownership(catalog(2), bounds_cfg(), vec![true; 2]);
+        s.lease_out(&[1]);
+        s.lease_in(&[1]);
+        let issued: Vec<u32> =
+            std::iter::from_fn(|| s.fetch_work(t(0.0)).map(|x| x.workunit)).collect();
+        assert_eq!(issued, vec![0, 1]);
+        assert_eq!(s.stats.initial_issues, 2);
     }
 }

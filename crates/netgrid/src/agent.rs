@@ -41,10 +41,10 @@ pub struct AgentConfig {
     pub die_after: Option<u32>,
     /// Give up after this many consecutive failed connection attempts.
     pub max_connect_attempts: u32,
-    /// Wire codec for outgoing frames. The agent falls back to
-    /// [`Codec::Json`] on its own if a binary `Hello` gets no valid
-    /// answer (a v1-only server closes the connection on an unknown
-    /// version byte).
+    /// Wire codec for outgoing frames. On a failed handshake the agent
+    /// steps down one protocol level per session (v3 → v2 → JSON, which
+    /// every server release understands), so the v3 default is safe
+    /// against older servers that close on an unknown version byte.
     pub codec: Codec,
 }
 
@@ -59,7 +59,7 @@ impl AgentConfig {
             seed: 0,
             die_after: None,
             max_connect_attempts: 50,
-            codec: Codec::Binary,
+            codec: Codec::BinaryV3,
         }
     }
 }
@@ -83,6 +83,8 @@ pub struct AgentReport {
     pub request_latencies_ms: Vec<f64>,
     /// Whether the agent saw the campaign complete (vs. dying early).
     pub saw_completion: bool,
+    /// Cross-shard redirects followed (v3 sharded servers only).
+    pub redirects_followed: u64,
 }
 
 /// Runs one agent until the campaign completes (or it dies on purpose).
@@ -92,14 +94,27 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
     let mut campaign: Option<NetCampaign> = None;
     let mut connect_failures = 0u32;
     let mut codec = config.codec;
+    // Where the next session dials. A sharded server may answer a
+    // RequestWork with a Redirect to a loaded peer; the agent follows
+    // at most ONE redirect per ask (`bounced` below), so two drained
+    // shards pointing at each other cannot trap an agent in a loop.
+    let mut addr = config.addr.clone();
+    let mut bounced = false;
 
     'session: loop {
-        let mut stream = match TcpStream::connect(&config.addr) {
+        let mut stream = match TcpStream::connect(&addr) {
             Ok(s) => {
                 connect_failures = 0;
                 s
             }
             Err(e) => {
+                // A dead redirect target is not a dead campaign: fall
+                // back to the home shard before giving up.
+                if addr != config.addr {
+                    addr = config.addr.clone();
+                    bounced = false;
+                    continue 'session;
+                }
                 connect_failures += 1;
                 if connect_failures >= config.max_connect_attempts {
                     // The server is gone — most likely the campaign
@@ -145,12 +160,15 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 continue 'session;
             }
             Ok(_) | Err(_) => {
-                // A v1-only server drops the connection on a binary
-                // Hello (unknown version byte): retry the next session
-                // in JSON, which every server release understands.
-                if codec == Codec::Binary {
-                    codec = Codec::Json;
-                }
+                // An older server drops the connection on a version
+                // byte it does not know: step down one protocol level
+                // per failed session (v3 → v2 → JSON, which every
+                // server release understands).
+                codec = match codec {
+                    Codec::BinaryV3 => Codec::Binary,
+                    Codec::Binary => Codec::Json,
+                    Codec::Json => Codec::Json,
+                };
                 std::thread::sleep(Duration::from_millis(50));
                 continue 'session;
             }
@@ -174,6 +192,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                     campaign_complete,
                     retry_after_ms,
                 } => {
+                    bounced = false;
                     if campaign_complete {
                         report.saw_completion = true;
                         let _ = write_message_with(&mut stream, &Message::Bye, codec);
@@ -185,6 +204,22 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                     std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
                     continue 'session;
                 }
+                Message::Redirect { addr: peer, .. } => {
+                    if bounced || peer == addr {
+                        // Already followed one redirect for this ask
+                        // (or the server pointed at itself): back off
+                        // in place instead of chasing pointers around
+                        // a ring of drained shards.
+                        bounced = false;
+                        std::thread::sleep(Duration::from_millis(100));
+                    } else {
+                        report.redirects_followed += 1;
+                        bounced = true;
+                        addr = peer;
+                        let _ = write_message_with(&mut stream, &Message::Bye, codec);
+                        continue 'session;
+                    }
+                }
                 Message::Assignment {
                     replica,
                     workunit,
@@ -193,6 +228,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                     deadline_seconds: wu_deadline,
                     ..
                 } => {
+                    bounced = false;
                     report.assignments += 1;
                     if config
                         .die_after
@@ -353,6 +389,95 @@ mod tests {
         assert_eq!(report.disconnect_faults, report.assignments);
         assert!(!report.saw_completion);
         server.join().unwrap();
+    }
+
+    /// Two drained shards pointing at each other must not trap an
+    /// agent: the first Redirect is followed, the second (on the next
+    /// ask, back toward shard A) is treated as a backoff. The agent
+    /// therefore asks shard A exactly once.
+    #[test]
+    fn redirect_is_followed_at_most_once_per_ask() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let a_addr = a.local_addr().unwrap().to_string();
+        let b_addr = b.local_addr().unwrap().to_string();
+
+        let a_asks = Arc::new(AtomicU64::new(0));
+        let a_count = a_asks.clone();
+        let b_for_a = b_addr.clone();
+        let shard_a = std::thread::spawn(move || {
+            let (mut s, _) = a.accept().unwrap();
+            drop(a);
+            loop {
+                let reply = match read_message(&mut s) {
+                    Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        campaign: CampaignParams::tiny(),
+                        deadline_seconds: 5.0,
+                    },
+                    Ok(Some(Message::RequestWork)) => {
+                        a_count.fetch_add(1, Ordering::SeqCst);
+                        Message::Redirect {
+                            shard: 1,
+                            addr: b_for_a.clone(),
+                        }
+                    }
+                    _ => return,
+                };
+                if write_message(&mut s, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+        let a_for_b = a_addr.clone();
+        let shard_b = std::thread::spawn(move || {
+            let (mut s, _) = b.accept().unwrap();
+            drop(b);
+            let mut asks = 0u32;
+            loop {
+                let reply = match read_message(&mut s) {
+                    Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        campaign: CampaignParams::tiny(),
+                        deadline_seconds: 5.0,
+                    },
+                    Ok(Some(Message::RequestWork)) => {
+                        asks += 1;
+                        if asks == 1 {
+                            // Point straight back at shard A: if the
+                            // agent chased it, A would see a second ask.
+                            Message::Redirect {
+                                shard: 0,
+                                addr: a_for_b.clone(),
+                            }
+                        } else {
+                            Message::NoWork {
+                                campaign_complete: true,
+                                retry_after_ms: 0,
+                            }
+                        }
+                    }
+                    _ => return,
+                };
+                if write_message(&mut s, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let report = run_agent(AgentConfig::new(a_addr, 7)).unwrap();
+        assert!(report.saw_completion);
+        assert_eq!(report.redirects_followed, 1, "one bounce per ask");
+        assert_eq!(
+            a_asks.load(Ordering::SeqCst),
+            1,
+            "agent chased the redirect loop back to shard A"
+        );
+        shard_a.join().unwrap();
+        shard_b.join().unwrap();
     }
 
     #[test]

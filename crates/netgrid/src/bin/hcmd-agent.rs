@@ -3,7 +3,7 @@
 //! ```text
 //! hcmd-agent [--addr 127.0.0.1:7070] [--agent 1] [--threads 4]
 //!            [--fault-profile none|flaky|reliable|saboteur] [--seed 0]
-//!            [--codec binary|json]
+//!            [--codec v3|binary|json]
 //! ```
 //!
 //! Connects to an `hcmd-server`, learns the campaign from `HelloAck`,
@@ -11,8 +11,11 @@
 //! `--fault-profile flaky` the agent misbehaves on purpose —
 //! disconnects mid-workunit, stalls past deadlines, flips result bits —
 //! to exercise the server's reissue and quorum machinery. `--codec`
-//! picks the wire codec: `binary` (protocol v2, the default; falls back
-//! to JSON by itself against a v1-only server) or `json` (protocol v1).
+//! picks the wire codec: `v3` (protocol v3, the default: binary frames
+//! plus shard steering — a sharded server may redirect this agent to a
+//! loaded peer), `binary` (protocol v2) or `json` (protocol v1). The
+//! agent steps down one protocol level per failed handshake on its own,
+//! so the default works against every server release.
 
 use netgrid::{run_agent, AgentConfig, Codec, FaultProfile};
 
@@ -20,7 +23,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hcmd-agent [--addr HOST:PORT] [--agent N] [--threads N] \
          [--fault-profile none|flaky|reliable|saboteur] [--seed N] \
-         [--codec binary|json]"
+         [--codec v3|binary|json]"
     );
     std::process::exit(2);
 }
@@ -70,6 +73,9 @@ fn main() {
                 report.stall_faults,
                 report.corrupt_faults
             );
+            if report.redirects_followed > 0 {
+                println!("followed {} shard redirect(s)", report.redirects_followed);
+            }
             if report.saw_completion {
                 println!("campaign complete — thanks for volunteering");
             }

@@ -7,6 +7,7 @@
 //!             [--snapshot-every N] [--out PATH] [--ops-addr HOST:PORT]
 //!             [--trust on|off] [--trust-spot-rate F] [--trust-spot-seed N]
 //!             [--trust-min-samples N] [--trust-state-out PATH]
+//!             [--shard-id N --shards N --peers ADDR,ADDR,...]
 //! ```
 //!
 //! Binds, prints the resolved address, then runs the campaign to
@@ -32,8 +33,19 @@
 //! `--trust-state-out PATH` writes the closing per-agent trust ledger
 //! as JSON, which the trust restart regression compares across a
 //! `kill -9`.
+//!
+//! With `--shard-id I --shards N --peers A0,A1,...,A(N-1)` this server
+//! runs as one shard of an N-server campaign (see DESIGN.md §6
+//! "Sharding & steering"): it owns the workunits the deterministic
+//! shard map assigns to shard I, steers idle agents toward loaded
+//! peers, and steals work by lease when it drains first. `--peers`
+//! lists every shard's client address in shard order, *including this
+//! server's own*. A sharded `--out` writes the per-shard partial
+//! artifact; combine the N partials with `netgrid::merge_artifacts`
+//! (the e2e bench's `--shards` mode does this and byte-compares the
+//! result against a single-server run).
 
-use netgrid::{FsyncPolicy, JournalConfig, NetServer, NetServerConfig};
+use netgrid::{FsyncPolicy, JournalConfig, NetServer, NetServerConfig, ShardSpec, ShardTopology};
 
 fn usage() -> ! {
     eprintln!(
@@ -42,7 +54,7 @@ fn usage() -> ! {
          [--journal DIR] [--fsync always|never|every=N] [--snapshot-every N] \
          [--out PATH] [--ops-addr HOST:PORT] [--trust on|off] \
          [--trust-spot-rate F] [--trust-spot-seed N] [--trust-min-samples N] \
-         [--trust-state-out PATH]"
+         [--trust-state-out PATH] [--shard-id N --shards N --peers ADDR,...]"
     );
     std::process::exit(2);
 }
@@ -60,6 +72,9 @@ fn main() {
     let mut trust_state_out: Option<String> = None;
     let mut fsync = FsyncPolicy::default();
     let mut snapshot_every = 4096u64;
+    let mut shard_id: Option<u16> = None;
+    let mut shards: Option<u16> = None;
+    let mut peers: Vec<String> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -116,6 +131,11 @@ fn main() {
                     take(&args, &mut i).parse().unwrap_or_else(|_| usage())
             }
             "--trust-state-out" => trust_state_out = Some(take(&args, &mut i)),
+            "--shard-id" => {
+                shard_id = Some(take(&args, &mut i).parse().unwrap_or_else(|_| usage()))
+            }
+            "--shards" => shards = Some(take(&args, &mut i).parse().unwrap_or_else(|_| usage())),
+            "--peers" => peers = take(&args, &mut i).split(',').map(str::to_string).collect(),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -124,6 +144,19 @@ fn main() {
     if let Some(journal) = &mut config.journal {
         journal.fsync = fsync;
         journal.snapshot_every = snapshot_every;
+    }
+    match (shard_id, shards, peers.is_empty()) {
+        (None, None, true) => {}
+        (Some(shard_id), Some(shards), false) => {
+            config.shard = Some(ShardTopology {
+                spec: ShardSpec { shard_id, shards },
+                addrs: peers,
+            });
+        }
+        _ => {
+            eprintln!("hcmd-server: --shard-id, --shards and --peers must be given together");
+            usage()
+        }
     }
 
     if let Some(path) = &events {
@@ -146,6 +179,9 @@ fn main() {
     match server.local_addr() {
         Ok(addr) => println!("hcmd-server: listening on {addr}"),
         Err(e) => eprintln!("hcmd-server: local_addr: {e}"),
+    }
+    if let (Some(id), Some(n)) = (shard_id, shards) {
+        println!("hcmd-server: shard {id} of {n}");
     }
     if let Some(addr) = server.ops_addr() {
         println!("hcmd-server: ops endpoint on http://{addr}/ (metrics at /metrics)");
@@ -175,6 +211,18 @@ fn main() {
                 report.net_stats.deadline_expiries,
                 report.net_stats.backoffs_sent
             );
+            if report.shard.shards > 1 {
+                println!(
+                    "shard {}/{}: {} redirects, {} leases out ({} wus), {} leases in ({} wus)",
+                    report.shard.shard_id,
+                    report.shard.shards,
+                    report.net_stats.shard_redirects,
+                    report.net_stats.shard_leases_out,
+                    report.net_stats.shard_wus_leased_out,
+                    report.net_stats.shard_leases_in,
+                    report.net_stats.shard_wus_leased_in
+                );
+            }
             if let Some(t) = &report.trust {
                 println!(
                     "trust: {} trusted, {} probation, {} untrusted, {} quarantined \
@@ -203,8 +251,16 @@ fn main() {
                 println!("trust state written to {path}");
             }
             if let Some(path) = &out {
-                let json =
-                    serde_json::to_string(&report.outputs).expect("DockingOutput serializes");
+                // A sharded server only owns part of the catalog: its
+                // artifact is the Option-per-slot partial, which
+                // `netgrid::merge_artifact_json` combines with the
+                // other shards' into the single-server byte stream.
+                let json = if report.shard.shards > 1 {
+                    serde_json::to_string(&report.partial_outputs)
+                        .expect("DockingOutput serializes")
+                } else {
+                    serde_json::to_string(&report.outputs).expect("DockingOutput serializes")
+                };
                 if let Err(e) = std::fs::write(path, json) {
                     eprintln!("hcmd-server: cannot write artifact {path}: {e}");
                     telemetry::shutdown();

@@ -67,6 +67,7 @@
 use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
 use crate::protocol::{self, CampaignParams, DecodeError};
+use crate::shard::ShardSpec;
 use crate::state::{GridSnapshot, GridState, Verdict, WorkReply};
 use gridsim::server::{ReplicaId, ServerConfig};
 use gridsim::SimTime;
@@ -161,6 +162,13 @@ pub enum JournalRecord {
         config: ServerConfig,
         /// Server-side fault/limit knobs.
         faults: ServerFaults,
+        /// Which shard of the campaign this journal belongs to. Old
+        /// (pre-sharding) journals read as solo. Shard 0's WAL refuses
+        /// to replay into a server configured as shard 1 — workunit
+        /// ownership differs, so replay would diverge or silently fork
+        /// the campaign.
+        #[serde(default = "ShardSpec::solo")]
+        shard: ShardSpec,
     },
     /// One `GridState::fetch` call and its decision.
     Fetch {
@@ -195,6 +203,32 @@ pub enum JournalRecord {
         now_s: f64,
         /// Replicas expired.
         expired: u64,
+    },
+    /// One outbound lease: ownership of `wus` left for `to_shard`.
+    /// Written *before* the grant is sent, so a crash after the send
+    /// can never forget having granted (the unsafe direction — both
+    /// shards would own the range).
+    LeaseOut {
+        /// Server-clock seconds of the grant.
+        now_s: f64,
+        /// Lease id ([`crate::shard::lease_id`]).
+        lease: u64,
+        /// The lessee shard.
+        to_shard: u16,
+        /// The workunits whose ownership moved.
+        wus: Vec<u32>,
+    },
+    /// One inbound lease: ownership of `wus` adopted from the grantor
+    /// encoded in the lease id. A crash before this record is written
+    /// is safe — the next `ShardStatus` advertisement omits the lease
+    /// and the grantor re-sends it.
+    LeaseIn {
+        /// Server-clock seconds of the adoption.
+        now_s: f64,
+        /// Lease id ([`crate::shard::lease_id`]).
+        lease: u64,
+        /// The workunits whose ownership arrived.
+        wus: Vec<u32>,
     },
     /// A complete state snapshot (only in `snapshot.bin`). It dwarfs
     /// every per-transition record, but lives only long enough to be
@@ -237,6 +271,7 @@ pub struct Journal {
     params: CampaignParams,
     config: ServerConfig,
     faults: ServerFaults,
+    shard: ShardSpec,
     fsync: FsyncPolicy,
     snapshot_every: u64,
     appends_since_sync: u64,
@@ -260,6 +295,7 @@ impl Journal {
             params: self.params,
             config: self.config,
             faults: self.faults,
+            shard: self.shard,
         }
     }
 
@@ -391,6 +427,7 @@ fn check_header(
     params: CampaignParams,
     config: ServerConfig,
     faults: ServerFaults,
+    shard: ShardSpec,
 ) -> io::Result<u64> {
     match rec {
         Some(&JournalRecord::Header {
@@ -398,10 +435,18 @@ fn check_header(
             params: p,
             config: c,
             faults: f,
+            shard: s,
         }) => {
             if p != params || c != config || f != faults {
                 return Err(bad(format!(
                     "{what} belongs to a different campaign/config; refusing to replay"
+                )));
+            }
+            if s != shard {
+                return Err(bad(format!(
+                    "{what} belongs to shard {}/{}, this server is shard {}/{}; \
+                     refusing to replay",
+                    s.shard_id, s.shards, shard.shard_id, shard.shards
                 )));
             }
             Ok(epoch)
@@ -486,6 +531,31 @@ fn apply(state: &mut GridState, campaign: &NetCampaign, rec: &JournalRecord) -> 
                 )));
             }
         }
+        JournalRecord::LeaseOut {
+            now_s,
+            lease,
+            to_shard,
+            wus,
+        } => {
+            // The live grant only journals workunits it actually moved,
+            // so replay must move every one of them again.
+            let moved = state.apply_lease_out(SimTime::new(*now_s), *lease, *to_shard, wus);
+            if moved != wus.len() {
+                return Err(bad(format!(
+                    "replay diverged: lease {lease:#x} out moved {moved} of {} workunits",
+                    wus.len()
+                )));
+            }
+        }
+        JournalRecord::LeaseIn { now_s, lease, wus } => {
+            let moved = state.adopt_lease(SimTime::new(*now_s), *lease, wus);
+            if moved != wus.len() {
+                return Err(bad(format!(
+                    "replay diverged: lease {lease:#x} in moved {moved} of {} workunits",
+                    wus.len()
+                )));
+            }
+        }
         JournalRecord::Header { .. } | JournalRecord::Snapshot { .. } => {
             return Err(bad(
                 "Header/Snapshot frame inside the wal transition stream",
@@ -505,6 +575,7 @@ pub fn open_journaled(
     campaign: &NetCampaign,
     config: ServerConfig,
     faults: ServerFaults,
+    shard: ShardSpec,
 ) -> io::Result<(GridState, f64)> {
     fs::create_dir_all(&cfg.dir)?;
     let params = campaign.params();
@@ -519,7 +590,7 @@ pub fn open_journaled(
     let mut state = match snap_path.exists() {
         true => {
             let (records, _) = read_frames(&snap_path)?;
-            epoch = check_header(records.first(), "snapshot", params, config, faults)?;
+            epoch = check_header(records.first(), "snapshot", params, config, faults, shard)?;
             match records.get(1) {
                 Some(JournalRecord::Snapshot { grid, .. }) => {
                     GridState::restore(campaign, config, faults, grid.clone()).map_err(bad)?
@@ -527,7 +598,7 @@ pub fn open_journaled(
                 _ => return Err(bad("snapshot file has no Snapshot frame")),
             }
         }
-        false => GridState::new(campaign, config, faults),
+        false => GridState::new_sharded(campaign, config, faults, shard),
     };
 
     // 2. Replay the wal tail through the live entry points.
@@ -535,7 +606,7 @@ pub fn open_journaled(
     let mut tail_len = 0u64;
     if wal_path.exists() {
         let (records, valid) = read_frames(&wal_path)?;
-        let wal_epoch = check_header(records.first(), "wal", params, config, faults)?;
+        let wal_epoch = check_header(records.first(), "wal", params, config, faults, shard)?;
         if wal_epoch == epoch {
             for rec in &records[1..] {
                 apply(&mut state, campaign, rec)?;
@@ -569,6 +640,7 @@ pub fn open_journaled(
         params,
         config,
         faults,
+        shard,
         fsync: cfg.fsync,
         snapshot_every: cfg.snapshot_every,
         appends_since_sync: 0,

@@ -29,6 +29,9 @@
 //! * [`mux`] — a multiplexed fleet driver: one thread pushing thousands
 //!   of simulated agent connections through nonblocking sockets, for
 //!   scale benchmarking without a thread per agent;
+//! * [`shard`] — multi-server sharding: the deterministic shard map
+//!   splitting one catalog across N servers, work-stealing leases, and
+//!   the byte-identical cross-shard artifact merge;
 //! * [`faults`] — deterministic fault injection: disconnects, stalls
 //!   past the deadline, bit-flipped payloads, connection limits;
 //! * [`journal`] — write-ahead journal + compacting snapshots, so a
@@ -51,6 +54,7 @@ pub mod mux;
 pub mod ops;
 pub mod protocol;
 pub mod server;
+pub mod shard;
 pub mod state;
 pub mod sys;
 pub mod trust;
@@ -62,9 +66,10 @@ pub use journal::{open_journaled, FsyncPolicy, Journal, JournalConfig, JournalRe
 pub use mux::{run_mux_fleet, MuxFleetConfig, MuxFleetReport};
 pub use ops::{http_get, OpsServer};
 pub use protocol::{CampaignParams, Codec, DecodeError, Message};
-pub use server::{NetRunReport, NetServer, NetServerConfig};
+pub use server::{NetRunReport, NetServer, NetServerConfig, ShardTopology};
+pub use shard::{merge_artifact_json, merge_artifacts, shard_of, ShardSpec};
 pub use state::{
     AgentLedger, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot, ResultDisposition,
-    TrustSummary, Verdict, WorkReply,
+    ShardOps, TrustSummary, Verdict, WorkReply,
 };
 pub use trust::{AgentTrust, TrustBand, TrustConfig};

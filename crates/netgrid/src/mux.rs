@@ -56,6 +56,10 @@ use std::time::{Duration, Instant};
 pub struct MuxFleetConfig {
     /// Server address (`host:port`).
     pub addr: String,
+    /// Sharded topology: when non-empty, agent *i* dials
+    /// `addrs[i % addrs.len()]` instead of `addr`, spreading the fleet
+    /// round-robin across every shard of a multi-server campaign.
+    pub addrs: Vec<String>,
     /// Number of simulated agents; ids run `1..=agents`.
     pub agents: usize,
     /// Run seed shared with the rest of the campaign fleet.
@@ -94,6 +98,7 @@ impl MuxFleetConfig {
     pub fn new(addr: impl Into<String>, agents: usize) -> Self {
         Self {
             addr: addr.into(),
+            addrs: Vec::new(),
             agents,
             seed: 0,
             profile: FaultProfile::none(),
@@ -255,7 +260,7 @@ struct Driver {
     compute_rx: mpsc::Receiver<(u32, DockingOutput)>,
     /// Docking jobs for the persistent compute pool.
     compute_job_tx: mpsc::Sender<(u32, u32, u32, Arc<NetCampaign>)>,
-    dial_tx: mpsc::Sender<usize>,
+    dial_tx: mpsc::Sender<(usize, String)>,
     dialed_rx: mpsc::Receiver<(usize, io::Result<TcpStream>)>,
     /// Dials handed to the pool and not yet back; counts against
     /// `max_open` so in-flight connects can't overshoot the fd budget.
@@ -316,15 +321,14 @@ impl Driver {
                 }
             });
         }
-        let (dial_tx, dial_jobs) = mpsc::channel::<usize>();
+        let (dial_tx, dial_jobs) = mpsc::channel::<(usize, String)>();
         let (dialed_tx, dialed_rx) = mpsc::channel();
         let dial_jobs = Arc::new(Mutex::new(dial_jobs));
         for _ in 0..CONNECT_WORKERS {
             let jobs = Arc::clone(&dial_jobs);
             let done = dialed_tx.clone();
-            let addr = config.addr.clone();
             thread::spawn(move || loop {
-                let Ok(idx) = jobs.lock().expect("dial queue").recv() else {
+                let Ok((idx, addr)) = jobs.lock().expect("dial queue").recv() else {
                     return;
                 };
                 // Sends fail only once the driver is gone — then the
@@ -478,7 +482,8 @@ impl Driver {
                     budget -= 1;
                     self.pending_connects += 1;
                     self.agents[idx].state = AState::Connecting;
-                    if self.dial_tx.send(idx).is_err() {
+                    let addr = self.home_addr(idx).to_string();
+                    if self.dial_tx.send((idx, addr)).is_err() {
                         // Connector pool gone (only on teardown): retry
                         // later so the state machine stays coherent.
                         self.pending_connects -= 1;
@@ -489,6 +494,16 @@ impl Driver {
                 }
                 _ => {}
             }
+        }
+    }
+
+    /// The shard this agent calls home: round-robin over `addrs` when a
+    /// sharded topology is configured, else the single `addr`.
+    fn home_addr(&self, idx: usize) -> &str {
+        if self.config.addrs.is_empty() {
+            &self.config.addr
+        } else {
+            &self.config.addrs[idx % self.config.addrs.len()]
         }
     }
 

@@ -452,6 +452,69 @@ pub fn render_metrics(snap: &OpsSnapshot) -> String {
         r.sample(&n, &[], j.wal_appends_since_snapshot as f64);
     }
 
+    if let Some(sh) = &snap.shard {
+        let n = r.family(
+            "hcmd_shard_info",
+            MetricKind::Gauge,
+            "Shard identity: always 1, labelled with shard id and topology size",
+        );
+        let shard_id = sh.shard_id.to_string();
+        let shards = sh.shards.to_string();
+        r.sample(
+            &n,
+            &[("shard", shard_id.as_str()), ("shards", shards.as_str())],
+            1.0,
+        );
+        let n = r.family(
+            "hcmd_shard_owned_workunits",
+            MetricKind::Gauge,
+            "Workunits this shard currently owns (initial partition plus leases)",
+        );
+        r.sample(&n, &[], sh.owned_workunits as f64);
+        let n = r.family(
+            "hcmd_shard_fresh_backlog",
+            MetricKind::Gauge,
+            "Owned workunits never yet issued to any agent",
+        );
+        r.sample(&n, &[], sh.fresh_backlog as f64);
+        let n = r.family(
+            "hcmd_shard_redirects",
+            MetricKind::Counter,
+            "Drained-shard fetches answered with a redirect to a loaded peer",
+        );
+        r.sample(&n, &[], snap.net_stats.shard_redirects as f64);
+        let n = r.family(
+            "hcmd_shard_leases",
+            MetricKind::Counter,
+            "Work-stealing leases by direction (out = granted, in = adopted)",
+        );
+        r.sample(
+            &n,
+            &[("direction", "out")],
+            snap.net_stats.shard_leases_out as f64,
+        );
+        r.sample(
+            &n,
+            &[("direction", "in")],
+            snap.net_stats.shard_leases_in as f64,
+        );
+        let n = r.family(
+            "hcmd_shard_leased_workunits",
+            MetricKind::Counter,
+            "Workunits moved by work-stealing leases, by direction",
+        );
+        r.sample(
+            &n,
+            &[("direction", "out")],
+            snap.net_stats.shard_wus_leased_out as f64,
+        );
+        r.sample(
+            &n,
+            &[("direction", "in")],
+            snap.net_stats.shard_wus_leased_in as f64,
+        );
+    }
+
     let n = r.family(
         "hcmd_wasted_ref_seconds",
         MetricKind::Gauge,
@@ -596,6 +659,15 @@ pub fn render_dashboard(snap: &OpsSnapshot) -> String {
             .into(),
     };
 
+    let shard_tile = match &snap.shard {
+        Some(sh) => format!(
+            "<div class=\"tile\"><div class=\"label\">Shard (owned / fresh)</div>\
+             <div class=\"value\">{} of {} ({} / {})</div></div>",
+            sh.shard_id, sh.shards, sh.owned_workunits, sh.fresh_backlog
+        ),
+        None => String::new(),
+    };
+
     let trust_tile = match &snap.trust {
         Some(t) => format!(
             "<div class=\"tile\"><div class=\"label\">Trust bands T/P/U/Q</div>\
@@ -687,6 +759,7 @@ td.barcell {{ width: 220px; }}
   <div class="tile"><div class="label">Outstanding replicas</div><div class="value">{outstanding}</div></div>
   <div class="tile"><div class="label">Reissue queue</div><div class="value">{reissue_queue}</div></div>
   {journal_tile}
+  {shard_tile}
   {trust_tile}
 </div>
 <h2>Per-receptor progression</h2>
@@ -719,6 +792,7 @@ td.barcell {{ width: 220px; }}
         outstanding = snap.outstanding_replicas,
         reissue_queue = snap.reissue_queue_depth,
         journal_tile = journal_tile,
+        shard_tile = shard_tile,
         trust_tile = trust_tile,
         receptor_rows = receptor_rows,
         agent_count = snap.agents.len(),
@@ -755,7 +829,7 @@ pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::{AgentLedger, JournalOps, TrustSummary};
+    use crate::state::{AgentLedger, JournalOps, NetStats, ShardOps, TrustSummary};
     use crate::trust::TrustBand;
     use gridsim::{ReceptorProgress, WuStateCounts};
 
@@ -782,7 +856,14 @@ mod tests {
                 },
             ],
             stats: Default::default(),
-            net_stats: Default::default(),
+            net_stats: NetStats {
+                shard_redirects: 5,
+                shard_leases_out: 2,
+                shard_leases_in: 1,
+                shard_wus_leased_out: 16,
+                shard_wus_leased_in: 8,
+                ..Default::default()
+            },
             results_received: 55,
             results_useful: 44,
             redundancy_factor: 1.25,
@@ -816,6 +897,12 @@ mod tests {
                 spot_checks_failed: 1,
             }),
             agents_trust: vec![(9, 0.96, TrustBand::Trusted)],
+            shard: Some(ShardOps {
+                shard_id: 1,
+                shards: 2,
+                owned_workunits: 22,
+                fresh_backlog: 6,
+            }),
         }
     }
 
@@ -837,6 +924,14 @@ mod tests {
         assert!(text.contains("hcmd_trust_spot_checks{result=\"passed\"} 6"));
         assert!(text.contains("hcmd_trust_spot_checks{result=\"failed\"} 1"));
         assert!(text.contains("hcmd_trust_agent_score{agent=\"9\"} 0.96"));
+        assert!(text.contains("hcmd_shard_info{shard=\"1\",shards=\"2\"} 1"));
+        assert!(text.contains("hcmd_shard_owned_workunits 22"));
+        assert!(text.contains("hcmd_shard_fresh_backlog 6"));
+        assert!(text.contains("hcmd_shard_redirects 5"));
+        assert!(text.contains("hcmd_shard_leases{direction=\"out\"} 2"));
+        assert!(text.contains("hcmd_shard_leases{direction=\"in\"} 1"));
+        assert!(text.contains("hcmd_shard_leased_workunits{direction=\"out\"} 16"));
+        assert!(text.contains("hcmd_shard_leased_workunits{direction=\"in\"} 8"));
         // Every family is announced before it is sampled.
         for family in ["hcmd_wu_states", "hcmd_results_received"] {
             let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
@@ -858,6 +953,7 @@ mod tests {
             ("3 / 2 / 1 / 1", "trust band tile"),
             ("6 / 1", "spot check tile"),
             ("Trusted (0.96)", "agent trust column"),
+            ("1 of 2 (22 / 6)", "shard tile"),
             ("prefers-color-scheme: dark", "dark mode palette"),
         ] {
             assert!(html.contains(needle), "missing {why}: {needle}");

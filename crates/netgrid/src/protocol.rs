@@ -45,9 +45,16 @@ pub const MAGIC: [u8; 4] = *b"HCMD";
 pub const PROTOCOL_V1: u8 = 1;
 /// Frame version of the binary hot-path codec.
 pub const PROTOCOL_V2: u8 = 2;
+/// Frame version of the shard-aware binary codec: the same payload
+/// encoding as v2 plus the shard message family (`ShardMap`,
+/// `Redirect`, steering gossip). The version byte doubles as the
+/// capability signal — a server only ever sends shard messages on
+/// connections whose peer framed with v3, so v1/v2 single-shard agents
+/// keep working against a sharded server unchanged.
+pub const PROTOCOL_V3: u8 = 3;
 /// Highest protocol version this build speaks; announced to agents in
 /// `HelloAck::protocol`.
-pub const PROTOCOL_VERSION: u8 = PROTOCOL_V2;
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V3;
 /// Fixed header size: magic + version + length + checksum.
 pub const HEADER_BYTES: usize = 4 + 1 + 4 + 8;
 /// Hard cap on the payload size; larger frames are rejected unread.
@@ -67,6 +74,9 @@ pub enum Codec {
     Json,
     /// v2: tag byte + fixed-width little-endian fields.
     Binary,
+    /// v3: the v2 payload encoding plus shard awareness — a peer
+    /// framing with v3 declares it understands `ShardMap`/`Redirect`.
+    BinaryV3,
 }
 
 impl Codec {
@@ -75,6 +85,7 @@ impl Codec {
         match self {
             Codec::Json => PROTOCOL_V1,
             Codec::Binary => PROTOCOL_V2,
+            Codec::BinaryV3 => PROTOCOL_V3,
         }
     }
 
@@ -83,8 +94,15 @@ impl Codec {
         match v {
             PROTOCOL_V1 => Some(Codec::Json),
             PROTOCOL_V2 => Some(Codec::Binary),
+            PROTOCOL_V3 => Some(Codec::BinaryV3),
             _ => None,
         }
+    }
+
+    /// Whether a peer framing with this codec understands the shard
+    /// message family (`Redirect`, `ShardMap`).
+    pub fn shard_aware(self) -> bool {
+        matches!(self, Codec::BinaryV3)
     }
 
     /// Parses the `--codec` CLI flag value.
@@ -92,7 +110,8 @@ impl Codec {
         match s {
             "json" | "v1" => Ok(Codec::Json),
             "binary" | "v2" => Ok(Codec::Binary),
-            other => Err(format!("bad codec '{other}' (json|binary)")),
+            "v3" | "sharded" => Ok(Codec::BinaryV3),
+            other => Err(format!("bad codec '{other}' (json|binary|v3)")),
         }
     }
 }
@@ -102,6 +121,7 @@ impl std::fmt::Display for Codec {
         f.write_str(match self {
             Codec::Json => "json",
             Codec::Binary => "binary",
+            Codec::BinaryV3 => "binary-v3",
         })
     }
 }
@@ -214,6 +234,75 @@ pub enum Message {
     },
     /// Agent → server: clean shutdown of the connection.
     Bye,
+    /// Agent → server (v3): "which shards run this campaign?".
+    ShardMapRequest,
+    /// Server → agent (v3), reply to `ShardMapRequest`: the campaign's
+    /// static shard topology. Workunit homes derive deterministically
+    /// from the catalog (`shard::shard_of`), so the addresses are all
+    /// an agent needs to navigate.
+    ShardMap {
+        /// Number of shards the catalog is split across.
+        shards: u16,
+        /// The replying server's shard id.
+        self_shard: u16,
+        /// Listen address of every shard, indexed by shard id.
+        addrs: Vec<String>,
+    },
+    /// Server → agent (v3), reply to `RequestWork` when this shard is
+    /// drained but a peer still has fresh backlog: ask there instead.
+    /// An agent follows at most one redirect per work request.
+    Redirect {
+        /// The shard worth asking.
+        shard: u16,
+        /// Its listen address.
+        addr: String,
+    },
+    /// Shard → shard steering gossip: the sender's load picture. Sent
+    /// periodically to every peer; the receiver answers `LeaseGrant`
+    /// (when the sender is hungry and the receiver has backlog) or
+    /// `StatusAck`.
+    ShardStatus {
+        /// Sending shard id.
+        shard: u16,
+        /// Owned workunits no replica was ever issued for.
+        fresh_backlog: u64,
+        /// Replicas issued and not yet resolved.
+        outstanding: u64,
+        /// The sender's owned workunits are all validated.
+        complete: bool,
+        /// The sender has agents asking and nothing fresh to issue —
+        /// the signal that invites a lease. Distinct from
+        /// `fresh_backlog == 0`: a drained shard with *no* agent demand
+        /// does not ask for work, which is what stops two idle shards
+        /// ping-ponging ownership forever.
+        hungry: bool,
+        /// Ids of leases the sender has already adopted *from the
+        /// receiving shard*, so a lessor that crashed after journaling
+        /// a grant but before replying can re-send missing grants.
+        leases_held: Vec<u64>,
+    },
+    /// Shard → shard: a work-stealing lease. Ownership of `wus` moves
+    /// from `from_shard` to the hungry receiver; both sides journal the
+    /// transfer, and re-application is idempotent.
+    LeaseGrant {
+        /// Lease id: `from_shard` in the top 16 bits, grant sequence
+        /// below — stable across replay, so duplicates are detectable.
+        lease: u64,
+        /// The granting (previously owning) shard.
+        from_shard: u16,
+        /// Leased workunits (a contiguous tail slice of the grantor's
+        /// launch-ordered fresh queue).
+        wus: Vec<u32>,
+        /// The grantor's own completion state, piggybacked.
+        complete: bool,
+    },
+    /// Shard → shard, reply to `ShardStatus` when no lease moves.
+    StatusAck {
+        /// Replying shard id.
+        shard: u16,
+        /// The replier's owned workunits are all validated.
+        complete: bool,
+    },
 }
 
 /// Why a buffer failed to decode.
@@ -345,6 +434,7 @@ pub fn encode_with(msg: &Message, codec: Codec) -> Bytes {
             frame_payload_versioned(PROTOCOL_V1, payload.as_bytes())
         }
         Codec::Binary => frame_payload_versioned(PROTOCOL_V2, &binary::encode(msg)),
+        Codec::BinaryV3 => frame_payload_versioned(PROTOCOL_V3, &binary::encode(msg)),
     }
 }
 
@@ -366,7 +456,7 @@ pub fn decode_versioned(buf: &[u8]) -> Result<(Message, usize, Codec), DecodeErr
                 .map_err(|e| DecodeError::Payload(format!("not UTF-8: {e}")))?;
             serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?
         }
-        Codec::Binary => binary::decode(payload).map_err(DecodeError::Payload)?,
+        Codec::Binary | Codec::BinaryV3 => binary::decode(payload).map_err(DecodeError::Payload)?,
     };
     Ok((msg, consumed, codec))
 }
@@ -492,6 +582,12 @@ pub mod binary {
     const TAG_RESULT_REPORT: u8 = 6;
     const TAG_RESULT_ACK: u8 = 7;
     const TAG_BYE: u8 = 8;
+    const TAG_SHARD_MAP_REQUEST: u8 = 9;
+    const TAG_SHARD_MAP: u8 = 10;
+    const TAG_REDIRECT: u8 = 11;
+    const TAG_SHARD_STATUS: u8 = 12;
+    const TAG_LEASE_GRANT: u8 = 13;
+    const TAG_STATUS_ACK: u8 = 14;
 
     /// Bytes of one fixed-width docking row record.
     pub const ROW_BYTES: usize = 4 + 4 + 24 + 24 + 8 + 8;
@@ -513,6 +609,25 @@ pub mod binary {
         }
         fn flag(&mut self, v: bool) {
             self.0.push(u8::from(v));
+        }
+        fn u16(&mut self, v: u16) {
+            self.0.extend_from_slice(&v.to_le_bytes());
+        }
+        fn str(&mut self, s: &str) {
+            self.u32(s.len() as u32);
+            self.0.extend_from_slice(s.as_bytes());
+        }
+        fn u32s(&mut self, v: &[u32]) {
+            self.u32(v.len() as u32);
+            for &x in v {
+                self.u32(x);
+            }
+        }
+        fn u64s(&mut self, v: &[u64]) {
+            self.u32(v.len() as u32);
+            for &x in v {
+                self.u64(x);
+            }
         }
         fn row(&mut self, row: &DockingRow) {
             self.u32(row.isep);
@@ -562,6 +677,34 @@ pub mod binary {
                 1 => Ok(true),
                 other => Err(format!("bad boolean byte {other:#04x}")),
             }
+        }
+        fn u16(&mut self) -> Result<u16, String> {
+            Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        }
+        fn str(&mut self) -> Result<String, String> {
+            let len = self.u32()? as usize;
+            let bytes = self.take(len)?;
+            String::from_utf8(bytes.to_vec()).map_err(|e| format!("bad string: {e}"))
+        }
+        /// Reads a counted vector, checking the count against the bytes
+        /// actually present before allocating.
+        fn counted<T>(
+            &mut self,
+            elem_bytes: usize,
+            read: impl Fn(&mut Self) -> Result<T, String>,
+        ) -> Result<Vec<T>, String> {
+            let count = self.u32()? as usize;
+            let remaining = self.buf.len() - self.off;
+            if count.checked_mul(elem_bytes).is_none_or(|b| b > remaining) {
+                return Err(format!(
+                    "vector count {count} disagrees with {remaining} payload bytes"
+                ));
+            }
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(read(self)?);
+            }
+            Ok(out)
         }
         fn row(&mut self) -> Result<DockingRow, String> {
             Ok(DockingRow {
@@ -673,6 +816,58 @@ pub mod binary {
                 w.flag(*campaign_complete);
             }
             Message::Bye => w.u8(TAG_BYE),
+            Message::ShardMapRequest => w.u8(TAG_SHARD_MAP_REQUEST),
+            Message::ShardMap {
+                shards,
+                self_shard,
+                addrs,
+            } => {
+                w.u8(TAG_SHARD_MAP);
+                w.u16(*shards);
+                w.u16(*self_shard);
+                w.u32(addrs.len() as u32);
+                for a in addrs {
+                    w.str(a);
+                }
+            }
+            Message::Redirect { shard, addr } => {
+                w.u8(TAG_REDIRECT);
+                w.u16(*shard);
+                w.str(addr);
+            }
+            Message::ShardStatus {
+                shard,
+                fresh_backlog,
+                outstanding,
+                complete,
+                hungry,
+                leases_held,
+            } => {
+                w.u8(TAG_SHARD_STATUS);
+                w.u16(*shard);
+                w.u64(*fresh_backlog);
+                w.u64(*outstanding);
+                w.flag(*complete);
+                w.flag(*hungry);
+                w.u64s(leases_held);
+            }
+            Message::LeaseGrant {
+                lease,
+                from_shard,
+                wus,
+                complete,
+            } => {
+                w.u8(TAG_LEASE_GRANT);
+                w.u64(*lease);
+                w.u16(*from_shard);
+                w.u32s(wus);
+                w.flag(*complete);
+            }
+            Message::StatusAck { shard, complete } => {
+                w.u8(TAG_STATUS_ACK);
+                w.u16(*shard);
+                w.flag(*complete);
+            }
         }
         w.0
     }
@@ -745,6 +940,41 @@ pub mod binary {
                 campaign_complete: r.flag()?,
             },
             TAG_BYE => Message::Bye,
+            TAG_SHARD_MAP_REQUEST => Message::ShardMapRequest,
+            TAG_SHARD_MAP => {
+                let shards = r.u16()?;
+                let self_shard = r.u16()?;
+                // Addresses are variable-width; each str() re-checks the
+                // remaining bytes, so a 1-byte element floor suffices.
+                let addrs = r.counted(1, |r| r.str())?;
+                Message::ShardMap {
+                    shards,
+                    self_shard,
+                    addrs,
+                }
+            }
+            TAG_REDIRECT => Message::Redirect {
+                shard: r.u16()?,
+                addr: r.str()?,
+            },
+            TAG_SHARD_STATUS => Message::ShardStatus {
+                shard: r.u16()?,
+                fresh_backlog: r.u64()?,
+                outstanding: r.u64()?,
+                complete: r.flag()?,
+                hungry: r.flag()?,
+                leases_held: r.counted(8, |r| r.u64())?,
+            },
+            TAG_LEASE_GRANT => Message::LeaseGrant {
+                lease: r.u64()?,
+                from_shard: r.u16()?,
+                wus: r.counted(4, |r| r.u32())?,
+                complete: r.flag()?,
+            },
+            TAG_STATUS_ACK => Message::StatusAck {
+                shard: r.u16()?,
+                complete: r.flag()?,
+            },
             other => return Err(format!("unknown message tag {other:#04x}")),
         };
         r.finish()?;
@@ -806,6 +1036,34 @@ mod tests {
                 campaign_complete: false,
             },
             Message::Bye,
+            Message::ShardMapRequest,
+            Message::ShardMap {
+                shards: 2,
+                self_shard: 1,
+                addrs: vec!["127.0.0.1:7070".into(), "127.0.0.1:7071".into()],
+            },
+            Message::Redirect {
+                shard: 0,
+                addr: "127.0.0.1:7070".into(),
+            },
+            Message::ShardStatus {
+                shard: 1,
+                fresh_backlog: 0,
+                outstanding: 3,
+                complete: false,
+                hungry: true,
+                leases_held: vec![(1u64 << 48) | 2],
+            },
+            Message::LeaseGrant {
+                lease: (0u64 << 48) | 1,
+                from_shard: 0,
+                wus: vec![11, 12, 13],
+                complete: false,
+            },
+            Message::StatusAck {
+                shard: 0,
+                complete: true,
+            },
         ]
     }
 
@@ -912,11 +1170,42 @@ mod tests {
     #[test]
     fn future_version_rejected() {
         let mut frame = encode(&Message::Bye).to_vec();
-        frame[4] = PROTOCOL_V2 + 1;
+        frame[4] = PROTOCOL_V3 + 1;
         assert!(matches!(
             decode(&frame),
             Err(DecodeError::UnsupportedVersion(_))
         ));
+    }
+
+    #[test]
+    fn every_message_round_trips_in_v3() {
+        for msg in sample_messages() {
+            let frame = encode_with(&msg, Codec::BinaryV3);
+            assert_eq!(frame[4], PROTOCOL_V3);
+            let (back, consumed, codec) = decode_versioned(&frame).expect("decode");
+            assert_eq!(back, msg);
+            assert_eq!(consumed, frame.len());
+            assert_eq!(codec, Codec::BinaryV3);
+        }
+    }
+
+    #[test]
+    fn shard_vector_counts_are_checked_before_allocation() {
+        let payload = binary::encode(&Message::ShardStatus {
+            shard: 0,
+            fresh_backlog: 1,
+            outstanding: 1,
+            complete: false,
+            hungry: false,
+            leases_held: vec![7],
+        });
+        // Inflate the lease count far past the payload: must be a
+        // payload error, not an attempted huge allocation.
+        let mut bad = payload.clone();
+        let count_off = 1 + 2 + 8 + 8 + 1 + 1;
+        bad[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let frame = frame_payload_versioned(PROTOCOL_V3, &bad);
+        assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
     }
 
     #[test]

@@ -31,14 +31,15 @@ use crate::ops::OpsServer;
 use crate::protocol::{
     decode_versioned, encode_with, CampaignParams, Codec, DecodeError, Message, PROTOCOL_VERSION,
 };
+use crate::shard::{ShardSpec, LEASE_CHUNK, STEER_INTERVAL_MS, STEER_TIMEOUT_MS};
 use crate::state::{GridState, NetStats, WorkReply};
 use crate::sys::{Event as IoEvent, Poller};
 use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
 use gridsim::SimTime;
 use maxdo::DockingOutput;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
 use std::sync::{Arc, Mutex};
@@ -64,6 +65,20 @@ pub struct NetServerConfig {
     /// Bind address of the read-only HTTP observability endpoint
     /// (`/metrics`, `/`); `None` disables it. Port 0 lets the OS pick.
     pub ops_addr: Option<String>,
+    /// Sharded topology: this server's place in it plus every shard's
+    /// listen address. `None` runs the classic single-server campaign.
+    pub shard: Option<ShardTopology>,
+}
+
+/// One shard's view of the sharded campaign topology.
+#[derive(Debug, Clone)]
+pub struct ShardTopology {
+    /// This server's shard id and the total shard count.
+    pub spec: ShardSpec,
+    /// Main listener address of every shard, indexed by shard id
+    /// (`addrs[spec.shard_id]` is this server's own advertised
+    /// address). Steering gossip and agent redirects both use it.
+    pub addrs: Vec<String>,
 }
 
 impl NetServerConfig {
@@ -81,6 +96,7 @@ impl NetServerConfig {
             sweep_ms: 50,
             journal: None,
             ops_addr: None,
+            shard: None,
         }
     }
 }
@@ -94,7 +110,15 @@ pub struct NetRunReport {
     pub net_stats: NetStats,
     /// The validated output of every workunit, in catalog order — the
     /// artifact that must match the in-process baseline byte for byte.
+    /// Empty for a sharded run (one shard validates only its slice);
+    /// use [`Self::partial_outputs`] and merge across shards instead.
     pub outputs: Vec<DockingOutput>,
+    /// The validated output per workunit, `Some` exactly where this
+    /// server validated — the sharded partial artifact. On a
+    /// single-server run every slot is `Some`.
+    pub partial_outputs: Vec<Option<DockingOutput>>,
+    /// This server's place in the shard topology (solo when unsharded).
+    pub shard: ShardSpec,
     /// Wall-clock duration of the run, seconds.
     pub wall_seconds: f64,
     /// Workunits in the campaign.
@@ -222,10 +246,31 @@ impl NetServer {
         // retransmit. Widen it (the kernel clamps to somaxconn).
         crate::sys::widen_listen_backlog(listener.as_raw_fd(), 4096);
         let campaign = Arc::new(NetCampaign::build(config.campaign));
+        let spec = match &config.shard {
+            Some(topo) => {
+                if usize::from(topo.spec.shards) != topo.addrs.len()
+                    || topo.spec.shard_id >= topo.spec.shards
+                {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "shard {}/{} with {} addresses",
+                            topo.spec.shard_id,
+                            topo.spec.shards,
+                            topo.addrs.len()
+                        ),
+                    ));
+                }
+                topo.spec
+            }
+            None => ShardSpec::solo(),
+        };
         let (state, clock_offset) = match &config.journal {
-            Some(journal) => open_journaled(journal, &campaign, config.scheduler, config.faults)?,
+            Some(journal) => {
+                open_journaled(journal, &campaign, config.scheduler, config.faults, spec)?
+            }
             None => (
-                GridState::new(&campaign, config.scheduler, config.faults),
+                GridState::new_sharded(&campaign, config.scheduler, config.faults, spec),
                 0.0,
             ),
         };
@@ -259,9 +304,16 @@ impl NetServer {
     /// connections have drained (or the shutdown grace expires).
     pub fn run(self) -> io::Result<NetRunReport> {
         let epoch = Instant::now();
-        // A journaled restart may recover an already-finished campaign.
+        let spec = self
+            .config
+            .shard
+            .as_ref()
+            .map_or_else(ShardSpec::solo, |t| t.spec);
+        let board = Arc::new(Mutex::new(ShardBoard::new(spec.shards)));
+        // A journaled restart may recover an already-finished campaign
+        // — but a sharded server must still wait on its peers.
         let done = Arc::new(AtomicBool::new(
-            self.state.lock().unwrap().is_campaign_complete(),
+            spec.shards == 1 && self.state.lock().unwrap().is_campaign_complete(),
         ));
 
         // The ops thread holds its own state Arc and serves scrapes
@@ -270,6 +322,16 @@ impl NetServer {
         let ops_thread = self
             .ops
             .map(|ops| ops.spawn(Arc::clone(&self.state), Arc::clone(&done)));
+
+        // The steering thread gossips this shard's load picture to
+        // every peer and adopts any leases offered back. Inbound gossip
+        // is answered by the event loop like any other frame.
+        let steer_thread = self.config.shard.clone().map(|topo| {
+            let state = Arc::clone(&self.state);
+            let done = Arc::clone(&done);
+            let board = Arc::clone(&board);
+            std::thread::spawn(move || steer_loop(&topo, &state, &board, &done))
+        });
 
         let mut event_loop = EventLoop {
             listener: Some(self.listener),
@@ -286,6 +348,8 @@ impl NetServer {
             connections: 0,
             rejected: 0,
             accepted_active: 0,
+            shard: self.config.shard.clone(),
+            board: Arc::clone(&board),
         };
         event_loop.run(Duration::from_millis(self.config.sweep_ms.max(1)))?;
         let connections = event_loop.connections;
@@ -296,6 +360,9 @@ impl NetServer {
         // past completion for late scrapers, and that grace must not
         // inflate the reported campaign duration.
         let wall_seconds = epoch.elapsed().as_secs_f64();
+        if let Some(t) = steer_thread {
+            let _ = t.join();
+        }
         if let Some(t) = ops_thread {
             let _ = t.join();
         }
@@ -305,15 +372,20 @@ impl NetServer {
             .expect("all state holders joined")
             .into_inner()
             .unwrap();
-        let outputs = state
-            .accepted_outputs()
-            .expect("run() only returns after campaign completion");
+        let outputs = match spec.shards {
+            1 => state
+                .accepted_outputs()
+                .expect("run() only returns after campaign completion"),
+            _ => Vec::new(),
+        };
         Ok(NetRunReport {
             server_stats: state.server_stats(),
             net_stats: state.net_stats,
             wasted_ref_seconds: state.wasted_ref_seconds(),
             trust: state.trust_summary(),
             agent_trust: state.agent_trust_table(),
+            partial_outputs: state.partial_outputs(),
+            shard: spec,
             outputs,
             wall_seconds,
             workunits: self.campaign.len(),
@@ -327,8 +399,184 @@ impl NetServer {
 enum Disposition {
     /// Queue this reply (in the connection's codec) and keep reading.
     Reply(Message),
+    /// Queue several replies — steering gossip can answer one
+    /// `ShardStatus` with re-sent grants, a fresh grant, *and* the ack.
+    ReplyMany(Vec<Message>),
     /// Close once queued replies flush, with this telemetry reason.
     Close(&'static str),
+}
+
+/// What each shard knows about its peers, fed by both gossip
+/// directions (inbound `ShardStatus` frames and the acks the steering
+/// thread collects). Shared between the event loop and the steering
+/// thread.
+struct ShardBoard {
+    /// Sticky per-shard completion: once a peer reports its owned
+    /// slice validated, that never un-happens (leases only move
+    /// never-issued work, and a complete shard has none).
+    complete: Vec<bool>,
+    /// Each peer's last advertised fresh backlog — the redirect target
+    /// picker's input.
+    backlog: Vec<u64>,
+}
+
+impl ShardBoard {
+    fn new(shards: u16) -> Self {
+        Self {
+            complete: vec![false; usize::from(shards)],
+            backlog: vec![0; usize::from(shards)],
+        }
+    }
+
+    fn note(&mut self, shard: u16, complete: bool, backlog: Option<u64>) {
+        let i = usize::from(shard);
+        if i < self.complete.len() {
+            self.complete[i] |= complete;
+            if let Some(b) = backlog {
+                self.backlog[i] = b;
+            }
+        }
+    }
+
+    /// True when every shard but `me` has reported completion.
+    fn peers_complete(&self, me: u16) -> bool {
+        self.complete
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| c || i == usize::from(me))
+    }
+
+    /// The peer with the deepest advertised backlog, if any has one.
+    fn busiest_peer(&self, me: u16) -> Option<(u16, u64)> {
+        self.backlog
+            .iter()
+            .enumerate()
+            .filter(|&(i, &b)| i != usize::from(me) && b > 0 && !self.complete[i])
+            .max_by_key(|&(_, &b)| b)
+            .map(|(i, &b)| (i as u16, b))
+    }
+}
+
+/// The steering thread: every [`STEER_INTERVAL_MS`] it sends this
+/// shard's load picture to each peer and applies whatever comes back
+/// (lease grants are adopted and journaled; acks update the board).
+/// A peer that is down, slow, or over its connection limit costs one
+/// bounded timeout and is retried next tick — steering rides the same
+/// listener as agent traffic, so no extra port is needed.
+fn steer_loop(
+    topo: &ShardTopology,
+    state: &Mutex<GridState>,
+    board: &Mutex<ShardBoard>,
+    done: &AtomicBool,
+) {
+    let me = topo.spec.shard_id;
+    let mut backoffs_seen = 0u64;
+    while !done.load(Relaxed) {
+        std::thread::sleep(Duration::from_millis(STEER_INTERVAL_MS));
+        // One status per tick: agent demand is "someone asked and got
+        // nothing since the last tick", which gates hunger so an
+        // agent-less drained shard never begs work off a loaded one.
+        let (mut status, complete) = {
+            let s = state.lock().unwrap();
+            let backoffs = s.net_stats.backoffs_sent;
+            let demand = backoffs > backoffs_seen;
+            backoffs_seen = backoffs;
+            let complete = s.is_campaign_complete();
+            let fresh = s.core().fresh_backlog() as u64;
+            (
+                Message::ShardStatus {
+                    shard: me,
+                    fresh_backlog: fresh,
+                    outstanding: s.outstanding_len() as u64,
+                    complete,
+                    hungry: !complete && fresh == 0 && demand,
+                    leases_held: Vec::new(), // per-peer, filled below
+                },
+                complete,
+            )
+        };
+        for peer in 0..topo.spec.shards {
+            if peer == me {
+                continue;
+            }
+            if let Message::ShardStatus { leases_held, .. } = &mut status {
+                *leases_held = state.lock().unwrap().leases_held_from(peer);
+            }
+            let replies = match steer_exchange(&topo.addrs[usize::from(peer)], &status) {
+                Ok(replies) => replies,
+                Err(_) => continue, // down or slow; next tick retries
+            };
+            for reply in replies {
+                match reply {
+                    Message::LeaseGrant {
+                        lease,
+                        from_shard,
+                        wus,
+                        complete: peer_complete,
+                    } => {
+                        let mut s = state.lock().unwrap();
+                        // The shared clock lives in the event loop; the
+                        // monotone high-water mark is the right stamp.
+                        let now = SimTime::new(s.last_now());
+                        s.adopt_lease(now, lease, &wus);
+                        drop(s);
+                        board.lock().unwrap().note(from_shard, peer_complete, None);
+                    }
+                    Message::StatusAck {
+                        shard,
+                        complete: peer_complete,
+                    } => board.lock().unwrap().note(shard, peer_complete, None),
+                    _ => {}
+                }
+            }
+        }
+        // Completion is decided here as well as on the sweep tick, so a
+        // shard whose last workunit validated long ago still notices
+        // the moment its final peer reports complete.
+        if complete && board.lock().unwrap().peers_complete(me) {
+            done.store(true, Relaxed);
+        }
+    }
+}
+
+/// One blocking steering exchange: connect, send the status, read
+/// frames until the terminating `StatusAck` (or until the peer hangs
+/// up / the timeout fires). Every step is bounded by
+/// [`STEER_TIMEOUT_MS`].
+fn steer_exchange(addr: &str, status: &Message) -> io::Result<Vec<Message>> {
+    let timeout = Duration::from_millis(STEER_TIMEOUT_MS);
+    let sock = addr
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "unresolvable peer"))?;
+    let mut stream = TcpStream::connect_timeout(&sock, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let _ = stream.set_nodelay(true);
+    stream.write_all(&encode_with(status, Codec::BinaryV3))?;
+    let mut replies = Vec::new();
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match decode_versioned(&buf) {
+            Ok((msg, consumed, _)) => {
+                buf.drain(..consumed);
+                let last = matches!(msg, Message::StatusAck { .. } | Message::Busy { .. });
+                replies.push(msg);
+                if last {
+                    return Ok(replies);
+                }
+                continue;
+            }
+            Err(DecodeError::Incomplete { .. }) => {}
+            Err(_) => return Err(io::ErrorKind::InvalidData.into()),
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Ok(replies),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 /// The readiness loop and every piece of context its handlers need.
@@ -352,11 +600,31 @@ struct EventLoop {
     /// Live accepted (non-brushoff) connections, against
     /// `faults.max_connections`.
     accepted_active: usize,
+    /// Sharded topology, when this server is one shard of several.
+    shard: Option<ShardTopology>,
+    /// Peer completion/backlog picture (shared with steering).
+    board: Arc<Mutex<ShardBoard>>,
 }
 
 impl EventLoop {
     fn now(&self) -> SimTime {
         SimTime::new(self.clock_offset + self.epoch.elapsed().as_secs_f64())
+    }
+
+    /// Whether the *campaign* (not just this shard's slice) is done:
+    /// local completion plus, when sharded, every peer's.
+    fn globally_complete(&self, local_complete: bool) -> bool {
+        match &self.shard {
+            None => local_complete,
+            Some(topo) => {
+                local_complete
+                    && self
+                        .board
+                        .lock()
+                        .unwrap()
+                        .peers_complete(topo.spec.shard_id)
+            }
+        }
     }
 
     /// The loop proper. Each iteration: wait for readiness or the next
@@ -382,12 +650,18 @@ impl EventLoop {
                 let since = done_since.get_or_insert_with(Instant::now);
                 // Completion: stop accepting, linger through the grace
                 // window answering `campaign_complete`, leave as soon
-                // as every volunteer has said Bye.
-                if let Some(listener) = self.listener.take() {
-                    self.poller.deregister(listener.as_raw_fd())?;
-                    drop(listener);
+                // as every volunteer has said Bye. A sharded server
+                // keeps its listener through the grace so peers that
+                // have not yet heard this shard is complete can get one
+                // more ack instead of a connection refusal.
+                if self.shard.is_none() {
+                    if let Some(listener) = self.listener.take() {
+                        self.poller.deregister(listener.as_raw_fd())?;
+                        drop(listener);
+                    }
                 }
-                if self.conns.is_empty() || since.elapsed() > SHUTDOWN_GRACE {
+                let drained = self.shard.is_none() && self.conns.is_empty();
+                if drained || since.elapsed() > SHUTDOWN_GRACE {
                     return Ok(());
                 }
             }
@@ -413,7 +687,9 @@ impl EventLoop {
         let mut s = self.state.lock().unwrap();
         s.sweep(now);
         s.flush_journal();
-        if s.is_campaign_complete() {
+        let local = s.is_campaign_complete();
+        drop(s);
+        if self.globally_complete(local) {
             self.done.store(true, Relaxed);
         }
     }
@@ -550,10 +826,16 @@ impl EventLoop {
                     conn.read_buf.drain(..consumed);
                     conn.frames += 1;
                     conn.codec = codec;
-                    match self.dispatch(&mut conn.agent, msg) {
+                    match self.dispatch(&mut conn.agent, msg, codec) {
                         Disposition::Reply(reply) => {
                             conn.write_buf
                                 .extend_from_slice(&encode_with(&reply, codec));
+                        }
+                        Disposition::ReplyMany(replies) => {
+                            for reply in replies {
+                                conn.write_buf
+                                    .extend_from_slice(&encode_with(&reply, codec));
+                            }
                         }
                         Disposition::Close(reason) => conn.closing = Some(reason),
                     }
@@ -570,8 +852,10 @@ impl EventLoop {
     }
 
     /// Maps one decoded frame to a scheduler call and a reply — the
-    /// dispatch state of the per-connection machine.
-    fn dispatch(&mut self, agent_id: &mut u64, msg: Message) -> Disposition {
+    /// dispatch state of the per-connection machine. `codec` is the
+    /// codec the frame arrived in: only v3 peers may be sent shard
+    /// messages (a redirect would just confuse a v1/v2 agent).
+    fn dispatch(&mut self, agent_id: &mut u64, msg: Message, codec: Codec) -> Disposition {
         let now = self.now();
         match msg {
             Message::Hello { agent, threads: _ } => {
@@ -601,10 +885,16 @@ impl EventLoop {
                     WorkReply::Backoff {
                         retry_after_ms,
                         campaign_complete,
-                    } => Message::NoWork {
-                        campaign_complete,
-                        retry_after_ms,
-                    },
+                    } => {
+                        if let Some(redirect) = self.try_redirect(codec, campaign_complete) {
+                            redirect
+                        } else {
+                            Message::NoWork {
+                                campaign_complete: self.globally_complete(campaign_complete),
+                                retry_after_ms,
+                            }
+                        }
+                    }
                 })
             }
             Message::ResultReport {
@@ -619,7 +909,8 @@ impl EventLoop {
                     workunit,
                     output,
                 );
-                if disposition.campaign_complete {
+                let campaign_complete = self.globally_complete(disposition.campaign_complete);
+                if campaign_complete {
                     self.done.store(true, Relaxed);
                 }
                 Disposition::Reply(Message::ResultAck {
@@ -632,13 +923,124 @@ impl EventLoop {
                             | crate::state::Verdict::SpotVoid
                     ),
                     completed_workunit: disposition.completed_workunit,
-                    campaign_complete: disposition.campaign_complete,
+                    campaign_complete,
                 })
             }
+            Message::ShardMapRequest => {
+                let (shards, self_shard, addrs) = match &self.shard {
+                    Some(topo) => (topo.spec.shards, topo.spec.shard_id, topo.addrs.clone()),
+                    None => (1, 0, Vec::new()),
+                };
+                Disposition::Reply(Message::ShardMap {
+                    shards,
+                    self_shard,
+                    addrs,
+                })
+            }
+            Message::ShardStatus {
+                shard,
+                fresh_backlog,
+                outstanding: _,
+                complete,
+                hungry,
+                leases_held,
+            } => self.handle_shard_status(now, shard, fresh_backlog, complete, hungry, leases_held),
             Message::Bye => Disposition::Close("bye"),
-            // Server-to-agent frames arriving here mean a confused peer.
+            // Server-to-agent and reply frames arriving here mean a
+            // confused peer (LeaseGrant/StatusAck only ever travel as
+            // replies on the steering connection).
             _ => Disposition::Close("protocol"),
         }
+    }
+
+    /// When this shard has nothing to issue but a peer advertises
+    /// fresh backlog, answer a v3 agent's ask with a `Redirect` there
+    /// instead of a backoff. The agent follows at most one redirect per
+    /// ask, and the target was advertising work moments ago, so a
+    /// bounce chain cannot form.
+    fn try_redirect(&mut self, codec: Codec, local_complete: bool) -> Option<Message> {
+        let topo = self.shard.as_ref()?;
+        if !codec.shard_aware() || local_complete {
+            return None;
+        }
+        {
+            // A backoff with backlog still on hand was a trust denial
+            // (quarantine), not a drained queue: the agent waits here.
+            let s = self.state.lock().unwrap();
+            if s.core().fresh_backlog() > 0 {
+                return None;
+            }
+        }
+        let (peer, _backlog) = self
+            .board
+            .lock()
+            .unwrap()
+            .busiest_peer(topo.spec.shard_id)?;
+        let addr = topo.addrs.get(usize::from(peer))?.clone();
+        self.state.lock().unwrap().note_redirect();
+        Some(Message::Redirect { shard: peer, addr })
+    }
+
+    /// Answers one inbound gossip frame: update the board, re-send any
+    /// grant the sender has not adopted, cut a fresh lease if the
+    /// sender is hungry and this shard has backlog to spare, and ack.
+    /// The `LeaseOut` journal record is appended (inside the state
+    /// lock) *before* the grant frame is queued, so a crash here can
+    /// lose a sent grant only in the direction the re-send heals.
+    fn handle_shard_status(
+        &mut self,
+        now: SimTime,
+        shard: u16,
+        fresh_backlog: u64,
+        complete: bool,
+        hungry: bool,
+        leases_held: Vec<u64>,
+    ) -> Disposition {
+        let Some(topo) = self.shard.clone() else {
+            return Disposition::Close("protocol");
+        };
+        let me = topo.spec.shard_id;
+        if shard >= topo.spec.shards || shard == me {
+            return Disposition::Close("protocol");
+        }
+        self.board
+            .lock()
+            .unwrap()
+            .note(shard, complete, Some(fresh_backlog));
+        let mut replies = Vec::new();
+        let mut s = self.state.lock().unwrap();
+        let local_complete = s.is_campaign_complete();
+        // Re-send grants missing from the sender's holdings: our
+        // journal says granted, theirs never said adopted — the grant
+        // frame died with a connection or a crash. Idempotent on their
+        // side, so over-sending is harmless.
+        let held: HashSet<u64> = leases_held.into_iter().collect();
+        for (lease, wus) in s.leases_granted_to(shard) {
+            if !held.contains(&lease) {
+                replies.push(Message::LeaseGrant {
+                    lease,
+                    from_shard: me,
+                    wus,
+                    complete: local_complete,
+                });
+            }
+        }
+        if hungry && replies.is_empty() {
+            if let Some((lease, wus)) = s.grant_lease(now, shard, LEASE_CHUNK) {
+                replies.push(Message::LeaseGrant {
+                    lease,
+                    from_shard: me,
+                    wus,
+                    complete: local_complete,
+                });
+            }
+        }
+        drop(s);
+        replies.push(Message::StatusAck {
+            shard: me,
+            complete: local_complete,
+        });
+        Disposition::ReplyMany(replies)
     }
 
     /// Final close of a connection: emits the paired `ConnectionClosed`

@@ -28,6 +28,7 @@ use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
 use crate::journal::{Journal, JournalRecord};
 use crate::protocol::fnv1a64;
+use crate::shard::{self, ShardSpec};
 use crate::trust::{spot_selected, AgentTrust, TrustBand};
 use gridsim::server::{
     CoreSnapshot, ReplicaAssignment, ReplicaId, ReplicationOverride, SchedulerCore, ServerConfig,
@@ -125,6 +126,21 @@ pub struct NetStats {
     /// Validated workunits retracted after a failed spot check.
     #[serde(default)]
     pub workunits_invalidated: u64,
+    /// Work requests answered with a `Redirect` to a peer shard.
+    #[serde(default)]
+    pub shard_redirects: u64,
+    /// Leases granted to hungry peer shards.
+    #[serde(default)]
+    pub shard_leases_out: u64,
+    /// Leases adopted from loaded peer shards.
+    #[serde(default)]
+    pub shard_leases_in: u64,
+    /// Workunits whose ownership left with an outbound lease.
+    #[serde(default)]
+    pub shard_wus_leased_out: u64,
+    /// Workunits whose ownership arrived with an inbound lease.
+    #[serde(default)]
+    pub shard_wus_leased_in: u64,
 }
 
 struct Tele {
@@ -192,6 +208,20 @@ pub struct JournalOps {
     pub wal_appends_since_snapshot: u64,
 }
 
+/// Shard identity and ownership as seen by the ops endpoint; `None`
+/// when the server runs unsharded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardOps {
+    /// This server's shard id.
+    pub shard_id: u16,
+    /// Total shards in the topology.
+    pub shards: u16,
+    /// Workunits this shard currently owns (leases shift it).
+    pub owned_workunits: u64,
+    /// Owned workunits never yet issued — the steerable backlog.
+    pub fresh_backlog: u64,
+}
+
 /// A cheap, self-contained copy of everything the ops endpoint renders,
 /// taken under the server's state lock by [`GridState::ops_snapshot`].
 /// Copy-on-scrape: the HTTP thread takes this snapshot in one short
@@ -241,6 +271,9 @@ pub struct OpsSnapshot {
     /// the trust policy is off.
     #[serde(default)]
     pub agents_trust: Vec<(u64, f64, TrustBand)>,
+    /// Shard identity and ownership; `None` when unsharded.
+    #[serde(default)]
+    pub shard: Option<ShardOps>,
 }
 
 /// The live grid's server state (scheduling + validation + payloads),
@@ -249,6 +282,17 @@ pub struct GridState {
     core: SchedulerCore,
     faults: ServerFaults,
     ranges: ValueRanges,
+    /// This server's place in the shard topology ([`ShardSpec::solo`]
+    /// when unsharded). Part of the journal header identity.
+    shard: ShardSpec,
+    /// Leases this shard granted: lease id → (lessee shard, workunits).
+    /// Journaled (ownership moves are scheduling state); also drives
+    /// re-grants when a restarted lessee reports it never adopted one.
+    leases_granted: HashMap<u64, (u16, Vec<u32>)>,
+    /// Leases adopted from peers: lease id → workunits. Journaled, and
+    /// advertised back to each grantor so both books converge after a
+    /// crash on either side.
+    leases_held: HashMap<u64, Vec<u32>>,
     /// Outstanding (issued, unreported, unexpired) replicas → absolute
     /// deadline in seconds.
     outstanding: HashMap<u64, f64>,
@@ -328,15 +372,43 @@ pub struct GridSnapshot {
     spot_queue: Vec<(u32, u64)>,
     #[serde(default)]
     spot_outstanding: Vec<(u64, (u32, u64))>,
+    #[serde(default = "ShardSpec::solo")]
+    shard: ShardSpec,
+    #[serde(default)]
+    leases_granted: Vec<(u64, (u16, Vec<u32>))>,
+    #[serde(default)]
+    leases_held: Vec<(u64, Vec<u32>)>,
 }
 
 impl GridState {
-    /// Builds the state for one campaign.
+    /// Builds the state for one campaign (unsharded).
     pub fn new(campaign: &NetCampaign, config: ServerConfig, faults: ServerFaults) -> Self {
+        Self::new_sharded(campaign, config, faults, ShardSpec::solo())
+    }
+
+    /// Builds the state for one shard of a campaign. The scheduler runs
+    /// over the full catalog but owns only the workunits the shard map
+    /// assigns to `shard` — keeping workunit indices, replica ids and
+    /// launch order globally consistent across the topology.
+    pub fn new_sharded(
+        campaign: &NetCampaign,
+        config: ServerConfig,
+        faults: ServerFaults,
+        shard: ShardSpec,
+    ) -> Self {
+        let core = if shard.shards > 1 {
+            let owned = shard::ownership_map(campaign, shard);
+            SchedulerCore::with_ownership(campaign.catalog(), config, owned)
+        } else {
+            SchedulerCore::new(campaign.catalog(), config)
+        };
         Self {
-            core: SchedulerCore::new(campaign.catalog(), config),
+            core,
             faults,
             ranges: ValueRanges::default(),
+            shard,
+            leases_granted: HashMap::new(),
+            leases_held: HashMap::new(),
             outstanding: HashMap::new(),
             reported: std::collections::HashSet::new(),
             candidates: HashMap::new(),
@@ -401,6 +473,9 @@ impl GridState {
             unverified: sorted(&self.unverified),
             spot_queue: self.spot_queue.iter().copied().collect(),
             spot_outstanding: sorted(&self.spot_outstanding),
+            shard: self.shard,
+            leases_granted: sorted(&self.leases_granted),
+            leases_held: sorted(&self.leases_held),
         }
     }
 
@@ -414,6 +489,12 @@ impl GridState {
         snap: GridSnapshot,
     ) -> Result<Self, String> {
         let core = SchedulerCore::restore(campaign.catalog(), config, snap.core)?;
+        if snap.shard.shards > 1 && !core.is_sharded() {
+            return Err(format!(
+                "snapshot names shard {}/{} but carries no ownership state",
+                snap.shard.shard_id, snap.shard.shards
+            ));
+        }
         if snap.accepted.len() != campaign.len() {
             return Err(format!(
                 "snapshot has {} accepted slots for a {}-workunit campaign",
@@ -432,6 +513,9 @@ impl GridState {
             core,
             faults,
             ranges: ValueRanges::default(),
+            shard: snap.shard,
+            leases_granted: snap.leases_granted.into_iter().collect(),
+            leases_held: snap.leases_held.into_iter().collect(),
             outstanding: snap.outstanding.into_iter().collect(),
             reported: snap.reported.into_iter().collect(),
             candidates: snap.candidates.into_iter().collect(),
@@ -560,6 +644,129 @@ impl GridState {
             return None;
         }
         self.accepted.iter().cloned().collect::<Option<Vec<_>>>()
+    }
+
+    /// The validated outputs this shard holds, in catalog order — the
+    /// partial artifact a sharded `--out` writes. `Some` exactly at the
+    /// workunits this shard validated; [`crate::shard::merge_artifacts`]
+    /// stitches the shards' parts into the single-server result.
+    pub fn partial_outputs(&self) -> Vec<Option<DockingOutput>> {
+        self.accepted.clone()
+    }
+
+    /// This server's place in the shard topology.
+    pub fn shard(&self) -> ShardSpec {
+        self.shard
+    }
+
+    /// Issued, unreported, unexpired replicas (gossiped to peers: a
+    /// shard with no backlog *and* nothing outstanding is fully drained).
+    pub fn outstanding_len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Counts one work request answered with a `Redirect`. Advisory
+    /// (like the per-agent ledger): not journaled, so it restarts from
+    /// the snapshot value.
+    pub fn note_redirect(&mut self) {
+        self.net_stats.shard_redirects += 1;
+    }
+
+    /// Grants a lease of up to `max` never-issued workunits to a hungry
+    /// peer. Returns `None` when nothing is leaseable. The lease id is
+    /// derived from this shard's id and its journaled grant count, so
+    /// replay regenerates the same ids in the same order.
+    pub fn grant_lease(
+        &mut self,
+        now: SimTime,
+        to_shard: u16,
+        max: usize,
+    ) -> Option<(u64, Vec<u32>)> {
+        let wus = self.core.lease_candidates(max);
+        if wus.is_empty() {
+            return None;
+        }
+        let lease = shard::lease_id(self.shard.shard_id, self.leases_granted.len() as u64);
+        self.apply_lease_out(now, lease, to_shard, &wus);
+        Some((lease, wus))
+    }
+
+    /// Applies (and journals) one outbound lease: the workunits stop
+    /// being owned here. Idempotent — a lease id already granted is a
+    /// no-op returning 0, so duplicate gossip frames cannot double-move
+    /// ownership. Returns the workunits whose ownership moved.
+    pub fn apply_lease_out(
+        &mut self,
+        now: SimTime,
+        lease: u64,
+        to_shard: u16,
+        wus: &[u32],
+    ) -> usize {
+        if self.leases_granted.contains_key(&lease) {
+            return 0;
+        }
+        self.last_now = self.last_now.max(now.seconds());
+        let moved = self.core.lease_out(wus);
+        self.leases_granted.insert(lease, (to_shard, wus.to_vec()));
+        self.net_stats.shard_leases_out += 1;
+        self.net_stats.shard_wus_leased_out += moved as u64;
+        self.journal_append(&JournalRecord::LeaseOut {
+            now_s: now.seconds(),
+            lease,
+            to_shard,
+            wus: wus.to_vec(),
+        });
+        moved
+    }
+
+    /// Adopts (and journals) one inbound lease: the workunits become
+    /// owned here and join the fresh queue. Idempotent — a lease id
+    /// already held is a no-op returning 0, so a re-sent `LeaseGrant`
+    /// (duplicate gossip, or a grantor re-offering after a crash)
+    /// cannot double-issue the range. Returns the workunits adopted.
+    pub fn adopt_lease(&mut self, now: SimTime, lease: u64, wus: &[u32]) -> usize {
+        if self.leases_held.contains_key(&lease) {
+            return 0;
+        }
+        self.last_now = self.last_now.max(now.seconds());
+        let moved = self.core.lease_in(wus);
+        self.leases_held.insert(lease, wus.to_vec());
+        self.net_stats.shard_leases_in += 1;
+        self.net_stats.shard_wus_leased_in += moved as u64;
+        self.journal_append(&JournalRecord::LeaseIn {
+            now_s: now.seconds(),
+            lease,
+            wus: wus.to_vec(),
+        });
+        moved
+    }
+
+    /// Lease ids this shard adopted from `grantor` — advertised back in
+    /// every `ShardStatus` so a restarted grantor can re-send any grant
+    /// the advertisement is missing (its journal says granted, ours
+    /// never said adopted: the grant frame died with the connection).
+    pub fn leases_held_from(&self, grantor: u16) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .leases_held
+            .keys()
+            .copied()
+            .filter(|&l| shard::lease_grantor(l) == grantor)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Leases this shard granted to `lessee` — compared against the
+    /// lessee's advertised holdings to find grants that never landed.
+    pub fn leases_granted_to(&self, lessee: u16) -> Vec<(u64, Vec<u32>)> {
+        let mut v: Vec<(u64, Vec<u32>)> = self
+            .leases_granted
+            .iter()
+            .filter(|(_, (to, _))| *to == lessee)
+            .map(|(&l, (_, wus))| (l, wus.clone()))
+            .collect();
+        v.sort_by_key(|&(l, _)| l);
+        v
     }
 
     /// Answers a work request from `agent` at time `now`.
@@ -890,6 +1097,12 @@ impl GridState {
             wasted_ref_seconds: self.core.wasted_ref_seconds(),
             trust: self.trust_summary(),
             agents_trust,
+            shard: (self.shard.shards > 1).then(|| ShardOps {
+                shard_id: self.shard.shard_id,
+                shards: self.shard.shards,
+                owned_workunits: self.core.owned_count() as u64,
+                fresh_backlog: self.core.fresh_backlog() as u64,
+            }),
         }
     }
 

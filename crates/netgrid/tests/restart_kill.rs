@@ -9,7 +9,11 @@
 //! riding through the restart gap on their reconnect loop. The CI
 //! `netgrid-restart-smoke` job runs exactly this test.
 
-use netgrid::{run_agent, AgentConfig, AgentTrust, CampaignParams, FaultProfile, NetCampaign};
+use maxdo::DockingOutput;
+use netgrid::{
+    merge_artifact_json, run_agent, AgentConfig, AgentTrust, CampaignParams, FaultProfile,
+    NetCampaign,
+};
 use std::net::TcpListener;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
@@ -114,6 +118,116 @@ fn sigkill_mid_campaign_then_restart_yields_the_baseline_artifact() {
     assert_eq!(
         merged, baseline,
         "kill -9 + restart must converge to the byte-identical artifact"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The sharding variant: two journaled shards carry one campaign, every
+/// agent sits on shard 1 so shard 0's work can only move by lease (or
+/// agents by redirect), and a SIGKILL lands on shard 0 mid-stream —
+/// plausibly mid-lease. The restarted shard 0 must replay its `LeaseOut`
+/// records to a consistent ownership picture: the per-shard artifacts
+/// stay disjoint (no workunit validated by both shards, i.e. nobody
+/// double-issued a leased range) and their merge is byte-identical to
+/// the single-server baseline.
+#[test]
+fn sigkill_one_shard_mid_lease_then_restart_keeps_ownership_consistent() {
+    let dir = scratch("shard");
+    let journals = [dir.join("journal0"), dir.join("journal1")];
+    let artifacts = [dir.join("artifact0.json"), dir.join("artifact1.json")];
+    let addrs = [
+        format!("127.0.0.1:{}", free_port()),
+        format!("127.0.0.1:{}", free_port()),
+    ];
+    let peers = addrs.join(",");
+    let shard_flags = |id: &str| -> Vec<String> {
+        vec![
+            "--shard-id".into(),
+            id.into(),
+            "--shards".into(),
+            "2".into(),
+            "--peers".into(),
+            peers.clone(),
+        ]
+    };
+    let spawn_shard = |id: usize| -> Child {
+        let flags = shard_flags(&id.to_string());
+        let flags: Vec<&str> = flags.iter().map(String::as_str).collect();
+        spawn_server_with(&addrs[id], &journals[id], Some(&artifacts[id]), &flags)
+    };
+
+    let mut shard0 = spawn_shard(0);
+    let mut shard1 = spawn_shard(1);
+
+    // Every volunteer on shard 1: shard 0 has zero demand of its own.
+    let agents: Vec<_> = (1..=3u64)
+        .map(|agent| {
+            let addr = addrs[1].clone();
+            thread::spawn(move || {
+                run_agent(AgentConfig {
+                    max_connect_attempts: 600,
+                    ..AgentConfig::new(addr, agent)
+                })
+            })
+        })
+        .collect();
+
+    // Long enough for shard 1 to drain its own slice and start pulling
+    // leases out of shard 0; the assertions below hold wherever in that
+    // stream the kill actually lands.
+    thread::sleep(Duration::from_millis(2500));
+    if shard0.try_wait().expect("poll shard 0").is_none() {
+        let _ = shard0.kill(); // SIGKILL on unix
+        shard0.wait().expect("reap shard 0");
+        shard0 = spawn_shard(0);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    for (name, child) in [("shard 0", &mut shard0), ("shard 1", &mut shard1)] {
+        loop {
+            match child.try_wait().expect("poll shard") {
+                Some(status) => {
+                    assert!(status.success(), "{name} failed: {status}");
+                    break;
+                }
+                None if Instant::now() > deadline => {
+                    let _ = child.kill();
+                    panic!("{name} did not finish the campaign in time");
+                }
+                None => thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+    for a in agents {
+        a.join().unwrap().expect("agent survived the restart");
+    }
+
+    let parts: Vec<String> = artifacts
+        .iter()
+        .map(|p| std::fs::read_to_string(p).expect("partial artifact written"))
+        .collect();
+
+    // Ownership stayed disjoint across the kill: no workunit was
+    // validated (and therefore issued) by both shards.
+    let parsed: Vec<Vec<Option<DockingOutput>>> = parts
+        .iter()
+        .map(|t| serde_json::from_str(t).expect("partial parses"))
+        .collect();
+    for wu in 0..parsed[0].len() {
+        let owners = parsed.iter().filter(|p| p[wu].is_some()).count();
+        assert_eq!(
+            owners, 1,
+            "workunit {wu} validated by {owners} shards — a leased range was double-issued"
+        );
+    }
+
+    let merged = merge_artifact_json(&parts).expect("partials cover the campaign");
+    let baseline =
+        serde_json::to_string(&NetCampaign::build(CampaignParams::tiny()).baseline_outputs())
+            .unwrap();
+    assert_eq!(
+        merged, baseline,
+        "kill -9 of one shard must not perturb the merged artifact"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -20,7 +20,7 @@ use gridsim::server::{ServerConfig, ServerStats};
 use gridsim::SimTime;
 use netgrid::{
     open_journaled, CampaignParams, FsyncPolicy, GridState, JournalConfig, NetCampaign, NetStats,
-    ServerFaults, TrustConfig, Verdict, WorkReply,
+    ServerFaults, ShardSpec, TrustConfig, Verdict, WorkReply,
 };
 use std::path::PathBuf;
 
@@ -42,7 +42,14 @@ fn journal_dir(tag: &str) -> PathBuf {
 }
 
 fn open(campaign: &NetCampaign, cfg: &JournalConfig) -> (GridState, f64) {
-    open_journaled(cfg, campaign, server_config(), ServerFaults::default()).expect("journal opens")
+    open_journaled(
+        cfg,
+        campaign,
+        server_config(),
+        ServerFaults::default(),
+        ShardSpec::solo(),
+    )
+    .expect("journal opens")
 }
 
 fn fetch(state: &mut GridState, now: f64, agent: u64) -> gridsim::server::ReplicaAssignment {
@@ -219,7 +226,13 @@ fn journal_of_a_different_campaign_is_refused() {
         lib_seed: 8,
         ..CampaignParams::tiny()
     });
-    let err = match open_journaled(&cfg, &other, server_config(), ServerFaults::default()) {
+    let err = match open_journaled(
+        &cfg,
+        &other,
+        server_config(),
+        ServerFaults::default(),
+        ShardSpec::solo(),
+    ) {
         Ok(_) => panic!("foreign journal must be rejected"),
         Err(e) => e,
     };
@@ -315,8 +328,14 @@ fn trust_bands_and_quarantine_replay_exactly_across_a_crash() {
         ..JournalConfig::new(journal_dir("trust"))
     };
 
-    let (mut live, resume) =
-        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("journal opens");
+    let (mut live, resume) = open_journaled(
+        &cfg,
+        &campaign,
+        server_config(),
+        trust_faults(),
+        ShardSpec::solo(),
+    )
+    .expect("journal opens");
     assert_eq!(resume, 0.0);
     let crash_now = trust_script(&mut live, &campaign);
     let (stats, net, last_now) = crash_point(&live);
@@ -326,8 +345,14 @@ fn trust_bands_and_quarantine_replay_exactly_across_a_crash() {
     assert!(!live.is_campaign_complete(), "audit still queued");
     drop(live); // crash
 
-    let (mut recovered, resume) =
-        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("recovery");
+    let (mut recovered, resume) = open_journaled(
+        &cfg,
+        &campaign,
+        server_config(),
+        trust_faults(),
+        ShardSpec::solo(),
+    )
+    .expect("recovery");
     assert_eq!(resume, last_now);
     assert_eq!(recovered.server_stats(), stats);
     assert_eq!(recovered.net_stats, net);
@@ -363,14 +388,26 @@ fn trust_bands_and_quarantine_replay_exactly_across_a_crash() {
 fn trust_journal_refuses_a_different_trust_policy() {
     let campaign = NetCampaign::build(CampaignParams::tiny());
     let cfg = JournalConfig::new(journal_dir("trust-mismatch"));
-    let (mut live, _) =
-        open_journaled(&cfg, &campaign, server_config(), trust_faults()).expect("journal opens");
+    let (mut live, _) = open_journaled(
+        &cfg,
+        &campaign,
+        server_config(),
+        trust_faults(),
+        ShardSpec::solo(),
+    )
+    .expect("journal opens");
     let _ = fetch(&mut live, 0.0, 1);
     drop(live);
 
     // Same campaign, trust off: the scheduling decisions in the wal
     // were made under a different policy — replay must refuse.
-    let err = match open_journaled(&cfg, &campaign, server_config(), ServerFaults::default()) {
+    let err = match open_journaled(
+        &cfg,
+        &campaign,
+        server_config(),
+        ServerFaults::default(),
+        ShardSpec::solo(),
+    ) {
         Ok(_) => panic!("journal under a different trust policy must be rejected"),
         Err(e) => e,
     };

@@ -33,7 +33,12 @@
 //!   and the quorum-rejection reduction from trust-adaptive
 //!   replication, a wasted-compute sanity check, and warnings if the
 //!   saboteur escaped quarantine or either trust run's merged output
-//!   diverged.
+//!   diverged. Reports with the `shard_campaigns` rows get, per row,
+//!   warnings if the merged per-shard artifacts diverged from the
+//!   single-server run, if the redirect count exceeded the request
+//!   count (an agent is only ever bounced once per ask, so more
+//!   redirects than asks means a steering loop), or if aggregate
+//!   sharded throughput fell below 0.9x the single-server reference.
 //! * `frame_codec` (`BENCH_codec.json`) — per-frame encode/decode cost
 //!   of the two wire codecs; warns when the binary codec fails to beat
 //!   JSON or regresses past the tolerance against its baseline.
@@ -70,6 +75,11 @@ const TRUST_REDUNDANCY_REDUCTION_FLOOR: f64 = 0.05;
 /// quarantining the saboteur is expected to at least halve the
 /// rejections it can land.
 const TRUST_REJECT_REDUCTION_FLOOR: f64 = 2.0;
+/// Smallest acceptable sharded-over-single aggregate throughput before
+/// the (warn-only) guard fires: splitting a campaign across shards buys
+/// address-space and fault isolation, and steering is supposed to keep
+/// the work moving — it must not cost more than ~10% of the wire.
+const SHARD_THROUGHPUT_FLOOR_FRAC: f64 = 0.9;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -133,6 +143,19 @@ struct NetgridSummary {
     trust_saboteur_quarantined: Option<bool>,
     trust_off_merged_matches_baseline: Option<bool>,
     trust_on_merged_matches_baseline: Option<bool>,
+    /// Sharded-campaign rows; `None` on reports from before the
+    /// sharding block existed (or when `--shards 0` skipped it).
+    shard_rows: Option<Vec<ShardRow>>,
+}
+
+/// One `shard_campaigns` entry, as far as the guard cares.
+struct ShardRow {
+    shards: f64,
+    trust: bool,
+    requests: f64,
+    redirects: f64,
+    merged_matches_single: bool,
+    throughput_vs_single_frac: f64,
 }
 
 fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String> {
@@ -200,6 +223,31 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
         },
         trust_on_merged_matches_baseline: match report.get("trust_on_merged_matches_baseline") {
             Some(Value::Bool(b)) => Some(*b),
+            _ => None,
+        },
+        shard_rows: match report.get("shard_campaigns") {
+            Some(Value::Seq(rows)) => Some(
+                rows.iter()
+                    .map(|row| {
+                        let f = |key: &str| {
+                            row.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                                format!("{path}: shard row missing numeric \"{key}\"")
+                            })
+                        };
+                        Ok(ShardRow {
+                            shards: f("shards")?,
+                            trust: matches!(row.get("trust"), Some(Value::Bool(true))),
+                            requests: f("requests")?,
+                            redirects: f("redirects")?,
+                            merged_matches_single: matches!(
+                                row.get("merged_matches_single"),
+                                Some(Value::Bool(true))
+                            ),
+                            throughput_vs_single_frac: f("throughput_vs_single_frac")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
             _ => None,
         },
     })
@@ -413,6 +461,43 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
         eprintln!(
             "bench_guard: WARNING: a trust-comparison run's merged output diverged from the in-process baseline"
         );
+    }
+    match &fresh.shard_rows {
+        Some(rows) => {
+            for row in rows {
+                let label = format!(
+                    "{:.0}-shard{} campaign",
+                    row.shards,
+                    if row.trust { " (trust-on)" } else { "" }
+                );
+                if !row.merged_matches_single {
+                    warnings += 1;
+                    eprintln!(
+                        "bench_guard: WARNING: {label}: merged per-shard artifacts diverged from the single-server run"
+                    );
+                }
+                if row.redirects > row.requests {
+                    warnings += 1;
+                    eprintln!(
+                        "bench_guard: WARNING: {label}: {:.0} redirects exceed {:.0} requests — steering is looping agents",
+                        row.redirects, row.requests
+                    );
+                }
+                if row.throughput_vs_single_frac < SHARD_THROUGHPUT_FLOOR_FRAC {
+                    warnings += 1;
+                    eprintln!(
+                        "bench_guard: WARNING: {label}: aggregate throughput is {:.2}x the single server (floor {SHARD_THROUGHPUT_FLOOR_FRAC:.1}x)",
+                        row.throughput_vs_single_frac
+                    );
+                } else {
+                    println!(
+                        "bench_guard: {label} ok: {:.2}x single-server throughput, {:.0} redirects over {:.0} requests, merge matches",
+                        row.throughput_vs_single_frac, row.redirects, row.requests
+                    );
+                }
+            }
+        }
+        None => println!("bench_guard: note: report has no sharded-campaign rows"),
     }
     warnings
 }
