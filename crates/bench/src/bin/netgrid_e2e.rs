@@ -48,6 +48,15 @@
 //! flag, and bench_guard warns when steering degrades aggregate
 //! throughput below 0.9x the single server.
 //!
+//! A *multi-campaign* block then hosts a 70/30 pair of campaigns
+//! (same recipe, different library seeds) on one server, with a small
+//! threaded fleet volunteering for both over protocol v4. The
+//! `campaign_*` columns report each campaign's delivered share,
+//! borrow count and whether its merged artifact is byte-identical to
+//! a solo run of the same recipe, plus the fair-share error sampled
+//! while both campaigns still had fresh work — bench_guard warns when
+//! that error exceeds 0.05 or an artifact diverges.
+//!
 //! `--codec` picks the wire codec for every agent frame: `binary`
 //! (protocol v2, the default) or `json` (protocol v1 — the old-agent
 //! interop path). The sharded campaigns always speak `v3` — steering
@@ -69,8 +78,9 @@ use bench_support::RunSession;
 use metrics::quantile;
 use netgrid::{
     http_get, merge_artifact_json, merge_artifacts, run_agent, run_mux_fleet, AgentConfig,
-    CampaignParams, Codec, FaultProfile, JournalConfig, MuxFleetConfig, MuxFleetReport,
-    NetCampaign, NetRunReport, NetServer, NetServerConfig, ShardSpec, ShardTopology, TrustConfig,
+    CampaignDef, CampaignParams, Codec, FaultProfile, JournalConfig, MuxFleetConfig,
+    MuxFleetReport, NetCampaign, NetRunReport, NetServer, NetServerConfig, ShardSpec,
+    ShardTopology, TrustConfig,
 };
 use std::net::TcpListener;
 use std::thread;
@@ -174,6 +184,31 @@ struct NetgridReport {
     /// One row per sharded campaign (2-shard, 2-shard trust-on and
     /// 4-shard by default). Null when `--shards 0` skipped the block.
     shard_campaigns: Option<Vec<ShardBenchRow>>,
+    /// Fair-share error of the two-campaign run, sampled at the last
+    /// report where both campaigns still had fresh work (the ±5%
+    /// convergence figure; bench_guard warns above 0.05).
+    campaign_share_error: f64,
+    /// One row per hosted campaign in the 70/30 two-campaign run.
+    campaign_rows: Vec<CampaignBenchRow>,
+}
+
+/// One hosted campaign of the multi-campaign run, in roster order.
+#[derive(serde::Serialize)]
+struct CampaignBenchRow {
+    name: String,
+    /// Configured fair-share weight (normalised).
+    share: f64,
+    priority: u32,
+    workunits: usize,
+    /// Validated reference CPU-seconds this campaign received.
+    delivered_ref_seconds: f64,
+    /// This campaign's fraction of everything delivered.
+    delivered_frac: f64,
+    /// Issues taken while higher-deficit campaigns had nothing to give.
+    borrows: u64,
+    /// The isolation invariant: this campaign's merged artifact is
+    /// byte-identical to a solo run of the same recipe.
+    matches_solo_baseline: bool,
 }
 
 /// One sharded campaign in the `shard_campaigns` column.
@@ -395,6 +430,45 @@ fn run_campaign_with(
         scrape_ms,
         connections,
     }
+}
+
+/// The multi-campaign run: one server hosting `defs` (a 70/30 pair in
+/// practice), a reliable threaded fleet volunteering for every
+/// campaign over protocol v4. The returned report's `campaigns` rows
+/// carry per-campaign delivery and artifacts; its `share_error` is the
+/// fair-share error sampled while every campaign still had fresh work.
+fn run_multi_campaign(
+    defs: Vec<CampaignDef>,
+    deadline_seconds: f64,
+    agents: usize,
+    seed: u64,
+) -> NetRunReport {
+    let config = NetServerConfig {
+        campaigns: defs,
+        sweep_ms: 25,
+        ..NetServerConfig::loopback(deadline_seconds)
+    };
+    let server = NetServer::bind(config).expect("bind loopback");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let server = thread::spawn(move || server.run());
+    let fleet: Vec<_> = (1..=agents as u64)
+        .map(|agent| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                run_agent(AgentConfig {
+                    profile: FaultProfile::reliable(),
+                    seed,
+                    codec: Codec::BinaryV4,
+                    campaigns: vec!["*".into()],
+                    ..AgentConfig::new(addr, agent)
+                })
+            })
+        })
+        .collect();
+    for h in fleet {
+        h.join().unwrap().expect("multi-campaign agent ran");
+    }
+    server.join().unwrap().expect("multi-campaign server ran")
 }
 
 /// Everything one sharded campaign yields, across all its shards.
@@ -704,6 +778,34 @@ fn main() {
     let trust_off = trust_run(false);
     let trust_on = trust_run(true);
 
+    // The multi-campaign block: one server hosting a 70/30 pair of
+    // campaigns (same recipe, different library seeds), every agent
+    // volunteering for both. Priorities differ so exact deficit ties
+    // exercise the tie-break.
+    let campaign_defs = vec![
+        CampaignDef {
+            name: "alpha".into(),
+            params: campaign_params,
+            share: 0.7,
+            priority: 1,
+        },
+        CampaignDef {
+            name: "beta".into(),
+            params: CampaignParams {
+                lib_seed: seed + 1,
+                ..campaign_params
+            },
+            share: 0.3,
+            priority: 0,
+        },
+    ];
+    let multi = run_multi_campaign(
+        campaign_defs.clone(),
+        deadline_seconds,
+        honest_agents.min(8),
+        seed,
+    );
+
     // The sharded block: the same campaign hash-split across N servers,
     // the mux fleet round-robined across every shard, scored against a
     // like-for-like single-server run. 2-shard (plain and trust-on) and
@@ -775,6 +877,36 @@ fn main() {
         serde_json::to_string(&run.outputs).expect("outputs serialize") == baseline_json
     };
     let merged_matches_baseline = matches_baseline(&plain.run);
+    let total_delivered: f64 = multi
+        .campaigns
+        .iter()
+        .map(|c| c.delivered_ref_seconds)
+        .sum();
+    let campaign_rows: Vec<CampaignBenchRow> = multi
+        .campaigns
+        .iter()
+        .map(|c| {
+            let def = campaign_defs
+                .iter()
+                .find(|d| d.name == c.name)
+                .expect("configured campaign");
+            let solo_json =
+                serde_json::to_string(&NetCampaign::build(def.params).baseline_outputs())
+                    .expect("solo baseline serializes");
+            let artifact_json =
+                serde_json::to_string(&c.outputs).expect("campaign outputs serialize");
+            CampaignBenchRow {
+                name: c.name.clone(),
+                share: c.share,
+                priority: c.priority,
+                workunits: c.workunits,
+                delivered_ref_seconds: c.delivered_ref_seconds,
+                delivered_frac: c.delivered_ref_seconds / total_delivered.max(1e-9),
+                borrows: c.borrows,
+                matches_solo_baseline: artifact_json == solo_json,
+            }
+        })
+        .collect();
     let journal_merged_matches_baseline = journaled.as_ref().map(|o| matches_baseline(&o.run));
     let ops_merged_matches_baseline = ops_enabled.as_ref().map(|o| matches_baseline(&o.run));
     let scale_merged_matches_baseline = scale.as_ref().map(|o| matches_baseline(&o.run));
@@ -861,6 +993,8 @@ fn main() {
         trust_on_merged_matches_baseline: matches_baseline(&trust_on.run),
         shard_single_workunits_per_sec: sharded.as_ref().map(|(wps, _)| *wps),
         shard_campaigns: sharded.map(|(_, rows)| rows),
+        campaign_share_error: multi.share_error,
+        campaign_rows,
     };
     println!(
         "{} workunits in {:.2} s over loopback ({:.1} wu/s, {} agents [{}] + victim + saboteur, {} codec)",
@@ -946,6 +1080,22 @@ fn main() {
             );
         }
     }
+    for row in &report.campaign_rows {
+        println!(
+            "campaign {}: share {:.0}% -> delivered {:.1}% ({:.0} ref-s, {} workunits, {} borrows), artifact matches solo: {}",
+            row.name,
+            row.share * 100.0,
+            row.delivered_frac * 100.0,
+            row.delivered_ref_seconds,
+            row.workunits,
+            row.borrows,
+            row.matches_solo_baseline,
+        );
+    }
+    println!(
+        "multi-campaign fair-share error {:.3} (sampled while contended)",
+        report.campaign_share_error
+    );
     println!(
         "merged output matches in-process baseline: plain {}, journaled {:?}, ops {:?}, scale {:?}, trust off/on {}/{}",
         report.merged_matches_baseline,
@@ -964,7 +1114,8 @@ fn main() {
         && report
             .shard_campaigns
             .as_ref()
-            .is_none_or(|rows| rows.iter().all(|r| r.merged_matches_single));
+            .is_none_or(|rows| rows.iter().all(|r| r.merged_matches_single))
+        && report.campaign_rows.iter().all(|r| r.matches_solo_baseline);
     if !ok {
         eprintln!("netgrid_e2e: ERROR: merged output diverged from the baseline");
     }

@@ -67,7 +67,7 @@ pub use fluid::{FluidModel, FluidTrace};
 pub use host::{AccountingMode, Host, HostId, HostParams, WorkunitExecution};
 pub use membership::{MembershipModel, SeasonalityModel};
 pub use project::{ProjectPhases, SharePhase};
-pub use sched::{ReceptorProgress, SchedulerCore, WuStateCounts};
+pub use sched::{CampaignShare, FairShare, ReceptorProgress, SchedulerCore, WuStateCounts};
 pub use server::{FeederConfig, ServerConfig, ServerStats, TaskServer, ValidationPolicy};
 pub use trace::CampaignTrace;
 pub use volunteer::{SimEvent, VolunteerGridConfig, VolunteerGridSim};

@@ -1149,6 +1149,257 @@ pub struct ReceptorProgress {
     pub completed: u32,
 }
 
+/// One campaign's slice of a shared grid: a resource share (any
+/// positive weight; [`FairShare::new`] normalizes the vector) plus a
+/// priority used only to break deficit ties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CampaignShare {
+    /// Relative resource weight (normalized against the other
+    /// campaigns' weights).
+    pub share: f64,
+    /// Tie-break rank when deficits are equal; higher wins.
+    pub priority: u32,
+}
+
+/// Deficit-weighted round-robin over delivered reference-seconds —
+/// BOINC-style project autonomy for a multi-campaign server.
+///
+/// Each campaign `i` accrues `delivered[i]` reference-seconds as its
+/// workunits validate. Its *deficit* is what fair division owes it:
+/// `share[i] · Σ delivered − delivered[i]`. Every work request goes to
+/// the eligible campaign with the largest deficit (priority, then lowest
+/// index, break ties), so the delivered split converges on the
+/// configured shares without any quantum bookkeeping.
+///
+/// Borrow/repay falls out of the same arithmetic: a campaign that is
+/// work-starved (nothing to issue — ineligible) lets the others borrow
+/// its turn, its deficit keeps growing, and once it has work again it
+/// wins every pick until the debt is repaid. [`FairShare::borrows`]
+/// counts how often a campaign was served out of fair order so the
+/// effect is observable.
+///
+/// Deliveries are derived state — each campaign core already knows its
+/// [`SchedulerCore::completed_ref_seconds`] — so recovery re-seeds the
+/// arbiter from the cores instead of journaling it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FairShare {
+    shares: Vec<CampaignShare>,
+    delivered: Vec<f64>,
+    borrows: Vec<u64>,
+}
+
+impl FairShare {
+    /// Builds an arbiter over `shares`, normalizing the weights. Zero or
+    /// negative weights are floored to a minimal positive slice so a
+    /// misconfigured campaign still drains eventually.
+    pub fn new(mut shares: Vec<CampaignShare>) -> Self {
+        assert!(!shares.is_empty(), "FairShare needs at least one campaign");
+        for s in &mut shares {
+            if s.share.is_nan() || s.share <= 0.0 {
+                s.share = f64::MIN_POSITIVE;
+            }
+        }
+        let total: f64 = shares.iter().map(|s| s.share).sum();
+        for s in &mut shares {
+            s.share /= total;
+        }
+        let n = shares.len();
+        Self {
+            shares,
+            delivered: vec![0.0; n],
+            borrows: vec![0; n],
+        }
+    }
+
+    /// Number of campaigns under arbitration.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// True when no campaign is registered (never, post-`new`).
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// Campaign `i`'s normalized share.
+    pub fn share(&self, i: usize) -> f64 {
+        self.shares[i].share
+    }
+
+    /// Campaign `i`'s tie-break priority.
+    pub fn priority(&self, i: usize) -> u32 {
+        self.shares[i].priority
+    }
+
+    /// Reference-seconds delivered to campaign `i` so far.
+    pub fn delivered(&self, i: usize) -> f64 {
+        self.delivered[i]
+    }
+
+    /// Reference-seconds delivered across all campaigns.
+    pub fn total_delivered(&self) -> f64 {
+        self.delivered.iter().sum()
+    }
+
+    /// Times campaign `i` was served while another campaign held a
+    /// larger deficit but had no work (idle capacity borrowed).
+    pub fn borrows(&self, i: usize) -> u64 {
+        self.borrows[i]
+    }
+
+    /// Re-seeds campaign `i`'s delivery tally (recovery: the campaign
+    /// core's `completed_ref_seconds()` is the durable source of truth).
+    pub fn set_delivered(&mut self, i: usize, ref_seconds: f64) {
+        self.delivered[i] = ref_seconds;
+    }
+
+    /// Credits `ref_seconds` of validated work to campaign `i`.
+    pub fn credit(&mut self, i: usize, ref_seconds: f64) {
+        self.delivered[i] += ref_seconds;
+    }
+
+    /// What fair division currently owes campaign `i` (negative when it
+    /// has been over-served, e.g. while a sibling was starved).
+    pub fn deficit(&self, i: usize) -> f64 {
+        self.shares[i].share * self.total_delivered() - self.delivered[i]
+    }
+
+    /// Orders `(deficit, priority, index)` — larger deficit first,
+    /// higher priority first, lower index first.
+    fn better(&self, a: usize, b: usize) -> bool {
+        let (da, db) = (self.deficit(a), self.deficit(b));
+        if da != db {
+            return da > db;
+        }
+        if self.shares[a].priority != self.shares[b].priority {
+            return self.shares[a].priority > self.shares[b].priority;
+        }
+        a < b
+    }
+
+    /// Picks the campaign the next work request should draw from, given
+    /// which campaigns currently have work (`eligible[i]`). Returns
+    /// `None` when nobody does. When the pick out-ranks a starved
+    /// campaign with a larger deficit, the borrow is counted.
+    pub fn pick(&mut self, eligible: &[bool]) -> Option<usize> {
+        assert_eq!(eligible.len(), self.shares.len());
+        let mut best: Option<usize> = None;
+        let mut best_any: Option<usize> = None;
+        for (i, &has_work) in eligible.iter().enumerate() {
+            if best_any.is_none_or(|b| self.better(i, b)) {
+                best_any = Some(i);
+            }
+            if has_work && best.is_none_or(|b| self.better(i, b)) {
+                best = Some(i);
+            }
+        }
+        let chosen = best?;
+        if best_any != Some(chosen) {
+            self.borrows[chosen] += 1;
+        }
+        Some(chosen)
+    }
+
+    /// Largest deviation between any campaign's delivered fraction and
+    /// its configured share — the ±5% convergence figure the bench and
+    /// the scripted-history test report. Zero until anything delivers.
+    pub fn share_error(&self) -> f64 {
+        let total = self.total_delivered();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        self.shares
+            .iter()
+            .zip(&self.delivered)
+            .map(|(s, d)| (d / total - s.share).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod fair_share_tests {
+    use super::*;
+
+    fn two(share_a: f64, share_b: f64) -> FairShare {
+        FairShare::new(vec![
+            CampaignShare {
+                share: share_a,
+                priority: 0,
+            },
+            CampaignShare {
+                share: share_b,
+                priority: 0,
+            },
+        ])
+    }
+
+    #[test]
+    fn shares_normalize() {
+        let f = two(7.0, 3.0);
+        assert!((f.share(0) - 0.7).abs() < 1e-12);
+        assert!((f.share(1) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deficit_ordering_converges_to_the_configured_split() {
+        let mut f = two(0.7, 0.3);
+        // Serve 1000 unit-cost workunits strictly by pick order.
+        for _ in 0..1000 {
+            let i = f.pick(&[true, true]).unwrap();
+            f.credit(i, 1.0);
+        }
+        assert!(
+            f.share_error() < 0.01,
+            "share error {} after 1000 unit picks",
+            f.share_error()
+        );
+    }
+
+    #[test]
+    fn priority_breaks_exact_ties() {
+        let mut f = FairShare::new(vec![
+            CampaignShare {
+                share: 0.5,
+                priority: 1,
+            },
+            CampaignShare {
+                share: 0.5,
+                priority: 7,
+            },
+        ]);
+        // Identical shares, nothing delivered: deficits tie at zero and
+        // the higher-priority campaign must win the first pick.
+        assert_eq!(f.pick(&[true, true]), Some(1));
+    }
+
+    #[test]
+    fn starved_campaign_lends_and_is_repaid() {
+        let mut f = two(0.7, 0.3);
+        // Campaign 0 has no work for a while: campaign 1 borrows.
+        for _ in 0..100 {
+            assert_eq!(f.pick(&[false, true]), Some(1));
+            f.credit(1, 1.0);
+        }
+        assert_eq!(f.borrows(1), 100, "every starved pick is a borrow");
+        assert!(f.deficit(0) > 0.0, "the lender's deficit accrues");
+        // Work returns: campaign 0 wins every pick until repaid.
+        let mut zero_run = 0u32;
+        while f.deficit(0) > f.deficit(1) {
+            assert_eq!(f.pick(&[true, true]), Some(0));
+            f.credit(0, 1.0);
+            zero_run += 1;
+        }
+        assert!(zero_run > 50, "repayment run was only {zero_run} picks");
+        assert!(f.share_error() < 0.05);
+    }
+
+    #[test]
+    fn pick_none_when_nobody_has_work() {
+        let mut f = two(0.5, 0.5);
+        assert_eq!(f.pick(&[false, false]), None);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -42,10 +42,14 @@ pub struct AgentConfig {
     /// Give up after this many consecutive failed connection attempts.
     pub max_connect_attempts: u32,
     /// Wire codec for outgoing frames. On a failed handshake the agent
-    /// steps down one protocol level per session (v3 → v2 → JSON, which
-    /// every server release understands), so the v3 default is safe
-    /// against older servers that close on an unknown version byte.
+    /// steps down one protocol level per session (v4 → v3 → v2 → JSON,
+    /// which every server release understands), so the v4 default is
+    /// safe against older servers that close on an unknown version byte.
     pub codec: Codec,
+    /// Campaign attachments announced in the v4 handshake: names of the
+    /// hosted campaigns this volunteer works for. Empty means the
+    /// default campaign; the single entry `"*"` attaches to all.
+    pub campaigns: Vec<String>,
 }
 
 impl AgentConfig {
@@ -59,7 +63,8 @@ impl AgentConfig {
             seed: 0,
             die_after: None,
             max_connect_attempts: 50,
-            codec: Codec::BinaryV3,
+            codec: Codec::BinaryV4,
+            campaigns: Vec::new(),
         }
     }
 }
@@ -91,7 +96,10 @@ pub struct AgentReport {
 pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
     let mut report = AgentReport::default();
     let mut dice = FaultDice::new(config.seed, config.agent, config.profile);
-    let mut campaign: Option<NetCampaign> = None;
+    // Campaigns the agent is attached to, indexed by the wire campaign
+    // id from `Assignment::campaign`. A single-campaign (or pre-v4)
+    // server has exactly one entry, index 0.
+    let mut roster: Vec<NetCampaign> = Vec::new();
     let mut connect_failures = 0u32;
     let mut codec = config.codec;
     // Where the next session dials. A sharded server may answer a
@@ -141,6 +149,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
             &Message::Hello {
                 agent: config.agent,
                 threads: config.threads as u32,
+                campaigns: config.campaigns.clone(),
             },
             codec,
         )?;
@@ -148,10 +157,18 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
             Ok(Some(Message::HelloAck {
                 campaign: params,
                 deadline_seconds,
+                campaigns,
                 ..
             })) => {
-                if campaign.is_none() {
-                    campaign = Some(NetCampaign::build(params));
+                if roster.is_empty() {
+                    roster = if campaigns.is_empty() {
+                        vec![NetCampaign::build(params)]
+                    } else {
+                        campaigns
+                            .iter()
+                            .map(|(_, p)| NetCampaign::build(*p))
+                            .collect()
+                    };
                 }
                 deadline_seconds
             }
@@ -160,11 +177,22 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 continue 'session;
             }
             Ok(_) | Err(_) => {
+                // A redirect target that hangs up mid-handshake is not
+                // an older server — it is a peer that finished its
+                // drain and closed between gossip ticks. Fall home on
+                // the same codec; stepping down here would wrongly
+                // downgrade the whole session against the home shard.
+                if addr != config.addr {
+                    addr = config.addr.clone();
+                    bounced = false;
+                    continue 'session;
+                }
                 // An older server drops the connection on a version
                 // byte it does not know: step down one protocol level
-                // per failed session (v3 → v2 → JSON, which every
+                // per failed session (v4 → v3 → v2 → JSON, which every
                 // server release understands).
                 codec = match codec {
+                    Codec::BinaryV4 => Codec::BinaryV3,
                     Codec::BinaryV3 => Codec::Binary,
                     Codec::Binary => Codec::Json,
                     Codec::Json => Codec::Json,
@@ -173,8 +201,6 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                 continue 'session;
             }
         };
-        let campaign = campaign.as_ref().expect("set on first HelloAck");
-
         loop {
             let asked = Instant::now();
             if write_message_with(&mut stream, &Message::RequestWork, codec).is_err() {
@@ -197,6 +223,15 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                         report.saw_completion = true;
                         let _ = write_message_with(&mut stream, &Message::Bye, codec);
                         return Ok(report);
+                    }
+                    // A drained redirect target with the campaign still
+                    // open is the home shard's problem, not this peer's:
+                    // fall home rather than camping on the peer — home
+                    // tracks global completion and can re-steer.
+                    if addr != config.addr {
+                        let _ = write_message_with(&mut stream, &Message::Bye, codec);
+                        addr = config.addr.clone();
+                        continue 'session;
                     }
                     std::thread::sleep(Duration::from_millis(retry_after_ms.min(2_000)));
                 }
@@ -226,8 +261,16 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                     isep_start,
                     positions,
                     deadline_seconds: wu_deadline,
+                    campaign: campaign_idx,
                     ..
                 } => {
+                    // The roster entry this assignment docks against —
+                    // index 0 unless a v4 multi-campaign server said
+                    // otherwise. An index the handshake never announced
+                    // is a server bug; drop the session.
+                    let Some(campaign) = roster.get(usize::from(campaign_idx)) else {
+                        continue 'session;
+                    };
                     bounced = false;
                     report.assignments += 1;
                     if config
@@ -265,6 +308,7 @@ pub fn run_agent(config: AgentConfig) -> io::Result<AgentReport> {
                         &Message::ResultReport {
                             replica,
                             workunit,
+                            campaign: campaign_idx,
                             output,
                         },
                         codec,
@@ -353,6 +397,7 @@ mod tests {
                         protocol: PROTOCOL_VERSION,
                         campaign: CampaignParams::tiny(),
                         deadline_seconds: 5.0,
+                        campaigns: Vec::new(),
                     },
                     Ok(Some(Message::RequestWork)) => {
                         let spec = campaign.spec(0);
@@ -364,6 +409,7 @@ mod tests {
                             isep_start: spec.isep_start,
                             positions: spec.positions,
                             deadline_seconds: 5.0,
+                            campaign: 0,
                         }
                     }
                     _ => return, // agent dropped the connection
@@ -417,6 +463,7 @@ mod tests {
                         protocol: PROTOCOL_VERSION,
                         campaign: CampaignParams::tiny(),
                         deadline_seconds: 5.0,
+                        campaigns: Vec::new(),
                     },
                     Ok(Some(Message::RequestWork)) => {
                         a_count.fetch_add(1, Ordering::SeqCst);
@@ -443,6 +490,7 @@ mod tests {
                         protocol: PROTOCOL_VERSION,
                         campaign: CampaignParams::tiny(),
                         deadline_seconds: 5.0,
+                        campaigns: Vec::new(),
                     },
                     Ok(Some(Message::RequestWork)) => {
                         asks += 1;
@@ -478,6 +526,194 @@ mod tests {
         );
         shard_a.join().unwrap();
         shard_b.join().unwrap();
+    }
+
+    /// A redirect target that completed and shut down between gossip
+    /// ticks hangs up on the agent's Hello. The agent must fall home
+    /// and terminate there — on its original codec, not stepped down —
+    /// rather than re-asking the dead peer.
+    #[test]
+    fn dead_redirect_target_falls_home_without_codec_downgrade() {
+        use crate::protocol::HEADER_BYTES;
+        use std::io::Read;
+
+        let home = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let home_addr = home.local_addr().unwrap().to_string();
+        let peer_addr = peer.local_addr().unwrap().to_string();
+
+        let peer_thread = std::thread::spawn(move || {
+            // The "completed and draining" peer: accept, read the
+            // Hello, hang up without a reply.
+            let (mut s, _) = peer.accept().unwrap();
+            drop(peer);
+            let _ = read_message(&mut s);
+        });
+
+        let home_thread = std::thread::spawn(move || {
+            // Session 1: hand out a redirect to the doomed peer.
+            {
+                let (mut s, _) = home.accept().unwrap();
+                loop {
+                    let reply = match read_message(&mut s) {
+                        Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                            protocol: PROTOCOL_VERSION,
+                            campaign: CampaignParams::tiny(),
+                            deadline_seconds: 5.0,
+                            campaigns: Vec::new(),
+                        },
+                        Ok(Some(Message::RequestWork)) => Message::Redirect {
+                            shard: 1,
+                            addr: peer_addr.clone(),
+                        },
+                        _ => break, // Bye / disconnect
+                    };
+                    if write_message(&mut s, &reply).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Session 2: the agent is back. Read its Hello frame raw so
+            // the version byte proves the codec was not stepped down by
+            // the peer's hang-up.
+            let (mut s, _) = home.accept().unwrap();
+            let mut hdr = [0u8; HEADER_BYTES];
+            s.read_exact(&mut hdr).unwrap();
+            let len = u32::from_le_bytes(hdr[5..9].try_into().unwrap()) as usize;
+            let mut payload = vec![0u8; len];
+            s.read_exact(&mut payload).unwrap();
+            assert_eq!(
+                hdr[4], PROTOCOL_VERSION,
+                "falling home from a dead peer must not downgrade the codec"
+            );
+            write_message(
+                &mut s,
+                &Message::HelloAck {
+                    protocol: PROTOCOL_VERSION,
+                    campaign: CampaignParams::tiny(),
+                    deadline_seconds: 5.0,
+                    campaigns: Vec::new(),
+                },
+            )
+            .unwrap();
+            assert!(matches!(
+                read_message(&mut s),
+                Ok(Some(Message::RequestWork))
+            ));
+            write_message(
+                &mut s,
+                &Message::NoWork {
+                    campaign_complete: true,
+                    retry_after_ms: 0,
+                },
+            )
+            .unwrap();
+            let _ = read_message(&mut s); // Bye
+        });
+
+        let report = run_agent(AgentConfig::new(home_addr, 11)).unwrap();
+        assert!(report.saw_completion, "{report:?}");
+        assert_eq!(report.redirects_followed, 1);
+        home_thread.join().unwrap();
+        peer_thread.join().unwrap();
+    }
+
+    /// A redirect target that is merely *drained* (NoWork, campaign
+    /// still open) must not hold the agent either: one NoWork from the
+    /// peer sends the agent home, where it learns the campaign is done.
+    #[test]
+    fn drained_redirect_target_sends_the_agent_home() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+
+        let home = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let peer = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let home_addr = home.local_addr().unwrap().to_string();
+        let peer_addr = peer.local_addr().unwrap().to_string();
+
+        let peer_asks = Arc::new(AtomicU64::new(0));
+        let peer_count = peer_asks.clone();
+        let peer_thread = std::thread::spawn(move || {
+            let (mut s, _) = peer.accept().unwrap();
+            drop(peer);
+            loop {
+                let reply = match read_message(&mut s) {
+                    Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        campaign: CampaignParams::tiny(),
+                        deadline_seconds: 5.0,
+                        campaigns: Vec::new(),
+                    },
+                    Ok(Some(Message::RequestWork)) => {
+                        peer_count.fetch_add(1, Ordering::SeqCst);
+                        Message::NoWork {
+                            campaign_complete: false,
+                            retry_after_ms: 5,
+                        }
+                    }
+                    _ => return, // Bye: the agent went home
+                };
+                if write_message(&mut s, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let home_thread = std::thread::spawn(move || {
+            // Session 1: redirect to the drained peer.
+            {
+                let (mut s, _) = home.accept().unwrap();
+                loop {
+                    let reply = match read_message(&mut s) {
+                        Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                            protocol: PROTOCOL_VERSION,
+                            campaign: CampaignParams::tiny(),
+                            deadline_seconds: 5.0,
+                            campaigns: Vec::new(),
+                        },
+                        Ok(Some(Message::RequestWork)) => Message::Redirect {
+                            shard: 1,
+                            addr: peer_addr.clone(),
+                        },
+                        _ => break,
+                    };
+                    if write_message(&mut s, &reply).is_err() {
+                        break;
+                    }
+                }
+            }
+            // Session 2: home finishes the agent off.
+            let (mut s, _) = home.accept().unwrap();
+            loop {
+                let reply = match read_message(&mut s) {
+                    Ok(Some(Message::Hello { .. })) => Message::HelloAck {
+                        protocol: PROTOCOL_VERSION,
+                        campaign: CampaignParams::tiny(),
+                        deadline_seconds: 5.0,
+                        campaigns: Vec::new(),
+                    },
+                    Ok(Some(Message::RequestWork)) => Message::NoWork {
+                        campaign_complete: true,
+                        retry_after_ms: 0,
+                    },
+                    _ => return,
+                };
+                if write_message(&mut s, &reply).is_err() {
+                    return;
+                }
+            }
+        });
+
+        let report = run_agent(AgentConfig::new(home_addr, 12)).unwrap();
+        assert!(report.saw_completion, "{report:?}");
+        assert_eq!(report.redirects_followed, 1);
+        assert_eq!(
+            peer_asks.load(Ordering::SeqCst),
+            1,
+            "the agent must ask the drained peer exactly once, then go home"
+        );
+        home_thread.join().unwrap();
+        peer_thread.join().unwrap();
     }
 
     #[test]

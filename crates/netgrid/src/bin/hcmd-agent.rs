@@ -3,7 +3,7 @@
 //! ```text
 //! hcmd-agent [--addr 127.0.0.1:7070] [--agent 1] [--threads 4]
 //!            [--fault-profile none|flaky|reliable|saboteur] [--seed 0]
-//!            [--codec v3|binary|json]
+//!            [--codec v4|v3|binary|json] [--campaigns NAME,...|*]
 //! ```
 //!
 //! Connects to an `hcmd-server`, learns the campaign from `HelloAck`,
@@ -11,11 +11,17 @@
 //! `--fault-profile flaky` the agent misbehaves on purpose —
 //! disconnects mid-workunit, stalls past deadlines, flips result bits —
 //! to exercise the server's reissue and quorum machinery. `--codec`
-//! picks the wire codec: `v3` (protocol v3, the default: binary frames
-//! plus shard steering — a sharded server may redirect this agent to a
-//! loaded peer), `binary` (protocol v2) or `json` (protocol v1). The
-//! agent steps down one protocol level per failed handshake on its own,
-//! so the default works against every server release.
+//! picks the wire codec: `v4` (protocol v4, the default: binary frames,
+//! shard steering and campaign attachment), `v3` (shard steering only),
+//! `binary` (protocol v2) or `json` (protocol v1). The agent steps down
+//! one protocol level per failed handshake on its own, so the default
+//! works against every server release.
+//!
+//! Against a multi-campaign server, `--campaigns a,b` volunteers only
+//! for the named campaigns and `--campaigns '*'` for all of them;
+//! without the flag the agent lands on the server's default (first)
+//! campaign. Attachment needs the v4 codec — the flag is ignored on
+//! the older wires.
 
 use netgrid::{run_agent, AgentConfig, Codec, FaultProfile};
 
@@ -23,7 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: hcmd-agent [--addr HOST:PORT] [--agent N] [--threads N] \
          [--fault-profile none|flaky|reliable|saboteur] [--seed N] \
-         [--codec v3|binary|json]"
+         [--codec v4|v3|binary|json] [--campaigns NAME,...|*]"
     );
     std::process::exit(2);
 }
@@ -55,6 +61,14 @@ fn main() {
                     eprintln!("hcmd-agent: {e}");
                     usage()
                 })
+            }
+            "--campaigns" => {
+                config.campaigns = take(&args, &mut i)
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect()
             }
             "--help" | "-h" => usage(),
             _ => usage(),

@@ -44,8 +44,20 @@
 //! artifact; combine the N partials with `netgrid::merge_artifacts`
 //! (the e2e bench's `--shards` mode does this and byte-compares the
 //! result against a single-server run).
+//!
+//! With repeated `--campaign NAME:SHARE:PRIORITY[:k=v,...]` flags the
+//! server hosts several isolated campaigns at once, arbitrated by the
+//! deficit-weighted fair-share scheduler (see DESIGN.md §6
+//! "Multi-campaign fair-share"). Knobs: `proteins`, `seed`, `hours`,
+//! `spacing`, `iters` — unset knobs inherit the top-level flags. With
+//! multiple campaigns, `--out base.json` writes one artifact per
+//! campaign as `base.NAME.json`, each byte-identical to the artifact a
+//! solo server running only that campaign would write. `--journal DIR`
+//! keeps one journal per campaign under `DIR/NAME/`.
 
-use netgrid::{FsyncPolicy, JournalConfig, NetServer, NetServerConfig, ShardSpec, ShardTopology};
+use netgrid::{
+    CampaignDef, FsyncPolicy, JournalConfig, NetServer, NetServerConfig, ShardSpec, ShardTopology,
+};
 
 fn usage() -> ! {
     eprintln!(
@@ -54,7 +66,8 @@ fn usage() -> ! {
          [--journal DIR] [--fsync always|never|every=N] [--snapshot-every N] \
          [--out PATH] [--ops-addr HOST:PORT] [--trust on|off] \
          [--trust-spot-rate F] [--trust-spot-seed N] [--trust-min-samples N] \
-         [--trust-state-out PATH] [--shard-id N --shards N --peers ADDR,...]"
+         [--trust-state-out PATH] [--shard-id N --shards N --peers ADDR,...] \
+         [--campaign NAME:SHARE:PRIORITY[:k=v,...]]..."
     );
     std::process::exit(2);
 }
@@ -62,6 +75,17 @@ fn usage() -> ! {
 fn take(args: &[String], i: &mut usize) -> String {
     *i += 1;
     args.get(*i).cloned().unwrap_or_else(|| usage())
+}
+
+/// `base.json` + campaign `pilot` → `base.pilot.json`; extensionless
+/// paths just append (`artifact` → `artifact.pilot`).
+fn campaign_out_path(base: &str, name: &str) -> String {
+    match base.rfind('.') {
+        Some(dot) if !base[dot + 1..].contains('/') => {
+            format!("{}.{}{}", &base[..dot], name, &base[dot..])
+        }
+        _ => format!("{base}.{name}"),
+    }
 }
 
 fn main() {
@@ -75,6 +99,7 @@ fn main() {
     let mut shard_id: Option<u16> = None;
     let mut shards: Option<u16> = None;
     let mut peers: Vec<String> = Vec::new();
+    let mut campaign_specs: Vec<String> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -136,6 +161,7 @@ fn main() {
             }
             "--shards" => shards = Some(take(&args, &mut i).parse().unwrap_or_else(|_| usage())),
             "--peers" => peers = take(&args, &mut i).split(',').map(str::to_string).collect(),
+            "--campaign" => campaign_specs.push(take(&args, &mut i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -144,6 +170,17 @@ fn main() {
     if let Some(journal) = &mut config.journal {
         journal.fsync = fsync;
         journal.snapshot_every = snapshot_every;
+    }
+    // Campaign specs resolve against the top-level recipe flags, so
+    // they are parsed only after the whole command line is read.
+    for spec in &campaign_specs {
+        match CampaignDef::parse(spec, config.campaign) {
+            Ok(def) => config.campaigns.push(def),
+            Err(e) => {
+                eprintln!("hcmd-server: bad --campaign {spec}: {e}");
+                usage()
+            }
+        }
     }
     match (shard_id, shards, peers.is_empty()) {
         (None, None, true) => {}
@@ -182,6 +219,9 @@ fn main() {
     }
     if let (Some(id), Some(n)) = (shard_id, shards) {
         println!("hcmd-server: shard {id} of {n}");
+    }
+    for spec in &campaign_specs {
+        println!("hcmd-server: hosting campaign {spec}");
     }
     if let Some(addr) = server.ops_addr() {
         println!("hcmd-server: ops endpoint on http://{addr}/ (metrics at /metrics)");
@@ -223,6 +263,34 @@ fn main() {
                     report.net_stats.shard_wus_leased_in
                 );
             }
+            if report.campaigns.len() > 1 {
+                let total: f64 = report
+                    .campaigns
+                    .iter()
+                    .map(|c| c.delivered_ref_seconds)
+                    .sum();
+                for c in &report.campaigns {
+                    let got = if total > 0.0 {
+                        c.delivered_ref_seconds / total
+                    } else {
+                        0.0
+                    };
+                    println!(
+                        "campaign {}: {} workunits, share {:.0}% -> delivered {:.1}% \
+                         ({:.0} ref-s, {} borrows)",
+                        c.name,
+                        c.workunits,
+                        100.0 * c.share,
+                        100.0 * got,
+                        c.delivered_ref_seconds,
+                        c.borrows
+                    );
+                }
+                println!(
+                    "fair-share error {:.3}, {} cross-campaign quarantine denials",
+                    report.share_error, report.cross_quarantine_denials
+                );
+            }
             if let Some(t) = &report.trust {
                 println!(
                     "trust: {} trusted, {} probation, {} untrusted, {} quarantined \
@@ -255,18 +323,39 @@ fn main() {
                 // artifact is the Option-per-slot partial, which
                 // `netgrid::merge_artifact_json` combines with the
                 // other shards' into the single-server byte stream.
-                let json = if report.shard.shards > 1 {
-                    serde_json::to_string(&report.partial_outputs)
-                        .expect("DockingOutput serializes")
+                // A multi-campaign server writes one artifact per
+                // campaign as `<stem>.<name><ext>`, each byte-identical
+                // to a solo run of that campaign.
+                if report.campaigns.len() > 1 {
+                    for c in &report.campaigns {
+                        let per = campaign_out_path(path, &c.name);
+                        let json = if report.shard.shards > 1 {
+                            serde_json::to_string(&c.partial_outputs)
+                                .expect("DockingOutput serializes")
+                        } else {
+                            serde_json::to_string(&c.outputs).expect("DockingOutput serializes")
+                        };
+                        if let Err(e) = std::fs::write(&per, json) {
+                            eprintln!("hcmd-server: cannot write artifact {per}: {e}");
+                            telemetry::shutdown();
+                            std::process::exit(1);
+                        }
+                        println!("artifact for campaign {} written to {per}", c.name);
+                    }
                 } else {
-                    serde_json::to_string(&report.outputs).expect("DockingOutput serializes")
-                };
-                if let Err(e) = std::fs::write(path, json) {
-                    eprintln!("hcmd-server: cannot write artifact {path}: {e}");
-                    telemetry::shutdown();
-                    std::process::exit(1);
+                    let json = if report.shard.shards > 1 {
+                        serde_json::to_string(&report.partial_outputs)
+                            .expect("DockingOutput serializes")
+                    } else {
+                        serde_json::to_string(&report.outputs).expect("DockingOutput serializes")
+                    };
+                    if let Err(e) = std::fs::write(path, json) {
+                        eprintln!("hcmd-server: cannot write artifact {path}: {e}");
+                        telemetry::shutdown();
+                        std::process::exit(1);
+                    }
+                    println!("artifact written to {path}");
                 }
-                println!("artifact written to {path}");
             }
             telemetry::shutdown();
         }

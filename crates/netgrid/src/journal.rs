@@ -353,6 +353,13 @@ impl Journal {
         self.appends_since_snapshot
     }
 
+    /// Appends since the last fsync: the phase of the `every=N` batch
+    /// counter. [`open_journaled`] restores it from the replayed wal
+    /// tail so restart does not silently reset the durability window.
+    pub fn fsync_phase(&self) -> u64 {
+        self.appends_since_sync
+    }
+
     /// Writes a compacting snapshot and resets the wal. Atomic against
     /// crashes at every point: see the epoch handshake in the module
     /// docs.
@@ -643,7 +650,15 @@ pub fn open_journaled(
         shard,
         fsync: cfg.fsync,
         snapshot_every: cfg.snapshot_every,
-        appends_since_sync: 0,
+        // The fsync phase survives the restart: the replayed tail counts
+        // against the `every=N` batch exactly as it did live, so the
+        // next fsync lands on the same append boundary and a crash
+        // shortly after recovery never widens the durability window to
+        // up to 2N-1 unsynced appends.
+        appends_since_sync: match cfg.fsync {
+            FsyncPolicy::EveryN(n) => tail_len % n,
+            FsyncPolicy::Always | FsyncPolicy::Never => 0,
+        },
         appends_since_snapshot: tail_len,
         tele,
     };

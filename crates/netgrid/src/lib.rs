@@ -29,6 +29,9 @@
 //! * [`mux`] — a multiplexed fleet driver: one thread pushing thousands
 //!   of simulated agent connections through nonblocking sockets, for
 //!   scale benchmarking without a thread per agent;
+//! * [`registry`] — the multi-campaign registry: N isolated campaign
+//!   states under one server, arbitrated by a deficit-weighted
+//!   fair-share ledger over delivered reference-seconds;
 //! * [`shard`] — multi-server sharding: the deterministic shard map
 //!   splitting one catalog across N servers, work-stealing leases, and
 //!   the byte-identical cross-shard artifact merge;
@@ -53,6 +56,7 @@ pub mod journal;
 pub mod mux;
 pub mod ops;
 pub mod protocol;
+pub mod registry;
 pub mod server;
 pub mod shard;
 pub mod state;
@@ -66,10 +70,11 @@ pub use journal::{open_journaled, FsyncPolicy, Journal, JournalConfig, JournalRe
 pub use mux::{run_mux_fleet, MuxFleetConfig, MuxFleetReport};
 pub use ops::{http_get, OpsServer};
 pub use protocol::{CampaignParams, Codec, DecodeError, Message};
-pub use server::{NetRunReport, NetServer, NetServerConfig, ShardTopology};
+pub use registry::{CampaignDef, MultiGrid, Slot};
+pub use server::{CampaignRunReport, NetRunReport, NetServer, NetServerConfig, ShardTopology};
 pub use shard::{merge_artifact_json, merge_artifacts, shard_of, ShardSpec};
 pub use state::{
-    AgentLedger, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot, ResultDisposition,
-    ShardOps, TrustSummary, Verdict, WorkReply,
+    AgentLedger, CampaignOps, GridSnapshot, GridState, JournalOps, NetStats, OpsSnapshot,
+    ResultDisposition, ShardOps, TrustSummary, Verdict, WorkReply,
 };
 pub use trust::{AgentTrust, TrustBand, TrustConfig};

@@ -74,6 +74,9 @@ pub struct MuxFleetConfig {
     pub saboteurs: usize,
     /// Wire codec for every frame the fleet sends.
     pub codec: Codec,
+    /// Campaign attachments every fleet agent announces in its Hello
+    /// (v4 codec only). Empty = the default campaign; `["*"]` = all.
+    pub campaigns: Vec<String>,
     /// Peak simultaneously-open connections; agents beyond it queue for
     /// a connect slot. Remember the loopback bench owns both socket
     /// ends, so the process fd bill is twice this number.
@@ -104,6 +107,7 @@ impl MuxFleetConfig {
             profile: FaultProfile::none(),
             saboteurs: 0,
             codec: Codec::Binary,
+            campaigns: Vec::new(),
             max_open: 8_000,
             connect_batch: 64,
             max_inflight_asks: 16,
@@ -153,6 +157,7 @@ enum AState {
     /// workunit; the fault drawn on receipt is applied at delivery.
     AwaitCompute {
         replica: u64,
+        campaign: u16,
         workunit: u32,
         action: FaultAction,
     },
@@ -161,6 +166,7 @@ enum AState {
     Stalling {
         until: Instant,
         replica: u64,
+        campaign: u16,
         workunit: u32,
     },
     /// Report sent, awaiting `ResultAck`.
@@ -253,13 +259,17 @@ struct Driver {
     agents: Vec<MuxAgent>,
     /// fd → agent index, for routing readiness events.
     by_fd: HashMap<i32, usize>,
-    campaign: Option<Arc<NetCampaign>>,
+    /// Hosted campaigns the fleet is attached to, indexed by the wire
+    /// campaign id (one entry, index 0, on a single-campaign server).
+    roster: Vec<Arc<NetCampaign>>,
     deadline_seconds: f64,
-    cache: HashMap<u32, CacheEntry>,
+    /// Memoized docking results, keyed by campaign id + workunit — the
+    /// same workunit index names different work in different campaigns.
+    cache: HashMap<(u16, u32), CacheEntry>,
     /// Finished docking results from the compute pool.
-    compute_rx: mpsc::Receiver<(u32, DockingOutput)>,
+    compute_rx: mpsc::Receiver<((u16, u32), DockingOutput)>,
     /// Docking jobs for the persistent compute pool.
-    compute_job_tx: mpsc::Sender<(u32, u32, u32, Arc<NetCampaign>)>,
+    compute_job_tx: mpsc::Sender<(u16, u32, u32, u32, Arc<NetCampaign>)>,
     dial_tx: mpsc::Sender<(usize, String)>,
     dialed_rx: mpsc::Receiver<(usize, io::Result<TcpStream>)>,
     /// Dials handed to the pool and not yet back; counts against
@@ -296,7 +306,8 @@ impl Driver {
             })
             .collect();
         let (compute_tx, compute_rx) = mpsc::channel();
-        let (compute_job_tx, compute_jobs) = mpsc::channel::<(u32, u32, u32, Arc<NetCampaign>)>();
+        let (compute_job_tx, compute_jobs) =
+            mpsc::channel::<(u16, u32, u32, u32, Arc<NetCampaign>)>();
         let compute_jobs = Arc::new(Mutex::new(compute_jobs));
         for _ in 0..compute_workers() {
             let jobs = Arc::clone(&compute_jobs);
@@ -307,7 +318,7 @@ impl Driver {
                 // runs at the lowest scheduling priority.
                 crate::sys::deprioritize_current_thread();
                 loop {
-                    let Ok((workunit, isep_start, positions, campaign)) =
+                    let Ok((cidx, workunit, isep_start, positions, campaign)) =
                         jobs.lock().expect("compute queue").recv()
                     else {
                         return;
@@ -317,7 +328,7 @@ impl Driver {
                     let output = campaign.compute(spec);
                     // Fails only once the driver is gone; then the job
                     // queue is closed too and the next recv ends us.
-                    let _ = done.send((workunit, output));
+                    let _ = done.send(((cidx, workunit), output));
                 }
             });
         }
@@ -340,7 +351,7 @@ impl Driver {
             poller: Poller::new()?,
             agents,
             by_fd: HashMap::new(),
-            campaign: None,
+            roster: Vec::new(),
             deadline_seconds: 0.0,
             cache: HashMap::new(),
             compute_rx,
@@ -391,33 +402,34 @@ impl Driver {
     /// Applies finished docking computes: the workunit's waiters get
     /// their (possibly fault-shaped) reports queued.
     fn drain_compute_results(&mut self) {
-        while let Ok((workunit, output)) = self.compute_rx.try_recv() {
+        while let Ok((key, output)) = self.compute_rx.try_recv() {
             let output = Arc::new(output);
             let waiters = match self
                 .cache
-                .insert(workunit, CacheEntry::Ready(Arc::clone(&output)))
+                .insert(key, CacheEntry::Ready(Arc::clone(&output)))
             {
                 Some(CacheEntry::Pending(w)) => w,
                 _ => Vec::new(),
             };
             for idx in waiters {
-                self.deliver_compute(idx, workunit, &output);
+                self.deliver_compute(idx, key, &output);
             }
         }
     }
 
     /// Moves one agent from `AwaitCompute` toward its report, honouring
     /// the fault it drew when the assignment arrived.
-    fn deliver_compute(&mut self, idx: usize, workunit: u32, output: &Arc<DockingOutput>) {
+    fn deliver_compute(&mut self, idx: usize, key: (u16, u32), output: &Arc<DockingOutput>) {
         let AState::AwaitCompute {
             replica,
-            workunit: wu,
+            campaign,
+            workunit,
             action,
         } = self.agents[idx].state
         else {
             return;
         };
-        if wu != workunit {
+        if (campaign, workunit) != key {
             return;
         }
         match action {
@@ -426,26 +438,35 @@ impl Driver {
                     until: Instant::now()
                         + Duration::from_secs_f64(self.deadline_seconds.max(0.0) + 0.3),
                     replica,
+                    campaign,
                     workunit,
                 };
             }
             FaultAction::Corrupt => {
                 let mut corrupted = (**output).clone();
                 self.agents[idx].dice.corrupt(&mut corrupted);
-                self.send_report(idx, replica, workunit, corrupted);
+                self.send_report(idx, replica, campaign, workunit, corrupted);
             }
             FaultAction::None | FaultAction::Disconnect => {
-                self.send_report(idx, replica, workunit, (**output).clone());
+                self.send_report(idx, replica, campaign, workunit, (**output).clone());
             }
         }
     }
 
-    fn send_report(&mut self, idx: usize, replica: u64, workunit: u32, output: DockingOutput) {
+    fn send_report(
+        &mut self,
+        idx: usize,
+        replica: u64,
+        campaign: u16,
+        workunit: u32,
+        output: DockingOutput,
+    ) {
         self.queue_frame(
             idx,
             &Message::ResultReport {
                 replica,
                 workunit,
+                campaign,
                 output,
             },
         );
@@ -463,11 +484,12 @@ impl Driver {
                 AState::Stalling {
                     until,
                     replica,
+                    campaign,
                     workunit,
                 } if now >= until => {
-                    if let Some(CacheEntry::Ready(out)) = self.cache.get(&workunit) {
+                    if let Some(CacheEntry::Ready(out)) = self.cache.get(&(campaign, workunit)) {
                         let out = Arc::clone(out);
-                        self.send_report(idx, replica, workunit, (*out).clone());
+                        self.send_report(idx, replica, campaign, workunit, (*out).clone());
                     } else {
                         // Compute lost in a shutdown race: nothing to
                         // report, start the session over.
@@ -556,7 +578,14 @@ impl Driver {
         }
         let threads = 1u32;
         let id = self.agents[idx].id;
-        self.queue_frame(idx, &Message::Hello { agent: id, threads });
+        self.queue_frame(
+            idx,
+            &Message::Hello {
+                agent: id,
+                threads,
+                campaigns: self.config.campaigns.clone(),
+            },
+        );
         self.agents[idx].state = AState::Greeting;
     }
 
@@ -722,10 +751,18 @@ impl Driver {
             Message::HelloAck {
                 campaign: params,
                 deadline_seconds,
+                campaigns,
                 ..
             } => {
-                if self.campaign.is_none() {
-                    self.campaign = Some(Arc::new(NetCampaign::build(params)));
+                if self.roster.is_empty() {
+                    self.roster = if campaigns.is_empty() {
+                        vec![Arc::new(NetCampaign::build(params))]
+                    } else {
+                        campaigns
+                            .iter()
+                            .map(|(_, p)| Arc::new(NetCampaign::build(*p)))
+                            .collect()
+                    };
                 }
                 self.deadline_seconds = deadline_seconds;
                 self.begin_ask(idx);
@@ -765,6 +802,7 @@ impl Driver {
                 workunit,
                 isep_start,
                 positions,
+                campaign,
                 ..
             } => {
                 if let Some(asked) = self.end_ask(idx) {
@@ -787,10 +825,11 @@ impl Driver {
                 }
                 self.agents[idx].state = AState::AwaitCompute {
                     replica,
+                    campaign,
                     workunit,
                     action,
                 };
-                self.request_compute(idx, workunit, isep_start, positions);
+                self.request_compute(idx, campaign, workunit, isep_start, positions);
             }
             Message::ResultAck {
                 accepted,
@@ -817,27 +856,36 @@ impl Driver {
 
     /// Ensures `workunit`'s docking result exists or is being computed;
     /// delivers immediately on a cache hit.
-    fn request_compute(&mut self, idx: usize, workunit: u32, isep_start: u32, positions: u32) {
-        match self.cache.get_mut(&workunit) {
+    fn request_compute(
+        &mut self,
+        idx: usize,
+        campaign: u16,
+        workunit: u32,
+        isep_start: u32,
+        positions: u32,
+    ) {
+        let key = (campaign, workunit);
+        match self.cache.get_mut(&key) {
             Some(CacheEntry::Ready(out)) => {
                 let out = Arc::clone(out);
-                self.deliver_compute(idx, workunit, &out);
+                self.deliver_compute(idx, key, &out);
             }
             Some(CacheEntry::Pending(waiters)) => waiters.push(idx),
             None => {
-                self.cache.insert(workunit, CacheEntry::Pending(vec![idx]));
-                let Some(campaign) = self.campaign.as_ref().map(Arc::clone) else {
+                self.cache.insert(key, CacheEntry::Pending(vec![idx]));
+                let Some(params) = self.roster.get(usize::from(campaign)).map(Arc::clone) else {
                     // HelloAck always precedes assignments; defensive.
+                    self.cache.remove(&key);
                     self.drop_session(idx, ERROR_PAUSE);
                     return;
                 };
                 if self
                     .compute_job_tx
-                    .send((workunit, isep_start, positions, campaign))
+                    .send((campaign, workunit, isep_start, positions, params))
                     .is_err()
                 {
                     // Compute pool gone (only on teardown).
-                    self.cache.remove(&workunit);
+                    self.cache.remove(&key);
                     self.drop_session(idx, ERROR_PAUSE);
                 }
             }

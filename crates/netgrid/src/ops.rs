@@ -28,7 +28,8 @@
 //! ([`OPS_LINGER`]) after the campaign completes, so a scraper polling
 //! mid-run gets to observe the final state before the socket closes.
 
-use crate::state::{GridState, OpsSnapshot};
+use crate::registry::MultiGrid;
+use crate::state::OpsSnapshot;
 use crate::sys::Poller;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -102,7 +103,7 @@ impl OpsServer {
     /// down.
     pub fn spawn(
         self,
-        state: Arc<Mutex<GridState>>,
+        grid: Arc<Mutex<MultiGrid>>,
         done: Arc<AtomicBool>,
     ) -> thread::JoinHandle<()> {
         thread::spawn(move || {
@@ -126,7 +127,7 @@ impl OpsServer {
                     done_since = None;
                 }
                 match self.listener.accept() {
-                    Ok((stream, _peer)) => serve_one(stream, &state, &tele),
+                    Ok((stream, _peer)) => serve_one(stream, &grid, &tele),
                     Err(e) if e.kind() == io::ErrorKind::WouldBlock => match poller.as_mut() {
                         Some(p) => {
                             let _ = p.wait(Some(ACCEPT_WAIT), &mut events);
@@ -145,7 +146,7 @@ impl OpsServer {
 
 /// Reads one request head and writes one response; never touches
 /// scheduler state unless the request parsed to a known GET route.
-fn serve_one(mut stream: TcpStream, state: &Arc<Mutex<GridState>>, tele: &Tele) {
+fn serve_one(mut stream: TcpStream, grid: &Arc<Mutex<MultiGrid>>, tele: &Tele) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(OPS_IO_TIMEOUT));
     let _ = stream.set_write_timeout(Some(OPS_IO_TIMEOUT));
@@ -155,14 +156,14 @@ fn serve_one(mut stream: TcpStream, state: &Arc<Mutex<GridState>>, tele: &Tele) 
         Ok(head) => match parse_request_line(&head) {
             Ok(("GET", path)) => match path {
                 "/metrics" => {
-                    let snap = { state.lock().unwrap().ops_snapshot() };
+                    let snap = { grid.lock().unwrap().ops_snapshot() };
                     Response::ok(
                         "text/plain; version=0.0.4; charset=utf-8",
                         render_metrics(&snap),
                     )
                 }
                 "/" | "/index.html" => {
-                    let snap = { state.lock().unwrap().ops_snapshot() };
+                    let snap = { grid.lock().unwrap().ops_snapshot() };
                     Response::ok("text/html; charset=utf-8", render_dashboard(&snap))
                 }
                 _ => Response::error(404, "not found\n"),
@@ -573,6 +574,94 @@ pub fn render_metrics(snap: &OpsSnapshot) -> String {
         }
     }
 
+    if !snap.campaigns.is_empty() {
+        let n = r.family(
+            "hcmd_campaign_share",
+            MetricKind::Gauge,
+            "Configured fair-share weight per campaign",
+        );
+        for c in &snap.campaigns {
+            r.sample(&n, &[("campaign", c.name.as_str())], c.share);
+        }
+        let n = r.family(
+            "hcmd_campaign_delivered_ref_seconds",
+            MetricKind::Counter,
+            "Validated reference CPU seconds delivered per campaign",
+        );
+        for c in &snap.campaigns {
+            r.sample(
+                &n,
+                &[("campaign", c.name.as_str())],
+                c.delivered_ref_seconds,
+            );
+        }
+        let n = r.family(
+            "hcmd_campaign_deficit",
+            MetricKind::Gauge,
+            "Fair-share deficit (positive = campaign is owed work)",
+        );
+        for c in &snap.campaigns {
+            r.sample(&n, &[("campaign", c.name.as_str())], c.deficit);
+        }
+        let n = r.family(
+            "hcmd_campaign_borrows_total",
+            MetricKind::Counter,
+            "Issues a campaign borrowed while higher-deficit peers were drained",
+        );
+        for c in &snap.campaigns {
+            r.sample(&n, &[("campaign", c.name.as_str())], c.borrows as f64);
+        }
+        let n = r.family(
+            "hcmd_campaign_workunits",
+            MetricKind::Gauge,
+            "Per-campaign workunit progression",
+        );
+        for c in &snap.campaigns {
+            r.sample(
+                &n,
+                &[("campaign", c.name.as_str()), ("state", "done")],
+                c.workunits_done as f64,
+            );
+            r.sample(
+                &n,
+                &[("campaign", c.name.as_str()), ("state", "total")],
+                c.workunits as f64,
+            );
+        }
+        let n = r.family(
+            "hcmd_campaign_fresh_backlog",
+            MetricKind::Gauge,
+            "Per-campaign workunits never yet issued to any agent",
+        );
+        for c in &snap.campaigns {
+            r.sample(&n, &[("campaign", c.name.as_str())], c.fresh_backlog as f64);
+        }
+        let n = r.family(
+            "hcmd_campaign_done",
+            MetricKind::Gauge,
+            "1 once every workunit of the campaign validated",
+        );
+        for c in &snap.campaigns {
+            r.sample(
+                &n,
+                &[("campaign", c.name.as_str())],
+                if c.complete { 1.0 } else { 0.0 },
+            );
+        }
+        let n = r.family(
+            "hcmd_campaign_share_error",
+            MetricKind::Gauge,
+            "Max absolute deviation between delivered and configured shares",
+        );
+        r.sample(&n, &[], snap.campaign_share_error);
+        let n = r.family(
+            "hcmd_campaign_cross_quarantine_denials_total",
+            MetricKind::Counter,
+            "Fetches refused because the agent is quarantined in another campaign",
+        );
+        r.sample(&n, &[], snap.cross_quarantine_denials as f64);
+    }
+
     doc.push_str(&r.finish());
     doc
 }
@@ -686,6 +775,44 @@ pub fn render_dashboard(snap: &OpsSnapshot) -> String {
             .into(),
     };
 
+    let campaign_section = if snap.campaigns.is_empty() {
+        String::new()
+    } else {
+        let total_delivered: f64 = snap.campaigns.iter().map(|c| c.delivered_ref_seconds).sum();
+        let mut rows = String::new();
+        for c in &snap.campaigns {
+            let got = if total_delivered > 0.0 {
+                100.0 * c.delivered_ref_seconds / total_delivered
+            } else {
+                0.0
+            };
+            let cpct = if c.workunits == 0 {
+                0.0
+            } else {
+                100.0 * c.workunits_done as f64 / c.workunits as f64
+            };
+            rows.push_str(&format!(
+                "<tr><td>{}</td><td class=\"num\">{:.0}%</td><td class=\"num\">{got:.1}%</td>\
+                 <td class=\"num\">{}</td><td class=\"num\">{}/{}</td>\
+                 <td class=\"barcell\"><div class=\"bar\"><span style=\"width:{cpct:.1}%\"></span></div></td>\
+                 <td class=\"num\">{}</td></tr>\n",
+                c.name,
+                100.0 * c.share,
+                c.priority,
+                c.workunits_done,
+                c.workunits,
+                c.borrows,
+            ));
+        }
+        format!(
+            "<h2>Campaigns (share error {err:.3})</h2>\n<table>\n\
+             <thead><tr><th>Campaign</th><th>Share</th><th>Delivered</th>\
+             <th>Priority</th><th>Done</th><th></th><th>Borrows</th></tr></thead>\n\
+             <tbody>\n{rows}</tbody>\n</table>\n",
+            err = snap.campaign_share_error,
+        )
+    };
+
     let status = if snap.campaign_complete {
         "complete"
     } else {
@@ -762,7 +889,7 @@ td.barcell {{ width: 220px; }}
   {shard_tile}
   {trust_tile}
 </div>
-<h2>Per-receptor progression</h2>
+{campaign_section}<h2>Per-receptor progression</h2>
 <table>
 <thead><tr><th>Receptor</th><th>Done</th><th></th><th>%</th></tr></thead>
 <tbody>
@@ -794,6 +921,7 @@ td.barcell {{ width: 220px; }}
         journal_tile = journal_tile,
         shard_tile = shard_tile,
         trust_tile = trust_tile,
+        campaign_section = campaign_section,
         receptor_rows = receptor_rows,
         agent_count = snap.agents.len(),
         agent_rows = agent_rows,
@@ -829,7 +957,7 @@ pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(u16, String)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::state::{AgentLedger, JournalOps, NetStats, ShardOps, TrustSummary};
+    use crate::state::{AgentLedger, CampaignOps, JournalOps, NetStats, ShardOps, TrustSummary};
     use crate::trust::TrustBand;
     use gridsim::{ReceptorProgress, WuStateCounts};
 
@@ -903,6 +1031,36 @@ mod tests {
                 owned_workunits: 22,
                 fresh_backlog: 6,
             }),
+            campaigns: vec![
+                CampaignOps {
+                    name: "prod".into(),
+                    share: 0.7,
+                    priority: 0,
+                    delivered_ref_seconds: 1750.0,
+                    deficit: 0.5,
+                    borrows: 2,
+                    workunits: 30,
+                    workunits_done: 15,
+                    fresh_backlog: 4,
+                    outstanding_replicas: 5,
+                    complete: false,
+                },
+                CampaignOps {
+                    name: "pilot".into(),
+                    share: 0.3,
+                    priority: 1,
+                    delivered_ref_seconds: 750.0,
+                    deficit: -0.5,
+                    borrows: 0,
+                    workunits: 10,
+                    workunits_done: 5,
+                    fresh_backlog: 2,
+                    outstanding_replicas: 2,
+                    complete: false,
+                },
+            ],
+            campaign_share_error: 0.02,
+            cross_quarantine_denials: 3,
         }
     }
 
@@ -932,6 +1090,12 @@ mod tests {
         assert!(text.contains("hcmd_shard_leases{direction=\"in\"} 1"));
         assert!(text.contains("hcmd_shard_leased_workunits{direction=\"out\"} 16"));
         assert!(text.contains("hcmd_shard_leased_workunits{direction=\"in\"} 8"));
+        assert!(text.contains("hcmd_campaign_share{campaign=\"prod\"} 0.7"));
+        assert!(text.contains("hcmd_campaign_delivered_ref_seconds{campaign=\"pilot\"} 750"));
+        assert!(text.contains("hcmd_campaign_borrows_total{campaign=\"prod\"} 2"));
+        assert!(text.contains("hcmd_campaign_workunits{campaign=\"prod\",state=\"done\"} 15"));
+        assert!(text.contains("hcmd_campaign_share_error 0.02"));
+        assert!(text.contains("hcmd_campaign_cross_quarantine_denials_total 3"));
         // Every family is announced before it is sampled.
         for family in ["hcmd_wu_states", "hcmd_results_received"] {
             let type_at = text.find(&format!("# TYPE {family} ")).unwrap();
@@ -954,6 +1118,8 @@ mod tests {
             ("6 / 1", "spot check tile"),
             ("Trusted (0.96)", "agent trust column"),
             ("1 of 2 (22 / 6)", "shard tile"),
+            ("<td>prod</td>", "campaign row"),
+            ("Campaigns (share error 0.020)", "campaign table heading"),
             ("prefers-color-scheme: dark", "dark mode palette"),
         ] {
             assert!(html.contains(needle), "missing {why}: {needle}");

@@ -52,9 +52,18 @@ pub const PROTOCOL_V2: u8 = 2;
 /// connections whose peer framed with v3, so v1/v2 single-shard agents
 /// keep working against a sharded server unchanged.
 pub const PROTOCOL_V3: u8 = 3;
+/// Frame version of the campaign-aware binary codec: the v3 payload
+/// encoding plus multi-campaign fields — `Hello` carries the agent's
+/// campaign attachments, `HelloAck` the roster of hosted campaigns, and
+/// `Assignment`/`ResultReport` a campaign index. As with v3, the
+/// version byte doubles as the capability signal: a peer framing with
+/// v1–v3 implicitly attaches to the default campaign and never sees a
+/// campaign field, so old agents interop with a multi-campaign server
+/// unchanged.
+pub const PROTOCOL_V4: u8 = 4;
 /// Highest protocol version this build speaks; announced to agents in
 /// `HelloAck::protocol`.
-pub const PROTOCOL_VERSION: u8 = PROTOCOL_V3;
+pub const PROTOCOL_VERSION: u8 = PROTOCOL_V4;
 /// Fixed header size: magic + version + length + checksum.
 pub const HEADER_BYTES: usize = 4 + 1 + 4 + 8;
 /// Hard cap on the payload size; larger frames are rejected unread.
@@ -77,6 +86,9 @@ pub enum Codec {
     /// v3: the v2 payload encoding plus shard awareness — a peer
     /// framing with v3 declares it understands `ShardMap`/`Redirect`.
     BinaryV3,
+    /// v4: the v3 encoding plus campaign awareness — a peer framing
+    /// with v4 declares (and reads) the multi-campaign fields.
+    BinaryV4,
 }
 
 impl Codec {
@@ -86,6 +98,7 @@ impl Codec {
             Codec::Json => PROTOCOL_V1,
             Codec::Binary => PROTOCOL_V2,
             Codec::BinaryV3 => PROTOCOL_V3,
+            Codec::BinaryV4 => PROTOCOL_V4,
         }
     }
 
@@ -95,6 +108,7 @@ impl Codec {
             PROTOCOL_V1 => Some(Codec::Json),
             PROTOCOL_V2 => Some(Codec::Binary),
             PROTOCOL_V3 => Some(Codec::BinaryV3),
+            PROTOCOL_V4 => Some(Codec::BinaryV4),
             _ => None,
         }
     }
@@ -102,7 +116,14 @@ impl Codec {
     /// Whether a peer framing with this codec understands the shard
     /// message family (`Redirect`, `ShardMap`).
     pub fn shard_aware(self) -> bool {
-        matches!(self, Codec::BinaryV3)
+        matches!(self, Codec::BinaryV3 | Codec::BinaryV4)
+    }
+
+    /// Whether a peer framing with this codec understands the
+    /// multi-campaign fields (attachments, roster, campaign indices).
+    /// v1–v3 peers implicitly attach to the default campaign.
+    pub fn campaign_aware(self) -> bool {
+        matches!(self, Codec::BinaryV4)
     }
 
     /// Parses the `--codec` CLI flag value.
@@ -111,7 +132,8 @@ impl Codec {
             "json" | "v1" => Ok(Codec::Json),
             "binary" | "v2" => Ok(Codec::Binary),
             "v3" | "sharded" => Ok(Codec::BinaryV3),
-            other => Err(format!("bad codec '{other}' (json|binary|v3)")),
+            "v4" | "campaigns" => Ok(Codec::BinaryV4),
+            other => Err(format!("bad codec '{other}' (json|binary|v3|v4)")),
         }
     }
 }
@@ -122,6 +144,7 @@ impl std::fmt::Display for Codec {
             Codec::Json => "json",
             Codec::Binary => "binary",
             Codec::BinaryV3 => "binary-v3",
+            Codec::BinaryV4 => "binary-v4",
         })
     }
 }
@@ -170,15 +193,28 @@ pub enum Message {
         agent: u64,
         /// Worker threads the agent will dock with.
         threads: u32,
+        /// Campaign attachments (v4): names of the hosted campaigns the
+        /// agent volunteers for. Empty (and on every v1–v3 frame) means
+        /// the default campaign only; the single entry `"*"` attaches
+        /// to every hosted campaign; unknown names are ignored.
+        #[serde(default)]
+        campaigns: Vec<String>,
     },
     /// Server → agent, reply to `Hello`.
     HelloAck {
         /// Server's protocol version (for future negotiation).
         protocol: u8,
-        /// The campaign recipe the agent must build locally.
+        /// The campaign recipe the agent must build locally (the
+        /// default campaign when several are hosted).
         campaign: CampaignParams,
         /// Replica deadline, wall seconds — reissue after this.
         deadline_seconds: f64,
+        /// Multi-campaign roster (v4): `(name, recipe)` of every hosted
+        /// campaign the agent is attached to, in campaign-index order.
+        /// `Assignment::campaign` indexes into this roster. Empty on
+        /// v1–v3 frames and on single-campaign servers.
+        #[serde(default)]
+        campaigns: Vec<(String, CampaignParams)>,
     },
     /// Agent → server: "send me work" (BOINC's scheduler request).
     RequestWork,
@@ -198,6 +234,11 @@ pub enum Message {
         positions: u32,
         /// Deadline for this replica, wall seconds from issue.
         deadline_seconds: f64,
+        /// Which hosted campaign this assignment belongs to (v4): an
+        /// index into the `HelloAck` roster. Always 0 — the default
+        /// campaign — on v1–v3 frames.
+        #[serde(default)]
+        campaign: u16,
     },
     /// Server → agent: nothing issuable right now (BOINC's "no work
     /// sent, try again"); carries the per-agent backoff.
@@ -220,6 +261,10 @@ pub enum Message {
         replica: u64,
         /// Its workunit index (redundant, cross-checked server-side).
         workunit: u32,
+        /// The campaign the replica was issued from (v4): echoed from
+        /// `Assignment::campaign`. Always 0 on v1–v3 frames.
+        #[serde(default)]
+        campaign: u16,
         /// The docking rows + work accounting — the §5.2 result file.
         output: DockingOutput,
     },
@@ -280,6 +325,12 @@ pub enum Message {
         /// receiving shard*, so a lessor that crashed after journaling
         /// a grant but before replying can re-send missing grants.
         leases_held: Vec<u64>,
+        /// Which campaign (registry slot index) this load picture and
+        /// its lease bookkeeping concern. A multi-campaign shard fleet
+        /// shares one `--campaign` roster, so indices agree fleet-wide;
+        /// v1–v3 peers gossip only about the default campaign (0).
+        #[serde(default)]
+        campaign: u16,
     },
     /// Shard → shard: a work-stealing lease. Ownership of `wus` moves
     /// from `from_shard` to the hungry receiver; both sides journal the
@@ -295,6 +346,9 @@ pub enum Message {
         wus: Vec<u32>,
         /// The grantor's own completion state, piggybacked.
         complete: bool,
+        /// The campaign (registry slot index) whose ownership moves.
+        #[serde(default)]
+        campaign: u16,
     },
     /// Shard → shard, reply to `ShardStatus` when no lease moves.
     StatusAck {
@@ -435,6 +489,7 @@ pub fn encode_with(msg: &Message, codec: Codec) -> Bytes {
         }
         Codec::Binary => frame_payload_versioned(PROTOCOL_V2, &binary::encode(msg)),
         Codec::BinaryV3 => frame_payload_versioned(PROTOCOL_V3, &binary::encode(msg)),
+        Codec::BinaryV4 => frame_payload_versioned(PROTOCOL_V4, &binary::encode_v4(msg)),
     }
 }
 
@@ -457,6 +512,7 @@ pub fn decode_versioned(buf: &[u8]) -> Result<(Message, usize, Codec), DecodeErr
             serde_json::from_str(text).map_err(|e| DecodeError::Payload(format!("{e:?}")))?
         }
         Codec::Binary | Codec::BinaryV3 => binary::decode(payload).map_err(DecodeError::Payload)?,
+        Codec::BinaryV4 => binary::decode_v4(payload).map_err(DecodeError::Payload)?,
     };
     Ok((msg, consumed, codec))
 }
@@ -629,6 +685,13 @@ pub mod binary {
                 self.u64(x);
             }
         }
+        fn params(&mut self, p: &super::CampaignParams) {
+            self.u32(p.proteins);
+            self.u64(p.lib_seed);
+            self.f64(p.h_seconds);
+            self.f64(p.separation_spacing);
+            self.u32(p.max_iterations);
+        }
         fn row(&mut self, row: &DockingRow) {
             self.u32(row.isep);
             self.u32(row.irot);
@@ -641,6 +704,23 @@ pub mod binary {
             self.f64(row.elj);
             self.f64(row.eelec);
         }
+    }
+
+    /// How many elements to reserve up front for a counted vector whose
+    /// declared length is `count`, with `remaining` payload bytes left
+    /// and a wire floor of `elem_bytes` per element.
+    ///
+    /// `count * elem_bytes <= remaining` has already been checked, but
+    /// that bounds the *wire* bytes, not the allocation: an element's
+    /// in-memory size can dwarf its wire floor (a `String` is 24 bytes
+    /// of `Vec` header against a 1-byte wire floor), so reserving
+    /// `count` elements could allocate ~24x the 8 MiB frame cap before
+    /// a single element is read. Cap the reservation so the up-front
+    /// allocation never exceeds the bytes actually present; a genuine
+    /// vector longer than the cap grows amortised as it is read.
+    pub(super) fn bounded_capacity<T>(count: usize, elem_bytes: usize, remaining: usize) -> usize {
+        debug_assert!(count.saturating_mul(elem_bytes) <= remaining);
+        count.min(remaining / std::mem::size_of::<T>().max(1))
     }
 
     struct Reader<'a> {
@@ -700,11 +780,20 @@ pub mod binary {
                     "vector count {count} disagrees with {remaining} payload bytes"
                 ));
             }
-            let mut out = Vec::with_capacity(count);
+            let mut out = Vec::with_capacity(bounded_capacity::<T>(count, elem_bytes, remaining));
             for _ in 0..count {
                 out.push(read(self)?);
             }
             Ok(out)
+        }
+        fn params(&mut self) -> Result<super::CampaignParams, String> {
+            Ok(super::CampaignParams {
+                proteins: self.u32()?,
+                lib_seed: self.u64()?,
+                h_seconds: self.f64()?,
+                separation_spacing: self.f64()?,
+                max_iterations: self.u32()?,
+            })
         }
         fn row(&mut self) -> Result<DockingRow, String> {
             Ok(DockingRow {
@@ -736,28 +825,54 @@ pub mod binary {
         }
     }
 
-    /// Encodes one message as a v2 binary payload (no frame header).
+    /// Encodes one message as a v2/v3 binary payload (no frame header).
+    /// Campaign fields are skipped — the bytes are identical to what
+    /// pre-campaign builds emitted, which is the v2/v3 interop promise.
     pub fn encode(msg: &Message) -> Vec<u8> {
+        encode_versioned(msg, false)
+    }
+
+    /// Encodes one message as a v4 binary payload: the v2/v3 encoding
+    /// plus the campaign fields.
+    pub fn encode_v4(msg: &Message) -> Vec<u8> {
+        encode_versioned(msg, true)
+    }
+
+    fn encode_versioned(msg: &Message, campaign_aware: bool) -> Vec<u8> {
         let mut w = Writer(Vec::with_capacity(64));
         match msg {
-            Message::Hello { agent, threads } => {
+            Message::Hello {
+                agent,
+                threads,
+                campaigns,
+            } => {
                 w.u8(TAG_HELLO);
                 w.u64(*agent);
                 w.u32(*threads);
+                if campaign_aware {
+                    w.u32(campaigns.len() as u32);
+                    for name in campaigns {
+                        w.str(name);
+                    }
+                }
             }
             Message::HelloAck {
                 protocol,
                 campaign,
                 deadline_seconds,
+                campaigns,
             } => {
                 w.u8(TAG_HELLO_ACK);
                 w.u8(*protocol);
-                w.u32(campaign.proteins);
-                w.u64(campaign.lib_seed);
-                w.f64(campaign.h_seconds);
-                w.f64(campaign.separation_spacing);
-                w.u32(campaign.max_iterations);
+                w.params(campaign);
                 w.f64(*deadline_seconds);
+                if campaign_aware {
+                    w.u32(campaigns.len() as u32);
+                    for (name, params) in campaigns {
+                        w.str(name);
+                        w.params(params);
+                    }
+                }
             }
             Message::RequestWork => w.u8(TAG_REQUEST_WORK),
             Message::Assignment {
@@ -768,6 +883,7 @@ pub mod binary {
                 isep_start,
                 positions,
                 deadline_seconds,
+                campaign,
             } => {
                 w.u8(TAG_ASSIGNMENT);
                 w.u64(*replica);
@@ -777,6 +893,9 @@ pub mod binary {
                 w.u32(*isep_start);
                 w.u32(*positions);
                 w.f64(*deadline_seconds);
+                if campaign_aware {
+                    w.u16(*campaign);
+                }
             }
             Message::NoWork {
                 campaign_complete,
@@ -793,12 +912,16 @@ pub mod binary {
             Message::ResultReport {
                 replica,
                 workunit,
+                campaign,
                 output,
             } => {
-                w.0.reserve(24 + output.rows.len() * ROW_BYTES);
+                w.0.reserve(26 + output.rows.len() * ROW_BYTES);
                 w.u8(TAG_RESULT_REPORT);
                 w.u64(*replica);
                 w.u32(*workunit);
+                if campaign_aware {
+                    w.u16(*campaign);
+                }
                 w.u64(output.evaluations);
                 w.u32(output.rows.len() as u32);
                 for row in &output.rows {
@@ -842,6 +965,7 @@ pub mod binary {
                 complete,
                 hungry,
                 leases_held,
+                campaign,
             } => {
                 w.u8(TAG_SHARD_STATUS);
                 w.u16(*shard);
@@ -850,18 +974,25 @@ pub mod binary {
                 w.flag(*complete);
                 w.flag(*hungry);
                 w.u64s(leases_held);
+                if campaign_aware {
+                    w.u16(*campaign);
+                }
             }
             Message::LeaseGrant {
                 lease,
                 from_shard,
                 wus,
                 complete,
+                campaign,
             } => {
                 w.u8(TAG_LEASE_GRANT);
                 w.u64(*lease);
                 w.u16(*from_shard);
                 w.u32s(wus);
                 w.flag(*complete);
+                if campaign_aware {
+                    w.u16(*campaign);
+                }
             }
             Message::StatusAck { shard, complete } => {
                 w.u8(TAG_STATUS_ACK);
@@ -872,8 +1003,19 @@ pub mod binary {
         w.0
     }
 
-    /// Decodes one v2 binary payload (no frame header) strictly.
+    /// Decodes one v2/v3 binary payload (no frame header) strictly.
+    /// Campaign fields are absent on the wire and default (v1–v3 peers
+    /// implicitly ride the default campaign).
     pub fn decode(payload: &[u8]) -> Result<Message, String> {
+        decode_versioned(payload, false)
+    }
+
+    /// Decodes one v4 binary payload strictly, campaign fields included.
+    pub fn decode_v4(payload: &[u8]) -> Result<Message, String> {
+        decode_versioned(payload, true)
+    }
+
+    fn decode_versioned(payload: &[u8], campaign_aware: bool) -> Result<Message, String> {
         let mut r = Reader {
             buf: payload,
             off: 0,
@@ -882,17 +1024,23 @@ pub mod binary {
             TAG_HELLO => Message::Hello {
                 agent: r.u64()?,
                 threads: r.u32()?,
+                campaigns: if campaign_aware {
+                    r.counted(1, |r| r.str())?
+                } else {
+                    Vec::new()
+                },
             },
             TAG_HELLO_ACK => Message::HelloAck {
                 protocol: r.u8()?,
-                campaign: super::CampaignParams {
-                    proteins: r.u32()?,
-                    lib_seed: r.u64()?,
-                    h_seconds: r.f64()?,
-                    separation_spacing: r.f64()?,
-                    max_iterations: r.u32()?,
-                },
+                campaign: r.params()?,
                 deadline_seconds: r.f64()?,
+                campaigns: if campaign_aware {
+                    // Each roster entry is a 4-byte-prefixed name plus a
+                    // 32-byte fixed params block.
+                    r.counted(36, |r| Ok((r.str()?, r.params()?)))?
+                } else {
+                    Vec::new()
+                },
             },
             TAG_REQUEST_WORK => Message::RequestWork,
             TAG_ASSIGNMENT => Message::Assignment {
@@ -903,6 +1051,7 @@ pub mod binary {
                 isep_start: r.u32()?,
                 positions: r.u32()?,
                 deadline_seconds: r.f64()?,
+                campaign: if campaign_aware { r.u16()? } else { 0 },
             },
             TAG_NO_WORK => Message::NoWork {
                 campaign_complete: r.flag()?,
@@ -914,6 +1063,7 @@ pub mod binary {
             TAG_RESULT_REPORT => {
                 let replica = r.u64()?;
                 let workunit = r.u32()?;
+                let campaign = if campaign_aware { r.u16()? } else { 0 };
                 let evaluations = r.u64()?;
                 let count = r.u32()? as usize;
                 // The row count must agree with the bytes actually
@@ -931,6 +1081,7 @@ pub mod binary {
                 Message::ResultReport {
                     replica,
                     workunit,
+                    campaign,
                     output: DockingOutput { rows, evaluations },
                 }
             }
@@ -964,12 +1115,14 @@ pub mod binary {
                 complete: r.flag()?,
                 hungry: r.flag()?,
                 leases_held: r.counted(8, |r| r.u64())?,
+                campaign: if campaign_aware { r.u16()? } else { 0 },
             },
             TAG_LEASE_GRANT => Message::LeaseGrant {
                 lease: r.u64()?,
                 from_shard: r.u16()?,
                 wus: r.counted(4, |r| r.u32())?,
                 complete: r.flag()?,
+                campaign: if campaign_aware { r.u16()? } else { 0 },
             },
             TAG_STATUS_ACK => Message::StatusAck {
                 shard: r.u16()?,
@@ -992,11 +1145,13 @@ mod tests {
             Message::Hello {
                 agent: 42,
                 threads: 4,
+                campaigns: Vec::new(),
             },
             Message::HelloAck {
                 protocol: PROTOCOL_VERSION,
                 campaign: CampaignParams::tiny(),
                 deadline_seconds: 3.0,
+                campaigns: Vec::new(),
             },
             Message::RequestWork,
             Message::Assignment {
@@ -1007,6 +1162,7 @@ mod tests {
                 isep_start: 5,
                 positions: 2,
                 deadline_seconds: 3.0,
+                campaign: 0,
             },
             Message::NoWork {
                 campaign_complete: false,
@@ -1018,6 +1174,7 @@ mod tests {
             Message::ResultReport {
                 replica: 7,
                 workunit: 3,
+                campaign: 0,
                 output: DockingOutput {
                     rows: vec![DockingRow {
                         isep: 5,
@@ -1053,12 +1210,14 @@ mod tests {
                 complete: false,
                 hungry: true,
                 leases_held: vec![(1u64 << 48) | 2],
+                campaign: 0,
             },
             Message::LeaseGrant {
                 lease: (0u64 << 48) | 1,
                 from_shard: 0,
                 wus: vec![11, 12, 13],
                 complete: false,
+                campaign: 0,
             },
             Message::StatusAck {
                 shard: 0,
@@ -1110,6 +1269,7 @@ mod tests {
         let payload = binary::encode(&Message::Hello {
             agent: 9,
             threads: 2,
+            campaigns: Vec::new(),
         });
         // Structurally short and long payloads (with valid checksums)
         // are payload errors, not Incomplete — framing already
@@ -1170,7 +1330,7 @@ mod tests {
     #[test]
     fn future_version_rejected() {
         let mut frame = encode(&Message::Bye).to_vec();
-        frame[4] = PROTOCOL_V3 + 1;
+        frame[4] = PROTOCOL_V4 + 1;
         assert!(matches!(
             decode(&frame),
             Err(DecodeError::UnsupportedVersion(_))
@@ -1189,6 +1349,107 @@ mod tests {
         }
     }
 
+    /// The campaign-aware fields only exist on the v4 wire. Non-default
+    /// values must survive a v4 round trip, and the same messages
+    /// encoded as v3 must decode with the campaign fields dropped back
+    /// to their defaults — that degradation is what lets v1–v3 agents
+    /// keep talking to a multi-campaign server (they land on slot 0).
+    #[test]
+    fn campaign_fields_round_trip_in_v4_and_degrade_in_v3() {
+        let samples = vec![
+            Message::Hello {
+                agent: 9,
+                threads: 4,
+                campaigns: vec!["prod".into(), "pilot".into()],
+            },
+            Message::HelloAck {
+                protocol: PROTOCOL_VERSION,
+                campaign: CampaignParams::tiny(),
+                deadline_seconds: 3.0,
+                campaigns: vec![
+                    ("prod".into(), CampaignParams::tiny()),
+                    ("pilot".into(), CampaignParams::tiny()),
+                ],
+            },
+            Message::Assignment {
+                replica: 3,
+                workunit: 17,
+                receptor: 0,
+                ligand: 1,
+                isep_start: 5,
+                positions: 2,
+                deadline_seconds: 9.0,
+                campaign: 1,
+            },
+            Message::ResultReport {
+                replica: 3,
+                workunit: 17,
+                campaign: 1,
+                output: DockingOutput {
+                    rows: Vec::new(),
+                    evaluations: 64,
+                },
+            },
+            Message::ShardStatus {
+                shard: 1,
+                fresh_backlog: 5,
+                outstanding: 2,
+                complete: false,
+                hungry: true,
+                leases_held: vec![42],
+                campaign: 1,
+            },
+            Message::LeaseGrant {
+                lease: 7,
+                from_shard: 0,
+                wus: vec![11, 12],
+                complete: false,
+                campaign: 1,
+            },
+        ];
+        for msg in samples {
+            let frame = encode_with(&msg, Codec::BinaryV4);
+            assert_eq!(frame[4], PROTOCOL_V4);
+            let (back, consumed, codec) = decode_versioned(&frame).expect("v4 decode");
+            assert_eq!(back, msg, "v4 must preserve campaign fields");
+            assert_eq!(consumed, frame.len());
+            assert_eq!(codec, Codec::BinaryV4);
+
+            let frame = encode_with(&msg, Codec::BinaryV3);
+            let (back, _, codec) = decode_versioned(&frame).expect("v3 decode");
+            assert_eq!(codec, Codec::BinaryV3);
+            match back {
+                Message::Hello { campaigns, .. } => assert!(campaigns.is_empty()),
+                Message::HelloAck { campaigns, .. } => assert!(campaigns.is_empty()),
+                Message::Assignment { campaign, .. }
+                | Message::ResultReport { campaign, .. }
+                | Message::ShardStatus { campaign, .. }
+                | Message::LeaseGrant { campaign, .. } => assert_eq!(campaign, 0),
+                other => panic!("unexpected decode {other:?}"),
+            }
+        }
+    }
+
+    /// A v3 frame of each campaign-touched message is byte-identical to
+    /// what a pre-campaign build produced: the appended fields must not
+    /// perturb the v1–v3 wire at all.
+    #[test]
+    fn v3_frames_carry_no_campaign_bytes() {
+        let make = |campaign: u16| Message::Assignment {
+            replica: 3,
+            workunit: 17,
+            receptor: 0,
+            ligand: 1,
+            isep_start: 5,
+            positions: 2,
+            deadline_seconds: 9.0,
+            campaign,
+        };
+        let with = encode_with(&make(5), Codec::BinaryV3);
+        let without = encode_with(&make(0), Codec::BinaryV3);
+        assert_eq!(with, without, "campaign index leaked into the v3 wire");
+    }
+
     #[test]
     fn shard_vector_counts_are_checked_before_allocation() {
         let payload = binary::encode(&Message::ShardStatus {
@@ -1198,12 +1459,55 @@ mod tests {
             complete: false,
             hungry: false,
             leases_held: vec![7],
+            campaign: 0,
         });
         // Inflate the lease count far past the payload: must be a
         // payload error, not an attempted huge allocation.
         let mut bad = payload.clone();
         let count_off = 1 + 2 + 8 + 8 + 1 + 1;
         bad[count_off..count_off + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let frame = frame_payload_versioned(PROTOCOL_V3, &bad);
+        assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
+    }
+
+    /// A corrupt count that still passes the wire-floor check must not
+    /// translate into a huge up-front allocation: the reservation is
+    /// capped by the bytes actually present, measured in *in-memory*
+    /// element sizes (a `String` costs 24 bytes of header against its
+    /// 1-byte wire floor).
+    #[test]
+    fn counted_vector_reservation_is_capped_by_the_payload_remainder() {
+        let remaining = MAX_FRAME_BYTES;
+        // Worst case: `ShardMap` address strings — count can legally be
+        // as large as the remainder, but each `String` is 24 in-memory
+        // bytes, so an uncapped reservation would be ~24x the frame cap.
+        let cap = binary::bounded_capacity::<String>(remaining, 1, remaining);
+        assert!(
+            cap * std::mem::size_of::<String>() <= remaining,
+            "up-front reservation {} bytes exceeds the {remaining}-byte remainder",
+            cap * std::mem::size_of::<String>()
+        );
+        // Honest small vectors still reserve exactly their length.
+        assert_eq!(binary::bounded_capacity::<u64>(3, 8, 24), 3);
+        assert_eq!(binary::bounded_capacity::<u32>(13, 4, 52), 13);
+        assert_eq!(binary::bounded_capacity::<String>(0, 1, 0), 0);
+    }
+
+    /// End to end: a ShardMap frame whose address count is inflated to
+    /// the maximum value the wire-floor check accepts decodes to a clean
+    /// payload error (the first element read runs out of bytes) without
+    /// ballooning memory first.
+    #[test]
+    fn inflated_string_count_is_a_payload_error_not_an_allocation() {
+        let payload = binary::encode(&Message::ShardMap {
+            shards: 2,
+            self_shard: 0,
+            addrs: vec!["127.0.0.1:7070".into()],
+        });
+        let mut bad = payload.clone();
+        let count_off = 1 + 2 + 2; // tag + shards + self_shard
+        let remaining = bad.len() - count_off - 4;
+        bad[count_off..count_off + 4].copy_from_slice(&(remaining as u32).to_le_bytes());
         let frame = frame_payload_versioned(PROTOCOL_V3, &bad);
         assert!(matches!(decode(&frame), Err(DecodeError::Payload(_))));
     }
@@ -1226,6 +1530,7 @@ mod tests {
         let mut frame = encode(&Message::Hello {
             agent: 1,
             threads: 1,
+            campaigns: Vec::new(),
         })
         .to_vec();
         let last = frame.len() - 1;

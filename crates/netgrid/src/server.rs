@@ -24,15 +24,15 @@
 //! codec, so a v1-only agent never sees a v2 frame. See
 //! [`crate::protocol::Codec`].
 
-use crate::campaign::NetCampaign;
 use crate::faults::ServerFaults;
-use crate::journal::{open_journaled, JournalConfig};
+use crate::journal::JournalConfig;
 use crate::ops::OpsServer;
 use crate::protocol::{
     decode_versioned, encode_with, CampaignParams, Codec, DecodeError, Message, PROTOCOL_VERSION,
 };
+use crate::registry::{CampaignDef, MultiGrid};
 use crate::shard::{ShardSpec, LEASE_CHUNK, STEER_INTERVAL_MS, STEER_TIMEOUT_MS};
-use crate::state::{GridState, NetStats, WorkReply};
+use crate::state::{NetStats, WorkReply};
 use crate::sys::{Event as IoEvent, Poller};
 use gridsim::server::{ReplicaId, ServerConfig, ServerStats};
 use gridsim::SimTime;
@@ -68,6 +68,12 @@ pub struct NetServerConfig {
     /// Sharded topology: this server's place in it plus every shard's
     /// listen address. `None` runs the classic single-server campaign.
     pub shard: Option<ShardTopology>,
+    /// The campaign roster with fair-share weights. Empty hosts the
+    /// single implicit campaign built from `campaign` (slot 0, name
+    /// `"default"`) — the pre-registry behaviour, including the journal
+    /// layout. Non-empty replaces `campaign` entirely; slot order is
+    /// the roster order v4 assignments index.
+    pub campaigns: Vec<CampaignDef>,
 }
 
 /// One shard's view of the sharded campaign topology.
@@ -97,6 +103,7 @@ impl NetServerConfig {
             journal: None,
             ops_addr: None,
             shard: None,
+            campaigns: Vec::new(),
         }
     }
 }
@@ -134,13 +141,50 @@ pub struct NetRunReport {
     /// Per-agent trust ledger at shutdown, sorted by agent id; empty
     /// when the policy is off.
     pub agent_trust: Vec<(u64, crate::trust::AgentTrust)>,
+    /// Per-campaign results, in registry slot order. A single implicit
+    /// campaign still gets its one row here; the legacy top-level
+    /// fields above always describe slot 0.
+    pub campaigns: Vec<CampaignRunReport>,
+    /// Largest deviation between any campaign's delivered-ref-second
+    /// fraction and its configured share (0.0 for a single campaign).
+    pub share_error: f64,
+    /// Fetches denied by the cross-campaign trust gate (quarantined in
+    /// one campaign, asking another).
+    pub cross_quarantine_denials: u64,
+}
+
+/// One campaign's slice of a finished multi-campaign run.
+#[derive(Debug)]
+pub struct CampaignRunReport {
+    /// Registry name (journal subdirectory, artifact suffix).
+    pub name: String,
+    /// Normalised fair-share weight.
+    pub share: f64,
+    /// Fair-share tie-break priority.
+    pub priority: u32,
+    /// Validated reference-CPU seconds delivered to this campaign.
+    pub delivered_ref_seconds: f64,
+    /// Times this campaign was served while a larger-deficit campaign
+    /// was starved for work — lent capacity, repaid via the deficit.
+    pub borrows: u64,
+    /// The campaign's merged artifact (empty for a sharded run; merge
+    /// `partial_outputs` across shards instead).
+    pub outputs: Vec<DockingOutput>,
+    /// Validated output per workunit, `Some` where this server
+    /// validated — the sharded partial artifact.
+    pub partial_outputs: Vec<Option<DockingOutput>>,
+    /// Workunits in this campaign's catalog.
+    pub workunits: usize,
+    /// The campaign scheduler core's issue/validation statistics.
+    pub server_stats: ServerStats,
+    /// The campaign's wire-layer counters.
+    pub net_stats: NetStats,
 }
 
 /// A bound, not-yet-running server.
 pub struct NetServer {
     listener: TcpListener,
-    campaign: Arc<NetCampaign>,
-    state: Arc<Mutex<GridState>>,
+    grid: Arc<Mutex<MultiGrid>>,
     config: NetServerConfig,
     /// Server-clock second the journal replay reached (0 for a fresh
     /// state): added to every `epoch.elapsed()` reading so the SimTime
@@ -175,6 +219,10 @@ struct Conn {
     write_pos: usize,
     /// The agent id learned from `Hello` (0 until then).
     agent: u64,
+    /// The campaign attach mask resolved from the `Hello` request —
+    /// empty until then (treated as "default campaign only", which is
+    /// also what every v1–v3 agent gets).
+    attached: Vec<bool>,
     /// Frames decoded on this connection (for close telemetry).
     frames: u64,
     /// The codec of the most recent frame from this peer; replies use
@@ -200,6 +248,7 @@ impl Conn {
             write_buf: Vec::new(),
             write_pos: 0,
             agent: 0,
+            attached: Vec::new(),
             frames: 0,
             codec: Codec::Json,
             closing: None,
@@ -245,7 +294,6 @@ impl NetServer {
         // overflows that and every dropped SYN costs the dialer a 1 s
         // retransmit. Widen it (the kernel clamps to somaxconn).
         crate::sys::widen_listen_backlog(listener.as_raw_fd(), 4096);
-        let campaign = Arc::new(NetCampaign::build(config.campaign));
         let spec = match &config.shard {
             Some(topo) => {
                 if usize::from(topo.spec.shards) != topo.addrs.len()
@@ -265,23 +313,25 @@ impl NetServer {
             }
             None => ShardSpec::solo(),
         };
-        let (state, clock_offset) = match &config.journal {
-            Some(journal) => {
-                open_journaled(journal, &campaign, config.scheduler, config.faults, spec)?
-            }
-            None => (
-                GridState::new_sharded(&campaign, config.scheduler, config.faults, spec),
-                0.0,
-            ),
+        let defs = if config.campaigns.is_empty() {
+            vec![CampaignDef::default_solo(config.campaign)]
+        } else {
+            config.campaigns.clone()
         };
+        let (grid, clock_offset) = MultiGrid::open(
+            defs,
+            config.scheduler,
+            config.faults,
+            spec,
+            config.journal.as_ref(),
+        )?;
         let ops = match &config.ops_addr {
             Some(addr) => Some(OpsServer::bind(addr)?),
             None => None,
         };
         Ok(Self {
             listener,
-            campaign,
-            state: Arc::new(Mutex::new(state)),
+            grid: Arc::new(Mutex::new(grid)),
             config,
             clock_offset,
             ops,
@@ -309,36 +359,41 @@ impl NetServer {
             .shard
             .as_ref()
             .map_or_else(ShardSpec::solo, |t| t.spec);
-        let board = Arc::new(Mutex::new(ShardBoard::new(spec.shards)));
+        let campaign_count = self.grid.lock().unwrap().len();
+        // One board per campaign: lease steering and peer completion
+        // are tracked per registry slot across the same peer set.
+        let boards = Arc::new(Mutex::new(
+            (0..campaign_count)
+                .map(|_| ShardBoard::new(spec.shards))
+                .collect::<Vec<_>>(),
+        ));
         // A journaled restart may recover an already-finished campaign
         // — but a sharded server must still wait on its peers.
         let done = Arc::new(AtomicBool::new(
-            spec.shards == 1 && self.state.lock().unwrap().is_campaign_complete(),
+            spec.shards == 1 && self.grid.lock().unwrap().all_complete(),
         ));
 
-        // The ops thread holds its own state Arc and serves scrapes
+        // The ops thread holds its own registry Arc and serves scrapes
         // until `done` plus a linger window — it must be joined before
         // the state is torn down below.
         let ops_thread = self
             .ops
-            .map(|ops| ops.spawn(Arc::clone(&self.state), Arc::clone(&done)));
+            .map(|ops| ops.spawn(Arc::clone(&self.grid), Arc::clone(&done)));
 
         // The steering thread gossips this shard's load picture to
         // every peer and adopts any leases offered back. Inbound gossip
         // is answered by the event loop like any other frame.
         let steer_thread = self.config.shard.clone().map(|topo| {
-            let state = Arc::clone(&self.state);
+            let grid = Arc::clone(&self.grid);
             let done = Arc::clone(&done);
-            let board = Arc::clone(&board);
-            std::thread::spawn(move || steer_loop(&topo, &state, &board, &done))
+            let boards = Arc::clone(&boards);
+            std::thread::spawn(move || steer_loop(&topo, &grid, &boards, &done))
         });
 
         let mut event_loop = EventLoop {
             listener: Some(self.listener),
-            campaign: Arc::clone(&self.campaign),
-            state: Arc::clone(&self.state),
+            grid: Arc::clone(&self.grid),
             done: Arc::clone(&done),
-            params: self.config.campaign,
             deadline_seconds: self.config.scheduler.deadline_seconds,
             faults: self.config.faults,
             epoch,
@@ -349,7 +404,7 @@ impl NetServer {
             rejected: 0,
             accepted_active: 0,
             shard: self.config.shard.clone(),
-            board: Arc::clone(&board),
+            boards: Arc::clone(&boards),
         };
         event_loop.run(Duration::from_millis(self.config.sweep_ms.max(1)))?;
         let connections = event_loop.connections;
@@ -367,30 +422,53 @@ impl NetServer {
             let _ = t.join();
         }
 
-        let state = Arc::try_unwrap(self.state)
+        let grid = Arc::try_unwrap(self.grid)
             .map_err(|_| ())
             .expect("all state holders joined")
             .into_inner()
             .unwrap();
-        let outputs = match spec.shards {
-            1 => state
-                .accepted_outputs()
-                .expect("run() only returns after campaign completion"),
-            _ => Vec::new(),
-        };
+        let share_error = grid.share_error();
+        let cross_quarantine_denials = grid.cross_quarantine_denials;
+        let campaigns: Vec<CampaignRunReport> = grid
+            .slots()
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| CampaignRunReport {
+                name: slot.def.name.clone(),
+                share: grid.fair().share(i),
+                priority: slot.def.priority,
+                delivered_ref_seconds: grid.fair().delivered(i),
+                borrows: grid.fair().borrows(i),
+                outputs: match spec.shards {
+                    1 => slot
+                        .state
+                        .accepted_outputs()
+                        .expect("run() only returns after campaign completion"),
+                    _ => Vec::new(),
+                },
+                partial_outputs: slot.state.partial_outputs(),
+                workunits: slot.campaign.len(),
+                server_stats: slot.state.server_stats(),
+                net_stats: slot.state.net_stats,
+            })
+            .collect();
+        let slot0 = &grid.slots()[0];
         Ok(NetRunReport {
-            server_stats: state.server_stats(),
-            net_stats: state.net_stats,
-            wasted_ref_seconds: state.wasted_ref_seconds(),
-            trust: state.trust_summary(),
-            agent_trust: state.agent_trust_table(),
-            partial_outputs: state.partial_outputs(),
+            server_stats: slot0.state.server_stats(),
+            net_stats: slot0.state.net_stats,
+            wasted_ref_seconds: slot0.state.wasted_ref_seconds(),
+            trust: slot0.state.trust_summary(),
+            agent_trust: slot0.state.agent_trust_table(),
+            partial_outputs: slot0.state.partial_outputs(),
             shard: spec,
-            outputs,
+            outputs: campaigns[0].outputs.clone(),
             wall_seconds,
-            workunits: self.campaign.len(),
+            workunits: slot0.campaign.len(),
             connections,
             rejected_connections: rejected,
+            campaigns,
+            share_error,
+            cross_quarantine_denials,
         })
     }
 }
@@ -465,75 +543,95 @@ impl ShardBoard {
 /// listener as agent traffic, so no extra port is needed.
 fn steer_loop(
     topo: &ShardTopology,
-    state: &Mutex<GridState>,
-    board: &Mutex<ShardBoard>,
+    grid: &Mutex<MultiGrid>,
+    boards: &Mutex<Vec<ShardBoard>>,
     done: &AtomicBool,
 ) {
     let me = topo.spec.shard_id;
-    let mut backoffs_seen = 0u64;
+    let campaign_count = grid.lock().unwrap().len();
+    // Multi-campaign gossip needs the v4 campaign field on the wire; a
+    // single-campaign fleet keeps the v3 byte stream so mixed-build
+    // shard sets stay interoperable.
+    let codec = if campaign_count > 1 {
+        Codec::BinaryV4
+    } else {
+        Codec::BinaryV3
+    };
+    let mut backoffs_seen = vec![0u64; campaign_count];
     while !done.load(Relaxed) {
         std::thread::sleep(Duration::from_millis(STEER_INTERVAL_MS));
-        // One status per tick: agent demand is "someone asked and got
-        // nothing since the last tick", which gates hunger so an
-        // agent-less drained shard never begs work off a loaded one.
-        let (mut status, complete) = {
-            let s = state.lock().unwrap();
-            let backoffs = s.net_stats.backoffs_sent;
-            let demand = backoffs > backoffs_seen;
-            backoffs_seen = backoffs;
-            let complete = s.is_campaign_complete();
-            let fresh = s.core().fresh_backlog() as u64;
-            (
-                Message::ShardStatus {
-                    shard: me,
-                    fresh_backlog: fresh,
-                    outstanding: s.outstanding_len() as u64,
+        let mut all_complete = true;
+        for (c, seen) in backoffs_seen.iter_mut().enumerate() {
+            // One status per campaign per tick: agent demand is
+            // "someone asked this campaign and got nothing since the
+            // last tick", which gates hunger so an agent-less drained
+            // shard never begs work off a loaded one.
+            let (mut status, complete) = {
+                let g = grid.lock().unwrap();
+                let s = &g.slots()[c].state;
+                let backoffs = s.net_stats.backoffs_sent;
+                let demand = backoffs > *seen;
+                *seen = backoffs;
+                let complete = s.is_campaign_complete();
+                let fresh = s.core().fresh_backlog() as u64;
+                (
+                    Message::ShardStatus {
+                        shard: me,
+                        fresh_backlog: fresh,
+                        outstanding: s.outstanding_len() as u64,
+                        complete,
+                        hungry: !complete && fresh == 0 && demand,
+                        leases_held: Vec::new(), // per-peer, filled below
+                        campaign: c as u16,
+                    },
                     complete,
-                    hungry: !complete && fresh == 0 && demand,
-                    leases_held: Vec::new(), // per-peer, filled below
-                },
-                complete,
-            )
-        };
-        for peer in 0..topo.spec.shards {
-            if peer == me {
-                continue;
-            }
-            if let Message::ShardStatus { leases_held, .. } = &mut status {
-                *leases_held = state.lock().unwrap().leases_held_from(peer);
-            }
-            let replies = match steer_exchange(&topo.addrs[usize::from(peer)], &status) {
-                Ok(replies) => replies,
-                Err(_) => continue, // down or slow; next tick retries
+                )
             };
-            for reply in replies {
-                match reply {
-                    Message::LeaseGrant {
-                        lease,
-                        from_shard,
-                        wus,
-                        complete: peer_complete,
-                    } => {
-                        let mut s = state.lock().unwrap();
-                        // The shared clock lives in the event loop; the
-                        // monotone high-water mark is the right stamp.
-                        let now = SimTime::new(s.last_now());
-                        s.adopt_lease(now, lease, &wus);
-                        drop(s);
-                        board.lock().unwrap().note(from_shard, peer_complete, None);
+            all_complete &= complete;
+            for peer in 0..topo.spec.shards {
+                if peer == me {
+                    continue;
+                }
+                if let Message::ShardStatus { leases_held, .. } = &mut status {
+                    *leases_held = grid.lock().unwrap().slots()[c].state.leases_held_from(peer);
+                }
+                let replies = match steer_exchange(&topo.addrs[usize::from(peer)], &status, codec) {
+                    Ok(replies) => replies,
+                    Err(_) => continue, // down or slow; next tick retries
+                };
+                for reply in replies {
+                    match reply {
+                        Message::LeaseGrant {
+                            lease,
+                            from_shard,
+                            wus,
+                            complete: peer_complete,
+                            campaign,
+                        } => {
+                            let mut g = grid.lock().unwrap();
+                            let i = usize::from(campaign).min(g.len() - 1);
+                            // The shared clock lives in the event loop;
+                            // the monotone high-water mark is the right
+                            // stamp.
+                            let now = SimTime::new(g.last_now());
+                            g.slots_mut()[i].state.adopt_lease(now, lease, &wus);
+                            drop(g);
+                            let mut bs = boards.lock().unwrap();
+                            bs[i].note(from_shard, peer_complete, None);
+                        }
+                        Message::StatusAck {
+                            shard,
+                            complete: peer_complete,
+                        } => boards.lock().unwrap()[c].note(shard, peer_complete, None),
+                        _ => {}
                     }
-                    Message::StatusAck {
-                        shard,
-                        complete: peer_complete,
-                    } => board.lock().unwrap().note(shard, peer_complete, None),
-                    _ => {}
                 }
             }
         }
         // Completion is decided here as well as on the sweep tick, so a
         // shard whose last workunit validated long ago still notices
         // the moment its final peer reports complete.
-        if complete && board.lock().unwrap().peers_complete(me) {
+        if all_complete && boards.lock().unwrap().iter().all(|b| b.peers_complete(me)) {
             done.store(true, Relaxed);
         }
     }
@@ -543,7 +641,7 @@ fn steer_loop(
 /// frames until the terminating `StatusAck` (or until the peer hangs
 /// up / the timeout fires). Every step is bounded by
 /// [`STEER_TIMEOUT_MS`].
-fn steer_exchange(addr: &str, status: &Message) -> io::Result<Vec<Message>> {
+fn steer_exchange(addr: &str, status: &Message, codec: Codec) -> io::Result<Vec<Message>> {
     let timeout = Duration::from_millis(STEER_TIMEOUT_MS);
     let sock = addr
         .to_socket_addrs()?
@@ -553,7 +651,7 @@ fn steer_exchange(addr: &str, status: &Message) -> io::Result<Vec<Message>> {
     stream.set_read_timeout(Some(timeout))?;
     stream.set_write_timeout(Some(timeout))?;
     let _ = stream.set_nodelay(true);
-    stream.write_all(&encode_with(status, Codec::BinaryV3))?;
+    stream.write_all(&encode_with(status, codec))?;
     let mut replies = Vec::new();
     let mut buf = Vec::new();
     let mut chunk = [0u8; READ_CHUNK];
@@ -585,10 +683,8 @@ struct EventLoop {
     /// the campaign completes, so no new volunteers join the grace
     /// window.
     listener: Option<TcpListener>,
-    campaign: Arc<NetCampaign>,
-    state: Arc<Mutex<GridState>>,
+    grid: Arc<Mutex<MultiGrid>>,
     done: Arc<AtomicBool>,
-    params: CampaignParams,
     deadline_seconds: f64,
     faults: ServerFaults,
     epoch: Instant,
@@ -602,8 +698,9 @@ struct EventLoop {
     accepted_active: usize,
     /// Sharded topology, when this server is one shard of several.
     shard: Option<ShardTopology>,
-    /// Peer completion/backlog picture (shared with steering).
-    board: Arc<Mutex<ShardBoard>>,
+    /// Peer completion/backlog picture, one board per campaign
+    /// (shared with steering).
+    boards: Arc<Mutex<Vec<ShardBoard>>>,
 }
 
 impl EventLoop {
@@ -611,18 +708,41 @@ impl EventLoop {
         SimTime::new(self.clock_offset + self.epoch.elapsed().as_secs_f64())
     }
 
-    /// Whether the *campaign* (not just this shard's slice) is done:
-    /// local completion plus, when sharded, every peer's.
-    fn globally_complete(&self, local_complete: bool) -> bool {
+    /// Whether everything this agent is attached to (not just this
+    /// shard's slice of it) is done: local completion of the attached
+    /// campaigns plus, when sharded, every peer's on each of them.
+    fn globally_complete_for(&self, local_complete: bool, attached: &[bool]) -> bool {
         match &self.shard {
             None => local_complete,
             Some(topo) => {
                 local_complete
                     && self
-                        .board
+                        .boards
                         .lock()
                         .unwrap()
-                        .peers_complete(topo.spec.shard_id)
+                        .iter()
+                        .enumerate()
+                        .all(|(i, b)| {
+                            !attached.get(i).copied().unwrap_or(i == 0)
+                                || b.peers_complete(topo.spec.shard_id)
+                        })
+            }
+        }
+    }
+
+    /// Whether the *whole roster* is done everywhere — the server's
+    /// shutdown condition.
+    fn globally_all_complete(&self, local_all_complete: bool) -> bool {
+        match &self.shard {
+            None => local_all_complete,
+            Some(topo) => {
+                local_all_complete
+                    && self
+                        .boards
+                        .lock()
+                        .unwrap()
+                        .iter()
+                        .all(|b| b.peers_complete(topo.spec.shard_id))
             }
         }
     }
@@ -684,12 +804,12 @@ impl EventLoop {
     /// debt, and notice campaign completion.
     fn sweep_tick(&mut self) {
         let now = self.now();
-        let mut s = self.state.lock().unwrap();
-        s.sweep(now);
-        s.flush_journal();
-        let local = s.is_campaign_complete();
-        drop(s);
-        if self.globally_complete(local) {
+        let mut g = self.grid.lock().unwrap();
+        g.sweep(now);
+        g.flush_journals();
+        let local = g.all_complete();
+        drop(g);
+        if self.globally_all_complete(local) {
             self.done.store(true, Relaxed);
         }
     }
@@ -826,7 +946,7 @@ impl EventLoop {
                     conn.read_buf.drain(..consumed);
                     conn.frames += 1;
                     conn.codec = codec;
-                    match self.dispatch(&mut conn.agent, msg, codec) {
+                    match self.dispatch(&mut conn.agent, &mut conn.attached, msg, codec) {
                         Disposition::Reply(reply) => {
                             conn.write_buf
                                 .extend_from_slice(&encode_with(&reply, codec));
@@ -855,23 +975,48 @@ impl EventLoop {
     /// dispatch state of the per-connection machine. `codec` is the
     /// codec the frame arrived in: only v3 peers may be sent shard
     /// messages (a redirect would just confuse a v1/v2 agent).
-    fn dispatch(&mut self, agent_id: &mut u64, msg: Message, codec: Codec) -> Disposition {
+    fn dispatch(
+        &mut self,
+        agent_id: &mut u64,
+        attached: &mut Vec<bool>,
+        msg: Message,
+        codec: Codec,
+    ) -> Disposition {
         let now = self.now();
         match msg {
-            Message::Hello { agent, threads: _ } => {
+            Message::Hello {
+                agent,
+                threads: _,
+                campaigns,
+            } => {
                 *agent_id = agent;
+                let grid = self.grid.lock().unwrap();
+                *attached = grid.attach_mask(&campaigns);
+                // The roster travels only when there is one worth
+                // announcing; a solo registry keeps the v1–v3 shape
+                // (recipe in `campaign`, no roster) byte for byte.
+                let roster = if grid.len() > 1 {
+                    grid.roster()
+                } else {
+                    Vec::new()
+                };
+                let params = grid.slots()[0].def.params;
+                drop(grid);
                 telemetry::emit(Some(now.seconds()), || Event::ConnectionOpened { agent });
                 Disposition::Reply(Message::HelloAck {
                     protocol: PROTOCOL_VERSION,
-                    campaign: self.params,
+                    campaign: params,
                     deadline_seconds: self.deadline_seconds,
+                    campaigns: roster,
                 })
             }
             Message::RequestWork => {
-                let reply = self.state.lock().unwrap().fetch(now, *agent_id);
+                let mask = self.attach_or_default(attached);
+                let mut grid = self.grid.lock().unwrap();
+                let (cidx, reply) = grid.fetch(now, *agent_id, &mask);
                 Disposition::Reply(match reply {
                     WorkReply::Assigned(a) => {
-                        let spec = self.campaign.spec(a.workunit);
+                        let spec = grid.slots()[usize::from(cidx)].campaign.spec(a.workunit);
                         Message::Assignment {
                             replica: a.replica.0,
                             workunit: a.workunit,
@@ -880,17 +1025,20 @@ impl EventLoop {
                             isep_start: spec.isep_start,
                             positions: spec.positions,
                             deadline_seconds: self.deadline_seconds,
+                            campaign: cidx,
                         }
                     }
                     WorkReply::Backoff {
                         retry_after_ms,
                         campaign_complete,
                     } => {
-                        if let Some(redirect) = self.try_redirect(codec, campaign_complete) {
+                        drop(grid);
+                        if let Some(redirect) = self.try_redirect(codec, campaign_complete, &mask) {
                             redirect
                         } else {
                             Message::NoWork {
-                                campaign_complete: self.globally_complete(campaign_complete),
+                                campaign_complete: self
+                                    .globally_complete_for(campaign_complete, &mask),
                                 retry_after_ms,
                             }
                         }
@@ -900,17 +1048,18 @@ impl EventLoop {
             Message::ResultReport {
                 replica,
                 workunit,
+                campaign,
                 output,
             } => {
-                let disposition = self.state.lock().unwrap().report(
-                    now,
-                    &self.campaign,
-                    ReplicaId(replica),
-                    workunit,
-                    output,
-                );
-                let campaign_complete = self.globally_complete(disposition.campaign_complete);
-                if campaign_complete {
+                let mask = self.attach_or_default(attached);
+                let mut grid = self.grid.lock().unwrap();
+                let (_, disposition) =
+                    grid.report(now, campaign, ReplicaId(replica), workunit, output);
+                let attached_done = grid.attached_complete(&mask);
+                let all_done = grid.all_complete();
+                drop(grid);
+                let campaign_complete = self.globally_complete_for(attached_done, &mask);
+                if self.globally_all_complete(all_done) {
                     self.done.store(true, Relaxed);
                 }
                 Disposition::Reply(Message::ResultAck {
@@ -944,7 +1093,16 @@ impl EventLoop {
                 complete,
                 hungry,
                 leases_held,
-            } => self.handle_shard_status(now, shard, fresh_backlog, complete, hungry, leases_held),
+                campaign,
+            } => self.handle_shard_status(
+                now,
+                campaign,
+                shard,
+                fresh_backlog,
+                complete,
+                hungry,
+                leases_held,
+            ),
             Message::Bye => Disposition::Close("bye"),
             // Server-to-agent and reply frames arriving here mean a
             // confused peer (LeaseGrant/StatusAck only ever travel as
@@ -958,7 +1116,12 @@ impl EventLoop {
     /// instead of a backoff. The agent follows at most one redirect per
     /// ask, and the target was advertising work moments ago, so a
     /// bounce chain cannot form.
-    fn try_redirect(&mut self, codec: Codec, local_complete: bool) -> Option<Message> {
+    fn try_redirect(
+        &mut self,
+        codec: Codec,
+        local_complete: bool,
+        attached: &[bool],
+    ) -> Option<Message> {
         let topo = self.shard.as_ref()?;
         if !codec.shard_aware() || local_complete {
             return None;
@@ -966,18 +1129,29 @@ impl EventLoop {
         {
             // A backoff with backlog still on hand was a trust denial
             // (quarantine), not a drained queue: the agent waits here.
-            let s = self.state.lock().unwrap();
-            if s.core().fresh_backlog() > 0 {
+            let g = self.grid.lock().unwrap();
+            if g.attached_fresh_backlog(attached) > 0 {
                 return None;
             }
         }
-        let (peer, _backlog) = self
-            .board
-            .lock()
-            .unwrap()
-            .busiest_peer(topo.spec.shard_id)?;
+        // The peer worth bouncing to: the deepest advertised backlog
+        // across every campaign this agent is attached to.
+        let (cidx, peer) = {
+            let bs = self.boards.lock().unwrap();
+            bs.iter()
+                .enumerate()
+                .filter(|&(i, _)| attached.get(i).copied().unwrap_or(i == 0))
+                .filter_map(|(i, b)| {
+                    b.busiest_peer(topo.spec.shard_id)
+                        .map(|(peer, backlog)| (i, peer, backlog))
+                })
+                .max_by_key(|&(_, _, backlog)| backlog)
+                .map(|(i, peer, _)| (i, peer))?
+        };
         let addr = topo.addrs.get(usize::from(peer))?.clone();
-        self.state.lock().unwrap().note_redirect();
+        self.grid.lock().unwrap().slots_mut()[cidx]
+            .state
+            .note_redirect();
         Some(Message::Redirect { shard: peer, addr })
     }
 
@@ -987,9 +1161,11 @@ impl EventLoop {
     /// The `LeaseOut` journal record is appended (inside the state
     /// lock) *before* the grant frame is queued, so a crash here can
     /// lose a sent grant only in the direction the re-send heals.
+    #[allow(clippy::too_many_arguments)]
     fn handle_shard_status(
         &mut self,
         now: SimTime,
+        campaign: u16,
         shard: u16,
         fresh_backlog: u64,
         complete: bool,
@@ -1003,12 +1179,14 @@ impl EventLoop {
         if shard >= topo.spec.shards || shard == me {
             return Disposition::Close("protocol");
         }
-        self.board
-            .lock()
-            .unwrap()
-            .note(shard, complete, Some(fresh_backlog));
+        let mut g = self.grid.lock().unwrap();
+        let c = usize::from(campaign);
+        if c >= g.len() {
+            return Disposition::Close("protocol");
+        }
+        self.boards.lock().unwrap()[c].note(shard, complete, Some(fresh_backlog));
         let mut replies = Vec::new();
-        let mut s = self.state.lock().unwrap();
+        let s = &mut g.slots_mut()[c].state;
         let local_complete = s.is_campaign_complete();
         // Re-send grants missing from the sender's holdings: our
         // journal says granted, theirs never said adopted — the grant
@@ -1022,6 +1200,7 @@ impl EventLoop {
                     from_shard: me,
                     wus,
                     complete: local_complete,
+                    campaign,
                 });
             }
         }
@@ -1032,15 +1211,30 @@ impl EventLoop {
                     from_shard: me,
                     wus,
                     complete: local_complete,
+                    campaign,
                 });
             }
         }
-        drop(s);
+        drop(g);
         replies.push(Message::StatusAck {
             shard: me,
             complete: local_complete,
         });
         Disposition::ReplyMany(replies)
+    }
+
+    /// The connection's attach mask, or the default-campaign mask for a
+    /// peer that never said `Hello` (or said it before this registry
+    /// grew — masks are sized at `Hello` time).
+    fn attach_or_default(&self, attached: &[bool]) -> Vec<bool> {
+        let len = self.grid.lock().unwrap().len();
+        if attached.len() == len {
+            attached.to_vec()
+        } else {
+            let mut mask = vec![false; len];
+            mask[0] = true;
+            mask
+        }
     }
 
     /// Final close of a connection: emits the paired `ConnectionClosed`

@@ -222,6 +222,35 @@ pub struct ShardOps {
     pub fresh_backlog: u64,
 }
 
+/// One campaign's row in the ops snapshot: identity, fair-share ledger
+/// position, and progress — enough for the `hcmd_campaign_*` metric
+/// families and the dashboard table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignOps {
+    /// Registry name.
+    pub name: String,
+    /// Normalised fair-share weight.
+    pub share: f64,
+    /// Fair-share tie-break priority.
+    pub priority: u32,
+    /// Validated reference-CPU seconds delivered so far.
+    pub delivered_ref_seconds: f64,
+    /// `share · Σdelivered − delivered`: positive when underserved.
+    pub deficit: f64,
+    /// Picks that out-ranked a work-starved larger-deficit campaign.
+    pub borrows: u64,
+    /// Workunits in the catalog.
+    pub workunits: usize,
+    /// Workunits validated.
+    pub workunits_done: usize,
+    /// Owned workunits never yet issued.
+    pub fresh_backlog: usize,
+    /// Issued, unreported, unexpired replicas.
+    pub outstanding_replicas: usize,
+    /// Every workunit validated.
+    pub complete: bool,
+}
+
 /// A cheap, self-contained copy of everything the ops endpoint renders,
 /// taken under the server's state lock by [`GridState::ops_snapshot`].
 /// Copy-on-scrape: the HTTP thread takes this snapshot in one short
@@ -274,6 +303,17 @@ pub struct OpsSnapshot {
     /// Shard identity and ownership; `None` when unsharded.
     #[serde(default)]
     pub shard: Option<ShardOps>,
+    /// Per-campaign rows, in registry slot order (one row for the
+    /// implicit solo campaign). The top-level fields above describe
+    /// slot 0 — the default campaign — for scrape continuity.
+    #[serde(default)]
+    pub campaigns: Vec<CampaignOps>,
+    /// Largest |delivered fraction − share| across campaigns.
+    #[serde(default)]
+    pub campaign_share_error: f64,
+    /// Fetches denied by the cross-campaign trust gate.
+    #[serde(default)]
+    pub cross_quarantine_denials: u64,
 }
 
 /// The live grid's server state (scheduling + validation + payloads),
@@ -560,6 +600,13 @@ impl GridState {
         if let Some(journal) = self.journal.as_mut() {
             journal.flush().expect("journal flush failed");
         }
+    }
+
+    /// Appends since the attached journal's last fsync (`None` when the
+    /// state runs unjournaled) — the `every=N` batch phase that must
+    /// survive restart.
+    pub fn journal_fsync_phase(&self) -> Option<u64> {
+        self.journal.as_ref().map(|j| j.fsync_phase())
     }
 
     /// The core's cumulative issue/validation statistics.
@@ -1103,6 +1150,10 @@ impl GridState {
                 owned_workunits: self.core.owned_count() as u64,
                 fresh_backlog: self.core.fresh_backlog() as u64,
             }),
+            // Filled by the registry, which owns the fair-share ledger.
+            campaigns: Vec::new(),
+            campaign_share_error: 0.0,
+            cross_quarantine_denials: 0,
         }
     }
 

@@ -227,6 +227,44 @@ proptest! {
         );
     }
 
+    /// A corrupt collection-count prefix in a binary frame decodes to a
+    /// clean `Payload` error — never a panic, and never a huge up-front
+    /// allocation: counts beyond the payload remainder are rejected on
+    /// sight, and counts within it cap the reader's reservation to the
+    /// bytes actually present, so the worst a forged prefix buys is one
+    /// frame's worth of memory.
+    #[test]
+    fn corrupt_count_prefix_never_panics_or_balloons(
+        forged in 0u32..u32::MAX,
+        shards in 1u16..8,
+    ) {
+        let addrs: Vec<String> = (0..shards)
+            .map(|i| format!("127.0.0.1:{}", 7000 + i))
+            .collect();
+        let msg = Message::ShardMap {
+            shards,
+            self_shard: 0,
+            addrs,
+        };
+        let frame = encode_with(&msg, Codec::BinaryV3);
+        let mut payload = frame[HEADER_BYTES..].to_vec();
+        let off = 1 + 2 + 2; // tag + shards + self_shard
+        let original =
+            u32::from_le_bytes(payload[off..off + 4].try_into().unwrap());
+        prop_assume!(forged != original);
+        payload[off..off + 4].copy_from_slice(&forged.to_le_bytes());
+        let reframed = netgrid::protocol::frame_payload_versioned(
+            netgrid::protocol::PROTOCOL_V3,
+            &payload,
+        );
+        prop_assert!(
+            matches!(decode_versioned(&reframed), Err(DecodeError::Payload(_))),
+            "forged count {} (was {}) must be a Payload error",
+            forged,
+            original
+        );
+    }
+
     /// A v2 frame whose *payload* is garbage (checksum patched to match)
     /// is rejected as `Payload`, not misread as some other message —
     /// the strict binary decoder never guesses.

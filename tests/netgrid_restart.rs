@@ -213,6 +213,40 @@ fn snapshot_compaction_bounds_the_wal_and_recovery_stays_exact() {
 }
 
 #[test]
+fn fsync_batch_phase_survives_restart() {
+    let campaign = NetCampaign::build(CampaignParams::tiny());
+    let cfg = JournalConfig {
+        fsync: FsyncPolicy::EveryN(4),
+        snapshot_every: 0,
+        ..JournalConfig::new(journal_dir("fsync-phase"))
+    };
+
+    // Three appends into a batch of four: phase 3, no fsync yet.
+    let (mut live, _) = open(&campaign, &cfg);
+    for agent in 1..=3 {
+        let _ = fetch(&mut live, 0.0, agent);
+    }
+    assert_eq!(live.journal_fsync_phase(), Some(3));
+    drop(live); // crash mid-batch
+
+    // Recovery replays the three-record tail; the batch counter must
+    // resume at 3, not restart at 0 — otherwise the next crash could
+    // lose up to 2N-1 appends instead of the promised at-most-N.
+    let (mut recovered, _) = open(&campaign, &cfg);
+    assert_eq!(
+        recovered.journal_fsync_phase(),
+        Some(3),
+        "every=N phase must survive restart"
+    );
+
+    // The very next append completes the inherited batch and fsyncs,
+    // wrapping the phase to 0 on the same boundary as the live run.
+    let _ = fetch(&mut recovered, 0.5, 4);
+    assert_eq!(recovered.journal_fsync_phase(), Some(0));
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+#[test]
 fn journal_of_a_different_campaign_is_refused() {
     let campaign = NetCampaign::build(CampaignParams::tiny());
     let cfg = JournalConfig::new(journal_dir("mismatch"));
@@ -416,5 +450,122 @@ fn trust_journal_refuses_a_different_trust_policy() {
         msg.contains("faults") || msg.contains("trust") || msg.contains("different"),
         "got: {msg}"
     );
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+/// The registry keeps one journal per campaign under `DIR/<name>/`. A
+/// crash mid-contention must recover every slot from its own journal,
+/// re-seed the fair-share ledger from the recovered delivered
+/// ref-seconds, and still finish each campaign byte-identical to a solo
+/// run — crossing a restart must not let the campaigns bleed into each
+/// other's artifacts.
+#[test]
+fn multi_campaign_registry_recovers_per_campaign_journals() {
+    use netgrid::{CampaignDef, MultiGrid};
+
+    let base = CampaignParams::tiny();
+    let defs = vec![
+        CampaignDef {
+            name: "alpha".into(),
+            params: base,
+            share: 0.7,
+            priority: 0,
+        },
+        CampaignDef {
+            name: "beta".into(),
+            params: CampaignParams {
+                lib_seed: base.lib_seed + 1,
+                ..base
+            },
+            share: 0.3,
+            priority: 0,
+        },
+    ];
+    let cfg = JournalConfig {
+        fsync: FsyncPolicy::Never,
+        ..JournalConfig::new(journal_dir("multi"))
+    };
+    let open_multi = |defs: Vec<CampaignDef>| {
+        MultiGrid::open(
+            defs,
+            server_config(),
+            ServerFaults::default(),
+            ShardSpec::solo(),
+            Some(&cfg),
+        )
+        .expect("registry opens journaled")
+    };
+
+    // Contended phase: a few scripted rounds across both campaigns.
+    let (mut grid, offset) = open_multi(defs.clone());
+    assert_eq!(offset, 0.0);
+    let mut now = 0.0;
+    for round in 0..6 {
+        for agent in 1..=3u64 {
+            now += 0.01;
+            let (cidx, reply) = grid.fetch(t(now), agent, &[true, true]);
+            let WorkReply::Assigned(a) = reply else {
+                continue;
+            };
+            // Crash with one replica still in flight on the last round.
+            if round == 5 && agent == 3 {
+                break;
+            }
+            let slot = grid.slot(cidx).expect("slot");
+            let out = slot.campaign.compute(slot.campaign.spec(a.workunit));
+            now += 0.01;
+            grid.report(t(now), cidx, a.replica, a.workunit, out);
+        }
+    }
+    grid.flush_journals();
+    let delivered_at_crash: Vec<f64> = (0..grid.len()).map(|i| grid.fair().delivered(i)).collect();
+    drop(grid); // no clean shutdown: the wal is all that survives
+
+    let (mut grid, offset) = open_multi(defs.clone());
+    assert!(offset > 0.0, "recovery resumes a moved clock");
+    for (i, &d) in delivered_at_crash.iter().enumerate() {
+        assert!(
+            (grid.fair().delivered(i) - d).abs() < 1e-6,
+            "campaign {i}: fair ledger re-seeded {} but {d} was delivered pre-crash",
+            grid.fair().delivered(i)
+        );
+    }
+
+    // Drain to completion and byte-compare each campaign to its solo
+    // reference outputs.
+    let mut now = grid.last_now();
+    let mut guard = 0u64;
+    while !grid.all_complete() {
+        guard += 1;
+        assert!(guard < 100_000, "recovered registry did not converge");
+        now += 0.5;
+        grid.sweep(t(now));
+        for agent in 1..=3u64 {
+            now += 0.01;
+            let (cidx, reply) = grid.fetch(t(now), agent, &[true, true]);
+            let WorkReply::Assigned(a) = reply else {
+                continue;
+            };
+            let slot = grid.slot(cidx).expect("slot");
+            let out = slot.campaign.compute(slot.campaign.spec(a.workunit));
+            now += 0.01;
+            grid.report(t(now), cidx, a.replica, a.workunit, out);
+        }
+    }
+    for slot in grid.slots() {
+        assert_eq!(
+            artifact_json(&slot.state),
+            baseline_json(&slot.campaign),
+            "campaign {} artifact diverged across the crash",
+            slot.def.name
+        );
+    }
+    // The per-campaign journals really are separate directories.
+    for name in ["alpha", "beta"] {
+        assert!(
+            cfg.dir.join(name).is_dir(),
+            "expected journal subdirectory {name}"
+        );
+    }
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }

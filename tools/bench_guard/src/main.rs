@@ -39,6 +39,10 @@
 //!   count (an agent is only ever bounced once per ask, so more
 //!   redirects than asks means a steering loop), or if aggregate
 //!   sharded throughput fell below 0.9x the single-server reference.
+//!   Reports with the multi-campaign `campaign_rows` get a warn-only
+//!   ceiling on the contended fair-share error (the 70/30 split must
+//!   land within ±5%) and a warning if any hosted campaign's merged
+//!   artifact diverged from a solo run of the same recipe.
 //! * `frame_codec` (`BENCH_codec.json`) — per-frame encode/decode cost
 //!   of the two wire codecs; warns when the binary codec fails to beat
 //!   JSON or regresses past the tolerance against its baseline.
@@ -80,6 +84,10 @@ const TRUST_REJECT_REDUCTION_FLOOR: f64 = 2.0;
 /// address-space and fault isolation, and steering is supposed to keep
 /// the work moving — it must not cost more than ~10% of the wire.
 const SHARD_THROUGHPUT_FLOOR_FRAC: f64 = 0.9;
+/// Largest acceptable contended fair-share error in the multi-campaign
+/// run: the deficit scheduler must hold a 70/30 split within ±5% of
+/// the configured shares while both campaigns still have fresh work.
+const CAMPAIGN_SHARE_ERROR_CEILING: f64 = 0.05;
 
 fn load(path: &str) -> Result<Value, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -146,6 +154,20 @@ struct NetgridSummary {
     /// Sharded-campaign rows; `None` on reports from before the
     /// sharding block existed (or when `--shards 0` skipped it).
     shard_rows: Option<Vec<ShardRow>>,
+    /// Contended fair-share error of the multi-campaign run; `None` on
+    /// reports from before the multi-campaign block existed.
+    campaign_share_error: Option<f64>,
+    /// Per-hosted-campaign rows of the multi-campaign run; `None` on
+    /// pre-multi-campaign reports.
+    campaign_rows: Option<Vec<CampaignRow>>,
+}
+
+/// One `campaign_rows` entry, as far as the guard cares.
+struct CampaignRow {
+    name: String,
+    share: f64,
+    delivered_frac: f64,
+    matches_solo_baseline: bool,
 }
 
 /// One `shard_campaigns` entry, as far as the guard cares.
@@ -244,6 +266,34 @@ fn netgrid_summary(report: &Value, path: &str) -> Result<NetgridSummary, String>
                                 Some(Value::Bool(true))
                             ),
                             throughput_vs_single_frac: f("throughput_vs_single_frac")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            ),
+            _ => None,
+        },
+        campaign_share_error: report.get("campaign_share_error").and_then(Value::as_f64),
+        campaign_rows: match report.get("campaign_rows") {
+            Some(Value::Seq(rows)) => Some(
+                rows.iter()
+                    .map(|row| {
+                        let f = |key: &str| {
+                            row.get(key).and_then(Value::as_f64).ok_or_else(|| {
+                                format!("{path}: campaign row missing numeric \"{key}\"")
+                            })
+                        };
+                        let name = match row.get("name") {
+                            Some(Value::Str(s)) => s.clone(),
+                            _ => return Err(format!("{path}: campaign row missing \"name\"")),
+                        };
+                        Ok(CampaignRow {
+                            name,
+                            share: f("share")?,
+                            delivered_frac: f("delivered_frac")?,
+                            matches_solo_baseline: matches!(
+                                row.get("matches_solo_baseline"),
+                                Some(Value::Bool(true))
+                            ),
                         })
                     })
                     .collect::<Result<Vec<_>, String>>()?,
@@ -498,6 +548,36 @@ fn guard_netgrid(base: &NetgridSummary, fresh: &NetgridSummary, tolerance: f64) 
             }
         }
         None => println!("bench_guard: note: report has no sharded-campaign rows"),
+    }
+    match fresh.campaign_share_error {
+        Some(err) if err > CAMPAIGN_SHARE_ERROR_CEILING => {
+            warnings += 1;
+            eprintln!(
+                "bench_guard: WARNING: multi-campaign fair-share error {err:.3} is above the {CAMPAIGN_SHARE_ERROR_CEILING:.2} ceiling"
+            );
+        }
+        Some(err) => println!(
+            "bench_guard: multi-campaign fair-share error ok: {err:.3} (ceiling {CAMPAIGN_SHARE_ERROR_CEILING:.2})"
+        ),
+        None => println!("bench_guard: note: report has no multi-campaign columns"),
+    }
+    if let Some(rows) = &fresh.campaign_rows {
+        for row in rows {
+            if !row.matches_solo_baseline {
+                warnings += 1;
+                eprintln!(
+                    "bench_guard: WARNING: campaign {}: merged artifact diverged from its solo-run baseline",
+                    row.name
+                );
+            } else {
+                println!(
+                    "bench_guard: campaign {} ok: share {:.0}% -> delivered {:.1}%, artifact matches solo run",
+                    row.name,
+                    row.share * 100.0,
+                    row.delivered_frac * 100.0
+                );
+            }
+        }
     }
     warnings
 }
